@@ -1,0 +1,200 @@
+//! Average Rate (AVR): the second classic online speed policy of Yao,
+//! Demers and Shenker.
+//!
+//! Every active job contributes its *density* `w / (d − r)` to the
+//! processor speed, so `s(t) = Σ_{r_i ≤ t < d_i} w_i/(d_i − r_i)`;
+//! execution order is preemptive EDF. AVR always meets deadlines and is
+//! `(2α)^α/2`-competitive on one core (the paper cites the multi-core
+//! extension's bound).
+
+use sdem_power::Platform;
+use sdem_types::{CoreId, Schedule, TaskSet};
+
+use crate::job::{Job, Run};
+use crate::yds::{assemble, clamp_to_min_speed, to_job};
+use crate::BaselineError;
+
+/// Computes the AVR runs for one core's jobs.
+pub(crate) fn avr_runs(jobs: &[Job]) -> Vec<Run> {
+    let live: Vec<&Job> = jobs.iter().filter(|j| j.w > 0.0).collect();
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let density = |j: &Job| j.w / (j.d - j.r);
+    let mut events: Vec<f64> = live.iter().flat_map(|j| [j.r, j.d]).collect();
+    events.sort_by(f64::total_cmp);
+    events.dedup();
+
+    let mut rem: Vec<f64> = live.iter().map(|j| j.w).collect();
+    let mut out: Vec<Run> = Vec::new();
+
+    for pair in events.windows(2) {
+        let (t0, t1) = (pair[0], pair[1]);
+        let speed: f64 = live
+            .iter()
+            .filter(|j| j.r <= t0 + 1e-12 && j.d > t0 + 1e-12)
+            .map(|j| density(j))
+            .sum();
+        if speed <= 0.0 {
+            continue;
+        }
+        // EDF within the slice at the AVR speed.
+        let mut t = t0;
+        while t < t1 - 1e-15 * t1.abs().max(1.0) {
+            let ready = live
+                .iter()
+                .enumerate()
+                .filter(|(k, j)| rem[*k] > 1e-12 * j.w.max(1.0) && j.r <= t + 1e-12)
+                .min_by(|(_, x), (_, y)| x.d.total_cmp(&y.d));
+            let Some((k, job)) = ready else {
+                break; // queue empty: idle for the rest of the slice
+            };
+            let completion = t + rem[k] / speed;
+            let until = completion.min(t1);
+            out.push((job.id, t, until, speed));
+            rem[k] -= speed * (until - t);
+            t = until;
+        }
+    }
+    debug_assert!(
+        rem.iter()
+            .zip(&live)
+            .all(|(r, j)| *r <= 1e-6 * j.w.max(1.0)),
+        "AVR left work unfinished"
+    );
+    out
+}
+
+/// AVR schedule of the whole task set on a single core.
+///
+/// # Errors
+///
+/// [`BaselineError::Infeasible`] when the summed density exceeds `s_up`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_baselines::avr::schedule_single_core;
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Time, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults();
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(100.0), Cycles::new(2.0e7)),
+/// ])?;
+/// let schedule = schedule_single_core(&tasks, &platform)?;
+/// schedule.validate(&tasks)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_single_core(
+    tasks: &TaskSet,
+    platform: &Platform,
+) -> Result<Schedule, BaselineError> {
+    let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
+    let runs = clamp_to_min_speed(avr_runs(&jobs), platform);
+    let s_up = platform.core().max_speed().as_hz();
+    if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
+        return Err(BaselineError::Infeasible(r.0));
+    }
+    Ok(assemble(tasks, &runs, |_| CoreId(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_sim::{simulate, SleepPolicy};
+    use sdem_types::{Cycles, Task, Time, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn platform() -> Platform {
+        Platform::new(
+            CorePower::simple(0.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(0.0)),
+        )
+    }
+
+    fn tset(specs: &[(f64, f64, f64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, d, w))| Task::new(i, sec(r), sec(d), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let tasks = tset(&[(0.0, 4.0, 2.0)]);
+        let sched = schedule_single_core(&tasks, &platform()).unwrap();
+        sched.validate(&tasks).unwrap();
+        let seg = sched.placements()[0].segments()[0];
+        assert!((seg.speed().as_hz() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_jobs_sum_densities() {
+        // Two identical jobs: AVR runs at 2×density while both active.
+        let tasks = tset(&[(0.0, 4.0, 2.0), (0.0, 4.0, 2.0)]);
+        let sched = schedule_single_core(&tasks, &platform()).unwrap();
+        sched.validate(&tasks).unwrap();
+        for pl in sched.placements() {
+            for seg in pl.segments() {
+                assert!((seg.speed().as_hz() - 1.0).abs() < 1e-9);
+            }
+        }
+        // Both complete by t = 4; actually by t = 4 exactly (2+2 work at 1).
+        let (_, end) = sched.span().unwrap();
+        assert!((end.as_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avr_never_cheaper_than_yds() {
+        let p = platform();
+        let tasks = tset(&[(0.0, 10.0, 2.0), (2.0, 6.0, 3.0), (5.0, 12.0, 1.0)]);
+        let avr = schedule_single_core(&tasks, &p).unwrap();
+        let yds = crate::yds::schedule_single_core(&tasks, &p).unwrap();
+        let e_avr = simulate(&avr, &tasks, &p, SleepPolicy::NeverSleep)
+            .unwrap()
+            .core_dynamic
+            .value();
+        let e_yds = simulate(&yds, &tasks, &p, SleepPolicy::NeverSleep)
+            .unwrap()
+            .core_dynamic
+            .value();
+        assert!(
+            e_avr >= e_yds * (1.0 - 1e-9),
+            "AVR {e_avr} beats YDS {e_yds}"
+        );
+    }
+
+    #[test]
+    fn deadlines_met_under_bursts() {
+        let tasks = tset(&[
+            (0.0, 3.0, 1.0),
+            (0.5, 4.0, 1.5),
+            (1.0, 5.0, 2.0),
+            (1.5, 6.0, 1.0),
+        ]);
+        let sched = schedule_single_core(&tasks, &platform()).unwrap();
+        sched.validate(&tasks).unwrap();
+    }
+
+    #[test]
+    fn speed_cap_detected() {
+        let core = CorePower::simple(0.0, 1.0, 3.0).with_max_speed(sdem_types::Speed::from_hz(1.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(0.0)));
+        let tasks = tset(&[(0.0, 2.0, 1.5), (0.0, 2.0, 1.5)]);
+        assert!(matches!(
+            schedule_single_core(&tasks, &p),
+            Err(BaselineError::Infeasible(_))
+        ));
+    }
+}

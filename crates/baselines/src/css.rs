@@ -1,0 +1,165 @@
+//! Critical-speed scaling (CSS): the single-core *system-wide* baseline of
+//! the paper's related work (Jejurikar & Gupta 2004, Zhong & Xu 2008).
+//!
+//! Plain YDS minimizes processor energy but happily crawls, keeping the
+//! memory awake. For system-wide energy on one core the right floor is the
+//! *joint* critical speed `s₁ = ((α + α_m)/(β(λ−1)))^{1/λ}` (§5.2's
+//! memory-associated critical speed): below it, running slower costs more
+//! in core + memory statics than the convex dynamic term saves. CSS
+//! therefore takes the YDS speed profile and clamps every run up to
+//! `max(s_min, s₁)`, shortening busy time and creating sleepable idle —
+//! the classic "procrastination" transformation.
+
+use sdem_power::Platform;
+use sdem_types::{CoreId, Schedule, Speed, TaskSet};
+
+use crate::job::Job;
+use crate::yds::{assemble, to_job, yds_runs};
+use crate::BaselineError;
+
+/// The speed floor CSS clamps to on the given platform:
+/// `max(min_speed, s₁)` capped at `s_up`.
+pub fn css_floor(platform: &Platform) -> Speed {
+    platform
+        .memory_associated_critical_speed_unclamped()
+        .max(platform.core().min_speed())
+        .min(platform.core().max_speed())
+}
+
+/// Single-core system-wide baseline: YDS clamped to the joint critical
+/// speed. Equivalent to YDS when the memory is free (`α_m = 0`, `α = 0`).
+///
+/// # Errors
+///
+/// [`BaselineError::Infeasible`] when the YDS profile exceeds `s_up`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_baselines::css::schedule_single_core_css;
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Time, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults();
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(100.0), Cycles::new(2.0e7)),
+/// ])?;
+/// let schedule = schedule_single_core_css(&tasks, &platform)?;
+/// schedule.validate(&tasks)?;
+/// // The task races at s_up (the A57's joint speed clamps to 1900 MHz)
+/// // instead of crawling at its 200 MHz filled speed.
+/// let seg = schedule.placements()[0].segments()[0];
+/// assert!(seg.speed().as_mhz() > 1899.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_single_core_css(
+    tasks: &TaskSet,
+    platform: &Platform,
+) -> Result<Schedule, BaselineError> {
+    let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
+    let runs = yds_runs(&jobs);
+    let s_up = platform.core().max_speed().as_hz();
+    if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
+        return Err(BaselineError::Infeasible(r.0));
+    }
+    // Reuse the dispatch clamp with the joint critical speed as the floor.
+    let floor = css_floor(platform);
+    let clamped: Vec<_> = runs
+        .into_iter()
+        .map(|(id, a, b, s)| {
+            if s > 0.0 && s < floor.as_hz() {
+                (id, a, a + (b - a) * s / floor.as_hz(), floor.as_hz())
+            } else {
+                (id, a, b, s)
+            }
+        })
+        .collect();
+    Ok(assemble(tasks, &clamped, |_| CoreId(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::schedule_single_core;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_sim::{simulate, SleepPolicy};
+    use sdem_types::{Cycles, Task, Time, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn tset(specs: &[(f64, f64, f64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, d, w))| Task::new(i, sec(r), sec(d), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn floor_is_the_joint_critical_speed() {
+        // α = 4, β = 1, λ = 3, α_m = 12 ⇒ s₁ = 2.
+        let p = Platform::new(
+            CorePower::simple(4.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(12.0)),
+        );
+        assert!((css_floor(&p).as_hz() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn css_beats_yds_system_wide_when_memory_expensive() {
+        let p = Platform::new(
+            CorePower::simple(4.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(12.0)),
+        );
+        let tasks = tset(&[(0.0, 20.0, 2.0), (5.0, 40.0, 3.0)]);
+        let yds = schedule_single_core(&tasks, &p).unwrap();
+        let css = schedule_single_core_css(&tasks, &p).unwrap();
+        css.validate(&tasks).unwrap();
+        let e = |s: &Schedule| {
+            simulate(s, &tasks, &p, SleepPolicy::WhenProfitable)
+                .unwrap()
+                .total()
+                .value()
+        };
+        assert!(
+            e(&css) < e(&yds),
+            "CSS {} should beat YDS {} system-wide",
+            e(&css),
+            e(&yds)
+        );
+    }
+
+    #[test]
+    fn css_equals_yds_with_free_statics() {
+        let p = Platform::new(
+            CorePower::simple(0.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(0.0)),
+        );
+        let tasks = tset(&[(0.0, 10.0, 2.0), (2.0, 14.0, 3.0)]);
+        let yds = schedule_single_core(&tasks, &p).unwrap();
+        let css = schedule_single_core_css(&tasks, &p).unwrap();
+        assert_eq!(yds, css);
+    }
+
+    #[test]
+    fn css_runs_at_least_the_floor() {
+        let p = Platform::new(
+            CorePower::simple(4.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(12.0)),
+        );
+        let tasks = tset(&[(0.0, 50.0, 1.0), (10.0, 80.0, 2.0)]);
+        let css = schedule_single_core_css(&tasks, &p).unwrap();
+        for pl in css.placements() {
+            for seg in pl.segments() {
+                assert!(seg.speed().as_hz() >= 2.0 - 1e-9, "below floor: {seg:?}");
+            }
+        }
+    }
+}

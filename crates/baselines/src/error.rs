@@ -1,0 +1,49 @@
+//! Baseline scheduler errors.
+
+use core::fmt;
+
+use sdem_types::TaskId;
+
+/// Errors from the baseline schedulers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The schedule produced for this task needs more than the platform's
+    /// maximum speed — the instance (or the core assignment) is infeasible.
+    Infeasible(TaskId),
+    /// A positive number of cores is required.
+    NoCores,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible(id) => write!(
+                f,
+                "task {id} needs more than the maximum speed under this assignment"
+            ),
+            Self::NoCores => write!(f, "at least one core is required"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(BaselineError::Infeasible(TaskId(3))
+            .to_string()
+            .contains("T3"));
+        assert!(BaselineError::NoCores.to_string().contains("core"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<BaselineError>();
+    }
+}

@@ -1,0 +1,224 @@
+//! Internal scalar job representation and EDF machinery shared by the
+//! single-core policies.
+
+use sdem_types::{Segment, Speed, TaskId, Time};
+
+/// A job in plain seconds/cycles, as the single-core algorithms see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Job {
+    pub id: TaskId,
+    pub r: f64,
+    pub d: f64,
+    pub w: f64,
+}
+
+/// One produced run: `(job, start, end, speed)`.
+pub(crate) type Run = (TaskId, f64, f64, f64);
+
+/// Preemptive EDF of `jobs` at constant speed `speed`, over the available
+/// (sorted, disjoint) intervals. All job windows must lie within the span
+/// of `avail`, and total work must fit exactly or loosely
+/// (`Σ w ≤ speed · |avail|`). Returns the runs in chronological order.
+pub(crate) fn edf_at_speed(jobs: &[Job], avail: &[(f64, f64)], speed: f64) -> Vec<Run> {
+    let mut rem: Vec<f64> = jobs.iter().map(|j| j.w).collect();
+    let mut runs: Vec<Run> = Vec::new();
+    if speed <= 0.0 {
+        return runs;
+    }
+    // Release events, sorted.
+    let mut releases: Vec<f64> = jobs.iter().map(|j| j.r).collect();
+    releases.sort_by(f64::total_cmp);
+
+    for &(a, b) in avail {
+        let mut t = a;
+        while t < b - 1e-15 * b.abs().max(1.0) {
+            // Ready job with the earliest deadline.
+            let ready = jobs
+                .iter()
+                .enumerate()
+                .filter(|(k, j)| rem[*k] > 1e-12 * j.w.max(1.0) && j.r <= t + 1e-12)
+                .min_by(|(_, x), (_, y)| x.d.total_cmp(&y.d));
+            match ready {
+                Some((k, job)) => {
+                    // Run until completion, next release, or interval end.
+                    let completion = t + rem[k] / speed;
+                    let next_release = releases
+                        .iter()
+                        .copied()
+                        .find(|&r| r > t + 1e-12)
+                        .unwrap_or(f64::INFINITY);
+                    let until = completion.min(next_release).min(b);
+                    if until > t {
+                        runs.push((job.id, t, until, speed));
+                        rem[k] -= speed * (until - t);
+                    }
+                    t = until;
+                }
+                None => {
+                    // Idle: jump to the next release inside this interval.
+                    let next_release = releases
+                        .iter()
+                        .copied()
+                        .find(|&r| r > t + 1e-12)
+                        .unwrap_or(f64::INFINITY);
+                    if next_release >= b {
+                        break;
+                    }
+                    t = next_release;
+                }
+            }
+        }
+    }
+    runs
+}
+
+/// Groups chronological runs into per-task segment lists, merging adjacent
+/// same-speed runs of the same task.
+pub(crate) fn runs_to_segments(runs: &[Run]) -> Vec<(TaskId, Vec<Segment>)> {
+    let mut per_task: Vec<(TaskId, Vec<Segment>)> = Vec::new();
+    for &(id, a, b, s) in runs {
+        if b <= a {
+            continue;
+        }
+        let entry = match per_task.iter_mut().find(|(tid, _)| *tid == id) {
+            Some(e) => e,
+            None => {
+                per_task.push((id, Vec::new()));
+                per_task.last_mut().expect("just pushed")
+            }
+        };
+        let segs = &mut entry.1;
+        if let Some(last) = segs.last_mut() {
+            let contiguous = (last.end().as_secs() - a).abs() < 1e-12 * a.abs().max(1.0);
+            let same_speed = (last.speed().as_hz() - s).abs() <= 1e-9 * s.abs().max(1.0);
+            if contiguous && same_speed {
+                *last = Segment::new(last.start(), Time::from_secs(b), last.speed());
+                continue;
+            }
+        }
+        segs.push(Segment::new(
+            Time::from_secs(a),
+            Time::from_secs(b),
+            Speed::from_hz(s),
+        ));
+    }
+    per_task
+}
+
+/// Subtracts `frozen` (sorted, disjoint) from `[a, b]`, returning the
+/// remaining available intervals.
+pub(crate) fn subtract(a: f64, b: f64, frozen: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut cursor = a;
+    for &(fa, fb) in frozen {
+        if fb <= a || fa >= b {
+            continue;
+        }
+        if fa > cursor {
+            out.push((cursor, fa.min(b)));
+        }
+        cursor = cursor.max(fb);
+        if cursor >= b {
+            break;
+        }
+    }
+    if cursor < b {
+        out.push((cursor, b));
+    }
+    out
+}
+
+/// Inserts `[a, b]` into a sorted disjoint interval list, merging overlaps.
+pub(crate) fn freeze(frozen: &mut Vec<(f64, f64)>, a: f64, b: f64) {
+    frozen.push((a, b));
+    frozen.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(frozen.len());
+    for &(x, y) in frozen.iter() {
+        match merged.last_mut() {
+            Some(last) if x <= last.1 => last.1 = last.1.max(y),
+            _ => merged.push((x, y)),
+        }
+    }
+    *frozen = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: usize, r: f64, d: f64, w: f64) -> Job {
+        Job {
+            id: TaskId(id),
+            r,
+            d,
+            w,
+        }
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let jobs = [job(0, 0.0, 10.0, 2.0), job(1, 0.0, 5.0, 2.0)];
+        let runs = edf_at_speed(&jobs, &[(0.0, 4.0)], 1.0);
+        // Job 1 (earlier deadline) first.
+        assert_eq!(runs[0].0, TaskId(1));
+        assert_eq!(runs[1].0, TaskId(0));
+        assert!((runs[0].2 - 2.0).abs() < 1e-12);
+        assert!((runs[1].2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edf_preempts_on_release() {
+        // Job 0 (late deadline) starts; job 1 (early deadline) arrives at 1
+        // and preempts.
+        let jobs = [job(0, 0.0, 10.0, 3.0), job(1, 1.0, 3.0, 1.0)];
+        let runs = edf_at_speed(&jobs, &[(0.0, 10.0)], 1.0);
+        let ids: Vec<usize> = runs.iter().map(|r| r.0 .0).collect();
+        assert_eq!(ids, vec![0, 1, 0]);
+        let segs = runs_to_segments(&runs);
+        let j0 = segs.iter().find(|(id, _)| *id == TaskId(0)).unwrap();
+        assert_eq!(j0.1.len(), 2, "preempted job should have two segments");
+    }
+
+    #[test]
+    fn edf_skips_idle_until_release() {
+        let jobs = [job(0, 2.0, 5.0, 1.0)];
+        let runs = edf_at_speed(&jobs, &[(0.0, 5.0)], 1.0);
+        assert_eq!(runs.len(), 1);
+        assert!((runs[0].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edf_respects_available_intervals() {
+        let jobs = [job(0, 0.0, 10.0, 2.0)];
+        let runs = edf_at_speed(&jobs, &[(0.0, 1.0), (5.0, 6.0)], 1.0);
+        assert_eq!(runs.len(), 2);
+        assert!((runs[0].2 - 1.0).abs() < 1e-12);
+        assert!((runs[1].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_merge_contiguous_same_speed() {
+        let runs = vec![
+            (TaskId(0), 0.0, 1.0, 2.0),
+            (TaskId(0), 1.0, 2.0, 2.0),
+            (TaskId(0), 3.0, 4.0, 2.0),
+        ];
+        let segs = runs_to_segments(&runs);
+        assert_eq!(segs[0].1.len(), 2);
+        assert!((segs[0].1[0].length().as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtract_and_freeze() {
+        let mut frozen = Vec::new();
+        freeze(&mut frozen, 2.0, 4.0);
+        freeze(&mut frozen, 6.0, 8.0);
+        freeze(&mut frozen, 3.0, 5.0);
+        assert_eq!(frozen, vec![(2.0, 5.0), (6.0, 8.0)]);
+        let avail = subtract(0.0, 10.0, &frozen);
+        assert_eq!(avail, vec![(0.0, 2.0), (5.0, 6.0), (8.0, 10.0)]);
+        let avail = subtract(3.0, 7.0, &frozen);
+        assert_eq!(avail, vec![(5.0, 6.0)]);
+        assert!(subtract(2.5, 4.5, &frozen).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Baseline DVS schedulers for the SDEM evaluation (paper §8).
+//!
+//! The paper compares SDEM-ON against **MBKP** — an online multi-core DVS
+//! scheduler in the style of Albers, Müller and Schmelzer (SPAA 2007) that
+//! minimizes processor energy but never sleeps the memory — and **MBKPS**,
+//! the same scheduler with a naive memory-sleep bolted on (sleep during
+//! *every* common idle gap, profitable or not). This crate builds that
+//! baseline stack from scratch:
+//!
+//! * [`yds`] — the Yao–Demers–Shenker optimal offline single-core speed
+//!   schedule (critical-interval peeling + EDF), the substrate everything
+//!   else uses;
+//! * [`oa`] — *Optimal Available*: online per-core policy that re-runs YDS
+//!   on the remaining work at every arrival;
+//! * [`avr`] — *Average Rate*: each job contributes its density over its
+//!   window; execution is EDF at the summed rate;
+//! * [`mbkp`] — the multi-core driver: arrival-order assignment
+//!   (round-robin as in the paper's setup, or least-loaded) plus per-core
+//!   OA (online) or YDS (offline);
+//! * [`css`] — critical-speed scaling: the single-core *system-wide*
+//!   baseline of the paper's related work (YDS clamped to the joint
+//!   critical speed `s₁`, creating sleepable idle).
+//!
+//! MBKP vs MBKPS is purely a *memory sleep policy* difference, so both use
+//! the same [`mbkp::schedule_online`] schedule: price it with
+//! `SleepPolicy::NeverSleep` for MBKP and `SleepPolicy::AlwaysSleep` for
+//! MBKPS (see `sdem-sim`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_baselines::mbkp;
+//! use sdem_power::Platform;
+//! use sdem_types::{Task, TaskSet, Time, Cycles};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::paper_defaults();
+//! let tasks = TaskSet::new(vec![
+//!     Task::new(0, Time::ZERO, Time::from_millis(50.0), Cycles::new(1.0e7)),
+//!     Task::new(1, Time::from_millis(10.0), Time::from_millis(90.0), Cycles::new(2.0e7)),
+//! ])?;
+//! let schedule = mbkp::schedule_online(&tasks, &platform, 8, mbkp::Assignment::RoundRobin)?;
+//! schedule.validate(&tasks)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avr;
+pub mod css;
+mod error;
+mod job;
+pub mod mbkp;
+pub mod oa;
+pub mod yds;
+
+pub use error::BaselineError;

@@ -1,0 +1,289 @@
+//! MBKP: the paper's multi-core DVS baseline (after Albers, Müller and
+//! Schmelzer, SPAA 2007).
+//!
+//! Tasks are assigned to cores in arrival order — round-robin, as in the
+//! paper's experimental setup (§8.1.2), or to the least-loaded core — and
+//! each core independently runs a DVS speed policy: *Optimal Available*
+//! online (the evaluated configuration) or YDS offline. MBKP never sleeps
+//! the memory; **MBKPS** is the identical schedule priced with the naive
+//! always-sleep memory policy (`SleepPolicy::AlwaysSleep` in `sdem-sim`).
+
+use sdem_power::Platform;
+use sdem_types::{CoreId, Schedule, TaskId, TaskSet};
+
+use crate::job::{Job, Run};
+use crate::oa::oa_runs;
+use crate::yds::{assemble, clamp_to_min_speed, to_job, yds_runs};
+use crate::BaselineError;
+
+/// How arriving tasks are distributed over the cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Assignment {
+    /// Task `k` (in arrival order) goes to core `k mod C` — the paper's
+    /// experimental setup.
+    #[default]
+    RoundRobin,
+    /// Each task goes to the core with the least total work assigned so
+    /// far (a common practical variant; used as an ablation).
+    LeastLoaded,
+}
+
+/// Computes the per-task core assignment in arrival order.
+///
+/// # Panics
+///
+/// Panics if `cores == 0` (public drivers guard this).
+pub fn assign(tasks: &TaskSet, cores: usize, policy: Assignment) -> Vec<(TaskId, CoreId)> {
+    assert!(cores > 0, "cores must be positive");
+    let arrivals = tasks.sorted_by_release();
+    let mut loads = vec![0.0f64; cores];
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(k, t)| {
+            let core = match policy {
+                Assignment::RoundRobin => k % cores,
+                Assignment::LeastLoaded => loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("cores > 0"),
+            };
+            loads[core] += t.work().value();
+            (t.id(), CoreId(core))
+        })
+        .collect()
+}
+
+/// Online MBKP: arrival-order assignment + per-core Optimal Available.
+///
+/// # Errors
+///
+/// [`BaselineError::NoCores`] if `cores == 0`;
+/// [`BaselineError::Infeasible`] when some core's OA plan exceeds `s_up`
+/// under this assignment.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_baselines::mbkp::{schedule_online, Assignment};
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Time, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults();
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(60.0), Cycles::new(1.5e7)),
+///     Task::new(1, Time::from_millis(5.0), Time::from_millis(90.0), Cycles::new(2.0e7)),
+///     Task::new(2, Time::from_millis(30.0), Time::from_millis(140.0), Cycles::new(1.0e7)),
+/// ])?;
+/// let schedule = schedule_online(&tasks, &platform, 8, Assignment::RoundRobin)?;
+/// schedule.validate(&tasks)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_online(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    policy: Assignment,
+) -> Result<Schedule, BaselineError> {
+    schedule_with(tasks, platform, cores, policy, oa_runs)
+}
+
+/// Offline MBKP: arrival-order assignment + per-core YDS. A clairvoyant
+/// upper bound on the online variant's quality; used by ablation benches.
+///
+/// # Errors
+///
+/// Same as [`schedule_online`].
+pub fn schedule_offline(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    policy: Assignment,
+) -> Result<Schedule, BaselineError> {
+    schedule_with(tasks, platform, cores, policy, yds_runs)
+}
+
+fn schedule_with(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    policy: Assignment,
+    per_core: impl Fn(&[Job]) -> Vec<Run>,
+) -> Result<Schedule, BaselineError> {
+    if cores == 0 {
+        return Err(BaselineError::NoCores);
+    }
+    let assignment = assign(tasks, cores, policy);
+    let core_of = |id: TaskId| -> CoreId {
+        assignment
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|&(_, c)| c)
+            .expect("every task is assigned")
+    };
+
+    let s_up = platform.core().max_speed().as_hz();
+    let mut all_runs: Vec<Run> = Vec::new();
+    for c in 0..cores {
+        let jobs: Vec<Job> = tasks
+            .iter()
+            .filter(|t| core_of(t.id()) == CoreId(c))
+            .map(to_job)
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
+        let runs = clamp_to_min_speed(per_core(&jobs), platform);
+        if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
+            return Err(BaselineError::Infeasible(r.0));
+        }
+        all_runs.extend(runs);
+    }
+    Ok(assemble(tasks, &all_runs, core_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_sim::{simulate, SleepPolicy};
+    use sdem_types::{Cycles, Task, Time, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn platform(alpha_m: f64) -> Platform {
+        Platform::new(
+            CorePower::simple(0.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(alpha_m)),
+        )
+    }
+
+    fn tset(specs: &[(f64, f64, f64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, d, w))| Task::new(i, sec(r), sec(d), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles_cores() {
+        let tasks = tset(&[
+            (0.0, 9.0, 1.0),
+            (1.0, 9.0, 1.0),
+            (2.0, 9.0, 1.0),
+            (3.0, 19.0, 1.0),
+        ]);
+        let a = assign(&tasks, 3, Assignment::RoundRobin);
+        let cores: Vec<usize> = a.iter().map(|(_, c)| c.0).collect();
+        assert_eq!(cores, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_balances_work() {
+        let tasks = tset(&[(0.0, 9.0, 5.0), (1.0, 9.0, 1.0), (2.0, 9.0, 1.0)]);
+        let a = assign(&tasks, 2, Assignment::LeastLoaded);
+        // 5 → core 0; 1 → core 1; 1 → core 1 (load 1 < 5).
+        let cores: Vec<usize> = a.iter().map(|(_, c)| c.0).collect();
+        assert_eq!(cores, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn online_schedule_is_valid_and_per_core_exclusive() {
+        let p = platform(4.0);
+        let tasks = tset(&[
+            (0.0, 10.0, 2.0),
+            (1.0, 12.0, 3.0),
+            (2.0, 14.0, 1.0),
+            (8.0, 22.0, 2.5),
+            (9.0, 25.0, 1.5),
+        ]);
+        let sched = schedule_online(&tasks, &p, 2, Assignment::RoundRobin).unwrap();
+        sched.validate(&tasks).unwrap();
+        assert!(sched.cores_used() <= 2);
+    }
+
+    #[test]
+    fn offline_never_worse_than_online_on_core_energy() {
+        let p = platform(0.0);
+        let tasks = tset(&[(0.0, 10.0, 1.0), (6.0, 10.0, 4.0), (7.0, 18.0, 2.0)]);
+        let on = schedule_online(&tasks, &p, 1, Assignment::RoundRobin).unwrap();
+        let off = schedule_offline(&tasks, &p, 1, Assignment::RoundRobin).unwrap();
+        let e_on = simulate(&on, &tasks, &p, SleepPolicy::NeverSleep)
+            .unwrap()
+            .core_dynamic
+            .value();
+        let e_off = simulate(&off, &tasks, &p, SleepPolicy::NeverSleep)
+            .unwrap()
+            .core_dynamic
+            .value();
+        assert!(e_off <= e_on * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn mbkps_saves_memory_energy_over_mbkp() {
+        // Two far-apart tasks on one core: MBKP idles the memory awake
+        // through the gap, MBKPS sleeps it (ξ_m = 0 here, so sleeping wins).
+        let p = platform(4.0);
+        let tasks = tset(&[(0.0, 2.0, 1.0), (50.0, 52.0, 1.0)]);
+        let sched = schedule_online(&tasks, &p, 1, Assignment::RoundRobin).unwrap();
+        let mbkp = simulate(&sched, &tasks, &p, SleepPolicy::NeverSleep).unwrap();
+        let mbkps = simulate(&sched, &tasks, &p, SleepPolicy::AlwaysSleep).unwrap();
+        assert!(
+            mbkps.memory_total().value() < mbkp.memory_total().value(),
+            "MBKPS {} should beat MBKP {}",
+            mbkps.memory_total(),
+            mbkp.memory_total()
+        );
+    }
+
+    #[test]
+    fn naive_sleep_can_lose_with_transition_overhead() {
+        // Short gap + large ξ_m: AlwaysSleep pays a round trip dearer than
+        // idling — exactly why MBKPS underperforms SDEM-ON at high load.
+        let mem = MemoryPower::new(Watts::new(4.0)).with_break_even(sec(10.0));
+        let p = Platform::new(CorePower::simple(0.0, 1.0, 3.0), mem);
+        let tasks = tset(&[(0.0, 2.0, 1.0), (3.0, 6.0, 1.0)]);
+        let sched = schedule_online(&tasks, &p, 1, Assignment::RoundRobin).unwrap();
+        let naive = simulate(&sched, &tasks, &p, SleepPolicy::AlwaysSleep).unwrap();
+        let smart = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert!(
+            naive.memory_total().value() > smart.memory_total().value(),
+            "always-sleep {} should lose to when-profitable {}",
+            naive.memory_total(),
+            smart.memory_total()
+        );
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let p = platform(1.0);
+        let tasks = tset(&[(0.0, 5.0, 1.0)]);
+        assert_eq!(
+            schedule_online(&tasks, &p, 0, Assignment::RoundRobin),
+            Err(BaselineError::NoCores)
+        );
+    }
+
+    #[test]
+    fn bad_assignment_detected_as_infeasible() {
+        let core = CorePower::simple(0.0, 1.0, 3.0).with_max_speed(sdem_types::Speed::from_hz(1.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(1.0)));
+        // Two dense tasks on one core: infeasible; on two cores: fine.
+        let tasks = tset(&[(0.0, 2.0, 1.5), (0.0, 2.0, 1.5)]);
+        assert!(matches!(
+            schedule_online(&tasks, &p, 1, Assignment::RoundRobin),
+            Err(BaselineError::Infeasible(_))
+        ));
+        assert!(schedule_online(&tasks, &p, 2, Assignment::RoundRobin).is_ok());
+    }
+}

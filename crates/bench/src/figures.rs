@@ -1,0 +1,281 @@
+//! The paper's figure sweeps (Fig. 6a/6b, Fig. 7a, Fig. 7b).
+
+use sdem_power::{MemoryPower, Platform};
+use sdem_types::{Time, Watts};
+use sdem_workload::dspstone::{stream, Benchmark};
+use sdem_workload::paper;
+use sdem_workload::synthetic::{sporadic, SyntheticConfig};
+
+use crate::experiment::{mean, run_trials};
+
+/// One row of Fig. 6 (both panels share the x-axis `U`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Utilization scale `U` (larger = lower utilization).
+    pub u: f64,
+    /// Fig. 6a: memory static-energy saving of SDEM-ON vs MBKP (fraction).
+    pub sdem_memory_saving: f64,
+    /// Fig. 6a: memory saving of MBKPS vs MBKP.
+    pub mbkps_memory_saving: f64,
+    /// Fig. 6b: system-wide saving of SDEM-ON vs MBKP.
+    pub sdem_system_saving: f64,
+    /// Fig. 6b: system-wide saving of MBKPS vs MBKP.
+    pub mbkps_system_saving: f64,
+}
+
+/// Fig. 6 sweep: FFT-1024 + matrix-multiply streams over the `U` grid,
+/// default platform (Table 4 stars), `trials` seeds per point.
+///
+/// Eight sporadic streams (four of each kernel) populate the eight-core
+/// platform, matching §8.1.2's premise that at `U = 2` (high utilization)
+/// "all 8 cores are most likely to be used at any time".
+pub fn fig6(instances_per_stream: usize, trials: usize) -> Vec<Fig6Row> {
+    let platform = Platform::paper_defaults();
+    let benches = [
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+    ];
+    let row_of = |&u: &f64| -> Fig6Row {
+        let results = run_trials(
+            |seed| stream(&benches, u, instances_per_stream, seed),
+            &platform,
+            paper::NUM_CORES,
+            trials,
+            0xF16_6000 + (u as u64) * 1000,
+        );
+        Fig6Row {
+            u,
+            sdem_memory_saving: mean(&results, |r| r.sdem_memory_saving_vs_mbkp()),
+            mbkps_memory_saving: mean(&results, |r| r.mbkps_memory_saving_vs_mbkp()),
+            sdem_system_saving: mean(&results, |r| r.sdem_system_saving_vs_mbkp()),
+            mbkps_system_saving: mean(&results, |r| r.mbkps_system_saving_vs_mbkp()),
+        }
+    };
+    let mut rows: Vec<Option<Fig6Row>> = vec![None; paper::U_POINTS.len()];
+    let slots = std::sync::Mutex::new(&mut rows);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(paper::U_POINTS.len());
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= paper::U_POINTS.len() {
+                    break;
+                }
+                let row = row_of(&paper::U_POINTS[k]);
+                slots.lock().expect("no panics hold the lock")[k] = Some(row);
+            });
+        }
+    });
+    rows.into_iter()
+        .map(|r| r.expect("every row computed"))
+        .collect()
+}
+
+/// One cell of the Fig. 7 sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Cell {
+    /// Maximum inter-arrival `x` (ms) — utilization axis.
+    pub x_ms: f64,
+    /// The swept parameter (`α_m` in W for 7a, `ξ_m` in ms for 7b).
+    pub param: f64,
+    /// System-wide improvement of SDEM-ON over MBKPS (fraction).
+    pub improvement: f64,
+}
+
+/// Fig. 7a sweep: `α_m × x`, default `ξ_m`.
+pub fn fig7a(tasks_per_trial: usize, trials: usize) -> Vec<Fig7Cell> {
+    sweep(
+        tasks_per_trial,
+        trials,
+        &paper::ALPHA_M_POINTS_W,
+        |alpha_m| {
+            Platform::paper_defaults().with_memory(
+                MemoryPower::new(Watts::new(alpha_m))
+                    .with_break_even(Time::from_millis(paper::DEFAULT_XI_M_MS)),
+            )
+        },
+    )
+}
+
+/// Fig. 7b sweep: `ξ_m × x`, default `α_m`.
+pub fn fig7b(tasks_per_trial: usize, trials: usize) -> Vec<Fig7Cell> {
+    sweep(tasks_per_trial, trials, &paper::XI_M_POINTS_MS, |xi_m| {
+        Platform::paper_defaults().with_memory(
+            MemoryPower::new(Watts::new(paper::DEFAULT_ALPHA_M_W))
+                .with_break_even(Time::from_millis(xi_m)),
+        )
+    })
+}
+
+fn sweep(
+    tasks_per_trial: usize,
+    trials: usize,
+    params: &[f64],
+    platform_of: impl Fn(f64) -> Platform + Sync,
+) -> Vec<Fig7Cell> {
+    // One independent cell per (param, x): embarrassingly parallel, and the
+    // per-cell seed bases keep results identical to a sequential run.
+    let grid: Vec<(f64, f64)> = params
+        .iter()
+        .flat_map(|&param| paper::X_POINTS_MS.iter().map(move |&x| (param, x)))
+        .collect();
+    let cell_of = |&(param, x_ms): &(f64, f64)| -> Fig7Cell {
+        let platform = platform_of(param);
+        let cfg = SyntheticConfig::paper(tasks_per_trial, Time::from_millis(x_ms));
+        let results = run_trials(
+            |seed| sporadic(&cfg, seed),
+            &platform,
+            paper::NUM_CORES,
+            trials,
+            0xF17_0000 + (param * 100.0) as u64 * 100 + x_ms as u64,
+        );
+        Fig7Cell {
+            x_ms,
+            param,
+            improvement: mean(&results, |r| r.sdem_improvement_over_mbkps()),
+        }
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(grid.len().max(1));
+    if workers <= 1 {
+        return grid.iter().map(cell_of).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut cells: Vec<Option<Fig7Cell>> = vec![None; grid.len()];
+    let slots = std::sync::Mutex::new(&mut cells);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= grid.len() {
+                    break;
+                }
+                let cell = cell_of(&grid[k]);
+                slots.lock().expect("no panics hold the lock")[k] = Some(cell);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| c.expect("every cell computed"))
+        .collect()
+}
+
+/// Renders Fig. 6 rows as CSV.
+pub fn fig6_to_csv(rows: &[Fig6Row]) -> String {
+    let mut out = String::from(
+        "u,sdem_memory_saving,mbkps_memory_saving,sdem_system_saving,mbkps_system_saving\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.u,
+            r.sdem_memory_saving,
+            r.mbkps_memory_saving,
+            r.sdem_system_saving,
+            r.mbkps_system_saving,
+        ));
+    }
+    out
+}
+
+/// Renders a Fig. 7 sweep as CSV (`param,x_ms,improvement`).
+pub fn fig7_to_csv(cells: &[Fig7Cell], param_name: &str) -> String {
+    let mut out = format!("{param_name},x_ms,improvement\n");
+    for c in cells {
+        out.push_str(&format!("{},{},{:.6}\n", c.param, c.x_ms, c.improvement));
+    }
+    out
+}
+
+/// Formats a Fig. 7 sweep as an aligned table (`param` rows × `x` columns).
+pub fn format_fig7(cells: &[Fig7Cell], param_name: &str) -> String {
+    let mut params: Vec<f64> = cells.iter().map(|c| c.param).collect();
+    params.dedup();
+    let mut xs: Vec<f64> = cells.iter().map(|c| c.x_ms).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    let mut out = String::new();
+    out.push_str(&format!("{param_name:>10} |"));
+    for x in &xs {
+        out.push_str(&format!(" x={x:>5.0}ms"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(12 + 10 * xs.len()));
+    out.push('\n');
+    for p in &params {
+        out.push_str(&format!("{p:>10.1} |"));
+        for x in &xs {
+            let cell = cells
+                .iter()
+                .find(|c| c.param == *p && c.x_ms == *x)
+                .expect("complete sweep");
+            out.push_str(&format!(" {:>8.2}%", cell.improvement * 100.0));
+        }
+        out.push('\n');
+    }
+    let avg = cells.iter().map(|c| c.improvement).sum::<f64>() / cells.len() as f64;
+    out.push_str(&format!(
+        "average SDEM-ON improvement over MBKPS: {:.2}%\n",
+        avg * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_tiny_run_has_expected_shape() {
+        let rows = fig6(6, 2);
+        assert_eq!(rows.len(), paper::U_POINTS.len());
+        for r in &rows {
+            // SDEM-ON must save at least as much memory energy as the naive
+            // MBKPS on average (the paper's headline).
+            assert!(
+                r.sdem_memory_saving >= r.mbkps_memory_saving - 0.02,
+                "U={}: SDEM {} < MBKPS {}",
+                r.u,
+                r.sdem_memory_saving,
+                r.mbkps_memory_saving
+            );
+            assert!(r.sdem_system_saving.is_finite());
+        }
+    }
+
+    #[test]
+    fn fig7_format_contains_all_cells() {
+        let cells = vec![
+            Fig7Cell {
+                x_ms: 100.0,
+                param: 1.0,
+                improvement: 0.05,
+            },
+            Fig7Cell {
+                x_ms: 200.0,
+                param: 1.0,
+                improvement: 0.10,
+            },
+        ];
+        let s = format_fig7(&cells, "alpha_m");
+        assert!(s.contains("alpha_m"));
+        assert!(s.contains("5.00%"));
+        assert!(s.contains("10.00%"));
+        assert!(s.contains("average"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§8): Fig. 6a/6b (DSPstone benchmarks over utilization `U`), Fig. 7a
+//! (`α_m × x` sweep) and Fig. 7b (`ξ_m × x` sweep), plus the Table 4
+//! parameter grid the sweeps read from `sdem-workload::paper`.
+//!
+//! Binaries:
+//!
+//! * `cargo run -p sdem-bench --release --bin fig6` — both panels of Fig. 6;
+//! * `cargo run -p sdem-bench --release --bin fig7a`;
+//! * `cargo run -p sdem-bench --release --bin fig7b`.
+//!
+//! Criterion benches (`cargo bench -p sdem-bench`) time the algorithms and
+//! the harness; the ablation benches compare design alternatives called out
+//! in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod plot;
+pub mod stats;

@@ -1,0 +1,115 @@
+//! Golden-master regression net for the experiment pipeline: a tiny,
+//! deterministic Fig. 6 configuration must keep producing exactly the
+//! recorded series. Any change to the workload generator, the schedulers,
+//! the baselines or the energy accounting shows up here first — and must
+//! then be reconciled with EXPERIMENTS.md.
+//!
+//! Tolerance is loose enough (1e-6 relative) to survive benign
+//! floating-point reassociation but tight enough to catch semantic drift.
+
+use sdem_bench::figures::fig6;
+
+/// `fig6(4 instances/stream, 2 trials)` recorded on the toolchain that
+/// produced `results/` — columns: (U, SDEM-ON mem, MBKPS mem,
+/// SDEM-ON sys, MBKPS sys).
+const GOLDEN_FIG6: [(f64, f64, f64, f64, f64); 8] = [
+    (
+        2.0,
+        0.391448400805,
+        0.131311455766,
+        0.387482840673,
+        0.130607831945,
+    ),
+    (
+        3.0,
+        0.479141759141,
+        0.287401445453,
+        0.475908623124,
+        0.286243101128,
+    ),
+    (
+        4.0,
+        0.535652605888,
+        0.422647634487,
+        0.533018934776,
+        0.421460409641,
+    ),
+    (
+        5.0,
+        0.569220786595,
+        0.432630130305,
+        0.567088395680,
+        0.431632662946,
+    ),
+    (
+        6.0,
+        0.632463097394,
+        0.540642314871,
+        0.630649941673,
+        0.539671223229,
+    ),
+    (
+        7.0,
+        0.664542442046,
+        0.598301023266,
+        0.662842439124,
+        0.597411787691,
+    ),
+    (
+        8.0,
+        0.715156948349,
+        0.648141207684,
+        0.713378769497,
+        0.647166172052,
+    ),
+    (
+        9.0,
+        0.699194054221,
+        0.623867858674,
+        0.697727121431,
+        0.623085614073,
+    ),
+];
+
+#[test]
+fn fig6_tiny_configuration_is_bit_stable() {
+    let rows = fig6(4, 2);
+    assert_eq!(rows.len(), GOLDEN_FIG6.len());
+    for (row, golden) in rows.iter().zip(&GOLDEN_FIG6) {
+        assert_eq!(row.u, golden.0);
+        let pairs = [
+            ("sdem_memory", row.sdem_memory_saving, golden.1),
+            ("mbkps_memory", row.mbkps_memory_saving, golden.2),
+            ("sdem_system", row.sdem_system_saving, golden.3),
+            ("mbkps_system", row.mbkps_system_saving, golden.4),
+        ];
+        for (name, measured, expected) in pairs {
+            assert!(
+                (measured - expected).abs() <= 1e-6 * expected.abs().max(1e-6),
+                "U = {}: {name} drifted: measured {measured:.12}, golden {expected:.12} \
+                 — if intentional, regenerate results/ and update EXPERIMENTS.md",
+                row.u
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_tiny_configuration_matches_paper_shape() {
+    // The same invariants EXPERIMENTS.md claims, on the tiny config.
+    for g in &GOLDEN_FIG6 {
+        assert!(
+            g.1 > g.2,
+            "SDEM-ON must beat MBKPS on memory at U = {}",
+            g.0
+        );
+        assert!(
+            g.3 > g.4,
+            "SDEM-ON must beat MBKPS on system at U = {}",
+            g.0
+        );
+    }
+    // Savings trend upward from U = 2 to U = 9 for both schemes.
+    assert!(GOLDEN_FIG6[7].1 > GOLDEN_FIG6[0].1);
+    assert!(GOLDEN_FIG6[7].2 > GOLDEN_FIG6[0].2);
+}

@@ -1,0 +1,396 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use sdem_baselines::mbkp::{self, Assignment};
+use sdem_baselines::{avr, css, oa, yds};
+use sdem_core::{agreeable, common_release, online, overhead};
+use sdem_power::{CorePower, MemoryPower, Platform};
+use sdem_sim::{
+    power_trace, render_gantt, schedule_stats, simulate_with_options, trace_to_csv, SimOptions,
+    SleepPolicy,
+};
+use sdem_types::{Schedule, TaskSet, Time};
+use sdem_workload::dspstone::{stream, Benchmark};
+use sdem_workload::synthetic::{self, SyntheticConfig};
+use sdem_workload::textfmt as io;
+
+use crate::args::Args;
+
+const HELP: &str = "\
+sdem-cli — SDEM energy-minimization toolkit
+
+USAGE:
+  sdem-cli generate [--kind synthetic|dspstone|common-release|agreeable]
+                    [--tasks N] [--x-ms X] [--u U] [--instances N]
+                    [--seed S] [--out FILE]
+  sdem-cli schedule --input FILE [--scheme NAME] [--alpha-m W] [--xi-m MS]
+                    [--cores N] [--gantt] [--quiet]
+  sdem-cli compare  --input FILE [--alpha-m W] [--xi-m MS] [--cores N]
+  sdem-cli trace    --input FILE [--scheme NAME] [--samples N] [--out FILE]
+                    power-over-time CSV (time_s,cores_w,memory_w,total_w)
+  sdem-cli help
+
+SCHEMES:
+  sdem-on (default)    paper §6 online heuristic, bounded to --cores
+  cr-alpha-zero        paper §4.1 (common release, α = 0 model)
+  cr-alpha-nonzero     paper §4.2 (common release, core sleeping)
+  cr-overhead          paper §7 (transition overheads)
+  agreeable            paper §5 DP (agreeable deadlines)
+  agreeable-strict     §5 DP with overlap-free block repair
+  mbkp | mbkps         baseline: round-robin + per-core Optimal Available
+  yds | oa | avr | css single-core substrate policies (css = YDS clamped
+                       to the joint critical speed; system-wide baseline)
+
+The platform is the paper's: 8 × Cortex-A57 + 50 nm DRAM; --alpha-m and
+--xi-m override the memory model (defaults 4 W, 40 ms).
+";
+
+/// Dispatches a full command line.
+///
+/// # Errors
+///
+/// Human-readable messages for unknown commands, bad options, unreadable
+/// files and scheduling failures.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "generate" => generate(&args),
+        "schedule" => schedule(&args),
+        "compare" => compare(&args),
+        "trace" => trace(&args),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn platform_from(args: &Args) -> Result<Platform, String> {
+    let alpha_m = args.get_f64("alpha-m", 4.0)?;
+    let xi_m = args.get_f64("xi-m", 40.0)?;
+    Ok(Platform::new(
+        CorePower::cortex_a57(),
+        MemoryPower::new(sdem_types::Watts::new(alpha_m)).with_break_even(Time::from_millis(xi_m)),
+    ))
+}
+
+fn load_tasks(args: &Args) -> Result<TaskSet, String> {
+    let path = args
+        .get("input")
+        .ok_or_else(|| "`--input FILE` is required".to_string())?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    io::from_text(&text)
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.get_or("kind", "synthetic");
+    let seed = args.get_u64("seed", 1)?;
+    let tasks = match kind {
+        "synthetic" => {
+            let cfg = SyntheticConfig::paper(
+                args.get_usize("tasks", 40)?,
+                Time::from_millis(args.get_f64("x-ms", 400.0)?),
+            );
+            synthetic::sporadic(&cfg, seed)
+        }
+        "common-release" => {
+            let cfg = SyntheticConfig::paper(args.get_usize("tasks", 40)?, Time::ZERO);
+            synthetic::common_release(&cfg, seed)
+        }
+        "agreeable" => {
+            let cfg = SyntheticConfig::paper(
+                args.get_usize("tasks", 40)?,
+                Time::from_millis(args.get_f64("x-ms", 400.0)?),
+            );
+            synthetic::agreeable(&cfg, seed)
+        }
+        "dspstone" => stream(
+            &[Benchmark::fft_1024(), Benchmark::matrix_24()],
+            args.get_f64("u", 4.0)?,
+            args.get_usize("instances", 20)?,
+            seed,
+        ),
+        other => return Err(format!("unknown workload kind `{other}`")),
+    };
+    let text = io::to_text(&tasks);
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {} tasks to {path}", tasks.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn build_schedule(
+    scheme: &str,
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+) -> Result<Schedule, String> {
+    let sol = |r: Result<sdem_core::Solution, sdem_core::SdemError>| {
+        r.map(sdem_core::Solution::into_schedule)
+            .map_err(|e| e.to_string())
+    };
+    match scheme {
+        "sdem-on" => {
+            online::schedule_online_bounded(tasks, platform, cores).map_err(|e| e.to_string())
+        }
+        "cr-alpha-zero" => sol(common_release::schedule_alpha_zero(tasks, platform)),
+        "cr-alpha-nonzero" => sol(common_release::schedule_alpha_nonzero(tasks, platform)),
+        "cr-overhead" => sol(overhead::schedule_common_release(tasks, platform)),
+        "agreeable" => sol(agreeable::schedule(tasks, platform)),
+        "agreeable-strict" => sol(agreeable::schedule_strict(tasks, platform)),
+        "mbkp" | "mbkps" => mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
+            .map_err(|e| e.to_string()),
+        "yds" => yds::schedule_single_core(tasks, platform).map_err(|e| e.to_string()),
+        "oa" => oa::schedule_single_core_online(tasks, platform).map_err(|e| e.to_string()),
+        "avr" => avr::schedule_single_core(tasks, platform).map_err(|e| e.to_string()),
+        "css" => css::schedule_single_core_css(tasks, platform).map_err(|e| e.to_string()),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+fn sim_options(scheme: &str) -> SimOptions {
+    let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
+    match scheme {
+        "mbkp" | "yds" | "oa" | "avr" => SimOptions {
+            memory_policy: SleepPolicy::NeverSleep,
+            ..profit
+        },
+        _ => profit,
+    }
+}
+
+fn schedule(args: &Args) -> Result<(), String> {
+    let tasks = load_tasks(args)?;
+    let platform = platform_from(args)?;
+    let scheme = args.get_or("scheme", "sdem-on");
+    let cores = args.get_usize("cores", 8)?;
+    let sched = build_schedule(scheme, &tasks, &platform, cores)?;
+    sched.validate(&tasks).map_err(|e| e.to_string())?;
+    let report = simulate_with_options(&sched, &tasks, &platform, sim_options(scheme))
+        .map_err(|e| e.to_string())?;
+
+    if !args.has_flag("quiet") {
+        println!(
+            "scheme: {scheme}  tasks: {}  cores used: {}",
+            tasks.len(),
+            sched.cores_used()
+        );
+        for p in sched.placements() {
+            match (p.start(), p.end()) {
+                (Some(s), Some(e)) => println!(
+                    "  {} on {}: [{:9.3}, {:9.3}] ms, {} segment(s), avg {:7.1} MHz",
+                    p.task(),
+                    p.core(),
+                    s.as_millis(),
+                    e.as_millis(),
+                    p.segments().len(),
+                    (p.executed_work() / p.busy_time()).as_mhz(),
+                ),
+                _ => println!("  {} on {}: (zero work)", p.task(), p.core()),
+            }
+        }
+    }
+    println!("energy: {report}");
+    if let Some(stats) = schedule_stats(&sched) {
+        println!(
+            "stats: span [{:.3}, {:.3}] ms, {} cores, core util {:.1}%, memory util {:.1}%, \
+             mean speed {:.1} MHz, peak {:.1} MHz",
+            stats.start.as_millis(),
+            stats.end.as_millis(),
+            stats.cores_used,
+            stats.core_utilization * 100.0,
+            stats.memory_utilization * 100.0,
+            stats.mean_speed.as_mhz(),
+            stats.peak_speed.as_mhz(),
+        );
+    }
+    if args.has_flag("gantt") {
+        println!("{}", render_gantt(&sched, 96));
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), String> {
+    let tasks = load_tasks(args)?;
+    let platform = platform_from(args)?;
+    let cores = args.get_usize("cores", 8)?;
+
+    println!(
+        "{:16} {:>12} {:>12} {:>12} {:>8}",
+        "scheme", "total [J]", "memory [J]", "cores [J]", "sleeps"
+    );
+    let mut reference: Option<f64> = None;
+    for scheme in ["mbkp", "mbkps", "sdem-on"] {
+        match build_schedule(scheme, &tasks, &platform, cores) {
+            Ok(sched) => {
+                let report = simulate_with_options(&sched, &tasks, &platform, sim_options(scheme))
+                    .map_err(|e| e.to_string())?;
+                let total = report.total().value();
+                let vs = match reference {
+                    None => {
+                        reference = Some(total);
+                        String::new()
+                    }
+                    Some(r) => format!("  ({:+.1}% vs MBKP)", (total / r - 1.0) * 100.0),
+                };
+                println!(
+                    "{:16} {:>12.4} {:>12.4} {:>12.4} {:>8}{vs}",
+                    scheme,
+                    total,
+                    report.memory_total().value(),
+                    report.core_total().value(),
+                    report.memory_sleeps,
+                );
+            }
+            Err(e) => println!("{scheme:16} infeasible: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn trace(args: &Args) -> Result<(), String> {
+    let tasks = load_tasks(args)?;
+    let platform = platform_from(args)?;
+    let scheme = args.get_or("scheme", "sdem-on");
+    let cores = args.get_usize("cores", 8)?;
+    let samples = args.get_usize("samples", 500)?;
+    let sched = build_schedule(scheme, &tasks, &platform, cores)?;
+    sched.validate(&tasks).map_err(|e| e.to_string())?;
+    let csv = trace_to_csv(&power_trace(
+        &sched,
+        &platform,
+        sim_options(scheme),
+        samples,
+    ));
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {samples}-sample power trace to {path}");
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&sv(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+        assert!(run(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_schedule_compare_round_trip() {
+        let dir = std::env::temp_dir().join("sdem-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tasks.txt");
+        let path = file.to_str().unwrap().to_string();
+
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "synthetic",
+            "--tasks",
+            "12",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "schedule", "--input", &path, "--scheme", "sdem-on", "--quiet",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "schedule", "--input", &path, "--scheme", "mbkp", "--quiet",
+        ]))
+        .unwrap();
+        run(&sv(&["compare", "--input", &path])).unwrap();
+        let csv = dir.join("trace.csv");
+        let csv_path = csv.to_str().unwrap().to_string();
+        run(&sv(&[
+            "trace",
+            "--input",
+            &path,
+            "--samples",
+            "50",
+            "--out",
+            &csv_path,
+        ]))
+        .unwrap();
+        let text = fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("time_s,"));
+        assert_eq!(text.lines().count(), 51);
+        fs::remove_file(&csv).ok();
+        fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn common_release_schemes_require_common_release_input() {
+        let dir = std::env::temp_dir().join("sdem-cli-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("cr.txt");
+        let path = file.to_str().unwrap().to_string();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "common-release",
+            "--tasks",
+            "6",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "schedule",
+            "--input",
+            &path,
+            "--scheme",
+            "cr-alpha-nonzero",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "schedule",
+            "--input",
+            &path,
+            "--scheme",
+            "cr-overhead",
+            "--quiet",
+            "--gantt",
+        ]))
+        .unwrap();
+        fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn unknown_scheme_and_kind_are_reported() {
+        assert!(run(&sv(&["generate", "--kind", "quantum"])).is_err());
+        let dir = std::env::temp_dir().join("sdem-cli-test3");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.txt");
+        let path = file.to_str().unwrap().to_string();
+        run(&sv(&["generate", "--tasks", "4", "--out", &path])).unwrap();
+        assert!(run(&sv(&["schedule", "--input", &path, "--scheme", "magic"])).is_err());
+        fs::remove_file(&file).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! `sdem-cli` — generate workloads, schedule them with any SDEM scheme or
+//! baseline, and compare energies from the shell.
+//!
+//! ```text
+//! sdem-cli generate --kind synthetic --tasks 40 --x-ms 400 --seed 7 --out tasks.txt
+//! sdem-cli schedule --scheme sdem-on --input tasks.txt --gantt
+//! sdem-cli compare --input tasks.txt
+//! sdem-cli help
+//! ```
+//!
+//! Task files are plain text: one `id release_ms deadline_ms work_cycles`
+//! line per task, `#` comments allowed.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `sdem-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Bounded-core SDEM (paper §3, Theorem 1).
+//!
+//! With fewer cores than tasks, SDEM is NP-hard even for tasks sharing one
+//! release time and one deadline, `α = 0` and `ξ_m = 0`: the reduction from
+//! PARTITION shows the optimum is reached exactly at a workload-balanced
+//! assignment. This module provides the machinery around that result:
+//!
+//! * [`partition_energy`] — for a fixed core assignment, the optimal shared
+//!   busy-interval length (paper Eq. 2, clamped by the deadline and `s_up`)
+//!   and the resulting energy;
+//! * [`partition_min_energy`] — the closed-form unclamped optimum energy
+//!   (paper Eq. 3, generalized to any core count);
+//! * [`solve_exact`] — exact optimum by canonical enumeration of all
+//!   assignments (restricted-growth strings), feasible for small `n` only —
+//!   exactly what NP-hardness predicts.
+
+use sdem_power::Platform;
+use sdem_types::{CoreId, Joules, Placement, Schedule, TaskSet, Time};
+
+use crate::{SdemError, Solution};
+
+/// Largest task count [`solve_exact`] accepts (the enumeration is
+/// exponential; this caps it at a few million assignments).
+pub const EXACT_LIMIT: usize = 14;
+
+/// For a fixed partition of the total work into per-core loads `W_c`,
+/// returns `(busy_interval, energy)` minimizing (paper Eq. 2)
+///
+/// ```text
+/// E(|I_b|) = Σ_c β W_c^λ |I_b|^{1−λ} + α_m |I_b|
+/// ```
+///
+/// subject to `|I_b| ≤ deadline` and `W_c / |I_b| ≤ s_up`.
+///
+/// Returns `None` when no feasible interval exists (a load would need more
+/// than `s_up` even over the whole deadline).
+pub fn partition_energy(
+    loads: &[f64],
+    platform: &Platform,
+    deadline: Time,
+) -> Option<(Time, Joules)> {
+    let core = platform.core();
+    let (beta, lambda) = (core.beta(), core.lambda());
+    let alpha_m = platform.memory().alpha_m().value();
+    let d = deadline.as_secs();
+    let sum_wl: f64 = loads.iter().map(|w| w.powf(lambda)).sum();
+    let w_max = loads.iter().cloned().fold(0.0f64, f64::max);
+    let lo = w_max / core.max_speed().as_hz();
+    if lo > d * (1.0 + 1e-12) {
+        return None;
+    }
+    let interior = if alpha_m > 0.0 && sum_wl > 0.0 {
+        (beta * (lambda - 1.0) * sum_wl / alpha_m).powf(1.0 / lambda)
+    } else {
+        d // free memory: stretch to the deadline
+    };
+    let t = interior.clamp(lo.min(d), d);
+    let dynamic = if sum_wl == 0.0 {
+        0.0
+    } else {
+        beta * sum_wl * t.powf(1.0 - lambda)
+    };
+    Some((Time::from_secs(t), Joules::new(dynamic + alpha_m * t)))
+}
+
+/// Paper Eq. 3 (generalized to any number of loads): the unclamped minimum
+/// of Eq. 2,
+///
+/// ```text
+/// E_min = α_m^{(λ−1)/λ} · β^{1/λ} · λ · (λ−1)^{(1−λ)/λ} · (Σ_c W_c^λ)^{1/λ}
+/// ```
+///
+/// Valid when neither the deadline nor `s_up` clamps the interval.
+pub fn partition_min_energy(loads: &[f64], platform: &Platform) -> Joules {
+    let core = platform.core();
+    let (beta, lambda) = (core.beta(), core.lambda());
+    let alpha_m = platform.memory().alpha_m().value();
+    let sum_wl: f64 = loads.iter().map(|w| w.powf(lambda)).sum();
+    Joules::new(
+        alpha_m.powf((lambda - 1.0) / lambda)
+            * beta.powf(1.0 / lambda)
+            * lambda
+            * (lambda - 1.0).powf((1.0 - lambda) / lambda)
+            * sum_wl.powf(1.0 / lambda),
+    )
+}
+
+/// Lower bound on the bounded-core optimum: by convexity of `x^λ`, the
+/// per-core load vector minimizing `Σ W_c^λ` is the perfectly balanced
+/// one, so Eq. 3 at `W_c = W/C` bounds every assignment from below (it is
+/// generally unattainable — that is exactly the PARTITION hardness).
+pub fn lower_bound(tasks: &TaskSet, platform: &Platform, cores: usize) -> Joules {
+    let total = tasks.total_work().value();
+    let balanced = vec![total / cores as f64; cores];
+    partition_min_energy(&balanced, platform)
+}
+
+/// LPT (Longest Processing Time first) heuristic for the bounded-core
+/// case: assign tasks in decreasing workload to the least-loaded core,
+/// then size the shared busy interval optimally (Eq. 2). Polynomial-time
+/// companion to the NP-hard exact problem; property tests compare it with
+/// [`solve_exact`] on small instances and with [`lower_bound`] always.
+///
+/// # Errors
+///
+/// * [`SdemError::NoCores`] if `cores == 0`;
+/// * [`SdemError::NotCommonRelease`] unless all releases and deadlines
+///   coincide;
+/// * [`SdemError::InfeasibleTask`] when the LPT assignment cannot meet the
+///   deadline even at `s_up` (the exact solver may still succeed).
+pub fn solve_lpt(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+) -> Result<Solution, SdemError> {
+    if cores == 0 {
+        return Err(SdemError::NoCores);
+    }
+    let list = tasks.tasks();
+    let r0 = list[0].release();
+    let d0 = list[0].deadline();
+    if !list.iter().all(|t| t.release() == r0 && t.deadline() == d0) {
+        return Err(SdemError::NotCommonRelease);
+    }
+    let deadline = d0 - r0;
+
+    // LPT assignment.
+    let mut order: Vec<usize> = (0..list.len()).collect();
+    order.sort_by(|&a, &b| list[b].work().value().total_cmp(&list[a].work().value()));
+    let mut loads = vec![0.0f64; cores];
+    let mut assignment = vec![0usize; list.len()];
+    for &k in &order {
+        let c = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("cores > 0");
+        assignment[k] = c;
+        loads[c] += list[k].work().value();
+    }
+
+    let (interval, energy) = partition_energy(&loads, platform, deadline).ok_or_else(|| {
+        let heaviest = list
+            .iter()
+            .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
+            .expect("non-empty");
+        SdemError::InfeasibleTask(heaviest.id())
+    })?;
+
+    // Same schedule assembly as the exact solver.
+    let mut cursor = vec![0.0f64; cores];
+    let placements = list
+        .iter()
+        .enumerate()
+        .map(|(k, t)| {
+            let c = assignment[k];
+            if t.work().value() == 0.0 {
+                return Placement::new(t.id(), CoreId(c), vec![]);
+            }
+            let speed = loads[c] / interval.as_secs();
+            let len = t.work().value() / speed;
+            let start = r0 + Time::from_secs(cursor[c]);
+            cursor[c] += len;
+            Placement::single(
+                t.id(),
+                CoreId(c),
+                start,
+                start + Time::from_secs(len),
+                sdem_types::Speed::from_hz(speed),
+            )
+        })
+        .collect();
+    Ok(Solution::new(
+        Schedule::new(placements),
+        energy,
+        deadline - interval,
+    ))
+}
+
+/// Exact bounded-core optimum by enumerating all canonical assignments of
+/// `n` tasks to at most `cores` cores. Tasks must share one release time
+/// and one deadline (the Theorem 1 model); core static power is taken as
+/// negligible (`α = 0` model — `platform.core().alpha()` is ignored).
+///
+/// # Errors
+///
+/// * [`SdemError::TooLarge`] if `tasks.len() > EXACT_LIMIT`;
+/// * [`SdemError::NoCores`] if `cores == 0`;
+/// * [`SdemError::NotCommonRelease`] unless all releases and deadlines
+///   coincide;
+/// * [`SdemError::InfeasibleTask`] when even the fastest schedule misses
+///   the deadline.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_core::bounded::solve_exact;
+/// use sdem_power::{CorePower, MemoryPower, Platform};
+/// use sdem_types::{Task, TaskSet, Time, Cycles, Watts};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::new(
+///     CorePower::simple(0.0, 1.0, 3.0),
+///     MemoryPower::new(Watts::new(4.0)),
+/// );
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_secs(10.0), Cycles::new(3.0)),
+///     Task::new(1, Time::ZERO, Time::from_secs(10.0), Cycles::new(2.0)),
+///     Task::new(2, Time::ZERO, Time::from_secs(10.0), Cycles::new(1.0)),
+/// ])?;
+/// let sol = solve_exact(&tasks, &platform, 2)?;
+/// sol.schedule().validate(&tasks)?;
+/// // PARTITION structure: {3} vs {2, 1} balances the loads.
+/// assert_eq!(sol.schedule().cores_used(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_exact(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+) -> Result<Solution, SdemError> {
+    if cores == 0 {
+        return Err(SdemError::NoCores);
+    }
+    let n = tasks.len();
+    if n > EXACT_LIMIT {
+        return Err(SdemError::TooLarge {
+            tasks: n,
+            limit: EXACT_LIMIT,
+        });
+    }
+    let list = tasks.tasks();
+    let r0 = list[0].release();
+    let d0 = list[0].deadline();
+    let same = list.iter().all(|t| t.release() == r0 && t.deadline() == d0);
+    if !same {
+        return Err(SdemError::NotCommonRelease);
+    }
+    let deadline = d0 - r0;
+    let works: Vec<f64> = list.iter().map(|t| t.work().value()).collect();
+
+    // Canonical enumeration: task 0 on core 0; task k may use cores
+    // 0..=min(max_used+1, cores−1).
+    let mut assign = vec![0usize; n];
+    let mut best: Option<(Vec<usize>, Time, f64)> = None;
+    enumerate(
+        &works,
+        platform,
+        deadline,
+        cores,
+        1,
+        0,
+        &mut assign,
+        &mut best,
+    );
+    let (assignment, interval, energy) = best.ok_or_else(|| {
+        // No feasible assignment: the heaviest single task cannot fit.
+        let heaviest = list
+            .iter()
+            .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
+            .expect("non-empty");
+        SdemError::InfeasibleTask(heaviest.id())
+    })?;
+
+    // Build the schedule: each core runs its tasks back-to-back over
+    // [r0, r0 + |I_b|] at the shared speed W_c / |I_b|.
+    let mut placements = Vec::with_capacity(n);
+    let mut core_loads = vec![0.0f64; cores];
+    for (k, &c) in assignment.iter().enumerate() {
+        core_loads[c] += works[k];
+    }
+    let mut core_cursor = vec![0.0f64; cores];
+    for (k, &c) in assignment.iter().enumerate() {
+        let t = &list[k];
+        if works[k] == 0.0 {
+            placements.push(Placement::new(t.id(), CoreId(c), vec![]));
+            continue;
+        }
+        let speed = core_loads[c] / interval.as_secs();
+        let len = works[k] / speed;
+        let start = r0 + Time::from_secs(core_cursor[c]);
+        core_cursor[c] += len;
+        placements.push(Placement::single(
+            t.id(),
+            CoreId(c),
+            start,
+            start + Time::from_secs(len),
+            sdem_types::Speed::from_hz(speed),
+        ));
+    }
+    Ok(Solution::new(
+        Schedule::new(placements),
+        Joules::new(energy),
+        deadline - interval,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    works: &[f64],
+    platform: &Platform,
+    deadline: Time,
+    cores: usize,
+    k: usize,
+    max_used: usize,
+    assign: &mut Vec<usize>,
+    best: &mut Option<(Vec<usize>, Time, f64)>,
+) {
+    if k == works.len() {
+        let mut loads = vec![0.0f64; max_used + 1];
+        for (i, &c) in assign.iter().enumerate() {
+            loads[c] += works[i];
+        }
+        if let Some((t, e)) = partition_energy(&loads, platform, deadline) {
+            if best.as_ref().is_none_or(|b| e.value() < b.2) {
+                *best = Some((assign.clone(), t, e.value()));
+            }
+        }
+        return;
+    }
+    let limit = (max_used + 1).min(cores - 1);
+    for c in 0..=limit {
+        assign[k] = c;
+        enumerate(
+            works,
+            platform,
+            deadline,
+            cores,
+            k + 1,
+            max_used.max(c),
+            assign,
+            best,
+        );
+    }
+    assign[k] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_sim::{simulate, SleepPolicy};
+    use sdem_types::{Cycles, Task, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn platform(alpha_m: f64) -> Platform {
+        Platform::new(
+            CorePower::simple(0.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(alpha_m)),
+        )
+    }
+
+    fn tset(works: &[f64], d: f64) -> TaskSet {
+        TaskSet::new(
+            works
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| Task::new(i, sec(0.0), sec(d), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq2_and_eq3_agree_at_the_unclamped_optimum() {
+        let p = platform(4.0);
+        let loads = [3.0, 2.5];
+        let (t, e) = partition_energy(&loads, &p, sec(1.0e9)).unwrap();
+        let closed = partition_min_energy(&loads, &p);
+        assert!(
+            (e.value() - closed.value()).abs() < 1e-9 * closed.value(),
+            "Eq.2 at optimum {} vs Eq.3 {}",
+            e.value(),
+            closed.value()
+        );
+        // Eq. 2's interior optimum formula directly:
+        let expected_t = (1.0f64 * 2.0 * (27.0 + 15.625) / 4.0).powf(1.0 / 3.0);
+        assert!((t.as_secs() - expected_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_clamps_the_interval() {
+        let p = platform(1e-6); // nearly-free memory wants a huge interval
+        let loads = [2.0, 2.0];
+        let (t, _) = partition_energy(&loads, &p, sec(3.0)).unwrap();
+        assert!((t.as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_cap_clamps_the_interval() {
+        let core = CorePower::simple(0.0, 1.0, 3.0).with_max_speed(sdem_types::Speed::from_hz(2.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(1e9)));
+        let loads = [6.0, 2.0];
+        let (t, _) = partition_energy(&loads, &p, sec(10.0)).unwrap();
+        assert!((t.as_secs() - 3.0).abs() < 1e-9, "lo = 6/2 = 3, got {t}");
+        // Infeasible when even the deadline is too short.
+        assert!(partition_energy(&loads, &p, sec(2.0)).is_none());
+    }
+
+    #[test]
+    fn partition_instance_balances_loads() {
+        // PARTITION instance {3, 2, 1, 2}: balanced split 4/4 must win.
+        let p = platform(4.0);
+        let tasks = tset(&[3.0, 2.0, 1.0, 2.0], 100.0);
+        let sol = solve_exact(&tasks, &p, 2).unwrap();
+        sol.schedule().validate(&tasks).unwrap();
+        // Recover the loads from the schedule.
+        let mut loads = [0.0f64; 2];
+        for pl in sol.schedule().placements() {
+            loads[pl.core().0] += pl.executed_work().value();
+        }
+        loads.sort_by(f64::total_cmp);
+        assert!(
+            (loads[0] - 4.0).abs() < 1e-9 && (loads[1] - 4.0).abs() < 1e-9,
+            "expected balanced 4/4, got {loads:?}"
+        );
+        // And the energy matches Eq. 3 for the balanced split.
+        let closed = partition_min_energy(&[4.0, 4.0], &p);
+        assert!((sol.predicted_energy().value() - closed.value()).abs() < 1e-9 * closed.value());
+    }
+
+    #[test]
+    fn exact_matches_simulation() {
+        let p = platform(2.0);
+        let tasks = tset(&[3.0, 2.0, 1.5], 50.0);
+        let sol = solve_exact(&tasks, &p, 2).unwrap();
+        let report = simulate(sol.schedule(), &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert!(
+            (report.total().value() - sol.predicted_energy().value()).abs()
+                < 1e-9 * sol.predicted_energy().value(),
+            "sim {} vs predicted {}",
+            report.total(),
+            sol.predicted_energy()
+        );
+    }
+
+    #[test]
+    fn more_cores_never_hurt() {
+        let p = platform(3.0);
+        let tasks = tset(&[3.0, 2.0, 1.0, 1.0, 0.5], 100.0);
+        let mut prev = f64::INFINITY;
+        for cores in 1..=5 {
+            let e = solve_exact(&tasks, &p, cores)
+                .unwrap()
+                .predicted_energy()
+                .value();
+            assert!(e <= prev * (1.0 + 1e-12), "cores {cores}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn unbounded_cores_match_common_release_scheme() {
+        // With cores ≥ n and a common deadline, the bounded solver must
+        // agree with the §4.1 scheme (cut = singleton-per-core case).
+        let p = platform(4.0);
+        let tasks = tset(&[3.0, 2.0, 1.0], 100.0);
+        let a = solve_exact(&tasks, &p, 3).unwrap();
+        let b = crate::common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        assert!(
+            (a.predicted_energy().value() - b.predicted_energy().value()).abs()
+                < 1e-9 * b.predicted_energy().value(),
+            "bounded {} vs §4.1 {}",
+            a.predicted_energy(),
+            b.predicted_energy()
+        );
+    }
+
+    #[test]
+    fn guards() {
+        let p = platform(1.0);
+        let tasks = tset(&[1.0; 15], 10.0);
+        assert!(matches!(
+            solve_exact(&tasks, &p, 2),
+            Err(SdemError::TooLarge { tasks: 15, .. })
+        ));
+        let tasks = tset(&[1.0], 10.0);
+        assert_eq!(solve_exact(&tasks, &p, 0), Err(SdemError::NoCores));
+        let mixed = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(5.0), Cycles::new(1.0)),
+            Task::new(1, sec(0.0), sec(6.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        assert_eq!(solve_exact(&mixed, &p, 2), Err(SdemError::NotCommonRelease));
+    }
+
+    #[test]
+    fn lpt_brackets_between_exact_and_lower_bound() {
+        let p = platform(3.0);
+        for works in [
+            vec![3.0, 2.0, 1.0, 2.0],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![7.0, 1.0, 1.0, 1.0],
+        ] {
+            let tasks = tset(&works, 500.0);
+            for cores in [2usize, 3] {
+                let exact = solve_exact(&tasks, &p, cores).unwrap().predicted_energy();
+                let lpt = solve_lpt(&tasks, &p, cores).unwrap();
+                lpt.schedule().validate(&tasks).unwrap();
+                let lb = lower_bound(&tasks, &p, cores);
+                assert!(
+                    lpt.predicted_energy().value() >= exact.value() * (1.0 - 1e-9),
+                    "LPT beat the exact optimum on {works:?}"
+                );
+                assert!(
+                    exact.value() >= lb.value() * (1.0 - 1e-9),
+                    "exact below the convexity lower bound on {works:?}"
+                );
+                // LPT's load imbalance is mild: within 20% of exact here.
+                assert!(
+                    lpt.predicted_energy().value() <= exact.value() * 1.2,
+                    "LPT unexpectedly poor on {works:?}: {} vs {}",
+                    lpt.predicted_energy().value(),
+                    exact.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_matches_exact_on_partitionable_instances() {
+        // {3,3,2,2,1,1} splits 6/6 and LPT finds it.
+        let p = platform(4.0);
+        let tasks = tset(&[3.0, 3.0, 2.0, 2.0, 1.0, 1.0], 500.0);
+        let exact = solve_exact(&tasks, &p, 2).unwrap().predicted_energy();
+        let lpt = solve_lpt(&tasks, &p, 2).unwrap().predicted_energy();
+        assert!((exact.value() - lpt.value()).abs() < 1e-9 * exact.value());
+    }
+
+    #[test]
+    fn lpt_guards() {
+        let p = platform(1.0);
+        let tasks = tset(&[1.0], 10.0);
+        assert_eq!(solve_lpt(&tasks, &p, 0), Err(SdemError::NoCores));
+        let mixed = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(5.0), Cycles::new(1.0)),
+            Task::new(1, sec(0.0), sec(6.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        assert_eq!(solve_lpt(&mixed, &p, 2), Err(SdemError::NotCommonRelease));
+    }
+
+    #[test]
+    fn infeasible_when_too_dense() {
+        let core = CorePower::simple(0.0, 1.0, 3.0).with_max_speed(sdem_types::Speed::from_hz(1.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(1.0)));
+        // Two cores, three unit tasks, deadline 1: some core gets ≥ 2 work.
+        let tasks = tset(&[1.0, 1.0, 1.0], 1.0);
+        assert!(matches!(
+            solve_exact(&tasks, &p, 2),
+            Err(SdemError::InfeasibleTask(_))
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! The SDEM scheduling algorithms — the paper's primary contribution.
+//!
+//! Reproduces every scheme of Fu, Chau, Li and Xue, *"Race to idle or not:
+//! balancing the memory sleep time with DVS for energy minimization"*:
+//!
+//! | Paper | Model | Here |
+//! |---|---|---|
+//! | §4.1 (Thm 2, Lemma 1) | common release, `α = 0` | [`common_release::schedule_alpha_zero`] |
+//! | §4.2 (Lemma 2, Thm 3) | common release, `α ≠ 0` | [`common_release::schedule_alpha_nonzero`] |
+//! | §5.1 (Lemma 3–4) | agreeable deadlines, `α = 0` | [`agreeable::schedule_alpha_zero`] |
+//! | §5.2 (Alg. 1, Thm 4) | agreeable deadlines, `α ≠ 0` | [`agreeable::schedule_alpha_nonzero`] |
+//! | §6 | general tasks, online | [`online::schedule_online`] (+ [`online::schedule_online_bounded`] for fixed core counts) |
+//! | §7 (Thm 5, Table 3) | transition overheads | [`overhead`] |
+//! | §3 (Thm 1) | bounded cores (NP-hard) | [`bounded`] (exact, LPT, lower bound) |
+//! | §4 closing remark | heterogeneous cores | [`common_release::schedule_heterogeneous`] |
+//! | §3 (Ishihara–Yasuura citation) | discrete speed levels | [`discrete`] |
+//! | §5.1.1 closed forms | Lemma-3 bisection block solver | [`agreeable::solve_single_block_lemma3`] |
+//! | DESIGN.md deviation 3 | overlap-free DP variant | [`agreeable::schedule_strict`] |
+//!
+//! All offline schemes assume the paper's *unbounded* model: enough cores
+//! that every task runs on its own core, so the only couplings between tasks
+//! are the shared memory sleep window and, for `α ≠ 0`, the per-core sleep
+//! decisions. The schemes return a [`Solution`] carrying the explicit
+//! [`sdem_types::Schedule`] (verifiable with `sdem-sim`) plus the analytic
+//! optimum energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_core::common_release;
+//! use sdem_power::Platform;
+//! use sdem_types::{Task, TaskSet, Time, Cycles};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::paper_defaults();
+//! let tasks = TaskSet::new(vec![
+//!     Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
+//!     Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+//! ])?;
+//! let solution = common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+//! assert!(solution.memory_sleep().value() >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreeable;
+pub mod bounded;
+pub mod common_release;
+pub mod discrete;
+pub mod online;
+pub mod overhead;
+mod solution;
+
+pub use solution::{SdemError, Solution};

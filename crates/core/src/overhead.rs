@@ -1,0 +1,472 @@
+//! Transition-overhead-aware schemes (paper §7): `ξ_m ≠ 0`, `ξ ≠ 0`.
+//!
+//! When sleep round trips cost energy, the §4 analysis changes in two ways:
+//!
+//! * each task's baseline speed becomes the **constrained critical speed**
+//!   `s_c` — `s_m` is only worth targeting when the idle tail it creates is
+//!   at least the core's break-even `ξ`, otherwise the task fills its
+//!   region ([`sdem_power::CorePower::constrained_critical_speed`]);
+//! * whether the common idle tail `Δ` is worth creating at all depends on
+//!   how `Δ` compares with `ξ` and `ξ_m` — the paper's **Table 3**.
+//!
+//! This module evaluates §7 under the *horizon convention* (see
+//! `sdem-sim`): every core and the memory are powered across the whole
+//! maximal interval `[0, |I|]`; each trailing idle gap is then priced at
+//! `min(idle-awake, round-trip)`, which is exactly the component-wise
+//! optimal decision Table 3 encodes. [`schedule_common_release`] enumerates
+//! the §4.2-style cases with the `s_c` ordering and, per case, evaluates the
+//! full candidate set {Eq. 8 optimum (cores sleep with the memory), Eq. 4
+//! optimum (cores idle awake), `ξ`, `ξ_m`, `0`, case edges} with exact
+//! pricing — a superset of the paper's Table 3 rows, so it is never worse.
+//!
+//! [`classify_table3`] reproduces the published decision table literally
+//! and is unit-tested row by row.
+
+use sdem_power::Platform;
+use sdem_types::{CoreId, Joules, Placement, Schedule, TaskSet, Time};
+
+use crate::common_release::{completion_order, prepare};
+use crate::{SdemError, Solution};
+
+/// The decision rows of the paper's Table 3 for a case optimum `Δ_mi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table3Row {
+    /// `Δ_mi ≥ ξ, ξ_m`: sleep both — `Δ^{(ξ)} = Δ_mi`.
+    SleepBoth,
+    /// `ξ ≤ Δ_mi < ξ_m`: the memory round trip never pays off —
+    /// `Δ^{(ξ)} = 0`, all cores execute at `s_c`.
+    NoSleepAllCritical,
+    /// `ξ_m ≤ Δ_mi < ξ`: evaluate the three subcases
+    /// `{Δ_mi, ξ, 0}` and take the cheapest.
+    Evaluate,
+    /// `Δ_mi < ξ, ξ_m`: `Δ^{(ξ)} = 0`, all cores at `s_c`.
+    NoSleepShortTail,
+}
+
+/// Classifies a case optimum per the paper's Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_core::overhead::{classify_table3, Table3Row};
+/// use sdem_types::Time;
+///
+/// let ms = Time::from_millis;
+/// assert_eq!(classify_table3(ms(50.0), ms(10.0), ms(40.0)), Table3Row::SleepBoth);
+/// assert_eq!(classify_table3(ms(20.0), ms(10.0), ms(40.0)), Table3Row::NoSleepAllCritical);
+/// assert_eq!(classify_table3(ms(20.0), ms(30.0), ms(15.0)), Table3Row::Evaluate);
+/// assert_eq!(classify_table3(ms(5.0), ms(30.0), ms(15.0)), Table3Row::NoSleepShortTail);
+/// ```
+pub fn classify_table3(delta_m: Time, xi: Time, xi_m: Time) -> Table3Row {
+    match (delta_m >= xi, delta_m >= xi_m) {
+        (true, true) => Table3Row::SleepBoth,
+        (true, false) => Table3Row::NoSleepAllCritical,
+        (false, true) => Table3Row::Evaluate,
+        (false, false) => Table3Row::NoSleepShortTail,
+    }
+}
+
+struct OverheadCases {
+    /// Constrained-critical-speed completions, sorted ascending (relative).
+    c: Vec<f64>,
+    /// Works in completion order.
+    w: Vec<f64>,
+    /// `|I| = d_n` (relative): §7 keeps the components powered over the
+    /// maximal interval, not just until the last completion.
+    interval: f64,
+    /// Suffix sums of `w^λ` and suffix maxima of `w`.
+    s_wl: Vec<f64>,
+    w_max: Vec<f64>,
+    alpha: f64,
+    beta: f64,
+    lambda: f64,
+    alpha_m: f64,
+    s_up: f64,
+    xi: f64,
+    xi_m: f64,
+    /// Latest completion at `s_c` — the busy-interval baseline `c_n`.
+    c_max: f64,
+}
+
+impl OverheadCases {
+    fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Cheapest way to spend a trailing gap `g` for a component with static
+    /// power `a` and break-even `xi`: idle awake or one round trip.
+    fn gap_cost(g: f64, a: f64, xi: f64) -> f64 {
+        if g <= 0.0 {
+            0.0
+        } else {
+            (a * g).min(a * xi)
+        }
+    }
+
+    /// Exact §7 system energy for case `cut` at memory sleep `delta`,
+    /// horizon convention over `[0, |I|]`.
+    fn energy(&self, cut: usize, delta: f64) -> f64 {
+        let t_end = self.c_max - delta;
+        let mut total =
+            self.alpha_m * t_end + Self::gap_cost(self.interval - t_end, self.alpha_m, self.xi_m);
+        for k in 0..self.n() {
+            let run = if k >= cut { t_end } else { self.c[k] };
+            let wk = self.w[k];
+            if wk > 0.0 {
+                total += self.beta * wk.powf(self.lambda) * run.powf(1.0 - self.lambda);
+            }
+            total += self.alpha * run + Self::gap_cost(self.interval - run, self.alpha, self.xi);
+        }
+        total
+    }
+
+    /// Eq. 8 optimum (aligned cores sleep together with the memory).
+    fn eq8_optimum(&self, cut: usize) -> f64 {
+        if self.s_wl[cut] == 0.0 {
+            return f64::INFINITY;
+        }
+        let denom = (self.n() - cut) as f64 * self.alpha + self.alpha_m;
+        self.c_max
+            - (self.beta * (self.lambda - 1.0) * self.s_wl[cut] / denom).powf(1.0 / self.lambda)
+    }
+
+    /// Eq. 4 optimum (cores stay awake; only the memory sleeps).
+    fn eq4_optimum(&self, cut: usize) -> f64 {
+        if self.s_wl[cut] == 0.0 || self.alpha_m == 0.0 {
+            return f64::INFINITY;
+        }
+        self.c_max
+            - (self.beta * (self.lambda - 1.0) * self.s_wl[cut] / self.alpha_m)
+                .powf(1.0 / self.lambda)
+    }
+
+    fn case_box(&self, cut: usize) -> Option<(f64, f64)> {
+        let lo = (self.c_max - self.c[cut]).max(0.0);
+        let class_hi = if cut == 0 {
+            self.c_max
+        } else {
+            self.c_max - self.c[cut - 1]
+        };
+        let speed_hi = if self.w_max[cut] == 0.0 {
+            self.c_max
+        } else {
+            self.c_max - self.w_max[cut] / self.s_up
+        };
+        let hi = class_hi.min(speed_hi);
+        (lo <= hi + 1e-15 * self.c_max.max(1.0)).then_some((lo, hi.max(lo)))
+    }
+}
+
+/// §7 optimal scheme for common-release tasks with non-negligible
+/// transition overheads (Theorem 5 + Table 3, evaluated exactly).
+///
+/// With `ξ = ξ_m = 0` this reduces to the §4.2 scheme.
+///
+/// # Errors
+///
+/// [`SdemError::NotCommonRelease`] if releases differ;
+/// [`SdemError::InfeasibleTask`] if some task needs more than `s_up`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_core::overhead::schedule_common_release;
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Time, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults(); // ξ_m = 40 ms
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(60.0), Cycles::new(1.2e7)),
+///     Task::new(1, Time::ZERO, Time::from_millis(100.0), Cycles::new(2.4e7)),
+/// ])?;
+/// let sol = schedule_common_release(&tasks, &platform)?;
+/// sol.schedule().validate(&tasks)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_common_release(
+    tasks: &TaskSet,
+    platform: &Platform,
+) -> Result<Solution, SdemError> {
+    let inst = prepare(tasks, platform)?;
+    let core = platform.core();
+    let r0 = inst.release;
+    let interval = (tasks.latest_deadline() - r0).as_secs();
+
+    // Constrained critical speed per task (§7), then completion order.
+    let order = completion_order(&inst, |idx| {
+        let t = &inst.tasks[idx];
+        core.constrained_critical_speed(t.work(), t.filled_speed(), Time::from_secs(interval))
+    });
+    let sorted_c: Vec<f64> = order.iter().map(|&(c, _)| c).collect();
+    let works: Vec<f64> = order
+        .iter()
+        .map(|&(_, idx)| inst.tasks[idx].work().value())
+        .collect();
+    let n = sorted_c.len();
+    let lambda = core.lambda();
+    let mut s_wl = vec![0.0f64; n + 1];
+    let mut w_max = vec![0.0f64; n + 1];
+    for j in (0..n).rev() {
+        s_wl[j] = s_wl[j + 1] + works[j].powf(lambda);
+        w_max[j] = w_max[j + 1].max(works[j]);
+    }
+    let cases = OverheadCases {
+        c_max: sorted_c.last().copied().unwrap_or(0.0),
+        c: sorted_c,
+        w: works,
+        interval,
+        s_wl,
+        w_max,
+        alpha: core.alpha().value(),
+        beta: core.beta(),
+        lambda,
+        alpha_m: platform.memory().alpha_m().value(),
+        s_up: core.max_speed().as_hz(),
+        xi: core.break_even().as_secs(),
+        xi_m: platform.memory().break_even().as_secs(),
+    };
+
+    // Per case, evaluate the exact energy at every Table-3 candidate.
+    let mut best: Option<(usize, f64, f64)> = None;
+    for cut in 0..cases.n() {
+        let Some((lo, hi)) = cases.case_box(cut) else {
+            continue;
+        };
+        let candidates = [
+            cases.eq8_optimum(cut),
+            cases.eq4_optimum(cut),
+            cases.xi,
+            cases.xi_m,
+            0.0,
+            lo,
+            hi,
+        ];
+        for cand in candidates {
+            if !cand.is_finite() {
+                continue;
+            }
+            let delta = cand.clamp(lo, hi);
+            let e = cases.energy(cut, delta);
+            if best.is_none_or(|b| e < b.2) {
+                best = Some((cut, delta, e));
+            }
+        }
+    }
+    let (cut, delta, energy) = best.expect("the Δ = 0 case is always feasible");
+
+    // Build the schedule: aligned tasks end at c_max − Δ, the rest run at
+    // their constrained critical speed.
+    let t_end = cases.c_max - delta;
+    let placements = order
+        .iter()
+        .enumerate()
+        .map(|(k, &(c_k, idx))| {
+            let t = &inst.tasks[idx];
+            if t.work().value() == 0.0 {
+                return Placement::new(t.id(), CoreId(idx), vec![]);
+            }
+            let len = if k >= cut { t_end } else { c_k };
+            Placement::single(
+                t.id(),
+                CoreId(idx),
+                r0,
+                r0 + Time::from_secs(len),
+                t.work() / Time::from_secs(len),
+            )
+        })
+        .collect();
+    Ok(Solution::new(
+        Schedule::new(placements),
+        Joules::new(energy),
+        Time::from_secs(delta),
+    ))
+}
+
+/// §7 for agreeable deadlines: the block solvers are unchanged (one busy
+/// interval per block ⇒ one memory round trip) and the DP adds `α_m·ξ_m`
+/// per inter-block transition — which [`crate::agreeable::schedule`]
+/// already does, reading `ξ_m` from the platform.
+///
+/// # Errors
+///
+/// Same as [`crate::agreeable::schedule`].
+pub fn schedule_agreeable(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+    crate::agreeable::schedule(tasks, platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_sim::{simulate_with_options, SimOptions, SleepPolicy};
+    use sdem_types::{Cycles, Task, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn platform(alpha: f64, alpha_m: f64, xi: f64, xi_m: f64) -> Platform {
+        Platform::new(
+            CorePower::simple(alpha, 1.0, 3.0).with_break_even(sec(xi)),
+            MemoryPower::new(Watts::new(alpha_m)).with_break_even(sec(xi_m)),
+        )
+    }
+
+    fn tset(specs: &[(f64, f64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, w))| Task::new(i, sec(0.0), sec(d), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table3_rows() {
+        let d = Time::from_millis;
+        // Row 1: Δ ≥ ξ, ξ_m.
+        assert_eq!(
+            classify_table3(d(80.0), d(20.0), d(40.0)),
+            Table3Row::SleepBoth
+        );
+        // Row 2: ξ ≤ Δ < ξ_m.
+        assert_eq!(
+            classify_table3(d(30.0), d(20.0), d(40.0)),
+            Table3Row::NoSleepAllCritical
+        );
+        // Row 3: ξ_m ≤ Δ < ξ.
+        assert_eq!(
+            classify_table3(d(30.0), d(40.0), d(20.0)),
+            Table3Row::Evaluate
+        );
+        // Row 4: Δ < ξ, ξ_m.
+        assert_eq!(
+            classify_table3(d(10.0), d(40.0), d(20.0)),
+            Table3Row::NoSleepShortTail
+        );
+        // Boundaries are inclusive on the ≥ side.
+        assert_eq!(
+            classify_table3(d(20.0), d(20.0), d(20.0)),
+            Table3Row::SleepBoth
+        );
+    }
+
+    #[test]
+    fn predicted_energy_matches_horizon_simulation() {
+        let p = platform(2.0, 5.0, 1.5, 2.5);
+        let tasks = tset(&[(10.0, 2.0), (14.0, 4.0), (30.0, 3.0)]);
+        let sol = schedule_common_release(&tasks, &p).unwrap();
+        let horizon_end = tasks.latest_deadline();
+        let opts =
+            SimOptions::uniform(SleepPolicy::WhenProfitable).with_horizon(Time::ZERO, horizon_end);
+        let report = simulate_with_options(sol.schedule(), &tasks, &p, opts).unwrap();
+        let predicted = sol.predicted_energy().value();
+        assert!(
+            (report.total().value() - predicted).abs() < 1e-9 * predicted.max(1.0),
+            "sim {} vs predicted {predicted}",
+            report.total()
+        );
+    }
+
+    #[test]
+    fn zero_overhead_matches_section_4_2_schedule() {
+        // With ξ = ξ_m = 0 the §7 scheme must pick the same (cut, Δ) — the
+        // horizon gap terms all cost zero.
+        let p = platform(4.0, 6.0, 0.0, 0.0);
+        let tasks = tset(&[(8.0, 2.0), (9.0, 4.0), (20.0, 3.0)]);
+        let a = schedule_common_release(&tasks, &p).unwrap();
+        let b = crate::common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
+        assert!(
+            (a.memory_sleep() - b.memory_sleep()).abs().as_secs() < 1e-9,
+            "Δ mismatch: §7 {} vs §4.2 {}",
+            a.memory_sleep(),
+            b.memory_sleep()
+        );
+        assert!(
+            (a.predicted_energy().value() - b.predicted_energy().value()).abs()
+                < 1e-9 * b.predicted_energy().value(),
+        );
+    }
+
+    #[test]
+    fn huge_memory_break_even_suppresses_memory_sleep() {
+        // ξ_m larger than any possible tail: sleeping the memory never pays
+        // off; the schedule should keep the memory busy to the last
+        // completion with no planned common idle (Δ ≈ 0 or the energy of
+        // sleeping equals idling).
+        let p = platform(0.5, 5.0, 0.0, 1e6);
+        let tasks = tset(&[(10.0, 2.0), (14.0, 4.0)]);
+        let sol = schedule_common_release(&tasks, &p).unwrap();
+        let e = sol.predicted_energy().value();
+        // Hand-priced "everything at the critical speed" alternative:
+        // memory idles awake (ξ_m huge), cores sleep for free (ξ = 0).
+        let s_m = (0.5f64 / 2.0).powf(1.0 / 3.0);
+        let runs = [2.0 / s_m.max(2.0 / 10.0), 4.0 / s_m.max(4.0 / 14.0)];
+        let mut manual = 5.0 * 14.0; // α_m · |I|, no profitable memory sleep
+        for (w, run) in [2.0f64, 4.0].iter().zip(&runs) {
+            manual += w.powi(3) / (run * run) + 0.5 * run; // β w³ run⁻² + α·run
+        }
+        assert!(
+            e <= manual * (1.0 + 1e-6),
+            "scheme {e} worse than manual all-critical {manual}"
+        );
+    }
+
+    #[test]
+    fn overhead_scheme_never_worse_than_overhead_naive() {
+        // Price the §4.2 schedule (overhead-oblivious) under the overhead
+        // platform; the §7 scheme must be at least as good.
+        let p = platform(2.0, 5.0, 3.0, 4.0);
+        let tasks = tset(&[(10.0, 2.0), (14.0, 4.0), (30.0, 3.0), (31.0, 1.0)]);
+        let naive = crate::common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
+        let aware = schedule_common_release(&tasks, &p).unwrap();
+        let horizon_end = tasks.latest_deadline();
+        let opts =
+            SimOptions::uniform(SleepPolicy::WhenProfitable).with_horizon(Time::ZERO, horizon_end);
+        let e_naive = simulate_with_options(naive.schedule(), &tasks, &p, opts)
+            .unwrap()
+            .total()
+            .value();
+        let e_aware = simulate_with_options(aware.schedule(), &tasks, &p, opts)
+            .unwrap()
+            .total()
+            .value();
+        assert!(
+            e_aware <= e_naive * (1.0 + 1e-9),
+            "overhead-aware {e_aware} worse than naive {e_naive}"
+        );
+    }
+
+    #[test]
+    fn constrained_speed_reverts_to_filled_when_tail_too_short() {
+        // A single task nearly filling its region: with a big ξ the tail at
+        // s_m would be shorter than ξ, so s_c = s_f and the task fills.
+        let core = CorePower::simple(4.0, 1.0, 3.0).with_break_even(sec(9.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(0.1)));
+        // s_m = 2^{1/3} ≈ 1.26; w = 10, |I| = 10 ⇒ tail ≈ 2.06 < 9.
+        let tasks = tset(&[(10.0, 10.0)]);
+        let sol = schedule_common_release(&tasks, &p).unwrap();
+        let pl = sol.schedule().placement(sdem_types::TaskId(0)).unwrap();
+        assert!(
+            (pl.segments()[0].speed().as_hz() - 1.0).abs() < 1e-9,
+            "expected filled speed 1.0, got {}",
+            pl.segments()[0].speed()
+        );
+    }
+
+    #[test]
+    fn agreeable_delegate_works() {
+        let p = platform(0.0, 4.0, 0.0, 2.0);
+        let tasks = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(3.0), Cycles::new(1.0)),
+            Task::new(1, sec(5.0), sec(9.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        let sol = schedule_agreeable(&tasks, &p).unwrap();
+        sol.schedule().validate(&tasks).unwrap();
+    }
+}

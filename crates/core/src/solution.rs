@@ -1,0 +1,143 @@
+//! The common result and error types of the SDEM schemes.
+
+use core::fmt;
+
+use sdem_types::{Joules, Schedule, TaskId, Time};
+
+/// Result of an SDEM scheme: the explicit schedule plus the analytic
+/// quantities the optimality proofs reason about.
+///
+/// `predicted_energy` is the scheme's closed-form energy under its own
+/// accounting convention; tests cross-check it against the `sdem-sim`
+/// meter on the same schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    schedule: Schedule,
+    predicted_energy: Joules,
+    memory_sleep: Time,
+}
+
+impl Solution {
+    /// Bundles a schedule with its analytic energy and total memory sleep.
+    pub fn new(schedule: Schedule, predicted_energy: Joules, memory_sleep: Time) -> Self {
+        Self {
+            schedule,
+            predicted_energy,
+            memory_sleep,
+        }
+    }
+
+    /// The explicit schedule (one placement per task).
+    #[inline]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Consumes the solution, returning the schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+
+    /// The scheme's closed-form optimal energy.
+    #[inline]
+    pub fn predicted_energy(&self) -> Joules {
+        self.predicted_energy
+    }
+
+    /// Total common idle time the memory sleeps (`Δ` for the common-release
+    /// schemes; the sum of inter-block gaps for the agreeable DP).
+    #[inline]
+    pub fn memory_sleep(&self) -> Time {
+        self.memory_sleep
+    }
+}
+
+/// Errors from the SDEM schemes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdemError {
+    /// The scheme requires tasks with a common release time.
+    NotCommonRelease,
+    /// The scheme requires agreeable deadlines.
+    NotAgreeable,
+    /// A task cannot meet its deadline even at the maximum speed
+    /// (`s_f > s_up`), so no feasible schedule exists.
+    InfeasibleTask(TaskId),
+    /// The exact bounded-core solver only handles small instances.
+    TooLarge {
+        /// Number of tasks requested.
+        tasks: usize,
+        /// Maximum supported by the exact enumeration.
+        limit: usize,
+    },
+    /// A positive number of cores is required.
+    NoCores,
+    /// The scheme only supports a restricted system model (e.g. the
+    /// Lemma-3 closed forms require `α = 0`).
+    UnsupportedModel(&'static str),
+}
+
+impl fmt::Display for SdemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotCommonRelease => {
+                write!(f, "scheme requires all tasks to share one release time")
+            }
+            Self::NotAgreeable => write!(f, "scheme requires agreeable deadlines"),
+            Self::InfeasibleTask(id) => write!(
+                f,
+                "task {id} misses its deadline even at maximum speed; no feasible schedule"
+            ),
+            Self::TooLarge { tasks, limit } => write!(
+                f,
+                "exact bounded-core solver handles at most {limit} tasks, got {tasks}"
+            ),
+            Self::NoCores => write!(f, "at least one core is required"),
+            Self::UnsupportedModel(detail) => {
+                write!(f, "unsupported system model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution::new(Schedule::empty(), Joules::new(1.5), Time::from_millis(3.0));
+        assert_eq!(s.predicted_energy(), Joules::new(1.5));
+        assert!((s.memory_sleep().as_millis() - 3.0).abs() < 1e-12);
+        assert!(s.schedule().placements().is_empty());
+        let sched = s.into_schedule();
+        assert!(sched.placements().is_empty());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(SdemError::NotCommonRelease.to_string().contains("release"));
+        assert!(SdemError::NotAgreeable.to_string().contains("agreeable"));
+        assert!(SdemError::InfeasibleTask(TaskId(2))
+            .to_string()
+            .contains("T2"));
+        assert!(SdemError::TooLarge {
+            tasks: 20,
+            limit: 12
+        }
+        .to_string()
+        .contains("20"));
+        assert!(SdemError::NoCores.to_string().contains("core"));
+        assert!(SdemError::UnsupportedModel("needs α = 0")
+            .to_string()
+            .contains("α = 0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SdemError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Power and energy models for the SDEM problem.
+//!
+//! The paper models each homogeneous DVS core as
+//! `P(s) = α + P_d(s)` with `P_d(s) = β·s^λ` (λ > 1), and the shared main
+//! memory as a constant leakage draw `α_m` whenever it is awake. Mode
+//! transitions (core or memory) cost energy expressed as a *break-even time*:
+//! the idle-active duration whose energy equals one sleep/wake round trip.
+//!
+//! This crate provides:
+//!
+//! * [`CorePower`] — the core power curve, its energy helpers, and the three
+//!   critical speeds the algorithms pivot on (`s_m`, task-clamped `s_0`,
+//!   constrained `s_c` when the core break-even `ξ ≠ 0`);
+//! * [`MemoryPower`] — memory leakage `α_m` and break-even `ξ_m`;
+//! * [`Platform`] — a core model plus a memory model, with the joint
+//!   *memory-associated* critical speed `s_1` of §5.2;
+//! * device presets matching the paper's evaluation (§8.1.3): an ARM
+//!   Cortex-A57 core and a 50 nm DRAM.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_power::{CorePower, MemoryPower, Platform};
+//! use sdem_types::Speed;
+//!
+//! let core = CorePower::cortex_a57();
+//! // The unconstrained critical speed of the A57 parameters is ~849 MHz.
+//! let s_m = core.critical_speed_unclamped();
+//! assert!((s_m.as_mhz() - 849.0).abs() < 1.0);
+//!
+//! let platform = Platform::new(core, MemoryPower::dram_50nm());
+//! // Adding the 4 W memory pushes the joint critical speed above s_up,
+//! // so s_1 saturates at 1900 MHz for low-density tasks.
+//! let s1 = platform.memory_associated_critical_speed(Speed::from_mhz(100.0));
+//! assert!((s1.as_mhz() - 1900.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_power;
+mod memory_power;
+mod platform;
+
+pub use core_power::CorePower;
+pub use memory_power::MemoryPower;
+pub use platform::Platform;

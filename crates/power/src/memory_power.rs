@@ -1,0 +1,226 @@
+//! The shared-memory power model: leakage `α_m` plus a break-even time.
+
+use sdem_types::{Joules, Time, Watts};
+
+/// Power model of the shared main memory.
+///
+/// The memory draws `alpha_m` (leakage/refresh/standby — the paper folds all
+/// static draw into one constant) whenever it is awake, and nothing while
+/// asleep. One sleep/wake round trip costs the same energy as staying awake
+/// idle for `break_even` (`ξ_m`), so sleeping a common-idle gap `g` is
+/// profitable exactly when `g ≥ ξ_m`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_power::MemoryPower;
+/// use sdem_types::Time;
+///
+/// let mem = MemoryPower::dram_50nm();
+/// assert_eq!(mem.alpha_m().value(), 4.0);
+/// assert!(mem.sleep_is_profitable(Time::from_millis(50.0)));
+/// assert!(!mem.sleep_is_profitable(Time::from_millis(30.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryPower {
+    alpha_m: Watts,
+    break_even: Time,
+    access_energy_per_cycle: f64,
+}
+
+impl MemoryPower {
+    /// Creates a memory model with leakage power `alpha_m` and zero
+    /// transition overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_m` is negative or non-finite.
+    pub fn new(alpha_m: Watts) -> Self {
+        assert!(
+            alpha_m.is_finite() && alpha_m.value() >= 0.0,
+            "memory static power must be finite and non-negative"
+        );
+        Self {
+            alpha_m,
+            break_even: Time::ZERO,
+            access_energy_per_cycle: 0.0,
+        }
+    }
+
+    /// The paper's default 50 nm DRAM: `α_m = 4 W`, `ξ_m = 40 ms`
+    /// (the starred defaults of Table 4).
+    pub fn dram_50nm() -> Self {
+        Self::new(Watts::new(4.0)).with_break_even(Time::from_millis(40.0))
+    }
+
+    /// Returns a copy with the break-even time `ξ_m` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi_m` is negative or non-finite.
+    #[must_use]
+    pub fn with_break_even(mut self, xi_m: Time) -> Self {
+        assert!(
+            xi_m.is_finite() && xi_m.value() >= 0.0,
+            "break-even time must be finite and non-negative"
+        );
+        self.break_even = xi_m;
+        self
+    }
+
+    /// Returns a copy with a different leakage power (for the Fig. 7a
+    /// parameter sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_m` is negative or non-finite.
+    #[must_use]
+    pub fn with_alpha_m(self, alpha_m: Watts) -> Self {
+        Self { alpha_m, ..self }
+    }
+
+    /// Returns a copy with per-cycle access (dynamic) energy set.
+    ///
+    /// The paper's SDEM objective deliberately excludes memory dynamic
+    /// energy: every feasible schedule executes the same cycles, so the
+    /// access bill is a *constant* that cannot change which schedule wins
+    /// (a property the simulator tests assert). This knob exists to make
+    /// absolute energy totals realistic when desired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules_per_cycle` is negative or non-finite.
+    #[must_use]
+    pub fn with_access_energy(mut self, joules_per_cycle: f64) -> Self {
+        assert!(
+            joules_per_cycle.is_finite() && joules_per_cycle >= 0.0,
+            "access energy must be finite and non-negative"
+        );
+        self.access_energy_per_cycle = joules_per_cycle;
+        self
+    }
+
+    /// Per-cycle access (dynamic) energy. Zero by default, matching the
+    /// paper's model.
+    #[inline]
+    pub fn access_energy_per_cycle(&self) -> f64 {
+        self.access_energy_per_cycle
+    }
+
+    /// Memory static (leakage) power `α_m`.
+    #[inline]
+    pub fn alpha_m(&self) -> Watts {
+        self.alpha_m
+    }
+
+    /// Memory sleep-transition break-even time `ξ_m`.
+    #[inline]
+    pub fn break_even(&self) -> Time {
+        self.break_even
+    }
+
+    /// Energy drawn while awake for `duration`.
+    pub fn awake_energy(&self, duration: Time) -> Joules {
+        self.alpha_m * duration
+    }
+
+    /// One sleep/wake round trip costs `α_m·ξ_m`.
+    pub fn transition_energy(&self) -> Joules {
+        self.alpha_m * self.break_even
+    }
+
+    /// `true` when sleeping a common-idle gap of length `gap` saves energy
+    /// versus idling awake (`gap ≥ ξ_m`).
+    pub fn sleep_is_profitable(&self, gap: Time) -> bool {
+        gap >= self.break_even
+    }
+
+    /// The cheaper of sleeping through a gap (one transition) or idling
+    /// awake through it.
+    pub fn best_gap_energy(&self, gap: Time) -> Joules {
+        self.awake_energy(gap).min(self.transition_energy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_preset_matches_table_4_defaults() {
+        let mem = MemoryPower::dram_50nm();
+        assert_eq!(mem.alpha_m(), Watts::new(4.0));
+        assert!((mem.break_even().as_millis() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn awake_and_transition_energy() {
+        let mem = MemoryPower::new(Watts::new(2.0)).with_break_even(Time::from_millis(10.0));
+        assert!((mem.awake_energy(Time::from_secs(3.0)).value() - 6.0).abs() < 1e-12);
+        assert!((mem.transition_energy().value() - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn profitability_threshold_is_break_even() {
+        let mem = MemoryPower::new(Watts::new(2.0)).with_break_even(Time::from_millis(10.0));
+        assert!(mem.sleep_is_profitable(Time::from_millis(10.0)));
+        assert!(mem.sleep_is_profitable(Time::from_millis(10.1)));
+        assert!(!mem.sleep_is_profitable(Time::from_millis(9.9)));
+    }
+
+    #[test]
+    fn best_gap_energy_picks_minimum() {
+        let mem = MemoryPower::new(Watts::new(2.0)).with_break_even(Time::from_millis(10.0));
+        // Long gap: sleeping (0.02 J) beats idling (0.2 J).
+        let long = mem.best_gap_energy(Time::from_millis(100.0));
+        assert!((long.value() - 0.02).abs() < 1e-15);
+        // Short gap: idling (0.01 J) beats sleeping (0.02 J).
+        let short = mem.best_gap_energy(Time::from_millis(5.0));
+        assert!((short.value() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_break_even_makes_sleep_always_profitable() {
+        let mem = MemoryPower::new(Watts::new(4.0));
+        assert!(mem.sleep_is_profitable(Time::ZERO));
+        assert_eq!(mem.transition_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn with_alpha_m_preserves_break_even() {
+        let mem = MemoryPower::dram_50nm().with_alpha_m(Watts::new(8.0));
+        assert_eq!(mem.alpha_m(), Watts::new(8.0));
+        assert!((mem.break_even().as_millis() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_energy_defaults_to_zero_and_is_settable() {
+        let mem = MemoryPower::dram_50nm();
+        assert_eq!(mem.access_energy_per_cycle(), 0.0);
+        let mem = mem.with_access_energy(1.5e-10);
+        assert_eq!(mem.access_energy_per_cycle(), 1.5e-10);
+        // Preserved through with_alpha_m.
+        assert_eq!(
+            mem.with_alpha_m(Watts::new(2.0)).access_energy_per_cycle(),
+            1.5e-10
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "access energy")]
+    fn rejects_negative_access_energy() {
+        let _ = MemoryPower::dram_50nm().with_access_energy(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_alpha_m() {
+        let _ = MemoryPower::new(Watts::new(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "break-even")]
+    fn rejects_negative_break_even() {
+        let _ = MemoryPower::new(Watts::new(1.0)).with_break_even(Time::from_secs(-0.1));
+    }
+}

@@ -1,0 +1,164 @@
+//! A complete platform: homogeneous DVS cores plus one shared memory.
+
+use sdem_types::{Cycles, Joules, Speed, Time};
+
+use crate::{CorePower, MemoryPower};
+
+/// The hardware the SDEM schedulers target: one [`CorePower`] model shared
+/// by all (homogeneous) cores, and one [`MemoryPower`] model for the shared
+/// main memory.
+///
+/// In the paper's unbounded model the number of physical cores never binds
+/// (each task gets its own core), so the platform does not fix a core count;
+/// experiment drivers that emulate a bounded machine (8 cores in §8) pass
+/// the count separately.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_power::{CorePower, MemoryPower, Platform};
+///
+/// let platform = Platform::paper_defaults();
+/// assert_eq!(platform.memory().alpha_m().value(), 4.0);
+/// assert!((platform.core().max_speed().as_mhz() - 1900.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    core: CorePower,
+    memory: MemoryPower,
+}
+
+impl Platform {
+    /// Creates a platform from a core model and a memory model.
+    pub fn new(core: CorePower, memory: MemoryPower) -> Self {
+        Self { core, memory }
+    }
+
+    /// The paper's evaluation defaults: Cortex-A57 cores and a 4 W / 40 ms
+    /// 50 nm DRAM (Table 4 starred values).
+    pub fn paper_defaults() -> Self {
+        Self::new(CorePower::cortex_a57(), MemoryPower::dram_50nm())
+    }
+
+    /// The core power model.
+    #[inline]
+    pub fn core(&self) -> &CorePower {
+        &self.core
+    }
+
+    /// The memory power model.
+    #[inline]
+    pub fn memory(&self) -> &MemoryPower {
+        &self.memory
+    }
+
+    /// Returns a copy with the core model replaced.
+    #[must_use]
+    pub fn with_core(mut self, core: CorePower) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Returns a copy with the memory model replaced.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryPower) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// The unclamped memory-associated critical speed of §5.2:
+    /// `s_cm = ((α + α_m) / (β(λ−1)))^{1/λ}`, minimizing the energy of a
+    /// single core *plus the memory* per unit work. Always `≥ s_m`.
+    pub fn memory_associated_critical_speed_unclamped(&self) -> Speed {
+        let joint = self.core.alpha().value() + self.memory.alpha_m().value();
+        Speed::from_hz(
+            (joint / (self.core.beta() * (self.core.lambda() - 1.0)))
+                .powf(1.0 / self.core.lambda()),
+        )
+    }
+
+    /// The task-clamped memory-associated critical speed:
+    /// `s_1 = min(max(s_cm, s_f), s_up)`. Satisfies `s_1 ≥ s_0`.
+    pub fn memory_associated_critical_speed(&self, filled_speed: Speed) -> Speed {
+        self.memory_associated_critical_speed_unclamped()
+            .max(filled_speed)
+            .min(self.core.max_speed())
+    }
+
+    /// Energy of one core *and* the memory running `work` over `window`:
+    /// `β·w^λ·L^{1−λ} + (α + α_m)·L`. This is the per-block integrand of
+    /// the §5 objective when a single task determines the busy interval.
+    pub fn joint_run_energy_over_window(&self, work: Cycles, window: Time) -> Joules {
+        self.core.run_energy_over_window(work, window) + self.memory.awake_energy(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_types::Watts;
+
+    #[test]
+    fn joint_critical_speed_exceeds_core_critical_speed() {
+        let p = Platform::paper_defaults();
+        assert!(
+            p.memory_associated_critical_speed_unclamped() > p.core().critical_speed_unclamped()
+        );
+    }
+
+    #[test]
+    fn a57_joint_speed_saturates_at_fmax() {
+        // (0.310 + 4.0) W over the A57 curve gives s_cm ≈ 2043 MHz > 1900.
+        let p = Platform::paper_defaults();
+        let unclamped = p.memory_associated_critical_speed_unclamped();
+        assert!((unclamped.as_mhz() - 2043.0).abs() < 2.0, "{unclamped}");
+        let s1 = p.memory_associated_critical_speed(Speed::from_mhz(100.0));
+        assert!((s1.as_mhz() - 1900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s1_clamps_to_filled_speed_like_s0() {
+        let core = CorePower::simple(4.0, 1.0, 3.0);
+        let mem = MemoryPower::new(Watts::new(12.0));
+        let p = Platform::new(core, mem);
+        // s_cm = ((4+12)/2)^(1/3) = 2.
+        assert!((p.memory_associated_critical_speed_unclamped().as_hz() - 2.0).abs() < 1e-12);
+        // High-density task dominates.
+        let sf = Speed::from_hz(5.0);
+        assert_eq!(p.memory_associated_critical_speed(sf), sf);
+    }
+
+    #[test]
+    fn joint_energy_is_core_plus_memory() {
+        let core = CorePower::simple(1.0, 1.0, 3.0);
+        let mem = MemoryPower::new(Watts::new(2.0));
+        let p = Platform::new(core, mem);
+        let w = Cycles::new(2.0);
+        let l = Time::from_secs(1.0);
+        // β w³ L⁻² + α L + α_m L = 8 + 1 + 2 = 11.
+        assert!((p.joint_run_energy_over_window(w, l).value() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s1_minimizes_joint_per_work_energy() {
+        let core = CorePower::simple(4.0, 1.0, 3.0);
+        let mem = MemoryPower::new(Watts::new(12.0));
+        let p = Platform::new(core, mem);
+        let s_cm = p.memory_associated_critical_speed_unclamped();
+        let w = Cycles::new(3.0);
+        let joint = |s: Speed| p.joint_run_energy_over_window(w, w / s).value();
+        let e = joint(s_cm);
+        for f in [0.9, 1.1] {
+            assert!(joint(Speed::from_hz(s_cm.as_hz() * f)) > e);
+        }
+    }
+
+    #[test]
+    fn builders_replace_components() {
+        let p = Platform::paper_defaults()
+            .with_memory(MemoryPower::new(Watts::new(8.0)))
+            .with_core(CorePower::simple(0.0, 1.0, 2.0));
+        assert_eq!(p.memory().alpha_m(), Watts::new(8.0));
+        assert!(p.core().is_alpha_zero());
+    }
+}

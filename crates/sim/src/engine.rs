@@ -1,0 +1,348 @@
+//! Event-driven reference simulator.
+//!
+//! Replays a schedule chronologically: every segment boundary is an event,
+//! and between consecutive events every core and the memory is in a definite
+//! state (`Busy`, `IdleAwake`, `Asleep`, or `Off`). Energy is integrated
+//! slice by slice from the instantaneous power of each component, and sleep
+//! round-trip overheads are charged per sleep episode.
+//!
+//! This path exists as an independent cross-check of the closed-form meter
+//! in [`crate::meter`]: the two must agree to floating-point tolerance on
+//! every schedule (asserted by property tests).
+
+use sdem_power::Platform;
+use sdem_types::{Schedule, ScheduleError, Speed, TaskSet, Time};
+
+use crate::{EnergyReport, SimOptions};
+
+/// Component state during one time slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Executing at the given speed (cores) or serving a busy core (memory).
+    Busy(Speed),
+    /// Powered and idle: static power accrues.
+    IdleAwake,
+    /// Sleeping inside the on-span: no power (round trip charged per episode).
+    Asleep,
+    /// Outside the component's on-span: off, free.
+    Off,
+}
+
+/// One component's timeline: busy intervals plus per-gap sleep decisions.
+struct Timeline {
+    /// Sorted disjoint `(start, end, speed)` busy runs.
+    busy: Vec<(Time, Time, Speed)>,
+    /// Sorted `(gap_start, gap_end, slept)` for the inner gaps.
+    gaps: Vec<(Time, Time, bool)>,
+}
+
+impl Timeline {
+    fn new(
+        mut busy: Vec<(Time, Time, Speed)>,
+        policy: crate::SleepPolicy,
+        xi: Time,
+        horizon: Option<(Time, Time)>,
+    ) -> Self {
+        busy.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut gaps: Vec<(Time, Time, bool)> = busy
+            .windows(2)
+            .filter(|w| w[1].0 > w[0].1)
+            .map(|w| {
+                let gap = w[1].0 - w[0].1;
+                (w[0].1, w[1].0, policy.sleeps(gap, xi))
+            })
+            .collect();
+        if let (Some((t0, t1)), Some(first), Some(last)) = (horizon, busy.first(), busy.last()) {
+            if first.0 > t0 {
+                gaps.push((t0, first.0, policy.sleeps(first.0 - t0, xi)));
+            }
+            if t1 > last.1 {
+                gaps.push((last.1, t1, policy.sleeps(t1 - last.1, xi)));
+            }
+        }
+        Self { busy, gaps }
+    }
+
+    fn state_at(&self, t: Time) -> State {
+        for &(a, b, s) in &self.busy {
+            if t >= a && t < b {
+                return State::Busy(s);
+            }
+        }
+        for &(a, b, slept) in &self.gaps {
+            if t >= a && t < b {
+                return if slept {
+                    State::Asleep
+                } else {
+                    State::IdleAwake
+                };
+            }
+        }
+        State::Off
+    }
+
+    fn sleep_episodes(&self) -> usize {
+        self.gaps.iter().filter(|g| g.2).count()
+    }
+}
+
+/// Event-driven counterpart of [`crate::simulate_with_options`].
+///
+/// Produces the same [`EnergyReport`] as the interval meter (up to
+/// floating-point noise), computed by explicit chronological state sweeping.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when `options.validate` is set and the schedule
+/// violates timing constraints or the platform's maximum speed.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_sim::{simulate_event_driven, SimOptions};
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Schedule, Placement, TaskId, CoreId, Time, Speed, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults();
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(20.0), Cycles::new(8.0e6)),
+/// ])?;
+/// let schedule = Schedule::new(vec![Placement::single(
+///     TaskId(0), CoreId(0), Time::ZERO, Time::from_millis(10.0), Speed::from_mhz(800.0),
+/// )]);
+/// let report = simulate_event_driven(&schedule, &tasks, &platform, SimOptions::default())?;
+/// assert!(report.total().value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_event_driven(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    platform: &Platform,
+    options: SimOptions,
+) -> Result<EnergyReport, ScheduleError> {
+    if options.validate {
+        schedule.validate_with_limits(tasks, None, Some(platform.core().max_speed()))?;
+    }
+
+    let core_model = platform.core();
+    let memory = platform.memory();
+    let mut report = EnergyReport::default();
+
+    // Per-core timelines.
+    let core_timelines: Vec<Timeline> = schedule
+        .cores()
+        .into_iter()
+        .map(|core| {
+            let busy = schedule
+                .placements()
+                .iter()
+                .filter(|p| p.core() == core)
+                .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end(), s.speed())))
+                .collect();
+            Timeline::new(
+                busy,
+                options.core_policy,
+                core_model.break_even(),
+                options.horizon,
+            )
+        })
+        .collect();
+
+    // Memory timeline from the merged busy intervals (speed is irrelevant).
+    let memory_timeline = Timeline::new(
+        schedule
+            .memory_busy_intervals()
+            .into_iter()
+            .map(|(a, b)| (a, b, Speed::ZERO))
+            .collect(),
+        options.memory_policy,
+        memory.break_even(),
+        options.horizon,
+    );
+
+    // Event instants: every busy boundary of every component.
+    let mut events: Vec<Time> = core_timelines
+        .iter()
+        .chain(core::iter::once(&memory_timeline))
+        .flat_map(|tl| tl.busy.iter().flat_map(|&(a, b, _)| [a, b]))
+        .collect();
+    if let Some((t0, t1)) = options.horizon {
+        events.push(t0);
+        events.push(t1);
+    }
+    events.sort_by(Time::total_cmp);
+    events.dedup_by(|a, b| a == b);
+
+    // Integrate power over each slice.
+    for pair in events.windows(2) {
+        let (t0, t1) = (pair[0], pair[1]);
+        let dt = t1 - t0;
+        if dt.value() <= 0.0 {
+            continue;
+        }
+        let mid = t0 + dt * 0.5;
+        for tl in &core_timelines {
+            match tl.state_at(mid) {
+                State::Busy(speed) => {
+                    report.core_dynamic += core_model.dynamic_power(speed) * dt;
+                    report.core_static += core_model.alpha() * dt;
+                    report.memory_dynamic += sdem_types::Joules::new(
+                        memory.access_energy_per_cycle() * (speed * dt).value(),
+                    );
+                }
+                State::IdleAwake => report.core_static += core_model.alpha() * dt,
+                State::Asleep | State::Off => {}
+            }
+        }
+        match memory_timeline.state_at(mid) {
+            State::Busy(_) | State::IdleAwake => {
+                report.memory_static += memory.awake_energy(dt);
+                report.memory_awake_time += dt;
+            }
+            State::Asleep => report.memory_sleep_time += dt,
+            State::Off => {}
+        }
+    }
+
+    // Sleep round trips, charged per episode.
+    for tl in &core_timelines {
+        let n = tl.sleep_episodes();
+        report.core_sleeps += n;
+        report.core_transition += core_model.transition_energy() * n as f64;
+    }
+    let n = memory_timeline.sleep_episodes();
+    report.memory_sleeps = n;
+    report.memory_transition += memory.transition_energy() * n as f64;
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_with_options, SleepPolicy};
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_types::{CoreId, Cycles, Placement, Task, TaskId, Watts};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    fn unit_platform(xi: f64, xi_m: f64) -> Platform {
+        Platform::new(
+            CorePower::simple(1.0, 1.0, 3.0).with_break_even(sec(xi)),
+            MemoryPower::new(Watts::new(2.0)).with_break_even(sec(xi_m)),
+        )
+    }
+
+    fn staggered_case() -> (TaskSet, Schedule) {
+        let tasks = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(3.0), Cycles::new(2.0)),
+            Task::new(1, sec(0.0), sec(12.0), Cycles::new(2.0)),
+            Task::new(2, sec(0.0), sec(12.0), Cycles::new(3.0)),
+        ])
+        .unwrap();
+        let sched = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                sec(0.0),
+                sec(2.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(1),
+                CoreId(0),
+                sec(7.0),
+                sec(9.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(2),
+                CoreId(1),
+                sec(1.0),
+                sec(4.0),
+                Speed::from_hz(1.0),
+            ),
+        ]);
+        (tasks, sched)
+    }
+
+    #[test]
+    fn agrees_with_interval_meter_on_all_policies() {
+        let (tasks, sched) = staggered_case();
+        for (xi, xi_m) in [(0.0, 0.0), (1.0, 2.0), (10.0, 10.0)] {
+            let p = unit_platform(xi, xi_m);
+            for policy in [
+                SleepPolicy::NeverSleep,
+                SleepPolicy::AlwaysSleep,
+                SleepPolicy::WhenProfitable,
+            ] {
+                let opts = SimOptions::uniform(policy);
+                let a = simulate_with_options(&sched, &tasks, &p, opts).unwrap();
+                let b = simulate_event_driven(&sched, &tasks, &p, opts).unwrap();
+                assert!(
+                    (a.total().value() - b.total().value()).abs() < 1e-9,
+                    "policy {policy:?} ξ={xi} ξm={xi_m}: meter {} vs engine {}",
+                    a.total(),
+                    b.total()
+                );
+                assert_eq!(a.memory_sleeps, b.memory_sleeps);
+                assert_eq!(a.core_sleeps, b.core_sleeps);
+                assert!((a.memory_sleep_time - b.memory_sleep_time).abs().value() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_union_counted_once_in_engine() {
+        let (tasks, sched) = staggered_case();
+        let p = unit_platform(0.0, 0.0);
+        let r = simulate_event_driven(&sched, &tasks, &p, SimOptions::default()).unwrap();
+        // Memory busy union: [0,4] ∪ [7,9] = 6 s ⇒ 12 J. Gap slept free.
+        assert!((r.memory_static.value() - 12.0).abs() < 1e-9);
+        assert_eq!(r.memory_sleeps, 1);
+        assert!((r.memory_sleep_time.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_machine_classification() {
+        let tl = Timeline::new(
+            vec![
+                (sec(0.0), sec(2.0), Speed::from_hz(1.0)),
+                (sec(5.0), sec(6.0), Speed::from_hz(2.0)),
+                (sec(6.5), sec(7.0), Speed::from_hz(3.0)),
+            ],
+            SleepPolicy::WhenProfitable,
+            sec(1.0),
+            None,
+        );
+        assert_eq!(tl.state_at(sec(1.0)), State::Busy(Speed::from_hz(1.0)));
+        assert_eq!(tl.state_at(sec(3.0)), State::Asleep); // 3 s gap ≥ ξ
+        assert_eq!(tl.state_at(sec(6.2)), State::IdleAwake); // 0.5 s gap < ξ
+        assert_eq!(tl.state_at(sec(10.0)), State::Off);
+        assert_eq!(tl.state_at(sec(-1.0)), State::Off);
+        assert_eq!(tl.sleep_episodes(), 1);
+    }
+
+    #[test]
+    fn validation_respected() {
+        let (tasks, _) = staggered_case();
+        let p = unit_platform(0.0, 0.0);
+        let incomplete = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            sec(0.0),
+            sec(2.0),
+            Speed::from_hz(1.0),
+        )]);
+        assert!(simulate_event_driven(&incomplete, &tasks, &p, SimOptions::default()).is_err());
+        let opts = SimOptions {
+            validate: false,
+            ..SimOptions::default()
+        };
+        assert!(simulate_event_driven(&incomplete, &tasks, &p, opts).is_ok());
+    }
+}

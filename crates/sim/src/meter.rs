@@ -1,0 +1,363 @@
+//! Interval-sweep energy meter.
+//!
+//! Prices a schedule by closed forms: each busy segment contributes its
+//! dynamic + static energy directly, and each idle gap is priced by the
+//! applicable [`SleepPolicy`]. This is the fast path used by the experiment
+//! harness; the event-driven engine in [`crate::engine`] recomputes the same
+//! quantities by time integration and the two are cross-checked in tests.
+
+use sdem_power::Platform;
+use sdem_types::{Joules, Schedule, ScheduleError, TaskSet, Time};
+
+use crate::{EnergyReport, SimOptions, SleepPolicy};
+
+/// Simulates `schedule` on `platform` using `policy` for both the memory
+/// and the cores, with validation enabled.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the schedule violates timing constraints or
+/// exceeds the platform's maximum speed.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_sim::{simulate, SleepPolicy};
+/// use sdem_power::Platform;
+/// use sdem_types::{Task, TaskSet, Schedule, Placement, TaskId, CoreId, Time, Speed, Cycles};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = Platform::paper_defaults();
+/// let tasks = TaskSet::new(vec![
+///     Task::new(0, Time::ZERO, Time::from_millis(20.0), Cycles::new(1.6e7)),
+/// ])?;
+/// let schedule = Schedule::new(vec![Placement::single(
+///     TaskId(0), CoreId(0), Time::ZERO, Time::from_millis(10.0), Speed::from_mhz(1600.0),
+/// )]);
+/// let report = simulate(&schedule, &tasks, &platform, SleepPolicy::WhenProfitable)?;
+/// // 10 ms of 4 W memory leakage = 40 mJ.
+/// assert!((report.memory_static.value() - 0.040).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    platform: &Platform,
+    policy: SleepPolicy,
+) -> Result<EnergyReport, ScheduleError> {
+    simulate_with_options(schedule, tasks, platform, SimOptions::uniform(policy))
+}
+
+/// Simulates with independent memory/core policies and optional validation.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when `options.validate` is set and the schedule
+/// violates timing constraints or the platform's maximum speed.
+pub fn simulate_with_options(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    platform: &Platform,
+    options: SimOptions,
+) -> Result<EnergyReport, ScheduleError> {
+    if options.validate {
+        schedule.validate_with_limits(tasks, None, Some(platform.core().max_speed()))?;
+    }
+
+    let core_model = platform.core();
+    let memory = platform.memory();
+    let mut report = EnergyReport::default();
+
+    // Busy segments: dynamic energy at the commanded speed, static while
+    // busy; memory access energy proportional to the executed cycles.
+    let per_cycle = memory.access_energy_per_cycle();
+    for placement in schedule.placements() {
+        for seg in placement.segments() {
+            report.core_dynamic += core_model.dynamic_power(seg.speed()) * seg.length();
+            report.memory_dynamic += sdem_types::Joules::new(per_cycle * seg.work().value());
+        }
+    }
+
+    // Per-core on-span accounting: static power while busy, gaps per policy.
+    for core in schedule.cores() {
+        let busy = schedule.core_busy_intervals(core);
+        let busy_time: Time = busy.iter().map(|&(a, b)| b - a).sum();
+        report.core_static += core_model.alpha() * busy_time;
+        for gap in gaps(&busy, options.horizon) {
+            let (idle, trans, slept) = options.core_policy.price_gap(
+                gap,
+                core_model.break_even(),
+                core_model.alpha() * gap,
+                core_model.transition_energy(),
+            );
+            report.core_static += idle;
+            report.core_transition += trans;
+            if slept {
+                report.core_sleeps += 1;
+            }
+        }
+    }
+
+    // Memory on-span accounting.
+    let mem_busy = schedule.memory_busy_intervals();
+    let mem_busy_time: Time = mem_busy.iter().map(|&(a, b)| b - a).sum();
+    report.memory_static += memory.awake_energy(mem_busy_time);
+    report.memory_awake_time += mem_busy_time;
+    for gap in gaps(&mem_busy, options.horizon) {
+        let (idle, trans, slept) = options.memory_policy.price_gap(
+            gap,
+            memory.break_even(),
+            memory.awake_energy(gap),
+            memory.transition_energy(),
+        );
+        report.memory_static += idle;
+        report.memory_transition += trans;
+        if slept {
+            report.memory_sleeps += 1;
+            report.memory_sleep_time += gap;
+        } else {
+            report.memory_awake_time += gap;
+        }
+    }
+
+    // Guard against numerically negative artifacts.
+    debug_assert!(report.total() >= Joules::ZERO);
+    Ok(report)
+}
+
+/// Lengths of the gaps between consecutive sorted disjoint intervals,
+/// plus — under the horizon convention — the leading and trailing gaps to
+/// the horizon edges.
+fn gaps(intervals: &[(Time, Time)], horizon: Option<(Time, Time)>) -> Vec<Time> {
+    let mut out: Vec<Time> = intervals
+        .windows(2)
+        .map(|w| w[1].0 - w[0].1)
+        .filter(|g| g.value() > 0.0)
+        .collect();
+    if let (Some((t0, t1)), Some(first), Some(last)) =
+        (horizon, intervals.first(), intervals.last())
+    {
+        if first.0 - t0 > Time::ZERO {
+            out.push(first.0 - t0);
+        }
+        if t1 - last.1 > Time::ZERO {
+            out.push(t1 - last.1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_power::{CorePower, MemoryPower};
+    use sdem_types::{CoreId, Cycles, Placement, Speed, Task, TaskId, Watts};
+
+    fn ms(v: f64) -> Time {
+        Time::from_millis(v)
+    }
+
+    /// α = 1 W, β = 1 W/Hz³ (λ = 3), memory 2 W — clean numbers in seconds.
+    fn unit_platform() -> Platform {
+        Platform::new(
+            CorePower::simple(1.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(2.0)),
+        )
+    }
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    #[test]
+    fn single_task_energy_matches_closed_form() {
+        let p = unit_platform();
+        let tasks = TaskSet::new(vec![Task::new(0, sec(0.0), sec(4.0), Cycles::new(4.0))]).unwrap();
+        // Run 4 cycles over 2 s at 2 Hz: dynamic = 2³·2 = 16 J, static = 2 J,
+        // memory = 2·2 = 4 J. Trailing time is outside the on-span: free.
+        let sched = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            sec(0.0),
+            sec(2.0),
+            Speed::from_hz(2.0),
+        )]);
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert!((r.core_dynamic.value() - 16.0).abs() < 1e-9);
+        assert!((r.core_static.value() - 2.0).abs() < 1e-9);
+        assert!((r.memory_static.value() - 4.0).abs() < 1e-9);
+        assert_eq!(r.memory_sleeps, 0);
+        assert!((r.total().value() - 22.0).abs() < 1e-9);
+    }
+
+    fn two_block_schedule() -> (TaskSet, Schedule) {
+        let tasks = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(2.0), Cycles::new(1.0)),
+            Task::new(1, sec(0.0), sec(10.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        // Two unit-length busy blocks separated by a 4 s common idle gap.
+        let sched = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                sec(0.0),
+                sec(1.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(1),
+                CoreId(0),
+                sec(5.0),
+                sec(6.0),
+                Speed::from_hz(1.0),
+            ),
+        ]);
+        (tasks, sched)
+    }
+
+    #[test]
+    fn memory_gap_policies() {
+        let p = unit_platform();
+        let (tasks, sched) = two_block_schedule();
+
+        // NeverSleep: memory awake 6 s ⇒ 12 J. Core idles awake 4 s ⇒ +4 J.
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::NeverSleep).unwrap();
+        assert!((r.memory_static.value() - 12.0).abs() < 1e-9);
+        assert!((r.core_static.value() - 6.0).abs() < 1e-9);
+        assert!((r.memory_awake_time.as_secs() - 6.0).abs() < 1e-9);
+
+        // WhenProfitable with ξ_m = 0: sleep the gap for free.
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert!((r.memory_static.value() - 4.0).abs() < 1e-9);
+        assert_eq!(r.memory_sleeps, 1);
+        assert!((r.memory_sleep_time.as_secs() - 4.0).abs() < 1e-9);
+        // Core also sleeps its gap (ξ = 0): static only while busy (2 s).
+        assert!((r.core_static.value() - 2.0).abs() < 1e-9);
+        assert_eq!(r.core_sleeps, 1);
+    }
+
+    #[test]
+    fn break_even_threshold_controls_profitable_sleep() {
+        let core = CorePower::simple(1.0, 1.0, 3.0);
+        let (tasks, sched) = two_block_schedule();
+        // Gap is 4 s. With ξ_m = 6 s sleeping is unprofitable.
+        let p = Platform::new(
+            core,
+            MemoryPower::new(Watts::new(2.0)).with_break_even(sec(6.0)),
+        );
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert_eq!(r.memory_sleeps, 0);
+        assert!((r.memory_static.value() - 12.0).abs() < 1e-9);
+        assert_eq!(r.memory_transition, Joules::ZERO);
+
+        // AlwaysSleep pays the 12 J round trip even though idling costs 8 J.
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::AlwaysSleep).unwrap();
+        assert_eq!(r.memory_sleeps, 1);
+        assert!((r.memory_transition.value() - 12.0).abs() < 1e-9);
+        assert!((r.memory_static.value() - 4.0).abs() < 1e-9);
+
+        // With ξ_m = 3 s the profitable policy sleeps and pays 6 J.
+        let p = Platform::new(
+            core,
+            MemoryPower::new(Watts::new(2.0)).with_break_even(sec(3.0)),
+        );
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        assert!((r.memory_transition.value() - 6.0).abs() < 1e-9);
+        assert!((r.memory_static.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_break_even_accounting() {
+        let core = CorePower::simple(1.0, 1.0, 3.0).with_break_even(sec(1.0));
+        let p = Platform::new(core, MemoryPower::new(Watts::new(2.0)));
+        let (tasks, sched) = two_block_schedule();
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        // Gap 4 s ≥ ξ = 1 s: core sleeps, paying α·ξ = 1 J.
+        assert_eq!(r.core_sleeps, 1);
+        assert!((r.core_transition.value() - 1.0).abs() < 1e-9);
+        assert!((r.core_static.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let p = unit_platform();
+        let (tasks, _) = two_block_schedule();
+        // Bogus schedule (misses task 1) passes with validate = false.
+        let bad = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            sec(0.0),
+            sec(1.0),
+            Speed::from_hz(1.0),
+        )]);
+        assert!(simulate(&bad, &tasks, &p, SleepPolicy::NeverSleep).is_err());
+        let mut opts = SimOptions::uniform(SleepPolicy::NeverSleep);
+        opts.validate = false;
+        assert!(simulate_with_options(&bad, &tasks, &p, opts).is_ok());
+    }
+
+    #[test]
+    fn multi_core_overlap_memory_counts_once() {
+        let p = unit_platform();
+        let tasks = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(4.0), Cycles::new(2.0)),
+            Task::new(1, sec(0.0), sec(4.0), Cycles::new(2.0)),
+        ])
+        .unwrap();
+        let sched = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                sec(0.0),
+                sec(2.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(1),
+                CoreId(1),
+                sec(1.0),
+                sec(3.0),
+                Speed::from_hz(1.0),
+            ),
+        ]);
+        let r = simulate(&sched, &tasks, &p, SleepPolicy::WhenProfitable).unwrap();
+        // Memory awake over the union [0, 3]: 6 J, not 8 J.
+        assert!((r.memory_static.value() - 6.0).abs() < 1e-9);
+        // Each core static only over its own 2 s.
+        assert!((r.core_static.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_above_platform_max_is_rejected() {
+        let p = Platform::paper_defaults();
+        let tasks = TaskSet::new(vec![Task::new(0, ms(0.0), ms(1.0), Cycles::new(2.0e6))]).unwrap();
+        let sched = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            ms(0.0),
+            ms(1.0),
+            Speed::from_mhz(2000.0),
+        )]);
+        assert_eq!(
+            simulate(&sched, &tasks, &p, SleepPolicy::NeverSleep),
+            Err(ScheduleError::SpeedAboveMax(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn independent_policies_for_memory_and_cores() {
+        let core = CorePower::simple(1.0, 1.0, 3.0);
+        let p = Platform::new(core, MemoryPower::new(Watts::new(2.0)));
+        let (tasks, sched) = two_block_schedule();
+        let opts = SimOptions {
+            memory_policy: SleepPolicy::NeverSleep,
+            core_policy: SleepPolicy::WhenProfitable,
+            ..SimOptions::default()
+        };
+        let r = simulate_with_options(&sched, &tasks, &p, opts).unwrap();
+        assert_eq!(r.memory_sleeps, 0);
+        assert_eq!(r.core_sleeps, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulation knobs: sleep policies and validation options.
+
+use sdem_types::{Joules, Time};
+
+/// What a component (core or memory) does during an idle gap of length `g`.
+///
+/// The break-even time `ξ` is the gap length whose awake-idle energy equals
+/// one sleep/wake round trip, so:
+///
+/// * [`SleepPolicy::NeverSleep`] idles awake: energy `α·g` (the original
+///   MBKP baseline's memory behaviour);
+/// * [`SleepPolicy::AlwaysSleep`] sleeps every gap, paying the round trip
+///   `α·ξ` even when `g < ξ` (the naive MBKPS memory behaviour);
+/// * [`SleepPolicy::WhenProfitable`] sleeps exactly when `g ≥ ξ`
+///   (what the SDEM schemes assume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SleepPolicy {
+    /// Stay awake through every idle gap.
+    NeverSleep,
+    /// Sleep through every idle gap, profitable or not.
+    AlwaysSleep,
+    /// Sleep exactly the gaps of length at least the break-even time.
+    #[default]
+    WhenProfitable,
+}
+
+impl SleepPolicy {
+    /// Decides whether a gap of length `gap` is slept under this policy,
+    /// given the component's break-even time.
+    pub fn sleeps(self, gap: Time, break_even: Time) -> bool {
+        match self {
+            Self::NeverSleep => false,
+            Self::AlwaysSleep => true,
+            Self::WhenProfitable => gap >= break_even,
+        }
+    }
+
+    /// Prices a gap: `(idle_energy, transition_energy, slept)` given the
+    /// component's static power×gap product and round-trip cost.
+    pub(crate) fn price_gap(
+        self,
+        gap: Time,
+        break_even: Time,
+        awake_energy: Joules,
+        round_trip: Joules,
+    ) -> (Joules, Joules, bool) {
+        if self.sleeps(gap, break_even) {
+            (Joules::ZERO, round_trip, true)
+        } else {
+            (awake_energy, Joules::ZERO, false)
+        }
+    }
+}
+
+/// Options for [`crate::simulate_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Idle-gap policy for the shared memory.
+    pub memory_policy: SleepPolicy,
+    /// Idle-gap policy for each core (only relevant when `α ≠ 0`).
+    pub core_policy: SleepPolicy,
+    /// Validate the schedule (timing + max-speed) before metering.
+    /// Disable only for hot benchmarking loops on known-good schedules.
+    pub validate: bool,
+    /// Evaluation horizon. `None` (default) is the *gap convention*: each
+    /// component is on only between its own first and last busy instant.
+    /// `Some((t0, t1))` is the *horizon convention* of the paper's §7
+    /// analysis: every used core and the memory are powered across
+    /// `[t0, t1]`, so leading and trailing idle periods become gaps subject
+    /// to the sleep policy.
+    pub horizon: Option<(sdem_types::Time, sdem_types::Time)>,
+}
+
+impl SimOptions {
+    /// Uses `policy` for both memory and cores, with validation on and the
+    /// gap convention.
+    pub fn uniform(policy: SleepPolicy) -> Self {
+        Self {
+            memory_policy: policy,
+            core_policy: policy,
+            validate: true,
+            horizon: None,
+        }
+    }
+
+    /// Returns a copy evaluating under the horizon convention over
+    /// `[t0, t1]`.
+    #[must_use]
+    pub fn with_horizon(mut self, t0: sdem_types::Time, t1: sdem_types::Time) -> Self {
+        self.horizon = Some((t0, t1));
+        self
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self::uniform(SleepPolicy::WhenProfitable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_decisions() {
+        let xi = Time::from_millis(10.0);
+        let short = Time::from_millis(5.0);
+        let long = Time::from_millis(20.0);
+        assert!(!SleepPolicy::NeverSleep.sleeps(long, xi));
+        assert!(SleepPolicy::AlwaysSleep.sleeps(short, xi));
+        assert!(SleepPolicy::WhenProfitable.sleeps(long, xi));
+        assert!(!SleepPolicy::WhenProfitable.sleeps(short, xi));
+        assert!(SleepPolicy::WhenProfitable.sleeps(xi, xi));
+    }
+
+    #[test]
+    fn zero_break_even_always_profitable() {
+        assert!(SleepPolicy::WhenProfitable.sleeps(Time::ZERO, Time::ZERO));
+    }
+
+    #[test]
+    fn price_gap_splits_energy() {
+        let xi = Time::from_millis(10.0);
+        let awake = Joules::new(0.4);
+        let rt = Joules::new(0.04);
+        let (idle, trans, slept) =
+            SleepPolicy::WhenProfitable.price_gap(Time::from_millis(100.0), xi, awake, rt);
+        assert!(slept);
+        assert_eq!(idle, Joules::ZERO);
+        assert_eq!(trans, rt);
+        let (idle, trans, slept) =
+            SleepPolicy::NeverSleep.price_gap(Time::from_millis(100.0), xi, awake, rt);
+        assert!(!slept);
+        assert_eq!(idle, awake);
+        assert_eq!(trans, Joules::ZERO);
+    }
+
+    #[test]
+    fn default_options_are_profitable_and_validating() {
+        let o = SimOptions::default();
+        assert_eq!(o.memory_policy, SleepPolicy::WhenProfitable);
+        assert_eq!(o.core_policy, SleepPolicy::WhenProfitable);
+        assert!(o.validate);
+    }
+}

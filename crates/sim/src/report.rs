@@ -1,0 +1,147 @@
+//! The itemized energy bill of a simulated schedule.
+
+use core::fmt;
+
+use sdem_types::{Joules, Time};
+
+/// Where the energy of one schedule went.
+///
+/// All fields are public data (C-STRUCT-PRIVATE exception: this is a passive
+/// result record); [`EnergyReport::total`] and the grouping helpers derive
+/// the aggregates the paper plots.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_sim::EnergyReport;
+/// use sdem_types::Joules;
+///
+/// let r = EnergyReport::default();
+/// assert_eq!(r.total(), Joules::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Dynamic (speed-dependent) energy of all cores: `Σ β·s^λ·t`.
+    pub core_dynamic: Joules,
+    /// Static energy of all cores while awake (busy or idling awake).
+    pub core_static: Joules,
+    /// Core sleep/wake round-trip overheads.
+    pub core_transition: Joules,
+    /// Memory leakage while awake (busy or idling awake).
+    pub memory_static: Joules,
+    /// Memory access (dynamic) energy: executed cycles × per-cycle cost.
+    /// Zero under the paper's model; a schedule-independent constant
+    /// otherwise.
+    pub memory_dynamic: Joules,
+    /// Memory sleep/wake round-trip overheads.
+    pub memory_transition: Joules,
+    /// Total time the memory was awake.
+    pub memory_awake_time: Time,
+    /// Total time the memory slept (inside its on-span).
+    pub memory_sleep_time: Time,
+    /// Number of memory sleep episodes.
+    pub memory_sleeps: usize,
+    /// Number of core sleep episodes summed over cores.
+    pub core_sleeps: usize,
+}
+
+impl EnergyReport {
+    /// Total system energy: every field summed.
+    pub fn total(&self) -> Joules {
+        self.core_total() + self.memory_total()
+    }
+
+    /// Processor share: dynamic + static + core transitions.
+    pub fn core_total(&self) -> Joules {
+        self.core_dynamic + self.core_static + self.core_transition
+    }
+
+    /// Memory share: leakage + access energy + memory transitions. The
+    /// leakage part is the quantity Fig. 6a of the paper compares.
+    pub fn memory_total(&self) -> Joules {
+        self.memory_static + self.memory_dynamic + self.memory_transition
+    }
+
+    /// Component-wise sum of two reports (e.g. across independent trials).
+    #[must_use]
+    pub fn combined(&self, other: &Self) -> Self {
+        Self {
+            core_dynamic: self.core_dynamic + other.core_dynamic,
+            core_static: self.core_static + other.core_static,
+            core_transition: self.core_transition + other.core_transition,
+            memory_static: self.memory_static + other.memory_static,
+            memory_dynamic: self.memory_dynamic + other.memory_dynamic,
+            memory_transition: self.memory_transition + other.memory_transition,
+            memory_awake_time: self.memory_awake_time + other.memory_awake_time,
+            memory_sleep_time: self.memory_sleep_time + other.memory_sleep_time,
+            memory_sleeps: self.memory_sleeps + other.memory_sleeps,
+            core_sleeps: self.core_sleeps + other.core_sleeps,
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.6} J (cores: {:.6} J dyn + {:.6} J static + {:.6} J trans; \
+             memory: {:.6} J static + {:.6} J access + {:.6} J trans; memory awake {:.3} ms, \
+             asleep {:.3} ms over {} episodes)",
+            self.total().value(),
+            self.core_dynamic.value(),
+            self.core_static.value(),
+            self.core_transition.value(),
+            self.memory_static.value(),
+            self.memory_dynamic.value(),
+            self.memory_transition.value(),
+            self.memory_awake_time.as_millis(),
+            self.memory_sleep_time.as_millis(),
+            self.memory_sleeps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyReport {
+        EnergyReport {
+            core_dynamic: Joules::new(1.0),
+            core_static: Joules::new(2.0),
+            core_transition: Joules::new(0.5),
+            memory_static: Joules::new(4.0),
+            memory_dynamic: Joules::new(0.25),
+            memory_transition: Joules::new(0.25),
+            memory_awake_time: Time::from_millis(100.0),
+            memory_sleep_time: Time::from_millis(20.0),
+            memory_sleeps: 2,
+            core_sleeps: 3,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = sample();
+        assert_eq!(r.core_total(), Joules::new(3.5));
+        assert_eq!(r.memory_total(), Joules::new(4.5));
+        assert_eq!(r.total(), Joules::new(8.0));
+    }
+
+    #[test]
+    fn combined_sums_fields() {
+        let r = sample().combined(&sample());
+        assert_eq!(r.total(), Joules::new(16.0));
+        assert_eq!(r.memory_sleeps, 4);
+        assert_eq!(r.core_sleeps, 6);
+        assert!((r.memory_awake_time.as_millis() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let s = sample().to_string();
+        assert!(s.contains("total"));
+        assert!(s.contains("memory"));
+        assert!(s.contains("episodes"));
+    }
+}

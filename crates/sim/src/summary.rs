@@ -1,0 +1,153 @@
+//! Timing summaries of schedules: busy fractions, speeds, concurrency.
+
+use sdem_types::{Schedule, Speed, Time};
+
+/// Timing statistics of one schedule (no energy — that is
+/// [`crate::EnergyReport`]'s job).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStats {
+    /// First execution instant.
+    pub start: Time,
+    /// Last execution instant.
+    pub end: Time,
+    /// Number of distinct cores used.
+    pub cores_used: usize,
+    /// Total single-core busy time summed over cores.
+    pub total_core_busy: Time,
+    /// Time during which at least one core is busy (memory busy time).
+    pub memory_busy: Time,
+    /// `total_core_busy / (cores_used × span)` — average per-core load.
+    pub core_utilization: f64,
+    /// `memory_busy / span` — fraction of the span the memory must serve.
+    pub memory_utilization: f64,
+    /// Work-weighted average execution speed.
+    pub mean_speed: Speed,
+    /// Fastest commanded speed.
+    pub peak_speed: Speed,
+}
+
+/// Computes [`ScheduleStats`] for a non-empty schedule, or `None` when no
+/// segment executes.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_sim::schedule_stats;
+/// use sdem_types::{Schedule, Placement, TaskId, CoreId, Time, Speed};
+///
+/// let sched = Schedule::new(vec![
+///     Placement::single(TaskId(0), CoreId(0), Time::ZERO, Time::from_millis(10.0),
+///                       Speed::from_mhz(800.0)),
+///     Placement::single(TaskId(1), CoreId(1), Time::ZERO, Time::from_millis(20.0),
+///                       Speed::from_mhz(1600.0)),
+/// ]);
+/// let stats = schedule_stats(&sched).unwrap();
+/// assert_eq!(stats.cores_used, 2);
+/// assert!((stats.memory_utilization - 1.0).abs() < 1e-9);
+/// assert_eq!(stats.peak_speed, Speed::from_mhz(1600.0));
+/// ```
+pub fn schedule_stats(schedule: &Schedule) -> Option<ScheduleStats> {
+    let (start, end) = schedule.span()?;
+    let span = end - start;
+    if span.value() <= 0.0 {
+        return None;
+    }
+    let cores_used = schedule.cores_used();
+    let total_core_busy: Time = schedule.placements().iter().map(|p| p.busy_time()).sum();
+    let memory_busy = schedule.memory_busy_time();
+
+    let mut work = 0.0f64;
+    let mut busy_secs = 0.0f64;
+    let mut peak = Speed::ZERO;
+    for seg in schedule.placements().iter().flat_map(|p| p.segments()) {
+        work += seg.work().value();
+        busy_secs += seg.length().as_secs();
+        peak = peak.max(seg.speed());
+    }
+    let mean_speed = if busy_secs > 0.0 {
+        Speed::from_hz(work / busy_secs)
+    } else {
+        Speed::ZERO
+    };
+
+    Some(ScheduleStats {
+        start,
+        end,
+        cores_used,
+        total_core_busy,
+        memory_busy,
+        core_utilization: total_core_busy.as_secs() / (cores_used as f64 * span.as_secs()),
+        memory_utilization: memory_busy.as_secs() / span.as_secs(),
+        mean_speed,
+        peak_speed: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_types::{CoreId, Placement, TaskId};
+
+    fn sec(v: f64) -> Time {
+        Time::from_secs(v)
+    }
+
+    #[test]
+    fn stats_of_two_core_schedule() {
+        let sched = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                sec(0.0),
+                sec(2.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(1),
+                CoreId(1),
+                sec(1.0),
+                sec(4.0),
+                Speed::from_hz(3.0),
+            ),
+        ]);
+        let s = schedule_stats(&sched).unwrap();
+        assert_eq!(s.start, sec(0.0));
+        assert_eq!(s.end, sec(4.0));
+        assert_eq!(s.cores_used, 2);
+        assert!((s.total_core_busy.as_secs() - 5.0).abs() < 1e-12);
+        assert!((s.memory_busy.as_secs() - 4.0).abs() < 1e-12);
+        assert!((s.core_utilization - 5.0 / 8.0).abs() < 1e-12);
+        assert!((s.memory_utilization - 1.0).abs() < 1e-12);
+        // Work: 2 + 9 = 11 over 5 s busy → mean 2.2 Hz.
+        assert!((s.mean_speed.as_hz() - 2.2).abs() < 1e-12);
+        assert_eq!(s.peak_speed, Speed::from_hz(3.0));
+    }
+
+    #[test]
+    fn empty_schedule_has_no_stats() {
+        assert!(schedule_stats(&Schedule::empty()).is_none());
+    }
+
+    #[test]
+    fn gaps_reduce_memory_utilization() {
+        let sched = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                sec(0.0),
+                sec(1.0),
+                Speed::from_hz(1.0),
+            ),
+            Placement::single(
+                TaskId(1),
+                CoreId(0),
+                sec(3.0),
+                sec(4.0),
+                Speed::from_hz(1.0),
+            ),
+        ]);
+        let s = schedule_stats(&sched).unwrap();
+        assert!((s.memory_utilization - 0.5).abs() < 1e-12);
+        assert_eq!(s.cores_used, 1);
+    }
+}

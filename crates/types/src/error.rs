@@ -1,0 +1,141 @@
+//! Error types for task-set construction and schedule validation.
+
+use core::fmt;
+
+use crate::{CoreId, TaskId};
+
+/// Reasons a [`crate::TaskSet`] cannot be constructed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaskSetError {
+    /// The task list was empty.
+    Empty,
+    /// Two tasks carry the same identifier.
+    DuplicateId(TaskId),
+    /// A task's deadline is not strictly after its release.
+    EmptyWindow(TaskId),
+    /// A task has negative workload, or a non-finite field.
+    InvalidTask(TaskId),
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "task set must contain at least one task"),
+            Self::DuplicateId(id) => write!(f, "duplicate task id {id}"),
+            Self::EmptyWindow(id) => {
+                write!(f, "task {id} has deadline not strictly after release")
+            }
+            Self::InvalidTask(id) => {
+                write!(f, "task {id} has negative workload or non-finite fields")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+/// Reasons a [`crate::Schedule`] is rejected by validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A task appears in the schedule but not in the task set (or twice).
+    UnknownTask(TaskId),
+    /// A task from the task set has no placement.
+    MissingTask(TaskId),
+    /// A segment has non-positive length, negative speed, or non-finite data.
+    MalformedSegment(TaskId),
+    /// Segments of one task overlap or are out of order.
+    OverlappingSegments(TaskId),
+    /// A task executes outside its `[release, deadline]` window.
+    OutsideWindow(TaskId),
+    /// A task's executed work does not match its required workload.
+    WorkMismatch {
+        /// The offending task.
+        task: TaskId,
+        /// Work executed by the schedule, in cycles.
+        executed: f64,
+        /// Work required by the task, in cycles.
+        required: f64,
+    },
+    /// Two tasks overlap in time on the same core.
+    CoreConflict(CoreId, TaskId, TaskId),
+    /// A segment runs faster than the platform's maximum speed.
+    SpeedAboveMax(TaskId),
+    /// A segment runs slower than the platform's minimum speed.
+    SpeedBelowMin(TaskId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTask(id) => write!(f, "schedule references unknown task {id}"),
+            Self::MissingTask(id) => write!(f, "schedule is missing task {id}"),
+            Self::MalformedSegment(id) => write!(f, "task {id} has a malformed segment"),
+            Self::OverlappingSegments(id) => {
+                write!(f, "task {id} has overlapping or unordered segments")
+            }
+            Self::OutsideWindow(id) => {
+                write!(f, "task {id} executes outside its feasible region")
+            }
+            Self::WorkMismatch {
+                task,
+                executed,
+                required,
+            } => write!(
+                f,
+                "task {task} executes {executed} cycles but requires {required}"
+            ),
+            Self::CoreConflict(core, a, b) => {
+                write!(f, "tasks {a} and {b} overlap on core {core}")
+            }
+            Self::SpeedAboveMax(id) => write!(f, "task {id} exceeds the maximum speed"),
+            Self::SpeedBelowMin(id) => write!(f, "task {id} runs below the minimum speed"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_set_error_messages() {
+        assert_eq!(
+            TaskSetError::Empty.to_string(),
+            "task set must contain at least one task"
+        );
+        assert!(TaskSetError::DuplicateId(TaskId(3))
+            .to_string()
+            .contains("3"));
+        assert!(TaskSetError::EmptyWindow(TaskId(1))
+            .to_string()
+            .contains("deadline"));
+        assert!(TaskSetError::InvalidTask(TaskId(2))
+            .to_string()
+            .contains("workload"));
+    }
+
+    #[test]
+    fn schedule_error_messages() {
+        let e = ScheduleError::WorkMismatch {
+            task: TaskId(7),
+            executed: 1.0,
+            required: 2.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("7") && msg.contains("1") && msg.contains("2"));
+        assert!(ScheduleError::CoreConflict(CoreId(0), TaskId(1), TaskId(2))
+            .to_string()
+            .contains("overlap"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TaskSetError>();
+        assert_err::<ScheduleError>();
+    }
+}

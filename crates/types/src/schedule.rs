@@ -1,0 +1,661 @@
+//! Explicit schedules: which task runs where, when, and at what speed.
+//!
+//! Every scheduler in the workspace — the paper's optimal schemes, the
+//! SDEM-ON heuristic, and the MBKP/MBKPS baselines — emits a [`Schedule`].
+//! The simulator in `sdem-sim` replays schedules against a power model; the
+//! validation here checks the *timing* contract (deadlines, per-core
+//! exclusivity, workload completion, speed bounds) independently of energy.
+
+use core::fmt;
+
+use crate::{Cycles, ScheduleError, Speed, Task, TaskId, TaskSet, Time};
+
+/// Relative tolerance used when checking workload completion and window
+/// containment. Schedules are built from floating-point optimizations, so
+/// exact equality is too strict.
+const REL_TOL: f64 = 1e-6;
+
+/// Identifier of a processor core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A maximal run of one task at one constant speed.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_types::{Segment, Time, Speed};
+/// let seg = Segment::new(Time::from_millis(10.0), Time::from_millis(30.0), Speed::from_mhz(800.0));
+/// assert!((seg.length().as_millis() - 20.0).abs() < 1e-9);
+/// assert!((seg.work().value() - 1.6e7).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    start: Time,
+    end: Time,
+    speed: Speed,
+}
+
+impl Segment {
+    /// Creates a segment running over `[start, end]` at `speed`.
+    pub fn new(start: Time, end: Time, speed: Speed) -> Self {
+        Self { start, end, speed }
+    }
+
+    /// Segment start instant.
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Segment end instant.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// Execution speed during the segment.
+    #[inline]
+    pub fn speed(&self) -> Speed {
+        self.speed
+    }
+
+    /// Segment duration.
+    #[inline]
+    pub fn length(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Work executed during the segment.
+    #[inline]
+    pub fn work(&self) -> Cycles {
+        self.speed * self.length()
+    }
+
+    fn is_well_formed(&self) -> bool {
+        self.start.is_finite()
+            && self.end.is_finite()
+            && self.speed.is_finite()
+            && self.end > self.start
+            && self.speed.value() >= 0.0
+    }
+}
+
+/// The complete execution plan for a single task: its core and segments.
+///
+/// Segments must be ordered and non-overlapping; contiguous segments with
+/// different speeds model the online algorithm's speed adjustments at task
+/// arrivals. Offline schemes emit a single segment (non-preemptive model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    task: TaskId,
+    core: CoreId,
+    segments: Vec<Segment>,
+}
+
+impl Placement {
+    /// Creates a placement of `task` on `core` executing `segments`.
+    pub fn new(task: TaskId, core: CoreId, segments: Vec<Segment>) -> Self {
+        Self {
+            task,
+            core,
+            segments,
+        }
+    }
+
+    /// Convenience constructor for the common single-window case.
+    pub fn single(task: TaskId, core: CoreId, start: Time, end: Time, speed: Speed) -> Self {
+        Self::new(task, core, vec![Segment::new(start, end, speed)])
+    }
+
+    /// The task being placed.
+    #[inline]
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The core the task runs on.
+    #[inline]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The execution segments, in time order.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// First instant the task executes.
+    pub fn start(&self) -> Option<Time> {
+        self.segments.first().map(Segment::start)
+    }
+
+    /// Last instant the task executes (its completion time).
+    pub fn end(&self) -> Option<Time> {
+        self.segments.last().map(Segment::end)
+    }
+
+    /// Total work executed across all segments.
+    pub fn executed_work(&self) -> Cycles {
+        self.segments.iter().map(Segment::work).sum()
+    }
+
+    /// Total time the task occupies its core.
+    pub fn busy_time(&self) -> Time {
+        self.segments.iter().map(Segment::length).sum()
+    }
+}
+
+/// A complete system schedule: one [`Placement`] per task.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_types::{Schedule, Placement, TaskId, CoreId, Time, Speed};
+///
+/// let sched = Schedule::new(vec![
+///     Placement::single(TaskId(0), CoreId(0), Time::ZERO, Time::from_millis(20.0),
+///                       Speed::from_mhz(100.0)),
+///     Placement::single(TaskId(1), CoreId(1), Time::from_millis(5.0), Time::from_millis(25.0),
+///                       Speed::from_mhz(150.0)),
+/// ]);
+/// // Memory is busy while any core is busy: one merged interval here.
+/// let busy = sched.memory_busy_intervals();
+/// assert_eq!(busy.len(), 1);
+/// assert!((busy[0].1.as_millis() - 25.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+}
+
+impl Schedule {
+    /// Creates a schedule from per-task placements.
+    pub fn new(placements: Vec<Placement>) -> Self {
+        Self { placements }
+    }
+
+    /// Creates an empty schedule (useful as an accumulator).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The placements, in insertion order.
+    #[inline]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Adds a placement.
+    pub fn push(&mut self, placement: Placement) {
+        self.placements.push(placement);
+    }
+
+    /// Looks up the placement of a task.
+    pub fn placement(&self, task: TaskId) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.task() == task)
+    }
+
+    /// Number of distinct cores used.
+    pub fn cores_used(&self) -> usize {
+        let mut cores: Vec<CoreId> = self.placements.iter().map(Placement::core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores.len()
+    }
+
+    /// All distinct cores, sorted.
+    pub fn cores(&self) -> Vec<CoreId> {
+        let mut cores: Vec<CoreId> = self.placements.iter().map(Placement::core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+
+    /// Merged busy intervals of a single core, sorted by start.
+    pub fn core_busy_intervals(&self, core: CoreId) -> Vec<(Time, Time)> {
+        let spans = self
+            .placements
+            .iter()
+            .filter(|p| p.core() == core)
+            .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
+            .collect();
+        merge_intervals(spans)
+    }
+
+    /// Merged intervals during which at least one core is busy — exactly the
+    /// intervals during which the shared memory must be awake.
+    pub fn memory_busy_intervals(&self) -> Vec<(Time, Time)> {
+        let spans = self
+            .placements
+            .iter()
+            .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
+            .collect();
+        merge_intervals(spans)
+    }
+
+    /// Total time the memory must be awake (sum of merged busy intervals).
+    pub fn memory_busy_time(&self) -> Time {
+        self.memory_busy_intervals()
+            .iter()
+            .map(|&(a, b)| b - a)
+            .sum()
+    }
+
+    /// `(first execution instant, last execution instant)` over all tasks,
+    /// or `None` for an empty schedule.
+    pub fn span(&self) -> Option<(Time, Time)> {
+        let starts = self
+            .placements
+            .iter()
+            .filter_map(Placement::start)
+            .min_by(Time::total_cmp)?;
+        let ends = self
+            .placements
+            .iter()
+            .filter_map(Placement::end)
+            .max_by(Time::total_cmp)?;
+        Some((starts, ends))
+    }
+
+    /// Validates timing only: segment shape, per-task window containment,
+    /// workload completion, and per-core mutual exclusion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleError`] found. Energy-related checks
+    /// (speed bounds) are available via [`Schedule::validate_with_limits`].
+    pub fn validate(&self, tasks: &TaskSet) -> Result<(), ScheduleError> {
+        self.validate_with_limits(tasks, None, None)
+    }
+
+    /// Validates timing plus optional platform speed limits.
+    ///
+    /// `max_speed`/`min_speed` bound every segment's speed when provided.
+    /// A small relative tolerance absorbs floating-point noise from the
+    /// optimizers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScheduleError`] found.
+    pub fn validate_with_limits(
+        &self,
+        tasks: &TaskSet,
+        min_speed: Option<Speed>,
+        max_speed: Option<Speed>,
+    ) -> Result<(), ScheduleError> {
+        // Every placement refers to a known task, exactly once.
+        let mut seen: Vec<TaskId> = Vec::with_capacity(self.placements.len());
+        for p in &self.placements {
+            if tasks.get(p.task()).is_none() || seen.contains(&p.task()) {
+                return Err(ScheduleError::UnknownTask(p.task()));
+            }
+            seen.push(p.task());
+        }
+        for t in tasks.iter() {
+            if !seen.contains(&t.id()) {
+                return Err(ScheduleError::MissingTask(t.id()));
+            }
+        }
+
+        for p in &self.placements {
+            let task = tasks.get(p.task()).expect("checked above");
+            self.validate_placement(p, task, min_speed, max_speed)?;
+        }
+
+        self.validate_core_exclusivity()
+    }
+
+    fn validate_placement(
+        &self,
+        p: &Placement,
+        task: &Task,
+        min_speed: Option<Speed>,
+        max_speed: Option<Speed>,
+    ) -> Result<(), ScheduleError> {
+        let time_tol = Time::from_secs(task.deadline().as_secs().abs().max(1e-9) * REL_TOL);
+        for seg in p.segments() {
+            if !seg.is_well_formed() {
+                return Err(ScheduleError::MalformedSegment(p.task()));
+            }
+            if seg.start() < task.release() - time_tol || seg.end() > task.deadline() + time_tol {
+                return Err(ScheduleError::OutsideWindow(p.task()));
+            }
+            if let Some(smax) = max_speed {
+                if seg.speed() > smax * (1.0 + REL_TOL) {
+                    return Err(ScheduleError::SpeedAboveMax(p.task()));
+                }
+            }
+            if let Some(smin) = min_speed {
+                if seg.speed() < smin * (1.0 - REL_TOL) {
+                    return Err(ScheduleError::SpeedBelowMin(p.task()));
+                }
+            }
+        }
+        for w in p.segments().windows(2) {
+            if w[1].start() < w[0].end() - time_tol {
+                return Err(ScheduleError::OverlappingSegments(p.task()));
+            }
+        }
+        let executed = p.executed_work().value();
+        let required = task.work().value();
+        let work_tol = required.abs().max(1.0) * REL_TOL;
+        if (executed - required).abs() > work_tol {
+            return Err(ScheduleError::WorkMismatch {
+                task: p.task(),
+                executed,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_core_exclusivity(&self) -> Result<(), ScheduleError> {
+        // Gather (core, start, end, task) and sort; adjacent overlap check.
+        let mut spans: Vec<(CoreId, Time, Time, TaskId)> = self
+            .placements
+            .iter()
+            .flat_map(|p| {
+                p.segments()
+                    .iter()
+                    .map(move |s| (p.core(), s.start(), s.end(), p.task()))
+            })
+            .collect();
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in spans.windows(2) {
+            let (c0, _, e0, t0) = w[0];
+            let (c1, s1, _, t1) = w[1];
+            if c0 == c1 && t0 != t1 {
+                let tol = Time::from_secs(e0.as_secs().abs().max(1e-9) * REL_TOL);
+                if s1 < e0 - tol {
+                    return Err(ScheduleError::CoreConflict(c0, t0, t1));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Placement> for Schedule {
+    fn from_iter<I: IntoIterator<Item = Placement>>(iter: I) -> Self {
+        Self {
+            placements: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Placement> for Schedule {
+    fn extend<I: IntoIterator<Item = Placement>>(&mut self, iter: I) {
+        self.placements.extend(iter);
+    }
+}
+
+/// Merges possibly overlapping `(start, end)` intervals into a sorted,
+/// disjoint cover. Zero-length and inverted inputs are dropped.
+pub(crate) fn merge_intervals(mut spans: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
+    spans.retain(|&(a, b)| b > a);
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(Time, Time)> = Vec::with_capacity(spans.len());
+    for (a, b) in spans {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn ms(v: f64) -> Time {
+        Time::from_millis(v)
+    }
+
+    fn mhz(v: f64) -> Speed {
+        Speed::from_mhz(v)
+    }
+
+    fn simple_tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(0, ms(0.0), ms(50.0), Cycles::new(2.0e6)),
+            Task::new(1, ms(0.0), ms(100.0), Cycles::new(3.0e6)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn segment_math() {
+        let s = Segment::new(ms(0.0), ms(10.0), mhz(200.0));
+        assert!((s.length().as_millis() - 10.0).abs() < 1e-12);
+        assert!((s.work().value() - 2.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn placement_aggregates() {
+        let p = Placement::new(
+            TaskId(0),
+            CoreId(0),
+            vec![
+                Segment::new(ms(0.0), ms(10.0), mhz(100.0)),
+                Segment::new(ms(10.0), ms(20.0), mhz(100.0)),
+            ],
+        );
+        assert_eq!(p.start().unwrap(), ms(0.0));
+        assert_eq!(p.end().unwrap(), ms(20.0));
+        assert!((p.executed_work().value() - 2.0e6).abs() < 1.0);
+        assert!((p.busy_time().as_millis() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        sched.validate(&tasks).unwrap();
+        sched
+            .validate_with_limits(&tasks, Some(mhz(50.0)), Some(mhz(1900.0)))
+            .unwrap();
+    }
+
+    #[test]
+    fn detects_missing_and_unknown_tasks() {
+        let tasks = simple_tasks();
+        let missing = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            ms(0.0),
+            ms(20.0),
+            mhz(100.0),
+        )]);
+        assert_eq!(
+            missing.validate(&tasks),
+            Err(ScheduleError::MissingTask(TaskId(1)))
+        );
+        let unknown = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(7), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            unknown.validate(&tasks),
+            Err(ScheduleError::UnknownTask(TaskId(7)))
+        );
+    }
+
+    #[test]
+    fn detects_deadline_miss() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(60.0), mhz(2.0e6 / 6.0e4)),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            sched.validate(&tasks),
+            Err(ScheduleError::OutsideWindow(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn detects_work_mismatch() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(50.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        match sched.validate(&tasks) {
+            Err(ScheduleError::WorkMismatch { task, .. }) => assert_eq!(task, TaskId(0)),
+            other => panic!("expected WorkMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_core_conflict() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(0), ms(10.0), ms(40.0), mhz(100.0)),
+        ]);
+        match sched.validate(&tasks) {
+            Err(ScheduleError::CoreConflict(core, _, _)) => assert_eq!(core, CoreId(0)),
+            other => panic!("expected CoreConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_on_same_core_is_fine() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(0), ms(20.0), ms(50.0), mhz(100.0)),
+        ]);
+        sched.validate(&tasks).unwrap();
+    }
+
+    #[test]
+    fn detects_speed_violations() {
+        let tasks = simple_tasks();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(1.0), mhz(2000.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            sched.validate_with_limits(&tasks, None, Some(mhz(1900.0))),
+            Err(ScheduleError::SpeedAboveMax(TaskId(0)))
+        );
+        assert_eq!(
+            sched.validate_with_limits(&tasks, Some(mhz(700.0)), None),
+            Err(ScheduleError::SpeedBelowMin(TaskId(1)))
+        );
+    }
+
+    #[test]
+    fn detects_malformed_and_overlapping_segments() {
+        let tasks = simple_tasks();
+        let bad = Schedule::new(vec![
+            Placement::new(
+                TaskId(0),
+                CoreId(0),
+                vec![Segment::new(ms(10.0), ms(5.0), mhz(100.0))],
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            bad.validate(&tasks),
+            Err(ScheduleError::MalformedSegment(TaskId(0)))
+        );
+        let overlapping = Schedule::new(vec![
+            Placement::new(
+                TaskId(0),
+                CoreId(0),
+                vec![
+                    Segment::new(ms(0.0), ms(15.0), mhz(100.0)),
+                    Segment::new(ms(10.0), ms(15.0), mhz(100.0)),
+                ],
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            overlapping.validate(&tasks),
+            Err(ScheduleError::OverlappingSegments(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn memory_busy_merging() {
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(10.0), mhz(1.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(5.0), ms(20.0), mhz(1.0)),
+            Placement::single(TaskId(2), CoreId(0), ms(30.0), ms(40.0), mhz(1.0)),
+        ]);
+        let busy = sched.memory_busy_intervals();
+        assert_eq!(busy.len(), 2);
+        assert!((busy[0].0.as_millis()).abs() < 1e-9);
+        assert!((busy[0].1.as_millis() - 20.0).abs() < 1e-9);
+        assert!((busy[1].0.as_millis() - 30.0).abs() < 1e-9);
+        assert!((sched.memory_busy_time().as_millis() - 30.0).abs() < 1e-9);
+        assert_eq!(sched.cores_used(), 2);
+        assert_eq!(sched.cores(), vec![CoreId(0), CoreId(1)]);
+        let (s, e) = sched.span().unwrap();
+        assert_eq!(s, ms(0.0));
+        assert_eq!(e, ms(40.0));
+    }
+
+    #[test]
+    fn merge_intervals_drops_degenerate() {
+        let merged = merge_intervals(vec![
+            (ms(5.0), ms(5.0)),
+            (ms(2.0), ms(1.0)),
+            (ms(0.0), ms(3.0)),
+            (ms(3.0), ms(4.0)),
+        ]);
+        assert_eq!(merged, vec![(ms(0.0), ms(4.0))]);
+    }
+
+    #[test]
+    fn schedule_collects_and_extends() {
+        let p0 = Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(1.0), mhz(1.0));
+        let p1 = Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(1.0), mhz(1.0));
+        let mut sched: Schedule = vec![p0].into_iter().collect();
+        sched.extend(vec![p1]);
+        assert_eq!(sched.placements().len(), 2);
+        assert!(sched.placement(TaskId(1)).is_some());
+        assert!(sched.placement(TaskId(9)).is_none());
+        let mut empty = Schedule::empty();
+        assert!(empty.span().is_none());
+        empty.push(Placement::single(
+            TaskId(2),
+            CoreId(0),
+            ms(0.0),
+            ms(1.0),
+            mhz(1.0),
+        ));
+        assert_eq!(empty.placements().len(), 1);
+    }
+
+    #[test]
+    fn core_busy_intervals_are_per_core() {
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(10.0), mhz(1.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(5.0), ms(20.0), mhz(1.0)),
+        ]);
+        assert_eq!(sched.core_busy_intervals(CoreId(0)).len(), 1);
+        assert_eq!(sched.core_busy_intervals(CoreId(1))[0], (ms(5.0), ms(20.0)));
+        assert!(sched.core_busy_intervals(CoreId(2)).is_empty());
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+    }
+}

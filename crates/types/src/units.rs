@@ -1,0 +1,505 @@
+//! Strongly-typed scalar quantities.
+//!
+//! All quantities wrap an `f64` in SI base units (seconds, hertz, cycles,
+//! watts, joules). The arithmetic impls encode the dimensional analysis the
+//! SDEM algorithms rely on: `Cycles / Speed = Time`, `Speed * Time = Cycles`,
+//! `Watts * Time = Joules`, and so on. Constructors for the paper's customary
+//! units (milliseconds, megahertz, milliwatts) are provided so experiment
+//! code can mirror the published parameter tables verbatim.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` value in SI base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::min`].
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::max`].
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp requires lo <= hi");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Total ordering (via [`f64::total_cmp`]) for use as a sort key.
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A duration or instant on the schedule timeline, in seconds.
+    ///
+    /// The SDEM papers measure everything on a single real-valued timeline
+    /// starting at the earliest release, so a single type serves for both
+    /// instants and durations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::Time;
+    /// let window = Time::from_millis(120.0) - Time::from_millis(10.0);
+    /// assert!((window.as_millis() - 110.0).abs() < 1e-12);
+    /// ```
+    Time,
+    "s"
+);
+
+quantity!(
+    /// A processor speed (clock frequency), in hertz (cycles per second).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::{Speed, Time};
+    /// let work = Speed::from_mhz(1900.0) * Time::from_millis(1.0);
+    /// assert!((work.value() - 1.9e6).abs() < 1.0);
+    /// ```
+    Speed,
+    "Hz"
+);
+
+quantity!(
+    /// An amount of computational work, in processor cycles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::{Cycles, Speed};
+    /// let t = Cycles::new(2.0e6) / Speed::from_mhz(1000.0);
+    /// assert!((t.as_millis() - 2.0).abs() < 1e-9);
+    /// ```
+    Cycles,
+    "cycles"
+);
+
+quantity!(
+    /// Electrical power, in watts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::{Watts, Time};
+    /// let e = Watts::new(4.0) * Time::from_millis(30.0);
+    /// assert!((e.value() - 0.12).abs() < 1e-12);
+    /// ```
+    Watts,
+    "W"
+);
+
+quantity!(
+    /// Energy, in joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::Joules;
+    /// let total: Joules = [Joules::new(0.5), Joules::new(0.25)].into_iter().sum();
+    /// assert!((total.value() - 0.75).abs() < 1e-12);
+    /// ```
+    Joules,
+    "J"
+);
+
+impl Time {
+    /// Creates a `Time` from seconds.
+    #[inline]
+    pub const fn from_secs(secs: f64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a `Time` from milliseconds (the paper's customary unit).
+    #[inline]
+    pub fn from_millis(millis: f64) -> Self {
+        Self(millis * 1e-3)
+    }
+
+    /// Returns the value in seconds.
+    #[inline]
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Speed {
+    /// Creates a `Speed` from hertz.
+    #[inline]
+    pub const fn from_hz(hz: f64) -> Self {
+        Self(hz)
+    }
+
+    /// Creates a `Speed` from megahertz (the paper's customary unit).
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Returns the value in hertz.
+    #[inline]
+    pub const fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in megahertz.
+    #[inline]
+    pub fn as_mhz(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl Cycles {
+    /// Creates a work amount from a cycle count.
+    #[inline]
+    pub const fn new(cycles: f64) -> Self {
+        Self(cycles)
+    }
+}
+
+impl Watts {
+    /// Creates a power from watts.
+    #[inline]
+    pub const fn new(watts: f64) -> Self {
+        Self(watts)
+    }
+
+    /// Creates a power from milliwatts (the paper's customary unit for cores).
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+}
+
+impl Joules {
+    /// Creates an energy from joules.
+    #[inline]
+    pub const fn new(joules: f64) -> Self {
+        Self(joules)
+    }
+}
+
+impl Div<Speed> for Cycles {
+    type Output = Time;
+    /// Work divided by speed is the time needed to execute it.
+    #[inline]
+    fn div(self, rhs: Speed) -> Time {
+        Time::from_secs(self.0 / rhs.0)
+    }
+}
+
+impl Div<Time> for Cycles {
+    type Output = Speed;
+    /// Work divided by a window length is the speed that exactly fills it.
+    #[inline]
+    fn div(self, rhs: Time) -> Speed {
+        Speed::from_hz(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Time> for Speed {
+    type Output = Cycles;
+    /// Speed sustained for a duration executes this much work.
+    #[inline]
+    fn mul(self, rhs: Time) -> Cycles {
+        Cycles::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Speed> for Time {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: Speed) -> Cycles {
+        rhs * self
+    }
+}
+
+impl Mul<Time> for Watts {
+    type Output = Joules;
+    /// Power drawn for a duration consumes this much energy.
+    #[inline]
+    fn mul(self, rhs: Time) -> Joules {
+        Joules::new(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Time {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Time> for Joules {
+    type Output = Watts;
+    /// Energy spread over a duration is an average power.
+    #[inline]
+    fn div(self, rhs: Time) -> Watts {
+        Watts::new(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Time;
+    /// How long the given power draw could be sustained on this energy.
+    #[inline]
+    fn div(self, rhs: Watts) -> Time {
+        Time::from_secs(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_unit_round_trips() {
+        let t = Time::from_millis(42.0);
+        assert!((t.as_secs() - 0.042).abs() < 1e-15);
+        assert!((t.as_millis() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_unit_round_trips() {
+        let s = Speed::from_mhz(1900.0);
+        assert!((s.as_hz() - 1.9e9).abs() < 1.0);
+        assert!((s.as_mhz() - 1900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_over_speed_is_time() {
+        let t = Cycles::new(5.0e6) / Speed::from_mhz(1000.0);
+        assert!((t.as_millis() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_over_time_is_speed() {
+        let s = Cycles::new(2.0e6) / Time::from_millis(10.0);
+        assert!((s.as_mhz() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_times_time_is_cycles() {
+        let w = Speed::from_mhz(700.0) * Time::from_millis(3.0);
+        assert!((w.value() - 2.1e6).abs() < 1e-3);
+        let w2 = Time::from_millis(3.0) * Speed::from_mhz(700.0);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn watts_times_time_is_joules() {
+        let e = Watts::from_milliwatts(310.0) * Time::from_secs(2.0);
+        assert!((e.value() - 0.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joules_over_time_is_watts() {
+        let p = Joules::new(1.0) / Time::from_secs(4.0);
+        assert!((p.value() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn joules_over_watts_is_time() {
+        let t = Joules::new(1.0) / Watts::new(4.0);
+        assert!((t.as_secs() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.5);
+        assert!(a < b);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        assert_eq!((-a).as_secs(), -1.0);
+        assert_eq!((a * 3.0).as_secs(), 3.0);
+        assert_eq!((3.0 * a).as_secs(), 3.0);
+        assert_eq!((b / 2.5).as_secs(), 1.0);
+        assert_eq!(b / a, 2.5);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.clamp(Time::ZERO, a), a);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut t = Time::ZERO;
+        t += Time::from_secs(1.0);
+        t += Time::from_secs(2.0);
+        assert_eq!(t.as_secs(), 3.0);
+        t -= Time::from_secs(0.5);
+        assert_eq!(t.as_secs(), 2.5);
+        let total: Joules = (1..=4).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        let mut v = [
+            Time::from_secs(f64::NAN),
+            Time::from_secs(1.0),
+            Time::from_secs(-1.0),
+        ];
+        v.sort_by(Time::total_cmp);
+        assert_eq!(v[0].as_secs(), -1.0);
+        assert_eq!(v[1].as_secs(), 1.0);
+        assert!(v[2].as_secs().is_nan());
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Time::from_secs(1.5).to_string(), "1.5 s");
+        assert_eq!(Speed::from_hz(10.0).to_string(), "10 Hz");
+        assert_eq!(Watts::new(2.0).to_string(), "2 W");
+        assert_eq!(Joules::new(3.0).to_string(), "3 J");
+        assert_eq!(Cycles::new(7.0).to_string(), "7 cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp requires lo <= hi")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Time::from_secs(1.0).clamp(Time::from_secs(2.0), Time::from_secs(1.0));
+    }
+
+    #[test]
+    fn abs_and_is_finite() {
+        assert_eq!(Time::from_secs(-2.0).abs().as_secs(), 2.0);
+        assert!(Time::from_secs(1.0).is_finite());
+        assert!(!Time::from_secs(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the foundation types: dimensional arithmetic,
+//! interval merging invariants, schedule validation and the numeric
+//! helpers.
+
+use proptest::prelude::*;
+use sdem_types::numeric::{bisect_increasing, minimize_unimodal};
+use sdem_types::{CoreId, Cycles, Placement, Schedule, Speed, Task, TaskId, TaskSet, Time};
+
+proptest! {
+    #[test]
+    fn time_arithmetic_round_trips(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let (ta, tb) = (Time::from_secs(a), Time::from_secs(b));
+        let back = (ta + tb) - tb;
+        prop_assert!((back - ta).abs().as_secs() <= 1e-9 * a.abs().max(1.0));
+        prop_assert_eq!(ta.min(tb).min(ta.max(tb)), ta.min(tb));
+    }
+
+    #[test]
+    fn work_speed_time_consistency(w in 1e3f64..1e9, s in 1e3f64..1e10) {
+        let work = Cycles::new(w);
+        let speed = Speed::from_hz(s);
+        let t = work / speed;
+        let back = speed * t;
+        prop_assert!((back.value() - w).abs() <= 1e-9 * w);
+        let s_back = work / t;
+        prop_assert!((s_back.as_hz() - s).abs() <= 1e-9 * s);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(ms in 0.0f64..1e6, mhz in 0.0f64..1e5) {
+        let t = Time::from_millis(ms);
+        prop_assert!((t.as_millis() - ms).abs() <= 1e-9 * ms.max(1.0));
+        let s = Speed::from_mhz(mhz);
+        prop_assert!((s.as_mhz() - mhz).abs() <= 1e-9 * mhz.max(1.0));
+    }
+
+    #[test]
+    fn memory_busy_intervals_are_sorted_disjoint_and_cover_busy_time(
+        spans in prop::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..12),
+    ) {
+        // Build one placement per span on distinct cores.
+        let placements: Vec<Placement> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                Placement::single(
+                    TaskId(i),
+                    CoreId(i),
+                    Time::from_secs(start),
+                    Time::from_secs(start + len),
+                    Speed::from_hz(1.0),
+                )
+            })
+            .collect();
+        let schedule = Schedule::new(placements);
+        let merged = schedule.memory_busy_intervals();
+        // Sorted, disjoint, non-degenerate.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "intervals overlap: {w:?}");
+        }
+        for &(a, b) in &merged {
+            prop_assert!(b > a);
+        }
+        // Union length is between the longest span and the sum of spans.
+        let total: f64 = merged.iter().map(|&(a, b)| (b - a).as_secs()).sum();
+        let sum: f64 = spans.iter().map(|&(_, l)| l).sum();
+        let longest = spans.iter().map(|&(_, l)| l).fold(0.0, f64::max);
+        prop_assert!(total <= sum * (1.0 + 1e-9));
+        prop_assert!(total >= longest * (1.0 - 1e-9));
+        // And matches the reported busy time.
+        prop_assert!((schedule.memory_busy_time().as_secs() - total).abs() <= 1e-9 * total.max(1.0));
+    }
+
+    #[test]
+    fn filled_speed_schedules_always_validate(
+        specs in prop::collection::vec((0.0f64..50.0, 0.1f64..20.0, 0.0f64..100.0), 1..10),
+    ) {
+        let tasks = TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, win, w))| {
+                    Task::new(i, Time::from_secs(r), Time::from_secs(r + win), Cycles::new(w))
+                })
+                .collect(),
+        )
+        .unwrap();
+        // Every task filling its own region on its own core is feasible.
+        let schedule = Schedule::new(
+            tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if t.work().value() == 0.0 {
+                        Placement::new(t.id(), CoreId(i), vec![])
+                    } else {
+                        Placement::single(
+                            t.id(),
+                            CoreId(i),
+                            t.release(),
+                            t.deadline(),
+                            t.filled_speed(),
+                        )
+                    }
+                })
+                .collect(),
+        );
+        schedule.validate(&tasks).unwrap();
+        // Shrinking any non-trivial segment's work breaks validation.
+        if let Some(victim) = tasks.iter().find(|t| t.work().value() > 1.0) {
+            let broken = Schedule::new(
+                tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let speed = if t.id() == victim.id() {
+                            t.filled_speed() * 0.5
+                        } else {
+                            t.filled_speed()
+                        };
+                        if t.work().value() == 0.0 {
+                            Placement::new(t.id(), CoreId(i), vec![])
+                        } else {
+                            Placement::single(t.id(), CoreId(i), t.release(), t.deadline(), speed)
+                        }
+                    })
+                    .collect(),
+            );
+            prop_assert!(broken.validate(&tasks).is_err());
+        }
+    }
+
+    #[test]
+    fn golden_section_finds_quadratic_minima(
+        center in -50.0f64..50.0,
+        scale in 0.1f64..10.0,
+        lo in -100.0f64..-60.0,
+        hi in 60.0f64..100.0,
+    ) {
+        let f = |x: f64| scale * (x - center).powi(2);
+        let (x, v) = minimize_unimodal(f, lo, hi, 1e-12);
+        prop_assert!((x - center).abs() <= 1e-5 * center.abs().max(1.0), "{x} vs {center}");
+        prop_assert!(v <= f(center) + 1e-6 * scale);
+    }
+
+    #[test]
+    fn golden_section_respects_boundary_minima(slope in 0.1f64..10.0, lo in -5.0f64..0.0) {
+        // Strictly increasing function: minimum at lo.
+        let (x, _) = minimize_unimodal(|x| slope * x, lo, lo + 10.0, 1e-12);
+        prop_assert!((x - lo).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn bisection_inverts_monotone_cubics(root in -5.0f64..5.0, gain in 0.1f64..4.0) {
+        let g = |x: f64| gain * ((x - root) + (x - root).powi(3));
+        let found = bisect_increasing(g, -10.0, 10.0, 1e-13).expect("sign change exists");
+        prop_assert!((found - root).abs() <= 1e-6, "{found} vs {root}");
+    }
+
+    #[test]
+    fn sorted_by_deadline_is_sorted_and_stable_permutation(
+        specs in prop::collection::vec((0.0f64..50.0, 0.1f64..20.0), 1..15),
+    ) {
+        let tasks = TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, win))| {
+                    Task::new(i, Time::from_secs(r), Time::from_secs(r + win), Cycles::new(1.0))
+                })
+                .collect(),
+        )
+        .unwrap();
+        let sorted = tasks.sorted_by_deadline();
+        prop_assert_eq!(sorted.len(), tasks.len());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].deadline() <= w[1].deadline());
+        }
+        // Same multiset of ids.
+        let mut ids: Vec<usize> = sorted.iter().map(|t| t.id().0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..tasks.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,207 @@
+//! DSPstone-like benchmark tasks (paper §8.1.1).
+//!
+//! The paper instantiates two DSPstone kernels — a 1024-point FFT and a
+//! matrix multiplication — measures their cycle counts on the Analog
+//! Devices xsim2101 simulator, sets each instance's deadline to its
+//! execution time at 16.5 MHz, and releases instances sporadically with
+//! period `|d − r| · U` (larger `U` ⇒ lower utilization).
+//!
+//! We do not have xsim2101; per the substitution documented in `DESIGN.md`,
+//! cycle counts are derived analytically from the kernels' operation
+//! counts. Only the `(work, window)` pairs reach the schedulers, so the
+//! experiment's structure — two task populations with fixed work and
+//! `U`-scaled periods — is preserved exactly.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sdem_types::{Cycles, Speed, Task, TaskSet, Time};
+
+/// The DSP reference clock the paper uses to set deadlines.
+pub const REFERENCE_CLOCK_MHZ: f64 = 16.5;
+
+/// A DSPstone-like benchmark kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Radix-2 FFT over `points` complex samples (the paper uses 1024).
+    Fft {
+        /// Transform size (must be a power of two).
+        points: u32,
+    },
+    /// Dense matrix multiply `[X×Y]·[Y×Z]`.
+    MatrixMultiply {
+        /// Rows of the left operand.
+        x: u32,
+        /// Inner dimension.
+        y: u32,
+        /// Columns of the right operand.
+        z: u32,
+    },
+}
+
+impl Benchmark {
+    /// The paper's 1024-point FFT instance.
+    pub fn fft_1024() -> Self {
+        Self::Fft { points: 1024 }
+    }
+
+    /// A representative matrix-multiply instance (24×24×24), sized so the
+    /// two benchmark populations have the same order of magnitude of work,
+    /// as in DSPstone.
+    pub fn matrix_24() -> Self {
+        Self::MatrixMultiply {
+            x: 24,
+            y: 24,
+            z: 24,
+        }
+    }
+
+    /// Analytic cycle count of one instance.
+    ///
+    /// DSPstone measures *C-compiled* kernels, whose cycle counts on the
+    /// ADSP-21xx family run an order of magnitude above hand assembly
+    /// (that compiler-overhead gap is the benchmark suite's whole point):
+    ///
+    /// * FFT: `(N/2)·log2 N` radix-2 butterflies at ~200 cycles each
+    ///   (compiled complex multiply + twiddle loads + addressing);
+    /// * MatMul: `X·Y·Z` multiply-accumulates at ~30 cycles each plus
+    ///   per-element loop overhead.
+    ///
+    /// At the 16.5 MHz reference clock this puts instance windows in the
+    /// tens of milliseconds — the same order as the Table 4 break-even
+    /// times, which is what makes the Fig. 6 sleep trade-off non-trivial.
+    pub fn cycles(&self) -> Cycles {
+        match *self {
+            Self::Fft { points } => {
+                let n = f64::from(points);
+                Cycles::new((n / 2.0) * n.log2() * 200.0)
+            }
+            Self::MatrixMultiply { x, y, z } => {
+                let macs = f64::from(x) * f64::from(y) * f64::from(z);
+                Cycles::new(macs * 30.0 + f64::from(x) * f64::from(z) * 8.0)
+            }
+        }
+    }
+
+    /// The feasible-region length: execution time at the 16.5 MHz
+    /// reference clock (paper §8.1.1).
+    pub fn reference_window(&self) -> Time {
+        self.cycles() / Speed::from_mhz(REFERENCE_CLOCK_MHZ)
+    }
+}
+
+/// Generates the paper's benchmark workload: interleaved sporadic streams
+/// of FFT-1024 and matrix-multiply instances.
+///
+/// Each stream releases `instances_per_stream` instances; instance `k` of
+/// a stream with window `W` releases around `k · W · u` with a seeded
+/// uniform jitter of up to half a period (sporadic, not strictly periodic).
+/// Larger `u` means lower utilization (paper Fig. 6's x-axis).
+///
+/// # Panics
+///
+/// Panics if `instances_per_stream == 0` or `u <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_workload::dspstone::{stream, Benchmark};
+///
+/// let set = stream(&[Benchmark::fft_1024(), Benchmark::matrix_24()], 4.0, 10, 3);
+/// assert_eq!(set.len(), 20);
+/// ```
+pub fn stream(benchmarks: &[Benchmark], u: f64, instances_per_stream: usize, seed: u64) -> TaskSet {
+    assert!(instances_per_stream > 0, "need at least one instance");
+    assert!(u > 0.0, "utilization scale U must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(benchmarks.len() * instances_per_stream);
+    let mut id = 0usize;
+    for bench in benchmarks {
+        let window = bench.reference_window().as_secs();
+        let period = window * u;
+        let mut release = rng.gen_range(0.0..period);
+        for _ in 0..instances_per_stream {
+            tasks.push(Task::new(
+                id,
+                Time::from_secs(release),
+                Time::from_secs(release + window),
+                bench.cycles(),
+            ));
+            id += 1;
+            // Sporadic: period plus up to half a period of jitter.
+            release += period + rng.gen_range(0.0..=period * 0.5);
+        }
+    }
+    TaskSet::new(tasks).expect("generator produces valid tasks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_1024_cycle_count() {
+        let c = Benchmark::fft_1024().cycles().value();
+        // 512 butterflies/stage × 10 stages × 200 cycles = 1 024 000.
+        assert_eq!(c, 1_024_000.0);
+    }
+
+    #[test]
+    fn matmul_cycle_count_scales() {
+        let small = Benchmark::MatrixMultiply { x: 4, y: 4, z: 4 }
+            .cycles()
+            .value();
+        assert_eq!(small, 4.0 * 4.0 * 4.0 * 30.0 + 16.0 * 8.0);
+        let big = Benchmark::matrix_24().cycles().value();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn reference_window_is_16_5_mhz_execution_time() {
+        let b = Benchmark::fft_1024();
+        let expected_ms = 1_024_000.0 / 16.5e6 * 1e3;
+        assert!((b.reference_window().as_millis() - expected_ms).abs() < 1e-9);
+        // ≈ 62 ms: comparable to the Table 4 break-even times, so the
+        // sleep trade-off in Fig. 6 is non-trivial.
+        assert!((40.0..90.0).contains(&b.reference_window().as_millis()));
+    }
+
+    #[test]
+    fn stream_is_reproducible_and_sized() {
+        let benches = [Benchmark::fft_1024(), Benchmark::matrix_24()];
+        let a = stream(&benches, 3.0, 25, 9);
+        let b = stream(&benches, 3.0, 25, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn larger_u_spreads_releases() {
+        let benches = [Benchmark::fft_1024()];
+        let tight = stream(&benches, 2.0, 20, 1);
+        let loose = stream(&benches, 9.0, 20, 1);
+        let span = |s: &TaskSet| s.latest_deadline().as_secs() - s.earliest_release().as_secs();
+        assert!(span(&loose) > span(&tight) * 2.0);
+    }
+
+    #[test]
+    fn instances_have_u_independent_windows() {
+        // U scales the period, not the deadline window.
+        for u in [2.0, 5.0, 9.0] {
+            let set = stream(&[Benchmark::fft_1024()], u, 5, 0);
+            for t in set.iter() {
+                assert!(
+                    (t.window().as_secs() - Benchmark::fft_1024().reference_window().as_secs())
+                        .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_tasks_fit_the_a57() {
+        // Filled speed = 16.5 MHz ≪ 1900 MHz.
+        let set = stream(&[Benchmark::fft_1024(), Benchmark::matrix_24()], 2.0, 10, 0);
+        assert!((set.max_filled_speed().as_mhz() - 16.5).abs() < 1e-6);
+    }
+}

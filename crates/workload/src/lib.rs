@@ -1,0 +1,26 @@
+//! Workload generators for the SDEM experiments (paper §8.1).
+//!
+//! Three sources of task sets, all seeded and reproducible:
+//!
+//! * [`synthetic`] — the paper's random task sets (§8.1.2): workloads in
+//!   `[2, 5]·10⁶` cycles, feasible regions in `[10, 120]` ms, sporadic
+//!   releases with a maximum inter-arrival `x` that controls utilization;
+//! * [`dspstone`] — the DSPstone-like benchmark tasks (§8.1.1): FFT-1024
+//!   and matrix-multiply instances with analytic cycle counts (substituting
+//!   the xsim2101 measurements, see `DESIGN.md`), deadline equal to the
+//!   16.5 MHz execution time, and period `|d − r| · U`;
+//! * [`periodic`] — classic periodic task declarations with utilization
+//!   accounting and unrolling into job sets;
+//! * structured generators for the theory sections: [`synthetic::common_release`]
+//!   (§4) and [`synthetic::agreeable`] (§5).
+//!
+//! [`paper`] holds the Table 4 parameter grid verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dspstone;
+pub mod paper;
+pub mod periodic;
+pub mod synthetic;
+pub mod textfmt;

@@ -1,0 +1,53 @@
+//! The paper's Table 4 parameter grid, verbatim.
+//!
+//! `*` in the paper marks the default used when sweeping another parameter;
+//! the `DEFAULT_*` constants here are exactly those starred values.
+
+/// Maximum inter-arrival times `x` (ms) controlling core utilization:
+/// `x = 100` ms keeps all 8 cores busy, `x = 800` ms nearly serializes.
+pub const X_POINTS_MS: [f64; 8] = [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0];
+
+/// The starred default `x` (ms).
+pub const DEFAULT_X_MS: f64 = 400.0;
+
+/// Memory static power sweep `α_m` (W) — Fig. 7a.
+pub const ALPHA_M_POINTS_W: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+
+/// The starred default `α_m` (W).
+pub const DEFAULT_ALPHA_M_W: f64 = 4.0;
+
+/// Memory break-even time sweep `ξ_m` (ms) — Fig. 7b.
+pub const XI_M_POINTS_MS: [f64; 8] = [15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0];
+
+/// The starred default `ξ_m` (ms).
+pub const DEFAULT_XI_M_MS: f64 = 40.0;
+
+/// Utilization scale factors `U` for the benchmark tasks (Fig. 6): period
+/// is `|d − r| · U`, so larger `U` means lower utilization.
+pub const U_POINTS: [f64; 8] = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+
+/// Number of homogeneous cores in the evaluation platform.
+pub const NUM_CORES: usize = 8;
+
+/// Random trials averaged per data point (§8.2).
+pub const TRIALS_PER_POINT: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_table_4() {
+        assert_eq!(X_POINTS_MS.len(), 8);
+        assert_eq!(ALPHA_M_POINTS_W.len(), 8);
+        assert_eq!(XI_M_POINTS_MS.len(), 8);
+        assert_eq!(U_POINTS.len(), 8);
+        assert!(X_POINTS_MS.contains(&DEFAULT_X_MS));
+        assert!(ALPHA_M_POINTS_W.contains(&DEFAULT_ALPHA_M_W));
+        assert!(XI_M_POINTS_MS.contains(&DEFAULT_XI_M_MS));
+        // The starred defaults per Table 4.
+        assert_eq!(DEFAULT_X_MS, 400.0);
+        assert_eq!(DEFAULT_ALPHA_M_W, 4.0);
+        assert_eq!(DEFAULT_XI_M_MS, 40.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Periodic real-time tasks and their unrolling into job sets.
+//!
+//! The paper's evaluation releases benchmark instances "sporadically" with
+//! period `|d − r| · U` — i.e. its workloads are periodic task systems in
+//! the classic Liu–Layland sense. This module provides that substrate
+//! explicitly: periodic task declarations, utilization accounting, and
+//! unrolling into the [`TaskSet`] job model every scheduler consumes.
+
+use sdem_types::{Cycles, Speed, Task, TaskSet, TaskSetError, Time};
+
+/// A periodic task: a job of `wcet` cycles is released every `period`
+/// starting at `offset`, each due `relative_deadline` after its release.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_workload::periodic::PeriodicTask;
+/// use sdem_types::{Time, Cycles, Speed};
+///
+/// let t = PeriodicTask::implicit(0, Time::from_millis(100.0), Cycles::new(2.0e6));
+/// // Implicit deadline: due exactly one period after release.
+/// assert_eq!(t.relative_deadline(), t.period());
+/// // Utilization at 100 MHz: 2e6 cycles / (0.1 s · 1e8 Hz) = 0.2.
+/// assert!((t.utilization(Speed::from_mhz(100.0)) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicTask {
+    id: usize,
+    period: Time,
+    wcet: Cycles,
+    offset: Time,
+    relative_deadline: Time,
+}
+
+impl PeriodicTask {
+    /// A task with an implicit deadline (due one period after release) and
+    /// zero offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive and finite, or `wcet` negative.
+    pub fn implicit(id: usize, period: Time, wcet: Cycles) -> Self {
+        Self::new(id, period, wcet, Time::ZERO, period)
+    }
+
+    /// A fully general periodic task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `relative_deadline` is not positive and
+    /// finite, `offset` is negative, or `wcet` is negative/non-finite.
+    pub fn new(
+        id: usize,
+        period: Time,
+        wcet: Cycles,
+        offset: Time,
+        relative_deadline: Time,
+    ) -> Self {
+        assert!(
+            period.is_finite() && period.value() > 0.0,
+            "period must be positive and finite"
+        );
+        assert!(
+            relative_deadline.is_finite() && relative_deadline.value() > 0.0,
+            "relative deadline must be positive and finite"
+        );
+        assert!(
+            offset.is_finite() && offset.value() >= 0.0,
+            "offset must be non-negative"
+        );
+        assert!(
+            wcet.is_finite() && wcet.value() >= 0.0,
+            "wcet must be non-negative"
+        );
+        Self {
+            id,
+            period,
+            wcet,
+            offset,
+            relative_deadline,
+        }
+    }
+
+    /// The declaring id (job ids are derived from it during unrolling).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Release period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Worst-case execution demand per job, in cycles.
+    pub fn wcet(&self) -> Cycles {
+        self.wcet
+    }
+
+    /// First release instant.
+    pub fn offset(&self) -> Time {
+        self.offset
+    }
+
+    /// Deadline relative to each release.
+    pub fn relative_deadline(&self) -> Time {
+        self.relative_deadline
+    }
+
+    /// Processor utilization at the given reference speed:
+    /// `wcet / (period · speed)`.
+    pub fn utilization(&self, speed: Speed) -> f64 {
+        self.wcet.value() / (speed * self.period).value()
+    }
+}
+
+/// Hyperperiod of a task system whose periods are (close to) integer
+/// multiples of `resolution`: the least common multiple of the rounded
+/// periods. Returns `None` when some period is not within `1e-6`
+/// (relative) of a multiple of the resolution, or the LCM overflows.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_workload::periodic::{hyperperiod, PeriodicTask};
+/// use sdem_types::{Time, Cycles};
+///
+/// let tasks = [
+///     PeriodicTask::implicit(0, Time::from_millis(40.0), Cycles::new(1.0)),
+///     PeriodicTask::implicit(1, Time::from_millis(60.0), Cycles::new(1.0)),
+/// ];
+/// let h = hyperperiod(&tasks, Time::from_millis(1.0)).unwrap();
+/// assert!((h.as_millis() - 120.0).abs() < 1e-9);
+/// ```
+pub fn hyperperiod(tasks: &[PeriodicTask], resolution: Time) -> Option<Time> {
+    assert!(resolution.value() > 0.0, "resolution must be positive");
+    let mut lcm: u128 = 1;
+    for t in tasks {
+        let ratio = t.period.as_secs() / resolution.as_secs();
+        let rounded = ratio.round();
+        if rounded < 1.0 || (ratio - rounded).abs() > 1e-6 * ratio.max(1.0) {
+            return None;
+        }
+        let k = rounded as u128;
+        let g = gcd(lcm, k);
+        lcm = lcm.checked_mul(k / g)?;
+        if lcm > u128::from(u64::MAX) {
+            return None;
+        }
+    }
+    Some(resolution * lcm as f64)
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Total utilization of a periodic task system at `speed`.
+pub fn total_utilization(tasks: &[PeriodicTask], speed: Speed) -> f64 {
+    tasks.iter().map(|t| t.utilization(speed)).sum()
+}
+
+/// Unrolls periodic tasks into the jobs released within `[0, horizon)`,
+/// producing a [`TaskSet`] the SDEM schedulers consume directly. Job ids
+/// number the jobs consecutively in declaration-then-release order.
+///
+/// Only jobs whose *deadline* falls within the horizon are emitted, so the
+/// resulting set never contains truncated jobs.
+///
+/// # Errors
+///
+/// Returns [`TaskSetError::Empty`] when no job fits in the horizon.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_workload::periodic::{unroll, PeriodicTask};
+/// use sdem_types::{Time, Cycles};
+///
+/// let tasks = [
+///     PeriodicTask::implicit(0, Time::from_millis(50.0), Cycles::new(1.0e6)),
+///     PeriodicTask::implicit(1, Time::from_millis(100.0), Cycles::new(2.0e6)),
+/// ];
+/// let jobs = unroll(&tasks, Time::from_millis(200.0))?;
+/// // 4 jobs of task 0 (deadlines 50..200) + 2 of task 1.
+/// assert_eq!(jobs.len(), 6);
+/// # Ok::<(), sdem_types::TaskSetError>(())
+/// ```
+pub fn unroll(tasks: &[PeriodicTask], horizon: Time) -> Result<TaskSet, TaskSetError> {
+    let mut jobs = Vec::new();
+    let mut next_id = 0usize;
+    for t in tasks {
+        let mut k = 0u32;
+        loop {
+            let release = t.offset + t.period * f64::from(k);
+            let deadline = release + t.relative_deadline;
+            if deadline > horizon {
+                break;
+            }
+            jobs.push(Task::new(next_id, release, deadline, t.wcet));
+            next_id += 1;
+            k += 1;
+        }
+    }
+    TaskSet::new(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Time {
+        Time::from_millis(v)
+    }
+
+    #[test]
+    fn implicit_deadline_equals_period() {
+        let t = PeriodicTask::implicit(3, ms(40.0), Cycles::new(1.0e6));
+        assert_eq!(t.id(), 3);
+        assert_eq!(t.relative_deadline(), t.period());
+        assert_eq!(t.offset(), Time::ZERO);
+    }
+
+    #[test]
+    fn unroll_counts_and_windows() {
+        let tasks = [
+            PeriodicTask::implicit(0, ms(50.0), Cycles::new(1.0e6)),
+            PeriodicTask::new(1, ms(100.0), Cycles::new(2.0e6), ms(10.0), ms(60.0)),
+        ];
+        let jobs = unroll(&tasks, ms(200.0)).unwrap();
+        // Task 0: deadlines 50, 100, 150, 200 → 4 jobs.
+        // Task 1: releases 10, 110 with deadlines 70, 170 → 2 jobs.
+        assert_eq!(jobs.len(), 6);
+        for t in jobs.iter() {
+            assert!(t.deadline() <= ms(200.0));
+        }
+        // The unrolled set of task 1 keeps the constrained deadline.
+        let late = jobs
+            .tasks()
+            .iter()
+            .find(|t| t.release() == ms(110.0))
+            .unwrap();
+        assert!((late.window().as_millis() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unroll_empty_horizon_is_an_error() {
+        let tasks = [PeriodicTask::implicit(0, ms(50.0), Cycles::new(1.0))];
+        assert_eq!(unroll(&tasks, ms(10.0)), Err(TaskSetError::Empty));
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let s = Speed::from_mhz(100.0);
+        let tasks = [
+            PeriodicTask::implicit(0, ms(100.0), Cycles::new(2.0e6)), // 0.2
+            PeriodicTask::implicit(1, ms(50.0), Cycles::new(1.0e6)),  // 0.2
+        ];
+        assert!((total_utilization(&tasks, s) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrolled_jobs_are_schedulable_by_sdem_on() {
+        use sdem_power::Platform;
+        let tasks = [
+            PeriodicTask::implicit(0, ms(80.0), Cycles::new(3.0e6)),
+            PeriodicTask::new(1, ms(120.0), Cycles::new(5.0e6), ms(15.0), ms(90.0)),
+        ];
+        let jobs = unroll(&tasks, ms(500.0)).unwrap();
+        let platform = Platform::paper_defaults();
+        // The unrolled set is a valid general task set for the schedulers.
+        assert!(jobs.max_filled_speed() < platform.core().max_speed());
+        assert!(!jobs.is_common_release());
+    }
+
+    #[test]
+    fn hyperperiod_lcm_and_rejections() {
+        let t = |ms: f64| PeriodicTask::implicit(0, ms_(ms), Cycles::new(1.0));
+        fn ms_(v: f64) -> Time {
+            Time::from_millis(v)
+        }
+        let h = hyperperiod(&[t(20.0), t(50.0), t(8.0)], ms_(1.0)).unwrap();
+        assert!((h.as_millis() - 200.0).abs() < 1e-9);
+        // Irrational-ish period w.r.t. the resolution is rejected.
+        assert!(hyperperiod(&[t(20.5001234)], ms_(1.0)).is_none());
+        // One hyperperiod of jobs unrolls cleanly.
+        let tasks = [
+            PeriodicTask::implicit(0, ms_(20.0), Cycles::new(1.0)),
+            PeriodicTask::implicit(1, ms_(50.0), Cycles::new(1.0)),
+        ];
+        let h = hyperperiod(&tasks, ms_(1.0)).unwrap();
+        let jobs = unroll(&tasks, h).unwrap();
+        assert_eq!(jobs.len(), 5 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn rejects_zero_period() {
+        let _ = PeriodicTask::implicit(0, Time::ZERO, Cycles::new(1.0));
+    }
+}

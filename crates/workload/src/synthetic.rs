@@ -1,0 +1,217 @@
+//! Seeded random task-set generators (paper §8.1.2).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sdem_types::{Cycles, Task, TaskSet, Time};
+
+/// Configuration of the sporadic generator. Defaults are the paper's:
+/// workloads in `[2, 5]·10⁶` cycles, feasible regions in `[10, 120]` ms,
+/// maximum inter-arrival `x = 400` ms (the Table 4 star).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Maximum inter-arrival time `x` between consecutive releases; actual
+    /// inter-arrivals are uniform in `[0, x]`.
+    pub max_inter_arrival: Time,
+    /// Uniform workload range in cycles.
+    pub work_range: (f64, f64),
+    /// Uniform feasible-region length range.
+    pub window_range: (Time, Time),
+}
+
+impl SyntheticConfig {
+    /// The paper's configuration with `n` tasks and inter-arrival cap `x`.
+    pub fn paper(tasks: usize, x: Time) -> Self {
+        Self {
+            tasks,
+            max_inter_arrival: x,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 64,
+            max_inter_arrival: Time::from_millis(crate::paper::DEFAULT_X_MS),
+            work_range: (2.0e6, 5.0e6),
+            window_range: (Time::from_millis(10.0), Time::from_millis(120.0)),
+        }
+    }
+}
+
+/// Generates a sporadic task set per the paper's §8.1.2.
+///
+/// Reproducible: the same `(config, seed)` always yields the same set.
+///
+/// # Panics
+///
+/// Panics if `config.tasks == 0` or a range is inverted.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_workload::synthetic::{sporadic, SyntheticConfig};
+/// use sdem_types::Time;
+///
+/// let cfg = SyntheticConfig::paper(50, Time::from_millis(100.0));
+/// let a = sporadic(&cfg, 7);
+/// let b = sporadic(&cfg, 7);
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 50);
+/// ```
+pub fn sporadic(config: &SyntheticConfig, seed: u64) -> TaskSet {
+    assert!(config.tasks > 0, "need at least one task");
+    let (w_lo, w_hi) = config.work_range;
+    let (win_lo, win_hi) = (
+        config.window_range.0.as_secs(),
+        config.window_range.1.as_secs(),
+    );
+    assert!(w_lo <= w_hi && win_lo <= win_hi, "ranges must be ordered");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut release = 0.0f64;
+    let tasks = (0..config.tasks)
+        .map(|i| {
+            if i > 0 {
+                release += rng.gen_range(0.0..=config.max_inter_arrival.as_secs());
+            }
+            let window = rng.gen_range(win_lo..=win_hi);
+            let work = rng.gen_range(w_lo..=w_hi);
+            Task::new(
+                i,
+                Time::from_secs(release),
+                Time::from_secs(release + window),
+                Cycles::new(work),
+            )
+        })
+        .collect();
+    TaskSet::new(tasks).expect("generator produces valid tasks")
+}
+
+/// Generates a common-release task set (the §4 model): all tasks release
+/// at 0, deadlines and workloads drawn from the config ranges.
+///
+/// # Panics
+///
+/// Panics if `config.tasks == 0` or a range is inverted.
+pub fn common_release(config: &SyntheticConfig, seed: u64) -> TaskSet {
+    assert!(config.tasks > 0, "need at least one task");
+    let (w_lo, w_hi) = config.work_range;
+    let (win_lo, win_hi) = (
+        config.window_range.0.as_secs(),
+        config.window_range.1.as_secs(),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tasks = (0..config.tasks)
+        .map(|i| {
+            let window = rng.gen_range(win_lo..=win_hi);
+            let work = rng.gen_range(w_lo..=w_hi);
+            Task::new(i, Time::ZERO, Time::from_secs(window), Cycles::new(work))
+        })
+        .collect();
+    TaskSet::new(tasks).expect("generator produces valid tasks")
+}
+
+/// Generates an agreeable-deadline task set (the §5 model): releases are
+/// sporadic and each deadline is forced to be at least the previous one.
+///
+/// # Panics
+///
+/// Panics if `config.tasks == 0` or a range is inverted.
+pub fn agreeable(config: &SyntheticConfig, seed: u64) -> TaskSet {
+    assert!(config.tasks > 0, "need at least one task");
+    let (w_lo, w_hi) = config.work_range;
+    let (win_lo, win_hi) = (
+        config.window_range.0.as_secs(),
+        config.window_range.1.as_secs(),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut release = 0.0f64;
+    let mut last_deadline = 0.0f64;
+    let tasks = (0..config.tasks)
+        .map(|i| {
+            if i > 0 {
+                release += rng.gen_range(0.0..=config.max_inter_arrival.as_secs());
+            }
+            let window = rng.gen_range(win_lo..=win_hi);
+            let deadline = (release + window).max(last_deadline + 1e-9);
+            last_deadline = deadline;
+            let work = rng.gen_range(w_lo..=w_hi);
+            Task::new(
+                i,
+                Time::from_secs(release),
+                Time::from_secs(deadline),
+                Cycles::new(work),
+            )
+        })
+        .collect();
+    TaskSet::new(tasks).expect("generator produces valid tasks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sporadic_is_reproducible_and_in_range() {
+        let cfg = SyntheticConfig::paper(100, Time::from_millis(200.0));
+        let a = sporadic(&cfg, 42);
+        let b = sporadic(&cfg, 42);
+        assert_eq!(a, b);
+        let c = sporadic(&cfg, 43);
+        assert_ne!(a, c);
+        for t in a.iter() {
+            let w = t.work().value();
+            assert!((2.0e6..=5.0e6).contains(&w), "work {w} out of range");
+            let win = t.window().as_millis();
+            assert!((10.0..=120.0).contains(&win), "window {win} out of range");
+        }
+        // Releases are non-decreasing with bounded inter-arrival.
+        let rel: Vec<f64> = a
+            .sorted_by_release()
+            .iter()
+            .map(|t| t.release().as_millis())
+            .collect();
+        for w in rel.windows(2) {
+            assert!(w[1] >= w[0]);
+            assert!(w[1] - w[0] <= 200.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sporadic_tasks_are_feasible_on_the_a57() {
+        // Densest possible task: 5e6 cycles over 10 ms = 500 MHz < 1900 MHz.
+        let cfg = SyntheticConfig::paper(200, Time::from_millis(100.0));
+        let set = sporadic(&cfg, 1);
+        assert!(set.max_filled_speed().as_mhz() <= 500.0 + 1e-6);
+    }
+
+    #[test]
+    fn common_release_is_common() {
+        let cfg = SyntheticConfig::paper(20, Time::from_millis(100.0));
+        let set = common_release(&cfg, 5);
+        assert!(set.is_common_release());
+        assert!(set.is_agreeable());
+    }
+
+    #[test]
+    fn agreeable_is_agreeable() {
+        for seed in 0..20 {
+            let cfg = SyntheticConfig::paper(30, Time::from_millis(50.0));
+            let set = agreeable(&cfg, seed);
+            assert!(set.is_agreeable(), "seed {seed} not agreeable");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn rejects_empty_config() {
+        let cfg = SyntheticConfig {
+            tasks: 0,
+            ..SyntheticConfig::default()
+        };
+        let _ = sporadic(&cfg, 0);
+    }
+}

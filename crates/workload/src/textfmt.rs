@@ -1,0 +1,143 @@
+//! The on-disk task-set format: one task per line,
+//! `id release_ms deadline_ms work_cycles`, with `#` comments and blank
+//! lines ignored. Used by `sdem-cli` and handy for sharing instances
+//! between experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_workload::textfmt::{from_text, to_text};
+//! let set = from_text("0 0 50 2e6\n1 10 80 3e6\n").unwrap();
+//! assert_eq!(set.len(), 2);
+//! let round = from_text(&to_text(&set)).unwrap();
+//! assert_eq!(round.len(), 2);
+//! ```
+
+use sdem_types::{Cycles, Task, TaskSet, Time};
+
+/// Serializes a task set to the text format.
+pub fn to_text(tasks: &TaskSet) -> String {
+    let mut out = String::from("# id release_ms deadline_ms work_cycles\n");
+    for t in tasks.iter() {
+        out.push_str(&format!(
+            "{} {:.6} {:.6} {:.3}\n",
+            t.id().0,
+            t.release().as_millis(),
+            t.deadline().as_millis(),
+            t.work().value(),
+        ));
+    }
+    out
+}
+
+/// Parses the text format back into a task set.
+///
+/// # Errors
+///
+/// Reports the offending line for malformed rows, and forwards task-set
+/// validation errors (duplicate ids, empty windows, ...).
+pub fn from_text(text: &str) -> Result<TaskSet, String> {
+    let mut tasks = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "line {}: expected `id release_ms deadline_ms work_cycles`, got `{line}`",
+                lineno + 1
+            ));
+        }
+        let parse = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse()
+                .map_err(|_| format!("line {}: bad {what} `{s}`", lineno + 1))
+        };
+        let id: usize = fields[0]
+            .parse()
+            .map_err(|_| format!("line {}: bad id `{}`", lineno + 1, fields[0]))?;
+        let release = parse(fields[1], "release")?;
+        let deadline = parse(fields[2], "deadline")?;
+        let work = parse(fields[3], "work")?;
+        tasks.push(Task::new(
+            id,
+            Time::from_millis(release),
+            Time::from_millis(deadline),
+            Cycles::new(work),
+        ));
+    }
+    TaskSet::new(tasks).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let tasks = TaskSet::new(vec![
+            Task::new(
+                0,
+                Time::from_millis(0.0),
+                Time::from_millis(50.0),
+                Cycles::new(2.0e6),
+            ),
+            Task::new(
+                1,
+                Time::from_millis(12.5),
+                Time::from_millis(80.0),
+                Cycles::new(3.5e6),
+            ),
+        ])
+        .unwrap();
+        let text = to_text(&tasks);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in tasks.iter().zip(back.iter()) {
+            assert_eq!(a.id(), b.id());
+            assert!((a.release() - b.release()).abs().as_millis() < 1e-3);
+            assert!((a.work().value() - b.work().value()).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0 0 50 1e6  # trailing comment\n";
+        let set = from_text(text).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        // Fuzz-ish robustness: arbitrary byte soup must produce Err or Ok,
+        // never a panic.
+        let samples = [
+            "",
+            "\n\n\n",
+            "###",
+            "0",
+            "0 1",
+            "0 1 2 3 4 5",
+            "a b c d",
+            "0 -5 -1 1e6",
+            "0 0 1e308 1e308",
+            "0 0 nan 1",
+            "0 0 inf 1",
+            "🦀 0 1 2",
+            "0 0 50 1e6\n0 0 60 1e6",
+        ];
+        for s in samples {
+            let _ = from_text(s);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(from_text("0 0 50").unwrap_err().contains("line 1"));
+        assert!(from_text("0 0 fifty 1e6").unwrap_err().contains("line 1"));
+        assert!(from_text("x 0 50 1e6").unwrap_err().contains("bad id"));
+        // Validation errors surface too (deadline before release).
+        assert!(from_text("0 50 10 1e6").unwrap_err().contains("deadline"));
+    }
+}

@@ -1,0 +1,62 @@
+//! A periodic control system end to end: declare periodic tasks, unroll
+//! them over a hyperperiod, schedule online with SDEM-ON, quantize the
+//! continuous speeds onto a real DVFS table, and render the timeline.
+//!
+//! Run with: `cargo run --example periodic_system`
+
+use sdem::core::discrete::{quantize_schedule, SpeedLevels};
+use sdem::core::online::schedule_online;
+use sdem::prelude::*;
+use sdem::sim::render_gantt;
+use sdem::workload::periodic::{total_utilization, unroll, PeriodicTask};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::paper_defaults();
+
+    // A sensor-fusion pipeline: fast control loop, medium vision task,
+    // slow logging task.
+    let tasks = [
+        PeriodicTask::implicit(0, Time::from_millis(100.0), Cycles::new(8.0e6)),
+        PeriodicTask::new(
+            1,
+            Time::from_millis(200.0),
+            Cycles::new(2.5e7),
+            Time::from_millis(25.0),
+            Time::from_millis(150.0),
+        ),
+        PeriodicTask::implicit(2, Time::from_millis(400.0), Cycles::new(1.2e7)),
+    ];
+    println!(
+        "periodic system utilization at 1900 MHz: {:.1}%",
+        total_utilization(&tasks, platform.core().max_speed()) * 100.0
+    );
+
+    // Unroll one hyperperiod (400 ms) into concrete jobs.
+    let jobs = unroll(&tasks, Time::from_millis(400.0))?;
+    println!("unrolled {} jobs over 400 ms", jobs.len());
+
+    // SDEM-ON schedules the job stream online.
+    let continuous = schedule_online(&jobs, &platform)?;
+    continuous.validate(&jobs)?;
+    let e_cont = simulate(&continuous, &jobs, &platform, SleepPolicy::WhenProfitable)?;
+    println!("\ncontinuous-DVS energy: {e_cont}");
+
+    // Deploy on a realistic 5-point DVFS table.
+    let table = SpeedLevels::new(
+        [700.0, 1000.0, 1300.0, 1600.0, 1900.0]
+            .map(Speed::from_mhz)
+            .to_vec(),
+    );
+    let discrete = quantize_schedule(&continuous, &table)?;
+    discrete.validate(&jobs)?;
+    let e_disc = simulate(&discrete, &jobs, &platform, SleepPolicy::WhenProfitable)?;
+    println!(
+        "5-level DVFS energy:   {} ({:+.2}% vs continuous)",
+        e_disc,
+        (e_disc.total().value() / e_cont.total().value() - 1.0) * 100.0
+    );
+
+    println!("\ntimeline (digits = speed, '.' idle, ' ' off):");
+    print!("{}", render_gantt(&discrete, 96));
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: schedule a handful of tasks on the paper's default platform
+//! (ARM Cortex-A57 cores + 4 W / 40 ms DRAM) with the §4.2 optimal scheme
+//! and read the itemized energy bill.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sdem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The platform of the paper's evaluation (§8.1.3 / Table 4 defaults).
+    let platform = Platform::paper_defaults();
+    println!(
+        "platform: α = {} per core, β·s³ dynamic, α_m = {}, ξ_m = {}",
+        platform.core().alpha(),
+        platform.memory().alpha_m(),
+        platform.memory().break_even(),
+    );
+    println!(
+        "core critical speed s_m ≈ {:.0} MHz, joint (core+memory) s_cm ≈ {:.0} MHz (clamps to s_up)",
+        platform.core().critical_speed_unclamped().as_mhz(),
+        platform.memory_associated_critical_speed_unclamped().as_mhz(),
+    );
+
+    // Three tasks released together, deadlines 30/70/110 ms.
+    let tasks = TaskSet::new(vec![
+        Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(9.0e6)),
+        Task::new(1, Time::ZERO, Time::from_millis(70.0), Cycles::new(2.1e7)),
+        Task::new(2, Time::ZERO, Time::from_millis(110.0), Cycles::new(3.3e7)),
+    ])?;
+
+    // §4.2: optimal speeds + shared memory sleep window, cores sleep after
+    // finishing.
+    let solution = sdem::core::common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+    println!(
+        "\noptimal common idle (memory sleep) Δ = {:.2} ms",
+        solution.memory_sleep().as_millis()
+    );
+    for placement in solution.schedule().placements() {
+        let seg = placement.segments()[0];
+        println!(
+            "  {} on {}: [{:6.2}, {:6.2}] ms at {:7.1} MHz",
+            placement.task(),
+            placement.core(),
+            seg.start().as_millis(),
+            seg.end().as_millis(),
+            seg.speed().as_mhz(),
+        );
+    }
+
+    // Replay the schedule through the simulator and check the bill matches
+    // the closed form.
+    let report = simulate(
+        solution.schedule(),
+        &tasks,
+        &platform,
+        SleepPolicy::WhenProfitable,
+    )?;
+    println!("\nenergy bill: {report}");
+    let err = (report.total().value() - solution.predicted_energy().value()).abs();
+    println!(
+        "analytic optimum {:.6} J, simulator agrees to {:.2e} J",
+        solution.predicted_energy().value(),
+        err
+    );
+    Ok(())
+}

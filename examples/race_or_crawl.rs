@@ -1,0 +1,52 @@
+//! "Race to idle or not?" — the paper's title question on one task.
+//!
+//! Sweeps the memory static power and shows how the optimal strategy moves
+//! between the two extremes: with cheap memory the core crawls at its own
+//! critical speed (classic DVS), with expensive memory the system races so
+//! the memory can sleep longer. The crossover is the joint critical speed
+//! `s₁ = ((α + α_m)/(β(λ−1)))^{1/λ}` of §5.2.
+//!
+//! Run with: `cargo run --example race_or_crawl`
+
+use sdem::core::common_release;
+use sdem::power::{CorePower, MemoryPower};
+use sdem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let core = CorePower::simple(4.0, 1.0, 3.0); // s_m = 2^{1/3} ≈ 1.26 Hz
+    let task = TaskSet::new(vec![Task::new(
+        0,
+        Time::ZERO,
+        Time::from_secs(100.0),
+        Cycles::new(10.0),
+    )])?;
+
+    println!("one task: w = 10 cycles, deadline 100 s, core α = 4 W, β = 1, λ = 3");
+    println!(
+        "core-only critical speed s_m = {:.4} Hz\n",
+        core.critical_speed_unclamped().as_hz()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "α_m [W]", "speed [Hz]", "s₁ [Hz]", "mem sleep [s]", "energy [J]"
+    );
+
+    for alpha_m in [0.0, 0.5, 2.0, 4.0, 12.0, 28.0, 60.0] {
+        let platform = Platform::new(core, MemoryPower::new(Watts::new(alpha_m)));
+        let sol = common_release::schedule_alpha_nonzero(&task, &platform)?;
+        let speed = sol.schedule().placements()[0].segments()[0].speed();
+        let s1 = platform.memory_associated_critical_speed_unclamped();
+        println!(
+            "{:>10.1} {:>12.4} {:>12.4} {:>14.2} {:>12.4}",
+            alpha_m,
+            speed.as_hz(),
+            s1.as_hz(),
+            sol.memory_sleep().as_secs(),
+            sol.predicted_energy().value(),
+        );
+    }
+
+    println!("\nthe chosen speed tracks s₁ exactly: racing wins once the memory bill");
+    println!("outweighs the convex core penalty — the paper's central trade-off.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! # sdem — Race to Idle or Not
+//!
+//! A faithful, from-scratch Rust reproduction of Fu, Chau, Li and Xue,
+//! *"Race to idle or not: balancing the memory sleep time with DVS for
+//! energy minimization"* (DATE 2015 / Real-Time Systems 2017).
+//!
+//! This umbrella crate re-exports the whole workspace so that downstream
+//! users depend on a single crate:
+//!
+//! * [`types`] — tasks, schedules and strongly-typed quantities;
+//! * [`power`] — core/memory power models, critical speeds, device presets;
+//! * [`workload`] — synthetic and DSPstone-like workload generators;
+//! * [`sim`] — the multi-core + shared-memory simulator and energy meter;
+//! * [`core`] — the paper's SDEM algorithms (offline optimal schemes for
+//!   common-release and agreeable deadlines, transition-overhead variants,
+//!   the SDEM-ON online heuristic in unbounded and bounded-core forms, the
+//!   exact/LPT bounded-core solvers, plus the heterogeneous-core and
+//!   discrete-voltage extensions);
+//! * [`baselines`] — YDS, Optimal Available, AVR, critical-speed scaling
+//!   and MBKP/MBKPS.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdem::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Platform: ARM Cortex-A57 cores + 4 W DRAM (the paper's defaults).
+//! let platform = Platform::new(CorePower::cortex_a57(), MemoryPower::dram_50nm());
+//!
+//! // Three tasks released together with individual deadlines.
+//! let tasks = TaskSet::new(vec![
+//!     Task::new(0, Time::ZERO, Time::from_millis(40.0), Cycles::new(8.0e6)),
+//!     Task::new(1, Time::ZERO, Time::from_millis(70.0), Cycles::new(12.0e6)),
+//!     Task::new(2, Time::ZERO, Time::from_millis(110.0), Cycles::new(20.0e6)),
+//! ])?;
+//!
+//! // Optimal common-release schedule (cores sleep when idle: α ≠ 0 scheme).
+//! let solution = sdem::core::common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+//! let report = simulate(solution.schedule(), &tasks, &platform, SleepPolicy::WhenProfitable)?;
+//! assert!(report.total().value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sdem_baselines as baselines;
+pub use sdem_core as core;
+pub use sdem_power as power;
+pub use sdem_sim as sim;
+pub use sdem_types as types;
+pub use sdem_workload as workload;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use sdem_power::{CorePower, MemoryPower, Platform};
+    pub use sdem_sim::{simulate, EnergyReport, SleepPolicy};
+    pub use sdem_types::{
+        CoreId, Cycles, Joules, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time,
+        Watts,
+    };
+}

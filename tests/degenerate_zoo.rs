@@ -1,0 +1,255 @@
+//! The degenerate-input zoo: every public scheduler is fed pathological
+//! task sets — singletons, zero work, duplicated deadlines, extreme scales,
+//! near-infeasible densities — and must either return a *valid* schedule or
+//! a proper error. Panics are the only forbidden outcome.
+
+use sdem::baselines::{avr, css, mbkp, oa, yds};
+use sdem::core::{agreeable, bounded, common_release, online, overhead};
+use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::prelude::*;
+use sdem::sim::{simulate, SleepPolicy};
+
+fn zoo() -> Vec<(&'static str, TaskSet)> {
+    let sec = Time::from_secs;
+    let t = |id: usize, r: f64, d: f64, w: f64| Task::new(id, sec(r), sec(d), Cycles::new(w));
+    vec![
+        ("single", TaskSet::new(vec![t(0, 0.0, 1.0, 0.5)]).unwrap()),
+        (
+            "zero_work_only",
+            TaskSet::new(vec![t(0, 0.0, 1.0, 0.0), t(1, 0.0, 2.0, 0.0)]).unwrap(),
+        ),
+        (
+            "mixed_zero_work",
+            TaskSet::new(vec![t(0, 0.0, 1.0, 0.0), t(1, 0.0, 2.0, 1.0)]).unwrap(),
+        ),
+        (
+            "identical_tasks",
+            TaskSet::new((0..5).map(|i| t(i, 0.0, 4.0, 1.0)).collect()).unwrap(),
+        ),
+        (
+            "duplicate_deadlines",
+            TaskSet::new(vec![
+                t(0, 0.0, 3.0, 1.0),
+                t(1, 0.0, 3.0, 2.0),
+                t(2, 0.0, 7.0, 1.0),
+                t(3, 0.0, 7.0, 0.5),
+            ])
+            .unwrap(),
+        ),
+        (
+            "tiny_scale",
+            TaskSet::new(vec![t(0, 0.0, 1e-6, 1e-9), t(1, 0.0, 2e-6, 1e-9)]).unwrap(),
+        ),
+        (
+            "huge_scale",
+            TaskSet::new(vec![t(0, 0.0, 1e6, 1e7), t(1, 0.0, 2e6, 2e7)]).unwrap(),
+        ),
+        (
+            "wildly_mixed_scales",
+            TaskSet::new(vec![t(0, 0.0, 1e-3, 1e-4), t(1, 0.0, 1e3, 1e2)]).unwrap(),
+        ),
+        (
+            "near_max_density",
+            // Filled speed 0.999999 × s_up (s_up = 10 below).
+            TaskSet::new(vec![t(0, 0.0, 1.0, 9.99999), t(1, 0.0, 5.0, 1.0)]).unwrap(),
+        ),
+        (
+            "staggered_bursts",
+            TaskSet::new(vec![
+                t(0, 0.0, 2.0, 1.0),
+                t(1, 0.0, 2.0, 1.0),
+                t(2, 100.0, 102.0, 1.0),
+                t(3, 100.0, 103.0, 1.0),
+                t(4, 100.0, 104.0, 0.0),
+            ])
+            .unwrap(),
+        ),
+    ]
+}
+
+fn platforms() -> Vec<(&'static str, Platform)> {
+    let cap = |c: CorePower| c.with_max_speed(Speed::from_hz(10.0));
+    vec![
+        (
+            "alpha_zero",
+            Platform::new(
+                cap(CorePower::simple(0.0, 1.0, 3.0)),
+                MemoryPower::new(Watts::new(2.0)),
+            ),
+        ),
+        (
+            "alpha_nonzero",
+            Platform::new(
+                cap(CorePower::simple(1.5, 1.0, 3.0)),
+                MemoryPower::new(Watts::new(4.0)),
+            ),
+        ),
+        (
+            "with_overheads",
+            Platform::new(
+                cap(CorePower::simple(1.5, 1.0, 3.0)).with_break_even(Time::from_secs(0.5)),
+                MemoryPower::new(Watts::new(4.0)).with_break_even(Time::from_secs(1.0)),
+            ),
+        ),
+        (
+            "free_memory",
+            Platform::new(
+                cap(CorePower::simple(0.0, 1.0, 2.0)),
+                MemoryPower::new(Watts::new(0.0)),
+            ),
+        ),
+    ]
+}
+
+/// Runs one scheduler outcome through validation + simulation.
+fn check(label: &str, tasks: &TaskSet, platform: &Platform, result: Result<Schedule, String>) {
+    // A proper error is acceptable for infeasible combos; panics are not.
+    let Ok(schedule) = result else { return };
+    schedule
+        .validate(tasks)
+        .unwrap_or_else(|e| panic!("{label}: invalid schedule: {e}"));
+    for policy in [
+        SleepPolicy::NeverSleep,
+        SleepPolicy::AlwaysSleep,
+        SleepPolicy::WhenProfitable,
+    ] {
+        let report = simulate(&schedule, tasks, platform, policy)
+            .unwrap_or_else(|e| panic!("{label}: simulation failed: {e}"));
+        assert!(
+            report.total().is_finite() && report.total().value() >= 0.0,
+            "{label}: non-finite energy"
+        );
+    }
+}
+
+#[test]
+fn every_scheduler_survives_the_zoo() {
+    for (pname, platform) in platforms() {
+        for (zname, tasks) in zoo() {
+            let label = |s: &str| format!("{s} on {zname}/{pname}");
+            let sol = |r: Result<sdem::core::Solution, sdem::core::SdemError>| {
+                r.map(sdem::core::Solution::into_schedule)
+                    .map_err(|e| e.to_string())
+            };
+            check(
+                &label("cr_alpha_zero"),
+                &tasks,
+                &platform,
+                sol(common_release::schedule_alpha_zero(&tasks, &platform)),
+            );
+            check(
+                &label("cr_alpha_nonzero"),
+                &tasks,
+                &platform,
+                sol(common_release::schedule_alpha_nonzero(&tasks, &platform)),
+            );
+            check(
+                &label("cr_overhead"),
+                &tasks,
+                &platform,
+                sol(overhead::schedule_common_release(&tasks, &platform)),
+            );
+            check(
+                &label("agreeable"),
+                &tasks,
+                &platform,
+                sol(agreeable::schedule(&tasks, &platform)),
+            );
+            check(
+                &label("agreeable_strict"),
+                &tasks,
+                &platform,
+                sol(agreeable::schedule_strict(&tasks, &platform)),
+            );
+            check(
+                &label("agreeable_iterative"),
+                &tasks,
+                &platform,
+                sol(agreeable::schedule_with_solver(
+                    &tasks,
+                    &platform,
+                    agreeable::BlockSolverKind::PaperIterative,
+                )),
+            );
+            check(
+                &label("online"),
+                &tasks,
+                &platform,
+                online::schedule_online(&tasks, &platform).map_err(|e| e.to_string()),
+            );
+            for cores in [1usize, 2] {
+                check(
+                    &label(&format!("online_bounded_{cores}")),
+                    &tasks,
+                    &platform,
+                    online::schedule_online_bounded(&tasks, &platform, cores)
+                        .map_err(|e| e.to_string()),
+                );
+                check(
+                    &label(&format!("mbkp_{cores}")),
+                    &tasks,
+                    &platform,
+                    mbkp::schedule_online(&tasks, &platform, cores, mbkp::Assignment::RoundRobin)
+                        .map_err(|e| e.to_string()),
+                );
+            }
+            check(
+                &label("yds"),
+                &tasks,
+                &platform,
+                yds::schedule_single_core(&tasks, &platform).map_err(|e| e.to_string()),
+            );
+            check(
+                &label("oa"),
+                &tasks,
+                &platform,
+                oa::schedule_single_core_online(&tasks, &platform).map_err(|e| e.to_string()),
+            );
+            check(
+                &label("avr"),
+                &tasks,
+                &platform,
+                avr::schedule_single_core(&tasks, &platform).map_err(|e| e.to_string()),
+            );
+            check(
+                &label("css"),
+                &tasks,
+                &platform,
+                css::schedule_single_core_css(&tasks, &platform).map_err(|e| e.to_string()),
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_exact_and_lpt_survive_common_deadline_zoo() {
+    let platform = Platform::new(
+        CorePower::simple(0.0, 1.0, 3.0).with_max_speed(Speed::from_hz(10.0)),
+        MemoryPower::new(Watts::new(2.0)),
+    );
+    let sec = Time::from_secs;
+    let sets = [
+        vec![0.5],
+        vec![0.0, 0.0, 0.0],
+        vec![1.0, 1.0, 1.0, 1.0],
+        vec![5.0, 0.001, 0.001],
+    ];
+    for works in sets {
+        let tasks = TaskSet::new(
+            works
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| Task::new(i, sec(0.0), sec(10.0), Cycles::new(w)))
+                .collect(),
+        )
+        .unwrap();
+        for cores in [1usize, 2, 3] {
+            if let Ok(sol) = bounded::solve_exact(&tasks, &platform, cores) {
+                sol.schedule().validate(&tasks).unwrap();
+            }
+            if let Ok(sol) = bounded::solve_lpt(&tasks, &platform, cores) {
+                sol.schedule().validate(&tasks).unwrap();
+            }
+        }
+    }
+}

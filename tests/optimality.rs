@@ -1,0 +1,218 @@
+//! Property tests for the optimality claims of the offline schemes:
+//! the §4 case analyses against an independent grid oracle, the three
+//! §4.1 drivers against each other, and the §5 DP against brute-force
+//! partition enumeration.
+
+use proptest::prelude::*;
+use sdem::core::{agreeable, common_release};
+use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::types::{Cycles, Task, TaskSet, Time, Watts};
+
+/// A dimensionless platform: β = 1, λ = 3.
+fn platform(alpha: f64, alpha_m: f64) -> Platform {
+    Platform::new(
+        CorePower::simple(alpha, 1.0, 3.0),
+        MemoryPower::new(Watts::new(alpha_m)),
+    )
+}
+
+/// Strategy: 1–10 tasks with deadlines in [1, 20] s, work in [0.1, 5].
+fn common_release_tasks() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((1.0f64..20.0, 0.1f64..5.0), 1..10).prop_map(|specs| {
+        TaskSet::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (d, w))| Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w)))
+                .collect(),
+        )
+        .expect("valid tasks")
+    })
+}
+
+/// Strategy: agreeable sets — sorted releases, non-decreasing deadlines.
+fn agreeable_tasks(max_n: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.0f64..10.0, 0.5f64..8.0, 0.1f64..4.0), 1..=max_n).prop_map(|specs| {
+        let mut release = 0.0;
+        let mut deadline = 0.0f64;
+        TaskSet::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (gap, window, w))| {
+                    release += gap;
+                    deadline = (release + window).max(deadline + 1e-6);
+                    Task::new(
+                        i,
+                        Time::from_secs(release),
+                        Time::from_secs(deadline),
+                        Cycles::new(w),
+                    )
+                })
+                .collect(),
+        )
+        .expect("valid tasks")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alpha_zero_drivers_agree(tasks in common_release_tasks(), alpha_m in 0.1f64..20.0) {
+        let p = platform(0.0, alpha_m);
+        let a = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let b = common_release::schedule_alpha_zero_scan(&tasks, &p).unwrap();
+        let c = common_release::schedule_alpha_zero_binary_search(&tasks, &p).unwrap();
+        let e = a.predicted_energy().value();
+        prop_assert!((b.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
+            "scan {} vs exhaustive {}", b.predicted_energy().value(), e);
+        prop_assert!((c.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
+            "binary search {} vs exhaustive {}", c.predicted_energy().value(), e);
+        a.schedule().validate(&tasks).unwrap();
+    }
+
+    #[test]
+    fn alpha_zero_beats_grid_oracle(tasks in common_release_tasks(), alpha_m in 0.1f64..20.0) {
+        let p = platform(0.0, alpha_m);
+        let scheme = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let oracle = common_release::reference_optimum(&tasks, &p, 3000).unwrap().value();
+        let e = scheme.predicted_energy().value();
+        prop_assert!(e <= oracle * (1.0 + 1e-9), "scheme {e} worse than oracle {oracle}");
+        prop_assert!(e >= oracle * (1.0 - 1e-2), "scheme {e} far below continuum oracle {oracle}");
+    }
+
+    #[test]
+    fn alpha_nonzero_beats_grid_oracle(
+        tasks in common_release_tasks(),
+        alpha in 0.1f64..10.0,
+        alpha_m in 0.0f64..20.0,
+    ) {
+        let p = platform(alpha, alpha_m);
+        let scheme = common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
+        let oracle = common_release::reference_optimum(&tasks, &p, 3000).unwrap().value();
+        let e = scheme.predicted_energy().value();
+        prop_assert!(e <= oracle * (1.0 + 1e-9), "scheme {e} worse than oracle {oracle}");
+        prop_assert!(e >= oracle * (1.0 - 1e-2), "scheme {e} far below continuum oracle {oracle}");
+        scheme.schedule().validate(&tasks).unwrap();
+    }
+
+    #[test]
+    fn agreeable_dp_matches_bruteforce_partitions(
+        tasks in agreeable_tasks(5),
+        alpha in 0.0f64..6.0,
+        alpha_m in 0.2f64..10.0,
+    ) {
+        let p = platform(alpha, alpha_m);
+        let dp = agreeable::schedule(&tasks, &p).unwrap();
+
+        // Brute force: every contiguous partition of the deadline order.
+        let sorted = tasks.sorted_by_deadline();
+        let n = sorted.len();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << (n - 1)) {
+            let mut cuts = vec![0usize];
+            for b in 0..n - 1 {
+                if mask & (1 << b) != 0 {
+                    cuts.push(b + 1);
+                }
+            }
+            cuts.push(n);
+            let mut total = 0.0;
+            for w in cuts.windows(2) {
+                let subset = TaskSet::new(sorted[w[0]..w[1]].to_vec()).unwrap();
+                total += agreeable::solve_single_block(
+                    &subset,
+                    &p,
+                    agreeable::BlockSolverKind::BestResponse,
+                )
+                .unwrap()
+                .value();
+            }
+            best = best.min(total);
+        }
+        let e = dp.predicted_energy().value();
+        prop_assert!((e - best).abs() <= 1e-6 * best.max(1.0),
+            "DP {e} vs brute-force partitions {best}");
+        dp.schedule().validate(&tasks).unwrap();
+    }
+
+    #[test]
+    fn block_solvers_agree(
+        tasks in agreeable_tasks(4),
+        alpha in 0.0f64..6.0,
+        alpha_m in 0.2f64..10.0,
+    ) {
+        let p = platform(alpha, alpha_m);
+        let br = agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::BestResponse)
+            .unwrap()
+            .value();
+        let it = agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::PaperIterative)
+            .unwrap()
+            .value();
+        prop_assert!((br - it).abs() <= 1e-4 * br.max(1.0),
+            "best-response {br} vs Algorithm 1 {it}");
+        // Both must beat (or match) a moderately dense oracle.
+        let oracle = agreeable::single_block_oracle(&tasks, &p, 150).unwrap().value();
+        prop_assert!(br <= oracle * (1.0 + 1e-6), "best-response {br} worse than oracle {oracle}");
+    }
+
+    #[test]
+    fn strict_dp_is_disjoint_and_never_under_reports(
+        tasks in agreeable_tasks(6),
+        alpha in 0.0f64..6.0,
+        alpha_m in 0.2f64..10.0,
+    ) {
+        let p = platform(alpha, alpha_m);
+        let strict = agreeable::schedule_strict(&tasks, &p).unwrap();
+        strict.schedule().validate(&tasks).unwrap();
+        let plain = agreeable::schedule(&tasks, &p).unwrap();
+        // Strict can only merge blocks ⇒ never cheaper than the plain DP's
+        // optimistic value.
+        prop_assert!(
+            strict.predicted_energy().value() >= plain.predicted_energy().value() * (1.0 - 1e-9),
+            "strict {} below plain {}",
+            strict.predicted_energy().value(),
+            plain.predicted_energy().value()
+        );
+        // And its prediction is an upper bound on the simulated energy.
+        let sim = sdem::sim::simulate(
+            strict.schedule(), &tasks, &p, sdem::sim::SleepPolicy::WhenProfitable,
+        ).unwrap().total().value();
+        prop_assert!(
+            sim <= strict.predicted_energy().value() * (1.0 + 1e-9),
+            "strict under-reports: sim {sim} vs {}",
+            strict.predicted_energy().value()
+        );
+    }
+
+    #[test]
+    fn lemma3_closed_forms_match_generic_solver(
+        tasks in agreeable_tasks(5),
+        alpha_m in 0.2f64..12.0,
+    ) {
+        let p = platform(0.0, alpha_m);
+        let lemma3 = agreeable::solve_single_block_lemma3(&tasks, &p)
+            .unwrap()
+            .value();
+        let generic = agreeable::solve_single_block(
+            &tasks, &p, agreeable::BlockSolverKind::BestResponse,
+        ).unwrap().value();
+        prop_assert!(
+            (lemma3 - generic).abs() <= 1e-5 * generic.max(1.0),
+            "Lemma 3 {lemma3} vs generic {generic}"
+        );
+    }
+
+    #[test]
+    fn agreeable_dp_on_common_release_matches_section4(
+        tasks in common_release_tasks(),
+        alpha_m in 0.5f64..10.0,
+    ) {
+        let p = platform(0.0, alpha_m);
+        let dp = agreeable::schedule(&tasks, &p).unwrap();
+        let cr = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let (a, b) = (dp.predicted_energy().value(), cr.predicted_energy().value());
+        prop_assert!((a - b).abs() <= 1e-5 * b.max(1.0), "agreeable {a} vs §4.1 {b}");
+    }
+}

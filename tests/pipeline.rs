@@ -1,0 +1,206 @@
+//! Deterministic end-to-end pipelines: workload generation → scheduling →
+//! simulation → cross-algorithm comparisons, on fixed seeds that mirror the
+//! paper's evaluation setup.
+
+use sdem::baselines::mbkp::{self, Assignment};
+use sdem::core::{agreeable, bounded, common_release, online, overhead};
+use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::prelude::*;
+use sdem::sim::{simulate_with_options, SimOptions};
+use sdem::workload::dspstone::{stream, Benchmark};
+use sdem::workload::synthetic::{self, SyntheticConfig};
+
+#[test]
+fn dspstone_trial_matches_paper_ordering() {
+    let platform = Platform::paper_defaults();
+    let benches = [Benchmark::fft_1024(), Benchmark::matrix_24()];
+    for u in [2.0, 5.0, 9.0] {
+        let tasks = stream(&benches, u, 15, 7);
+        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        sdem_schedule.validate(&tasks).unwrap();
+        let mbkp_schedule =
+            mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
+        mbkp_schedule.validate(&tasks).unwrap();
+
+        let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
+        let never = SimOptions {
+            memory_policy: SleepPolicy::NeverSleep,
+            ..profit
+        };
+        let e_sdem = simulate_with_options(&sdem_schedule, &tasks, &platform, profit)
+            .unwrap()
+            .total()
+            .value();
+        let e_mbkp = simulate_with_options(&mbkp_schedule, &tasks, &platform, never)
+            .unwrap()
+            .total()
+            .value();
+        let e_mbkps = simulate_with_options(&mbkp_schedule, &tasks, &platform, profit)
+            .unwrap()
+            .total()
+            .value();
+
+        // The paper's ordering: SDEM-ON ≤ MBKPS ≤ MBKP.
+        assert!(
+            e_sdem <= e_mbkps * (1.0 + 1e-9),
+            "U={u}: SDEM-ON {e_sdem} worse than MBKPS {e_mbkps}"
+        );
+        assert!(
+            e_mbkps <= e_mbkp * (1.0 + 1e-9),
+            "U={u}: MBKPS {e_mbkps} worse than MBKP {e_mbkp}"
+        );
+        // SDEM-ON must respect the 8-core platform on this workload.
+        assert!(sdem_schedule.cores_used() <= 8);
+    }
+}
+
+#[test]
+fn synthetic_sweep_point_is_stable() {
+    // One Fig. 7-style cell, fixed seed: SDEM-ON beats MBKPS and the
+    // result is identical across runs (pure functions of the seed).
+    let platform = Platform::paper_defaults();
+    let cfg = SyntheticConfig::paper(40, Time::from_millis(400.0));
+    let tasks = synthetic::sporadic(&cfg, 12345);
+    let run = || {
+        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
+        simulate_with_options(&sdem_schedule, &tasks, &platform, profit)
+            .unwrap()
+            .total()
+            .value()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "online scheduling must be deterministic");
+}
+
+#[test]
+fn offline_hierarchy_on_common_release_sets() {
+    // On a common-release set: the agreeable DP, the §4 scheme and the §7
+    // scheme (with zero overheads) agree; the online heuristic matches them
+    // (single arrival); MBKP on one core can only be worse system-wide.
+    let p = Platform::new(
+        CorePower::simple(2.0, 1.0, 3.0),
+        MemoryPower::new(Watts::new(5.0)),
+    );
+    let tasks = TaskSet::new(vec![
+        Task::new(0, Time::ZERO, Time::from_secs(6.0), Cycles::new(2.0)),
+        Task::new(1, Time::ZERO, Time::from_secs(9.0), Cycles::new(3.5)),
+        Task::new(2, Time::ZERO, Time::from_secs(14.0), Cycles::new(1.5)),
+    ])
+    .unwrap();
+
+    let e_42 = common_release::schedule_alpha_nonzero(&tasks, &p)
+        .unwrap()
+        .predicted_energy()
+        .value();
+    let e_dp = agreeable::schedule(&tasks, &p)
+        .unwrap()
+        .predicted_energy()
+        .value();
+    assert!(
+        (e_42 - e_dp).abs() <= 1e-5 * e_42,
+        "§4.2 {e_42} vs DP {e_dp}"
+    );
+
+    let e_7 = overhead::schedule_common_release(&tasks, &p)
+        .unwrap()
+        .predicted_energy()
+        .value();
+    assert!((e_42 - e_7).abs() <= 1e-7 * e_42, "§4.2 {e_42} vs §7 {e_7}");
+
+    let online_sched = online::schedule_online(&tasks, &p).unwrap();
+    let e_online = sdem::sim::simulate(&online_sched, &tasks, &p, SleepPolicy::WhenProfitable)
+        .unwrap()
+        .total()
+        .value();
+    assert!(
+        (e_online - e_42).abs() <= 1e-6 * e_42,
+        "online {e_online} vs offline {e_42}"
+    );
+}
+
+#[test]
+fn bounded_core_partition_structure() {
+    // Theorem 1's instance family: equal release/deadline, PARTITION-able
+    // works. The exact solver must find the balanced split and beat every
+    // unbalanced alternative priced by Eq. 3.
+    let p = Platform::new(
+        CorePower::simple(0.0, 1.0, 3.0),
+        MemoryPower::new(Watts::new(4.0)),
+    );
+    let works = [5.0, 4.0, 3.0, 2.0, 1.0, 1.0]; // total 16 ⇒ balanced 8/8
+    let tasks = TaskSet::new(
+        works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Task::new(i, Time::ZERO, Time::from_secs(200.0), Cycles::new(w)))
+            .collect(),
+    )
+    .unwrap();
+    let sol = bounded::solve_exact(&tasks, &p, 2).unwrap();
+    sol.schedule().validate(&tasks).unwrap();
+    let balanced = bounded::partition_min_energy(&[8.0, 8.0], &p).value();
+    assert!(
+        (sol.predicted_energy().value() - balanced).abs() <= 1e-9 * balanced,
+        "exact {} vs balanced closed form {balanced}",
+        sol.predicted_energy().value()
+    );
+    let unbalanced = bounded::partition_min_energy(&[10.0, 6.0], &p).value();
+    assert!(balanced < unbalanced);
+}
+
+#[test]
+fn two_hundred_task_stream_schedules_quickly_and_validates() {
+    // Scale sanity: a 200-task sporadic stream through the full pipeline.
+    let platform = Platform::paper_defaults();
+    let cfg = SyntheticConfig::paper(200, Time::from_millis(150.0));
+    let tasks = synthetic::sporadic(&cfg, 424242);
+    let started = std::time::Instant::now();
+    let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+    sdem_schedule.validate(&tasks).unwrap();
+    let mbkp_schedule =
+        mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
+    mbkp_schedule.validate(&tasks).unwrap();
+    let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
+    let r = simulate_with_options(&sdem_schedule, &tasks, &platform, profit).unwrap();
+    assert!(r.total().value() > 0.0);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "pipeline too slow: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn sdem_on_wins_more_at_lower_utilization() {
+    // The Fig. 6a trend: memory savings grow as utilization drops.
+    let platform = Platform::paper_defaults();
+    let benches = [Benchmark::fft_1024(), Benchmark::matrix_24()];
+    let saving = |u: f64| {
+        let tasks = stream(&benches, u, 12, 3);
+        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        let mbkp_schedule =
+            mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
+        let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
+        let never = SimOptions {
+            memory_policy: SleepPolicy::NeverSleep,
+            ..profit
+        };
+        let s = simulate_with_options(&sdem_schedule, &tasks, &platform, profit)
+            .unwrap()
+            .memory_total()
+            .value();
+        let m = simulate_with_options(&mbkp_schedule, &tasks, &platform, never)
+            .unwrap()
+            .memory_total()
+            .value();
+        1.0 - s / m
+    };
+    let high_util = saving(2.0);
+    let low_util = saving(9.0);
+    assert!(
+        low_util > high_util,
+        "expected larger memory savings at lower utilization: U=2 → {high_util}, U=9 → {low_util}"
+    );
+}
