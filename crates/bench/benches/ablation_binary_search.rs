@@ -3,7 +3,7 @@
 //! compute the same optimum; this bench quantifies what the binary search
 //! buys as `n` grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdem_bench::microbench::bench;
 use sdem_core::common_release::{
     schedule_alpha_zero, schedule_alpha_zero_binary_search, schedule_alpha_zero_scan,
 };
@@ -11,30 +11,24 @@ use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_types::{Time, Watts};
 use sdem_workload::synthetic::{common_release, SyntheticConfig};
 
-fn bench_drivers(c: &mut Criterion) {
+fn main() {
     // α = 0 platform (the §4.1 model).
     let platform = Platform::new(
         CorePower::from_paper_units(0.0, 2.53e-7, 3.0, 700.0, 1900.0),
         MemoryPower::new(Watts::new(4.0)),
     );
-    let mut group = c.benchmark_group("ablation_4_1_drivers");
     for n in [16usize, 128, 1024] {
         let cfg = SyntheticConfig::paper(n, Time::from_millis(100.0));
         let tasks = common_release(&cfg, 5);
-        group.bench_with_input(BenchmarkId::new("exhaustive", n), &tasks, |b, t| {
-            b.iter(|| schedule_alpha_zero(t, &platform).unwrap())
+        bench(&format!("ablation_4_1_drivers/exhaustive/{n}"), || {
+            schedule_alpha_zero(&tasks, &platform).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("theorem2_scan", n), &tasks, |b, t| {
-            b.iter(|| schedule_alpha_zero_scan(t, &platform).unwrap())
+        bench(&format!("ablation_4_1_drivers/theorem2_scan/{n}"), || {
+            schedule_alpha_zero_scan(&tasks, &platform).unwrap()
         });
-        group.bench_with_input(
-            BenchmarkId::new("lemma1_binary_search", n),
-            &tasks,
-            |b, t| b.iter(|| schedule_alpha_zero_binary_search(t, &platform).unwrap()),
+        bench(
+            &format!("ablation_4_1_drivers/lemma1_binary_search/{n}"),
+            || schedule_alpha_zero_binary_search(&tasks, &platform).unwrap(),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_drivers);
-criterion_main!(benches);

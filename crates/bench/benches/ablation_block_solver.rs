@@ -4,40 +4,37 @@
 //! scheme; the grid oracle brute-forces the same optimum. All three agree
 //! (asserted in tests); this bench shows their cost gap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdem_bench::microbench::bench;
 use sdem_core::agreeable::{single_block_oracle, solve_single_block, BlockSolverKind};
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_types::Time;
 use sdem_types::Watts;
 use sdem_workload::synthetic::{agreeable, SyntheticConfig};
 
-fn bench_block_solvers(c: &mut Criterion) {
+fn main() {
     let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("ablation_block_solver");
-    group.sample_size(10);
+    // The Lemma-3 closed forms need the α = 0 model.
+    let alpha_zero = Platform::new(
+        CorePower::from_paper_units(0.0, 2.53e-7, 3.0, 700.0, 1900.0),
+        MemoryPower::new(Watts::new(4.0)),
+    );
     for n in [2usize, 6, 12] {
         let cfg = SyntheticConfig::paper(n, Time::from_millis(40.0));
         let tasks = agreeable(&cfg, 77);
-        group.bench_with_input(BenchmarkId::new("best_response", n), &tasks, |b, t| {
-            b.iter(|| solve_single_block(t, &platform, BlockSolverKind::BestResponse).unwrap())
+        bench(&format!("ablation_block_solver/best_response/{n}"), || {
+            solve_single_block(&tasks, &platform, BlockSolverKind::BestResponse).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("paper_iterative", n), &tasks, |b, t| {
-            b.iter(|| solve_single_block(t, &platform, BlockSolverKind::PaperIterative).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("grid_oracle_100", n), &tasks, |b, t| {
-            b.iter(|| single_block_oracle(t, &platform, 100).unwrap())
-        });
-        // The Lemma-3 closed forms need the α = 0 model.
-        let alpha_zero = Platform::new(
-            CorePower::from_paper_units(0.0, 2.53e-7, 3.0, 700.0, 1900.0),
-            MemoryPower::new(Watts::new(4.0)),
+        bench(
+            &format!("ablation_block_solver/paper_iterative/{n}"),
+            || solve_single_block(&tasks, &platform, BlockSolverKind::PaperIterative).unwrap(),
         );
-        group.bench_with_input(BenchmarkId::new("paper_closed_form", n), &tasks, |b, t| {
-            b.iter(|| solve_single_block(t, &alpha_zero, BlockSolverKind::PaperClosedForm).unwrap())
-        });
+        bench(
+            &format!("ablation_block_solver/grid_oracle_100/{n}"),
+            || single_block_oracle(&tasks, &platform, 100).unwrap(),
+        );
+        bench(
+            &format!("ablation_block_solver/paper_closed_form/{n}"),
+            || solve_single_block(&tasks, &alpha_zero, BlockSolverKind::PaperClosedForm).unwrap(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_block_solvers);
-criterion_main!(benches);

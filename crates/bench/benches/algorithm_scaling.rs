@@ -3,7 +3,7 @@
 //! `O(n²)`, the agreeable DP `O(n⁴)`/`O(n⁵)`, and the per-arrival cost of
 //! SDEM-ON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdem_bench::microbench::bench;
 use sdem_core::discrete::{quantize_schedule, SpeedLevels};
 use sdem_core::{agreeable, bounded, common_release, online, overhead};
 use sdem_power::Platform;
@@ -14,68 +14,51 @@ fn cfg(n: usize) -> SyntheticConfig {
     SyntheticConfig::paper(n, Time::from_millis(200.0))
 }
 
-fn bench_common_release(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("common_release");
+fn bench_common_release(platform: &Platform) {
     for n in [8usize, 32, 128, 512] {
         let tasks = synthetic::common_release(&cfg(n), 11);
-        group.bench_with_input(BenchmarkId::new("alpha_zero_4_1", n), &tasks, |b, t| {
-            b.iter(|| common_release::schedule_alpha_zero(t, &platform).unwrap())
+        bench(&format!("common_release/alpha_zero_4_1/{n}"), || {
+            common_release::schedule_alpha_zero(&tasks, platform).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("alpha_nonzero_4_2", n), &tasks, |b, t| {
-            b.iter(|| common_release::schedule_alpha_nonzero(t, &platform).unwrap())
+        bench(&format!("common_release/alpha_nonzero_4_2/{n}"), || {
+            common_release::schedule_alpha_nonzero(&tasks, platform).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("overhead_7", n), &tasks, |b, t| {
-            b.iter(|| overhead::schedule_common_release(t, &platform).unwrap())
+        bench(&format!("common_release/overhead_7/{n}"), || {
+            overhead::schedule_common_release(&tasks, platform).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_agreeable(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("agreeable_dp");
-    group.sample_size(10);
+fn bench_agreeable(platform: &Platform) {
     for n in [4usize, 8, 16, 24] {
         let tasks = synthetic::agreeable(&cfg(n), 23);
-        group.bench_with_input(BenchmarkId::new("best_response", n), &tasks, |b, t| {
-            b.iter(|| {
-                agreeable::schedule_with_solver(
-                    t,
-                    &platform,
-                    agreeable::BlockSolverKind::BestResponse,
-                )
-                .unwrap()
-            })
+        bench(&format!("agreeable_dp/best_response/{n}"), || {
+            agreeable::schedule_with_solver(
+                &tasks,
+                platform,
+                agreeable::BlockSolverKind::BestResponse,
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_online(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("online_sdem_on");
-    group.sample_size(20);
+fn bench_online(platform: &Platform) {
     for n in [16usize, 64, 256] {
         let tasks = synthetic::sporadic(&cfg(n), 31);
-        group.bench_with_input(BenchmarkId::new("schedule_online", n), &tasks, |b, t| {
-            b.iter(|| online::schedule_online(t, &platform).unwrap())
+        bench(&format!("online_sdem_on/schedule_online/{n}"), || {
+            online::schedule_online(&tasks, platform).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("extensions");
-    group.sample_size(20);
-
+fn bench_extensions(platform: &Platform) {
     // Discrete quantization of an online schedule.
     let tasks = synthetic::sporadic(&cfg(64), 5);
-    let sched = online::schedule_online(&tasks, &platform).unwrap();
+    let sched = online::schedule_online(&tasks, platform).unwrap();
     let table = SpeedLevels::evenly_spaced(platform.core(), 16);
-    group.bench_function("quantize_64_tasks_16_levels", |b| {
-        b.iter(|| quantize_schedule(&sched, &table).unwrap())
+    bench("extensions/quantize_64_tasks_16_levels", || {
+        quantize_schedule(&sched, &table).unwrap()
     });
 
     // Bounded-core: exact enumeration vs LPT.
@@ -89,20 +72,18 @@ fn bench_extensions(c: &mut Criterion) {
             .collect(),
     )
     .unwrap();
-    group.bench_function("bounded_exact_n10_c3", |b| {
-        b.iter(|| bounded::solve_exact(&common_deadline, &platform, 3).unwrap())
+    bench("extensions/bounded_exact_n10_c3", || {
+        bounded::solve_exact(&common_deadline, platform, 3).unwrap()
     });
-    group.bench_function("bounded_lpt_n10_c3", |b| {
-        b.iter(|| bounded::solve_lpt(&common_deadline, &platform, 3).unwrap())
+    bench("extensions/bounded_lpt_n10_c3", || {
+        bounded::solve_lpt(&common_deadline, platform, 3).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_common_release,
-    bench_agreeable,
-    bench_online,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    let platform = Platform::paper_defaults();
+    bench_common_release(&platform);
+    bench_agreeable(&platform);
+    bench_online(&platform);
+    bench_extensions(&platform);
+}

@@ -2,59 +2,55 @@
 //! arrival streams (events per second), plus the YDS/OA/AVR substrate on a
 //! single core's job list.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sdem_baselines::{avr, mbkp, oa, yds};
+use sdem_bench::microbench::bench;
 use sdem_core::online::{schedule_online, schedule_online_bounded};
 use sdem_power::Platform;
 use sdem_types::Time;
 use sdem_workload::paper;
 use sdem_workload::synthetic::{sporadic, SyntheticConfig};
 
-fn bench_online_schedulers(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("online_throughput");
-    group.sample_size(20);
+fn bench_online_schedulers(platform: &Platform) {
     for n in [32usize, 128] {
         let cfg = SyntheticConfig::paper(n, Time::from_millis(300.0));
         let tasks = sporadic(&cfg, 3);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("sdem_on", n), &tasks, |b, t| {
-            b.iter(|| schedule_online(t, &platform).unwrap())
+        let m = bench(&format!("online_throughput/sdem_on/{n}"), || {
+            schedule_online(&tasks, platform).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("sdem_on_bounded_8", n), &tasks, |b, t| {
-            b.iter(|| schedule_online_bounded(t, &platform, paper::NUM_CORES).unwrap())
+        println!("    {:>14.0} tasks/s", m.per_sec() * n as f64);
+        let m = bench(&format!("online_throughput/sdem_on_bounded_8/{n}"), || {
+            schedule_online_bounded(&tasks, platform, paper::NUM_CORES).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("mbkp_oa", n), &tasks, |b, t| {
-            b.iter(|| {
-                mbkp::schedule_online(t, &platform, paper::NUM_CORES, mbkp::Assignment::RoundRobin)
-                    .unwrap()
-            })
+        println!("    {:>14.0} tasks/s", m.per_sec() * n as f64);
+        let m = bench(&format!("online_throughput/mbkp_oa/{n}"), || {
+            mbkp::schedule_online(
+                &tasks,
+                platform,
+                paper::NUM_CORES,
+                mbkp::Assignment::RoundRobin,
+            )
+            .unwrap()
         });
+        println!("    {:>14.0} tasks/s", m.per_sec() * n as f64);
     }
-    group.finish();
 }
 
-fn bench_single_core_substrate(c: &mut Criterion) {
-    let platform = Platform::paper_defaults();
-    let mut group = c.benchmark_group("single_core_substrate");
-    group.sample_size(20);
+fn bench_single_core_substrate(platform: &Platform) {
     let cfg = SyntheticConfig::paper(24, Time::from_millis(400.0));
     let tasks = sporadic(&cfg, 17);
-    group.bench_function("yds", |b| {
-        b.iter(|| yds::schedule_single_core(&tasks, &platform).unwrap())
+    bench("single_core_substrate/yds", || {
+        yds::schedule_single_core(&tasks, platform).unwrap()
     });
-    group.bench_function("oa", |b| {
-        b.iter(|| oa::schedule_single_core_online(&tasks, &platform).unwrap())
+    bench("single_core_substrate/oa", || {
+        oa::schedule_single_core_online(&tasks, platform).unwrap()
     });
-    group.bench_function("avr", |b| {
-        b.iter(|| avr::schedule_single_core(&tasks, &platform).unwrap())
+    bench("single_core_substrate/avr", || {
+        avr::schedule_single_core(&tasks, platform).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_online_schedulers,
-    bench_single_core_substrate
-);
-criterion_main!(benches);
+fn main() {
+    let platform = Platform::paper_defaults();
+    bench_online_schedulers(&platform);
+    bench_single_core_substrate(&platform);
+}

@@ -14,6 +14,8 @@
 //! Usage: `cargo run -p sdem-bench --release --bin ablation_baselines`
 
 use sdem_baselines::mbkp::{self, Assignment};
+use sdem_bench::experiment::MAX_ATTEMPTS_PER_TRIAL;
+use sdem_bench::runner_from_env;
 use sdem_bench::stats::summarize;
 use sdem_core::online::schedule_online;
 use sdem_power::{CorePower, MemoryPower, Platform};
@@ -60,7 +62,7 @@ fn main() {
         "variant", "E/MBKP mean", "(min..max)"
     );
 
-    for (name, platform, policy) in [
+    let variants = [
         (
             "MBKPS, opportunistic sleep (shipped)",
             &floored,
@@ -81,17 +83,16 @@ fn main() {
             &unfloored,
             SleepPolicy::WhenProfitable,
         ),
-    ] {
-        let mut ratios = Vec::new();
-        let mut seed = 0u64;
-        while ratios.len() < trials as usize && seed < trials * 16 {
+    ];
+    // One grid point per variant, `trials` replicates each; every
+    // replicate resamples from its private seed stream until feasible.
+    let outcome = runner_from_env().run(&variants, trials as usize, 0xAB1A, |v, ctx| {
+        let (name, platform, policy) = *v;
+        ctx.seeds().take(MAX_ATTEMPTS_PER_TRIAL).find_map(|seed| {
             let tasks = make_tasks(seed);
-            seed += 1;
-            let Ok(mbkp_schedule) =
+            let mbkp_schedule =
                 mbkp::schedule_online(&tasks, platform, paper::NUM_CORES, Assignment::RoundRobin)
-            else {
-                continue;
-            };
+                    .ok()?;
             let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
             let never = SimOptions {
                 memory_policy: SleepPolicy::NeverSleep,
@@ -102,9 +103,7 @@ fn main() {
                 .total()
                 .value();
             let subject = if name.starts_with("SDEM-ON") {
-                let Ok(s) = schedule_online(&tasks, platform) else {
-                    continue;
-                };
+                let s = schedule_online(&tasks, platform).ok()?;
                 simulate_with_options(&s, &tasks, platform, profit)
                     .expect("valid schedule")
                     .total()
@@ -119,11 +118,14 @@ fn main() {
                     .total()
                     .value()
             };
-            ratios.push(subject / e_mbkp);
-        }
-        let s = summarize(&ratios);
+            Some(subject / e_mbkp)
+        })
+    });
+    for ((name, _, _), ratios) in variants.iter().zip(&outcome.per_point) {
+        let s = summarize(ratios);
         println!("{:44} {:>12.3} ({:.3}..{:.3})", name, s.mean, s.min, s.max);
     }
+    eprintln!("\nsweep: {}", outcome.stats);
     println!(
         "\nreading: ratios are energies relative to MBKP (never-sleep); > 1 means\n\
          worse than never sleeping at all. Literal always-sleep pays a round trip\n\

@@ -6,6 +6,7 @@
 //! Usage: `cargo run -p sdem-bench --release --bin competitive`
 //! (env overrides: `SDEM_TASKS`, `SDEM_SEEDS`, `SDEM_X_MS`).
 
+use sdem_bench::runner_from_env;
 use sdem_bench::stats::{percentile, summarize};
 use sdem_core::{agreeable, online};
 use sdem_power::Platform;
@@ -31,15 +32,13 @@ fn main() {
     let cfg = SyntheticConfig::paper(tasks_n, Time::from_millis(x_ms));
     let opts = SimOptions::uniform(SleepPolicy::WhenProfitable);
 
-    let mut ratios = Vec::new();
-    for seed in 0..seeds {
+    // One replicate per seed, fanned across workers; infeasible seeds are
+    // skipped, exactly as in a serial `0..seeds` loop.
+    let outcome = runner_from_env().run(&[()], seeds as usize, 0, |_, ctx| {
+        let seed = ctx.replicate() as u64;
         let tasks = synthetic::agreeable(&cfg, seed);
-        let Ok(online_sched) = online::schedule_online(&tasks, &platform) else {
-            continue;
-        };
-        let Ok(offline) = agreeable::schedule(&tasks, &platform) else {
-            continue;
-        };
+        let online_sched = online::schedule_online(&tasks, &platform).ok()?;
+        let offline = agreeable::schedule(&tasks, &platform).ok()?;
         let e_on = simulate_with_options(&online_sched, &tasks, &platform, opts)
             .expect("online schedule validates")
             .total()
@@ -48,8 +47,10 @@ fn main() {
             .expect("offline schedule validates")
             .total()
             .value();
-        ratios.push(e_on / e_off);
-    }
+        Some(e_on / e_off)
+    });
+    let ratios = outcome.per_point.into_iter().next().unwrap_or_default();
+    eprintln!("sweep: {}", outcome.stats);
 
     let s = summarize(&ratios);
     println!(

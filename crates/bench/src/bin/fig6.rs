@@ -2,8 +2,8 @@
 //! (system-wide energy saving) of the paper: FFT-1024 + matrix-multiply
 //! benchmark streams over the utilization grid `U ∈ {2..9}`.
 
-use sdem_bench::figures::{self, fig6};
-
+use sdem_bench::figures::{self, fig6_with};
+use sdem_bench::runner_from_env;
 use sdem_workload::paper;
 
 fn main() {
@@ -26,7 +26,8 @@ fn main() {
         paper::DEFAULT_XI_M_MS
     );
 
-    let rows = fig6(instances, trials);
+    let (rows, stats) = fig6_with(instances, trials, &runner_from_env());
+    eprintln!("sweep: {stats}\n");
 
     println!("Fig. 6a — memory static-energy saving vs MBKP");
     println!("{:>4} {:>12} {:>12}", "U", "SDEM-ON", "MBKPS");

@@ -2,7 +2,8 @@
 //! over MBKPS across memory static powers `α_m ∈ {1..8} W` and utilization
 //! levels `x ∈ {100..800} ms` (synthetic tasks, Table 4 grid).
 
-use sdem_bench::figures::{self, fig7a, format_fig7};
+use sdem_bench::figures::{self, fig7a_with, format_fig7};
+use sdem_bench::runner_from_env;
 use sdem_workload::paper;
 
 fn main() {
@@ -15,7 +16,8 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(paper::TRIALS_PER_POINT);
     println!("Fig. 7a — SDEM-ON improvement over MBKPS, α_m sweep (ξ_m = {} ms), {tasks} tasks, {trials} trials/point  (paper average: 9.74%)\n", paper::DEFAULT_XI_M_MS);
-    let cells = fig7a(tasks, trials);
+    let (cells, stats) = fig7a_with(tasks, trials, &runner_from_env());
+    eprintln!("sweep: {stats}\n");
     print!("{}", format_fig7(&cells, "alpha_m[W]"));
 
     if let Ok(prefix) = std::env::var("SDEM_SVG") {

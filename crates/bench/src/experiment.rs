@@ -3,6 +3,7 @@
 
 use sdem_baselines::mbkp::{self, Assignment};
 use sdem_core::online::schedule_online;
+use sdem_exec::{SweepRunner, TrialCtx};
 use sdem_power::Platform;
 use sdem_sim::{simulate_with_options, EnergyReport, SimOptions, SleepPolicy};
 use sdem_types::TaskSet;
@@ -103,36 +104,68 @@ pub fn run_trial(
     })
 }
 
-/// Runs `trials` successful trials, resampling seeds on infeasibility
-/// (bounded retries), and returns the per-trial results.
+/// Seed-resampling budget of one replicate: a trial draws at most this
+/// many seeds from its private stream before it is recorded as failed.
+pub const MAX_ATTEMPTS_PER_TRIAL: usize = 16;
+
+/// Runs one replicate of a sweep, resampling task sets from the trial's
+/// private seed stream until a feasible instance is found (bounded by
+/// [`MAX_ATTEMPTS_PER_TRIAL`]). Because the stream belongs to the trial
+/// alone, the result does not depend on scheduling order or thread count.
+pub fn run_trial_resampling(
+    make_tasks: impl Fn(u64) -> TaskSet,
+    platform: &Platform,
+    cores: usize,
+    ctx: &TrialCtx,
+) -> Option<TrialResult> {
+    ctx.seeds()
+        .take(MAX_ATTEMPTS_PER_TRIAL)
+        .find_map(|seed| run_trial(&make_tasks(seed), platform, cores).ok())
+}
+
+/// Runs `trials` replicates in parallel (per-trial deterministic seeding,
+/// so any thread count yields the same results) and returns them in
+/// replicate order.
 ///
 /// # Panics
 ///
-/// Panics if fewer than `trials` feasible seeds are found within
-/// `16 × trials` attempts — a sign the configuration is overloaded.
+/// Panics if any replicate exhausts its [`MAX_ATTEMPTS_PER_TRIAL`] retry
+/// budget without a feasible seed — a sign the configuration is
+/// overloaded.
 pub fn run_trials(
-    make_tasks: impl Fn(u64) -> TaskSet,
+    make_tasks: impl Fn(u64) -> TaskSet + Sync,
     platform: &Platform,
     cores: usize,
     trials: usize,
     seed_base: u64,
 ) -> Vec<TrialResult> {
-    let mut out = Vec::with_capacity(trials);
-    let mut seed = seed_base;
-    let mut attempts = 0;
-    while out.len() < trials {
-        attempts += 1;
-        assert!(
-            attempts <= 16 * trials,
-            "too many infeasible seeds for this configuration"
-        );
-        let tasks = make_tasks(seed);
-        seed += 1;
-        if let Ok(r) = run_trial(&tasks, platform, cores) {
-            out.push(r);
-        }
-    }
-    out
+    run_trials_on(
+        &SweepRunner::new(),
+        make_tasks,
+        platform,
+        cores,
+        trials,
+        seed_base,
+    )
+}
+
+/// [`run_trials`] on an explicit [`SweepRunner`] (thread count, progress).
+pub fn run_trials_on(
+    runner: &SweepRunner,
+    make_tasks: impl Fn(u64) -> TaskSet + Sync,
+    platform: &Platform,
+    cores: usize,
+    trials: usize,
+    seed_base: u64,
+) -> Vec<TrialResult> {
+    let outcome = runner.run(&[()], trials, seed_base, |_, ctx| {
+        run_trial_resampling(&make_tasks, platform, cores, ctx)
+    });
+    assert_eq!(
+        outcome.stats.failures, 0,
+        "too many infeasible seeds for this configuration"
+    );
+    outcome.per_point.into_iter().next().unwrap_or_default()
 }
 
 /// Mean of a per-trial metric.

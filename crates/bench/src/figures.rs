@@ -1,12 +1,23 @@
-//! The paper's figure sweeps (Fig. 6a/6b, Fig. 7a, Fig. 7b).
+//! The paper's figure sweeps (Fig. 6a/6b, Fig. 7a, Fig. 7b), fanned
+//! across worker threads by [`SweepRunner`] at *trial* granularity.
+//! Per-trial deterministic seeding makes every sweep's output identical
+//! for any thread count.
 
+use sdem_exec::{SweepRunner, SweepStats};
 use sdem_power::{MemoryPower, Platform};
 use sdem_types::{Time, Watts};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::paper;
 use sdem_workload::synthetic::{sporadic, SyntheticConfig};
 
-use crate::experiment::{mean, run_trials};
+use crate::experiment::{mean, run_trial_resampling, TrialResult};
+
+/// Grid seed of the Fig. 6 sweep.
+pub const FIG6_GRID_SEED: u64 = 0xF16_6000;
+/// Grid seed of the Fig. 7a (`α_m × x`) sweep.
+pub const FIG7A_GRID_SEED: u64 = 0xF17_A000;
+/// Grid seed of the Fig. 7b (`ξ_m × x`) sweep.
+pub const FIG7B_GRID_SEED: u64 = 0xF17_B000;
 
 /// One row of Fig. 6 (both panels share the x-axis `U`).
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +41,16 @@ pub struct Fig6Row {
 /// platform, matching §8.1.2's premise that at `U = 2` (high utilization)
 /// "all 8 cores are most likely to be used at any time".
 pub fn fig6(instances_per_stream: usize, trials: usize) -> Vec<Fig6Row> {
+    fig6_with(instances_per_stream, trials, &SweepRunner::new()).0
+}
+
+/// [`fig6`] on an explicit [`SweepRunner`], also returning sweep
+/// statistics (wall clock, throughput, thread count).
+pub fn fig6_with(
+    instances_per_stream: usize,
+    trials: usize,
+    runner: &SweepRunner,
+) -> (Vec<Fig6Row>, SweepStats) {
     let platform = Platform::paper_defaults();
     let benches = [
         Benchmark::fft_1024(),
@@ -41,44 +62,37 @@ pub fn fig6(instances_per_stream: usize, trials: usize) -> Vec<Fig6Row> {
         Benchmark::fft_1024(),
         Benchmark::matrix_24(),
     ];
-    let row_of = |&u: &f64| -> Fig6Row {
-        let results = run_trials(
+    let outcome = runner.run(&paper::U_POINTS, trials, FIG6_GRID_SEED, |&u, ctx| {
+        run_trial_resampling(
             |seed| stream(&benches, u, instances_per_stream, seed),
             &platform,
             paper::NUM_CORES,
-            trials,
-            0xF16_6000 + (u as u64) * 1000,
-        );
-        Fig6Row {
-            u,
-            sdem_memory_saving: mean(&results, |r| r.sdem_memory_saving_vs_mbkp()),
-            mbkps_memory_saving: mean(&results, |r| r.mbkps_memory_saving_vs_mbkp()),
-            sdem_system_saving: mean(&results, |r| r.sdem_system_saving_vs_mbkp()),
-            mbkps_system_saving: mean(&results, |r| r.mbkps_system_saving_vs_mbkp()),
-        }
-    };
-    let mut rows: Vec<Option<Fig6Row>> = vec![None; paper::U_POINTS.len()];
-    let slots = std::sync::Mutex::new(&mut rows);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(paper::U_POINTS.len());
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if k >= paper::U_POINTS.len() {
-                    break;
-                }
-                let row = row_of(&paper::U_POINTS[k]);
-                slots.lock().expect("no panics hold the lock")[k] = Some(row);
-            });
-        }
+            ctx,
+        )
     });
-    rows.into_iter()
-        .map(|r| r.expect("every row computed"))
-        .collect()
+    let rows = paper::U_POINTS
+        .iter()
+        .zip(&outcome.per_point)
+        .map(|(&u, results)| {
+            let results = expect_feasible(results);
+            Fig6Row {
+                u,
+                sdem_memory_saving: mean(results, |r| r.sdem_memory_saving_vs_mbkp()),
+                mbkps_memory_saving: mean(results, |r| r.mbkps_memory_saving_vs_mbkp()),
+                sdem_system_saving: mean(results, |r| r.sdem_system_saving_vs_mbkp()),
+                mbkps_system_saving: mean(results, |r| r.mbkps_system_saving_vs_mbkp()),
+            }
+        })
+        .collect();
+    (rows, outcome.stats)
+}
+
+fn expect_feasible(results: &[TrialResult]) -> &[TrialResult] {
+    assert!(
+        !results.is_empty(),
+        "too many infeasible seeds for this configuration"
+    );
+    results
 }
 
 /// One cell of the Fig. 7 sweeps.
@@ -94,10 +108,21 @@ pub struct Fig7Cell {
 
 /// Fig. 7a sweep: `α_m × x`, default `ξ_m`.
 pub fn fig7a(tasks_per_trial: usize, trials: usize) -> Vec<Fig7Cell> {
+    fig7a_with(tasks_per_trial, trials, &SweepRunner::new()).0
+}
+
+/// [`fig7a`] on an explicit [`SweepRunner`], also returning sweep stats.
+pub fn fig7a_with(
+    tasks_per_trial: usize,
+    trials: usize,
+    runner: &SweepRunner,
+) -> (Vec<Fig7Cell>, SweepStats) {
     sweep(
         tasks_per_trial,
         trials,
         &paper::ALPHA_M_POINTS_W,
+        FIG7A_GRID_SEED,
+        runner,
         |alpha_m| {
             Platform::paper_defaults().with_memory(
                 MemoryPower::new(Watts::new(alpha_m))
@@ -109,69 +134,66 @@ pub fn fig7a(tasks_per_trial: usize, trials: usize) -> Vec<Fig7Cell> {
 
 /// Fig. 7b sweep: `ξ_m × x`, default `α_m`.
 pub fn fig7b(tasks_per_trial: usize, trials: usize) -> Vec<Fig7Cell> {
-    sweep(tasks_per_trial, trials, &paper::XI_M_POINTS_MS, |xi_m| {
-        Platform::paper_defaults().with_memory(
-            MemoryPower::new(Watts::new(paper::DEFAULT_ALPHA_M_W))
-                .with_break_even(Time::from_millis(xi_m)),
-        )
-    })
+    fig7b_with(tasks_per_trial, trials, &SweepRunner::new()).0
+}
+
+/// [`fig7b`] on an explicit [`SweepRunner`], also returning sweep stats.
+pub fn fig7b_with(
+    tasks_per_trial: usize,
+    trials: usize,
+    runner: &SweepRunner,
+) -> (Vec<Fig7Cell>, SweepStats) {
+    sweep(
+        tasks_per_trial,
+        trials,
+        &paper::XI_M_POINTS_MS,
+        FIG7B_GRID_SEED,
+        runner,
+        |xi_m| {
+            Platform::paper_defaults().with_memory(
+                MemoryPower::new(Watts::new(paper::DEFAULT_ALPHA_M_W))
+                    .with_break_even(Time::from_millis(xi_m)),
+            )
+        },
+    )
 }
 
 fn sweep(
     tasks_per_trial: usize,
     trials: usize,
     params: &[f64],
+    grid_seed: u64,
+    runner: &SweepRunner,
     platform_of: impl Fn(f64) -> Platform + Sync,
-) -> Vec<Fig7Cell> {
-    // One independent cell per (param, x): embarrassingly parallel, and the
-    // per-cell seed bases keep results identical to a sequential run.
+) -> (Vec<Fig7Cell>, SweepStats) {
+    // One grid point per (param, x); the runner fans the replicates of
+    // every point across workers and regroups them deterministically.
     let grid: Vec<(f64, f64)> = params
         .iter()
         .flat_map(|&param| paper::X_POINTS_MS.iter().map(move |&x| (param, x)))
         .collect();
-    let cell_of = |&(param, x_ms): &(f64, f64)| -> Fig7Cell {
+    let outcome = runner.run(&grid, trials, grid_seed, |&(param, x_ms), ctx| {
         let platform = platform_of(param);
         let cfg = SyntheticConfig::paper(tasks_per_trial, Time::from_millis(x_ms));
-        let results = run_trials(
+        run_trial_resampling(
             |seed| sporadic(&cfg, seed),
             &platform,
             paper::NUM_CORES,
-            trials,
-            0xF17_0000 + (param * 100.0) as u64 * 100 + x_ms as u64,
-        );
-        Fig7Cell {
+            ctx,
+        )
+    });
+    let cells = grid
+        .iter()
+        .zip(&outcome.per_point)
+        .map(|(&(param, x_ms), results)| Fig7Cell {
             x_ms,
             param,
-            improvement: mean(&results, |r| r.sdem_improvement_over_mbkps()),
-        }
-    };
-
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(grid.len().max(1));
-    if workers <= 1 {
-        return grid.iter().map(cell_of).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut cells: Vec<Option<Fig7Cell>> = vec![None; grid.len()];
-    let slots = std::sync::Mutex::new(&mut cells);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if k >= grid.len() {
-                    break;
-                }
-                let cell = cell_of(&grid[k]);
-                slots.lock().expect("no panics hold the lock")[k] = Some(cell);
-            });
-        }
-    });
-    cells
-        .into_iter()
-        .map(|c| c.expect("every cell computed"))
-        .collect()
+            improvement: mean(expect_feasible(results), |r| {
+                r.sdem_improvement_over_mbkps()
+            }),
+        })
+        .collect();
+    (cells, outcome.stats)
 }
 
 /// Renders Fig. 6 rows as CSV.

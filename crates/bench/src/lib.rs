@@ -9,14 +9,30 @@
 //! * `cargo run -p sdem-bench --release --bin fig7a`;
 //! * `cargo run -p sdem-bench --release --bin fig7b`.
 //!
-//! Criterion benches (`cargo bench -p sdem-bench`) time the algorithms and
-//! the harness; the ablation benches compare design alternatives called out
-//! in `DESIGN.md`.
+//! Every binary fans its trials across worker threads through
+//! [`sdem_exec::SweepRunner`]; set `SDEM_THREADS` to bound the worker
+//! count (`SDEM_THREADS=1` forces the serial path, which produces
+//! bit-identical output).
+//!
+//! Plain benches (`cargo bench -p sdem-bench`) time the algorithms and
+//! the harness via [`microbench`]; the ablation benches compare design
+//! alternatives called out in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod figures;
+pub mod microbench;
 pub mod plot;
 pub mod stats;
+
+/// Builds a [`sdem_exec::SweepRunner`] honouring the `SDEM_THREADS`
+/// environment variable (unset or `0` = all hardware threads).
+pub fn runner_from_env() -> sdem_exec::SweepRunner {
+    let threads = std::env::var("SDEM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    sdem_exec::SweepRunner::new().with_threads(threads)
+}

@@ -1,0 +1,117 @@
+//! A dependency-free microbenchmark harness for the `benches/` targets.
+//!
+//! Each bench target is a plain `harness = false` binary: it calls
+//! [`bench`] per case and prints one aligned line per measurement. The
+//! budget per case defaults to 300 ms of measurement after a short
+//! warm-up; set `SDEM_BENCH_MS` to change it (CI uses a small budget).
+
+use std::time::{Duration, Instant};
+
+/// An opaque sink preventing the optimizer from deleting the benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One measurement: `iters` timed iterations over `total` wall time.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Total wall time of the timed iterations.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        self.iters as f64 / self.total.as_secs_f64().max(1e-12)
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ns = self.ns_per_iter();
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        write!(
+            f,
+            "{:<44} {:>10.3} {:<2}/iter  ({} iters)",
+            self.name, value, unit, self.iters
+        )
+    }
+}
+
+/// The per-case measurement budget: `SDEM_BENCH_MS` ms, default 300.
+pub fn budget() -> Duration {
+    let ms = std::env::var("SDEM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Times `f` until the measurement budget is spent (after warm-up),
+/// prints the result and returns it.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    let budget = budget();
+    // Warm-up: run until ~10% of the budget is spent, at least once.
+    let warmup_end = Instant::now() + budget / 10;
+    let mut warmup_iters = 0u64;
+    let warmup_start = Instant::now();
+    loop {
+        black_box(f());
+        warmup_iters += 1;
+        if Instant::now() >= warmup_end {
+            break;
+        }
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+    // Measure in batches sized to roughly a tenth of the budget each.
+    let batch = ((budget.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    while total < budget {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        total += t0.elapsed();
+        iters += batch;
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        total,
+    };
+    println!("{m}");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        std::env::set_var("SDEM_BENCH_MS", "5");
+        let m = bench("noop-ish", || black_box(3u64).wrapping_mul(7));
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter() >= 0.0);
+        assert!(m.to_string().contains("noop-ish"));
+    }
+}

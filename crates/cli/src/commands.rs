@@ -4,7 +4,10 @@ use std::fs;
 
 use sdem_baselines::mbkp::{self, Assignment};
 use sdem_baselines::{avr, css, oa, yds};
-use sdem_core::{agreeable, common_release, online, overhead};
+use sdem_bench::experiment::{mean, run_trial_resampling};
+use sdem_bench::figures;
+use sdem_core::{agreeable, common_release, online, overhead, solve, Scheme};
+use sdem_exec::SweepRunner;
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_sim::{
     power_trace, render_gantt, schedule_stats, simulate_with_options, trace_to_csv, SimOptions,
@@ -29,9 +32,21 @@ USAGE:
   sdem-cli compare  --input FILE [--alpha-m W] [--xi-m MS] [--cores N]
   sdem-cli trace    --input FILE [--scheme NAME] [--samples N] [--out FILE]
                     power-over-time CSV (time_s,cores_w,memory_w,total_w)
+  sdem-cli sweep    [--figure fig6|fig7a|fig7b] [--trials N] [--tasks N]
+                    [--instances N] [--threads N] [--csv FILE]
+                    parallel figure sweep; prints trials/sec statistics
+  sdem-cli experiment [--kind synthetic|dspstone] [--tasks N] [--x-ms X]
+                    [--u U] [--instances N] [--cores N] [--trials N]
+                    [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
+                    one grid point, parallel replicates, summary savings
   sdem-cli help
 
+Sweeps and experiments fan trials across worker threads; results are
+identical for any --threads value (deterministic per-trial seeding).
+
 SCHEMES:
+  auto                 route from the task-set shape (common release →
+                       §4/§7, agreeable → §5 DP, general → SDEM-ON)
   sdem-on (default)    paper §6 online heuristic, bounded to --cores
   cr-alpha-zero        paper §4.1 (common release, α = 0 model)
   cr-alpha-nonzero     paper §4.2 (common release, core sleeping)
@@ -63,6 +78,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "schedule" => schedule(&args),
         "compare" => compare(&args),
         "trace" => trace(&args),
+        "sweep" => sweep(&args),
+        "experiment" => experiment(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -140,6 +157,7 @@ fn build_schedule(
             .map_err(|e| e.to_string())
     };
     match scheme {
+        "auto" => sol(solve(tasks, platform, Scheme::Auto)),
         "sdem-on" => {
             online::schedule_online_bounded(tasks, platform, cores).map_err(|e| e.to_string())
         }
@@ -255,6 +273,125 @@ fn compare(args: &Args) -> Result<(), String> {
             Err(e) => println!("{scheme:16} infeasible: {e}"),
         }
     }
+    Ok(())
+}
+
+fn runner_from(args: &Args) -> Result<SweepRunner, String> {
+    Ok(SweepRunner::new().with_threads(args.get_usize("threads", 0)?))
+}
+
+fn sweep(args: &Args) -> Result<(), String> {
+    let figure = args.get_or("figure", "fig7a");
+    let trials = args.get_usize("trials", 5)?;
+    let runner = runner_from(args)?;
+    let (table, csv, stats) = match figure {
+        "fig6" => {
+            let instances = args.get_usize("instances", 15)?;
+            let (rows, stats) = figures::fig6_with(instances, trials, &runner);
+            let table = rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "U={:<3} memory: SDEM {:6.2}% MBKPS {:6.2}%   system: SDEM {:6.2}% MBKPS {:6.2}%\n",
+                        r.u,
+                        r.sdem_memory_saving * 100.0,
+                        r.mbkps_memory_saving * 100.0,
+                        r.sdem_system_saving * 100.0,
+                        r.mbkps_system_saving * 100.0,
+                    )
+                })
+                .collect::<String>();
+            (table, figures::fig6_to_csv(&rows), stats)
+        }
+        "fig7a" => {
+            let tasks = args.get_usize("tasks", 40)?;
+            let (cells, stats) = figures::fig7a_with(tasks, trials, &runner);
+            (
+                figures::format_fig7(&cells, "alpha_m[W]"),
+                figures::fig7_to_csv(&cells, "alpha_m_w"),
+                stats,
+            )
+        }
+        "fig7b" => {
+            let tasks = args.get_usize("tasks", 40)?;
+            let (cells, stats) = figures::fig7b_with(tasks, trials, &runner);
+            (
+                figures::format_fig7(&cells, "xi_m[ms]"),
+                figures::fig7_to_csv(&cells, "xi_m_ms"),
+                stats,
+            )
+        }
+        other => return Err(format!("unknown figure `{other}`")),
+    };
+    print!("{table}");
+    // Stats carry wall-clock throughput and the thread count; keep them off
+    // stdout so captured tables stay identical for any --threads value.
+    eprintln!("sweep: {stats}");
+    if let Some(path) = args.get("csv") {
+        fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote CSV to {path}");
+    }
+    Ok(())
+}
+
+fn experiment(args: &Args) -> Result<(), String> {
+    let kind = args.get_or("kind", "synthetic");
+    let cores = args.get_usize("cores", 8)?;
+    let trials = args.get_usize("trials", 10)?;
+    let seed = args.get_u64("seed", 0x5DE0)?;
+    let platform = platform_from(args)?;
+    let runner = runner_from(args)?;
+
+    let tasks_n = args.get_usize("tasks", 40)?;
+    let x_ms = args.get_f64("x-ms", 400.0)?;
+    let u = args.get_f64("u", 4.0)?;
+    let instances = args.get_usize("instances", 20)?;
+    let make_tasks = |s: u64| match kind {
+        "synthetic" => Ok(synthetic::sporadic(
+            &SyntheticConfig::paper(tasks_n, Time::from_millis(x_ms)),
+            s,
+        )),
+        "dspstone" => Ok(stream(
+            &[Benchmark::fft_1024(), Benchmark::matrix_24()],
+            u,
+            instances,
+            s,
+        )),
+        other => Err(format!("unknown workload kind `{other}`")),
+    };
+    make_tasks(0)?; // Surface an unknown kind before spawning workers.
+
+    let outcome = runner.run(&[()], trials, seed, |_, ctx| {
+        run_trial_resampling(
+            |s| make_tasks(s).expect("kind validated above"),
+            &platform,
+            cores,
+            ctx,
+        )
+    });
+    let results = &outcome.per_point[0];
+    if results.is_empty() {
+        return Err("no feasible seeds for this configuration".into());
+    }
+    println!(
+        "experiment: kind={kind} trials={} cores={cores} (seed {seed:#x})",
+        results.len()
+    );
+    println!(
+        "  SDEM-ON vs MBKP   system saving: {:6.2}%   memory saving: {:6.2}%",
+        mean(results, |r| r.sdem_system_saving_vs_mbkp()) * 100.0,
+        mean(results, |r| r.sdem_memory_saving_vs_mbkp()) * 100.0,
+    );
+    println!(
+        "  MBKPS   vs MBKP   system saving: {:6.2}%   memory saving: {:6.2}%",
+        mean(results, |r| r.mbkps_system_saving_vs_mbkp()) * 100.0,
+        mean(results, |r| r.mbkps_memory_saving_vs_mbkp()) * 100.0,
+    );
+    println!(
+        "  SDEM-ON vs MBKPS  improvement:   {:6.2}%",
+        mean(results, |r| r.sdem_improvement_over_mbkps()) * 100.0,
+    );
+    eprintln!("sweep: {}", outcome.stats);
     Ok(())
 }
 
@@ -380,6 +517,22 @@ mod tests {
         ]))
         .unwrap();
         fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn experiment_command_and_error_paths() {
+        run(&sv(&[
+            "experiment",
+            "--trials",
+            "2",
+            "--tasks",
+            "12",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&["sweep", "--figure", "fig9"])).is_err());
+        assert!(run(&sv(&["experiment", "--kind", "quantum"])).is_err());
     }
 
     #[test]

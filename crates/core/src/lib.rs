@@ -16,6 +16,7 @@
 //! | §3 (Ishihara–Yasuura citation) | discrete speed levels | [`discrete`] |
 //! | §5.1.1 closed forms | Lemma-3 bisection block solver | [`agreeable::solve_single_block_lemma3`] |
 //! | DESIGN.md deviation 3 | overlap-free DP variant | [`agreeable::schedule_strict`] |
+//! | (all of the above) | unified entry point | [`Scheduler`] trait, [`Scheme`] enum, [`solve`] |
 //!
 //! All offline schemes assume the paper's *unbounded* model: enough cores
 //! that every task runs on its own core, so the only couplings between tasks
@@ -52,6 +53,8 @@ pub mod common_release;
 pub mod discrete;
 pub mod online;
 pub mod overhead;
+pub mod scheduler;
 mod solution;
 
+pub use scheduler::{solve, Scheduler, Scheme};
 pub use solution::{SdemError, Solution};

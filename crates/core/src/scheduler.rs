@@ -1,0 +1,427 @@
+//! The unified scheduling API: one [`Scheduler`] trait over every scheme,
+//! a [`Scheme`] selector, and [`solve`] routing `Scheme::Auto` from the
+//! task-set shape (common release → §4/§7, agreeable → §5, general → §6).
+//!
+//! The per-scheme free functions ([`common_release::schedule_alpha_zero`]
+//! and friends) remain the primitive layer; this module is a thin,
+//! object-safe veneer so callers — CLI, sweep engine, baselines harness —
+//! can select a scheme with a value instead of a function pointer.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_core::{solve, Scheme, Scheduler};
+//! use sdem_power::Platform;
+//! use sdem_types::{Cycles, Task, TaskSet, Time};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::paper_defaults();
+//! let tasks = TaskSet::new(vec![
+//!     Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
+//!     Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+//! ])?;
+//! // Auto picks the overhead-aware common-release scheme here.
+//! let solution = solve(&tasks, &platform, Scheme::Auto)?;
+//! assert!(solution.predicted_energy().value() > 0.0);
+//! // Scheme values are also schedulers themselves:
+//! let same = Scheme::CommonReleaseOverhead.solve(&tasks, &platform)?;
+//! assert_eq!(solution.predicted_energy(), same.predicted_energy());
+//! # Ok(())
+//! # }
+//! ```
+
+use sdem_power::Platform;
+use sdem_types::{Joules, Schedule, TaskSet, Time};
+
+use crate::{agreeable, bounded, common_release, online, overhead, SdemError, Solution};
+
+/// The object-safe interface every SDEM scheme implements.
+///
+/// A scheduler maps an instance (task set + platform) to a [`Solution`]:
+/// the explicit schedule plus the scheme's analytic energy. Schedulers are
+/// stateless values, so trait objects (`&dyn Scheduler`) are cheap to pass
+/// through harness layers.
+pub trait Scheduler {
+    /// Short stable name (for CLIs, reports and sweep labels).
+    fn name(&self) -> &'static str;
+
+    /// Solves the instance.
+    ///
+    /// # Errors
+    ///
+    /// Scheme-specific [`SdemError`]s: shape mismatches
+    /// ([`SdemError::NotCommonRelease`], [`SdemError::NotAgreeable`]),
+    /// infeasibility, or size limits of exact solvers.
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError>;
+}
+
+/// §4.1 optimal scheme — common release, `α = 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommonReleaseAlphaZero;
+
+/// §4.2 optimal scheme — common release, `α ≠ 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommonReleaseAlphaNonzero;
+
+/// §7 overhead-aware common-release scheme (Table 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommonReleaseOverhead;
+
+/// §5 agreeable-deadline DP (block best-response solver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Agreeable;
+
+/// Overlap-free variant of the agreeable DP (DESIGN.md deviation 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgreeableStrict;
+
+/// §7 overhead-aware agreeable scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgreeableOverhead;
+
+/// §6 online heuristic SDEM-ON (unbounded core pool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Online;
+
+/// §6 online heuristic with a hard core bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineBounded(pub usize);
+
+/// §3 bounded-core LPT heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedLpt(pub usize);
+
+/// §3 bounded-core exact partition enumeration (small instances only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedExact(pub usize);
+
+impl Scheduler for CommonReleaseAlphaZero {
+    fn name(&self) -> &'static str {
+        "common-release-alpha-zero"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        common_release::schedule_alpha_zero(tasks, platform)
+    }
+}
+
+impl Scheduler for CommonReleaseAlphaNonzero {
+    fn name(&self) -> &'static str {
+        "common-release-alpha-nonzero"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        common_release::schedule_alpha_nonzero(tasks, platform)
+    }
+}
+
+impl Scheduler for CommonReleaseOverhead {
+    fn name(&self) -> &'static str {
+        "common-release-overhead"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        overhead::schedule_common_release(tasks, platform)
+    }
+}
+
+impl Scheduler for Agreeable {
+    fn name(&self) -> &'static str {
+        "agreeable"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        agreeable::schedule(tasks, platform)
+    }
+}
+
+impl Scheduler for AgreeableStrict {
+    fn name(&self) -> &'static str {
+        "agreeable-strict"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        agreeable::schedule_strict(tasks, platform)
+    }
+}
+
+impl Scheduler for AgreeableOverhead {
+    fn name(&self) -> &'static str {
+        "agreeable-overhead"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        overhead::schedule_agreeable(tasks, platform)
+    }
+}
+
+impl Scheduler for Online {
+    fn name(&self) -> &'static str {
+        "online"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        let schedule = online::schedule_online(tasks, platform)?;
+        Ok(solution_from_schedule(schedule, platform))
+    }
+}
+
+impl Scheduler for OnlineBounded {
+    fn name(&self) -> &'static str {
+        "online-bounded"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        let schedule = online::schedule_online_bounded(tasks, platform, self.0)?;
+        Ok(solution_from_schedule(schedule, platform))
+    }
+}
+
+impl Scheduler for BoundedLpt {
+    fn name(&self) -> &'static str {
+        "bounded-lpt"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        bounded::solve_lpt(tasks, platform, self.0)
+    }
+}
+
+impl Scheduler for BoundedExact {
+    fn name(&self) -> &'static str {
+        "bounded-exact"
+    }
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        bounded::solve_exact(tasks, platform, self.0)
+    }
+}
+
+/// Wraps an online [`Schedule`] (which carries no analytic optimum) into a
+/// [`Solution`] with the model's energy accounting: per-segment dynamic
+/// energy `β·s^λ·len`, core static energy `α` over busy time, and memory
+/// static energy `α_m` over awake time, where the memory sleeps exactly
+/// the all-cores-idle gaps of length ≥ ξ_m (the simulator's
+/// `WhenProfitable` policy).
+fn solution_from_schedule(schedule: Schedule, platform: &Platform) -> Solution {
+    let core = platform.core();
+    let (beta, lambda, alpha) = (core.beta(), core.lambda(), core.alpha().value());
+    let alpha_m = platform.memory().alpha_m().value();
+    let xi_m = platform.memory().break_even().value();
+
+    let mut dynamic = 0.0;
+    let mut core_busy = 0.0;
+    for p in schedule.placements() {
+        for s in p.segments() {
+            let len = s.length().value();
+            dynamic += beta * s.speed().value().powf(lambda) * len;
+            core_busy += len;
+        }
+    }
+
+    let busy = schedule.memory_busy_intervals();
+    let mut awake = busy.iter().map(|&(a, b)| (b - a).value()).sum::<f64>();
+    let mut sleep = 0.0;
+    for pair in busy.windows(2) {
+        let gap = (pair[1].0 - pair[0].1).value();
+        if gap >= xi_m {
+            sleep += gap;
+        } else {
+            awake += gap;
+        }
+    }
+
+    let energy = dynamic + alpha * core_busy + alpha_m * awake;
+    Solution::new(schedule, Joules::new(energy), Time::from_secs(sleep))
+}
+
+/// Scheme selector for [`solve`]: every [`Scheduler`] implementation as a
+/// value, plus [`Scheme::Auto`] routing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// Route from the task-set shape and the platform (see [`solve`]).
+    #[default]
+    Auto,
+    /// [`CommonReleaseAlphaZero`].
+    CommonReleaseAlphaZero,
+    /// [`CommonReleaseAlphaNonzero`].
+    CommonReleaseAlphaNonzero,
+    /// [`CommonReleaseOverhead`].
+    CommonReleaseOverhead,
+    /// [`Agreeable`].
+    Agreeable,
+    /// [`AgreeableStrict`].
+    AgreeableStrict,
+    /// [`AgreeableOverhead`].
+    AgreeableOverhead,
+    /// [`Online`].
+    Online,
+    /// [`OnlineBounded`] with the given core budget.
+    OnlineBounded(usize),
+    /// [`BoundedLpt`] with the given core count.
+    BoundedLpt(usize),
+    /// [`BoundedExact`] with the given core count.
+    BoundedExact(usize),
+}
+
+impl Scheme {
+    /// Resolves [`Scheme::Auto`] against a concrete instance: common
+    /// release → §7 when any break-even is positive, else the §4 scheme
+    /// matching `α`; agreeable deadlines → the §5 DP (overhead-aware when
+    /// break-evens are positive); anything else → SDEM-ON.
+    pub fn resolve(self, tasks: &TaskSet, platform: &Platform) -> Scheme {
+        if self != Scheme::Auto {
+            return self;
+        }
+        let has_overhead = platform.core().break_even().value() > 0.0
+            || platform.memory().break_even().value() > 0.0;
+        if tasks.is_common_release() {
+            if has_overhead {
+                Scheme::CommonReleaseOverhead
+            } else if platform.core().is_alpha_zero() {
+                Scheme::CommonReleaseAlphaZero
+            } else {
+                Scheme::CommonReleaseAlphaNonzero
+            }
+        } else if tasks.is_agreeable() {
+            if has_overhead {
+                Scheme::AgreeableOverhead
+            } else {
+                Scheme::Agreeable
+            }
+        } else {
+            Scheme::Online
+        }
+    }
+}
+
+impl Scheduler for Scheme {
+    fn name(&self) -> &'static str {
+        match self {
+            Scheme::Auto => "auto",
+            Scheme::CommonReleaseAlphaZero => CommonReleaseAlphaZero.name(),
+            Scheme::CommonReleaseAlphaNonzero => CommonReleaseAlphaNonzero.name(),
+            Scheme::CommonReleaseOverhead => CommonReleaseOverhead.name(),
+            Scheme::Agreeable => Agreeable.name(),
+            Scheme::AgreeableStrict => AgreeableStrict.name(),
+            Scheme::AgreeableOverhead => AgreeableOverhead.name(),
+            Scheme::Online => Online.name(),
+            Scheme::OnlineBounded(_) => OnlineBounded(0).name(),
+            Scheme::BoundedLpt(_) => BoundedLpt(0).name(),
+            Scheme::BoundedExact(_) => BoundedExact(0).name(),
+        }
+    }
+
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        match self.resolve(tasks, platform) {
+            Scheme::Auto => unreachable!("resolve never returns Auto"),
+            Scheme::CommonReleaseAlphaZero => CommonReleaseAlphaZero.solve(tasks, platform),
+            Scheme::CommonReleaseAlphaNonzero => CommonReleaseAlphaNonzero.solve(tasks, platform),
+            Scheme::CommonReleaseOverhead => CommonReleaseOverhead.solve(tasks, platform),
+            Scheme::Agreeable => Agreeable.solve(tasks, platform),
+            Scheme::AgreeableStrict => AgreeableStrict.solve(tasks, platform),
+            Scheme::AgreeableOverhead => AgreeableOverhead.solve(tasks, platform),
+            Scheme::Online => Online.solve(tasks, platform),
+            Scheme::OnlineBounded(n) => OnlineBounded(n).solve(tasks, platform),
+            Scheme::BoundedLpt(n) => BoundedLpt(n).solve(tasks, platform),
+            Scheme::BoundedExact(n) => BoundedExact(n).solve(tasks, platform),
+        }
+    }
+}
+
+/// Solves `tasks` on `platform` with the selected [`Scheme`] — the single
+/// entry point the CLI and the sweep harness use.
+///
+/// # Errors
+///
+/// Whatever the routed scheme returns; see [`Scheduler::solve`].
+pub fn solve(tasks: &TaskSet, platform: &Platform, scheme: Scheme) -> Result<Solution, SdemError> {
+    scheme.solve(tasks, platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_types::{Cycles, Task};
+
+    fn common_release_set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
+            Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+        ])
+        .unwrap()
+    }
+
+    fn general_set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(90.0), Cycles::new(6.0e6)),
+            Task::new(
+                1,
+                Time::from_millis(10.0),
+                Time::from_millis(60.0),
+                Cycles::new(9.0e6),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_routes_common_release_with_overheads() {
+        let platform = Platform::paper_defaults();
+        let tasks = common_release_set();
+        assert_eq!(
+            Scheme::Auto.resolve(&tasks, &platform),
+            Scheme::CommonReleaseOverhead
+        );
+        let auto = solve(&tasks, &platform, Scheme::Auto).unwrap();
+        let direct = overhead::schedule_common_release(&tasks, &platform).unwrap();
+        assert_eq!(auto.predicted_energy(), direct.predicted_energy());
+    }
+
+    #[test]
+    fn auto_routes_general_sets_to_online() {
+        let platform = Platform::paper_defaults();
+        let tasks = general_set();
+        assert_eq!(Scheme::Auto.resolve(&tasks, &platform), Scheme::Online);
+        let solution = solve(&tasks, &platform, Scheme::Auto).unwrap();
+        solution.schedule().validate(&tasks).unwrap();
+        assert!(solution.predicted_energy().value() > 0.0);
+    }
+
+    #[test]
+    fn schedulers_are_object_safe() {
+        let platform = Platform::paper_defaults();
+        // The §3 bounded solvers need one shared (release, deadline) pair.
+        let tasks = TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(80.0), Cycles::new(6.0e6)),
+            Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+        ])
+        .unwrap();
+        let zoo: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(CommonReleaseOverhead),
+            Box::new(Online),
+            Box::new(OnlineBounded(4)),
+            Box::new(BoundedLpt(4)),
+            Box::new(Scheme::Auto),
+        ];
+        for s in &zoo {
+            assert!(!s.name().is_empty());
+            let sol = s.solve(&tasks, &platform).unwrap();
+            assert!(sol.predicted_energy().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn online_solution_energy_accounts_memory_sleep() {
+        let platform = Platform::paper_defaults();
+        // Two far-apart arrivals: the gap between their busy intervals
+        // exceeds ξ_m = 40 ms, so the wrapper must record memory sleep.
+        let tasks = TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(20.0), Cycles::new(6.0e6)),
+            Task::new(
+                1,
+                Time::from_millis(500.0),
+                Time::from_millis(520.0),
+                Cycles::new(6.0e6),
+            ),
+        ])
+        .unwrap();
+        let sol = Online.solve(&tasks, &platform).unwrap();
+        assert!(
+            sol.memory_sleep().value() > 0.0,
+            "expected a sleeping gap, got {:?}",
+            sol.memory_sleep()
+        );
+    }
+}

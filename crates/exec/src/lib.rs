@@ -1,0 +1,419 @@
+//! The parallel sweep evaluation engine for SDEM experiments.
+//!
+//! The paper's evaluation (Figs. 6–7) is thousands of independent
+//! `(task set × utilization × scheme)` trials. This crate fans such a grid
+//! across worker threads while keeping the results **bit-identical to a
+//! serial run**:
+//!
+//! * **Deterministic seeding** — every trial owns an independent seed
+//!   stream derived from `(grid_seed, trial_index, attempt)` through
+//!   [`sdem_prng::SplitMix64`], so no trial's randomness depends on
+//!   scheduling order or thread count.
+//! * **Lock-free reduction** — workers pull trial indices from one atomic
+//!   cursor and buffer results locally; buffers are merged and sorted by
+//!   trial index after the join. No mutex is held while trials run.
+//! * **Bounded in-flight memory** — at any instant each worker holds at
+//!   most one running trial; the only growing allocation is the result
+//!   vector the caller asked for.
+//!
+//! The entry point is [`SweepRunner::run`], which takes the grid points,
+//! the replication count and a trial closure, and returns the per-point
+//! results plus wall-clock/throughput statistics ([`SweepStats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_exec::SweepRunner;
+//!
+//! // 3 grid points × 4 replications, trial = seeded pseudo-measurement.
+//! let points = [1.0f64, 2.0, 3.0];
+//! let run = |threads: usize| {
+//!     SweepRunner::new()
+//!         .with_threads(threads)
+//!         .run(&points, 4, 0xD00D, |&p, ctx| Some(p * ctx.seed(0) as f64))
+//! };
+//! let serial = run(1);
+//! let parallel = run(4);
+//! assert_eq!(serial.per_point, parallel.per_point); // bit-identical
+//! assert_eq!(serial.stats.trials, 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdem_prng::SplitMix64;
+
+/// The identity of one trial inside a sweep, carrying its deterministic
+/// seed stream.
+///
+/// Trials are numbered row-major: `trial_index = point * replications +
+/// replicate`. The seed for attempt `a` is a pure function of
+/// `(grid_seed, trial_index, a)` — independent of which worker runs the
+/// trial and of how many workers exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialCtx {
+    grid_seed: u64,
+    point: usize,
+    replicate: usize,
+    trial_index: usize,
+}
+
+impl TrialCtx {
+    /// Builds the context for one `(point, replicate)` cell.
+    pub fn new(grid_seed: u64, point: usize, replicate: usize, replications: usize) -> Self {
+        Self {
+            grid_seed,
+            point,
+            replicate,
+            trial_index: point * replications + replicate,
+        }
+    }
+
+    /// Index of the grid point this trial belongs to.
+    #[inline]
+    pub fn point(&self) -> usize {
+        self.point
+    }
+
+    /// Replicate number within the point (`0..replications`).
+    #[inline]
+    pub fn replicate(&self) -> usize {
+        self.replicate
+    }
+
+    /// Flat trial index across the whole grid.
+    #[inline]
+    pub fn trial_index(&self) -> usize {
+        self.trial_index
+    }
+
+    /// The deterministic seed for retry `attempt` of this trial. Trials
+    /// that resample on infeasible instances draw `seed(0)`, `seed(1)`, …
+    /// — a private stream that never collides with other trials'.
+    pub fn seed(&self, attempt: u64) -> u64 {
+        SplitMix64::mix(&[self.grid_seed, self.trial_index as u64, attempt])
+    }
+
+    /// An infinite iterator over this trial's seed stream.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0u64..).map(|a| self.seed(a))
+    }
+}
+
+/// A progress snapshot delivered to the observer callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Trials finished so far (success or failure).
+    pub completed: usize,
+    /// Total trials in the grid.
+    pub total: usize,
+}
+
+/// Wall-clock and throughput statistics of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Grid points evaluated.
+    pub points: usize,
+    /// Replications requested per point.
+    pub replications: usize,
+    /// Total trials executed (`points × replications`).
+    pub trials: usize,
+    /// Trials whose closure returned `None` (e.g. no feasible seed).
+    pub failures: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall: Duration,
+    /// `trials / wall` in trials per second.
+    pub trials_per_sec: f64,
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} trials ({} points × {} reps, {} failed) in {:.2} s on {} thread(s) — {:.1} trials/s",
+            self.trials,
+            self.points,
+            self.replications,
+            self.failures,
+            self.wall.as_secs_f64(),
+            self.threads,
+            self.trials_per_sec,
+        )
+    }
+}
+
+/// The result of [`SweepRunner::run`]: per-point results plus statistics.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<T> {
+    /// `per_point[p]` holds the successful replicate results of point `p`
+    /// in replicate order (failed replicates are skipped, preserving the
+    /// order of the rest).
+    pub per_point: Vec<Vec<T>>,
+    /// Wall-clock/throughput statistics.
+    pub stats: SweepStats,
+}
+
+type ProgressFn = dyn Fn(SweepProgress) + Send + Sync;
+
+/// The parallel sweep engine. Construct, optionally bound the thread
+/// count or attach a progress observer, then [`run`](Self::run) a grid.
+#[derive(Clone, Default)]
+pub struct SweepRunner {
+    threads: Option<NonZeroUsize>,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl SweepRunner {
+    /// A runner that uses every available hardware thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the worker count; `0` restores the hardware default.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// Attaches a progress observer, called once per finished trial from
+    /// worker threads (keep it cheap and thread-safe).
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        observer: impl Fn(SweepProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(observer));
+        self
+    }
+
+    /// The worker count a grid of `total` trials would use.
+    pub fn resolved_threads(&self, total: usize) -> usize {
+        let hw = self
+            .threads
+            .map(NonZeroUsize::get)
+            .or_else(|| {
+                std::thread::available_parallelism()
+                    .ok()
+                    .map(NonZeroUsize::get)
+            })
+            .unwrap_or(1);
+        hw.min(total.max(1))
+    }
+
+    /// Evaluates `trial` over every `(point, replicate)` cell of the grid,
+    /// fanning cells across worker threads.
+    ///
+    /// `trial` receives the grid point and the trial's [`TrialCtx`]; it
+    /// returns `None` to record a failed trial (e.g. when no feasible seed
+    /// exists within its retry budget). Results are regrouped per point in
+    /// replicate order, so the outcome is **identical for any thread
+    /// count** as long as `trial` derives all randomness from the context.
+    pub fn run<P, T, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        trial: F,
+    ) -> SweepOutcome<T>
+    where
+        P: Sync,
+        T: Send,
+        F: Fn(&P, &TrialCtx) -> Option<T> + Sync,
+    {
+        let total = points.len() * replications;
+        let threads = self.resolved_threads(total);
+        let started = Instant::now();
+
+        let run_one = |flat: usize| -> (usize, Option<T>) {
+            let (point, replicate) = (flat / replications.max(1), flat % replications.max(1));
+            let ctx = TrialCtx::new(grid_seed, point, replicate, replications);
+            (flat, trial(&points[point], &ctx))
+        };
+
+        let completed = AtomicUsize::new(0);
+        let observe = |completed: &AtomicUsize| {
+            if let Some(cb) = &self.progress {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                cb(SweepProgress {
+                    completed: done,
+                    total,
+                });
+            }
+        };
+
+        let mut flat: Vec<(usize, Option<T>)> = if threads <= 1 || total <= 1 {
+            (0..total)
+                .map(|i| {
+                    let r = run_one(i);
+                    observe(&completed);
+                    r
+                })
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut merged = Vec::with_capacity(total);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= total {
+                                    break;
+                                }
+                                local.push(run_one(i));
+                                observe(&completed);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    merged.extend(handle.join().expect("sweep worker panicked"));
+                }
+            });
+            merged
+        };
+        flat.sort_unstable_by_key(|&(i, _)| i);
+
+        let failures = flat.iter().filter(|(_, r)| r.is_none()).count();
+        let mut per_point: Vec<Vec<T>> = (0..points.len())
+            .map(|_| Vec::with_capacity(replications))
+            .collect();
+        for (i, result) in flat {
+            if let Some(r) = result {
+                per_point[i / replications.max(1)].push(r);
+            }
+        }
+
+        let wall = started.elapsed();
+        let secs = wall.as_secs_f64();
+        SweepOutcome {
+            per_point,
+            stats: SweepStats {
+                points: points.len(),
+                replications,
+                trials: total,
+                failures,
+                threads,
+                wall,
+                trials_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+
+    fn measurement(point: &f64, ctx: &TrialCtx) -> Option<f64> {
+        // Simulate "infeasible seed" resampling: reject attempt 0 for odd
+        // trial indices so the retry path is exercised.
+        let attempt = u64::from(ctx.trial_index() % 2 == 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed(attempt));
+        Some(point * rng.gen_range(0.0..1.0))
+    }
+
+    #[test]
+    fn outcome_is_thread_count_invariant() {
+        let points: Vec<f64> = (1..=7).map(f64::from).collect();
+        let baseline = SweepRunner::new()
+            .with_threads(1)
+            .run(&points, 5, 99, measurement);
+        for threads in [2, 4, 8] {
+            let parallel =
+                SweepRunner::new()
+                    .with_threads(threads)
+                    .run(&points, 5, 99, measurement);
+            assert_eq!(baseline.per_point, parallel.per_point, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn seeds_are_unique_across_trials_and_attempts() {
+        let mut seen = std::collections::HashSet::new();
+        for point in 0..16 {
+            for replicate in 0..16 {
+                let ctx = TrialCtx::new(7, point, replicate, 16);
+                for attempt in 0..4 {
+                    assert!(seen.insert(ctx.seed(attempt)), "seed collision");
+                }
+            }
+        }
+        // A different grid seed shifts every stream.
+        let a = TrialCtx::new(7, 0, 0, 16).seed(0);
+        let b = TrialCtx::new(8, 0, 0, 16).seed(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failures_are_counted_and_skipped() {
+        let points = [0usize, 1, 2];
+        let outcome = SweepRunner::new()
+            .with_threads(2)
+            .run(&points, 4, 0, |&p, ctx| {
+                // Point 1 always fails; others succeed.
+                (p != 1).then_some(ctx.replicate())
+            });
+        assert_eq!(outcome.stats.failures, 4);
+        assert_eq!(outcome.per_point[0], vec![0, 1, 2, 3]);
+        assert!(outcome.per_point[1].is_empty());
+        assert_eq!(outcome.per_point[2], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let outcome = SweepRunner::new()
+            .with_threads(3)
+            .with_progress(move |p| {
+                seen2.fetch_max(p.completed, Ordering::Relaxed);
+                assert!(p.completed <= p.total);
+            })
+            .run(&[1, 2, 3, 4], 3, 5, |&p, _| Some(p));
+        assert_eq!(seen.load(Ordering::Relaxed), 12);
+        assert_eq!(outcome.stats.trials, 12);
+        assert!(outcome.stats.trials_per_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let outcome = SweepRunner::new().run(&[] as &[f64], 3, 0, |_, _| Some(0.0));
+        assert!(outcome.per_point.is_empty());
+        assert_eq!(outcome.stats.trials, 0);
+        let outcome = SweepRunner::new().run(&[1.0], 0, 0, |_, _| Some(0.0));
+        assert_eq!(outcome.per_point.len(), 1);
+        assert!(outcome.per_point[0].is_empty());
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let outcome = SweepRunner::new()
+            .with_threads(2)
+            .run(&[1.0, 2.0], 2, 0, |&p, _| Some(p));
+        let s = outcome.stats.to_string();
+        assert!(s.contains("4 trials"));
+        assert!(s.contains("trials/s"));
+    }
+}

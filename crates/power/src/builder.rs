@@ -1,0 +1,364 @@
+//! A validating builder for [`Platform`] — the fallible front door the
+//! component constructors (`CorePower::new`, `MemoryPower::new`) panic
+//! behind.
+//!
+//! Defaults are the paper's Table 4 starred values (Cortex-A57 cores,
+//! 4 W / 40 ms DRAM), so `PlatformBuilder::new().build()` reproduces
+//! [`Platform::paper_defaults`] and each setter overrides one knob.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_power::{Platform, PlatformBuilder, PlatformError};
+//! use sdem_types::Time;
+//!
+//! # fn main() -> Result<(), PlatformError> {
+//! let platform = PlatformBuilder::new()
+//!     .memory_alpha_w(6.0)
+//!     .memory_break_even(Time::from_millis(25.0))
+//!     .build()?;
+//! assert_eq!(platform.memory().alpha_m().value(), 6.0);
+//!
+//! // Validation errors come back as values, not panics:
+//! let err = PlatformBuilder::new().lambda(1.0).build().unwrap_err();
+//! assert!(matches!(err, PlatformError::LambdaNotAboveOne { .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+use core::fmt;
+
+use sdem_types::{Speed, Time, Watts};
+
+use crate::{CorePower, MemoryPower, Platform};
+
+/// Why a [`PlatformBuilder`] configuration is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// `β ≤ 0` (or non-finite): the dynamic power curve would vanish or
+    /// flip sign, breaking every critical-speed derivation.
+    BetaNotPositive {
+        /// The rejected value (mW/MHz^λ).
+        beta: f64,
+    },
+    /// `λ ≤ 1` (or non-finite): convexity of `β·s^λ` is the premise of
+    /// Theorems 2–4; at `λ ≤ 1` the critical speed is undefined.
+    LambdaNotAboveOne {
+        /// The rejected exponent.
+        lambda: f64,
+    },
+    /// A static power (`α` or `α_m`) is negative or non-finite.
+    NegativePower {
+        /// Which knob: `"alpha"` or `"alpha_m"`.
+        field: &'static str,
+        /// The rejected value in the knob's unit.
+        value: f64,
+    },
+    /// A break-even time (`ξ` or `ξ_m`) is negative or non-finite.
+    NegativeBreakEven {
+        /// Which knob: `"xi"` or `"xi_m"`.
+        field: &'static str,
+        /// The rejected value in milliseconds.
+        millis: f64,
+    },
+    /// The speed range is empty (`min ≥ max`) or has a negative bound.
+    EmptySpeedRange {
+        /// Lower bound (MHz).
+        min_mhz: f64,
+        /// Upper bound (MHz).
+        max_mhz: f64,
+    },
+    /// Per-cycle memory access energy is negative or non-finite.
+    NegativeAccessEnergy {
+        /// The rejected value (J/cycle).
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BetaNotPositive { beta } => {
+                write!(f, "dynamic coefficient β must be positive, got {beta}")
+            }
+            Self::LambdaNotAboveOne { lambda } => {
+                write!(f, "power exponent λ must exceed 1, got {lambda}")
+            }
+            Self::NegativePower { field, value } => {
+                write!(
+                    f,
+                    "static power {field} must be finite and ≥ 0, got {value}"
+                )
+            }
+            Self::NegativeBreakEven { field, millis } => write!(
+                f,
+                "break-even time {field} must be finite and ≥ 0, got {millis} ms"
+            ),
+            Self::EmptySpeedRange { min_mhz, max_mhz } => write!(
+                f,
+                "speed range must satisfy 0 ≤ min < max, got {min_mhz}..{max_mhz} MHz"
+            ),
+            Self::NegativeAccessEnergy { value } => write!(
+                f,
+                "memory access energy must be finite and ≥ 0, got {value} J/cycle"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Builds a [`Platform`] with full validation, starting from the paper's
+/// Table 4 defaults. See the [module docs](self) for an example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformBuilder {
+    alpha_mw: f64,
+    beta_mw_per_mhz_lambda: f64,
+    lambda: f64,
+    min_mhz: f64,
+    max_mhz: f64,
+    xi_ms: f64,
+    alpha_m_w: f64,
+    xi_m_ms: f64,
+    access_energy: f64,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlatformBuilder {
+    /// The paper's defaults: Cortex-A57 (`α = 310 mW`,
+    /// `β = 2.53·10⁻⁷ mW/MHz³`, `λ = 3`, 700–1900 MHz, `ξ = 0`) and 50 nm
+    /// DRAM (`α_m = 4 W`, `ξ_m = 40 ms`).
+    pub fn new() -> Self {
+        Self {
+            alpha_mw: 310.0,
+            beta_mw_per_mhz_lambda: 2.53e-7,
+            lambda: 3.0,
+            min_mhz: 700.0,
+            max_mhz: 1900.0,
+            xi_ms: 0.0,
+            alpha_m_w: 4.0,
+            xi_m_ms: 40.0,
+            access_energy: 0.0,
+        }
+    }
+
+    /// Core static power `α` in milliwatts.
+    #[must_use]
+    pub fn alpha_mw(mut self, alpha_mw: f64) -> Self {
+        self.alpha_mw = alpha_mw;
+        self
+    }
+
+    /// Dynamic coefficient `β` in mW/MHz^λ (the paper's unit).
+    #[must_use]
+    pub fn beta_mw_per_mhz_lambda(mut self, beta: f64) -> Self {
+        self.beta_mw_per_mhz_lambda = beta;
+        self
+    }
+
+    /// Dynamic power exponent `λ` (must exceed 1).
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// DVS frequency range in MHz.
+    #[must_use]
+    pub fn speed_range_mhz(mut self, min_mhz: f64, max_mhz: f64) -> Self {
+        self.min_mhz = min_mhz;
+        self.max_mhz = max_mhz;
+        self
+    }
+
+    /// Core sleep break-even time `ξ`.
+    #[must_use]
+    pub fn core_break_even(mut self, xi: Time) -> Self {
+        self.xi_ms = xi.as_millis();
+        self
+    }
+
+    /// Memory static (leakage) power `α_m` in watts.
+    #[must_use]
+    pub fn memory_alpha_w(mut self, alpha_m_w: f64) -> Self {
+        self.alpha_m_w = alpha_m_w;
+        self
+    }
+
+    /// Memory sleep break-even time `ξ_m`.
+    #[must_use]
+    pub fn memory_break_even(mut self, xi_m: Time) -> Self {
+        self.xi_m_ms = xi_m.as_millis();
+        self
+    }
+
+    /// Per-cycle memory access energy in joules (0 = the paper's model).
+    #[must_use]
+    pub fn memory_access_energy(mut self, joules_per_cycle: f64) -> Self {
+        self.access_energy = joules_per_cycle;
+        self
+    }
+
+    /// Validates the configuration and builds the [`Platform`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`PlatformError`] found; unlike the component
+    /// constructors, this never panics.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        if !(self.beta_mw_per_mhz_lambda.is_finite() && self.beta_mw_per_mhz_lambda > 0.0) {
+            return Err(PlatformError::BetaNotPositive {
+                beta: self.beta_mw_per_mhz_lambda,
+            });
+        }
+        if !(self.lambda.is_finite() && self.lambda > 1.0) {
+            return Err(PlatformError::LambdaNotAboveOne {
+                lambda: self.lambda,
+            });
+        }
+        if !(self.alpha_mw.is_finite() && self.alpha_mw >= 0.0) {
+            return Err(PlatformError::NegativePower {
+                field: "alpha",
+                value: self.alpha_mw,
+            });
+        }
+        if !(self.alpha_m_w.is_finite() && self.alpha_m_w >= 0.0) {
+            return Err(PlatformError::NegativePower {
+                field: "alpha_m",
+                value: self.alpha_m_w,
+            });
+        }
+        if !(self.xi_ms.is_finite() && self.xi_ms >= 0.0) {
+            return Err(PlatformError::NegativeBreakEven {
+                field: "xi",
+                millis: self.xi_ms,
+            });
+        }
+        if !(self.xi_m_ms.is_finite() && self.xi_m_ms >= 0.0) {
+            return Err(PlatformError::NegativeBreakEven {
+                field: "xi_m",
+                millis: self.xi_m_ms,
+            });
+        }
+        if !(self.min_mhz.is_finite() && self.min_mhz >= 0.0 && self.max_mhz > self.min_mhz) {
+            return Err(PlatformError::EmptySpeedRange {
+                min_mhz: self.min_mhz,
+                max_mhz: self.max_mhz,
+            });
+        }
+        if !(self.access_energy.is_finite() && self.access_energy >= 0.0) {
+            return Err(PlatformError::NegativeAccessEnergy {
+                value: self.access_energy,
+            });
+        }
+
+        let beta_si = self.beta_mw_per_mhz_lambda * 1e-3 / 1e6f64.powf(self.lambda);
+        let core = CorePower::new(
+            Watts::from_milliwatts(self.alpha_mw),
+            beta_si,
+            self.lambda,
+            Speed::from_mhz(self.min_mhz),
+            Speed::from_mhz(self.max_mhz),
+        )
+        .with_break_even(Time::from_millis(self.xi_ms));
+        let memory = MemoryPower::new(Watts::new(self.alpha_m_w))
+            .with_break_even(Time::from_millis(self.xi_m_ms))
+            .with_access_energy(self.access_energy);
+        Ok(Platform::new(core, memory))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_paper_platform() {
+        let built = PlatformBuilder::new().build().unwrap();
+        assert_eq!(built, Platform::paper_defaults());
+    }
+
+    #[test]
+    fn every_knob_reaches_the_platform() {
+        let p = PlatformBuilder::new()
+            .alpha_mw(100.0)
+            .beta_mw_per_mhz_lambda(1.0e-7)
+            .lambda(2.5)
+            .speed_range_mhz(200.0, 1000.0)
+            .core_break_even(Time::from_millis(5.0))
+            .memory_alpha_w(2.0)
+            .memory_break_even(Time::from_millis(15.0))
+            .memory_access_energy(1e-10)
+            .build()
+            .unwrap();
+        assert!((p.core().alpha().value() - 0.1).abs() < 1e-12);
+        assert!((p.core().lambda() - 2.5).abs() < 1e-12);
+        assert!((p.core().min_speed().as_mhz() - 200.0).abs() < 1e-9);
+        assert!((p.core().break_even().as_millis() - 5.0).abs() < 1e-9);
+        assert!((p.memory().alpha_m().value() - 2.0).abs() < 1e-12);
+        assert!((p.memory().break_even().as_millis() - 15.0).abs() < 1e-9);
+        assert!((p.memory().access_energy_per_cycle() - 1e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn rejects_each_invalid_field() {
+        use PlatformError as E;
+        let b = PlatformBuilder::new;
+        assert!(matches!(
+            b().beta_mw_per_mhz_lambda(0.0).build(),
+            Err(E::BetaNotPositive { .. })
+        ));
+        assert!(matches!(
+            b().beta_mw_per_mhz_lambda(f64::NAN).build(),
+            Err(E::BetaNotPositive { .. })
+        ));
+        assert!(matches!(
+            b().lambda(1.0).build(),
+            Err(E::LambdaNotAboveOne { .. })
+        ));
+        assert!(matches!(
+            b().alpha_mw(-1.0).build(),
+            Err(E::NegativePower { field: "alpha", .. })
+        ));
+        assert!(matches!(
+            b().memory_alpha_w(f64::INFINITY).build(),
+            Err(E::NegativePower {
+                field: "alpha_m",
+                ..
+            })
+        ));
+        assert!(matches!(
+            b().core_break_even(Time::from_millis(-1.0)).build(),
+            Err(E::NegativeBreakEven { field: "xi", .. })
+        ));
+        assert!(matches!(
+            b().memory_break_even(Time::from_millis(-1.0)).build(),
+            Err(E::NegativeBreakEven { field: "xi_m", .. })
+        ));
+        assert!(matches!(
+            b().speed_range_mhz(1900.0, 700.0).build(),
+            Err(E::EmptySpeedRange { .. })
+        ));
+        assert!(matches!(
+            b().memory_access_energy(-1e-12).build(),
+            Err(E::NegativeAccessEnergy { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        let err = PlatformBuilder::new().lambda(0.5).build().unwrap_err();
+        assert!(err.to_string().contains("0.5"));
+        let err = PlatformBuilder::new()
+            .speed_range_mhz(5.0, 5.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("5"));
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`MemoryPower`] — memory leakage `α_m` and break-even `ξ_m`;
 //! * [`Platform`] — a core model plus a memory model, with the joint
 //!   *memory-associated* critical speed `s_1` of §5.2;
+//! * [`PlatformBuilder`] — a validating, panic-free builder over both
+//!   models (β > 0, λ > 1, non-negative powers and break-evens);
 //! * device presets matching the paper's evaluation (§8.1.3): an ARM
 //!   Cortex-A57 core and a 50 nm DRAM.
 //!
@@ -38,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod core_power;
 mod memory_power;
 mod platform;
 
+pub use builder::{PlatformBuilder, PlatformError};
 pub use core_power::CorePower;
 pub use memory_power::MemoryPower;
 pub use platform::Platform;

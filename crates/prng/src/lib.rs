@@ -1,0 +1,414 @@
+//! Deterministic, dependency-free randomness for the SDEM workspace.
+//!
+//! The workload generators and the parallel sweep engine both need
+//! reproducible random streams, and the build must work without network
+//! access, so this crate vendors the two standard pieces the workspace
+//! relies on instead of pulling `rand`/`rand_chacha`:
+//!
+//! * [`ChaCha8Rng`] — a ChaCha stream cipher used as a PRNG (8 rounds, the
+//!   same construction `rand_chacha` uses), seeded from a single `u64`
+//!   through [`SplitMix64`]. Statistically strong, fast, and — crucially
+//!   for the sweep engine — *seekable by construction*: independent seeds
+//!   give independent streams with no correlations.
+//! * [`SplitMix64`] — the standard 64-bit finalizer-based generator, used
+//!   for seed derivation (`(grid_seed, trial_index) → per-trial seed`).
+//!
+//! The [`Rng`]/[`SeedableRng`] traits intentionally mirror the subset of
+//! the `rand` API the workspace uses (`seed_from_u64`, `gen_range` over
+//! `f64`/integer ranges, `gen_bool`), so call sites read identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+//!
+//! let mut a = ChaCha8Rng::seed_from_u64(7);
+//! let mut b = ChaCha8Rng::seed_from_u64(7);
+//! let xs: Vec<f64> = (0..4).map(|_| a.gen_range(0.0..1.0)).collect();
+//! let ys: Vec<f64> = (0..4).map(|_| b.gen_range(0.0..1.0)).collect();
+//! assert_eq!(xs, ys);
+//! assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The minimal random-source interface the workspace consumes.
+pub trait Rng {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (see [`SampleRange`] for the
+    /// supported range types).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, like `rand`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen_f64() < p
+    }
+}
+
+/// A range that can be sampled uniformly by an [`Rng`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty f64 range");
+        let u = rng.gen_f64();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample an inverted f64 range");
+        // 53-bit uniform over [0, 1] inclusive of both endpoints.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Uniform integer below `n` by rejection (no modulo bias).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Reject the top partial copy of [0, n) inside [0, 2^64).
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty integer range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample an inverted integer range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u32, u64, usize);
+
+/// The SplitMix64 generator: one 64-bit state word advanced by the golden
+/// ratio and finalized with a strong avalanche mix. Used for seed
+/// derivation — every distinct input sequence yields a decorrelated seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator with the given state.
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    /// Advances the state and returns the next mixed value.
+    pub fn next_value(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hashes a word sequence into one seed: fold each word into the
+    /// state, mixing after each. `mix(&[a, b])` differs from `mix(&[b, a])`
+    /// and from `mix(&[a ^ b])` — suitable for `(grid_seed, trial, attempt)`
+    /// style derivation.
+    pub fn mix(words: &[u64]) -> u64 {
+        let mut sm = Self::new(0x51D2_CC5A_37C3_96DA);
+        let mut acc = sm.next_value();
+        for &w in words {
+            sm.state ^= w ^ acc;
+            acc = sm.next_value();
+        }
+        acc
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_value() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_value()
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The ChaCha stream cipher as a PRNG, generic over the round count.
+///
+/// State layout is djb's original: 4 constant words, 8 key words, a 64-bit
+/// block counter, and a 64-bit nonce (zero for seeded streams). Each block
+/// yields 16 output words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means exhausted.
+    cursor: usize,
+}
+
+/// ChaCha with 8 rounds — the workspace's workhorse generator (matching
+/// the strength/speed point `rand_chacha::ChaCha8Rng` picked).
+pub type ChaCha8Rng = ChaChaRng<8>;
+
+/// ChaCha with the full 20 rounds — used to check the implementation
+/// against the published zero-key test vector.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    /// Builds a generator from raw key words, block counter and nonce
+    /// words. Exposed for test vectors; prefer [`SeedableRng::seed_from_u64`].
+    pub fn from_raw_parts(key: [u32; 8], counter: u64, nonce: [u32; 2]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = nonce[0];
+        state[15] = nonce[1];
+        Self {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // Advance the 64-bit block counter.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl<const ROUNDS: usize> Rng for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    /// Expands the 64-bit seed into the 256-bit key with [`SplitMix64`]
+    /// (the same construction `rand`'s default `seed_from_u64` uses).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let v = sm.next_value();
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
+        }
+        Self::from_raw_parts(key, 0, [0, 0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_zero_key_matches_published_vector() {
+        // First 16 keystream bytes of ChaCha20 with all-zero key, nonce
+        // and counter — the classic djb/RFC-7539-era known answer.
+        let mut rng = ChaCha20Rng::from_raw_parts([0; 8], 0, [0, 0]);
+        let mut bytes = Vec::new();
+        for _ in 0..4 {
+            bytes.extend_from_slice(&rng.next_u32().to_le_bytes());
+        }
+        assert_eq!(
+            bytes,
+            [
+                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+                0xbd, 0x28
+            ]
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // More than 16 words must not repeat the first block.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+            let y = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+        // Degenerate inclusive range is allowed (used for `0.0..=0.0`
+        // inter-arrivals in the common-release generator).
+        assert_eq!(rng.gen_range(3.5..=3.5), 3.5);
+    }
+
+    #[test]
+    fn integer_ranges_cover_and_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+            let v = rng.gen_range(10u64..=12);
+            assert!((10..=12).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..8 hit");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 1e-2, "rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn splitmix_mix_is_order_sensitive() {
+        let ab = SplitMix64::mix(&[1, 2]);
+        let ba = SplitMix64::mix(&[2, 1]);
+        let xor = SplitMix64::mix(&[3]);
+        assert_ne!(ab, ba);
+        assert_ne!(ab, xor);
+        assert_eq!(ab, SplitMix64::mix(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty f64 range")]
+    fn empty_exclusive_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = rng.gen_range(1.0..1.0);
+    }
+}

@@ -1,43 +1,68 @@
-//! Property tests for the foundation types: dimensional arithmetic,
-//! interval merging invariants, schedule validation and the numeric
-//! helpers.
+//! Randomized property tests for the foundation types: dimensional
+//! arithmetic, interval merging invariants, schedule validation and the
+//! numeric helpers. Each property runs over a fixed number of seeded
+//! cases (deterministic, offline — no external property-test framework).
 
-use proptest::prelude::*;
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem_types::numeric::{bisect_increasing, minimize_unimodal};
 use sdem_types::{CoreId, Cycles, Placement, Schedule, Speed, Task, TaskId, TaskSet, Time};
 
-proptest! {
-    #[test]
-    fn time_arithmetic_round_trips(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+const CASES: u64 = 128;
+
+fn rng_for(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x7E57_0000 + property * 1000 + case)
+}
+
+#[test]
+fn time_arithmetic_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let a = rng.gen_range(-1e6f64..1e6);
+        let b = rng.gen_range(-1e6f64..1e6);
         let (ta, tb) = (Time::from_secs(a), Time::from_secs(b));
         let back = (ta + tb) - tb;
-        prop_assert!((back - ta).abs().as_secs() <= 1e-9 * a.abs().max(1.0));
-        prop_assert_eq!(ta.min(tb).min(ta.max(tb)), ta.min(tb));
+        assert!((back - ta).abs().as_secs() <= 1e-9 * a.abs().max(1.0));
+        assert_eq!(ta.min(tb).min(ta.max(tb)), ta.min(tb));
     }
+}
 
-    #[test]
-    fn work_speed_time_consistency(w in 1e3f64..1e9, s in 1e3f64..1e10) {
+#[test]
+fn work_speed_time_consistency() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let w = rng.gen_range(1e3f64..1e9);
+        let s = rng.gen_range(1e3f64..1e10);
         let work = Cycles::new(w);
         let speed = Speed::from_hz(s);
         let t = work / speed;
         let back = speed * t;
-        prop_assert!((back.value() - w).abs() <= 1e-9 * w);
+        assert!((back.value() - w).abs() <= 1e-9 * w);
         let s_back = work / t;
-        prop_assert!((s_back.as_hz() - s).abs() <= 1e-9 * s);
+        assert!((s_back.as_hz() - s).abs() <= 1e-9 * s);
     }
+}
 
-    #[test]
-    fn unit_conversions_round_trip(ms in 0.0f64..1e6, mhz in 0.0f64..1e5) {
+#[test]
+fn unit_conversions_round_trip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let ms = rng.gen_range(0.0f64..1e6);
+        let mhz = rng.gen_range(0.0f64..1e5);
         let t = Time::from_millis(ms);
-        prop_assert!((t.as_millis() - ms).abs() <= 1e-9 * ms.max(1.0));
+        assert!((t.as_millis() - ms).abs() <= 1e-9 * ms.max(1.0));
         let s = Speed::from_mhz(mhz);
-        prop_assert!((s.as_mhz() - mhz).abs() <= 1e-9 * mhz.max(1.0));
+        assert!((s.as_mhz() - mhz).abs() <= 1e-9 * mhz.max(1.0));
     }
+}
 
-    #[test]
-    fn memory_busy_intervals_are_sorted_disjoint_and_cover_busy_time(
-        spans in prop::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..12),
-    ) {
+#[test]
+fn memory_busy_intervals_are_sorted_disjoint_and_cover_busy_time() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let n = rng.gen_range(1usize..12);
+        let spans: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0f64..100.0), rng.gen_range(0.01f64..10.0)))
+            .collect();
         // Build one placement per span on distinct cores.
         let placements: Vec<Placement> = spans
             .iter()
@@ -56,31 +81,47 @@ proptest! {
         let merged = schedule.memory_busy_intervals();
         // Sorted, disjoint, non-degenerate.
         for w in merged.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "intervals overlap: {w:?}");
+            assert!(w[0].1 <= w[1].0, "intervals overlap: {w:?}");
         }
         for &(a, b) in &merged {
-            prop_assert!(b > a);
+            assert!(b > a);
         }
         // Union length is between the longest span and the sum of spans.
         let total: f64 = merged.iter().map(|&(a, b)| (b - a).as_secs()).sum();
         let sum: f64 = spans.iter().map(|&(_, l)| l).sum();
         let longest = spans.iter().map(|&(_, l)| l).fold(0.0, f64::max);
-        prop_assert!(total <= sum * (1.0 + 1e-9));
-        prop_assert!(total >= longest * (1.0 - 1e-9));
+        assert!(total <= sum * (1.0 + 1e-9));
+        assert!(total >= longest * (1.0 - 1e-9));
         // And matches the reported busy time.
-        prop_assert!((schedule.memory_busy_time().as_secs() - total).abs() <= 1e-9 * total.max(1.0));
+        assert!((schedule.memory_busy_time().as_secs() - total).abs() <= 1e-9 * total.max(1.0));
     }
+}
 
-    #[test]
-    fn filled_speed_schedules_always_validate(
-        specs in prop::collection::vec((0.0f64..50.0, 0.1f64..20.0, 0.0f64..100.0), 1..10),
-    ) {
+#[test]
+fn filled_speed_schedules_always_validate() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let n = rng.gen_range(1usize..10);
+        let specs: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0f64..50.0),
+                    rng.gen_range(0.1f64..20.0),
+                    rng.gen_range(0.0f64..100.0),
+                )
+            })
+            .collect();
         let tasks = TaskSet::new(
             specs
                 .iter()
                 .enumerate()
                 .map(|(i, &(r, win, w))| {
-                    Task::new(i, Time::from_secs(r), Time::from_secs(r + win), Cycles::new(w))
+                    Task::new(
+                        i,
+                        Time::from_secs(r),
+                        Time::from_secs(r + win),
+                        Cycles::new(w),
+                    )
                 })
                 .collect(),
         )
@@ -126,59 +167,81 @@ proptest! {
                     })
                     .collect(),
             );
-            prop_assert!(broken.validate(&tasks).is_err());
+            assert!(broken.validate(&tasks).is_err());
         }
     }
+}
 
-    #[test]
-    fn golden_section_finds_quadratic_minima(
-        center in -50.0f64..50.0,
-        scale in 0.1f64..10.0,
-        lo in -100.0f64..-60.0,
-        hi in 60.0f64..100.0,
-    ) {
+#[test]
+fn golden_section_finds_quadratic_minima() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let center = rng.gen_range(-50.0f64..50.0);
+        let scale = rng.gen_range(0.1f64..10.0);
+        let lo = rng.gen_range(-100.0f64..-60.0);
+        let hi = rng.gen_range(60.0f64..100.0);
         let f = |x: f64| scale * (x - center).powi(2);
         let (x, v) = minimize_unimodal(f, lo, hi, 1e-12);
-        prop_assert!((x - center).abs() <= 1e-5 * center.abs().max(1.0), "{x} vs {center}");
-        prop_assert!(v <= f(center) + 1e-6 * scale);
+        assert!(
+            (x - center).abs() <= 1e-5 * center.abs().max(1.0),
+            "{x} vs {center}"
+        );
+        assert!(v <= f(center) + 1e-6 * scale);
     }
+}
 
-    #[test]
-    fn golden_section_respects_boundary_minima(slope in 0.1f64..10.0, lo in -5.0f64..0.0) {
+#[test]
+fn golden_section_respects_boundary_minima() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let slope = rng.gen_range(0.1f64..10.0);
+        let lo = rng.gen_range(-5.0f64..0.0);
         // Strictly increasing function: minimum at lo.
         let (x, _) = minimize_unimodal(|x| slope * x, lo, lo + 10.0, 1e-12);
-        prop_assert!((x - lo).abs() <= 1e-6);
+        assert!((x - lo).abs() <= 1e-6);
     }
+}
 
-    #[test]
-    fn bisection_inverts_monotone_cubics(root in -5.0f64..5.0, gain in 0.1f64..4.0) {
+#[test]
+fn bisection_inverts_monotone_cubics() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let root = rng.gen_range(-5.0f64..5.0);
+        let gain = rng.gen_range(0.1f64..4.0);
         let g = |x: f64| gain * ((x - root) + (x - root).powi(3));
         let found = bisect_increasing(g, -10.0, 10.0, 1e-13).expect("sign change exists");
-        prop_assert!((found - root).abs() <= 1e-6, "{found} vs {root}");
+        assert!((found - root).abs() <= 1e-6, "{found} vs {root}");
     }
+}
 
-    #[test]
-    fn sorted_by_deadline_is_sorted_and_stable_permutation(
-        specs in prop::collection::vec((0.0f64..50.0, 0.1f64..20.0), 1..15),
-    ) {
+#[test]
+fn sorted_by_deadline_is_sorted_and_stable_permutation() {
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let n = rng.gen_range(1usize..15);
         let tasks = TaskSet::new(
-            specs
-                .iter()
-                .enumerate()
-                .map(|(i, &(r, win))| {
-                    Task::new(i, Time::from_secs(r), Time::from_secs(r + win), Cycles::new(1.0))
+            (0..n)
+                .map(|i| {
+                    let r = rng.gen_range(0.0f64..50.0);
+                    let win = rng.gen_range(0.1f64..20.0);
+                    Task::new(
+                        i,
+                        Time::from_secs(r),
+                        Time::from_secs(r + win),
+                        Cycles::new(1.0),
+                    )
                 })
                 .collect(),
         )
         .unwrap();
         let sorted = tasks.sorted_by_deadline();
-        prop_assert_eq!(sorted.len(), tasks.len());
+        assert_eq!(sorted.len(), tasks.len());
         for w in sorted.windows(2) {
-            prop_assert!(w[0].deadline() <= w[1].deadline());
+            assert!(w[0].deadline() <= w[1].deadline());
         }
         // Same multiset of ids.
         let mut ids: Vec<usize> = sorted.iter().map(|t| t.id().0).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..tasks.len()).collect::<Vec<_>>());
+        assert_eq!(ids, (0..tasks.len()).collect::<Vec<_>>());
     }
 }

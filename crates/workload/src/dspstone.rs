@@ -12,8 +12,7 @@
 //! experiment's structure — two task populations with fixed work and
 //! `U`-scaled periods — is preserved exactly.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem_types::{Cycles, Speed, Task, TaskSet, Time};
 
 /// The DSP reference clock the paper uses to set deadlines.

@@ -1,7 +1,6 @@
 //! Seeded random task-set generators (paper §8.1.2).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem_types::{Cycles, Task, TaskSet, Time};
 
 /// Configuration of the sporadic generator. Defaults are the paper's:

@@ -17,7 +17,11 @@
 //!   exact/LPT bounded-core solvers, plus the heterogeneous-core and
 //!   discrete-voltage extensions);
 //! * [`baselines`] — YDS, Optimal Available, AVR, critical-speed scaling
-//!   and MBKP/MBKPS.
+//!   and MBKP/MBKPS;
+//! * [`exec`] — the parallel sweep engine (deterministic per-trial
+//!   seeding, thread-count-invariant results);
+//! * [`prng`] — the dependency-free seeded randomness behind workload
+//!   generation and sweep seeding.
 //!
 //! # Quickstart
 //!
@@ -26,7 +30,8 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Platform: ARM Cortex-A57 cores + 4 W DRAM (the paper's defaults).
-//! let platform = Platform::new(CorePower::cortex_a57(), MemoryPower::dram_50nm());
+//! // The builder validates every knob (β > 0, λ > 1, break-evens ≥ 0).
+//! let platform = PlatformBuilder::new().build()?;
 //!
 //! // Three tasks released together with individual deadlines.
 //! let tasks = TaskSet::new(vec![
@@ -35,8 +40,9 @@
 //!     Task::new(2, Time::ZERO, Time::from_millis(110.0), Cycles::new(20.0e6)),
 //! ])?;
 //!
-//! // Optimal common-release schedule (cores sleep when idle: α ≠ 0 scheme).
-//! let solution = sdem::core::common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+//! // `Scheme::Auto` routes from the task-set shape: common release here,
+//! // so the §7 overhead-aware optimal scheme runs.
+//! let solution = solve(&tasks, &platform, Scheme::Auto)?;
 //! let report = simulate(solution.schedule(), &tasks, &platform, SleepPolicy::WhenProfitable)?;
 //! assert!(report.total().value() > 0.0);
 //! # Ok(())
@@ -47,14 +53,17 @@
 
 pub use sdem_baselines as baselines;
 pub use sdem_core as core;
+pub use sdem_exec as exec;
 pub use sdem_power as power;
+pub use sdem_prng as prng;
 pub use sdem_sim as sim;
 pub use sdem_types as types;
 pub use sdem_workload as workload;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {
-    pub use sdem_power::{CorePower, MemoryPower, Platform};
+    pub use sdem_core::{solve, Scheduler, Scheme, SdemError, Solution};
+    pub use sdem_power::{CorePower, MemoryPower, Platform, PlatformBuilder, PlatformError};
     pub use sdem_sim::{simulate, EnergyReport, SleepPolicy};
     pub use sdem_types::{
         CoreId, Cycles, Joules, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time,

@@ -1,13 +1,21 @@
 //! Property tests for the online heuristic and the baseline stack:
 //! feasibility on random sporadic sets, single-arrival equivalence with the
-//! offline optimum, and the YDS ≤ OA / YDS ≤ AVR energy orderings.
+//! offline optimum, and the YDS ≤ OA / YDS ≤ AVR energy orderings. Each
+//! property runs over a fixed number of seeded cases (deterministic,
+//! offline).
 
-use proptest::prelude::*;
 use sdem::baselines::{avr, css, mbkp, oa, yds};
 use sdem::core::{common_release, online};
 use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::sim::{simulate, SleepPolicy};
 use sdem::types::{Cycles, Task, TaskSet, Time, Watts};
+
+const CASES: u64 = 48;
+
+fn rng_for(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x0B1B_0000 + property * 1000 + case)
+}
 
 fn platform(alpha: f64, alpha_m: f64) -> Platform {
     Platform::new(
@@ -16,102 +24,136 @@ fn platform(alpha: f64, alpha_m: f64) -> Platform {
     )
 }
 
-fn sporadic_tasks(max_n: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.0f64..6.0, 0.5f64..8.0, 0.1f64..4.0), 1..=max_n).prop_map(|specs| {
-        let mut release = 0.0;
-        TaskSet::new(
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (gap, window, w))| {
-                    release += gap;
-                    Task::new(
-                        i,
-                        Time::from_secs(release),
-                        Time::from_secs(release + window),
-                        Cycles::new(w),
-                    )
-                })
-                .collect(),
-        )
-        .expect("valid tasks")
-    })
+fn sporadic_tasks(rng: &mut ChaCha8Rng, max_n: usize) -> TaskSet {
+    let n = rng.gen_range(1usize..=max_n);
+    let mut release = 0.0;
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                let gap = rng.gen_range(0.0f64..6.0);
+                let window = rng.gen_range(0.5f64..8.0);
+                let w = rng.gen_range(0.1f64..4.0);
+                release += gap;
+                Task::new(
+                    i,
+                    Time::from_secs(release),
+                    Time::from_secs(release + window),
+                    Cycles::new(w),
+                )
+            })
+            .collect(),
+    )
+    .expect("valid tasks")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn online_schedules_always_validate(
-        tasks in sporadic_tasks(10),
-        alpha in 0.0f64..5.0,
-        alpha_m in 0.1f64..10.0,
-    ) {
+#[test]
+fn online_schedules_always_validate() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let tasks = sporadic_tasks(&mut rng, 10);
+        let alpha = rng.gen_range(0.0f64..5.0);
+        let alpha_m = rng.gen_range(0.1f64..10.0);
         let p = platform(alpha, alpha_m);
         let schedule = online::schedule_online(&tasks, &p).unwrap();
         schedule.validate(&tasks).unwrap();
     }
+}
 
-    #[test]
-    fn online_equals_offline_for_common_release(
-        specs in prop::collection::vec((1.0f64..20.0, 0.1f64..5.0), 1..8),
-        alpha in 0.0f64..5.0,
-        alpha_m in 0.5f64..10.0,
-    ) {
+#[test]
+fn online_equals_offline_for_common_release() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let n = rng.gen_range(1usize..8);
         let tasks = TaskSet::new(
-            specs.into_iter().enumerate()
-                .map(|(i, (d, w))| Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w)))
+            (0..n)
+                .map(|i| {
+                    let d = rng.gen_range(1.0f64..20.0);
+                    let w = rng.gen_range(0.1f64..5.0);
+                    Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w))
+                })
                 .collect(),
-        ).unwrap();
+        )
+        .unwrap();
+        let alpha = if case % 8 == 0 {
+            0.0
+        } else {
+            rng.gen_range(0.0f64..5.0)
+        };
+        let alpha_m = rng.gen_range(0.5f64..10.0);
         let p = platform(alpha, alpha_m);
         let schedule = online::schedule_online(&tasks, &p).unwrap();
         let online_e = simulate(&schedule, &tasks, &p, SleepPolicy::WhenProfitable)
-            .unwrap().total().value();
+            .unwrap()
+            .total()
+            .value();
         let offline = if alpha == 0.0 {
             common_release::schedule_alpha_zero(&tasks, &p).unwrap()
         } else {
             common_release::schedule_alpha_nonzero(&tasks, &p).unwrap()
         };
         let off_e = offline.predicted_energy().value();
-        prop_assert!((online_e - off_e).abs() <= 1e-6 * off_e.max(1.0),
-            "online {online_e} vs offline optimum {off_e}");
+        assert!(
+            (online_e - off_e).abs() <= 1e-6 * off_e.max(1.0),
+            "online {online_e} vs offline optimum {off_e}"
+        );
     }
+}
 
-    #[test]
-    fn yds_is_never_beaten_by_oa_or_avr(tasks in sporadic_tasks(8)) {
+#[test]
+fn yds_is_never_beaten_by_oa_or_avr() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let tasks = sporadic_tasks(&mut rng, 8);
         let p = platform(0.0, 0.0);
         let e = |sched: &sdem::types::Schedule| {
             simulate(sched, &tasks, &p, SleepPolicy::NeverSleep)
-                .unwrap().core_dynamic.value()
+                .unwrap()
+                .core_dynamic
+                .value()
         };
         let yds_e = e(&yds::schedule_single_core(&tasks, &p).unwrap());
         let oa_e = e(&oa::schedule_single_core_online(&tasks, &p).unwrap());
         let avr_e = e(&avr::schedule_single_core(&tasks, &p).unwrap());
-        prop_assert!(yds_e <= oa_e * (1.0 + 1e-7), "YDS {yds_e} > OA {oa_e}");
-        prop_assert!(yds_e <= avr_e * (1.0 + 1e-7), "YDS {yds_e} > AVR {avr_e}");
+        assert!(yds_e <= oa_e * (1.0 + 1e-7), "YDS {yds_e} > OA {oa_e}");
+        assert!(yds_e <= avr_e * (1.0 + 1e-7), "YDS {yds_e} > AVR {avr_e}");
     }
+}
 
-    #[test]
-    fn all_baseline_schedules_validate(tasks in sporadic_tasks(8)) {
+#[test]
+fn all_baseline_schedules_validate() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let tasks = sporadic_tasks(&mut rng, 8);
         let p = platform(0.0, 1.0);
-        yds::schedule_single_core(&tasks, &p).unwrap().validate(&tasks).unwrap();
-        oa::schedule_single_core_online(&tasks, &p).unwrap().validate(&tasks).unwrap();
-        avr::schedule_single_core(&tasks, &p).unwrap().validate(&tasks).unwrap();
+        yds::schedule_single_core(&tasks, &p)
+            .unwrap()
+            .validate(&tasks)
+            .unwrap();
+        oa::schedule_single_core_online(&tasks, &p)
+            .unwrap()
+            .validate(&tasks)
+            .unwrap();
+        avr::schedule_single_core(&tasks, &p)
+            .unwrap()
+            .validate(&tasks)
+            .unwrap();
         for cores in [1usize, 2, 4] {
             for policy in [mbkp::Assignment::RoundRobin, mbkp::Assignment::LeastLoaded] {
                 let s = mbkp::schedule_online(&tasks, &p, cores, policy).unwrap();
                 s.validate(&tasks).unwrap();
-                prop_assert!(s.cores_used() <= cores);
+                assert!(s.cores_used() <= cores);
             }
         }
     }
+}
 
-    #[test]
-    fn css_never_loses_to_yds_system_wide_with_free_transitions(
-        tasks in sporadic_tasks(8),
-        alpha in 0.1f64..5.0,
-        alpha_m in 0.1f64..10.0,
-    ) {
+#[test]
+fn css_never_loses_to_yds_system_wide_with_free_transitions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let tasks = sporadic_tasks(&mut rng, 8);
+        let alpha = rng.gen_range(0.1f64..5.0);
+        let alpha_m = rng.gen_range(0.1f64..10.0);
         // With ξ = ξ_m = 0 every freed gap sleeps for free, so clamping to
         // the joint critical speed can only help (per-run convexity).
         let p = platform(alpha, alpha_m);
@@ -120,31 +162,37 @@ proptest! {
         css_sched.validate(&tasks).unwrap();
         let e = |s: &sdem::types::Schedule| {
             simulate(s, &tasks, &p, SleepPolicy::WhenProfitable)
-                .unwrap().total().value()
+                .unwrap()
+                .total()
+                .value()
         };
-        prop_assert!(
+        assert!(
             e(&css_sched) <= e(&yds_sched) * (1.0 + 1e-9),
             "CSS {} worse than YDS {}",
             e(&css_sched),
             e(&yds_sched)
         );
     }
+}
 
-    #[test]
-    fn spreading_over_more_cores_never_raises_dynamic_energy(
-        tasks in sporadic_tasks(8),
-    ) {
+#[test]
+fn spreading_over_more_cores_never_raises_dynamic_energy() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let tasks = sporadic_tasks(&mut rng, 8);
         // With a convex power curve, splitting the same jobs over more
         // cores (same YDS policy per core) cannot increase dynamic energy.
         let p = platform(0.0, 0.0);
         let e = |cores: usize| {
-            let s = mbkp::schedule_offline(&tasks, &p, cores, mbkp::Assignment::RoundRobin)
-                .unwrap();
+            let s =
+                mbkp::schedule_offline(&tasks, &p, cores, mbkp::Assignment::RoundRobin).unwrap();
             simulate(&s, &tasks, &p, SleepPolicy::NeverSleep)
-                .unwrap().core_dynamic.value()
+                .unwrap()
+                .core_dynamic
+                .value()
         };
         let one = e(1);
         let many = e(4);
-        prop_assert!(many <= one * (1.0 + 1e-7), "4 cores {many} > 1 core {one}");
+        assert!(many <= one * (1.0 + 1e-7), "4 cores {many} > 1 core {one}");
     }
 }

@@ -1,12 +1,19 @@
 //! Property tests for the optimality claims of the offline schemes:
 //! the §4 case analyses against an independent grid oracle, the three
 //! §4.1 drivers against each other, and the §5 DP against brute-force
-//! partition enumeration.
+//! partition enumeration. Each property runs over a fixed number of
+//! seeded cases (deterministic, offline — no external framework).
 
-use proptest::prelude::*;
 use sdem::core::{agreeable, common_release};
 use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::types::{Cycles, Task, TaskSet, Time, Watts};
+
+const CASES: u64 = 48;
+
+fn rng_for(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x0971_0000 + property * 1000 + case)
+}
 
 /// A dimensionless platform: β = 1, λ = 3.
 fn platform(alpha: f64, alpha_m: f64) -> Platform {
@@ -16,93 +23,128 @@ fn platform(alpha: f64, alpha_m: f64) -> Platform {
     )
 }
 
-/// Strategy: 1–10 tasks with deadlines in [1, 20] s, work in [0.1, 5].
-fn common_release_tasks() -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((1.0f64..20.0, 0.1f64..5.0), 1..10).prop_map(|specs| {
-        TaskSet::new(
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (d, w))| Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w)))
-                .collect(),
-        )
-        .expect("valid tasks")
-    })
+/// 1–10 common-release tasks with deadlines in [1, 20] s, work in [0.1, 5].
+fn common_release_tasks(rng: &mut ChaCha8Rng) -> TaskSet {
+    let n = rng.gen_range(1usize..10);
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                let d = rng.gen_range(1.0f64..20.0);
+                let w = rng.gen_range(0.1f64..5.0);
+                Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w))
+            })
+            .collect(),
+    )
+    .expect("valid tasks")
 }
 
-/// Strategy: agreeable sets — sorted releases, non-decreasing deadlines.
-fn agreeable_tasks(max_n: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.0f64..10.0, 0.5f64..8.0, 0.1f64..4.0), 1..=max_n).prop_map(|specs| {
-        let mut release = 0.0;
-        let mut deadline = 0.0f64;
-        TaskSet::new(
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (gap, window, w))| {
-                    release += gap;
-                    deadline = (release + window).max(deadline + 1e-6);
-                    Task::new(
-                        i,
-                        Time::from_secs(release),
-                        Time::from_secs(deadline),
-                        Cycles::new(w),
-                    )
-                })
-                .collect(),
-        )
-        .expect("valid tasks")
-    })
+/// Agreeable sets — sorted releases, non-decreasing deadlines.
+fn agreeable_tasks(rng: &mut ChaCha8Rng, max_n: usize) -> TaskSet {
+    let n = rng.gen_range(1usize..=max_n);
+    let mut release = 0.0;
+    let mut deadline = 0.0f64;
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                let gap = rng.gen_range(0.0f64..10.0);
+                let window = rng.gen_range(0.5f64..8.0);
+                let w = rng.gen_range(0.1f64..4.0);
+                release += gap;
+                deadline = (release + window).max(deadline + 1e-6);
+                Task::new(
+                    i,
+                    Time::from_secs(release),
+                    Time::from_secs(deadline),
+                    Cycles::new(w),
+                )
+            })
+            .collect(),
+    )
+    .expect("valid tasks")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn alpha_zero_drivers_agree(tasks in common_release_tasks(), alpha_m in 0.1f64..20.0) {
+#[test]
+fn alpha_zero_drivers_agree() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let tasks = common_release_tasks(&mut rng);
+        let alpha_m = rng.gen_range(0.1f64..20.0);
         let p = platform(0.0, alpha_m);
         let a = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
         let b = common_release::schedule_alpha_zero_scan(&tasks, &p).unwrap();
         let c = common_release::schedule_alpha_zero_binary_search(&tasks, &p).unwrap();
         let e = a.predicted_energy().value();
-        prop_assert!((b.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
-            "scan {} vs exhaustive {}", b.predicted_energy().value(), e);
-        prop_assert!((c.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
-            "binary search {} vs exhaustive {}", c.predicted_energy().value(), e);
+        assert!(
+            (b.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
+            "scan {} vs exhaustive {}",
+            b.predicted_energy().value(),
+            e
+        );
+        assert!(
+            (c.predicted_energy().value() - e).abs() <= 1e-7 * e.max(1.0),
+            "binary search {} vs exhaustive {}",
+            c.predicted_energy().value(),
+            e
+        );
         a.schedule().validate(&tasks).unwrap();
     }
+}
 
-    #[test]
-    fn alpha_zero_beats_grid_oracle(tasks in common_release_tasks(), alpha_m in 0.1f64..20.0) {
+#[test]
+fn alpha_zero_beats_grid_oracle() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let tasks = common_release_tasks(&mut rng);
+        let alpha_m = rng.gen_range(0.1f64..20.0);
         let p = platform(0.0, alpha_m);
         let scheme = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
-        let oracle = common_release::reference_optimum(&tasks, &p, 3000).unwrap().value();
+        let oracle = common_release::reference_optimum(&tasks, &p, 3000)
+            .unwrap()
+            .value();
         let e = scheme.predicted_energy().value();
-        prop_assert!(e <= oracle * (1.0 + 1e-9), "scheme {e} worse than oracle {oracle}");
-        prop_assert!(e >= oracle * (1.0 - 1e-2), "scheme {e} far below continuum oracle {oracle}");
+        assert!(
+            e <= oracle * (1.0 + 1e-9),
+            "scheme {e} worse than oracle {oracle}"
+        );
+        assert!(
+            e >= oracle * (1.0 - 1e-2),
+            "scheme {e} far below continuum oracle {oracle}"
+        );
     }
+}
 
-    #[test]
-    fn alpha_nonzero_beats_grid_oracle(
-        tasks in common_release_tasks(),
-        alpha in 0.1f64..10.0,
-        alpha_m in 0.0f64..20.0,
-    ) {
+#[test]
+fn alpha_nonzero_beats_grid_oracle() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let tasks = common_release_tasks(&mut rng);
+        let alpha = rng.gen_range(0.1f64..10.0);
+        let alpha_m = rng.gen_range(0.0f64..20.0);
         let p = platform(alpha, alpha_m);
         let scheme = common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
-        let oracle = common_release::reference_optimum(&tasks, &p, 3000).unwrap().value();
+        let oracle = common_release::reference_optimum(&tasks, &p, 3000)
+            .unwrap()
+            .value();
         let e = scheme.predicted_energy().value();
-        prop_assert!(e <= oracle * (1.0 + 1e-9), "scheme {e} worse than oracle {oracle}");
-        prop_assert!(e >= oracle * (1.0 - 1e-2), "scheme {e} far below continuum oracle {oracle}");
+        assert!(
+            e <= oracle * (1.0 + 1e-9),
+            "scheme {e} worse than oracle {oracle}"
+        );
+        assert!(
+            e >= oracle * (1.0 - 1e-2),
+            "scheme {e} far below continuum oracle {oracle}"
+        );
         scheme.schedule().validate(&tasks).unwrap();
     }
+}
 
-    #[test]
-    fn agreeable_dp_matches_bruteforce_partitions(
-        tasks in agreeable_tasks(5),
-        alpha in 0.0f64..6.0,
-        alpha_m in 0.2f64..10.0,
-    ) {
+#[test]
+fn agreeable_dp_matches_bruteforce_partitions() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let tasks = agreeable_tasks(&mut rng, 5);
+        let alpha = rng.gen_range(0.0f64..6.0);
+        let alpha_m = rng.gen_range(0.2f64..10.0);
         let p = platform(alpha, alpha_m);
         let dp = agreeable::schedule(&tasks, &p).unwrap();
 
@@ -132,44 +174,59 @@ proptest! {
             best = best.min(total);
         }
         let e = dp.predicted_energy().value();
-        prop_assert!((e - best).abs() <= 1e-6 * best.max(1.0),
-            "DP {e} vs brute-force partitions {best}");
+        assert!(
+            (e - best).abs() <= 1e-6 * best.max(1.0),
+            "DP {e} vs brute-force partitions {best}"
+        );
         dp.schedule().validate(&tasks).unwrap();
     }
+}
 
-    #[test]
-    fn block_solvers_agree(
-        tasks in agreeable_tasks(4),
-        alpha in 0.0f64..6.0,
-        alpha_m in 0.2f64..10.0,
-    ) {
+#[test]
+fn block_solvers_agree() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let tasks = agreeable_tasks(&mut rng, 4);
+        let alpha = rng.gen_range(0.0f64..6.0);
+        let alpha_m = rng.gen_range(0.2f64..10.0);
         let p = platform(alpha, alpha_m);
-        let br = agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::BestResponse)
-            .unwrap()
-            .value();
-        let it = agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::PaperIterative)
-            .unwrap()
-            .value();
-        prop_assert!((br - it).abs() <= 1e-4 * br.max(1.0),
-            "best-response {br} vs Algorithm 1 {it}");
+        let br =
+            agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::BestResponse)
+                .unwrap()
+                .value();
+        let it =
+            agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::PaperIterative)
+                .unwrap()
+                .value();
+        assert!(
+            (br - it).abs() <= 1e-4 * br.max(1.0),
+            "best-response {br} vs Algorithm 1 {it}"
+        );
         // Both must beat (or match) a moderately dense oracle.
-        let oracle = agreeable::single_block_oracle(&tasks, &p, 150).unwrap().value();
-        prop_assert!(br <= oracle * (1.0 + 1e-6), "best-response {br} worse than oracle {oracle}");
+        let oracle = agreeable::single_block_oracle(&tasks, &p, 150)
+            .unwrap()
+            .value();
+        assert!(
+            br <= oracle * (1.0 + 1e-6),
+            "best-response {br} worse than oracle {oracle}"
+        );
     }
+}
 
-    #[test]
-    fn strict_dp_is_disjoint_and_never_under_reports(
-        tasks in agreeable_tasks(6),
-        alpha in 0.0f64..6.0,
-        alpha_m in 0.2f64..10.0,
-    ) {
+#[test]
+fn strict_dp_is_disjoint_and_never_under_reports() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let tasks = agreeable_tasks(&mut rng, 6);
+        let alpha = rng.gen_range(0.0f64..6.0);
+        let alpha_m = rng.gen_range(0.2f64..10.0);
         let p = platform(alpha, alpha_m);
         let strict = agreeable::schedule_strict(&tasks, &p).unwrap();
         strict.schedule().validate(&tasks).unwrap();
         let plain = agreeable::schedule(&tasks, &p).unwrap();
         // Strict can only merge blocks ⇒ never cheaper than the plain DP's
         // optimistic value.
-        prop_assert!(
+        assert!(
             strict.predicted_energy().value() >= plain.predicted_energy().value() * (1.0 - 1e-9),
             "strict {} below plain {}",
             strict.predicted_energy().value(),
@@ -177,42 +234,56 @@ proptest! {
         );
         // And its prediction is an upper bound on the simulated energy.
         let sim = sdem::sim::simulate(
-            strict.schedule(), &tasks, &p, sdem::sim::SleepPolicy::WhenProfitable,
-        ).unwrap().total().value();
-        prop_assert!(
+            strict.schedule(),
+            &tasks,
+            &p,
+            sdem::sim::SleepPolicy::WhenProfitable,
+        )
+        .unwrap()
+        .total()
+        .value();
+        assert!(
             sim <= strict.predicted_energy().value() * (1.0 + 1e-9),
             "strict under-reports: sim {sim} vs {}",
             strict.predicted_energy().value()
         );
     }
+}
 
-    #[test]
-    fn lemma3_closed_forms_match_generic_solver(
-        tasks in agreeable_tasks(5),
-        alpha_m in 0.2f64..12.0,
-    ) {
+#[test]
+fn lemma3_closed_forms_match_generic_solver() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let tasks = agreeable_tasks(&mut rng, 5);
+        let alpha_m = rng.gen_range(0.2f64..12.0);
         let p = platform(0.0, alpha_m);
         let lemma3 = agreeable::solve_single_block_lemma3(&tasks, &p)
             .unwrap()
             .value();
-        let generic = agreeable::solve_single_block(
-            &tasks, &p, agreeable::BlockSolverKind::BestResponse,
-        ).unwrap().value();
-        prop_assert!(
+        let generic =
+            agreeable::solve_single_block(&tasks, &p, agreeable::BlockSolverKind::BestResponse)
+                .unwrap()
+                .value();
+        assert!(
             (lemma3 - generic).abs() <= 1e-5 * generic.max(1.0),
             "Lemma 3 {lemma3} vs generic {generic}"
         );
     }
+}
 
-    #[test]
-    fn agreeable_dp_on_common_release_matches_section4(
-        tasks in common_release_tasks(),
-        alpha_m in 0.5f64..10.0,
-    ) {
+#[test]
+fn agreeable_dp_on_common_release_matches_section4() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let tasks = common_release_tasks(&mut rng);
+        let alpha_m = rng.gen_range(0.5f64..10.0);
         let p = platform(0.0, alpha_m);
         let dp = agreeable::schedule(&tasks, &p).unwrap();
         let cr = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
         let (a, b) = (dp.predicted_energy().value(), cr.predicted_energy().value());
-        prop_assert!((a - b).abs() <= 1e-5 * b.max(1.0), "agreeable {a} vs §4.1 {b}");
+        assert!(
+            (a - b).abs() <= 1e-5 * b.max(1.0),
+            "agreeable {a} vs §4.1 {b}"
+        );
     }
 }

@@ -1,12 +1,20 @@
 //! Property tests for the simulator: the interval meter and the
 //! event-driven engine must agree on every schedule and policy, and the
 //! analytic energies of the offline schemes must match the metered values.
+//! Each property runs over a fixed number of seeded cases (deterministic,
+//! offline).
 
-use proptest::prelude::*;
 use sdem::core::{common_release, online, overhead};
 use sdem::power::{CorePower, MemoryPower, Platform};
+use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::sim::{simulate_event_driven, simulate_with_options, SimOptions, SleepPolicy};
 use sdem::types::{Cycles, Task, TaskSet, Time, Watts};
+
+const CASES: u64 = 48;
+
+fn rng_for(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x51AA_0000 + property * 1000 + case)
+}
 
 fn platform(alpha: f64, alpha_m: f64, xi: f64, xi_m: f64) -> Platform {
     Platform::new(
@@ -15,41 +23,53 @@ fn platform(alpha: f64, alpha_m: f64, xi: f64, xi_m: f64) -> Platform {
     )
 }
 
-fn sporadic_tasks() -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.0f64..6.0, 0.5f64..8.0, 0.1f64..4.0), 1..8).prop_map(|specs| {
-        let mut release = 0.0;
-        TaskSet::new(
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (gap, window, w))| {
-                    release += gap;
-                    Task::new(
-                        i,
-                        Time::from_secs(release),
-                        Time::from_secs(release + window),
-                        Cycles::new(w),
-                    )
-                })
-                .collect(),
-        )
-        .expect("valid tasks")
-    })
+fn sporadic_tasks(rng: &mut ChaCha8Rng) -> TaskSet {
+    let n = rng.gen_range(1usize..8);
+    let mut release = 0.0;
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                let gap = rng.gen_range(0.0f64..6.0);
+                let window = rng.gen_range(0.5f64..8.0);
+                let w = rng.gen_range(0.1f64..4.0);
+                release += gap;
+                Task::new(
+                    i,
+                    Time::from_secs(release),
+                    Time::from_secs(release + window),
+                    Cycles::new(w),
+                )
+            })
+            .collect(),
+    )
+    .expect("valid tasks")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn common_release_tasks(rng: &mut ChaCha8Rng, max_n: usize) -> TaskSet {
+    let n = rng.gen_range(1usize..max_n);
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                let d = rng.gen_range(1.0f64..20.0);
+                let w = rng.gen_range(0.1f64..5.0);
+                Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w))
+            })
+            .collect(),
+    )
+    .unwrap()
+}
 
-    #[test]
-    fn meter_and_engine_agree_on_online_schedules(
-        tasks in sporadic_tasks(),
-        alpha in 0.0f64..5.0,
-        alpha_m in 0.1f64..10.0,
-        xi in 0.0f64..2.0,
-        xi_m in 0.0f64..2.0,
-        policy_idx in 0usize..3,
-        use_horizon in any::<bool>(),
-    ) {
+#[test]
+fn meter_and_engine_agree_on_online_schedules() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let tasks = sporadic_tasks(&mut rng);
+        let alpha = rng.gen_range(0.0f64..5.0);
+        let alpha_m = rng.gen_range(0.1f64..10.0);
+        let xi = rng.gen_range(0.0f64..2.0);
+        let xi_m = rng.gen_range(0.0f64..2.0);
+        let policy_idx = rng.gen_range(0usize..3);
+        let use_horizon = case % 2 == 0;
         let p = platform(alpha, alpha_m, xi, xi_m);
         let schedule = online::schedule_online(&tasks, &p).unwrap();
         let policy = [
@@ -64,25 +84,30 @@ proptest! {
         let a = simulate_with_options(&schedule, &tasks, &p, opts).unwrap();
         let b = simulate_event_driven(&schedule, &tasks, &p, opts).unwrap();
         let tol = 1e-9 * a.total().value().max(1.0);
-        prop_assert!((a.total().value() - b.total().value()).abs() <= tol,
-            "meter {} vs engine {}", a.total(), b.total());
-        prop_assert_eq!(a.memory_sleeps, b.memory_sleeps);
-        prop_assert_eq!(a.core_sleeps, b.core_sleeps);
-        prop_assert!((a.memory_sleep_time - b.memory_sleep_time).abs().as_secs() <= 1e-9);
-        prop_assert!((a.memory_awake_time - b.memory_awake_time).abs().as_secs() <= 1e-9);
+        assert!(
+            (a.total().value() - b.total().value()).abs() <= tol,
+            "meter {} vs engine {}",
+            a.total(),
+            b.total()
+        );
+        assert_eq!(a.memory_sleeps, b.memory_sleeps);
+        assert_eq!(a.core_sleeps, b.core_sleeps);
+        assert!((a.memory_sleep_time - b.memory_sleep_time).abs().as_secs() <= 1e-9);
+        assert!((a.memory_awake_time - b.memory_awake_time).abs().as_secs() <= 1e-9);
     }
+}
 
-    #[test]
-    fn predicted_matches_metered_common_release(
-        tasks in prop::collection::vec((1.0f64..20.0, 0.1f64..5.0), 1..10),
-        alpha in 0.0f64..6.0,
-        alpha_m in 0.1f64..12.0,
-    ) {
-        let tasks = TaskSet::new(
-            tasks.into_iter().enumerate()
-                .map(|(i, (d, w))| Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w)))
-                .collect(),
-        ).unwrap();
+#[test]
+fn predicted_matches_metered_common_release() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let tasks = common_release_tasks(&mut rng, 10);
+        let alpha = if case % 8 == 0 {
+            0.0
+        } else {
+            rng.gen_range(0.0f64..6.0)
+        };
+        let alpha_m = rng.gen_range(0.1f64..12.0);
         let p = platform(alpha, alpha_m, 0.0, 0.0);
         let sol = if alpha == 0.0 {
             common_release::schedule_alpha_zero(&tasks, &p).unwrap()
@@ -90,43 +115,52 @@ proptest! {
             common_release::schedule_alpha_nonzero(&tasks, &p).unwrap()
         };
         let report = simulate_with_options(
-            sol.schedule(), &tasks, &p, SimOptions::uniform(SleepPolicy::WhenProfitable),
-        ).unwrap();
+            sol.schedule(),
+            &tasks,
+            &p,
+            SimOptions::uniform(SleepPolicy::WhenProfitable),
+        )
+        .unwrap();
         let predicted = sol.predicted_energy().value();
-        prop_assert!((report.total().value() - predicted).abs() <= 1e-7 * predicted.max(1.0),
-            "sim {} vs predicted {predicted}", report.total());
+        assert!(
+            (report.total().value() - predicted).abs() <= 1e-7 * predicted.max(1.0),
+            "sim {} vs predicted {predicted}",
+            report.total()
+        );
     }
+}
 
-    #[test]
-    fn predicted_matches_metered_overhead_scheme(
-        tasks in prop::collection::vec((1.0f64..20.0, 0.1f64..5.0), 1..8),
-        alpha in 0.1f64..6.0,
-        alpha_m in 0.1f64..12.0,
-        xi in 0.0f64..3.0,
-        xi_m in 0.0f64..3.0,
-    ) {
-        let tasks = TaskSet::new(
-            tasks.into_iter().enumerate()
-                .map(|(i, (d, w))| Task::new(i, Time::ZERO, Time::from_secs(d), Cycles::new(w)))
-                .collect(),
-        ).unwrap();
+#[test]
+fn predicted_matches_metered_overhead_scheme() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let tasks = common_release_tasks(&mut rng, 8);
+        let alpha = rng.gen_range(0.1f64..6.0);
+        let alpha_m = rng.gen_range(0.1f64..12.0);
+        let xi = rng.gen_range(0.0f64..3.0);
+        let xi_m = rng.gen_range(0.0f64..3.0);
         let p = platform(alpha, alpha_m, xi, xi_m);
         let sol = overhead::schedule_common_release(&tasks, &p).unwrap();
         let opts = SimOptions::uniform(SleepPolicy::WhenProfitable)
             .with_horizon(Time::ZERO, tasks.latest_deadline());
         let report = simulate_with_options(sol.schedule(), &tasks, &p, opts).unwrap();
         let predicted = sol.predicted_energy().value();
-        prop_assert!((report.total().value() - predicted).abs() <= 1e-7 * predicted.max(1.0),
-            "sim {} vs predicted {predicted}", report.total());
+        assert!(
+            (report.total().value() - predicted).abs() <= 1e-7 * predicted.max(1.0),
+            "sim {} vs predicted {predicted}",
+            report.total()
+        );
     }
+}
 
-    #[test]
-    fn profitable_policy_is_never_beaten(
-        tasks in sporadic_tasks(),
-        alpha in 0.0f64..5.0,
-        alpha_m in 0.1f64..10.0,
-        xi_m in 0.0f64..2.0,
-    ) {
+#[test]
+fn profitable_policy_is_never_beaten() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let tasks = sporadic_tasks(&mut rng);
+        let alpha = rng.gen_range(0.0f64..5.0);
+        let alpha_m = rng.gen_range(0.1f64..10.0);
+        let xi_m = rng.gen_range(0.0f64..2.0);
         // WhenProfitable is the component-wise optimal gap decision, so it
         // can never lose to NeverSleep or AlwaysSleep on the same schedule.
         let p = platform(alpha, alpha_m, 0.0, xi_m);
@@ -135,11 +169,22 @@ proptest! {
             SleepPolicy::WhenProfitable,
             SleepPolicy::NeverSleep,
             SleepPolicy::AlwaysSleep,
-        ].iter().map(|&pol| {
+        ]
+        .iter()
+        .map(|&pol| {
             simulate_with_options(&schedule, &tasks, &p, SimOptions::uniform(pol))
-                .unwrap().total().value()
-        }).collect();
-        prop_assert!(totals[0] <= totals[1] * (1.0 + 1e-12), "profitable loses to never");
-        prop_assert!(totals[0] <= totals[2] * (1.0 + 1e-12), "profitable loses to always");
+                .unwrap()
+                .total()
+                .value()
+        })
+        .collect();
+        assert!(
+            totals[0] <= totals[1] * (1.0 + 1e-12),
+            "profitable loses to never"
+        );
+        assert!(
+            totals[0] <= totals[2] * (1.0 + 1e-12),
+            "profitable loses to always"
+        );
     }
 }
