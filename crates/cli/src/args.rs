@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Option keys that are boolean switches (no value follows).
-const SWITCHES: &[&str] = &["gantt", "quiet"];
+const SWITCHES: &[&str] = &["gantt", "quiet", "oracle"];
 
 impl Args {
     /// Parses `argv` (after the subcommand).

@@ -34,15 +34,22 @@ USAGE:
                     power-over-time CSV (time_s,cores_w,memory_w,total_w)
   sdem-cli sweep    [--figure fig6|fig7a|fig7b] [--trials N] [--tasks N]
                     [--instances N] [--threads N] [--csv FILE]
+                    [--oracle] [--oracle-tol REL]
                     parallel figure sweep; prints trials/sec statistics
   sdem-cli experiment [--kind synthetic|dspstone] [--tasks N] [--x-ms X]
                     [--u U] [--instances N] [--cores N] [--trials N]
                     [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
+                    [--oracle] [--oracle-tol REL]
                     one grid point, parallel replicates, summary savings
   sdem-cli help
 
 Sweeps and experiments fan trials across worker threads; results are
 identical for any --threads value (deterministic per-trial seeding).
+--oracle cross-checks every trial against the simulator: the SDEM-ON
+schedule's analytic energy must match the interval meter, and the meter
+must match the event-driven engine, within --oracle-tol (default 1e-6
+relative); divergence aborts the sweep. Example:
+  sdem-cli sweep --figure fig7a --trials 2 --tasks 12 --oracle
 
 SCHEMES:
   auto                 route from the task-set shape (common release →
@@ -277,7 +284,17 @@ fn compare(args: &Args) -> Result<(), String> {
 }
 
 fn runner_from(args: &Args) -> Result<SweepRunner, String> {
-    Ok(SweepRunner::new().with_threads(args.get_usize("threads", 0)?))
+    let mut runner = SweepRunner::new().with_threads(args.get_usize("threads", 0)?);
+    let tol = args.get_f64("oracle-tol", sdem_exec::DEFAULT_ORACLE_TOLERANCE)?;
+    if args.has_flag("oracle") || args.get("oracle-tol").is_some() {
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(format!(
+                "option `--oracle-tol` expects a non-negative number, got `{tol}`"
+            ));
+        }
+        runner = runner.with_oracle_tolerance(tol);
+    }
+    Ok(runner)
 }
 
 fn sweep(args: &Args) -> Result<(), String> {
@@ -533,6 +550,38 @@ mod tests {
         .unwrap();
         assert!(run(&sv(&["sweep", "--figure", "fig9"])).is_err());
         assert!(run(&sv(&["experiment", "--kind", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn oracle_flag_and_tolerance_are_wired() {
+        run(&sv(&[
+            "experiment",
+            "--trials",
+            "2",
+            "--tasks",
+            "12",
+            "--oracle",
+        ]))
+        .unwrap();
+        // A bare --oracle-tol also enables the oracle.
+        run(&sv(&[
+            "experiment",
+            "--trials",
+            "1",
+            "--tasks",
+            "12",
+            "--oracle-tol",
+            "1e-5",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "experiment",
+            "--trials",
+            "1",
+            "--oracle-tol",
+            "-1.0",
+        ]))
+        .is_err());
     }
 
     #[test]

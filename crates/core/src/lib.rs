@@ -52,9 +52,11 @@ pub mod bounded;
 pub mod common_release;
 pub mod discrete;
 pub mod online;
+mod oracle;
 pub mod overhead;
 pub mod scheduler;
 mod solution;
 
+pub use oracle::{OracleError, OracleOptions, DEFAULT_ORACLE_TOLERANCE};
 pub use scheduler::{solve, Scheduler, Scheme};
 pub use solution::{SdemError, Solution};

@@ -22,7 +22,7 @@
 //! [`classify_table3`] reproduces the published decision table literally
 //! and is unit-tested row by row.
 
-use sdem_power::Platform;
+use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_types::{CoreId, Joules, Placement, Schedule, TaskSet, Time};
 
 use crate::common_release::{completion_order, prepare};
@@ -86,6 +86,9 @@ struct OverheadCases {
     xi_m: f64,
     /// Latest completion at `s_c` — the busy-interval baseline `c_n`.
     c_max: f64,
+    /// Power models for the shared min(idle-awake, round-trip) gap pricing.
+    core_model: CorePower,
+    mem_model: MemoryPower,
 }
 
 impl OverheadCases {
@@ -93,29 +96,27 @@ impl OverheadCases {
         self.c.len()
     }
 
-    /// Cheapest way to spend a trailing gap `g` for a component with static
-    /// power `a` and break-even `xi`: idle awake or one round trip.
-    fn gap_cost(g: f64, a: f64, xi: f64) -> f64 {
-        if g <= 0.0 {
-            0.0
-        } else {
-            (a * g).min(a * xi)
-        }
-    }
-
     /// Exact §7 system energy for case `cut` at memory sleep `delta`,
-    /// horizon convention over `[0, |I|]`.
+    /// horizon convention over `[0, |I|]`. Trailing idle gaps are priced by
+    /// the shared power-model `best_gap_energy` (idle awake vs round trip).
     fn energy(&self, cut: usize, delta: f64) -> f64 {
         let t_end = self.c_max - delta;
-        let mut total =
-            self.alpha_m * t_end + Self::gap_cost(self.interval - t_end, self.alpha_m, self.xi_m);
+        let mut total = self.alpha_m * t_end
+            + self
+                .mem_model
+                .best_gap_energy(Time::from_secs(self.interval - t_end))
+                .value();
         for k in 0..self.n() {
             let run = if k >= cut { t_end } else { self.c[k] };
             let wk = self.w[k];
             if wk > 0.0 {
                 total += self.beta * wk.powf(self.lambda) * run.powf(1.0 - self.lambda);
             }
-            total += self.alpha * run + Self::gap_cost(self.interval - run, self.alpha, self.xi);
+            total += self.alpha * run
+                + self
+                    .core_model
+                    .best_gap_energy(Time::from_secs(self.interval - run))
+                    .value();
         }
         total
     }
@@ -226,6 +227,8 @@ pub fn schedule_common_release(
         s_up: core.max_speed().as_hz(),
         xi: core.break_even().as_secs(),
         xi_m: platform.memory().break_even().as_secs(),
+        core_model: *core,
+        mem_model: *platform.memory(),
     };
 
     // Per case, evaluate the exact energy at every Table-3 candidate.

@@ -31,7 +31,7 @@
 //! ```
 
 use sdem_power::Platform;
-use sdem_types::{Joules, Schedule, TaskSet, Time};
+use sdem_types::TaskSet;
 
 use crate::{agreeable, bounded, common_release, online, overhead, SdemError, Solution};
 
@@ -155,7 +155,7 @@ impl Scheduler for Online {
     }
     fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
         let schedule = online::schedule_online(tasks, platform)?;
-        Ok(solution_from_schedule(schedule, platform))
+        Ok(Solution::from_schedule(schedule, platform))
     }
 }
 
@@ -165,7 +165,7 @@ impl Scheduler for OnlineBounded {
     }
     fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
         let schedule = online::schedule_online_bounded(tasks, platform, self.0)?;
-        Ok(solution_from_schedule(schedule, platform))
+        Ok(Solution::from_schedule(schedule, platform))
     }
 }
 
@@ -185,44 +185,6 @@ impl Scheduler for BoundedExact {
     fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
         bounded::solve_exact(tasks, platform, self.0)
     }
-}
-
-/// Wraps an online [`Schedule`] (which carries no analytic optimum) into a
-/// [`Solution`] with the model's energy accounting: per-segment dynamic
-/// energy `β·s^λ·len`, core static energy `α` over busy time, and memory
-/// static energy `α_m` over awake time, where the memory sleeps exactly
-/// the all-cores-idle gaps of length ≥ ξ_m (the simulator's
-/// `WhenProfitable` policy).
-fn solution_from_schedule(schedule: Schedule, platform: &Platform) -> Solution {
-    let core = platform.core();
-    let (beta, lambda, alpha) = (core.beta(), core.lambda(), core.alpha().value());
-    let alpha_m = platform.memory().alpha_m().value();
-    let xi_m = platform.memory().break_even().value();
-
-    let mut dynamic = 0.0;
-    let mut core_busy = 0.0;
-    for p in schedule.placements() {
-        for s in p.segments() {
-            let len = s.length().value();
-            dynamic += beta * s.speed().value().powf(lambda) * len;
-            core_busy += len;
-        }
-    }
-
-    let busy = schedule.memory_busy_intervals();
-    let mut awake = busy.iter().map(|&(a, b)| (b - a).value()).sum::<f64>();
-    let mut sleep = 0.0;
-    for pair in busy.windows(2) {
-        let gap = (pair[1].0 - pair[0].1).value();
-        if gap >= xi_m {
-            sleep += gap;
-        } else {
-            awake += gap;
-        }
-    }
-
-    let energy = dynamic + alpha * core_busy + alpha_m * awake;
-    Solution::new(schedule, Joules::new(energy), Time::from_secs(sleep))
 }
 
 /// Scheme selector for [`solve`]: every [`Scheduler`] implementation as a
@@ -333,7 +295,7 @@ pub fn solve(tasks: &TaskSet, platform: &Platform, scheme: Scheme) -> Result<Sol
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdem_types::{Cycles, Task};
+    use sdem_types::{Cycles, Task, Time};
 
     fn common_release_set() -> TaskSet {
         TaskSet::new(vec![

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use sdem_power::Platform;
 use sdem_types::{Joules, Schedule, TaskId, Time};
 
 /// Result of an SDEM scheme: the explicit schedule plus the analytic
@@ -49,6 +50,55 @@ impl Solution {
     #[inline]
     pub fn memory_sleep(&self) -> Time {
         self.memory_sleep
+    }
+
+    /// Wraps a bare [`Schedule`] (e.g. from the online heuristics, which
+    /// carry no analytic optimum) into a [`Solution`] by pricing it with
+    /// the model's closed forms under the *gap convention* and profitable
+    /// sleeping — the same accounting the `sdem-sim` meter applies with its
+    /// default options, so the predicted energy here agrees with the meter
+    /// to floating-point round-off:
+    ///
+    /// * per-segment dynamic energy `β·s^λ·len` plus memory access energy;
+    /// * per-core static energy `α` over busy time, each idle gap priced
+    ///   at the cheaper of idling awake (`α·g`) or one round trip (`α·ξ`);
+    /// * memory static energy `α_m` over the busy-union, sleeping exactly
+    ///   the gaps of length ≥ ξ_m (one `α_m·ξ_m` round trip each).
+    pub fn from_schedule(schedule: Schedule, platform: &Platform) -> Self {
+        let core = platform.core();
+        let memory = platform.memory();
+        let per_cycle = memory.access_energy_per_cycle();
+
+        let mut energy = Joules::ZERO;
+        for placement in schedule.placements() {
+            for seg in placement.segments() {
+                energy += core.dynamic_power(seg.speed()) * seg.length();
+                energy += Joules::new(per_cycle * seg.work().value());
+            }
+        }
+
+        for c in schedule.cores() {
+            let busy = schedule.core_busy_intervals(c);
+            energy += core.alpha() * busy.total();
+            for &(a, b) in busy.gaps(None).iter() {
+                energy += core.best_gap_energy(b - a);
+            }
+        }
+
+        let mem_busy = schedule.memory_busy_intervals();
+        energy += memory.awake_energy(mem_busy.total());
+        let mut sleep = Time::ZERO;
+        for &(a, b) in mem_busy.gaps(None).iter() {
+            let gap = b - a;
+            if memory.sleep_is_profitable(gap) {
+                energy += memory.transition_energy();
+                sleep += gap;
+            } else {
+                energy += memory.awake_energy(gap);
+            }
+        }
+
+        Self::new(schedule, energy, sleep)
     }
 }
 

@@ -48,6 +48,10 @@ use std::time::{Duration, Instant};
 
 use sdem_prng::SplitMix64;
 
+/// Relative tolerance [`SweepRunner::with_oracle`] configures when none is
+/// given explicitly.
+pub const DEFAULT_ORACLE_TOLERANCE: f64 = 1e-6;
+
 /// The identity of one trial inside a sweep, carrying its deterministic
 /// seed stream.
 ///
@@ -61,17 +65,38 @@ pub struct TrialCtx {
     point: usize,
     replicate: usize,
     trial_index: usize,
+    /// Sim-oracle tolerance as IEEE-754 bits (`None` = oracle off); bits
+    /// rather than `f64` so the context stays `Copy + Eq`.
+    oracle_tol_bits: Option<u64>,
 }
 
 impl TrialCtx {
-    /// Builds the context for one `(point, replicate)` cell.
+    /// Builds the context for one `(point, replicate)` cell (oracle off).
     pub fn new(grid_seed: u64, point: usize, replicate: usize, replications: usize) -> Self {
         Self {
             grid_seed,
             point,
             replicate,
             trial_index: point * replications + replicate,
+            oracle_tol_bits: None,
         }
+    }
+
+    /// Returns a copy asking the trial to cross-check analytic energies
+    /// against the simulator within the given relative tolerance.
+    #[must_use]
+    pub fn with_oracle_tolerance(mut self, rel_tol: f64) -> Self {
+        self.oracle_tol_bits = Some(rel_tol.to_bits());
+        self
+    }
+
+    /// The sim-oracle tolerance the sweep was configured with, or `None`
+    /// when the oracle is off. Trial closures that compute both an analytic
+    /// and a metered energy should compare them within this tolerance and
+    /// fail loudly on divergence.
+    #[inline]
+    pub fn oracle_tolerance(&self) -> Option<f64> {
+        self.oracle_tol_bits.map(f64::from_bits)
     }
 
     /// Index of the grid point this trial belongs to.
@@ -168,6 +193,7 @@ type ProgressFn = dyn Fn(SweepProgress) + Send + Sync;
 pub struct SweepRunner {
     threads: Option<NonZeroUsize>,
     progress: Option<Arc<ProgressFn>>,
+    oracle_tol_bits: Option<u64>,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -175,6 +201,7 @@ impl std::fmt::Debug for SweepRunner {
         f.debug_struct("SweepRunner")
             .field("threads", &self.threads)
             .field("progress", &self.progress.is_some())
+            .field("oracle_tolerance", &self.oracle_tolerance())
             .finish()
     }
 }
@@ -201,6 +228,35 @@ impl SweepRunner {
     ) -> Self {
         self.progress = Some(Arc::new(observer));
         self
+    }
+
+    /// Enables (with [`DEFAULT_ORACLE_TOLERANCE`]) or disables the
+    /// sim-oracle cross-check every trial's [`TrialCtx`] advertises.
+    #[must_use]
+    pub fn with_oracle(mut self, enabled: bool) -> Self {
+        self.oracle_tol_bits = enabled.then_some(DEFAULT_ORACLE_TOLERANCE.to_bits());
+        self
+    }
+
+    /// Enables the sim-oracle with an explicit relative tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_tol` is negative or non-finite.
+    #[must_use]
+    pub fn with_oracle_tolerance(mut self, rel_tol: f64) -> Self {
+        assert!(
+            rel_tol.is_finite() && rel_tol >= 0.0,
+            "oracle tolerance must be finite and non-negative"
+        );
+        self.oracle_tol_bits = Some(rel_tol.to_bits());
+        self
+    }
+
+    /// The configured oracle tolerance, or `None` when the oracle is off.
+    #[inline]
+    pub fn oracle_tolerance(&self) -> Option<f64> {
+        self.oracle_tol_bits.map(f64::from_bits)
     }
 
     /// The worker count a grid of `total` trials would use.
@@ -243,7 +299,10 @@ impl SweepRunner {
 
         let run_one = |flat: usize| -> (usize, Option<T>) {
             let (point, replicate) = (flat / replications.max(1), flat % replications.max(1));
-            let ctx = TrialCtx::new(grid_seed, point, replicate, replications);
+            let mut ctx = TrialCtx::new(grid_seed, point, replicate, replications);
+            if let Some(bits) = self.oracle_tol_bits {
+                ctx = ctx.with_oracle_tolerance(f64::from_bits(bits));
+            }
             (flat, trial(&points[point], &ctx))
         };
 
@@ -405,6 +464,41 @@ mod tests {
         let outcome = SweepRunner::new().run(&[1.0], 0, 0, |_, _| Some(0.0));
         assert_eq!(outcome.per_point.len(), 1);
         assert!(outcome.per_point[0].is_empty());
+    }
+
+    #[test]
+    fn oracle_tolerance_reaches_every_trial() {
+        // Off by default.
+        let outcome = SweepRunner::new().run(&[0u8], 2, 0, |_, ctx| ctx.oracle_tolerance());
+        assert_eq!(outcome.per_point[0], Vec::<f64>::new());
+        assert_eq!(outcome.stats.failures, 2);
+
+        // with_oracle(true) advertises the default tolerance to all trials.
+        let outcome =
+            SweepRunner::new()
+                .with_oracle(true)
+                .with_threads(2)
+                .run(&[0u8, 1], 3, 0, |_, ctx| ctx.oracle_tolerance());
+        for point in &outcome.per_point {
+            assert_eq!(point.as_slice(), &[DEFAULT_ORACLE_TOLERANCE; 3]);
+        }
+
+        // Explicit tolerance survives the bit round-trip exactly; turning
+        // the oracle back off clears it.
+        let runner = SweepRunner::new().with_oracle_tolerance(3.5e-9);
+        assert_eq!(runner.oracle_tolerance(), Some(3.5e-9));
+        assert_eq!(runner.with_oracle(false).oracle_tolerance(), None);
+    }
+
+    #[test]
+    fn oracle_contexts_stay_copy_and_eq() {
+        let a = TrialCtx::new(1, 0, 0, 4).with_oracle_tolerance(1e-6);
+        let b = TrialCtx::new(1, 0, 0, 4).with_oracle_tolerance(1e-6);
+        assert_eq!(a, b);
+        assert_ne!(a, TrialCtx::new(1, 0, 0, 4));
+        assert_eq!(a.oracle_tolerance(), Some(1e-6));
+        // Seeds are unaffected by the oracle flag.
+        assert_eq!(a.seed(0), TrialCtx::new(1, 0, 0, 4).seed(0));
     }
 
     #[test]

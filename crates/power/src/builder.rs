@@ -110,7 +110,23 @@ impl fmt::Display for PlatformError {
 impl std::error::Error for PlatformError {}
 
 /// Builds a [`Platform`] with full validation, starting from the paper's
-/// Table 4 defaults. See the [module docs](self) for an example.
+/// Table 4 defaults.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_power::{PlatformBuilder, PlatformError};
+/// use sdem_types::Time;
+///
+/// # fn main() -> Result<(), PlatformError> {
+/// let platform = PlatformBuilder::new()
+///     .memory_alpha_w(6.0)
+///     .memory_break_even(Time::from_millis(25.0))
+///     .build()?;
+/// assert_eq!(platform.memory().alpha_m().value(), 6.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformBuilder {
     alpha_mw: f64,

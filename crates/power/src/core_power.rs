@@ -211,6 +211,15 @@ impl CorePower {
         self.alpha * self.break_even
     }
 
+    /// The cheaper of sleeping through an idle gap (one round trip, `α·ξ`)
+    /// or idling awake through it (`α·g`). Non-positive gaps are free.
+    pub fn best_gap_energy(&self, gap: Time) -> Joules {
+        if gap.value() <= 0.0 {
+            return Joules::ZERO;
+        }
+        (self.alpha * gap).min(self.transition_energy())
+    }
+
     /// The unconstrained critical speed
     /// `s_m = (α / (β(λ−1)))^{1/λ}` minimizing per-work energy
     /// `(α + β s^λ)·w/s` (Irani et al.). Zero when `α = 0`.

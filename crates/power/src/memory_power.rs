@@ -136,8 +136,11 @@ impl MemoryPower {
     }
 
     /// The cheaper of sleeping through a gap (one transition) or idling
-    /// awake through it.
+    /// awake through it. Non-positive gaps are free.
     pub fn best_gap_energy(&self, gap: Time) -> Joules {
+        if gap.value() <= 0.0 {
+            return Joules::ZERO;
+        }
         self.awake_energy(gap).min(self.transition_energy())
     }
 }

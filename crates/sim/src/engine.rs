@@ -11,8 +11,9 @@
 //! every schedule (asserted by property tests).
 
 use sdem_power::Platform;
-use sdem_types::{Schedule, ScheduleError, Speed, TaskSet, Time};
+use sdem_types::{IntervalSet, Schedule, ScheduleError, Speed, TaskSet, Time};
 
+use crate::timeline::SleepTimeline;
 use crate::{EnergyReport, SimOptions};
 
 /// Component state during one time slice.
@@ -28,15 +29,16 @@ enum State {
     Off,
 }
 
-/// One component's timeline: busy intervals plus per-gap sleep decisions.
-struct Timeline {
+/// One core's timeline: speed-annotated busy runs plus the shared
+/// [`SleepTimeline`] gap decisions.
+struct ComponentTimeline {
     /// Sorted disjoint `(start, end, speed)` busy runs.
     busy: Vec<(Time, Time, Speed)>,
-    /// Sorted `(gap_start, gap_end, slept)` for the inner gaps.
-    gaps: Vec<(Time, Time, bool)>,
+    /// Shared busy/gap kernel with per-gap sleep decisions.
+    sleep: SleepTimeline,
 }
 
-impl Timeline {
+impl ComponentTimeline {
     fn new(
         mut busy: Vec<(Time, Time, Speed)>,
         policy: crate::SleepPolicy,
@@ -44,23 +46,9 @@ impl Timeline {
         horizon: Option<(Time, Time)>,
     ) -> Self {
         busy.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut gaps: Vec<(Time, Time, bool)> = busy
-            .windows(2)
-            .filter(|w| w[1].0 > w[0].1)
-            .map(|w| {
-                let gap = w[1].0 - w[0].1;
-                (w[0].1, w[1].0, policy.sleeps(gap, xi))
-            })
-            .collect();
-        if let (Some((t0, t1)), Some(first), Some(last)) = (horizon, busy.first(), busy.last()) {
-            if first.0 > t0 {
-                gaps.push((t0, first.0, policy.sleeps(first.0 - t0, xi)));
-            }
-            if t1 > last.1 {
-                gaps.push((last.1, t1, policy.sleeps(t1 - last.1, xi)));
-            }
-        }
-        Self { busy, gaps }
+        let spans = IntervalSet::from_spans(busy.iter().map(|&(a, b, _)| (a, b)).collect());
+        let sleep = SleepTimeline::new(spans, policy, xi, horizon);
+        Self { busy, sleep }
     }
 
     fn state_at(&self, t: Time) -> State {
@@ -69,20 +57,17 @@ impl Timeline {
                 return State::Busy(s);
             }
         }
-        for &(a, b, slept) in &self.gaps {
-            if t >= a && t < b {
-                return if slept {
-                    State::Asleep
-                } else {
-                    State::IdleAwake
-                };
-            }
+        if self.sleep.asleep_at(t) {
+            State::Asleep
+        } else if self.sleep.awake_idle_at(t) {
+            State::IdleAwake
+        } else {
+            State::Off
         }
-        State::Off
     }
 
     fn sleep_episodes(&self) -> usize {
-        self.gaps.iter().filter(|g| g.2).count()
+        self.sleep.sleep_episodes()
     }
 }
 
@@ -131,7 +116,7 @@ pub fn simulate_event_driven(
     let mut report = EnergyReport::default();
 
     // Per-core timelines.
-    let core_timelines: Vec<Timeline> = schedule
+    let core_timelines: Vec<ComponentTimeline> = schedule
         .cores()
         .into_iter()
         .map(|core| {
@@ -141,7 +126,7 @@ pub fn simulate_event_driven(
                 .filter(|p| p.core() == core)
                 .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end(), s.speed())))
                 .collect();
-            Timeline::new(
+            ComponentTimeline::new(
                 busy,
                 options.core_policy,
                 core_model.break_even(),
@@ -150,13 +135,9 @@ pub fn simulate_event_driven(
         })
         .collect();
 
-    // Memory timeline from the merged busy intervals (speed is irrelevant).
-    let memory_timeline = Timeline::new(
-        schedule
-            .memory_busy_intervals()
-            .into_iter()
-            .map(|(a, b)| (a, b, Speed::ZERO))
-            .collect(),
+    // Memory timeline from the merged busy intervals (no speed needed).
+    let memory_timeline = SleepTimeline::new(
+        schedule.memory_busy_intervals(),
         options.memory_policy,
         memory.break_even(),
         options.horizon,
@@ -165,8 +146,8 @@ pub fn simulate_event_driven(
     // Event instants: every busy boundary of every component.
     let mut events: Vec<Time> = core_timelines
         .iter()
-        .chain(core::iter::once(&memory_timeline))
         .flat_map(|tl| tl.busy.iter().flat_map(|&(a, b, _)| [a, b]))
+        .chain(memory_timeline.busy().iter().flat_map(|&(a, b)| [a, b]))
         .collect();
     if let Some((t0, t1)) = options.horizon {
         events.push(t0);
@@ -196,13 +177,11 @@ pub fn simulate_event_driven(
                 State::Asleep | State::Off => {}
             }
         }
-        match memory_timeline.state_at(mid) {
-            State::Busy(_) | State::IdleAwake => {
-                report.memory_static += memory.awake_energy(dt);
-                report.memory_awake_time += dt;
-            }
-            State::Asleep => report.memory_sleep_time += dt,
-            State::Off => {}
+        if memory_timeline.is_busy_at(mid) || memory_timeline.awake_idle_at(mid) {
+            report.memory_static += memory.awake_energy(dt);
+            report.memory_awake_time += dt;
+        } else if memory_timeline.asleep_at(mid) {
+            report.memory_sleep_time += dt;
         }
     }
 
@@ -309,7 +288,7 @@ mod tests {
 
     #[test]
     fn state_machine_classification() {
-        let tl = Timeline::new(
+        let tl = ComponentTimeline::new(
             vec![
                 (sec(0.0), sec(2.0), Speed::from_hz(1.0)),
                 (sec(5.0), sec(6.0), Speed::from_hz(2.0)),

@@ -57,6 +57,7 @@ mod options;
 mod power_trace;
 mod report;
 mod summary;
+mod timeline;
 mod trace;
 
 pub use engine::simulate_event_driven;

@@ -82,9 +82,9 @@ pub fn simulate_with_options(
     // Per-core on-span accounting: static power while busy, gaps per policy.
     for core in schedule.cores() {
         let busy = schedule.core_busy_intervals(core);
-        let busy_time: Time = busy.iter().map(|&(a, b)| b - a).sum();
-        report.core_static += core_model.alpha() * busy_time;
-        for gap in gaps(&busy, options.horizon) {
+        report.core_static += core_model.alpha() * busy.total();
+        for &(a, b) in busy.gaps(options.horizon).iter() {
+            let gap = b - a;
             let (idle, trans, slept) = options.core_policy.price_gap(
                 gap,
                 core_model.break_even(),
@@ -101,10 +101,11 @@ pub fn simulate_with_options(
 
     // Memory on-span accounting.
     let mem_busy = schedule.memory_busy_intervals();
-    let mem_busy_time: Time = mem_busy.iter().map(|&(a, b)| b - a).sum();
+    let mem_busy_time: Time = mem_busy.total();
     report.memory_static += memory.awake_energy(mem_busy_time);
     report.memory_awake_time += mem_busy_time;
-    for gap in gaps(&mem_busy, options.horizon) {
+    for &(a, b) in mem_busy.gaps(options.horizon).iter() {
+        let gap = b - a;
         let (idle, trans, slept) = options.memory_policy.price_gap(
             gap,
             memory.break_even(),
@@ -124,28 +125,6 @@ pub fn simulate_with_options(
     // Guard against numerically negative artifacts.
     debug_assert!(report.total() >= Joules::ZERO);
     Ok(report)
-}
-
-/// Lengths of the gaps between consecutive sorted disjoint intervals,
-/// plus — under the horizon convention — the leading and trailing gaps to
-/// the horizon edges.
-fn gaps(intervals: &[(Time, Time)], horizon: Option<(Time, Time)>) -> Vec<Time> {
-    let mut out: Vec<Time> = intervals
-        .windows(2)
-        .map(|w| w[1].0 - w[0].1)
-        .filter(|g| g.value() > 0.0)
-        .collect();
-    if let (Some((t0, t1)), Some(first), Some(last)) =
-        (horizon, intervals.first(), intervals.last())
-    {
-        if first.0 - t0 > Time::ZERO {
-            out.push(first.0 - t0);
-        }
-        if t1 - last.1 > Time::ZERO {
-            out.push(t1 - last.1);
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 use sdem_power::Platform;
 use sdem_types::{Schedule, Time, Watts};
 
-use crate::{SimOptions, SleepPolicy};
+use crate::timeline::SleepTimeline;
+use crate::SimOptions;
 
 /// One sample of the system power trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,11 +74,10 @@ pub fn power_trace(
     let core_model = platform.core();
     let memory = platform.memory();
 
-    // Per-core busy intervals + gap sleep decisions (as the meter does).
+    // Per-core busy runs (for speed lookup) + shared gap sleep decisions.
     struct CoreLine {
         busy: Vec<(Time, Time, f64)>, // (start, end, speed Hz)
-        gaps: Vec<(Time, Time, bool)>,
-        span: (Time, Time),
+        sleep: SleepTimeline,
     }
     let lines: Vec<CoreLine> = schedule
         .cores()
@@ -94,31 +94,29 @@ pub fn power_trace(
                 })
                 .collect();
             busy.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let gaps = gap_decisions(
-                &busy.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+            let sleep = SleepTimeline::new(
+                schedule.core_busy_intervals(core),
                 options.core_policy,
                 core_model.break_even(),
                 options.horizon,
             );
-            let span = (
-                busy.first().map(|b| b.0).unwrap_or(t0),
-                busy.last().map(|b| b.1).unwrap_or(t0),
-            );
-            CoreLine { busy, gaps, span }
+            CoreLine { busy, sleep }
         })
         .collect();
 
-    let mem_busy = schedule.memory_busy_intervals();
-    let mem_gaps = gap_decisions(
-        &mem_busy,
+    let mem = SleepTimeline::new(
+        schedule.memory_busy_intervals(),
         options.memory_policy,
         memory.break_even(),
         options.horizon,
     );
-    let mem_span = (
-        mem_busy.first().map(|b| b.0).unwrap_or(t0),
-        mem_busy.last().map(|b| b.1).unwrap_or(t0),
-    );
+
+    // Outside the busy span a component is off — unless a horizon powers the
+    // whole window and no priced gap covers the instant.
+    let off_span_awake = |sleep: &SleepTimeline, t: Time| {
+        let (s0, s1) = sleep.busy_span_or(t0);
+        options.horizon.is_some() && !sleep.in_gap(t) && (t < s0 || t >= s1)
+    };
 
     (0..samples)
         .map(|k| {
@@ -127,24 +125,16 @@ pub fn power_trace(
             for line in &lines {
                 if let Some(&(_, _, s)) = line.busy.iter().find(|&&(a, b, _)| t >= a && t < b) {
                     cores += core_model.power(sdem_types::Speed::from_hz(s));
-                } else if awake_in_gap(&line.gaps, t)
-                    || (options.horizon.is_some()
-                        && !covered(&line.gaps, t)
-                        && (t < line.span.0 || t >= line.span.1))
-                {
+                } else if line.sleep.awake_idle_at(t) || off_span_awake(&line.sleep, t) {
                     cores += core_model.alpha();
                 }
             }
-            let mem_busy_now = mem_busy.iter().any(|&(a, b)| t >= a && t < b);
-            let mem_awake_gap = awake_in_gap(&mem_gaps, t)
-                || (options.horizon.is_some()
-                    && !covered(&mem_gaps, t)
-                    && (t < mem_span.0 || t >= mem_span.1));
-            let memory_draw = if mem_busy_now || mem_awake_gap {
-                memory.alpha_m()
-            } else {
-                Watts::ZERO
-            };
+            let memory_draw =
+                if mem.is_busy_at(t) || mem.awake_idle_at(t) || off_span_awake(&mem, t) {
+                    memory.alpha_m()
+                } else {
+                    Watts::ZERO
+                };
             PowerSample {
                 time: t,
                 cores,
@@ -152,36 +142,6 @@ pub fn power_trace(
             }
         })
         .collect()
-}
-
-fn gap_decisions(
-    busy: &[(Time, Time)],
-    policy: SleepPolicy,
-    xi: Time,
-    horizon: Option<(Time, Time)>,
-) -> Vec<(Time, Time, bool)> {
-    let mut gaps: Vec<(Time, Time, bool)> = busy
-        .windows(2)
-        .filter(|w| w[1].0 > w[0].1)
-        .map(|w| (w[0].1, w[1].0, policy.sleeps(w[1].0 - w[0].1, xi)))
-        .collect();
-    if let (Some((t0, t1)), Some(first), Some(last)) = (horizon, busy.first(), busy.last()) {
-        if first.0 > t0 {
-            gaps.push((t0, first.0, policy.sleeps(first.0 - t0, xi)));
-        }
-        if t1 > last.1 {
-            gaps.push((last.1, t1, policy.sleeps(t1 - last.1, xi)));
-        }
-    }
-    gaps
-}
-
-fn awake_in_gap(gaps: &[(Time, Time, bool)], t: Time) -> bool {
-    gaps.iter().any(|&(a, b, slept)| t >= a && t < b && !slept)
-}
-
-fn covered(gaps: &[(Time, Time, bool)], t: Time) -> bool {
-    gaps.iter().any(|&(a, b, _)| t >= a && t < b)
 }
 
 /// Renders a trace as CSV (`time_s,cores_w,memory_w,total_w`).
@@ -202,7 +162,7 @@ pub fn trace_to_csv(trace: &[PowerSample]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulate_with_options;
+    use crate::{simulate_with_options, SleepPolicy};
     use sdem_power::{CorePower, MemoryPower};
     use sdem_types::{CoreId, Cycles, Placement, Speed, Task, TaskId, TaskSet};
 

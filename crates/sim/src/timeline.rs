@@ -1,0 +1,76 @@
+//! Shared per-component sleep timeline.
+//!
+//! Decorates the `sdem-types` [`Timeline`] kernel with the per-gap sleep
+//! decision of a [`SleepPolicy`]. Both simulators (the interval meter and
+//! the event-driven engine) and the power-trace renderer derive their gap
+//! lists from this one type, so "which gaps exist and which are slept" has
+//! a single implementation in the workspace.
+
+use sdem_types::{IntervalSet, Time, Timeline};
+
+use crate::SleepPolicy;
+
+/// A component's busy timeline plus the policy's decision for every gap.
+pub(crate) struct SleepTimeline {
+    timeline: Timeline,
+    /// Chronological `(gap_start, gap_end, slept)` decisions.
+    gaps: Vec<(Time, Time, bool)>,
+}
+
+impl SleepTimeline {
+    /// Prices every gap of `busy` (under the `horizon` powered-span
+    /// convention) with `policy` against break-even time `xi`.
+    pub(crate) fn new(
+        busy: IntervalSet,
+        policy: SleepPolicy,
+        xi: Time,
+        horizon: Option<(Time, Time)>,
+    ) -> Self {
+        let timeline = Timeline::new(busy, horizon);
+        let gaps = timeline
+            .gaps()
+            .iter()
+            .map(|&(a, b)| (a, b, policy.sleeps(b - a, xi)))
+            .collect();
+        Self { timeline, gaps }
+    }
+
+    /// The coalesced busy intervals.
+    pub(crate) fn busy(&self) -> &IntervalSet {
+        self.timeline.busy()
+    }
+
+    /// The busy set's own span, or `(default, default)` when never busy.
+    pub(crate) fn busy_span_or(&self, default: Time) -> (Time, Time) {
+        self.timeline.busy().span().unwrap_or((default, default))
+    }
+
+    /// `true` while executing work.
+    pub(crate) fn is_busy_at(&self, t: Time) -> bool {
+        self.timeline.is_busy_at(t)
+    }
+
+    /// `true` inside a gap the policy keeps awake.
+    pub(crate) fn awake_idle_at(&self, t: Time) -> bool {
+        self.gaps
+            .iter()
+            .any(|&(a, b, slept)| t >= a && t < b && !slept)
+    }
+
+    /// `true` inside a gap the policy sleeps through.
+    pub(crate) fn asleep_at(&self, t: Time) -> bool {
+        self.gaps
+            .iter()
+            .any(|&(a, b, slept)| t >= a && t < b && slept)
+    }
+
+    /// `true` inside any priced gap.
+    pub(crate) fn in_gap(&self, t: Time) -> bool {
+        self.gaps.iter().any(|&(a, b, _)| t >= a && t < b)
+    }
+
+    /// Number of slept gaps (one round-trip charge each).
+    pub(crate) fn sleep_episodes(&self) -> usize {
+        self.gaps.iter().filter(|g| g.2).count()
+    }
+}

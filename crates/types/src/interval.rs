@@ -1,0 +1,439 @@
+//! The canonical interval kernel: sorted, coalesced, half-open
+//! `[start, end)` time intervals.
+//!
+//! Every interval computation in the workspace — a core's busy windows,
+//! the memory's union of busy windows, the idle gaps a sleep policy
+//! prices against `ξ`/`ξ_m` — routes through [`IntervalSet`] (the set
+//! algebra) and [`Timeline`] (a busy set paired with the powered-span
+//! convention). Keeping one implementation makes the analytic schemes,
+//! the simulator and the figure pipelines agree bit-for-bit on what "a
+//! gap" is.
+//!
+//! # Conventions
+//!
+//! * Intervals are half-open `[start, end)`; degenerate spans
+//!   (`end <= start`, or any non-finite ordering) are dropped on
+//!   construction.
+//! * A set is always sorted by start and coalesced: touching or
+//!   overlapping spans are merged, so consecutive intervals are
+//!   separated by strictly positive gaps.
+//! * [`IntervalSet::gaps`] follows the workspace's two powered-span
+//!   conventions (see `sdem-sim`): with no horizon a component is only
+//!   powered between its own first and last busy instant, so only the
+//!   *inner* gaps exist; with a horizon `(t0, t1)` the component is
+//!   powered across the whole window and the leading/trailing idle
+//!   become gaps too. An empty busy set yields no gaps under either
+//!   convention (a component that never runs is never powered) — use
+//!   [`IntervalSet::complement_within`] for the true set complement.
+
+use crate::units::Time;
+
+/// A sorted, coalesced set of half-open `[start, end)` intervals.
+///
+/// Dereferences to `&[(Time, Time)]`, so slice iteration, indexing and
+/// `windows()` all work directly on the set.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_types::{IntervalSet, Time};
+///
+/// let s = |x: f64| Time::from_secs(x);
+/// let set = IntervalSet::from_spans(vec![(s(4.0), s(6.0)), (s(0.0), s(2.0)), (s(1.0), s(3.0))]);
+/// assert_eq!(set.as_slice(), &[(s(0.0), s(3.0)), (s(4.0), s(6.0))]);
+/// assert_eq!(set.total(), s(5.0));
+/// assert_eq!(set.gaps(None).as_slice(), &[(s(3.0), s(4.0))]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntervalSet {
+    intervals: Vec<(Time, Time)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        Self {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Builds a set from arbitrary spans: drops degenerate spans
+    /// (`end <= start`), sorts by start, and coalesces touching or
+    /// overlapping spans.
+    pub fn from_spans(mut spans: Vec<(Time, Time)>) -> Self {
+        spans.retain(|&(a, b)| b > a);
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out: Vec<(Time, Time)> = Vec::with_capacity(spans.len());
+        for (a, b) in spans {
+            match out.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => out.push((a, b)),
+            }
+        }
+        Self { intervals: out }
+    }
+
+    /// Wraps spans that are already sorted, disjoint and non-degenerate
+    /// (checked in debug builds only).
+    fn from_sorted(intervals: Vec<(Time, Time)>) -> Self {
+        debug_assert!(intervals.iter().all(|&(a, b)| b > a));
+        debug_assert!(intervals.windows(2).all(|w| w[0].1 < w[1].0));
+        Self { intervals }
+    }
+
+    /// The intervals as a slice (also available through `Deref`).
+    #[inline]
+    pub fn as_slice(&self) -> &[(Time, Time)] {
+        &self.intervals
+    }
+
+    /// Consumes the set, returning the underlying intervals.
+    #[inline]
+    pub fn into_vec(self) -> Vec<(Time, Time)> {
+        self.intervals
+    }
+
+    /// Sum of interval lengths, accumulated left to right.
+    pub fn total(&self) -> Time {
+        self.intervals.iter().map(|&(a, b)| b - a).sum()
+    }
+
+    /// The convex hull `(first start, last end)`, or `None` when empty.
+    pub fn span(&self) -> Option<(Time, Time)> {
+        match (self.intervals.first(), self.intervals.last()) {
+            (Some(&(a, _)), Some(&(_, b))) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// `true` when `t` lies inside some interval (`start <= t < end`).
+    pub fn contains(&self, t: Time) -> bool {
+        let idx = self.intervals.partition_point(|&(a, _)| a <= t);
+        idx > 0 && t < self.intervals[idx - 1].1
+    }
+
+    /// Set union; both inputs stay sorted so this is a linear merge.
+    pub fn union(&self, other: &Self) -> Self {
+        let (mut xs, mut ys) = (self.iter().peekable(), other.iter().peekable());
+        let mut out: Vec<(Time, Time)> =
+            Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        loop {
+            let take_x = match (xs.peek(), ys.peek()) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let &(a, b) = if take_x {
+                xs.next().unwrap()
+            } else {
+                ys.next().unwrap()
+            };
+            match out.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => out.push((a, b)),
+            }
+        }
+        Self { intervals: out }
+    }
+
+    /// Set intersection: the time covered by both sets.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a0, a1) = self.intervals[i];
+            let (b0, b1) = other.intervals[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if hi > lo {
+                out.push((lo, hi));
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Self::from_sorted(out)
+    }
+
+    /// The true set complement clipped to `span`: everything inside
+    /// `[span.0, span.1)` not covered by this set. The complement of an
+    /// empty set is the whole (non-degenerate) span.
+    pub fn complement_within(&self, span: (Time, Time)) -> Self {
+        let (t0, t1) = span;
+        if t1 <= t0 {
+            return Self::new();
+        }
+        let mut out = Vec::new();
+        let mut cursor = t0;
+        for &(a, b) in &self.intervals {
+            if b <= cursor {
+                continue;
+            }
+            if a >= t1 {
+                break;
+            }
+            if a > cursor {
+                out.push((cursor, a.min(t1)));
+            }
+            cursor = cursor.max(b);
+            if cursor >= t1 {
+                break;
+            }
+        }
+        if cursor < t1 {
+            out.push((cursor, t1));
+        }
+        Self::from_sorted(out)
+    }
+
+    /// The idle gaps of a busy set under the workspace's powered-span
+    /// conventions, in chronological order.
+    ///
+    /// With `horizon = None` only the strictly positive gaps *between*
+    /// consecutive busy intervals are returned. With a horizon
+    /// `(t0, t1)` the leading idle `[t0, first start)` and trailing idle
+    /// `[last end, t1)` are appended when non-empty. An empty busy set
+    /// produces no gaps under either convention (the component is never
+    /// powered); use [`Self::complement_within`] when the true
+    /// complement is wanted instead.
+    pub fn gaps(&self, horizon: Option<(Time, Time)>) -> Self {
+        let (Some(&first), Some(&last)) = (self.intervals.first(), self.intervals.last()) else {
+            return Self::new();
+        };
+        let mut out: Vec<(Time, Time)> = Vec::new();
+        if let Some((t0, _)) = horizon {
+            if first.0 - t0 > Time::ZERO {
+                out.push((t0, first.0));
+            }
+        }
+        out.extend(
+            self.intervals
+                .windows(2)
+                .map(|w| (w[0].1, w[1].0))
+                .filter(|&(a, b)| b - a > Time::ZERO),
+        );
+        if let Some((_, t1)) = horizon {
+            if t1 - last.1 > Time::ZERO {
+                out.push((last.1, t1));
+            }
+        }
+        Self::from_sorted(out)
+    }
+}
+
+impl std::ops::Deref for IntervalSet {
+    type Target = [(Time, Time)];
+
+    #[inline]
+    fn deref(&self) -> &Self::Target {
+        &self.intervals
+    }
+}
+
+impl FromIterator<(Time, Time)> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = (Time, Time)>>(iter: I) -> Self {
+        Self::from_spans(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for IntervalSet {
+    type Item = (Time, Time);
+    type IntoIter = std::vec::IntoIter<(Time, Time)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalSet {
+    type Item = &'a (Time, Time);
+    type IntoIter = std::slice::Iter<'a, (Time, Time)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.iter()
+    }
+}
+
+/// A component's activity timeline: its coalesced busy intervals plus
+/// the powered-span convention under which its idle gaps are priced.
+///
+/// This is the shape every energy accounting in the workspace consumes:
+/// the meter, the event-driven engine, the power-trace renderer and the
+/// schedulers' closed forms all derive their gap lists from a
+/// `Timeline`.
+///
+/// # Examples
+///
+/// ```
+/// use sdem_types::{IntervalSet, Time, Timeline};
+///
+/// let s = |x: f64| Time::from_secs(x);
+/// let busy = IntervalSet::from_spans(vec![(s(2.0), s(3.0)), (s(5.0), s(7.0))]);
+/// let tl = Timeline::new(busy, Some((s(0.0), s(10.0))));
+/// // Leading, inner and trailing idle all become gaps under a horizon.
+/// assert_eq!(
+///     tl.gaps().as_slice(),
+///     &[(s(0.0), s(2.0)), (s(3.0), s(5.0)), (s(7.0), s(10.0))]
+/// );
+/// assert_eq!(tl.busy_time(), s(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    busy: IntervalSet,
+    horizon: Option<(Time, Time)>,
+}
+
+impl Timeline {
+    /// Pairs a busy set with an optional powered horizon.
+    pub fn new(busy: IntervalSet, horizon: Option<(Time, Time)>) -> Self {
+        Self { busy, horizon }
+    }
+
+    /// The busy intervals.
+    #[inline]
+    pub fn busy(&self) -> &IntervalSet {
+        &self.busy
+    }
+
+    /// The powered horizon, when one was given.
+    #[inline]
+    pub fn horizon(&self) -> Option<(Time, Time)> {
+        self.horizon
+    }
+
+    /// Total busy time.
+    pub fn busy_time(&self) -> Time {
+        self.busy.total()
+    }
+
+    /// The window the component is powered over: the horizon when given,
+    /// otherwise the busy set's own span.
+    pub fn powered_span(&self) -> Option<(Time, Time)> {
+        self.horizon.or_else(|| self.busy.span())
+    }
+
+    /// The priced idle gaps (see [`IntervalSet::gaps`]), chronological.
+    pub fn gaps(&self) -> IntervalSet {
+        self.busy.gaps(self.horizon)
+    }
+
+    /// `true` when the component executes work at `t`.
+    pub fn is_busy_at(&self, t: Time) -> bool {
+        self.busy.contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> Time {
+        Time::from_secs(x)
+    }
+
+    fn set(spans: &[(f64, f64)]) -> IntervalSet {
+        IntervalSet::from_spans(spans.iter().map(|&(a, b)| (s(a), s(b))).collect())
+    }
+
+    fn raw(set: &IntervalSet) -> Vec<(f64, f64)> {
+        set.iter().map(|&(a, b)| (a.value(), b.value())).collect()
+    }
+
+    #[test]
+    fn from_spans_drops_degenerate_sorts_and_coalesces() {
+        let got = set(&[(5.0, 5.0), (3.0, 1.0), (4.0, 6.0), (0.0, 2.0), (1.5, 3.0)]);
+        assert_eq!(raw(&got), vec![(0.0, 3.0), (4.0, 6.0)]);
+        // Touching intervals coalesce.
+        assert_eq!(raw(&set(&[(0.0, 1.0), (1.0, 2.0)])), vec![(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn coalescing_is_idempotent() {
+        let once = set(&[(0.0, 2.0), (1.0, 4.0), (6.0, 7.0)]);
+        let twice = IntervalSet::from_spans(once.to_vec());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn total_span_and_contains() {
+        let st = set(&[(1.0, 2.0), (4.0, 7.0)]);
+        assert_eq!(st.total(), s(4.0));
+        assert_eq!(st.span(), Some((s(1.0), s(7.0))));
+        assert!(st.contains(s(1.0)));
+        assert!(!st.contains(s(2.0))); // half-open
+        assert!(!st.contains(s(3.0)));
+        assert!(st.contains(s(6.999)));
+        assert!(!st.contains(s(7.0)));
+        assert!(!IntervalSet::new().contains(s(0.0)));
+        assert_eq!(IntervalSet::new().span(), None);
+    }
+
+    #[test]
+    fn union_matches_rebuild() {
+        let a = set(&[(0.0, 2.0), (5.0, 6.0)]);
+        let b = set(&[(1.0, 3.0), (6.0, 8.0), (10.0, 11.0)]);
+        let via_merge = a.union(&b);
+        let via_rebuild = IntervalSet::from_spans(a.iter().chain(b.iter()).copied().collect());
+        assert_eq!(via_merge, via_rebuild);
+        assert_eq!(raw(&via_merge), vec![(0.0, 3.0), (5.0, 8.0), (10.0, 11.0)]);
+    }
+
+    #[test]
+    fn intersect_keeps_shared_time_only() {
+        let a = set(&[(0.0, 4.0), (6.0, 9.0)]);
+        let b = set(&[(2.0, 7.0), (8.5, 12.0)]);
+        assert_eq!(
+            raw(&a.intersect(&b)),
+            vec![(2.0, 4.0), (6.0, 7.0), (8.5, 9.0)]
+        );
+        assert_eq!(a.intersect(&IntervalSet::new()), IntervalSet::new());
+    }
+
+    #[test]
+    fn complement_within_inverts() {
+        let a = set(&[(1.0, 2.0), (4.0, 5.0)]);
+        let span = (s(0.0), s(6.0));
+        let comp = a.complement_within(span);
+        assert_eq!(raw(&comp), vec![(0.0, 1.0), (2.0, 4.0), (5.0, 6.0)]);
+        // complement ∪ set covers the span exactly.
+        assert_eq!(comp.union(&a).as_slice(), &[(s(0.0), s(6.0))]);
+        // Empty set: complement is the whole span.
+        assert_eq!(
+            raw(&IntervalSet::new().complement_within(span)),
+            vec![(0.0, 6.0)]
+        );
+        // Degenerate span: empty.
+        assert!(a.complement_within((s(3.0), s(3.0))).is_empty());
+    }
+
+    #[test]
+    fn gaps_follow_both_powered_span_conventions() {
+        let a = set(&[(2.0, 3.0), (5.0, 7.0)]);
+        assert_eq!(raw(&a.gaps(None)), vec![(3.0, 5.0)]);
+        assert_eq!(
+            raw(&a.gaps(Some((s(0.0), s(10.0))))),
+            vec![(0.0, 2.0), (3.0, 5.0), (5.0 + 2.0, 10.0)]
+        );
+        // Horizon flush with the busy span adds nothing.
+        assert_eq!(raw(&a.gaps(Some((s(2.0), s(7.0))))), vec![(3.0, 5.0)]);
+        // Empty set: no gaps even under a horizon.
+        assert!(IntervalSet::new().gaps(Some((s(0.0), s(1.0)))).is_empty());
+    }
+
+    #[test]
+    fn timeline_spans_and_queries() {
+        let tl = Timeline::new(set(&[(2.0, 3.0)]), None);
+        assert_eq!(tl.powered_span(), Some((s(2.0), s(3.0))));
+        assert_eq!(tl.gaps(), IntervalSet::new());
+        assert!(tl.is_busy_at(s(2.5)));
+        assert!(!tl.is_busy_at(s(3.5)));
+        let tl = Timeline::new(set(&[(2.0, 3.0)]), Some((s(0.0), s(4.0))));
+        assert_eq!(tl.powered_span(), Some((s(0.0), s(4.0))));
+        assert_eq!(raw(&tl.gaps()), vec![(0.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(tl.busy().len(), 1);
+        assert_eq!(tl.horizon(), Some((s(0.0), s(4.0))));
+    }
+}

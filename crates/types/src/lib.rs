@@ -13,6 +13,10 @@
 //! * explicit [`Schedule`]s — per-core, per-task execution [`Segment`]s —
 //!   which every scheduler in the workspace produces and the simulator
 //!   consumes;
+//! * the canonical interval kernel ([`IntervalSet`], [`Timeline`]): sorted,
+//!   coalesced, half-open `[start, end)` intervals with union, intersection,
+//!   complement and gap iteration — the single implementation behind every
+//!   busy/idle computation in the workspace;
 //! * numeric helpers ([`numeric`]) used by the convex minimizations in the
 //!   scheduling algorithms.
 //!
@@ -36,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod interval;
 pub mod numeric;
 mod schedule;
 mod task;
 mod units;
 
 pub use error::{ScheduleError, TaskSetError};
+pub use interval::{IntervalSet, Timeline};
 pub use schedule::{CoreId, Placement, Schedule, Segment};
 pub use task::{Task, TaskId, TaskSet};
 pub use units::{Cycles, Joules, Speed, Time, Watts};

@@ -8,7 +8,7 @@
 
 use core::fmt;
 
-use crate::{Cycles, ScheduleError, Speed, Task, TaskId, TaskSet, Time};
+use crate::{Cycles, IntervalSet, ScheduleError, Speed, Task, TaskId, TaskSet, Time};
 
 /// Relative tolerance used when checking workload completion and window
 /// containment. Schedules are built from floating-point optimizations, so
@@ -220,33 +220,26 @@ impl Schedule {
     }
 
     /// Merged busy intervals of a single core, sorted by start.
-    pub fn core_busy_intervals(&self, core: CoreId) -> Vec<(Time, Time)> {
-        let spans = self
-            .placements
+    pub fn core_busy_intervals(&self, core: CoreId) -> IntervalSet {
+        self.placements
             .iter()
             .filter(|p| p.core() == core)
             .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
-            .collect();
-        merge_intervals(spans)
+            .collect()
     }
 
     /// Merged intervals during which at least one core is busy — exactly the
     /// intervals during which the shared memory must be awake.
-    pub fn memory_busy_intervals(&self) -> Vec<(Time, Time)> {
-        let spans = self
-            .placements
+    pub fn memory_busy_intervals(&self) -> IntervalSet {
+        self.placements
             .iter()
             .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
-            .collect();
-        merge_intervals(spans)
+            .collect()
     }
 
     /// Total time the memory must be awake (sum of merged busy intervals).
     pub fn memory_busy_time(&self) -> Time {
-        self.memory_busy_intervals()
-            .iter()
-            .map(|&(a, b)| b - a)
-            .sum()
+        self.memory_busy_intervals().total()
     }
 
     /// `(first execution instant, last execution instant)` over all tasks,
@@ -395,21 +388,6 @@ impl Extend<Placement> for Schedule {
     fn extend<I: IntoIterator<Item = Placement>>(&mut self, iter: I) {
         self.placements.extend(iter);
     }
-}
-
-/// Merges possibly overlapping `(start, end)` intervals into a sorted,
-/// disjoint cover. Zero-length and inverted inputs are dropped.
-pub(crate) fn merge_intervals(mut spans: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
-    spans.retain(|&(a, b)| b > a);
-    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut out: Vec<(Time, Time)> = Vec::with_capacity(spans.len());
-    for (a, b) in spans {
-        match out.last_mut() {
-            Some(last) if a <= last.1 => last.1 = last.1.max(b),
-            _ => out.push((a, b)),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -592,6 +570,135 @@ mod tests {
     }
 
     #[test]
+    fn detects_duplicate_placement_of_one_task() {
+        let tasks = simple_tasks();
+        // Task 0 placed twice (same work split across two placements) is a
+        // duplicate reference, not a preemption.
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(10.0), mhz(100.0)),
+            Placement::single(TaskId(0), CoreId(1), ms(10.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(2), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            sched.validate(&tasks),
+            Err(ScheduleError::UnknownTask(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn detects_non_finite_segments() {
+        let tasks = simple_tasks();
+        let nan_start = Schedule::new(vec![
+            Placement::new(
+                TaskId(0),
+                CoreId(0),
+                vec![Segment::new(
+                    Time::from_secs(f64::NAN),
+                    ms(20.0),
+                    mhz(100.0),
+                )],
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            nan_start.validate(&tasks),
+            Err(ScheduleError::MalformedSegment(TaskId(0)))
+        );
+        let inf_speed = Schedule::new(vec![
+            Placement::new(
+                TaskId(0),
+                CoreId(0),
+                vec![Segment::new(
+                    ms(0.0),
+                    ms(20.0),
+                    Speed::from_hz(f64::INFINITY),
+                )],
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            inf_speed.validate(&tasks),
+            Err(ScheduleError::MalformedSegment(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn detects_start_before_release() {
+        let tasks = TaskSet::new(vec![
+            Task::new(0, ms(10.0), ms(50.0), Cycles::new(2.0e6)),
+            Task::new(1, ms(0.0), ms(100.0), Cycles::new(3.0e6)),
+        ])
+        .unwrap();
+        let sched = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            sched.validate(&tasks),
+            Err(ScheduleError::OutsideWindow(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn validation_tolerance_absorbs_float_noise_but_not_real_violations() {
+        let tasks = simple_tasks();
+        // Deadline overshoot within the relative tolerance passes…
+        let end_s = 0.050 * (1.0 + 0.5 * REL_TOL);
+        let within = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                ms(0.0),
+                Time::from_secs(end_s),
+                Speed::from_hz(2.0e6 / end_s),
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        within.validate(&tasks).unwrap();
+        // …but a 10× tolerance overshoot is a miss.
+        let beyond = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                ms(0.0),
+                Time::from_secs(0.050 * (1.0 + 10.0 * REL_TOL)),
+                Speed::from_hz(2.0e6 / (0.050 * (1.0 + 10.0 * REL_TOL))),
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert_eq!(
+            beyond.validate(&tasks),
+            Err(ScheduleError::OutsideWindow(TaskId(0)))
+        );
+        // Executed work within the relative tolerance passes; 10× fails.
+        let near_work = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                ms(0.0),
+                ms(20.0),
+                Speed::from_hz(2.0e6 * (1.0 + 0.5 * REL_TOL) / 0.020),
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        near_work.validate(&tasks).unwrap();
+        let off_work = Schedule::new(vec![
+            Placement::single(
+                TaskId(0),
+                CoreId(0),
+                ms(0.0),
+                ms(20.0),
+                Speed::from_hz(2.0e6 * (1.0 + 10.0 * REL_TOL) / 0.020),
+            ),
+            Placement::single(TaskId(1), CoreId(1), ms(0.0), ms(30.0), mhz(100.0)),
+        ]);
+        assert!(matches!(
+            off_work.validate(&tasks),
+            Err(ScheduleError::WorkMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn memory_busy_merging() {
         let sched = Schedule::new(vec![
             Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(10.0), mhz(1.0)),
@@ -612,14 +719,23 @@ mod tests {
     }
 
     #[test]
-    fn merge_intervals_drops_degenerate() {
-        let merged = merge_intervals(vec![
-            (ms(5.0), ms(5.0)),
-            (ms(2.0), ms(1.0)),
-            (ms(0.0), ms(3.0)),
-            (ms(3.0), ms(4.0)),
-        ]);
-        assert_eq!(merged, vec![(ms(0.0), ms(4.0))]);
+    fn busy_intervals_drop_degenerate_segments() {
+        // Zero-length and inverted segments contribute no busy time; the
+        // kernel drops them during coalescing.
+        let sched = Schedule::new(vec![Placement::new(
+            TaskId(0),
+            CoreId(0),
+            vec![
+                Segment::new(ms(5.0), ms(5.0), mhz(1.0)),
+                Segment::new(ms(2.0), ms(1.0), mhz(1.0)),
+                Segment::new(ms(0.0), ms(3.0), mhz(1.0)),
+                Segment::new(ms(3.0), ms(4.0), mhz(1.0)),
+            ],
+        )]);
+        assert_eq!(
+            sched.memory_busy_intervals().as_slice(),
+            &[(ms(0.0), ms(4.0))]
+        );
     }
 
     #[test]

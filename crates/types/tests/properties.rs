@@ -5,7 +5,9 @@
 
 use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem_types::numeric::{bisect_increasing, minimize_unimodal};
-use sdem_types::{CoreId, Cycles, Placement, Schedule, Speed, Task, TaskId, TaskSet, Time};
+use sdem_types::{
+    CoreId, Cycles, IntervalSet, Placement, Schedule, Speed, Task, TaskId, TaskSet, Time,
+};
 
 const CASES: u64 = 128;
 
@@ -211,6 +213,145 @@ fn bisection_inverts_monotone_cubics() {
         let g = |x: f64| gain * ((x - root) + (x - root).powi(3));
         let found = bisect_increasing(g, -10.0, 10.0, 1e-13).expect("sign change exists");
         assert!((found - root).abs() <= 1e-6, "{found} vs {root}");
+    }
+}
+
+/// A random interval set with up to `max_n` raw spans over `[0, 100)`.
+fn random_set(rng: &mut ChaCha8Rng, max_n: usize) -> IntervalSet {
+    let n = rng.gen_range(0usize..max_n);
+    (0..n)
+        .map(|_| {
+            let start = rng.gen_range(0.0f64..100.0);
+            let len = rng.gen_range(0.0f64..10.0); // zero-length spans allowed
+            (Time::from_secs(start), Time::from_secs(start + len))
+        })
+        .collect()
+}
+
+fn total_secs(set: &IntervalSet) -> f64 {
+    set.total().as_secs()
+}
+
+#[test]
+fn interval_union_is_commutative_idempotent_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let a = random_set(&mut rng, 10);
+        let b = random_set(&mut rng, 10);
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        assert_eq!(ab.as_slice(), ba.as_slice(), "union must be commutative");
+        assert_eq!(
+            a.union(&a).as_slice(),
+            a.as_slice(),
+            "union with self must be the identity"
+        );
+        // The union covers both operands and no more than their sum.
+        for set in [&a, &b] {
+            for &(s, e) in set.iter() {
+                let mid = s + (e - s) * 0.5;
+                assert!(e <= s || ab.contains(mid), "union lost {s:?}..{e:?}");
+            }
+        }
+        let (ta, tb, tu) = (total_secs(&a), total_secs(&b), total_secs(&ab));
+        assert!(tu <= (ta + tb) * (1.0 + 1e-9) + 1e-12);
+        assert!(tu >= ta.max(tb) * (1.0 - 1e-9));
+    }
+}
+
+#[test]
+fn interval_intersection_measure_obeys_inclusion_exclusion() {
+    for case in 0..CASES {
+        let mut rng = rng_for(11, case);
+        let a = random_set(&mut rng, 10);
+        let b = random_set(&mut rng, 10);
+        let cap = a.intersect(&b);
+        let cup = a.union(&b);
+        // |A| + |B| = |A ∪ B| + |A ∩ B|.
+        let lhs = total_secs(&a) + total_secs(&b);
+        let rhs = total_secs(&cup) + total_secs(&cap);
+        assert!(
+            (lhs - rhs).abs() <= 1e-9 * lhs.max(1.0),
+            "inclusion-exclusion violated: {lhs} vs {rhs}"
+        );
+        // The intersection is inside both operands.
+        for &(s, e) in cap.iter() {
+            let mid = s + (e - s) * 0.5;
+            assert!(a.contains(mid) && b.contains(mid));
+        }
+        assert_eq!(a.intersect(&a).as_slice(), a.as_slice());
+    }
+}
+
+#[test]
+fn interval_complement_round_trips_within_span() {
+    let span = (Time::from_secs(-10.0), Time::from_secs(120.0));
+    let span_set: IntervalSet = [span].into_iter().collect();
+    for case in 0..CASES {
+        let mut rng = rng_for(12, case);
+        let a = random_set(&mut rng, 10);
+        let comp = a.complement_within(span);
+        // Complement is disjoint from the set and together they tile the span.
+        assert!(a.intersect(&comp).is_empty(), "complement overlaps set");
+        let clipped = a.intersect(&span_set);
+        let tiled = total_secs(&clipped) + total_secs(&comp);
+        let span_len = (span.1 - span.0).as_secs();
+        assert!(
+            (tiled - span_len).abs() <= 1e-9 * span_len,
+            "set + complement must tile the span: {tiled} vs {span_len}"
+        );
+        // Complementing twice restores the clipped set.
+        assert_eq!(
+            comp.complement_within(span).as_slice(),
+            clipped.as_slice(),
+            "double complement must round-trip"
+        );
+    }
+}
+
+#[test]
+fn interval_coalescing_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = rng_for(13, case);
+        let a = random_set(&mut rng, 12);
+        // Rebuilding from the coalesced spans changes nothing.
+        let rebuilt = IntervalSet::from_spans(a.as_slice().to_vec());
+        assert_eq!(rebuilt.as_slice(), a.as_slice());
+        // Invariants of the canonical form: sorted, disjoint, non-degenerate.
+        for w in a.windows(2) {
+            assert!(w[0].1 < w[1].0, "adjacent intervals must not touch: {w:?}");
+        }
+        for &(s, e) in a.iter() {
+            assert!(e > s);
+        }
+    }
+}
+
+#[test]
+fn interval_gap_counts_match_interval_counts() {
+    for case in 0..CASES {
+        let mut rng = rng_for(14, case);
+        let a = random_set(&mut rng, 10);
+        // Gap convention: exactly one gap between consecutive intervals.
+        let inner = a.gaps(None);
+        if a.is_empty() {
+            assert!(inner.is_empty());
+        } else {
+            assert_eq!(inner.len(), a.len() - 1);
+        }
+        // Horizon strictly containing the span adds leading and trailing
+        // gaps — except for the empty set, which has no gaps at all.
+        let horizon = (Time::from_secs(-5.0), Time::from_secs(200.0));
+        let all = a.gaps(Some(horizon));
+        if a.is_empty() {
+            assert!(all.is_empty(), "empty busy set must produce no gaps");
+        } else {
+            assert_eq!(all.len(), a.len() + 1);
+            // Busy time plus gap time tiles the horizon.
+            let tiled = total_secs(&a) + total_secs(&all);
+            let span_len = (horizon.1 - horizon.0).as_secs();
+            assert!((tiled - span_len).abs() <= 1e-9 * span_len);
+        }
     }
 }
 
