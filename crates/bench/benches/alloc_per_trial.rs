@@ -1,0 +1,158 @@
+//! Allocation microbenchmark: heap traffic per trial, before vs after the
+//! arena-backed [`sdem_types::Workspace`] hot path.
+//!
+//! Requires the `alloc-count` feature, which swaps in a counting global
+//! allocator (the only `unsafe` in the crate, confined to this target):
+//!
+//! ```text
+//! cargo bench -p sdem-bench --bench alloc_per_trial --features alloc-count
+//! ```
+//!
+//! Each case runs one warm-up trial (to populate the workspace pools and
+//! any lazily-allocated globals), then measures the steady state over a
+//! fixed number of trials and reports mean allocations and bytes per
+//! trial. The analytic common-release solvers must reach **zero**
+//! allocations per trial on the warmed path — that invariant is asserted
+//! here, so a regression fails the bench run loudly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sdem_bench::experiment::{run_trial_with_oracle, run_trial_with_oracle_in};
+use sdem_core::{solve, solve_in, Scheme};
+use sdem_power::Platform;
+use sdem_types::{TaskSet, Time, Workspace};
+use sdem_workload::paper;
+use sdem_workload::synthetic::{sporadic, SyntheticConfig};
+
+/// A [`System`]-backed allocator that counts calls and bytes.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Mean allocations and bytes per call of `f` over `iters` calls.
+fn count_per_iter(iters: u64, mut f: impl FnMut()) -> (f64, f64) {
+    let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        f();
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+    let bytes = BYTES.load(Ordering::Relaxed) - b0;
+    (allocs as f64 / iters as f64, bytes as f64 / iters as f64)
+}
+
+fn report(name: &str, (allocs, bytes): (f64, f64)) {
+    println!("{name:<52} {allocs:>10.1} allocs/trial {bytes:>12.1} B/trial");
+}
+
+fn main() {
+    const ITERS: u64 = 200;
+    let platform = Platform::paper_defaults();
+
+    // Common-release task set: all releases at 0 (the §4 analytic schemes
+    // require it), deadlines staggered so the schedule is non-trivial.
+    let common = {
+        let cfg = SyntheticConfig::paper(24, Time::from_millis(400.0));
+        let drawn = sporadic(&cfg, 7);
+        TaskSet::new(
+            drawn
+                .iter()
+                .map(|t| sdem_types::Task::new(t.id().0, Time::ZERO, t.deadline(), t.work()))
+                .collect(),
+        )
+        .expect("non-empty set")
+    };
+
+    // Sporadic set for the full online trial (feasible seed found below).
+    let cfg = SyntheticConfig::paper(24, Time::from_millis(400.0));
+    let sporadic_set = (0..64)
+        .map(|s| sporadic(&cfg, s))
+        .find(|t| run_trial_with_oracle(t, &platform, paper::NUM_CORES, None).is_ok())
+        .expect("a feasible seed exists");
+
+    println!("allocation traffic per trial (mean of {ITERS} steady-state trials)");
+    println!();
+
+    for scheme in [
+        Scheme::CommonReleaseAlphaNonzero,
+        Scheme::CommonReleaseOverhead,
+    ] {
+        let name = format!("{scheme:?}");
+        let before = count_per_iter(ITERS, || {
+            std::hint::black_box(solve(&common, &platform, scheme).unwrap());
+        });
+        report(&format!("solve/{name} (allocating)"), before);
+
+        let mut ws = Workspace::new();
+        // Warm the pools over a few trials (pool take/recycle order can
+        // shuffle buffers, so one pass may leave a short buffer that only
+        // grows on a later trial), then measure the steady state.
+        for _ in 0..8 {
+            let warm = solve_in(&common, &platform, scheme, &mut ws).unwrap();
+            ws.recycle_schedule(warm.into_schedule());
+        }
+        let after = count_per_iter(ITERS, || {
+            let s = solve_in(&common, &platform, scheme, &mut ws).unwrap();
+            std::hint::black_box(&s);
+            ws.recycle_schedule(s.into_schedule());
+        });
+        report(&format!("solve_in/{name} (warmed workspace)"), after);
+        assert_eq!(
+            after.0, 0.0,
+            "analytic scheme {name} must be allocation-free on the warmed \
+             workspace path (got {} allocs/trial)",
+            after.0
+        );
+        println!();
+    }
+
+    let before = count_per_iter(ITERS, || {
+        std::hint::black_box(
+            run_trial_with_oracle(&sporadic_set, &platform, paper::NUM_CORES, None).unwrap(),
+        );
+    });
+    report("sweep_trial (allocating)", before);
+
+    let mut ws = Workspace::new();
+    for _ in 0..8 {
+        let _ = run_trial_with_oracle_in(&sporadic_set, &platform, paper::NUM_CORES, None, &mut ws);
+    }
+    let after = count_per_iter(ITERS, || {
+        std::hint::black_box(
+            run_trial_with_oracle_in(&sporadic_set, &platform, paper::NUM_CORES, None, &mut ws)
+                .unwrap(),
+        );
+    });
+    report("sweep_trial (warmed workspace)", after);
+    assert!(
+        after.0 < before.0,
+        "the warmed-workspace trial must allocate strictly less than the \
+         allocating one ({} vs {})",
+        after.0,
+        before.0
+    );
+}

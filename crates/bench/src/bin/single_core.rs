@@ -64,13 +64,12 @@ fn main() {
     });
     let feasible = outcome.per_point.into_iter().next().unwrap_or_default();
     eprintln!("sweep: {}", outcome.stats);
-    let yds_ratio: Vec<f64> = feasible.iter().map(|_| 1.0).collect();
     let css_ratio: Vec<f64> = feasible.iter().map(|&(c, _)| c).collect();
     let sdem_ratio: Vec<f64> = feasible.iter().map(|&(_, s)| s).collect();
 
     println!(
         "single-core study: {tasks_n} sporadic tasks, x = {x_ms} ms, {} feasible trials",
-        yds_ratio.len()
+        feasible.len()
     );
     println!("{:28} {:>14}", "scheme", "E / E_YDS");
     println!("{:28} {:>14.3}", "YDS (memory-oblivious)", 1.0);

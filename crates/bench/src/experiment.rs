@@ -2,14 +2,14 @@
 //! MBKPS and meter all three on the same platform.
 
 use sdem_baselines::mbkp::{self, Assignment};
-use sdem_core::online::schedule_online;
+use sdem_core::online::schedule_online_in;
 use sdem_core::{OracleOptions, Solution};
 use sdem_exec::{SweepRunner, TrialCtx};
 use sdem_power::Platform;
 use sdem_sim::{
-    simulate_event_driven, simulate_with_options, EnergyReport, SimOptions, SleepPolicy,
+    simulate_event_driven, simulate_with_options_in, EnergyReport, SimOptions, SleepPolicy,
 };
-use sdem_types::TaskSet;
+use sdem_types::{TaskSet, Workspace};
 
 /// The metered schedules of one trial.
 #[derive(Debug, Clone)]
@@ -106,7 +106,30 @@ pub fn run_trial_with_oracle(
     cores: usize,
     oracle_tol: Option<f64>,
 ) -> Result<TrialResult, TrialError> {
-    let sdem_schedule = schedule_online(tasks, platform)?;
+    run_trial_with_oracle_in(tasks, platform, cores, oracle_tol, &mut Workspace::new())
+}
+
+/// In-place [`run_trial_with_oracle`]: all scheduling and metering
+/// scratch comes from `ws`, and both schedules are recycled back into it
+/// before returning, so a sweep worker reusing one workspace runs its
+/// trials without growing the heap.
+///
+/// # Panics
+///
+/// Panics on oracle divergence; see [`run_trial_with_oracle`].
+///
+/// # Errors
+///
+/// Returns an error when either scheduler finds the instance infeasible;
+/// see [`run_trial`].
+pub fn run_trial_with_oracle_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    oracle_tol: Option<f64>,
+    ws: &mut Workspace,
+) -> Result<TrialResult, TrialError> {
+    let sdem_schedule = schedule_online_in(tasks, platform, ws)?;
     let mbkp_schedule = mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)?;
 
     let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
@@ -119,15 +142,15 @@ pub fn run_trial_with_oracle(
         ..profit
     };
 
-    let sdem_on = simulate_with_options(&sdem_schedule, tasks, platform, profit)?;
-    let mbkp_report = simulate_with_options(&mbkp_schedule, tasks, platform, never)?;
-    let mbkps_report = simulate_with_options(&mbkp_schedule, tasks, platform, profit)?;
-    let mbkps_always = simulate_with_options(&mbkp_schedule, tasks, platform, always)?;
+    let sdem_on = simulate_with_options_in(&sdem_schedule, tasks, platform, profit, ws)?;
+    let mbkp_report = simulate_with_options_in(&mbkp_schedule, tasks, platform, never, ws)?;
+    let mbkps_report = simulate_with_options_in(&mbkp_schedule, tasks, platform, profit, ws)?;
+    let mbkps_always = simulate_with_options_in(&mbkp_schedule, tasks, platform, always, ws)?;
 
     if let Some(tol) = oracle_tol {
         // Analytic accounting vs the interval meter, through the canonical
         // Solution API.
-        let analytic = Solution::from_schedule(sdem_schedule.clone(), platform);
+        let analytic = Solution::from_schedule_in(sdem_schedule.clone(), platform, ws);
         if let Err(e) = analytic.verify_against_meter(
             tasks,
             platform,
@@ -135,6 +158,7 @@ pub fn run_trial_with_oracle(
         ) {
             panic!("sim-oracle failure on the SDEM-ON schedule: {e}");
         }
+        ws.recycle_schedule(analytic.into_schedule());
         // Interval meter vs the event-driven engine on both schedules.
         for (name, schedule, opts, metered) in [
             ("SDEM-ON/profitable", &sdem_schedule, profit, &sdem_on),
@@ -157,12 +181,16 @@ pub fn run_trial_with_oracle(
         }
     }
 
+    let sdem_cores_used = sdem_schedule.cores_used();
+    ws.recycle_schedule(sdem_schedule);
+    ws.recycle_schedule(mbkp_schedule);
+
     Ok(TrialResult {
         sdem_on,
         mbkp: mbkp_report,
         mbkps: mbkps_report,
         mbkps_always,
-        sdem_cores_used: sdem_schedule.cores_used(),
+        sdem_cores_used,
     })
 }
 
@@ -190,10 +218,31 @@ pub fn run_trial_resampling(
     cores: usize,
     ctx: &TrialCtx,
 ) -> Option<TrialResult> {
+    run_trial_resampling_in(make_tasks, platform, cores, ctx, &mut Workspace::new())
+}
+
+/// In-place [`run_trial_resampling`]: every attempted trial draws its
+/// scratch from `ws`, and each attempt's task set is recycled back into
+/// the workspace, so a sweep worker amortizes all per-trial allocations
+/// across its whole share of the sweep.
+///
+/// # Panics
+///
+/// Panics on sim-oracle divergence; see [`run_trial_resampling`].
+pub fn run_trial_resampling_in(
+    make_tasks: impl Fn(u64) -> TaskSet,
+    platform: &Platform,
+    cores: usize,
+    ctx: &TrialCtx,
+    ws: &mut Workspace,
+) -> Option<TrialResult> {
     let oracle_tol = ctx.oracle_tolerance();
-    ctx.seeds()
-        .take(MAX_ATTEMPTS_PER_TRIAL)
-        .find_map(|seed| run_trial_with_oracle(&make_tasks(seed), platform, cores, oracle_tol).ok())
+    ctx.seeds().take(MAX_ATTEMPTS_PER_TRIAL).find_map(|seed| {
+        let tasks = make_tasks(seed);
+        let result = run_trial_with_oracle_in(&tasks, platform, cores, oracle_tol, ws).ok();
+        ws.recycle_tasks(tasks.into_tasks());
+        result
+    })
 }
 
 /// Runs `trials` replicates in parallel (per-trial deterministic seeding,
@@ -231,8 +280,8 @@ pub fn run_trials_on(
     trials: usize,
     seed_base: u64,
 ) -> Vec<TrialResult> {
-    let outcome = runner.run(&[()], trials, seed_base, |_, ctx| {
-        run_trial_resampling(&make_tasks, platform, cores, ctx)
+    let outcome = runner.run_with_state(&[()], trials, seed_base, Workspace::new, |_, ctx, ws| {
+        run_trial_resampling_in(&make_tasks, platform, cores, ctx, ws)
     });
     assert_eq!(
         outcome.stats.failures, 0,

@@ -5,12 +5,12 @@
 
 use sdem_exec::{SweepRunner, SweepStats};
 use sdem_power::{MemoryPower, Platform};
-use sdem_types::{Time, Watts};
+use sdem_types::{Time, Watts, Workspace};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::paper;
 use sdem_workload::synthetic::{sporadic, SyntheticConfig};
 
-use crate::experiment::{mean, run_trial_resampling, TrialResult};
+use crate::experiment::{mean, run_trial_resampling_in, TrialResult};
 
 /// Grid seed of the Fig. 6 sweep.
 pub const FIG6_GRID_SEED: u64 = 0xF16_6000;
@@ -62,14 +62,22 @@ pub fn fig6_with(
         Benchmark::fft_1024(),
         Benchmark::matrix_24(),
     ];
-    let outcome = runner.run(&paper::U_POINTS, trials, FIG6_GRID_SEED, |&u, ctx| {
-        run_trial_resampling(
-            |seed| stream(&benches, u, instances_per_stream, seed),
-            &platform,
-            paper::NUM_CORES,
-            ctx,
-        )
-    });
+    // Each worker owns one workspace for its whole share of the sweep.
+    let outcome = runner.run_with_state(
+        &paper::U_POINTS,
+        trials,
+        FIG6_GRID_SEED,
+        Workspace::new,
+        |&u, ctx, ws| {
+            run_trial_resampling_in(
+                |seed| stream(&benches, u, instances_per_stream, seed),
+                &platform,
+                paper::NUM_CORES,
+                ctx,
+                ws,
+            )
+        },
+    );
     let rows = paper::U_POINTS
         .iter()
         .zip(&outcome.per_point)
@@ -172,16 +180,23 @@ fn sweep(
         .iter()
         .flat_map(|&param| paper::X_POINTS_MS.iter().map(move |&x| (param, x)))
         .collect();
-    let outcome = runner.run(&grid, trials, grid_seed, |&(param, x_ms), ctx| {
-        let platform = platform_of(param);
-        let cfg = SyntheticConfig::paper(tasks_per_trial, Time::from_millis(x_ms));
-        run_trial_resampling(
-            |seed| sporadic(&cfg, seed),
-            &platform,
-            paper::NUM_CORES,
-            ctx,
-        )
-    });
+    let outcome = runner.run_with_state(
+        &grid,
+        trials,
+        grid_seed,
+        Workspace::new,
+        |&(param, x_ms), ctx, ws| {
+            let platform = platform_of(param);
+            let cfg = SyntheticConfig::paper(tasks_per_trial, Time::from_millis(x_ms));
+            run_trial_resampling_in(
+                |seed| sporadic(&cfg, seed),
+                &platform,
+                paper::NUM_CORES,
+                ctx,
+                ws,
+            )
+        },
+    );
     let cells = grid
         .iter()
         .zip(&outcome.per_point)

@@ -15,10 +15,10 @@
 //! `ξ_m = 0` (the §5 assumption) the recurrence is exactly the paper's.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Joules, Placement, Schedule, Speed, TaskSet, Time};
+use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, Speed, TaskSet, Time, Workspace};
 
 use super::block::BlockSolution;
-use super::{algorithm1, block, lemma3, prepare, BlockTask, PowerParams};
+use super::{algorithm1, block, lemma3, prepare_in, BlockTask, PowerParams};
 use crate::{SdemError, Solution};
 
 /// Which block solver backs the DP.
@@ -66,6 +66,22 @@ pub fn schedule(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemEr
     schedule_with_solver(tasks, platform, BlockSolverKind::BestResponse)
 }
 
+/// In-place [`schedule`]: DP scratch and the returned schedule's arenas
+/// come from `ws`. The O(n²) table of per-range block solutions still
+/// allocates (each [`BlockSolution`] owns its run list); only the
+/// fixed-shape buffers are pooled.
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    schedule_impl(tasks, platform, BlockSolverKind::BestResponse, false, ws)
+}
+
 /// The agreeable DP with an explicit block-solver choice.
 ///
 /// # Errors
@@ -76,7 +92,21 @@ pub fn schedule_with_solver(
     platform: &Platform,
     solver: BlockSolverKind,
 ) -> Result<Solution, SdemError> {
-    schedule_impl(tasks, platform, solver, false)
+    schedule_impl(tasks, platform, solver, false, &mut Workspace::new())
+}
+
+/// In-place [`schedule_with_solver`].
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_with_solver_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    solver: BlockSolverKind,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    schedule_impl(tasks, platform, solver, false, ws)
 }
 
 /// The agreeable DP with a *strictness repair*: if the (paper-faithful)
@@ -94,7 +124,20 @@ pub fn schedule_with_solver(
 ///
 /// Same as [`schedule`].
 pub fn schedule_strict(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    schedule_impl(tasks, platform, BlockSolverKind::BestResponse, true)
+    schedule_strict_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`schedule_strict`].
+///
+/// # Errors
+///
+/// Same as [`schedule`].
+pub fn schedule_strict_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    schedule_impl(tasks, platform, BlockSolverKind::BestResponse, true, ws)
 }
 
 fn schedule_impl(
@@ -102,13 +145,14 @@ fn schedule_impl(
     platform: &Platform,
     solver: BlockSolverKind,
     strict: bool,
+    ws: &mut Workspace,
 ) -> Result<Solution, SdemError> {
     if solver == BlockSolverKind::PaperClosedForm && !platform.core().is_alpha_zero() {
         return Err(SdemError::UnsupportedModel(
             "the Lemma-3 closed-form block solver requires α = 0",
         ));
     }
-    let sorted = prepare(tasks, platform)?;
+    let sorted = prepare_in(tasks, platform, ws)?;
     let pw = PowerParams::of(platform);
     let n = sorted.len();
     let bts: Vec<BlockTask> = sorted
@@ -140,8 +184,10 @@ fn schedule_impl(
 
     // DP over prefixes. A memory round trip is charged per inter-block gap.
     let transition = platform.memory().transition_energy().value();
-    let mut opt = vec![f64::INFINITY; n + 1];
-    let mut cut_from = vec![0usize; n + 1];
+    let mut opt = ws.take_f64s();
+    opt.resize(n + 1, f64::INFINITY);
+    let mut cut_from = ws.take_usizes();
+    cut_from.resize(n + 1, 0);
     opt[0] = 0.0;
     for q in 1..=n {
         for p in 0..q {
@@ -156,7 +202,8 @@ fn schedule_impl(
     }
 
     // Reconstruct the partition.
-    let mut cuts = vec![n];
+    let mut cuts = ws.take_usizes();
+    cuts.push(n);
     while *cuts.last().expect("non-empty") > 0 {
         let q = *cuts.last().expect("non-empty");
         cuts.push(cut_from[q]);
@@ -195,7 +242,7 @@ fn schedule_impl(
     }
 
     // Assemble the schedule: one core per task (unbounded model).
-    let mut placements: Vec<Placement> = Vec::with_capacity(n);
+    let mut placements: Vec<Placement> = ws.take_placements();
     let mut sleep_time = 0.0f64;
     let mut prev_end: Option<f64> = None;
     for pq in cuts.windows(2) {
@@ -214,21 +261,22 @@ fn schedule_impl(
         prev_end = Some(blk.e.max(prev_end.unwrap_or(f64::NEG_INFINITY)));
         for (t, &(start, len)) in bts[p..q].iter().zip(&blk.runs) {
             let task = &sorted[t.index];
-            if t.w == 0.0 || len == 0.0 {
-                placements.push(Placement::new(task.id(), CoreId(t.index), vec![]));
-                continue;
+            let mut segments = ws.take_segments();
+            if t.w > 0.0 && len > 0.0 {
+                segments.push(Segment::new(
+                    Time::from_secs(start),
+                    Time::from_secs(start + len),
+                    Speed::from_hz(t.w / len),
+                ));
             }
-            let speed = Speed::from_hz(t.w / len);
-            placements.push(Placement::single(
-                task.id(),
-                CoreId(t.index),
-                Time::from_secs(start),
-                Time::from_secs(start + len),
-                speed,
-            ));
+            placements.push(Placement::new(task.id(), CoreId(t.index), segments));
         }
     }
 
+    ws.recycle_f64s(opt);
+    ws.recycle_usizes(cut_from);
+    ws.recycle_usizes(cuts);
+    ws.recycle_tasks(sorted);
     Ok(Solution::new(
         Schedule::new(placements),
         Joules::new(total_energy),

@@ -41,11 +41,14 @@ pub mod block;
 mod dp;
 pub mod lemma3;
 
-pub use dp::{schedule, schedule_strict, schedule_with_solver, BlockSolverKind};
+pub use dp::{
+    schedule, schedule_in, schedule_strict, schedule_strict_in, schedule_with_solver,
+    schedule_with_solver_in, BlockSolverKind,
+};
 pub use lemma3::solve_single_block_lemma3;
 
 use sdem_power::Platform;
-use sdem_types::{Task, TaskSet};
+use sdem_types::{Task, TaskSet, Workspace};
 
 use crate::{SdemError, Solution};
 
@@ -184,6 +187,16 @@ pub(crate) struct BlockTask {
 /// with ties broken by release (which, by agreeability, also sorts releases
 /// non-decreasingly).
 pub(crate) fn prepare(tasks: &TaskSet, platform: &Platform) -> Result<Vec<Task>, SdemError> {
+    prepare_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`prepare`]: the sorted-task buffer comes from `ws`'s task
+/// arena; recycle it with `ws.recycle_tasks` when done.
+pub(crate) fn prepare_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Vec<Task>, SdemError> {
     if !tasks.is_agreeable() {
         return Err(SdemError::NotAgreeable);
     }
@@ -193,7 +206,8 @@ pub(crate) fn prepare(tasks: &TaskSet, platform: &Platform) -> Result<Vec<Task>,
             return Err(SdemError::InfeasibleTask(t.id()));
         }
     }
-    let sorted = tasks.sorted_by_deadline();
+    let mut sorted = ws.take_tasks();
+    tasks.sorted_by_deadline_into(&mut sorted);
     debug_assert!(
         sorted.windows(2).all(|w| w[0].release() <= w[1].release()),
         "agreeable order must sort releases too"

@@ -15,7 +15,7 @@
 //!   exactly what NP-hardness predicts.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Joules, Placement, Schedule, TaskSet, Time};
+use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, TaskSet, Time, Workspace};
 
 use crate::{SdemError, Solution};
 
@@ -113,6 +113,23 @@ pub fn solve_lpt(
     platform: &Platform,
     cores: usize,
 ) -> Result<Solution, SdemError> {
+    solve_lpt_in(tasks, platform, cores, &mut Workspace::new())
+}
+
+/// In-place [`solve_lpt`]: assignment scratch and the returned schedule's
+/// arenas are drawn from `ws`, so a warmed workspace makes the solve
+/// allocation-free. Recycle the solution's schedule back into `ws` when
+/// done with it.
+///
+/// # Errors
+///
+/// Same as [`solve_lpt`].
+pub fn solve_lpt_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
     if cores == 0 {
         return Err(SdemError::NoCores);
     }
@@ -124,11 +141,21 @@ pub fn solve_lpt(
     }
     let deadline = d0 - r0;
 
-    // LPT assignment.
-    let mut order: Vec<usize> = (0..list.len()).collect();
-    order.sort_by(|&a, &b| list[b].work().value().total_cmp(&list[a].work().value()));
-    let mut loads = vec![0.0f64; cores];
-    let mut assignment = vec![0usize; list.len()];
+    // LPT assignment. The index tiebreak makes the comparator a total
+    // order, so the unstable sort reproduces the stable sort exactly.
+    let mut order = ws.take_usizes();
+    order.extend(0..list.len());
+    order.sort_unstable_by(|&a, &b| {
+        list[b]
+            .work()
+            .value()
+            .total_cmp(&list[a].work().value())
+            .then(a.cmp(&b))
+    });
+    let mut loads = ws.take_f64s();
+    loads.resize(cores, 0.0);
+    let mut assignment = ws.take_usizes();
+    assignment.resize(list.len(), 0);
     for &k in &order {
         let c = loads
             .iter()
@@ -140,37 +167,42 @@ pub fn solve_lpt(
         loads[c] += list[k].work().value();
     }
 
-    let (interval, energy) = partition_energy(&loads, platform, deadline).ok_or_else(|| {
+    let feasible = partition_energy(&loads, platform, deadline);
+    let Some((interval, energy)) = feasible else {
+        ws.recycle_usizes(order);
+        ws.recycle_usizes(assignment);
+        ws.recycle_f64s(loads);
         let heaviest = list
             .iter()
             .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
             .expect("non-empty");
-        SdemError::InfeasibleTask(heaviest.id())
-    })?;
+        return Err(SdemError::InfeasibleTask(heaviest.id()));
+    };
 
     // Same schedule assembly as the exact solver.
-    let mut cursor = vec![0.0f64; cores];
-    let placements = list
-        .iter()
-        .enumerate()
-        .map(|(k, t)| {
-            let c = assignment[k];
-            if t.work().value() == 0.0 {
-                return Placement::new(t.id(), CoreId(c), vec![]);
-            }
+    let mut cursor = ws.take_f64s();
+    cursor.resize(cores, 0.0);
+    let mut placements = ws.take_placements();
+    for (k, t) in list.iter().enumerate() {
+        let c = assignment[k];
+        let mut segments = ws.take_segments();
+        if t.work().value() > 0.0 {
             let speed = loads[c] / interval.as_secs();
             let len = t.work().value() / speed;
             let start = r0 + Time::from_secs(cursor[c]);
             cursor[c] += len;
-            Placement::single(
-                t.id(),
-                CoreId(c),
+            segments.push(Segment::new(
                 start,
                 start + Time::from_secs(len),
                 sdem_types::Speed::from_hz(speed),
-            )
-        })
-        .collect();
+            ));
+        }
+        placements.push(Placement::new(t.id(), CoreId(c), segments));
+    }
+    ws.recycle_usizes(order);
+    ws.recycle_usizes(assignment);
+    ws.recycle_f64s(loads);
+    ws.recycle_f64s(cursor);
     Ok(Solution::new(
         Schedule::new(placements),
         energy,
@@ -221,6 +253,22 @@ pub fn solve_exact(
     platform: &Platform,
     cores: usize,
 ) -> Result<Solution, SdemError> {
+    solve_exact_in(tasks, platform, cores, &mut Workspace::new())
+}
+
+/// In-place [`solve_exact`]: enumeration scratch (the assignment vector,
+/// the per-leaf load accumulator, the incumbent best assignment) and the
+/// returned schedule's arenas come from `ws`.
+///
+/// # Errors
+///
+/// Same as [`solve_exact`].
+pub fn solve_exact_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
     if cores == 0 {
         return Err(SdemError::NoCores);
     }
@@ -239,12 +287,16 @@ pub fn solve_exact(
         return Err(SdemError::NotCommonRelease);
     }
     let deadline = d0 - r0;
-    let works: Vec<f64> = list.iter().map(|t| t.work().value()).collect();
+    let mut works = ws.take_f64s();
+    works.extend(list.iter().map(|t| t.work().value()));
 
     // Canonical enumeration: task 0 on core 0; task k may use cores
     // 0..=min(max_used+1, cores−1).
-    let mut assign = vec![0usize; n];
-    let mut best: Option<(Vec<usize>, Time, f64)> = None;
+    let mut assign = ws.take_usizes();
+    assign.resize(n, 0);
+    let mut best_assign = ws.take_usizes();
+    let mut leaf_loads = ws.take_f64s();
+    let mut best: Option<(Time, f64)> = None;
     enumerate(
         &works,
         platform,
@@ -253,43 +305,54 @@ pub fn solve_exact(
         1,
         0,
         &mut assign,
+        &mut leaf_loads,
+        &mut best_assign,
         &mut best,
     );
-    let (assignment, interval, energy) = best.ok_or_else(|| {
+    ws.recycle_f64s(leaf_loads);
+    ws.recycle_usizes(assign);
+    let Some((interval, energy)) = best else {
+        ws.recycle_f64s(works);
+        ws.recycle_usizes(best_assign);
         // No feasible assignment: the heaviest single task cannot fit.
         let heaviest = list
             .iter()
             .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
             .expect("non-empty");
-        SdemError::InfeasibleTask(heaviest.id())
-    })?;
+        return Err(SdemError::InfeasibleTask(heaviest.id()));
+    };
+    let assignment = best_assign;
 
     // Build the schedule: each core runs its tasks back-to-back over
     // [r0, r0 + |I_b|] at the shared speed W_c / |I_b|.
-    let mut placements = Vec::with_capacity(n);
-    let mut core_loads = vec![0.0f64; cores];
+    let mut placements = ws.take_placements();
+    let mut core_loads = ws.take_f64s();
+    core_loads.resize(cores, 0.0);
     for (k, &c) in assignment.iter().enumerate() {
         core_loads[c] += works[k];
     }
-    let mut core_cursor = vec![0.0f64; cores];
+    let mut core_cursor = ws.take_f64s();
+    core_cursor.resize(cores, 0.0);
     for (k, &c) in assignment.iter().enumerate() {
         let t = &list[k];
-        if works[k] == 0.0 {
-            placements.push(Placement::new(t.id(), CoreId(c), vec![]));
-            continue;
+        let mut segments = ws.take_segments();
+        if works[k] > 0.0 {
+            let speed = core_loads[c] / interval.as_secs();
+            let len = works[k] / speed;
+            let start = r0 + Time::from_secs(core_cursor[c]);
+            core_cursor[c] += len;
+            segments.push(Segment::new(
+                start,
+                start + Time::from_secs(len),
+                sdem_types::Speed::from_hz(speed),
+            ));
         }
-        let speed = core_loads[c] / interval.as_secs();
-        let len = works[k] / speed;
-        let start = r0 + Time::from_secs(core_cursor[c]);
-        core_cursor[c] += len;
-        placements.push(Placement::single(
-            t.id(),
-            CoreId(c),
-            start,
-            start + Time::from_secs(len),
-            sdem_types::Speed::from_hz(speed),
-        ));
+        placements.push(Placement::new(t.id(), CoreId(c), segments));
     }
+    ws.recycle_f64s(works);
+    ws.recycle_f64s(core_loads);
+    ws.recycle_f64s(core_cursor);
+    ws.recycle_usizes(assignment);
     Ok(Solution::new(
         Schedule::new(placements),
         Joules::new(energy),
@@ -306,16 +369,21 @@ fn enumerate(
     k: usize,
     max_used: usize,
     assign: &mut Vec<usize>,
-    best: &mut Option<(Vec<usize>, Time, f64)>,
+    leaf_loads: &mut Vec<f64>,
+    best_assign: &mut Vec<usize>,
+    best: &mut Option<(Time, f64)>,
 ) {
     if k == works.len() {
-        let mut loads = vec![0.0f64; max_used + 1];
+        leaf_loads.clear();
+        leaf_loads.resize(max_used + 1, 0.0);
         for (i, &c) in assign.iter().enumerate() {
-            loads[c] += works[i];
+            leaf_loads[c] += works[i];
         }
-        if let Some((t, e)) = partition_energy(&loads, platform, deadline) {
-            if best.as_ref().is_none_or(|b| e.value() < b.2) {
-                *best = Some((assign.clone(), t, e.value()));
+        if let Some((t, e)) = partition_energy(leaf_loads, platform, deadline) {
+            if best.as_ref().is_none_or(|b| e.value() < b.1) {
+                best_assign.clear();
+                best_assign.extend_from_slice(assign);
+                *best = Some((t, e.value()));
             }
         }
         return;
@@ -331,6 +399,8 @@ fn enumerate(
             k + 1,
             max_used.max(c),
             assign,
+            leaf_loads,
+            best_assign,
             best,
         );
     }

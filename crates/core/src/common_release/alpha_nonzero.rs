@@ -22,9 +22,9 @@
 //! between cases.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Joules, Placement, Schedule, Speed, TaskSet, Time};
+use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, Speed, TaskSet, Time, Workspace};
 
-use super::{prepare, Instance};
+use super::{prepare_in, Instance};
 use crate::{SdemError, Solution};
 
 struct NonzeroCases {
@@ -46,18 +46,30 @@ struct NonzeroCases {
 }
 
 impl NonzeroCases {
+    #[cfg(test)]
     fn new(sorted_c: &[f64], works: &[f64], platform: &Platform) -> Self {
+        Self::new_in(sorted_c, works, platform, &mut Workspace::new())
+    }
+
+    /// Builds the case tables in buffers drawn from `ws`; return them with
+    /// [`Self::recycle`].
+    fn new_in(sorted_c: &[f64], works: &[f64], platform: &Platform, ws: &mut Workspace) -> Self {
         let core = platform.core();
         let (alpha, beta, lambda) = (core.alpha().value(), core.beta(), core.lambda());
         let n = sorted_c.len();
         let interval = sorted_c.last().copied().unwrap_or(0.0);
-        let mut s_wl = vec![0.0f64; n + 1];
-        let mut w_max = vec![0.0f64; n + 1];
+        let mut c = ws.take_f64s();
+        c.extend_from_slice(sorted_c);
+        let mut s_wl = ws.take_f64s();
+        s_wl.resize(n + 1, 0.0);
+        let mut w_max = ws.take_f64s();
+        w_max.resize(n + 1, 0.0);
         for j in (0..n).rev() {
             s_wl[j] = s_wl[j + 1] + works[j].powf(lambda);
             w_max[j] = w_max[j + 1].max(works[j]);
         }
-        let mut type_i = vec![0.0; n + 1];
+        let mut type_i = ws.take_f64s();
+        type_i.resize(n + 1, 0.0);
         for j in 0..n {
             let e = if works[j] == 0.0 {
                 0.0
@@ -67,7 +79,7 @@ impl NonzeroCases {
             type_i[j + 1] = type_i[j] + e;
         }
         Self {
-            c: sorted_c.to_vec(),
+            c,
             interval,
             s_wl,
             w_max,
@@ -78,6 +90,14 @@ impl NonzeroCases {
             alpha_m: platform.memory().alpha_m().value(),
             s_up: core.max_speed().as_hz(),
         }
+    }
+
+    /// Returns the case tables to the workspace.
+    fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_f64s(self.c);
+        ws.recycle_f64s(self.s_wl);
+        ws.recycle_f64s(self.w_max);
+        ws.recycle_f64s(self.type_i);
     }
 
     fn n(&self) -> usize {
@@ -157,31 +177,33 @@ impl NonzeroCases {
 /// # }
 /// ```
 pub fn schedule_alpha_nonzero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    let inst = prepare(tasks, platform)?;
+    schedule_alpha_nonzero_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`schedule_alpha_nonzero`]: every scratch buffer and the
+/// returned schedule's arenas are drawn from `ws`, so a warmed workspace
+/// makes the solve allocation-free. Recycle the solution's schedule back
+/// into `ws` when done with it.
+pub fn schedule_alpha_nonzero_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    let inst = prepare_in(tasks, platform, ws)?;
     // Critical-speed completion per task, then re-sort tasks by completion.
     let core = platform.core();
-    let mut order: Vec<(f64, usize)> = inst
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(idx, t)| {
-            let s0 = core.critical_speed(t.filled_speed());
-            let c = if t.work().value() == 0.0 {
-                0.0
-            } else {
-                (t.work() / s0).as_secs()
-            };
-            (c, idx)
-        })
-        .collect();
-    order.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let sorted_c: Vec<f64> = order.iter().map(|&(c, _)| c).collect();
-    let works: Vec<f64> = order
-        .iter()
-        .map(|&(_, idx)| inst.tasks[idx].work().value())
-        .collect();
+    let mut order = ws.take_keyed();
+    completion_order_fill(
+        &inst,
+        |idx| core.critical_speed(inst.tasks[idx].filled_speed()),
+        &mut order,
+    );
+    let mut sorted_c = ws.take_f64s();
+    sorted_c.extend(order.iter().map(|&(c, _)| c));
+    let mut works = ws.take_f64s();
+    works.extend(order.iter().map(|&(_, idx)| inst.tasks[idx].work().value()));
 
-    let cases = NonzeroCases::new(&sorted_c, &works, platform);
+    let cases = NonzeroCases::new_in(&sorted_c, &works, platform, ws);
     let (cut, delta, energy) = (0..cases.n())
         .filter_map(|cut| cases.case_optimum(cut).map(|(d, e)| (cut, d, e)))
         .min_by(|a, b| a.2.total_cmp(&b.2))
@@ -191,49 +213,60 @@ pub fn schedule_alpha_nonzero(tasks: &TaskSet, platform: &Platform) -> Result<So
     // aligns with the busy interval end.
     let r0 = inst.release;
     let window = cases.interval - delta;
-    let placements = order
-        .iter()
-        .enumerate()
-        .map(|(k, &(c_k, idx))| {
-            let t = &inst.tasks[idx];
-            if t.work().value() == 0.0 {
-                return Placement::new(t.id(), CoreId(idx), vec![]);
-            }
+    let mut placements = ws.take_placements();
+    for (k, &(c_k, idx)) in order.iter().enumerate() {
+        let t = &inst.tasks[idx];
+        let mut segments = ws.take_segments();
+        if t.work().value() > 0.0 {
             let len = if k >= cut { window } else { c_k };
             let end = r0 + Time::from_secs(len);
             let speed = t.work() / Time::from_secs(len);
-            Placement::single(t.id(), CoreId(idx), r0, end, speed)
-        })
-        .collect();
-    Ok(Solution::new(
+            segments.push(Segment::new(r0, end, speed));
+        }
+        placements.push(Placement::new(t.id(), CoreId(idx), segments));
+    }
+    let solution = Solution::new(
         Schedule::new(placements),
         Joules::new(energy),
         Time::from_secs(delta),
-    ))
+    );
+    cases.recycle(ws);
+    ws.recycle_f64s(sorted_c);
+    ws.recycle_f64s(works);
+    ws.recycle_keyed(order);
+    inst.recycle(ws);
+    Ok(solution)
 }
 
 /// Critical-speed completion times for a prepared instance — exposed for
 /// the §7 overhead scheme, which reuses the same case machinery with the
-/// *constrained* critical speed.
-pub(crate) fn completion_order(
+/// *constrained* critical speed. Clears and fills `out`.
+pub(crate) fn completion_order_into(
     inst: &Instance,
     speeds: impl Fn(usize) -> Speed,
-) -> Vec<(f64, usize)> {
-    let mut order: Vec<(f64, usize)> = inst
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(idx, t)| {
-            let c = if t.work().value() == 0.0 {
-                0.0
-            } else {
-                (t.work() / speeds(idx)).as_secs()
-            };
-            (c, idx)
-        })
-        .collect();
-    order.sort_by(|a, b| a.0.total_cmp(&b.0));
-    order
+    out: &mut Vec<(f64, usize)>,
+) {
+    completion_order_fill(inst, speeds, out);
+}
+
+/// Shared body: `(completion, index)` pairs sorted by completion. The index
+/// tiebreak makes the comparator a total order, so the unstable sort
+/// reproduces the stable sort's insertion-order tie handling exactly.
+fn completion_order_fill(
+    inst: &Instance,
+    speeds: impl Fn(usize) -> Speed,
+    out: &mut Vec<(f64, usize)>,
+) {
+    out.clear();
+    out.extend(inst.tasks.iter().enumerate().map(|(idx, t)| {
+        let c = if t.work().value() == 0.0 {
+            0.0
+        } else {
+            (t.work() / speeds(idx)).as_secs()
+        };
+        (c, idx)
+    }));
+    out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 }
 
 #[cfg(test)]

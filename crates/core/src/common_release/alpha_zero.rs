@@ -25,9 +25,9 @@
 //! `O(n log n)` binary search. Property tests assert all three agree.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Joules, Placement, Schedule, Task, TaskSet, Time};
+use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, Task, TaskSet, Time, Workspace};
 
-use super::{prepare, Instance};
+use super::{prepare, prepare_in, Instance};
 use crate::{SdemError, Solution};
 
 /// Precomputed per-case data shared by the three drivers.
@@ -51,24 +51,31 @@ struct Cases {
 
 impl Cases {
     fn new(inst: &Instance, platform: &Platform) -> Self {
+        Self::new_in(inst, platform, &mut Workspace::new())
+    }
+
+    /// Builds the case tables in buffers drawn from `ws`; return them with
+    /// [`Self::recycle`].
+    fn new_in(inst: &Instance, platform: &Platform, ws: &mut Workspace) -> Self {
         let core = platform.core();
         let (beta, lambda) = (core.beta(), core.lambda());
         let n = inst.tasks.len();
         let r0 = inst.release;
-        let d: Vec<f64> = inst
-            .tasks
-            .iter()
-            .map(|t| (t.deadline() - r0).as_secs())
-            .collect();
+        let mut d = ws.take_f64s();
+        d.extend(inst.tasks.iter().map(|t| (t.deadline() - r0).as_secs()));
         let interval = d[n - 1];
-        let w: Vec<f64> = inst.tasks.iter().map(|t| t.work().value()).collect();
-        let mut s_wl = vec![0.0f64; n + 1];
-        let mut w_max = vec![0.0f64; n + 1];
+        let mut w = ws.take_f64s();
+        w.extend(inst.tasks.iter().map(|t| t.work().value()));
+        let mut s_wl = ws.take_f64s();
+        s_wl.resize(n + 1, 0.0);
+        let mut w_max = ws.take_f64s();
+        w_max.resize(n + 1, 0.0);
         for j in (0..n).rev() {
             s_wl[j] = s_wl[j + 1] + w[j].powf(lambda);
             w_max[j] = w_max[j + 1].max(w[j]);
         }
-        let mut filled = vec![0.0; n + 1];
+        let mut filled = ws.take_f64s();
+        filled.resize(n + 1, 0.0);
         for c in 0..n {
             let dyn_e = if w[c] == 0.0 {
                 0.0
@@ -77,6 +84,7 @@ impl Cases {
             };
             filled[c + 1] = filled[c] + dyn_e;
         }
+        ws.recycle_f64s(w);
         Self {
             d,
             interval,
@@ -88,6 +96,14 @@ impl Cases {
             alpha_m: platform.memory().alpha_m().value(),
             s_up: core.max_speed().as_hz(),
         }
+    }
+
+    /// Returns the case tables to the workspace.
+    fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_f64s(self.d);
+        ws.recycle_f64s(self.s_wl);
+        ws.recycle_f64s(self.w_max);
+        ws.recycle_f64s(self.filled);
     }
 
     fn n(&self) -> usize {
@@ -146,14 +162,25 @@ impl Cases {
 
 /// Builds the explicit schedule for the winning `(cut, Δ)`.
 fn build_solution(inst: &Instance, cases: &Cases, cut: usize, delta: f64, energy: f64) -> Solution {
+    build_solution_in(inst, cases, cut, delta, energy, &mut Workspace::new())
+}
+
+/// [`build_solution`] with the placement/segment arenas drawn from `ws`.
+fn build_solution_in(
+    inst: &Instance,
+    cases: &Cases,
+    cut: usize,
+    delta: f64,
+    energy: f64,
+    ws: &mut Workspace,
+) -> Solution {
     let r0 = inst.release;
     let window = Time::from_secs(cases.interval - delta);
-    let placements = inst
-        .tasks
-        .iter()
-        .enumerate()
-        .map(|(idx, t)| place_task(t, idx, r0, idx >= cut, window))
-        .collect();
+    let mut placements = ws.take_placements();
+    for (idx, t) in inst.tasks.iter().enumerate() {
+        let segments = ws.take_segments();
+        placements.push(place_task(t, idx, r0, idx >= cut, window, segments));
+    }
     Solution::new(
         Schedule::new(placements),
         Joules::new(energy),
@@ -161,11 +188,18 @@ fn build_solution(inst: &Instance, cases: &Cases, cut: usize, delta: f64, energy
     )
 }
 
-fn place_task(t: &Task, idx: usize, r0: Time, aligned: bool, window: Time) -> Placement {
+fn place_task(
+    t: &Task,
+    idx: usize,
+    r0: Time,
+    aligned: bool,
+    window: Time,
+    mut segments: Vec<Segment>,
+) -> Placement {
     if t.work().value() == 0.0 {
         // Zero-work tasks never execute; an empty placement avoids
         // degenerate zero-length segments when the busy window collapses.
-        return Placement::new(t.id(), CoreId(idx), vec![]);
+        return Placement::new(t.id(), CoreId(idx), segments);
     }
     let end = if aligned { r0 + window } else { t.deadline() };
     let len = end - r0;
@@ -174,7 +208,8 @@ fn place_task(t: &Task, idx: usize, r0: Time, aligned: bool, window: Time) -> Pl
     } else {
         sdem_types::Speed::ZERO
     };
-    Placement::single(t.id(), CoreId(idx), r0, end, speed)
+    segments.push(Segment::new(r0, end, speed));
+    Placement::new(t.id(), CoreId(idx), segments)
 }
 
 /// §4.1 optimal scheme: evaluates every case's clamped closed form and
@@ -207,13 +242,28 @@ fn place_task(t: &Task, idx: usize, r0: Time, aligned: bool, window: Time) -> Pl
 /// # }
 /// ```
 pub fn schedule_alpha_zero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    let inst = prepare(tasks, platform)?;
-    let cases = Cases::new(&inst, platform);
+    schedule_alpha_zero_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`schedule_alpha_zero`]: scratch tables and the returned
+/// schedule's arenas are drawn from `ws`, so a warmed workspace makes the
+/// solve allocation-free. Recycle the solution's schedule back into `ws`
+/// when done with it.
+pub fn schedule_alpha_zero_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    let inst = prepare_in(tasks, platform, ws)?;
+    let cases = Cases::new_in(&inst, platform, ws);
     let best = (0..cases.n())
         .filter_map(|cut| cases.case_optimum(cut).map(|(d, e)| (cut, d, e)))
         .min_by(|a, b| a.2.total_cmp(&b.2))
         .expect("the all-filled case is always feasible");
-    Ok(build_solution(&inst, &cases, best.0, best.1, best.2))
+    let solution = build_solution_in(&inst, &cases, best.0, best.1, best.2, ws);
+    cases.recycle(ws);
+    inst.recycle(ws);
+    Ok(solution)
 }
 
 /// §4.1 via the paper's Theorem-2 sequential scan: cases are visited from

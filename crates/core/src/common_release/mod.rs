@@ -25,16 +25,17 @@ mod alpha_zero;
 mod heterogeneous;
 mod reference;
 
-pub(crate) use alpha_nonzero::completion_order;
-pub use alpha_nonzero::schedule_alpha_nonzero;
+pub(crate) use alpha_nonzero::completion_order_into;
+pub use alpha_nonzero::{schedule_alpha_nonzero, schedule_alpha_nonzero_in};
 pub use alpha_zero::{
-    schedule_alpha_zero, schedule_alpha_zero_binary_search, schedule_alpha_zero_scan,
+    schedule_alpha_zero, schedule_alpha_zero_binary_search, schedule_alpha_zero_in,
+    schedule_alpha_zero_scan,
 };
 pub use heterogeneous::schedule_heterogeneous;
 pub use reference::reference_optimum;
 
 use sdem_power::Platform;
-use sdem_types::{Speed, Task, TaskSet, Time};
+use sdem_types::{Speed, Task, TaskSet, Time, Workspace};
 
 use crate::SdemError;
 
@@ -44,13 +45,26 @@ pub(crate) struct Instance {
     /// The shared release instant (add back when building schedules).
     pub release: Time,
     /// Tasks sorted by the order the scheme needs (deadline for §4.1,
-    /// critical-speed completion for §4.2).
+    /// critical-speed completion for §4.2). Taken from the workspace's task
+    /// arena; recycle via [`Instance::recycle`].
     pub tasks: Vec<Task>,
 }
 
+impl Instance {
+    /// Returns the task arena to the workspace.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_tasks(self.tasks);
+    }
+}
+
 /// Checks the common-release precondition and per-task feasibility
-/// (`s_f ≤ s_up`), returning tasks sorted by deadline.
-pub(crate) fn prepare(tasks: &TaskSet, platform: &Platform) -> Result<Instance, SdemError> {
+/// (`s_f ≤ s_up`), returning tasks sorted by deadline in a buffer drawn
+/// from `ws`'s task arena.
+pub(crate) fn prepare_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Instance, SdemError> {
     if !tasks.is_common_release() {
         return Err(SdemError::NotCommonRelease);
     }
@@ -60,10 +74,17 @@ pub(crate) fn prepare(tasks: &TaskSet, platform: &Platform) -> Result<Instance, 
             return Err(SdemError::InfeasibleTask(t.id()));
         }
     }
+    let mut sorted = ws.take_tasks();
+    tasks.sorted_by_deadline_into(&mut sorted);
     Ok(Instance {
         release: tasks.tasks()[0].release(),
-        tasks: tasks.sorted_by_deadline(),
+        tasks: sorted,
     })
+}
+
+/// Allocating wrapper over [`prepare_in`] for the one-shot entry points.
+pub(crate) fn prepare(tasks: &TaskSet, platform: &Platform) -> Result<Instance, SdemError> {
+    prepare_in(tasks, platform, &mut Workspace::new())
 }
 
 /// Speed comparison with a relative guard for borderline-feasible tasks.

@@ -15,7 +15,7 @@
 //! levels and vanishes as the table densifies.
 
 use sdem_power::CorePower;
-use sdem_types::{Placement, Schedule, Segment, Speed};
+use sdem_types::{Placement, Schedule, Segment, Speed, Workspace};
 
 use crate::SdemError;
 
@@ -143,9 +143,26 @@ impl SpeedLevels {
 /// # Ok::<(), sdem_core::SdemError>(())
 /// ```
 pub fn quantize_schedule(schedule: &Schedule, levels: &SpeedLevels) -> Result<Schedule, SdemError> {
-    let mut placements = Vec::with_capacity(schedule.placements().len());
+    quantize_schedule_in(schedule, levels, &mut Workspace::new())
+}
+
+/// In-place [`quantize_schedule`]: the output schedule's placement and
+/// segment vectors are drawn from `ws`. Recycle the returned schedule
+/// back into `ws` (`Workspace::recycle_schedule`) to keep the hot path
+/// allocation-free.
+///
+/// # Errors
+///
+/// Same as [`quantize_schedule`].
+pub fn quantize_schedule_in(
+    schedule: &Schedule,
+    levels: &SpeedLevels,
+    ws: &mut Workspace,
+) -> Result<Schedule, SdemError> {
+    let mut placements = ws.take_placements();
     for p in schedule.placements() {
-        let mut segments: Vec<Segment> = Vec::with_capacity(p.segments().len() * 2);
+        let mut segments: Vec<Segment> = ws.take_segments();
+        segments.reserve(p.segments().len() * 2);
         for seg in p.segments() {
             let s = seg.speed();
             if s > levels.max() * (1.0 + 1e-9) {

@@ -58,5 +58,5 @@ pub mod scheduler;
 mod solution;
 
 pub use oracle::{OracleError, OracleOptions, DEFAULT_ORACLE_TOLERANCE};
-pub use scheduler::{solve, Scheduler, Scheme};
+pub use scheduler::{solve, solve_in, Scheduler, Scheme};
 pub use solution::{SdemError, Solution};

@@ -20,7 +20,9 @@
 //! paper's 8-core assumption can check [`sdem_types::Schedule::cores_used`].
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time};
+use sdem_types::{
+    CoreId, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time, Workspace,
+};
 
 use crate::{common_release, overhead, SdemError};
 
@@ -101,6 +103,20 @@ pub fn schedule_online(tasks: &TaskSet, platform: &Platform) -> Result<Schedule,
     schedule_online_with(tasks, platform, InnerSolver::Auto)
 }
 
+/// In-place [`schedule_online`]: scratch buffers and the returned
+/// schedule's arenas are drawn from `ws`.
+///
+/// # Errors
+///
+/// Same as [`schedule_online`].
+pub fn schedule_online_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Schedule, SdemError> {
+    schedule_online_impl(tasks, platform, InnerSolver::Auto, None, ws)
+}
+
 /// [`schedule_online`] with an explicit inner-solver choice.
 ///
 /// # Errors
@@ -111,7 +127,7 @@ pub fn schedule_online_with(
     platform: &Platform,
     solver: InnerSolver,
 ) -> Result<Schedule, SdemError> {
-    schedule_online_impl(tasks, platform, solver, None)
+    schedule_online_impl(tasks, platform, solver, None, &mut Workspace::new())
 }
 
 /// Bounded-core SDEM-ON: like [`schedule_online`] but never uses more than
@@ -156,10 +172,24 @@ pub fn schedule_online_bounded(
     platform: &Platform,
     max_cores: usize,
 ) -> Result<Schedule, SdemError> {
+    schedule_online_bounded_in(tasks, platform, max_cores, &mut Workspace::new())
+}
+
+/// In-place [`schedule_online_bounded`].
+///
+/// # Errors
+///
+/// Same as [`schedule_online_bounded`].
+pub fn schedule_online_bounded_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    max_cores: usize,
+    ws: &mut Workspace,
+) -> Result<Schedule, SdemError> {
     if max_cores == 0 {
         return Err(SdemError::NoCores);
     }
-    schedule_online_impl(tasks, platform, InnerSolver::Auto, Some(max_cores))
+    schedule_online_impl(tasks, platform, InnerSolver::Auto, Some(max_cores), ws)
 }
 
 fn schedule_online_impl(
@@ -167,12 +197,15 @@ fn schedule_online_impl(
     platform: &Platform,
     solver: InnerSolver,
     max_cores: Option<usize>,
+    ws: &mut Workspace,
 ) -> Result<Schedule, SdemError> {
     let solver = solver.resolve(platform);
-    let arrivals = tasks.sorted_by_release();
-    let mut finished: Vec<Placement> = Vec::with_capacity(tasks.len());
+    let mut arrivals = ws.take_tasks();
+    tasks.sorted_by_release_into(&mut arrivals);
+    let mut finished: Vec<Placement> = ws.take_placements();
+    finished.reserve(tasks.len());
     let mut live: Vec<Live> = Vec::new();
-    let mut cores_busy: Vec<bool> = Vec::new();
+    let mut cores_busy: Vec<bool> = ws.take_bools();
     // Tasks that arrived but found no free core (bounded mode only).
     let mut waiting: Vec<(sdem_types::Task, f64)> = Vec::new(); // (task, remaining)
 
@@ -209,7 +242,7 @@ fn schedule_online_impl(
             i += 1;
             if t.work().value() == 0.0 {
                 // Zero-work tasks never execute: no core contention.
-                finished.push(Placement::new(t.id(), CoreId(0), vec![]));
+                finished.push(Placement::new(t.id(), CoreId(0), ws.take_segments()));
                 continue;
             }
             waiting.push((t, t.work().value()));
@@ -236,18 +269,20 @@ fn schedule_online_impl(
                 deadline: t.deadline(),
                 remaining,
                 core,
-                segments: Vec::new(),
+                segments: ws.take_segments(),
                 plan: None,
             });
         }
 
-        replan(&mut live, platform, solver, Time::from_secs(now))?;
+        replan(&mut live, platform, solver, Time::from_secs(now), ws)?;
     }
 
     // No more events: run every remaining plan to completion.
     advance(&mut live, &mut finished, &mut cores_busy, f64::INFINITY);
     debug_assert!(live.is_empty(), "all tasks must complete");
     debug_assert!(waiting.is_empty(), "no task may be left waiting");
+    ws.recycle_tasks(arrivals);
+    ws.recycle_bools(cores_busy);
     Ok(Schedule::new(finished))
 }
 
@@ -297,35 +332,36 @@ fn replan(
     platform: &Platform,
     solver: InnerSolver,
     now: Time,
+    ws: &mut Workspace,
 ) -> Result<(), SdemError> {
     if live.is_empty() {
         return Ok(());
     }
-    // Fresh common-release instance from the remaining work.
-    let instance = TaskSet::new(
-        live.iter()
-            .map(|t| {
-                Task::new(
-                    t.id.0,
-                    now,
-                    t.deadline,
-                    sdem_types::Cycles::new(t.remaining.max(0.0)),
-                )
-            })
-            .collect(),
-    )
-    .expect("live tasks have positive windows");
+    // Fresh common-release instance from the remaining work; the task
+    // vector is recycled after the solve.
+    let mut roster = ws.take_tasks();
+    roster.extend(live.iter().map(|t| {
+        Task::new(
+            t.id.0,
+            now,
+            t.deadline,
+            sdem_types::Cycles::new(t.remaining.max(0.0)),
+        )
+    }));
+    let instance = TaskSet::new(roster).expect("live tasks have positive windows");
 
     let solution = match solver {
-        InnerSolver::AlphaZero => common_release::schedule_alpha_zero(&instance, platform)?,
-        InnerSolver::AlphaNonzero => common_release::schedule_alpha_nonzero(&instance, platform)?,
-        InnerSolver::Overhead => overhead::schedule_common_release(&instance, platform)?,
+        InnerSolver::AlphaZero => common_release::schedule_alpha_zero_in(&instance, platform, ws)?,
+        InnerSolver::AlphaNonzero => {
+            common_release::schedule_alpha_nonzero_in(&instance, platform, ws)?
+        }
+        InnerSolver::Overhead => overhead::schedule_common_release_in(&instance, platform, ws)?,
         InnerSolver::Auto => unreachable!("resolved above"),
     };
 
     // Latest start per task; the block wakes at the earliest of them.
     let mut wake = f64::INFINITY;
-    let mut exec: Vec<f64> = Vec::with_capacity(live.len());
+    let mut exec: Vec<f64> = ws.take_f64s();
     for t in live.iter() {
         let p_j = solution
             .schedule()
@@ -338,11 +374,14 @@ fn replan(
         }
     }
     let wake = wake.max(now.as_secs());
-    for (t, p_j) in live.iter_mut().zip(exec) {
+    for (t, &p_j) in live.iter_mut().zip(exec.iter()) {
         if p_j > 0.0 {
             t.plan = Some((wake, wake + p_j, t.remaining / p_j));
         }
     }
+    ws.recycle_f64s(exec);
+    ws.recycle_schedule(solution.into_schedule());
+    ws.recycle_tasks(instance.into_tasks());
     Ok(())
 }
 

@@ -23,9 +23,9 @@
 //! and is unit-tested row by row.
 
 use sdem_power::{CorePower, MemoryPower, Platform};
-use sdem_types::{CoreId, Joules, Placement, Schedule, TaskSet, Time};
+use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, TaskSet, Time, Workspace};
 
-use crate::common_release::{completion_order, prepare};
+use crate::common_release::{completion_order_into, prepare_in};
 use crate::{SdemError, Solution};
 
 /// The decision rows of the paper's Table 3 for a case optimum `Δ_mi`.
@@ -190,25 +190,43 @@ pub fn schedule_common_release(
     tasks: &TaskSet,
     platform: &Platform,
 ) -> Result<Solution, SdemError> {
-    let inst = prepare(tasks, platform)?;
+    schedule_common_release_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`schedule_common_release`]: the case tables, sort scratch and
+/// the returned schedule's arenas are all drawn from `ws`, so a warmed
+/// workspace makes the solve allocation-free. Recycle the solution's
+/// schedule back into `ws` when done with it.
+pub fn schedule_common_release_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    let inst = prepare_in(tasks, platform, ws)?;
     let core = platform.core();
     let r0 = inst.release;
     let interval = (tasks.latest_deadline() - r0).as_secs();
 
     // Constrained critical speed per task (§7), then completion order.
-    let order = completion_order(&inst, |idx| {
-        let t = &inst.tasks[idx];
-        core.constrained_critical_speed(t.work(), t.filled_speed(), Time::from_secs(interval))
-    });
-    let sorted_c: Vec<f64> = order.iter().map(|&(c, _)| c).collect();
-    let works: Vec<f64> = order
-        .iter()
-        .map(|&(_, idx)| inst.tasks[idx].work().value())
-        .collect();
+    let mut order = ws.take_keyed();
+    completion_order_into(
+        &inst,
+        |idx| {
+            let t = &inst.tasks[idx];
+            core.constrained_critical_speed(t.work(), t.filled_speed(), Time::from_secs(interval))
+        },
+        &mut order,
+    );
+    let mut sorted_c = ws.take_f64s();
+    sorted_c.extend(order.iter().map(|&(c, _)| c));
+    let mut works = ws.take_f64s();
+    works.extend(order.iter().map(|&(_, idx)| inst.tasks[idx].work().value()));
     let n = sorted_c.len();
     let lambda = core.lambda();
-    let mut s_wl = vec![0.0f64; n + 1];
-    let mut w_max = vec![0.0f64; n + 1];
+    let mut s_wl = ws.take_f64s();
+    s_wl.resize(n + 1, 0.0);
+    let mut w_max = ws.take_f64s();
+    w_max.resize(n + 1, 0.0);
     for j in (0..n).rev() {
         s_wl[j] = s_wl[j + 1] + works[j].powf(lambda);
         w_max[j] = w_max[j + 1].max(works[j]);
@@ -262,29 +280,32 @@ pub fn schedule_common_release(
     // Build the schedule: aligned tasks end at c_max − Δ, the rest run at
     // their constrained critical speed.
     let t_end = cases.c_max - delta;
-    let placements = order
-        .iter()
-        .enumerate()
-        .map(|(k, &(c_k, idx))| {
-            let t = &inst.tasks[idx];
-            if t.work().value() == 0.0 {
-                return Placement::new(t.id(), CoreId(idx), vec![]);
-            }
+    let mut placements = ws.take_placements();
+    for (k, &(c_k, idx)) in order.iter().enumerate() {
+        let t = &inst.tasks[idx];
+        let mut segments = ws.take_segments();
+        if t.work().value() > 0.0 {
             let len = if k >= cut { t_end } else { c_k };
-            Placement::single(
-                t.id(),
-                CoreId(idx),
+            segments.push(Segment::new(
                 r0,
                 r0 + Time::from_secs(len),
                 t.work() / Time::from_secs(len),
-            )
-        })
-        .collect();
-    Ok(Solution::new(
+            ));
+        }
+        placements.push(Placement::new(t.id(), CoreId(idx), segments));
+    }
+    let solution = Solution::new(
         Schedule::new(placements),
         Joules::new(energy),
         Time::from_secs(delta),
-    ))
+    );
+    ws.recycle_f64s(cases.c);
+    ws.recycle_f64s(cases.w);
+    ws.recycle_f64s(cases.s_wl);
+    ws.recycle_f64s(cases.w_max);
+    ws.recycle_keyed(order);
+    inst.recycle(ws);
+    Ok(solution)
 }
 
 /// §7 for agreeable deadlines: the block solvers are unchanged (one busy
@@ -297,6 +318,19 @@ pub fn schedule_common_release(
 /// Same as [`crate::agreeable::schedule`].
 pub fn schedule_agreeable(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
     crate::agreeable::schedule(tasks, platform)
+}
+
+/// In-place [`schedule_agreeable`].
+///
+/// # Errors
+///
+/// Same as [`crate::agreeable::schedule`].
+pub fn schedule_agreeable_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    crate::agreeable::schedule_in(tasks, platform, ws)
 }
 
 #[cfg(test)]

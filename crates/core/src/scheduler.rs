@@ -31,7 +31,7 @@
 //! ```
 
 use sdem_power::Platform;
-use sdem_types::TaskSet;
+use sdem_types::{TaskSet, Workspace};
 
 use crate::{agreeable, bounded, common_release, online, overhead, SdemError, Solution};
 
@@ -47,12 +47,34 @@ pub trait Scheduler {
 
     /// Solves the instance.
     ///
+    /// The default implementation delegates to [`Scheduler::solve_into`]
+    /// with a throwaway [`Workspace`], so every scheme has exactly one
+    /// code path and the two entry points are bit-identical.
+    ///
     /// # Errors
     ///
     /// Scheme-specific [`SdemError`]s: shape mismatches
     /// ([`SdemError::NotCommonRelease`], [`SdemError::NotAgreeable`]),
     /// infeasibility, or size limits of exact solvers.
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError>;
+    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+        self.solve_into(tasks, platform, &mut Workspace::new())
+    }
+
+    /// Solves the instance drawing all scratch and output buffers from
+    /// `ws`. Repeated calls with the same warmed workspace are
+    /// allocation-free on the analytic (common-release) schemes; recycle
+    /// each solution's schedule back via [`Workspace::recycle_schedule`]
+    /// to keep the arena primed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::solve`].
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError>;
 }
 
 /// §4.1 optimal scheme — common release, `α = 0`.
@@ -99,8 +121,13 @@ impl Scheduler for CommonReleaseAlphaZero {
     fn name(&self) -> &'static str {
         "common-release-alpha-zero"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        common_release::schedule_alpha_zero(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        common_release::schedule_alpha_zero_in(tasks, platform, ws)
     }
 }
 
@@ -108,8 +135,13 @@ impl Scheduler for CommonReleaseAlphaNonzero {
     fn name(&self) -> &'static str {
         "common-release-alpha-nonzero"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        common_release::schedule_alpha_nonzero(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        common_release::schedule_alpha_nonzero_in(tasks, platform, ws)
     }
 }
 
@@ -117,8 +149,13 @@ impl Scheduler for CommonReleaseOverhead {
     fn name(&self) -> &'static str {
         "common-release-overhead"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        overhead::schedule_common_release(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        overhead::schedule_common_release_in(tasks, platform, ws)
     }
 }
 
@@ -126,8 +163,13 @@ impl Scheduler for Agreeable {
     fn name(&self) -> &'static str {
         "agreeable"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        agreeable::schedule(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        agreeable::schedule_in(tasks, platform, ws)
     }
 }
 
@@ -135,8 +177,13 @@ impl Scheduler for AgreeableStrict {
     fn name(&self) -> &'static str {
         "agreeable-strict"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        agreeable::schedule_strict(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        agreeable::schedule_strict_in(tasks, platform, ws)
     }
 }
 
@@ -144,8 +191,13 @@ impl Scheduler for AgreeableOverhead {
     fn name(&self) -> &'static str {
         "agreeable-overhead"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        overhead::schedule_agreeable(tasks, platform)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        overhead::schedule_agreeable_in(tasks, platform, ws)
     }
 }
 
@@ -153,9 +205,14 @@ impl Scheduler for Online {
     fn name(&self) -> &'static str {
         "online"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        let schedule = online::schedule_online(tasks, platform)?;
-        Ok(Solution::from_schedule(schedule, platform))
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        let schedule = online::schedule_online_in(tasks, platform, ws)?;
+        Ok(Solution::from_schedule_in(schedule, platform, ws))
     }
 }
 
@@ -163,9 +220,14 @@ impl Scheduler for OnlineBounded {
     fn name(&self) -> &'static str {
         "online-bounded"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        let schedule = online::schedule_online_bounded(tasks, platform, self.0)?;
-        Ok(Solution::from_schedule(schedule, platform))
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        let schedule = online::schedule_online_bounded_in(tasks, platform, self.0, ws)?;
+        Ok(Solution::from_schedule_in(schedule, platform, ws))
     }
 }
 
@@ -173,8 +235,13 @@ impl Scheduler for BoundedLpt {
     fn name(&self) -> &'static str {
         "bounded-lpt"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        bounded::solve_lpt(tasks, platform, self.0)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        bounded::solve_lpt_in(tasks, platform, self.0, ws)
     }
 }
 
@@ -182,8 +249,13 @@ impl Scheduler for BoundedExact {
     fn name(&self) -> &'static str {
         "bounded-exact"
     }
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-        bounded::solve_exact(tasks, platform, self.0)
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        bounded::solve_exact_in(tasks, platform, self.0, ws)
     }
 }
 
@@ -265,19 +337,28 @@ impl Scheduler for Scheme {
         }
     }
 
-    fn solve(&self, tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
         match self.resolve(tasks, platform) {
             Scheme::Auto => unreachable!("resolve never returns Auto"),
-            Scheme::CommonReleaseAlphaZero => CommonReleaseAlphaZero.solve(tasks, platform),
-            Scheme::CommonReleaseAlphaNonzero => CommonReleaseAlphaNonzero.solve(tasks, platform),
-            Scheme::CommonReleaseOverhead => CommonReleaseOverhead.solve(tasks, platform),
-            Scheme::Agreeable => Agreeable.solve(tasks, platform),
-            Scheme::AgreeableStrict => AgreeableStrict.solve(tasks, platform),
-            Scheme::AgreeableOverhead => AgreeableOverhead.solve(tasks, platform),
-            Scheme::Online => Online.solve(tasks, platform),
-            Scheme::OnlineBounded(n) => OnlineBounded(n).solve(tasks, platform),
-            Scheme::BoundedLpt(n) => BoundedLpt(n).solve(tasks, platform),
-            Scheme::BoundedExact(n) => BoundedExact(n).solve(tasks, platform),
+            Scheme::CommonReleaseAlphaZero => {
+                CommonReleaseAlphaZero.solve_into(tasks, platform, ws)
+            }
+            Scheme::CommonReleaseAlphaNonzero => {
+                CommonReleaseAlphaNonzero.solve_into(tasks, platform, ws)
+            }
+            Scheme::CommonReleaseOverhead => CommonReleaseOverhead.solve_into(tasks, platform, ws),
+            Scheme::Agreeable => Agreeable.solve_into(tasks, platform, ws),
+            Scheme::AgreeableStrict => AgreeableStrict.solve_into(tasks, platform, ws),
+            Scheme::AgreeableOverhead => AgreeableOverhead.solve_into(tasks, platform, ws),
+            Scheme::Online => Online.solve_into(tasks, platform, ws),
+            Scheme::OnlineBounded(n) => OnlineBounded(n).solve_into(tasks, platform, ws),
+            Scheme::BoundedLpt(n) => BoundedLpt(n).solve_into(tasks, platform, ws),
+            Scheme::BoundedExact(n) => BoundedExact(n).solve_into(tasks, platform, ws),
         }
     }
 }
@@ -290,6 +371,23 @@ impl Scheduler for Scheme {
 /// Whatever the routed scheme returns; see [`Scheduler::solve`].
 pub fn solve(tasks: &TaskSet, platform: &Platform, scheme: Scheme) -> Result<Solution, SdemError> {
     scheme.solve(tasks, platform)
+}
+
+/// In-place [`solve`]: scratch and output buffers come from `ws`. With a
+/// warmed workspace, repeated trials on the analytic schemes allocate
+/// nothing; recycle each solution's schedule back via
+/// [`Workspace::recycle_schedule`] between trials.
+///
+/// # Errors
+///
+/// Whatever the routed scheme returns; see [`Scheduler::solve`].
+pub fn solve_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    scheme: Scheme,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    scheme.solve_into(tasks, platform, ws)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use sdem_power::Platform;
-use sdem_types::{Joules, Schedule, TaskId, Time};
+use sdem_types::{Joules, Schedule, TaskId, Time, Workspace};
 
 /// Result of an SDEM scheme: the explicit schedule plus the analytic
 /// quantities the optimality proofs reason about.
@@ -65,6 +65,12 @@ impl Solution {
     /// * memory static energy `α_m` over the busy-union, sleeping exactly
     ///   the gaps of length ≥ ξ_m (one `α_m·ξ_m` round trip each).
     pub fn from_schedule(schedule: Schedule, platform: &Platform) -> Self {
+        Self::from_schedule_in(schedule, platform, &mut Workspace::new())
+    }
+
+    /// In-place [`Self::from_schedule`]: the per-core busy/gap interval
+    /// buffers are drawn from `ws` instead of freshly allocated.
+    pub fn from_schedule_in(schedule: Schedule, platform: &Platform, ws: &mut Workspace) -> Self {
         let core = platform.core();
         let memory = platform.memory();
         let per_cycle = memory.access_energy_per_cycle();
@@ -77,18 +83,24 @@ impl Solution {
             }
         }
 
-        for c in schedule.cores() {
-            let busy = schedule.core_busy_intervals(c);
+        let mut cores = ws.take_core_ids();
+        schedule.cores_into(&mut cores);
+        let mut busy = ws.take_intervals();
+        let mut gaps = ws.take_intervals();
+        for &c in cores.iter() {
+            schedule.core_busy_intervals_into(c, &mut busy);
             energy += core.alpha() * busy.total();
-            for &(a, b) in busy.gaps(None).iter() {
+            busy.gaps_into(None, &mut gaps);
+            for &(a, b) in gaps.iter() {
                 energy += core.best_gap_energy(b - a);
             }
         }
 
-        let mem_busy = schedule.memory_busy_intervals();
-        energy += memory.awake_energy(mem_busy.total());
+        schedule.memory_busy_intervals_into(&mut busy);
+        energy += memory.awake_energy(busy.total());
+        busy.gaps_into(None, &mut gaps);
         let mut sleep = Time::ZERO;
-        for &(a, b) in mem_busy.gaps(None).iter() {
+        for &(a, b) in gaps.iter() {
             let gap = b - a;
             if memory.sleep_is_profitable(gap) {
                 energy += memory.transition_energy();
@@ -97,6 +109,9 @@ impl Solution {
                 energy += memory.awake_energy(gap);
             }
         }
+        ws.recycle_intervals(busy);
+        ws.recycle_intervals(gaps);
+        ws.recycle_core_ids(cores);
 
         Self::new(schedule, energy, sleep)
     }

@@ -293,17 +293,51 @@ impl SweepRunner {
         T: Send,
         F: Fn(&P, &TrialCtx) -> Option<T> + Sync,
     {
+        self.run_with_state(
+            points,
+            replications,
+            grid_seed,
+            || (),
+            |p, ctx, _: &mut ()| trial(p, ctx),
+        )
+    }
+
+    /// Like [`run`](Self::run), but each worker thread owns a mutable
+    /// state value created by `init` and passed to every trial it
+    /// executes. This is how callers thread a reusable scratch arena
+    /// (e.g. `sdem_types::Workspace`) through the sweep: one workspace
+    /// per worker, reused across that worker's trials, no sharing and no
+    /// locking.
+    ///
+    /// The state must not influence results — trials must stay pure
+    /// functions of `(point, ctx)` — or the thread-count invariance
+    /// guarantee breaks. A scratch arena satisfies this by construction:
+    /// buffers are handed out empty.
+    pub fn run_with_state<P, T, S, I, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: I,
+        trial: F,
+    ) -> SweepOutcome<T>
+    where
+        P: Sync,
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&P, &TrialCtx, &mut S) -> Option<T> + Sync,
+    {
         let total = points.len() * replications;
         let threads = self.resolved_threads(total);
         let started = Instant::now();
 
-        let run_one = |flat: usize| -> (usize, Option<T>) {
+        let run_one = |flat: usize, state: &mut S| -> (usize, Option<T>) {
             let (point, replicate) = (flat / replications.max(1), flat % replications.max(1));
             let mut ctx = TrialCtx::new(grid_seed, point, replicate, replications);
             if let Some(bits) = self.oracle_tol_bits {
                 ctx = ctx.with_oracle_tolerance(f64::from_bits(bits));
             }
-            (flat, trial(&points[point], &ctx))
+            (flat, trial(&points[point], &ctx, state))
         };
 
         let completed = AtomicUsize::new(0);
@@ -318,9 +352,10 @@ impl SweepRunner {
         };
 
         let mut flat: Vec<(usize, Option<T>)> = if threads <= 1 || total <= 1 {
+            let mut state = init();
             (0..total)
                 .map(|i| {
-                    let r = run_one(i);
+                    let r = run_one(i, &mut state);
                     observe(&completed);
                     r
                 })
@@ -332,13 +367,14 @@ impl SweepRunner {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(|| {
+                            let mut state = init();
                             let mut local = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 if i >= total {
                                     break;
                                 }
-                                local.push(run_one(i));
+                                local.push(run_one(i, &mut state));
                                 observe(&completed);
                             }
                             local
@@ -423,6 +459,36 @@ mod tests {
         let a = TrialCtx::new(7, 0, 0, 16).seed(0);
         let b = TrialCtx::new(8, 0, 0, 16).seed(0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_and_results_stay_invariant() {
+        let points: Vec<f64> = (1..=6).map(f64::from).collect();
+        // The state is a scratch Vec each trial fills and drains — results
+        // must not depend on it, and the outcome must stay thread-count
+        // invariant.
+        let run = |threads: usize| {
+            SweepRunner::new().with_threads(threads).run_with_state(
+                &points,
+                4,
+                42,
+                Vec::<f64>::new,
+                |&p, ctx, scratch| {
+                    scratch.push(p);
+                    let r = p * ctx.seed(0) as f64;
+                    scratch.clear();
+                    Some(r)
+                },
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                serial.per_point,
+                run(threads).per_point,
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -61,9 +61,9 @@ mod timeline;
 mod trace;
 
 pub use engine::simulate_event_driven;
-pub use meter::{simulate, simulate_with_options};
+pub use meter::{simulate, simulate_with_options, simulate_with_options_in};
 pub use options::{SimOptions, SleepPolicy};
-pub use power_trace::{power_trace, trace_to_csv, PowerSample};
+pub use power_trace::{power_trace, power_trace_in, trace_to_csv, PowerSample};
 pub use report::EnergyReport;
 pub use summary::{schedule_stats, ScheduleStats};
 pub use trace::render_gantt;

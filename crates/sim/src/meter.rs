@@ -7,7 +7,7 @@
 //! quantities by time integration and the two are cross-checked in tests.
 
 use sdem_power::Platform;
-use sdem_types::{Joules, Schedule, ScheduleError, TaskSet, Time};
+use sdem_types::{Joules, Schedule, ScheduleError, TaskSet, Time, Workspace};
 
 use crate::{EnergyReport, SimOptions, SleepPolicy};
 
@@ -61,6 +61,23 @@ pub fn simulate_with_options(
     platform: &Platform,
     options: SimOptions,
 ) -> Result<EnergyReport, ScheduleError> {
+    simulate_with_options_in(schedule, tasks, platform, options, &mut Workspace::new())
+}
+
+/// In-place [`simulate_with_options`]: the per-core busy/gap interval
+/// buffers are drawn from `ws`, so a warmed workspace makes metering
+/// allocation-free.
+///
+/// # Errors
+///
+/// Same as [`simulate_with_options`].
+pub fn simulate_with_options_in(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    platform: &Platform,
+    options: SimOptions,
+    ws: &mut Workspace,
+) -> Result<EnergyReport, ScheduleError> {
     if options.validate {
         schedule.validate_with_limits(tasks, None, Some(platform.core().max_speed()))?;
     }
@@ -80,10 +97,15 @@ pub fn simulate_with_options(
     }
 
     // Per-core on-span accounting: static power while busy, gaps per policy.
-    for core in schedule.cores() {
-        let busy = schedule.core_busy_intervals(core);
+    let mut cores = ws.take_core_ids();
+    schedule.cores_into(&mut cores);
+    let mut busy = ws.take_intervals();
+    let mut gaps = ws.take_intervals();
+    for &core in cores.iter() {
+        schedule.core_busy_intervals_into(core, &mut busy);
         report.core_static += core_model.alpha() * busy.total();
-        for &(a, b) in busy.gaps(options.horizon).iter() {
+        busy.gaps_into(options.horizon, &mut gaps);
+        for &(a, b) in gaps.iter() {
             let gap = b - a;
             let (idle, trans, slept) = options.core_policy.price_gap(
                 gap,
@@ -98,13 +120,15 @@ pub fn simulate_with_options(
             }
         }
     }
+    ws.recycle_core_ids(cores);
 
     // Memory on-span accounting.
-    let mem_busy = schedule.memory_busy_intervals();
-    let mem_busy_time: Time = mem_busy.total();
+    schedule.memory_busy_intervals_into(&mut busy);
+    let mem_busy_time: Time = busy.total();
     report.memory_static += memory.awake_energy(mem_busy_time);
     report.memory_awake_time += mem_busy_time;
-    for &(a, b) in mem_busy.gaps(options.horizon).iter() {
+    busy.gaps_into(options.horizon, &mut gaps);
+    for &(a, b) in gaps.iter() {
         let gap = b - a;
         let (idle, trans, slept) = options.memory_policy.price_gap(
             gap,
@@ -121,6 +145,8 @@ pub fn simulate_with_options(
             report.memory_awake_time += gap;
         }
     }
+    ws.recycle_intervals(busy);
+    ws.recycle_intervals(gaps);
 
     // Guard against numerically negative artifacts.
     debug_assert!(report.total() >= Joules::ZERO);

@@ -9,7 +9,7 @@
 //! are impulses, and sampling resolution).
 
 use sdem_power::Platform;
-use sdem_types::{Schedule, Time, Watts};
+use sdem_types::{Schedule, Time, Watts, Workspace};
 
 use crate::timeline::SleepTimeline;
 use crate::SimOptions;
@@ -62,6 +62,22 @@ pub fn power_trace(
     options: SimOptions,
     samples: usize,
 ) -> Vec<PowerSample> {
+    power_trace_in(schedule, platform, options, samples, &mut Workspace::new())
+}
+
+/// In-place [`power_trace`]: timeline scratch comes from `ws`. The
+/// returned sample vector itself still allocates (it is the output).
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn power_trace_in(
+    schedule: &Schedule,
+    platform: &Platform,
+    options: SimOptions,
+    samples: usize,
+    ws: &mut Workspace,
+) -> Vec<PowerSample> {
     assert!(samples > 0, "need at least one sample");
     let (t0, t1) = match options.horizon.or_else(|| schedule.span()) {
         Some(span) => span,
@@ -79,36 +95,41 @@ pub fn power_trace(
         busy: Vec<(Time, Time, f64)>, // (start, end, speed Hz)
         sleep: SleepTimeline,
     }
-    let lines: Vec<CoreLine> = schedule
-        .cores()
-        .into_iter()
-        .map(|core| {
-            let mut busy: Vec<(Time, Time, f64)> = schedule
-                .placements()
-                .iter()
-                .filter(|p| p.core() == core)
-                .flat_map(|p| {
-                    p.segments()
-                        .iter()
-                        .map(|s| (s.start(), s.end(), s.speed().as_hz()))
-                })
-                .collect();
-            busy.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let sleep = SleepTimeline::new(
-                schedule.core_busy_intervals(core),
-                options.core_policy,
-                core_model.break_even(),
-                options.horizon,
-            );
-            CoreLine { busy, sleep }
-        })
-        .collect();
+    let mut core_ids = ws.take_core_ids();
+    schedule.cores_into(&mut core_ids);
+    let mut lines: Vec<CoreLine> = Vec::with_capacity(core_ids.len());
+    for &core in core_ids.iter() {
+        let mut busy: Vec<(Time, Time, f64)> = schedule
+            .placements()
+            .iter()
+            .filter(|p| p.core() == core)
+            .flat_map(|p| {
+                p.segments()
+                    .iter()
+                    .map(|s| (s.start(), s.end(), s.speed().as_hz()))
+            })
+            .collect();
+        busy.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut core_busy = ws.take_intervals();
+        schedule.core_busy_intervals_into(core, &mut core_busy);
+        let sleep = SleepTimeline::new_in(
+            core_busy,
+            options.core_policy,
+            core_model.break_even(),
+            options.horizon,
+            ws,
+        );
+        lines.push(CoreLine { busy, sleep });
+    }
 
-    let mem = SleepTimeline::new(
-        schedule.memory_busy_intervals(),
+    let mut mem_busy = ws.take_intervals();
+    schedule.memory_busy_intervals_into(&mut mem_busy);
+    let mem = SleepTimeline::new_in(
+        mem_busy,
         options.memory_policy,
         memory.break_even(),
         options.horizon,
+        ws,
     );
 
     // Outside the busy span a component is off — unless a horizon powers the
@@ -118,7 +139,7 @@ pub fn power_trace(
         options.horizon.is_some() && !sleep.in_gap(t) && (t < s0 || t >= s1)
     };
 
-    (0..samples)
+    let trace = (0..samples)
         .map(|k| {
             let t = t0 + Time::from_secs(span * (k as f64 + 0.5) / samples as f64);
             let mut cores = Watts::ZERO;
@@ -141,7 +162,14 @@ pub fn power_trace(
                 memory: memory_draw,
             }
         })
-        .collect()
+        .collect();
+
+    ws.recycle_core_ids(core_ids);
+    mem.recycle(ws);
+    for line in lines {
+        line.sleep.recycle(ws);
+    }
+    trace
 }
 
 /// Renders a trace as CSV (`time_s,cores_w,memory_w,total_w`).

@@ -6,15 +6,17 @@
 //! lists from this one type, so "which gaps exist and which are slept" has
 //! a single implementation in the workspace.
 
-use sdem_types::{IntervalSet, Time, Timeline};
+use sdem_types::{IntervalSet, Time, Timeline, Workspace};
 
 use crate::SleepPolicy;
 
 /// A component's busy timeline plus the policy's decision for every gap.
 pub(crate) struct SleepTimeline {
     timeline: Timeline,
-    /// Chronological `(gap_start, gap_end, slept)` decisions.
-    gaps: Vec<(Time, Time, bool)>,
+    /// Chronological gap spans, parallel to `slept`.
+    gap_spans: Vec<(Time, Time)>,
+    /// Per-gap sleep decision.
+    slept: Vec<bool>,
 }
 
 impl SleepTimeline {
@@ -26,13 +28,41 @@ impl SleepTimeline {
         xi: Time,
         horizon: Option<(Time, Time)>,
     ) -> Self {
+        Self::new_in(busy, policy, xi, horizon, &mut Workspace::new())
+    }
+
+    /// In-place [`Self::new`]: the gap buffers come from `ws`. Return all
+    /// buffers (including the consumed `busy` set) with
+    /// [`Self::recycle`].
+    pub(crate) fn new_in(
+        busy: IntervalSet,
+        policy: SleepPolicy,
+        xi: Time,
+        horizon: Option<(Time, Time)>,
+        ws: &mut Workspace,
+    ) -> Self {
         let timeline = Timeline::new(busy, horizon);
-        let gaps = timeline
-            .gaps()
-            .iter()
-            .map(|&(a, b)| (a, b, policy.sleeps(b - a, xi)))
-            .collect();
-        Self { timeline, gaps }
+        let mut gaps = ws.take_intervals();
+        timeline.gaps_into(&mut gaps);
+        let mut gap_spans = ws.take_spans();
+        let mut slept = ws.take_bools();
+        for &(a, b) in gaps.iter() {
+            gap_spans.push((a, b));
+            slept.push(policy.sleeps(b - a, xi));
+        }
+        ws.recycle_intervals(gaps);
+        Self {
+            timeline,
+            gap_spans,
+            slept,
+        }
+    }
+
+    /// Returns every owned buffer to the workspace.
+    pub(crate) fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_spans(self.gap_spans);
+        ws.recycle_bools(self.slept);
+        ws.recycle_intervals(self.timeline.into_busy());
     }
 
     /// The coalesced busy intervals.
@@ -52,25 +82,29 @@ impl SleepTimeline {
 
     /// `true` inside a gap the policy keeps awake.
     pub(crate) fn awake_idle_at(&self, t: Time) -> bool {
-        self.gaps
-            .iter()
-            .any(|&(a, b, slept)| t >= a && t < b && !slept)
+        self.gaps().any(|(a, b, slept)| t >= a && t < b && !slept)
     }
 
     /// `true` inside a gap the policy sleeps through.
     pub(crate) fn asleep_at(&self, t: Time) -> bool {
-        self.gaps
-            .iter()
-            .any(|&(a, b, slept)| t >= a && t < b && slept)
+        self.gaps().any(|(a, b, slept)| t >= a && t < b && slept)
     }
 
     /// `true` inside any priced gap.
     pub(crate) fn in_gap(&self, t: Time) -> bool {
-        self.gaps.iter().any(|&(a, b, _)| t >= a && t < b)
+        self.gaps().any(|(a, b, _)| t >= a && t < b)
     }
 
     /// Number of slept gaps (one round-trip charge each).
     pub(crate) fn sleep_episodes(&self) -> usize {
-        self.gaps.iter().filter(|g| g.2).count()
+        self.slept.iter().filter(|&&s| s).count()
+    }
+
+    /// Chronological `(gap_start, gap_end, slept)` decisions.
+    fn gaps(&self) -> impl Iterator<Item = (Time, Time, bool)> + '_ {
+        self.gap_spans
+            .iter()
+            .zip(self.slept.iter())
+            .map(|(&(a, b), &s)| (a, b, s))
     }
 }

@@ -60,25 +60,45 @@ impl IntervalSet {
     /// Builds a set from arbitrary spans: drops degenerate spans
     /// (`end <= start`), sorts by start, and coalesces touching or
     /// overlapping spans.
-    pub fn from_spans(mut spans: Vec<(Time, Time)>) -> Self {
-        spans.retain(|&(a, b)| b > a);
-        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut out: Vec<(Time, Time)> = Vec::with_capacity(spans.len());
-        for (a, b) in spans {
-            match out.last_mut() {
-                Some(last) if a <= last.1 => last.1 = last.1.max(b),
-                _ => out.push((a, b)),
-            }
-        }
-        Self { intervals: out }
+    pub fn from_spans(spans: Vec<(Time, Time)>) -> Self {
+        let mut out = Self { intervals: spans };
+        Self::normalize(&mut out.intervals);
+        out
     }
 
-    /// Wraps spans that are already sorted, disjoint and non-degenerate
-    /// (checked in debug builds only).
-    fn from_sorted(intervals: Vec<(Time, Time)>) -> Self {
-        debug_assert!(intervals.iter().all(|&(a, b)| b > a));
-        debug_assert!(intervals.windows(2).all(|w| w[0].1 < w[1].0));
-        Self { intervals }
+    /// Sorts and coalesces raw spans in place. The relative order of spans
+    /// sharing a start is irrelevant: they always overlap, so coalescing
+    /// merges them to the same maximal end either way — an unstable sort is
+    /// therefore observationally identical to a stable one here.
+    fn normalize(spans: &mut Vec<(Time, Time)>) {
+        spans.retain(|&(a, b)| b > a);
+        spans.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let mut write = 0;
+        for read in 0..spans.len() {
+            let (a, b) = spans[read];
+            if write > 0 && a <= spans[write - 1].1 {
+                spans[write - 1].1 = spans[write - 1].1.max(b);
+            } else {
+                spans[write] = (a, b);
+                write += 1;
+            }
+        }
+        spans.truncate(write);
+    }
+
+    /// Empties the set, keeping its allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Rebuilds `out` from arbitrary raw spans without allocating (beyond
+    /// growing `out`'s buffer): `out` is cleared, filled from `iter`, then
+    /// sorted and coalesced exactly like [`Self::from_spans`].
+    pub fn collect_into<I: IntoIterator<Item = (Time, Time)>>(iter: I, out: &mut Self) {
+        out.intervals.clear();
+        out.intervals.extend(iter);
+        Self::normalize(&mut out.intervals);
     }
 
     /// The intervals as a slice (also available through `Deref`).
@@ -114,9 +134,18 @@ impl IntervalSet {
 
     /// Set union; both inputs stay sorted so this is a linear merge.
     pub fn union(&self, other: &Self) -> Self {
+        let mut out = Self::new();
+        self.union_into(other, &mut out);
+        out
+    }
+
+    /// In-place [`Self::union`]: clears `out` and fills it with the merge,
+    /// reusing `out`'s allocation.
+    pub fn union_into(&self, other: &Self, out: &mut Self) {
+        out.intervals.clear();
+        out.intervals
+            .reserve(self.intervals.len() + other.intervals.len());
         let (mut xs, mut ys) = (self.iter().peekable(), other.iter().peekable());
-        let mut out: Vec<(Time, Time)> =
-            Vec::with_capacity(self.intervals.len() + other.intervals.len());
         loop {
             let take_x = match (xs.peek(), ys.peek()) {
                 (Some(x), Some(y)) => x.0 <= y.0,
@@ -129,25 +158,32 @@ impl IntervalSet {
             } else {
                 ys.next().unwrap()
             };
-            match out.last_mut() {
+            match out.intervals.last_mut() {
                 Some(last) if a <= last.1 => last.1 = last.1.max(b),
-                _ => out.push((a, b)),
+                _ => out.intervals.push((a, b)),
             }
         }
-        Self { intervals: out }
     }
 
     /// Set intersection: the time covered by both sets.
     pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = Self::new();
+        self.intersect_into(other, &mut out);
+        out
+    }
+
+    /// In-place [`Self::intersect`]: clears `out` and fills it with the
+    /// intersection, reusing `out`'s allocation.
+    pub fn intersect_into(&self, other: &Self, out: &mut Self) {
+        out.intervals.clear();
         let (mut i, mut j) = (0, 0);
-        let mut out = Vec::new();
         while i < self.intervals.len() && j < other.intervals.len() {
             let (a0, a1) = self.intervals[i];
             let (b0, b1) = other.intervals[j];
             let lo = a0.max(b0);
             let hi = a1.min(b1);
             if hi > lo {
-                out.push((lo, hi));
+                out.intervals.push((lo, hi));
             }
             if a1 <= b1 {
                 i += 1;
@@ -155,18 +191,26 @@ impl IntervalSet {
                 j += 1;
             }
         }
-        Self::from_sorted(out)
+        out.debug_check_sorted();
     }
 
     /// The true set complement clipped to `span`: everything inside
     /// `[span.0, span.1)` not covered by this set. The complement of an
     /// empty set is the whole (non-degenerate) span.
     pub fn complement_within(&self, span: (Time, Time)) -> Self {
+        let mut out = Self::new();
+        self.complement_within_into(span, &mut out);
+        out
+    }
+
+    /// In-place [`Self::complement_within`]: clears `out` and fills it with
+    /// the clipped complement, reusing `out`'s allocation.
+    pub fn complement_within_into(&self, span: (Time, Time), out: &mut Self) {
+        out.intervals.clear();
         let (t0, t1) = span;
         if t1 <= t0 {
-            return Self::new();
+            return;
         }
-        let mut out = Vec::new();
         let mut cursor = t0;
         for &(a, b) in &self.intervals {
             if b <= cursor {
@@ -176,7 +220,7 @@ impl IntervalSet {
                 break;
             }
             if a > cursor {
-                out.push((cursor, a.min(t1)));
+                out.intervals.push((cursor, a.min(t1)));
             }
             cursor = cursor.max(b);
             if cursor >= t1 {
@@ -184,9 +228,9 @@ impl IntervalSet {
             }
         }
         if cursor < t1 {
-            out.push((cursor, t1));
+            out.intervals.push((cursor, t1));
         }
-        Self::from_sorted(out)
+        out.debug_check_sorted();
     }
 
     /// The idle gaps of a busy set under the workspace's powered-span
@@ -200,16 +244,24 @@ impl IntervalSet {
     /// powered); use [`Self::complement_within`] when the true
     /// complement is wanted instead.
     pub fn gaps(&self, horizon: Option<(Time, Time)>) -> Self {
+        let mut out = Self::new();
+        self.gaps_into(horizon, &mut out);
+        out
+    }
+
+    /// In-place [`Self::gaps`]: clears `out` and fills it with the priced
+    /// idle gaps, reusing `out`'s allocation.
+    pub fn gaps_into(&self, horizon: Option<(Time, Time)>, out: &mut Self) {
+        out.intervals.clear();
         let (Some(&first), Some(&last)) = (self.intervals.first(), self.intervals.last()) else {
-            return Self::new();
+            return;
         };
-        let mut out: Vec<(Time, Time)> = Vec::new();
         if let Some((t0, _)) = horizon {
             if first.0 - t0 > Time::ZERO {
-                out.push((t0, first.0));
+                out.intervals.push((t0, first.0));
             }
         }
-        out.extend(
+        out.intervals.extend(
             self.intervals
                 .windows(2)
                 .map(|w| (w[0].1, w[1].0))
@@ -217,10 +269,18 @@ impl IntervalSet {
         );
         if let Some((_, t1)) = horizon {
             if t1 - last.1 > Time::ZERO {
-                out.push((last.1, t1));
+                out.intervals.push((last.1, t1));
             }
         }
-        Self::from_sorted(out)
+        out.debug_check_sorted();
+    }
+
+    /// Debug-build check that the invariants (sorted, disjoint,
+    /// non-degenerate) hold; compiles to nothing in release builds.
+    #[inline]
+    fn debug_check_sorted(&self) {
+        debug_assert!(self.intervals.iter().all(|&(a, b)| b > a));
+        debug_assert!(self.intervals.windows(2).all(|w| w[0].1 < w[1].0));
     }
 }
 
@@ -320,9 +380,20 @@ impl Timeline {
         self.busy.gaps(self.horizon)
     }
 
+    /// In-place [`Self::gaps`] writing into a reusable buffer.
+    pub fn gaps_into(&self, out: &mut IntervalSet) {
+        self.busy.gaps_into(self.horizon, out);
+    }
+
     /// `true` when the component executes work at `t`.
     pub fn is_busy_at(&self, t: Time) -> bool {
         self.busy.contains(t)
+    }
+
+    /// Consumes the timeline, returning the busy set (e.g. to recycle its
+    /// allocation into a [`crate::Workspace`]).
+    pub fn into_busy(self) -> IntervalSet {
+        self.busy
     }
 }
 
@@ -421,6 +492,41 @@ mod tests {
         assert_eq!(raw(&a.gaps(Some((s(2.0), s(7.0))))), vec![(3.0, 5.0)]);
         // Empty set: no gaps even under a horizon.
         assert!(IntervalSet::new().gaps(Some((s(0.0), s(1.0)))).is_empty());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops_and_clear_stale_state() {
+        let a = set(&[(0.0, 2.0), (5.0, 6.0), (8.0, 9.0)]);
+        let b = set(&[(1.0, 3.0), (6.0, 8.5)]);
+        // Pre-fill the output with garbage to prove it is cleared, not
+        // appended to.
+        let mut out = set(&[(100.0, 200.0)]);
+        a.union_into(&b, &mut out);
+        assert_eq!(out, a.union(&b));
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out, a.intersect(&b));
+        let span = (s(0.0), s(10.0));
+        a.complement_within_into(span, &mut out);
+        assert_eq!(out, a.complement_within(span));
+        a.gaps_into(None, &mut out);
+        assert_eq!(out, a.gaps(None));
+        a.gaps_into(Some(span), &mut out);
+        assert_eq!(out, a.gaps(Some(span)));
+        // Empty-result paths also clear.
+        let mut out = set(&[(100.0, 200.0)]);
+        IntervalSet::new().gaps_into(Some(span), &mut out);
+        assert!(out.is_empty());
+        let mut out = set(&[(100.0, 200.0)]);
+        a.complement_within_into((s(3.0), s(3.0)), &mut out);
+        assert!(out.is_empty());
+        // collect_into matches from_spans on unsorted, degenerate input.
+        let raw_spans = vec![(s(5.0), s(5.0)), (s(4.0), s(6.0)), (s(0.0), s(2.0))];
+        let mut out = set(&[(100.0, 200.0)]);
+        IntervalSet::collect_into(raw_spans.iter().copied(), &mut out);
+        assert_eq!(out, IntervalSet::from_spans(raw_spans));
+        // clear keeps nothing behind.
+        out.clear();
+        assert!(out.is_empty());
     }
 
     #[test]

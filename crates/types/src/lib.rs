@@ -45,9 +45,11 @@ pub mod numeric;
 mod schedule;
 mod task;
 mod units;
+mod workspace;
 
 pub use error::{ScheduleError, TaskSetError};
 pub use interval::{IntervalSet, Timeline};
 pub use schedule::{CoreId, Placement, Schedule, Segment};
 pub use task::{Task, TaskId, TaskSet};
 pub use units::{Cycles, Joules, Speed, Time, Watts};
+pub use workspace::Workspace;

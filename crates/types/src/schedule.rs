@@ -151,6 +151,13 @@ impl Placement {
     pub fn busy_time(&self) -> Time {
         self.segments.iter().map(Segment::length).sum()
     }
+
+    /// Consumes the placement, returning its segment buffer (so a
+    /// `Workspace` can recycle the allocation).
+    #[inline]
+    pub fn into_segments(self) -> Vec<Segment> {
+        self.segments
+    }
 }
 
 /// A complete system schedule: one [`Placement`] per task.
@@ -203,38 +210,72 @@ impl Schedule {
         self.placements.iter().find(|p| p.task() == task)
     }
 
+    /// Consumes the schedule, returning its placement buffer (so a
+    /// `Workspace` can recycle the allocations).
+    #[inline]
+    pub fn into_placements(self) -> Vec<Placement> {
+        self.placements
+    }
+
     /// Number of distinct cores used.
     pub fn cores_used(&self) -> usize {
-        let mut cores: Vec<CoreId> = self.placements.iter().map(Placement::core).collect();
-        cores.sort_unstable();
-        cores.dedup();
+        let mut cores: Vec<CoreId> = Vec::new();
+        self.cores_into(&mut cores);
         cores.len()
     }
 
     /// All distinct cores, sorted.
     pub fn cores(&self) -> Vec<CoreId> {
-        let mut cores: Vec<CoreId> = self.placements.iter().map(Placement::core).collect();
-        cores.sort_unstable();
-        cores.dedup();
+        let mut cores: Vec<CoreId> = Vec::new();
+        self.cores_into(&mut cores);
         cores
+    }
+
+    /// In-place [`Self::cores`]: clears `out` and fills it with the sorted,
+    /// deduplicated core ids, reusing `out`'s allocation.
+    pub fn cores_into(&self, out: &mut Vec<CoreId>) {
+        out.clear();
+        out.extend(self.placements.iter().map(Placement::core));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Merged busy intervals of a single core, sorted by start.
     pub fn core_busy_intervals(&self, core: CoreId) -> IntervalSet {
-        self.placements
-            .iter()
-            .filter(|p| p.core() == core)
-            .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
-            .collect()
+        let mut out = IntervalSet::new();
+        self.core_busy_intervals_into(core, &mut out);
+        out
+    }
+
+    /// In-place [`Self::core_busy_intervals`] writing into a reusable
+    /// buffer.
+    pub fn core_busy_intervals_into(&self, core: CoreId, out: &mut IntervalSet) {
+        IntervalSet::collect_into(
+            self.placements
+                .iter()
+                .filter(|p| p.core() == core)
+                .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end()))),
+            out,
+        );
     }
 
     /// Merged intervals during which at least one core is busy — exactly the
     /// intervals during which the shared memory must be awake.
     pub fn memory_busy_intervals(&self) -> IntervalSet {
-        self.placements
-            .iter()
-            .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end())))
-            .collect()
+        let mut out = IntervalSet::new();
+        self.memory_busy_intervals_into(&mut out);
+        out
+    }
+
+    /// In-place [`Self::memory_busy_intervals`] writing into a reusable
+    /// buffer.
+    pub fn memory_busy_intervals_into(&self, out: &mut IntervalSet) {
+        IntervalSet::collect_into(
+            self.placements
+                .iter()
+                .flat_map(|p| p.segments().iter().map(|s| (s.start(), s.end()))),
+            out,
+        );
     }
 
     /// Total time the memory must be awake (sum of merged busy intervals).

@@ -198,6 +198,13 @@ impl TaskSet {
         &self.tasks
     }
 
+    /// Consumes the set, returning the underlying task vector (e.g. to
+    /// recycle its allocation into a [`crate::Workspace`]).
+    #[inline]
+    pub fn into_tasks(self) -> Vec<Task> {
+        self.tasks
+    }
+
     /// Iterates over the tasks.
     pub fn iter(&self) -> core::slice::Iter<'_, Task> {
         self.tasks.iter()
@@ -257,27 +264,43 @@ impl TaskSet {
     /// Returns the tasks sorted by increasing deadline, ties broken by
     /// release then id (the canonical order of §4.1 and §5).
     pub fn sorted_by_deadline(&self) -> Vec<Task> {
-        let mut v = self.tasks.clone();
-        v.sort_by(|a, b| {
+        let mut v = Vec::new();
+        self.sorted_by_deadline_into(&mut v);
+        v
+    }
+
+    /// In-place [`Self::sorted_by_deadline`] writing into a reusable
+    /// buffer. Ids are unique per set, so the comparator is a total order
+    /// and the unstable sort matches the stable one exactly.
+    pub fn sorted_by_deadline_into(&self, out: &mut Vec<Task>) {
+        out.clear();
+        out.extend_from_slice(&self.tasks);
+        out.sort_unstable_by(|a, b| {
             a.deadline()
                 .total_cmp(&b.deadline())
                 .then(a.release().total_cmp(&b.release()))
                 .then(a.id().cmp(&b.id()))
         });
-        v
     }
 
     /// Returns the tasks sorted by increasing release time, ties broken by
     /// deadline then id (arrival order for the online algorithm).
     pub fn sorted_by_release(&self) -> Vec<Task> {
-        let mut v = self.tasks.clone();
-        v.sort_by(|a, b| {
+        let mut v = Vec::new();
+        self.sorted_by_release_into(&mut v);
+        v
+    }
+
+    /// In-place [`Self::sorted_by_release`] writing into a reusable buffer.
+    pub fn sorted_by_release_into(&self, out: &mut Vec<Task>) {
+        out.clear();
+        out.extend_from_slice(&self.tasks);
+        out.sort_unstable_by(|a, b| {
             a.release()
                 .total_cmp(&b.release())
                 .then(a.deadline().total_cmp(&b.deadline()))
                 .then(a.id().cmp(&b.id()))
         });
-        v
     }
 
     /// Returns a copy with every workload multiplied by `factor` — the
