@@ -1,15 +1,23 @@
 //! One evaluation trial: schedule the same task set with SDEM-ON, MBKP and
 //! MBKPS and meter all three on the same platform.
+//!
+//! Trial failures are reported through the workspace-wide
+//! [`TrialError`] taxonomy (re-exported from `sdem-core`); the quarantined
+//! entry points additionally convert them into the string-based
+//! [`sdem_exec::TrialFailure`] records the sweep engine journals.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use sdem_baselines::mbkp::{self, Assignment};
 use sdem_core::online::schedule_online_in;
-use sdem_core::{OracleOptions, Solution};
-use sdem_exec::{SweepRunner, TrialCtx};
+pub use sdem_core::TrialError;
+use sdem_core::{OracleError, OracleOptions, Solution};
+use sdem_exec::{payload_text, SweepRunner, TrialCtx, TrialFailure, FATAL_PANIC_PREFIX};
 use sdem_power::Platform;
 use sdem_sim::{
     simulate_event_driven, simulate_with_options_in, EnergyReport, SimOptions, SleepPolicy,
 };
-use sdem_types::{TaskSet, Workspace};
+use sdem_types::{Joules, TaskSet, Time, Workspace};
 
 /// The metered schedules of one trial.
 #[derive(Debug, Clone)]
@@ -58,10 +66,60 @@ impl TrialResult {
     pub fn sdem_improvement_over_mbkps(&self) -> f64 {
         1.0 - self.sdem_on.total().value() / self.mbkps.total().value()
     }
+
+    /// Checks every metered system total for NaN/∞, returning the first
+    /// offender as a [`TrialError::NonFiniteEnergy`]. The quarantined sweep
+    /// path runs this on every trial so a poisoned simulation is recorded
+    /// instead of silently skewing the aggregates.
+    pub fn ensure_finite(&self) -> Result<(), TrialError> {
+        for (context, report) in [
+            ("SDEM-ON system energy", &self.sdem_on),
+            ("MBKP system energy", &self.mbkp),
+            ("MBKPS system energy", &self.mbkps),
+            ("MBKPS-always system energy", &self.mbkps_always),
+        ] {
+            let value = report.total().value();
+            if !value.is_finite() {
+                return Err(TrialError::NonFiniteEnergy { context, value });
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Errors a trial can produce (scheduling or simulation).
-pub type TrialError = Box<dyn std::error::Error + Send + Sync>;
+/// How a trial treats the sim-oracle cross-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OracleCheck {
+    /// No cross-check.
+    Off,
+    /// Cross-check at the given relative tolerance; divergence panics with
+    /// the [`FATAL_PANIC_PREFIX`] so even a panic-containing sweep worker
+    /// re-raises it (a diverging oracle is a correctness bug, not a bad
+    /// seed). This is the historical default.
+    FailFast(f64),
+    /// Cross-check at the given relative tolerance; divergence is returned
+    /// as [`TrialError::OracleDivergence`] carrying both energies, so the
+    /// sweep can quarantine the trial and keep going.
+    Quarantine(f64),
+}
+
+impl OracleCheck {
+    fn tolerance(self) -> Option<f64> {
+        match self {
+            Self::Off => None,
+            Self::FailFast(t) | Self::Quarantine(t) => Some(t),
+        }
+    }
+
+    /// Raises `err` according to the mode: fail-fast panics (with the
+    /// fatal prefix), quarantine returns it.
+    fn raise(self, err: TrialError) -> TrialError {
+        if let Self::FailFast(_) = self {
+            panic!("{FATAL_PANIC_PREFIX}{err}");
+        }
+        err
+    }
+}
 
 /// Runs one trial on `cores` cores.
 ///
@@ -95,6 +153,8 @@ pub fn run_trial(
 /// Panics on oracle divergence. A diverging oracle means the analytic
 /// accounting and the simulator disagree — a correctness bug, not an
 /// infeasible seed — so it must not be swallowed by the resampling loop.
+/// Use [`run_trial_checked`] with [`OracleCheck::Quarantine`] to get the
+/// divergence back as a [`TrialError`] instead.
 ///
 /// # Errors
 ///
@@ -129,8 +189,57 @@ pub fn run_trial_with_oracle_in(
     oracle_tol: Option<f64>,
     ws: &mut Workspace,
 ) -> Result<TrialResult, TrialError> {
+    let oracle = match oracle_tol {
+        Some(tol) => OracleCheck::FailFast(tol),
+        None => OracleCheck::Off,
+    };
+    run_trial_checked_in(tasks, platform, cores, oracle, ws)
+}
+
+/// [`run_trial_checked_in`] with a fresh workspace — the allocating entry
+/// point the `sdem repro` subcommand uses to replay a quarantined seed.
+///
+/// # Errors
+///
+/// Returns the trial's [`TrialError`]; see [`run_trial_checked_in`].
+pub fn run_trial_checked(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    oracle: OracleCheck,
+) -> Result<TrialResult, TrialError> {
+    run_trial_checked_in(tasks, platform, cores, oracle, &mut Workspace::new())
+}
+
+/// The single trial implementation behind [`run_trial`],
+/// [`run_trial_with_oracle`] and the quarantined sweep path: schedules,
+/// meters, optionally cross-checks against the oracle, and reports every
+/// failure through the [`TrialError`] taxonomy.
+///
+/// # Panics
+///
+/// Only with [`OracleCheck::FailFast`], on oracle divergence — using the
+/// [`FATAL_PANIC_PREFIX`] so panic-containing sweeps re-raise it.
+///
+/// # Errors
+///
+/// * [`TrialError::Scheme`] / [`TrialError::Baseline`] when a scheduler
+///   finds the instance infeasible (resamplable);
+/// * [`TrialError::Simulation`] when a produced schedule fails the meter's
+///   validation;
+/// * [`TrialError::NonFiniteEnergy`] when any metered total is NaN/∞;
+/// * [`TrialError::OracleDivergence`] (quarantine mode only) when the
+///   analytic accounting, interval meter and event engine disagree.
+pub fn run_trial_checked_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    oracle: OracleCheck,
+    ws: &mut Workspace,
+) -> Result<TrialResult, TrialError> {
     let sdem_schedule = schedule_online_in(tasks, platform, ws)?;
-    let mbkp_schedule = mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)?;
+    let mbkp_schedule = mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
+        .map_err(|e| TrialError::Baseline(e.to_string()))?;
 
     let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
     let never = SimOptions {
@@ -147,18 +256,38 @@ pub fn run_trial_with_oracle_in(
     let mbkps_report = simulate_with_options_in(&mbkp_schedule, tasks, platform, profit, ws)?;
     let mbkps_always = simulate_with_options_in(&mbkp_schedule, tasks, platform, always, ws)?;
 
-    if let Some(tol) = oracle_tol {
+    if let Some(tol) = oracle.tolerance() {
         // Analytic accounting vs the interval meter, through the canonical
         // Solution API.
         let analytic = Solution::from_schedule_in(sdem_schedule.clone(), platform, ws);
-        if let Err(e) = analytic.verify_against_meter(
+        let verdict = analytic.verify_against_meter(
             tasks,
             platform,
             OracleOptions::with_sim(profit).with_tolerance(tol),
-        ) {
-            panic!("sim-oracle failure on the SDEM-ON schedule: {e}");
-        }
+        );
         ws.recycle_schedule(analytic.into_schedule());
+        if let Err(e) = verdict {
+            let err = match e {
+                OracleError::Schedule(se) => TrialError::Simulation(se),
+                OracleError::Mismatch {
+                    predicted,
+                    metered,
+                    relative,
+                    tolerance,
+                } => TrialError::OracleDivergence {
+                    check: "SDEM-ON analytic vs meter".to_string(),
+                    predicted: predicted.value(),
+                    metered: metered.value(),
+                    relative,
+                    tolerance,
+                },
+                // OracleError is non_exhaustive; nothing else exists today.
+                other => TrialError::SolverPanic {
+                    payload: format!("unknown oracle error: {other}"),
+                },
+            };
+            return Err(oracle.raise(err));
+        }
         // Interval meter vs the event-driven engine on both schedules.
         for (name, schedule, opts, metered) in [
             ("SDEM-ON/profitable", &sdem_schedule, profit, &sdem_on),
@@ -173,11 +302,16 @@ pub fn run_trial_with_oracle_in(
             } else {
                 (a - b).abs() / scale
             };
-            assert!(
-                relative <= tol,
-                "sim-oracle failure ({name}): event engine {a} J vs meter {b} J \
-                 (relative divergence {relative:.3e} > tolerance {tol:.3e})"
-            );
+            if relative > tol {
+                let err = TrialError::OracleDivergence {
+                    check: format!("{name} event engine vs meter"),
+                    predicted: a,
+                    metered: b,
+                    relative,
+                    tolerance: tol,
+                };
+                return Err(oracle.raise(err));
+            }
         }
     }
 
@@ -185,18 +319,244 @@ pub fn run_trial_with_oracle_in(
     ws.recycle_schedule(sdem_schedule);
     ws.recycle_schedule(mbkp_schedule);
 
-    Ok(TrialResult {
+    let result = TrialResult {
         sdem_on,
         mbkp: mbkp_report,
         mbkps: mbkps_report,
         mbkps_always,
         sdem_cores_used,
-    })
+    };
+    result.ensure_finite()?;
+    Ok(result)
 }
 
 /// Seed-resampling budget of one replicate: a trial draws at most this
 /// many seeds from its private stream before it is recorded as failed.
 pub const MAX_ATTEMPTS_PER_TRIAL: usize = 16;
+
+/// Which synthetic fault an injected trial suffers. Selection is a pure
+/// function of the trial index, so injection is thread-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjectedFault {
+    /// Panic inside the trial closure before any work happens.
+    Panic,
+    /// Poison the finished result with a NaN energy.
+    NanEnergy,
+}
+
+/// Deterministic fault injection for robustness smokes: the first
+/// `panics` trial indices panic inside the solver, the next `nans` return
+/// a NaN energy. Because selection keys on the trial index alone, the
+/// same trials fault at any thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Trials `0..panics` panic mid-trial.
+    pub panics: usize,
+    /// Trials `panics..panics+nans` produce a NaN system energy.
+    pub nans: usize,
+}
+
+impl FaultInjection {
+    /// Parses a `key=N[,key=N]` spec, e.g. `panics=3,nans=2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed parts or unknown
+    /// keys (the CLI prints it verbatim).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad injection `{part}`; expected key=N"))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad injection count `{}`", value.trim()))?;
+            match key.trim() {
+                "panics" => out.panics = count,
+                "nans" => out.nans = count,
+                other => {
+                    return Err(format!(
+                        "unknown injection kind `{other}` (expected panics or nans)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether no faults are injected at all.
+    pub fn is_empty(&self) -> bool {
+        self.panics == 0 && self.nans == 0
+    }
+
+    fn kind_for(&self, trial_index: usize) -> Option<InjectedFault> {
+        if trial_index < self.panics {
+            Some(InjectedFault::Panic)
+        } else if trial_index < self.panics + self.nans {
+            Some(InjectedFault::NanEnergy)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs one replicate for a quarantined sweep: resamples infeasible seeds
+/// exactly like [`run_trial_resampling_in`], but converts every
+/// non-resamplable failure — a solver panic (caught per attempt, so the
+/// [`TrialFailure`] carries the exact seed that crashed), a NaN energy, an
+/// oracle divergence in keep-going mode, or an exhausted retry budget —
+/// into a structured [`TrialFailure`] for the quarantine journal.
+///
+/// `config` is an opaque reproduction string (typically the equivalent
+/// `sdem repro` flags) stored verbatim in the failure record. `inject`
+/// deterministically fabricates faults for robustness smokes; pass
+/// [`FaultInjection::default`] for none.
+///
+/// # Panics
+///
+/// Re-raises panics carrying the [`FATAL_PANIC_PREFIX`] — in particular
+/// oracle divergence when `keep_going_oracle` is false — so genuine
+/// correctness bugs still abort the sweep.
+///
+/// # Errors
+///
+/// Returns the structured [`TrialFailure`] to be quarantined.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_quarantined_in(
+    make_tasks: impl Fn(u64) -> TaskSet,
+    platform: &Platform,
+    cores: usize,
+    ctx: &TrialCtx,
+    keep_going_oracle: bool,
+    inject: FaultInjection,
+    config: &str,
+    ws: &mut Workspace,
+) -> Result<TrialResult, TrialFailure> {
+    let oracle = match ctx.oracle_tolerance() {
+        None => OracleCheck::Off,
+        Some(t) if keep_going_oracle => OracleCheck::Quarantine(t),
+        Some(t) => OracleCheck::FailFast(t),
+    };
+    let injected = inject.kind_for(ctx.trial_index());
+    let quarantine = |e: &TrialError, seed: u64| {
+        TrialFailure::new(e.kind(), e.to_string())
+            .with_seed(seed)
+            .with_config(config)
+    };
+
+    for (attempt, seed) in ctx.seeds().take(MAX_ATTEMPTS_PER_TRIAL).enumerate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if attempt == 0 && injected == Some(InjectedFault::Panic) {
+                panic!("injected fault: solver panic (trial {})", ctx.trial_index());
+            }
+            let tasks = make_tasks(seed);
+            let result = run_trial_checked_in(&tasks, platform, cores, oracle, ws);
+            ws.recycle_tasks(tasks.into_tasks());
+            result
+        }));
+        match outcome {
+            Err(payload) => {
+                let text = payload_text(payload.as_ref());
+                if text.starts_with(FATAL_PANIC_PREFIX) {
+                    resume_unwind(payload);
+                }
+                // The unwind may have left half-recycled pools behind;
+                // rebuild the workspace before anyone reuses it.
+                *ws = Workspace::new();
+                return Err(TrialFailure::panic(text)
+                    .with_seed(seed)
+                    .with_config(config));
+            }
+            Ok(Ok(mut result)) => {
+                if injected == Some(InjectedFault::NanEnergy) {
+                    result.sdem_on.core_dynamic = Joules::new(f64::NAN);
+                }
+                if let Err(e) = result.ensure_finite() {
+                    return Err(quarantine(&e, seed));
+                }
+                return Ok(result);
+            }
+            Ok(Err(e)) if e.is_resamplable() => continue,
+            Ok(Err(e)) => return Err(quarantine(&e, seed)),
+        }
+    }
+    let e = TrialError::RetryBudgetExhausted {
+        attempts: MAX_ATTEMPTS_PER_TRIAL,
+    };
+    Err(quarantine(&e, ctx.seed(0)))
+}
+
+/// Encodes a [`TrialResult`] as one deterministic, bit-exact text line for
+/// the checkpoint journal: 41 space-separated tokens — for each of the
+/// four reports, six energies and two times as 16-hex-digit `f64::to_bits`
+/// plus two decimal counters, then the peak core count.
+pub fn encode_trial_result(r: &TrialResult) -> String {
+    let mut tokens: Vec<String> = Vec::with_capacity(41);
+    for report in [&r.sdem_on, &r.mbkp, &r.mbkps, &r.mbkps_always] {
+        for joules in [
+            report.core_dynamic,
+            report.core_static,
+            report.core_transition,
+            report.memory_static,
+            report.memory_dynamic,
+            report.memory_transition,
+        ] {
+            tokens.push(format!("{:016x}", joules.value().to_bits()));
+        }
+        for time in [report.memory_awake_time, report.memory_sleep_time] {
+            tokens.push(format!("{:016x}", time.value().to_bits()));
+        }
+        tokens.push(report.memory_sleeps.to_string());
+        tokens.push(report.core_sleeps.to_string());
+    }
+    tokens.push(r.sdem_cores_used.to_string());
+    tokens.join(" ")
+}
+
+fn next_bits(tokens: &mut std::str::SplitAsciiWhitespace<'_>) -> Option<f64> {
+    Some(f64::from_bits(
+        u64::from_str_radix(tokens.next()?, 16).ok()?,
+    ))
+}
+
+fn next_count(tokens: &mut std::str::SplitAsciiWhitespace<'_>) -> Option<usize> {
+    tokens.next()?.parse().ok()
+}
+
+fn next_report(tokens: &mut std::str::SplitAsciiWhitespace<'_>) -> Option<EnergyReport> {
+    Some(EnergyReport {
+        core_dynamic: Joules::new(next_bits(tokens)?),
+        core_static: Joules::new(next_bits(tokens)?),
+        core_transition: Joules::new(next_bits(tokens)?),
+        memory_static: Joules::new(next_bits(tokens)?),
+        memory_dynamic: Joules::new(next_bits(tokens)?),
+        memory_transition: Joules::new(next_bits(tokens)?),
+        memory_awake_time: Time::from_secs(next_bits(tokens)?),
+        memory_sleep_time: Time::from_secs(next_bits(tokens)?),
+        memory_sleeps: next_count(tokens)?,
+        core_sleeps: next_count(tokens)?,
+    })
+}
+
+/// Inverse of [`encode_trial_result`]. Returns `None` on any malformed or
+/// missing token (the resume path then re-runs the trial, which is always
+/// safe because trials are deterministic).
+pub fn decode_trial_result(line: &str) -> Option<TrialResult> {
+    let mut tokens = line.split_ascii_whitespace();
+    let result = TrialResult {
+        sdem_on: next_report(&mut tokens)?,
+        mbkp: next_report(&mut tokens)?,
+        mbkps: next_report(&mut tokens)?,
+        mbkps_always: next_report(&mut tokens)?,
+        sdem_cores_used: next_count(&mut tokens)?,
+    };
+    if tokens.next().is_some() {
+        return None;
+    }
+    Some(result)
+}
 
 /// Runs one replicate of a sweep, resampling task sets from the trial's
 /// private seed stream until a feasible instance is found (bounded by
@@ -359,6 +719,125 @@ mod tests {
         // If no seed trips a zero tolerance the two simulators are
         // bit-identical here; treat that as vacuous success.
         panic!("sim-oracle failure: vacuous (simulators bit-identical)");
+    }
+
+    #[test]
+    fn quarantine_mode_returns_divergence_instead_of_panicking() {
+        // The same zero-tolerance disagreement, routed through the
+        // taxonomy: no panic, a typed OracleDivergence carrying both
+        // energies. At least one of the 20 seeds must trip (otherwise the
+        // fail-fast test above would be reporting vacuous success too).
+        let platform = Platform::paper_defaults();
+        let cfg = SyntheticConfig::paper(24, Time::from_millis(400.0));
+        let mut divergences = 0;
+        for seed in 0..20 {
+            let tasks = sporadic(&cfg, seed);
+            if let Err(TrialError::OracleDivergence {
+                predicted,
+                metered,
+                relative,
+                ..
+            }) = run_trial_checked(&tasks, &platform, 8, OracleCheck::Quarantine(0.0))
+            {
+                assert!(predicted.is_finite() && metered.is_finite());
+                assert!(relative > 0.0);
+                divergences += 1;
+            }
+        }
+        assert!(divergences > 0, "zero-tolerance oracle never tripped");
+    }
+
+    #[test]
+    fn fault_injection_spec_parses_and_selects_by_trial_index() {
+        let inject = FaultInjection::parse("panics=3,nans=2").expect("spec");
+        assert_eq!(inject.panics, 3);
+        assert_eq!(inject.nans, 2);
+        assert!(!inject.is_empty());
+        assert_eq!(inject.kind_for(0), Some(InjectedFault::Panic));
+        assert_eq!(inject.kind_for(2), Some(InjectedFault::Panic));
+        assert_eq!(inject.kind_for(3), Some(InjectedFault::NanEnergy));
+        assert_eq!(inject.kind_for(4), Some(InjectedFault::NanEnergy));
+        assert_eq!(inject.kind_for(5), None);
+
+        assert!(FaultInjection::parse("").expect("empty").is_empty());
+        assert!(FaultInjection::parse("panics=x").is_err());
+        assert!(FaultInjection::parse("oops=1").is_err());
+        assert!(FaultInjection::parse("panics").is_err());
+    }
+
+    #[test]
+    fn quarantined_trial_records_injected_faults_with_seeds() {
+        let platform = Platform::paper_defaults();
+        let cfg = SyntheticConfig::paper(12, Time::from_millis(600.0));
+        let inject = FaultInjection { panics: 1, nans: 1 };
+        let mut ws = Workspace::new();
+
+        // Trial 0: injected panic, quarantined with the exact seed.
+        let ctx = TrialCtx::new(99, 0, 0, 2);
+        let f = run_trial_quarantined_in(
+            |s| sporadic(&cfg, s),
+            &platform,
+            8,
+            &ctx,
+            false,
+            inject,
+            "--demo",
+            &mut ws,
+        )
+        .expect_err("injected panic must quarantine");
+        assert_eq!(f.kind, "solver-panic");
+        assert!(f.detail.contains("injected fault"), "{}", f.detail);
+        assert_eq!(f.seed, Some(ctx.seed(0)));
+        assert_eq!(f.config, "--demo");
+
+        // Trial 1: NaN poisoning, quarantined as non-finite energy.
+        let ctx = TrialCtx::new(99, 0, 1, 2);
+        let f = run_trial_quarantined_in(
+            |s| sporadic(&cfg, s),
+            &platform,
+            8,
+            &ctx,
+            false,
+            inject,
+            "--demo",
+            &mut ws,
+        )
+        .expect_err("injected NaN must quarantine");
+        assert_eq!(f.kind, "non-finite-energy");
+        assert!(f.seed.is_some());
+
+        // Trial 2: clean — identical to the un-instrumented path.
+        let ctx = TrialCtx::new(99, 1, 0, 2);
+        let clean = run_trial_quarantined_in(
+            |s| sporadic(&cfg, s),
+            &platform,
+            8,
+            &ctx,
+            false,
+            inject,
+            "--demo",
+            &mut ws,
+        )
+        .expect("clean trial");
+        let reference = run_trial_resampling_in(|s| sporadic(&cfg, s), &platform, 8, &ctx, &mut ws)
+            .expect("reference");
+        assert_eq!(encode_trial_result(&clean), encode_trial_result(&reference));
+    }
+
+    #[test]
+    fn trial_result_codec_round_trips_bit_exactly() {
+        let platform = Platform::paper_defaults();
+        let cfg = SyntheticConfig::paper(12, Time::from_millis(600.0));
+        let tasks = sporadic(&cfg, 5);
+        let r = run_trial(&tasks, &platform, 8).expect("trial");
+        let encoded = encode_trial_result(&r);
+        assert_eq!(encoded.split_ascii_whitespace().count(), 41);
+        let decoded = decode_trial_result(&encoded).expect("decode");
+        assert_eq!(encode_trial_result(&decoded), encoded);
+
+        assert!(decode_trial_result("").is_none());
+        assert!(decode_trial_result(&encoded[..encoded.len() - 4]).is_none());
+        assert!(decode_trial_result(&format!("{encoded} 7")).is_none());
     }
 
     #[test]

@@ -3,14 +3,20 @@
 //! Per-trial deterministic seeding makes every sweep's output identical
 //! for any thread count.
 
-use sdem_exec::{SweepRunner, SweepStats};
+use sdem_exec::{
+    CheckpointJournal, QuarantineRecord, QuarantinedOutcome, SweepError, SweepRunner, SweepStats,
+    TrialCtx, TrialFailure,
+};
 use sdem_power::{MemoryPower, Platform};
 use sdem_types::{Time, Watts, Workspace};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::paper;
 use sdem_workload::synthetic::{sporadic, SyntheticConfig};
 
-use crate::experiment::{mean, run_trial_resampling_in, TrialResult};
+use crate::experiment::{
+    decode_trial_result, encode_trial_result, mean, run_trial_quarantined_in,
+    run_trial_resampling_in, FaultInjection, TrialResult,
+};
 
 /// Grid seed of the Fig. 6 sweep.
 pub const FIG6_GRID_SEED: u64 = 0xF16_6000;
@@ -211,6 +217,275 @@ fn sweep(
     (cells, outcome.stats)
 }
 
+/// Options shared by the fault-isolated (`*_robust`) figure sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobustOptions {
+    /// Quarantine oracle divergences instead of failing fast. Only
+    /// meaningful when the runner has an oracle tolerance configured.
+    pub keep_going_oracle: bool,
+    /// Deterministic fault injection for robustness smokes.
+    pub inject: FaultInjection,
+}
+
+/// Result of a fault-isolated figure sweep: the aggregate rows (absent
+/// when a trial budget stopped the sweep early), the quarantine journal,
+/// and the sweep statistics.
+#[derive(Debug)]
+pub struct RobustFigure<Row> {
+    /// Aggregated figure rows; `None` when the sweep is partial (resume
+    /// from the checkpoint to finish). A row whose every replicate was
+    /// quarantined carries NaN means rather than aborting the figure.
+    pub rows: Option<Vec<Row>>,
+    /// One record per quarantined trial, sorted by trial index —
+    /// identical for any thread count.
+    pub quarantine: Vec<QuarantineRecord>,
+    /// Wall-clock/throughput statistics (including the quarantine count).
+    pub stats: SweepStats,
+    /// Trials accounted for (executed plus checkpoint-preloaded).
+    pub completed: usize,
+}
+
+impl<Row> RobustFigure<Row> {
+    /// Whether the sweep stopped before covering the whole grid.
+    pub fn is_partial(&self) -> bool {
+        self.rows.is_none()
+    }
+}
+
+/// Mean of a metric over the surviving replicates of one grid point; NaN
+/// when every replicate was quarantined (the figure then shows a hole
+/// instead of aborting).
+fn mean_or_nan(results: &[TrialResult], metric: impl Fn(&TrialResult) -> f64) -> f64 {
+    if results.is_empty() {
+        f64::NAN
+    } else {
+        mean(results, metric)
+    }
+}
+
+/// Dispatches a quarantined sweep to the checkpointed engine when a
+/// journal is supplied, using the bit-exact [`encode_trial_result`] /
+/// [`decode_trial_result`] codec so a resumed run reproduces an
+/// uninterrupted one byte for byte.
+fn robust_outcome<P: Sync>(
+    runner: &SweepRunner,
+    points: &[P],
+    trials: usize,
+    grid_seed: u64,
+    journal: Option<&mut CheckpointJournal>,
+    trial: impl Fn(&P, &TrialCtx, &mut Workspace) -> Result<TrialResult, TrialFailure> + Sync,
+) -> Result<QuarantinedOutcome<TrialResult>, SweepError> {
+    match journal {
+        Some(journal) => runner.try_run_checkpointed_with_state(
+            points,
+            trials,
+            grid_seed,
+            Workspace::new,
+            trial,
+            encode_trial_result,
+            decode_trial_result,
+            journal,
+        ),
+        None => runner.run_quarantined_with_state(points, trials, grid_seed, Workspace::new, trial),
+    }
+}
+
+/// Fault-isolated [`fig6_with`]: panicking, NaN-producing or diverging
+/// trials are quarantined (with their exact seed and a `sdem repro`
+/// config string) instead of aborting the sweep, and the sweep optionally
+/// journals every finished trial to `journal` for checkpoint/resume.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] on worker death (a fatal panic) or a
+/// checkpoint I/O / mismatch problem.
+pub fn fig6_robust(
+    instances_per_stream: usize,
+    trials: usize,
+    runner: &SweepRunner,
+    options: RobustOptions,
+    journal: Option<&mut CheckpointJournal>,
+) -> Result<RobustFigure<Fig6Row>, SweepError> {
+    let platform = Platform::paper_defaults();
+    let benches = [
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+        Benchmark::fft_1024(),
+        Benchmark::matrix_24(),
+    ];
+    let outcome = robust_outcome(
+        runner,
+        &paper::U_POINTS,
+        trials,
+        FIG6_GRID_SEED,
+        journal,
+        |&u, ctx, ws| {
+            let config = format!("--kind fig6 --instances {instances_per_stream} --u {u}");
+            run_trial_quarantined_in(
+                |seed| stream(&benches, u, instances_per_stream, seed),
+                &platform,
+                paper::NUM_CORES,
+                ctx,
+                options.keep_going_oracle,
+                options.inject,
+                &config,
+                ws,
+            )
+        },
+    )?;
+    let rows = (!outcome.is_partial()).then(|| {
+        paper::U_POINTS
+            .iter()
+            .zip(&outcome.per_point)
+            .map(|(&u, results)| Fig6Row {
+                u,
+                sdem_memory_saving: mean_or_nan(results, |r| r.sdem_memory_saving_vs_mbkp()),
+                mbkps_memory_saving: mean_or_nan(results, |r| r.mbkps_memory_saving_vs_mbkp()),
+                sdem_system_saving: mean_or_nan(results, |r| r.sdem_system_saving_vs_mbkp()),
+                mbkps_system_saving: mean_or_nan(results, |r| r.mbkps_system_saving_vs_mbkp()),
+            })
+            .collect()
+    });
+    Ok(RobustFigure {
+        rows,
+        quarantine: outcome.quarantine,
+        stats: outcome.stats,
+        completed: outcome.completed,
+    })
+}
+
+/// Fault-isolated [`fig7a_with`]; see [`fig6_robust`] for the semantics.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] on worker death or checkpoint problems.
+pub fn fig7a_robust(
+    tasks_per_trial: usize,
+    trials: usize,
+    runner: &SweepRunner,
+    options: RobustOptions,
+    journal: Option<&mut CheckpointJournal>,
+) -> Result<RobustFigure<Fig7Cell>, SweepError> {
+    robust_fig7(
+        tasks_per_trial,
+        trials,
+        &paper::ALPHA_M_POINTS_W,
+        FIG7A_GRID_SEED,
+        runner,
+        options,
+        journal,
+        |alpha_m| {
+            Platform::paper_defaults().with_memory(
+                MemoryPower::new(Watts::new(alpha_m))
+                    .with_break_even(Time::from_millis(paper::DEFAULT_XI_M_MS)),
+            )
+        },
+        |alpha_m, x_ms| {
+            format!(
+                "--kind synthetic --tasks {tasks_per_trial} --x-ms {x_ms} \
+                 --alpha-m {alpha_m} --xi-m {}",
+                paper::DEFAULT_XI_M_MS
+            )
+        },
+    )
+}
+
+/// Fault-isolated [`fig7b_with`]; see [`fig6_robust`] for the semantics.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] on worker death or checkpoint problems.
+pub fn fig7b_robust(
+    tasks_per_trial: usize,
+    trials: usize,
+    runner: &SweepRunner,
+    options: RobustOptions,
+    journal: Option<&mut CheckpointJournal>,
+) -> Result<RobustFigure<Fig7Cell>, SweepError> {
+    robust_fig7(
+        tasks_per_trial,
+        trials,
+        &paper::XI_M_POINTS_MS,
+        FIG7B_GRID_SEED,
+        runner,
+        options,
+        journal,
+        |xi_m| {
+            Platform::paper_defaults().with_memory(
+                MemoryPower::new(Watts::new(paper::DEFAULT_ALPHA_M_W))
+                    .with_break_even(Time::from_millis(xi_m)),
+            )
+        },
+        |xi_m, x_ms| {
+            format!(
+                "--kind synthetic --tasks {tasks_per_trial} --x-ms {x_ms} \
+                 --alpha-m {} --xi-m {xi_m}",
+                paper::DEFAULT_ALPHA_M_W
+            )
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn robust_fig7(
+    tasks_per_trial: usize,
+    trials: usize,
+    params: &[f64],
+    grid_seed: u64,
+    runner: &SweepRunner,
+    options: RobustOptions,
+    journal: Option<&mut CheckpointJournal>,
+    platform_of: impl Fn(f64) -> Platform + Sync,
+    config_of: impl Fn(f64, f64) -> String + Sync,
+) -> Result<RobustFigure<Fig7Cell>, SweepError> {
+    let grid: Vec<(f64, f64)> = params
+        .iter()
+        .flat_map(|&param| paper::X_POINTS_MS.iter().map(move |&x| (param, x)))
+        .collect();
+    let outcome = robust_outcome(
+        runner,
+        &grid,
+        trials,
+        grid_seed,
+        journal,
+        |&(param, x_ms), ctx, ws| {
+            let platform = platform_of(param);
+            let cfg = SyntheticConfig::paper(tasks_per_trial, Time::from_millis(x_ms));
+            let config = config_of(param, x_ms);
+            run_trial_quarantined_in(
+                |seed| sporadic(&cfg, seed),
+                &platform,
+                paper::NUM_CORES,
+                ctx,
+                options.keep_going_oracle,
+                options.inject,
+                &config,
+                ws,
+            )
+        },
+    )?;
+    let cells = (!outcome.is_partial()).then(|| {
+        grid.iter()
+            .zip(&outcome.per_point)
+            .map(|(&(param, x_ms), results)| Fig7Cell {
+                x_ms,
+                param,
+                improvement: mean_or_nan(results, |r| r.sdem_improvement_over_mbkps()),
+            })
+            .collect()
+    });
+    Ok(RobustFigure {
+        rows: cells,
+        quarantine: outcome.quarantine,
+        stats: outcome.stats,
+        completed: outcome.completed,
+    })
+}
+
 /// Renders Fig. 6 rows as CSV.
 pub fn fig6_to_csv(rows: &[Fig6Row]) -> String {
     let mut out = String::from(
@@ -292,6 +567,65 @@ mod tests {
                 r.mbkps_memory_saving
             );
             assert!(r.sdem_system_saving.is_finite());
+        }
+    }
+
+    #[test]
+    fn fig6_robust_clean_run_matches_legacy_sweep() {
+        let runner = SweepRunner::new().with_threads(2);
+        let (legacy, _) = fig6_with(6, 2, &runner);
+        let robust = fig6_robust(6, 2, &runner, RobustOptions::default(), None).expect("sweep");
+        assert!(robust.quarantine.is_empty());
+        assert!(!robust.is_partial());
+        let rows = robust.rows.expect("complete");
+        assert_eq!(rows.len(), legacy.len());
+        for (a, b) in rows.iter().zip(&legacy) {
+            assert_eq!(a.u.to_bits(), b.u.to_bits());
+            assert_eq!(
+                a.sdem_system_saving.to_bits(),
+                b.sdem_system_saving.to_bits()
+            );
+            assert_eq!(
+                a.sdem_memory_saving.to_bits(),
+                b.sdem_memory_saving.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_robust_quarantines_injected_faults_thread_invariantly() {
+        let options = RobustOptions {
+            keep_going_oracle: false,
+            inject: FaultInjection { panics: 2, nans: 1 },
+        };
+        let run = |threads: usize| {
+            let runner = SweepRunner::new().with_threads(threads);
+            fig6_robust(6, 2, &runner, options, None).expect("sweep")
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.quarantine.len(), 3);
+        assert_eq!(serial.stats.quarantined, 3);
+        let lines = |f: &RobustFigure<Fig6Row>| {
+            f.quarantine
+                .iter()
+                .map(|r| r.to_json_line())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&serial), lines(&parallel));
+        // Every record carries a replayable seed and a repro config.
+        for r in &serial.quarantine {
+            assert_ne!(r.seed, 0);
+            assert!(r.config.contains("--kind"), "{}", r.config);
+        }
+        // Point 0 lost both replicates (trials 0 and 1 panicked) — its row
+        // becomes a NaN hole rather than aborting the figure. Point 1 lost
+        // one replicate (trial 2 NaN-poisoned) but keeps its survivor, and
+        // every later point is untouched.
+        let rows = serial.rows.expect("complete");
+        assert!(rows[0].sdem_system_saving.is_nan());
+        for row in &rows[1..] {
+            assert!(row.sdem_system_saving.is_finite());
         }
     }
 

@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Option keys that are boolean switches (no value follows).
-const SWITCHES: &[&str] = &["gantt", "quiet", "oracle"];
+const SWITCHES: &[&str] = &["gantt", "quiet", "oracle", "oracle-keep-going", "fallback"];
 
 impl Args {
     /// Parses `argv` (after the subcommand).
@@ -79,7 +79,9 @@ impl Args {
         }
     }
 
-    /// A seed option with a default.
+    /// A seed option with a default. Accepts decimal or `0x…` hex — the
+    /// form quarantine records print seeds in, so a record's seed can be
+    /// pasted into `repro --seed` verbatim.
     ///
     /// # Errors
     ///
@@ -87,9 +89,13 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("option `--{key}` expects an integer, got `{v}`")),
+            Some(v) => {
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                parsed.map_err(|_| format!("option `--{key}` expects an integer, got `{v}`"))
+            }
         }
     }
 
@@ -132,6 +138,19 @@ mod tests {
         assert!(a.get_f64("x-ms", 0.0).is_err());
         let a = Args::parse(&sv(&["--seed", "s"])).unwrap();
         assert!(a.get_u64("seed", 0).is_err());
+        let a = Args::parse(&sv(&["--seed", "0xzz"])).unwrap();
+        assert!(a.get_u64("seed", 0).is_err());
+    }
+
+    #[test]
+    fn seeds_accept_hex_as_printed_by_quarantine_records() {
+        let a = Args::parse(&sv(&["--seed", "0x000000000f166000"])).unwrap();
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 0xF16_6000);
+        let a = Args::parse(&sv(&["--seed", "255"])).unwrap();
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 255);
+        let a = Args::parse(&sv(&["--oracle-keep-going", "--fallback"])).unwrap();
+        assert!(a.has_flag("oracle-keep-going"));
+        assert!(a.has_flag("fallback"));
     }
 
     #[test]

@@ -4,10 +4,12 @@ use std::fs;
 
 use sdem_baselines::mbkp::{self, Assignment};
 use sdem_baselines::{avr, css, oa, yds};
-use sdem_bench::experiment::{mean, run_trial_resampling};
-use sdem_bench::figures;
-use sdem_core::{agreeable, common_release, online, overhead, solve, Scheme};
-use sdem_exec::SweepRunner;
+use sdem_bench::experiment::{
+    mean, run_trial_checked, run_trial_resampling, FaultInjection, OracleCheck,
+};
+use sdem_bench::figures::{self, RobustOptions};
+use sdem_core::{agreeable, common_release, online, overhead, solve, solve_or_fallback, Scheme};
+use sdem_exec::{CheckpointJournal, SweepRunner};
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_sim::{
     power_trace, render_gantt, schedule_stats, simulate_with_options, trace_to_csv, SimOptions,
@@ -28,14 +30,20 @@ USAGE:
                     [--tasks N] [--x-ms X] [--u U] [--instances N]
                     [--seed S] [--out FILE]
   sdem-cli schedule --input FILE [--scheme NAME] [--alpha-m W] [--xi-m MS]
-                    [--cores N] [--gantt] [--quiet]
+                    [--cores N] [--gantt] [--quiet] [--fallback]
   sdem-cli compare  --input FILE [--alpha-m W] [--xi-m MS] [--cores N]
   sdem-cli trace    --input FILE [--scheme NAME] [--samples N] [--out FILE]
                     power-over-time CSV (time_s,cores_w,memory_w,total_w)
   sdem-cli sweep    [--figure fig6|fig7a|fig7b] [--trials N] [--tasks N]
                     [--instances N] [--threads N] [--csv FILE]
-                    [--oracle] [--oracle-tol REL]
+                    [--oracle] [--oracle-tol REL] [--oracle-keep-going]
+                    [--quarantine FILE] [--inject panics=N,nans=N]
+                    [--checkpoint FILE | --resume FILE] [--halt-after N]
                     parallel figure sweep; prints trials/sec statistics
+  sdem-cli repro    --seed S [--kind synthetic|dspstone|fig6] [--tasks N]
+                    [--x-ms X] [--u U] [--instances N] [--cores N]
+                    [--alpha-m W] [--xi-m MS] [--oracle] [--oracle-tol REL]
+                    replay one quarantined trial from its exact seed
   sdem-cli experiment [--kind synthetic|dspstone] [--tasks N] [--x-ms X]
                     [--u U] [--instances N] [--cores N] [--trials N]
                     [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
@@ -50,6 +58,23 @@ schedule's analytic energy must match the interval meter, and the meter
 must match the event-driven engine, within --oracle-tol (default 1e-6
 relative); divergence aborts the sweep. Example:
   sdem-cli sweep --figure fig7a --trials 2 --tasks 12 --oracle
+
+Robust sweeps: any of --quarantine/--inject/--checkpoint/--resume/
+--halt-after/--oracle-keep-going switches the sweep into fault-isolated
+mode — a panicking, NaN-producing or (with --oracle-keep-going)
+oracle-diverging trial is quarantined instead of aborting the sweep.
+--quarantine FILE writes one JSON record per quarantined trial (sorted by
+trial index, byte-identical for any --threads value), each carrying the
+exact seed and a `repro` config string. --checkpoint FILE journals every
+finished trial; --resume FILE continues a halted sweep bit-identically to
+an uninterrupted run. --halt-after N stops after N trials (for testing
+resume). --inject panics=N,nans=N fabricates deterministic faults for
+smoke tests. Replay a record:
+  sdem-cli repro --seed 0x1f2e3d4c... --kind synthetic --tasks 40
+
+schedule --fallback routes through the degraded-mode chain: when the
+chosen scheme rejects the instance, the always-feasible race-to-idle
+baseline (all tasks at s_max) is used instead and reported as degraded.
 
 SCHEMES:
   auto                 route from the task-set shape (common release →
@@ -87,6 +112,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "trace" => trace(&args),
         "sweep" => sweep(&args),
         "experiment" => experiment(&args),
+        "repro" => repro(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -98,10 +124,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 fn platform_from(args: &Args) -> Result<Platform, String> {
     let alpha_m = args.get_f64("alpha-m", 4.0)?;
     let xi_m = args.get_f64("xi-m", 40.0)?;
-    Ok(Platform::new(
+    if !(alpha_m.is_finite() && alpha_m >= 0.0) {
+        return Err(format!(
+            "option `--alpha-m` expects a finite non-negative power, got `{alpha_m}`"
+        ));
+    }
+    if !(xi_m.is_finite() && xi_m >= 0.0) {
+        return Err(format!(
+            "option `--xi-m` expects a finite non-negative time, got `{xi_m}`"
+        ));
+    }
+    let platform = Platform::new(
         CorePower::cortex_a57(),
         MemoryPower::new(sdem_types::Watts::new(alpha_m)).with_break_even(Time::from_millis(xi_m)),
-    ))
+    );
+    // The constructors assert most invariants; validate() is the net for
+    // the few NaN/∞ combinations they let through.
+    platform.validate().map_err(|e| e.to_string())?;
+    Ok(platform)
 }
 
 fn load_tasks(args: &Args) -> Result<TaskSet, String> {
@@ -183,6 +223,25 @@ fn build_schedule(
     }
 }
 
+/// Maps a scheme name onto the [`Scheme`] enum for the degraded-mode
+/// fallback chain. Only the SDEM schemes route through the `Scheduler`
+/// API; the single-core substrate baselines have no fallback.
+fn scheme_from_name(scheme: &str, cores: usize) -> Result<Scheme, String> {
+    match scheme {
+        "auto" => Ok(Scheme::Auto),
+        "sdem-on" => Ok(Scheme::OnlineBounded(cores)),
+        "cr-alpha-zero" => Ok(Scheme::CommonReleaseAlphaZero),
+        "cr-alpha-nonzero" => Ok(Scheme::CommonReleaseAlphaNonzero),
+        "cr-overhead" => Ok(Scheme::CommonReleaseOverhead),
+        "agreeable" => Ok(Scheme::Agreeable),
+        "agreeable-strict" => Ok(Scheme::AgreeableStrict),
+        other => Err(format!(
+            "--fallback supports the SDEM schemes only (auto, sdem-on, cr-*, \
+             agreeable*), not `{other}`"
+        )),
+    }
+}
+
 fn sim_options(scheme: &str) -> SimOptions {
     let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
     match scheme {
@@ -199,8 +258,21 @@ fn schedule(args: &Args) -> Result<(), String> {
     let platform = platform_from(args)?;
     let scheme = args.get_or("scheme", "sdem-on");
     let cores = args.get_usize("cores", 8)?;
-    let sched = build_schedule(scheme, &tasks, &platform, cores)?;
+    let (sched, degraded) = if args.has_flag("fallback") {
+        let solution = solve_or_fallback(&tasks, &platform, scheme_from_name(scheme, cores)?)
+            .map_err(|e| e.to_string())?;
+        let degraded = solution.is_degraded();
+        (solution.into_schedule(), degraded)
+    } else {
+        (build_schedule(scheme, &tasks, &platform, cores)?, false)
+    };
     sched.validate(&tasks).map_err(|e| e.to_string())?;
+    if degraded {
+        eprintln!(
+            "degraded: scheme `{scheme}` rejected the instance; race-to-idle \
+             fallback (all tasks at s_max) applied"
+        );
+    }
     let report = simulate_with_options(&sched, &tasks, &platform, sim_options(scheme))
         .map_err(|e| e.to_string())?;
 
@@ -297,7 +369,31 @@ fn runner_from(args: &Args) -> Result<SweepRunner, String> {
     Ok(runner)
 }
 
+fn fig6_table(rows: &[figures::Fig6Row]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "U={:<3} memory: SDEM {:6.2}% MBKPS {:6.2}%   system: SDEM {:6.2}% MBKPS {:6.2}%\n",
+                r.u,
+                r.sdem_memory_saving * 100.0,
+                r.mbkps_memory_saving * 100.0,
+                r.sdem_system_saving * 100.0,
+                r.mbkps_system_saving * 100.0,
+            )
+        })
+        .collect()
+}
+
 fn sweep(args: &Args) -> Result<(), String> {
+    let robust = args.get("quarantine").is_some()
+        || args.get("inject").is_some()
+        || args.get("checkpoint").is_some()
+        || args.get("resume").is_some()
+        || args.get("halt-after").is_some()
+        || args.has_flag("oracle-keep-going");
+    if robust {
+        return sweep_robust(args);
+    }
     let figure = args.get_or("figure", "fig7a");
     let trials = args.get_usize("trials", 5)?;
     let runner = runner_from(args)?;
@@ -305,20 +401,7 @@ fn sweep(args: &Args) -> Result<(), String> {
         "fig6" => {
             let instances = args.get_usize("instances", 15)?;
             let (rows, stats) = figures::fig6_with(instances, trials, &runner);
-            let table = rows
-                .iter()
-                .map(|r| {
-                    format!(
-                        "U={:<3} memory: SDEM {:6.2}% MBKPS {:6.2}%   system: SDEM {:6.2}% MBKPS {:6.2}%\n",
-                        r.u,
-                        r.sdem_memory_saving * 100.0,
-                        r.mbkps_memory_saving * 100.0,
-                        r.sdem_system_saving * 100.0,
-                        r.mbkps_system_saving * 100.0,
-                    )
-                })
-                .collect::<String>();
-            (table, figures::fig6_to_csv(&rows), stats)
+            (fig6_table(&rows), figures::fig6_to_csv(&rows), stats)
         }
         "fig7a" => {
             let tasks = args.get_usize("tasks", 40)?;
@@ -349,6 +432,198 @@ fn sweep(args: &Args) -> Result<(), String> {
         eprintln!("wrote CSV to {path}");
     }
     Ok(())
+}
+
+/// The fault-isolated sweep mode: quarantines failed trials, optionally
+/// journals every finished trial for checkpoint/resume, and keeps stdout
+/// byte-identical for any thread count (including the quarantine file,
+/// which is sorted by trial index).
+fn sweep_robust(args: &Args) -> Result<(), String> {
+    let figure = args.get_or("figure", "fig7a");
+    let trials = args.get_usize("trials", 5)?;
+    let mut runner = runner_from(args)?;
+    let halt_after = args.get_usize("halt-after", 0)?;
+    if halt_after > 0 {
+        runner = runner.with_trial_budget(halt_after);
+    }
+    let options = RobustOptions {
+        keep_going_oracle: args.has_flag("oracle-keep-going"),
+        inject: match args.get("inject") {
+            Some(spec) => FaultInjection::parse(spec)?,
+            None => FaultInjection::default(),
+        },
+    };
+    let mut journal = match (args.get("checkpoint"), args.get("resume")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--checkpoint and --resume are mutually exclusive (--resume reopens \
+                 an existing checkpoint and keeps appending to it)"
+                    .into(),
+            )
+        }
+        (Some(path), None) => Some(CheckpointJournal::new(path)),
+        (None, Some(path)) => Some(CheckpointJournal::resume(path).map_err(|e| e.to_string())?),
+        (None, None) => None,
+    };
+    if let Some(j) = &journal {
+        if j.preloaded() > 0 {
+            eprintln!(
+                "resume: {} trial(s) preloaded from checkpoint",
+                j.preloaded()
+            );
+        }
+    }
+
+    let err = |e: sdem_exec::SweepError| e.to_string();
+    let (rendered, quarantine, stats, completed) = match figure {
+        "fig6" => {
+            let instances = args.get_usize("instances", 15)?;
+            let f = figures::fig6_robust(instances, trials, &runner, options, journal.as_mut())
+                .map_err(err)?;
+            let rendered = f
+                .rows
+                .as_deref()
+                .map(|rows| (fig6_table(rows), figures::fig6_to_csv(rows)));
+            (rendered, f.quarantine, f.stats, f.completed)
+        }
+        "fig7a" => {
+            let tasks = args.get_usize("tasks", 40)?;
+            let f = figures::fig7a_robust(tasks, trials, &runner, options, journal.as_mut())
+                .map_err(err)?;
+            let rendered = f.rows.as_deref().map(|cells| {
+                (
+                    figures::format_fig7(cells, "alpha_m[W]"),
+                    figures::fig7_to_csv(cells, "alpha_m_w"),
+                )
+            });
+            (rendered, f.quarantine, f.stats, f.completed)
+        }
+        "fig7b" => {
+            let tasks = args.get_usize("tasks", 40)?;
+            let f = figures::fig7b_robust(tasks, trials, &runner, options, journal.as_mut())
+                .map_err(err)?;
+            let rendered = f.rows.as_deref().map(|cells| {
+                (
+                    figures::format_fig7(cells, "xi_m[ms]"),
+                    figures::fig7_to_csv(cells, "xi_m_ms"),
+                )
+            });
+            (rendered, f.quarantine, f.stats, f.completed)
+        }
+        other => return Err(format!("unknown figure `{other}`")),
+    };
+
+    match rendered {
+        Some((table, csv)) => {
+            print!("{table}");
+            if let Some(path) = args.get("csv") {
+                fs::write(path, &csv).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                eprintln!("wrote CSV to {path}");
+            }
+        }
+        None => eprintln!(
+            "sweep halted after {completed}/{} trials; finish it with --resume <checkpoint>",
+            stats.trials
+        ),
+    }
+    eprintln!("sweep: {stats}");
+    if let Some(path) = args.get("quarantine") {
+        let mut text = String::new();
+        for record in &quarantine {
+            text.push_str(&record.to_json_line());
+            text.push('\n');
+        }
+        fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("quarantine: wrote {} record(s) to {path}", quarantine.len());
+    }
+    if !quarantine.is_empty() {
+        eprintln!(
+            "quarantine: {} trial(s) failed; replay one with `sdem-cli repro --seed <seed> \
+             <config flags from its record>`",
+            quarantine.len()
+        );
+    }
+    Ok(())
+}
+
+/// Replays one trial from the exact seed a quarantine record carries —
+/// no resampling, no injection — and reports either the per-scheme
+/// energies (the fault did not reproduce, e.g. it was injected) or the
+/// structured trial error as a failure.
+fn repro(args: &Args) -> Result<(), String> {
+    if args.get("seed").is_none() {
+        return Err(
+            "`--seed S` is required (quarantine records carry the exact trial seed as 0x…)".into(),
+        );
+    }
+    let seed = args.get_u64("seed", 0)?;
+    let kind = args.get_or("kind", "synthetic");
+    let cores = args.get_usize("cores", 8)?;
+    let platform = platform_from(args)?;
+    let tasks = match kind {
+        "synthetic" => synthetic::sporadic(
+            &SyntheticConfig::paper(
+                args.get_usize("tasks", 40)?,
+                Time::from_millis(args.get_f64("x-ms", 400.0)?),
+            ),
+            seed,
+        ),
+        "dspstone" => stream(
+            &[Benchmark::fft_1024(), Benchmark::matrix_24()],
+            args.get_f64("u", 4.0)?,
+            args.get_usize("instances", 20)?,
+            seed,
+        ),
+        // The Fig. 6 sweep's eight-stream workload (quarantine configs
+        // from `sweep --figure fig6` name this kind).
+        "fig6" => stream(
+            &[
+                Benchmark::fft_1024(),
+                Benchmark::matrix_24(),
+                Benchmark::fft_1024(),
+                Benchmark::matrix_24(),
+                Benchmark::fft_1024(),
+                Benchmark::matrix_24(),
+                Benchmark::fft_1024(),
+                Benchmark::matrix_24(),
+            ],
+            args.get_f64("u", 4.0)?,
+            args.get_usize("instances", 15)?,
+            seed,
+        ),
+        other => return Err(format!("unknown workload kind `{other}`")),
+    };
+    let oracle = if args.has_flag("oracle") || args.get("oracle-tol").is_some() {
+        let tol = args.get_f64("oracle-tol", sdem_exec::DEFAULT_ORACLE_TOLERANCE)?;
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(format!(
+                "option `--oracle-tol` expects a non-negative number, got `{tol}`"
+            ));
+        }
+        // Replay reports divergence as a structured error, never a panic.
+        OracleCheck::Quarantine(tol)
+    } else {
+        OracleCheck::Off
+    };
+
+    println!(
+        "repro: seed {seed:#018x} kind={kind} tasks={} cores={cores}",
+        tasks.len()
+    );
+    match run_trial_checked(&tasks, &platform, cores, oracle) {
+        Ok(r) => {
+            println!(
+                "  SDEM-ON {:.6} J   MBKP {:.6} J   MBKPS {:.6} J   (cores used: {})",
+                r.sdem_on.total().value(),
+                r.mbkp.total().value(),
+                r.mbkps.total().value(),
+                r.sdem_cores_used,
+            );
+            println!("  trial ok — the quarantined fault did not reproduce");
+            Ok(())
+        }
+        Err(e) => Err(format!("reproduced {}: {e}", e.kind())),
+    }
 }
 
 fn experiment(args: &Args) -> Result<(), String> {
@@ -582,6 +857,178 @@ mod tests {
             "-1.0",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn schedule_fallback_degrades_on_scheme_mismatch() {
+        let dir = std::env::temp_dir().join("sdem-cli-fallback");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("staggered.txt");
+        let path = file.to_str().unwrap().to_string();
+        // Sporadic releases are NOT common-release, so cr-alpha-nonzero
+        // rejects the instance outright…
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "synthetic",
+            "--tasks",
+            "8",
+            "--seed",
+            "2",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "schedule",
+            "--input",
+            &path,
+            "--scheme",
+            "cr-alpha-nonzero",
+            "--quiet",
+        ]))
+        .is_err());
+        // …but the fallback chain degrades to race-to-idle and completes.
+        run(&sv(&[
+            "schedule",
+            "--input",
+            &path,
+            "--scheme",
+            "cr-alpha-nonzero",
+            "--fallback",
+            "--quiet",
+        ]))
+        .unwrap();
+        // Baselines have no fallback route.
+        assert!(run(&sv(&[
+            "schedule",
+            "--input",
+            &path,
+            "--scheme",
+            "mbkp",
+            "--fallback",
+            "--quiet",
+        ]))
+        .is_err());
+        fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn robust_sweep_quarantines_and_repro_replays() {
+        let dir = std::env::temp_dir().join("sdem-cli-robust");
+        fs::create_dir_all(&dir).unwrap();
+        let q = dir.join("quarantine.jsonl");
+        let qp = q.to_str().unwrap().to_string();
+        run(&sv(&[
+            "sweep",
+            "--figure",
+            "fig6",
+            "--instances",
+            "4",
+            "--trials",
+            "2",
+            "--threads",
+            "2",
+            "--inject",
+            "panics=2,nans=1",
+            "--quarantine",
+            &qp,
+        ]))
+        .unwrap();
+        let text = fs::read_to_string(&q).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        assert!(text.contains("solver-panic"));
+        assert!(text.contains("non-finite-energy"));
+        assert!(text.contains("--kind fig6"));
+
+        // Replay the first record's exact seed: the fault was injected, so
+        // the replayed trial is clean and repro exits successfully.
+        let seed = text
+            .lines()
+            .next()
+            .unwrap()
+            .split("\"seed\":\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .to_string();
+        run(&sv(&[
+            "repro",
+            "--seed",
+            &seed,
+            "--kind",
+            "fig6",
+            "--instances",
+            "4",
+            "--u",
+            "2",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&["repro"])).is_err());
+        assert!(run(&sv(&["sweep", "--inject", "gremlins=1"])).is_err());
+        fs::remove_file(&q).ok();
+    }
+
+    #[test]
+    fn checkpointed_sweep_halts_and_resumes() {
+        let dir = std::env::temp_dir().join("sdem-cli-ckpt");
+        fs::create_dir_all(&dir).unwrap();
+        let cp = dir.join("ckpt.jsonl");
+        let cpp = cp.to_str().unwrap().to_string();
+        run(&sv(&[
+            "sweep",
+            "--figure",
+            "fig6",
+            "--instances",
+            "4",
+            "--trials",
+            "2",
+            "--threads",
+            "2",
+            "--checkpoint",
+            &cpp,
+            "--halt-after",
+            "5",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "sweep",
+            "--figure",
+            "fig6",
+            "--instances",
+            "4",
+            "--trials",
+            "2",
+            "--threads",
+            "4",
+            "--resume",
+            &cpp,
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "sweep",
+            "--checkpoint",
+            "a.jsonl",
+            "--resume",
+            "b.jsonl",
+        ]))
+        .is_err());
+        // Resuming under a different grid is rejected.
+        assert!(run(&sv(&[
+            "sweep",
+            "--figure",
+            "fig6",
+            "--instances",
+            "4",
+            "--trials",
+            "3",
+            "--resume",
+            &cpp,
+        ]))
+        .is_err());
+        fs::remove_file(&cp).ok();
     }
 
     #[test]

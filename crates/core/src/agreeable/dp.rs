@@ -68,7 +68,7 @@ pub fn schedule(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemEr
 
 /// In-place [`schedule`]: DP scratch and the returned schedule's arenas
 /// come from `ws`. The O(n²) table of per-range block solutions still
-/// allocates (each [`BlockSolution`] owns its run list); only the
+/// allocates (each `BlockSolution` owns its run list); only the
 /// fixed-shape buffers are pooled.
 ///
 /// # Errors

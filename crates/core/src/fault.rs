@@ -1,0 +1,422 @@
+//! The workspace-wide trial-error taxonomy and the degraded-mode
+//! fallback chain.
+//!
+//! Large sweeps (Figs. 6–7 run tens of thousands of randomized trials)
+//! must survive individual failures instead of aborting the campaign.
+//! This module provides the two halves of that contract in `sdem-core`:
+//!
+//! * [`TrialError`] — every way one trial can fail, as a typed value
+//!   (infeasible input, non-finite energy, oracle divergence carrying
+//!   both values, a caught solver panic, …) instead of an ad-hoc panic.
+//!   The sweep layer (`sdem-exec`) quarantines these; `kind()` gives the
+//!   stable machine-readable class written to `quarantine.jsonl`.
+//! * [`solve_or_fallback`] — the degraded-mode chain: run the requested
+//!   scheme, and on error, panic, or a non-finite result fall back to
+//!   the always-feasible race-to-idle baseline (every task on its own
+//!   core at `s_max`), flagging the solution
+//!   [`degraded`](Solution::is_degraded) so aggregates can report an
+//!   explicit degraded-trial count.
+
+use core::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sdem_power::Platform;
+use sdem_types::{
+    CoreId, Placement, Schedule, ScheduleError, Segment, TaskSet, TaskSetError, Workspace,
+};
+
+use crate::scheduler::Scheduler;
+use crate::solution::{SdemError, Solution};
+use crate::Scheme;
+
+/// Every way a single sweep trial can fail.
+///
+/// The taxonomy replaces the ad-hoc panics the bench trial path used to
+/// raise: each failure is a value that the quarantine layer records (with
+/// the exact trial seed) and `sdem-cli repro` replays. Variants carry the
+/// data a diagnosis needs — an oracle divergence keeps **both** energies,
+/// a contained panic keeps its payload.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrialError {
+    /// The selected scheme rejected the instance.
+    Scheme(SdemError),
+    /// The generated task set was invalid (empty, duplicate ids,
+    /// non-finite fields, …).
+    TaskSet(TaskSetError),
+    /// A baseline scheduler (MBKP family) rejected the instance.
+    Baseline(String),
+    /// The event-driven simulator rejected a schedule.
+    Simulation(ScheduleError),
+    /// A scheme or simulator produced a NaN/∞ energy or speed.
+    NonFiniteEnergy {
+        /// Which quantity went non-finite (e.g. `"SDEM-ON system energy"`).
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The analytic prediction and the metered energy disagreed beyond
+    /// the oracle tolerance.
+    OracleDivergence {
+        /// Which cross-check diverged (e.g. `"SDEM-ON analytic vs meter"`).
+        check: String,
+        /// The analytic (predicted) energy in joules.
+        predicted: f64,
+        /// The metered (simulated) energy in joules.
+        metered: f64,
+        /// `|predicted − metered| / max(|predicted|, |metered|)`.
+        relative: f64,
+        /// The tolerance the check ran under.
+        tolerance: f64,
+    },
+    /// A solver panicked; the payload was captured by `catch_unwind`.
+    SolverPanic {
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
+    /// Every retry seed in the trial's budget produced a resamplable
+    /// failure.
+    RetryBudgetExhausted {
+        /// Seeds attempted before giving up.
+        attempts: usize,
+    },
+}
+
+impl TrialError {
+    /// Stable, machine-readable failure class (the `kind` field of a
+    /// quarantine record).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Scheme(_) => "scheme-error",
+            Self::TaskSet(_) => "infeasible-input",
+            Self::Baseline(_) => "baseline-error",
+            Self::Simulation(_) => "simulation-error",
+            Self::NonFiniteEnergy { .. } => "non-finite-energy",
+            Self::OracleDivergence { .. } => "oracle-divergence",
+            Self::SolverPanic { .. } => "solver-panic",
+            Self::RetryBudgetExhausted { .. } => "retry-budget-exhausted",
+        }
+    }
+
+    /// Whether drawing a fresh seed may make the trial succeed. True for
+    /// instance-shaped failures (a randomly infeasible task set); false
+    /// for failures that indicate a bug (panic, NaN, oracle divergence),
+    /// which must be quarantined on first sight rather than hidden by
+    /// resampling.
+    pub fn is_resamplable(&self) -> bool {
+        matches!(self, Self::Scheme(_) | Self::TaskSet(_) | Self::Baseline(_))
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Scheme(e) => write!(f, "scheme error: {e}"),
+            Self::TaskSet(e) => write!(f, "invalid task set: {e}"),
+            Self::Baseline(e) => write!(f, "baseline error: {e}"),
+            Self::Simulation(e) => write!(f, "simulation error: {e}"),
+            Self::NonFiniteEnergy { context, value } => {
+                write!(f, "non-finite energy: {context} = {value}")
+            }
+            Self::OracleDivergence {
+                check,
+                predicted,
+                metered,
+                relative,
+                tolerance,
+            } => write!(
+                f,
+                "sim-oracle failure ({check}): predicted {predicted} J vs metered {metered} J \
+                 (relative divergence {relative:.3e} > tolerance {tolerance:.3e})"
+            ),
+            Self::SolverPanic { payload } => write!(f, "solver panicked: {payload}"),
+            Self::RetryBudgetExhausted { attempts } => {
+                write!(f, "no feasible instance within {attempts} retry seeds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+impl From<SdemError> for TrialError {
+    fn from(e: SdemError) -> Self {
+        Self::Scheme(e)
+    }
+}
+
+impl From<TaskSetError> for TrialError {
+    fn from(e: TaskSetError) -> Self {
+        Self::TaskSet(e)
+    }
+}
+
+impl From<ScheduleError> for TrialError {
+    fn from(e: ScheduleError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+/// The always-feasible race-to-idle baseline: every task runs on its own
+/// core at the maximum speed, starting at its release.
+///
+/// This is the terminal link of the fallback chain — it succeeds for any
+/// instance any scheme could schedule (it fails only when some task
+/// misses its deadline even at `s_max`, which no scheduler can fix). The
+/// schedule is priced with [`Solution::from_schedule`]'s meter-exact
+/// closed forms; the solution is **not** flagged degraded by itself —
+/// [`solve_or_fallback`] adds the flag when it resorts to this baseline.
+///
+/// On platforms with an unbounded maximum speed (test models), each task
+/// runs at its filled speed instead, clamped up to the platform minimum.
+pub fn schedule_race_to_idle(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
+    schedule_race_to_idle_in(tasks, platform, &mut Workspace::new())
+}
+
+/// In-place [`schedule_race_to_idle`]: scratch buffers come from `ws`.
+pub fn schedule_race_to_idle_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    let s_up = platform.core().max_speed();
+    let s_lo = platform.core().min_speed();
+    if s_up.value().is_finite() {
+        for task in tasks.iter() {
+            if task.filled_speed().value() > s_up.value() {
+                return Err(SdemError::InfeasibleTask(task.id()));
+            }
+        }
+    }
+
+    let mut placements = ws.take_placements();
+    for (i, task) in tasks.iter().enumerate() {
+        let mut segments = ws.take_segments();
+        if task.work().value() > 0.0 {
+            let mut speed = if s_up.value().is_finite() {
+                s_up
+            } else {
+                task.filled_speed()
+            };
+            if speed.value() < s_lo.value() {
+                speed = s_lo;
+            }
+            let end = task.release() + task.execution_time(speed);
+            segments.push(Segment::new(task.release(), end, speed));
+        }
+        placements.push(Placement::new(task.id(), CoreId(i), segments));
+    }
+    let schedule = Schedule::new(std::mem::take(&mut placements));
+    ws.recycle_placements(placements);
+    Ok(Solution::from_schedule_in(schedule, platform, ws))
+}
+
+/// Degraded-mode fallback chain for a [`Scheme`]: solve, and on failure
+/// fall back to [`schedule_race_to_idle`], flagging the result
+/// [`degraded`](Solution::is_degraded).
+pub fn solve_or_fallback(
+    tasks: &TaskSet,
+    platform: &Platform,
+    scheme: Scheme,
+) -> Result<Solution, SdemError> {
+    solve_or_fallback_in(tasks, platform, scheme, &mut Workspace::new())
+}
+
+/// In-place [`solve_or_fallback`].
+pub fn solve_or_fallback_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    scheme: Scheme,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    solve_or_fallback_with(&scheme, tasks, platform, ws)
+}
+
+/// Degraded-mode fallback chain for any [`Scheduler`].
+///
+/// Runs the primary scheduler and returns its solution when it is sound.
+/// Three failure shapes trigger the fallback instead of propagating:
+///
+/// 1. the scheduler returns an error,
+/// 2. the scheduler returns a solution with a non-finite predicted
+///    energy or memory-sleep time,
+/// 3. the scheduler panics (contained with `catch_unwind`; the possibly
+///    half-mutated workspace is discarded and rebuilt).
+///
+/// The fallback solution is flagged [`degraded`](Solution::is_degraded).
+/// If even the race-to-idle baseline fails, the primary scheduler's own
+/// error is returned when it produced one (it is the more informative
+/// diagnosis), otherwise the baseline's.
+pub fn solve_or_fallback_with(
+    primary: &dyn Scheduler,
+    tasks: &TaskSet,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Solution, SdemError> {
+    let mut primary_err = None;
+    // AssertUnwindSafe: if the solver unwinds, the workspace it mutated
+    // is replaced with a fresh one before anything observes it.
+    match catch_unwind(AssertUnwindSafe(|| primary.solve_into(tasks, platform, ws))) {
+        Ok(Ok(solution)) => {
+            if solution.predicted_energy().value().is_finite()
+                && solution.memory_sleep().value().is_finite()
+            {
+                return Ok(solution);
+            }
+        }
+        Ok(Err(e)) => primary_err = Some(e),
+        Err(_) => *ws = Workspace::new(),
+    }
+    match schedule_race_to_idle_in(tasks, platform, ws) {
+        Ok(solution) => Ok(solution.with_degraded(true)),
+        Err(fallback_err) => Err(primary_err.unwrap_or(fallback_err)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdem_types::{Cycles, Task, TaskId, Time};
+
+    fn tasks() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
+            Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let e = TrialError::OracleDivergence {
+            check: "SDEM-ON analytic vs meter".into(),
+            predicted: 1.0,
+            metered: 2.0,
+            relative: 0.5,
+            tolerance: 1e-6,
+        };
+        assert_eq!(e.kind(), "oracle-divergence");
+        let msg = e.to_string();
+        assert!(msg.starts_with("sim-oracle failure"), "{msg}");
+        assert!(msg.contains("1") && msg.contains("2"), "{msg}");
+
+        assert_eq!(TrialError::from(SdemError::NoCores).kind(), "scheme-error");
+        assert_eq!(
+            TrialError::from(TaskSetError::Empty).kind(),
+            "infeasible-input"
+        );
+        assert_eq!(
+            TrialError::from(ScheduleError::MissingTask(TaskId(0))).kind(),
+            "simulation-error"
+        );
+        assert_eq!(
+            TrialError::SolverPanic {
+                payload: "boom".into()
+            }
+            .kind(),
+            "solver-panic"
+        );
+        assert_eq!(
+            TrialError::NonFiniteEnergy {
+                context: "x",
+                value: f64::NAN
+            }
+            .kind(),
+            "non-finite-energy"
+        );
+        assert_eq!(
+            TrialError::RetryBudgetExhausted { attempts: 16 }.kind(),
+            "retry-budget-exhausted"
+        );
+    }
+
+    #[test]
+    fn resamplability_splits_instance_errors_from_bugs() {
+        assert!(TrialError::from(SdemError::NoCores).is_resamplable());
+        assert!(TrialError::from(TaskSetError::Empty).is_resamplable());
+        assert!(TrialError::Baseline("full".into()).is_resamplable());
+        assert!(!TrialError::SolverPanic {
+            payload: "boom".into()
+        }
+        .is_resamplable());
+        assert!(!TrialError::NonFiniteEnergy {
+            context: "x",
+            value: f64::INFINITY
+        }
+        .is_resamplable());
+        assert!(!TrialError::OracleDivergence {
+            check: "c".into(),
+            predicted: 1.0,
+            metered: 2.0,
+            relative: 0.5,
+            tolerance: 1e-6,
+        }
+        .is_resamplable());
+    }
+
+    #[test]
+    fn race_to_idle_is_valid_and_prices_like_the_meter() {
+        let platform = Platform::paper_defaults();
+        let ts = tasks();
+        let solution = schedule_race_to_idle(&ts, &platform).expect("always feasible");
+        assert!(!solution.is_degraded());
+        solution
+            .schedule()
+            .validate(&ts)
+            .expect("race-to-idle schedule is well-formed");
+        assert!(solution.predicted_energy().value().is_finite());
+        // Every segment runs at the platform maximum.
+        for placement in solution.schedule().placements() {
+            for seg in placement.segments() {
+                assert_eq!(seg.speed(), platform.core().max_speed());
+            }
+        }
+    }
+
+    #[test]
+    fn race_to_idle_reports_truly_infeasible_tasks() {
+        let platform = Platform::paper_defaults();
+        // Needs far more than s_max to finish inside 1 ms.
+        let ts = TaskSet::new(vec![Task::new(
+            0,
+            Time::ZERO,
+            Time::from_millis(1.0),
+            Cycles::new(1.0e12),
+        )])
+        .unwrap();
+        assert_eq!(
+            schedule_race_to_idle(&ts, &platform),
+            Err(SdemError::InfeasibleTask(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn fallback_chain_returns_primary_solution_when_sound() {
+        let platform = Platform::paper_defaults();
+        let ts = tasks();
+        let direct = crate::solve(&ts, &platform, Scheme::Auto).unwrap();
+        let chained = solve_or_fallback(&ts, &platform, Scheme::Auto).unwrap();
+        assert!(!chained.is_degraded());
+        assert_eq!(direct, chained);
+    }
+
+    #[test]
+    fn fallback_chain_degrades_on_scheme_error() {
+        let platform = Platform::paper_defaults();
+        // Staggered releases: the common-release schemes reject this.
+        let ts = TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
+            Task::new(
+                1,
+                Time::from_millis(10.0),
+                Time::from_millis(80.0),
+                Cycles::new(9.0e6),
+            ),
+        ])
+        .unwrap();
+        let solution =
+            solve_or_fallback(&ts, &platform, Scheme::CommonReleaseAlphaNonzero).unwrap();
+        assert!(solution.is_degraded());
+        solution.schedule().validate(&ts).expect("valid fallback");
+    }
+}

@@ -51,12 +51,17 @@ pub mod agreeable;
 pub mod bounded;
 pub mod common_release;
 pub mod discrete;
+mod fault;
 pub mod online;
 mod oracle;
 pub mod overhead;
 pub mod scheduler;
 mod solution;
 
+pub use fault::{
+    schedule_race_to_idle, schedule_race_to_idle_in, solve_or_fallback, solve_or_fallback_in,
+    solve_or_fallback_with, TrialError,
+};
 pub use oracle::{OracleError, OracleOptions, DEFAULT_ORACLE_TOLERANCE};
 pub use scheduler::{solve, solve_in, Scheduler, Scheme};
 pub use solution::{SdemError, Solution};

@@ -16,6 +16,7 @@ pub struct Solution {
     schedule: Schedule,
     predicted_energy: Joules,
     memory_sleep: Time,
+    degraded: bool,
 }
 
 impl Solution {
@@ -25,7 +26,24 @@ impl Solution {
             schedule,
             predicted_energy,
             memory_sleep,
+            degraded: false,
         }
+    }
+
+    /// Returns a copy with the degraded-mode flag set. The fallback chain
+    /// ([`crate::solve_or_fallback`]) marks its race-to-idle baseline
+    /// solutions this way so aggregates can count them explicitly.
+    #[must_use]
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// Whether this solution came from the degraded-mode fallback rather
+    /// than the requested scheme.
+    #[inline]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The explicit schedule (one placement per task).

@@ -1,0 +1,319 @@
+//! Sweep checkpoint journal: a line-oriented log of finished trials.
+//!
+//! The journal is written incrementally while a quarantined sweep runs
+//! (one line per finished trial, flushed immediately) so a killed sweep
+//! can be resumed with `--resume`: already-journaled trials are loaded
+//! back verbatim and only the remainder is executed. Because per-trial
+//! seeds are derived — never sequential — the resumed run is
+//! bit-identical to an uninterrupted one regardless of where the
+//! original was interrupted or how many workers either run used.
+//!
+//! File format (one JSON object per line, written by this module only):
+//!
+//! ```text
+//! {"sdem_checkpoint":1,"grid_seed":"0x…","points":P,"replications":R}
+//! {"trial":7,"ok":"<domain-encoded result>"}
+//! {"trial":9,"fault":{…quarantine record…}}
+//! ```
+//!
+//! Lines that fail to parse (e.g. a torn tail from a hard kill) are
+//! skipped on resume; the affected trial simply reruns.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::fault::{
+    json_hex_u64, json_str, json_string, json_usize, QuarantineRecord, SweepError, TrialFailure,
+};
+use crate::Slot;
+
+/// Magic first-line key identifying a sweep checkpoint file.
+const HEADER_KEY: &str = "sdem_checkpoint";
+/// Checkpoint format version this build reads and writes.
+const FORMAT_VERSION: usize = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Header {
+    grid_seed: u64,
+    points: usize,
+    replications: usize,
+}
+
+impl Header {
+    fn to_line(self) -> String {
+        format!(
+            "{{\"{HEADER_KEY}\":{FORMAT_VERSION},\"grid_seed\":\"{:#018x}\",\"points\":{},\"replications\":{}}}",
+            self.grid_seed, self.points, self.replications
+        )
+    }
+
+    fn from_line(line: &str) -> Option<Self> {
+        if json_usize(line, HEADER_KEY)? != FORMAT_VERSION {
+            return None;
+        }
+        Some(Self {
+            grid_seed: json_hex_u64(line, "grid_seed")?,
+            points: json_usize(line, "points")?,
+            replications: json_usize(line, "replications")?,
+        })
+    }
+}
+
+/// One journaled trial, as loaded back on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    /// A successful trial with its domain-encoded result.
+    Done(String),
+    /// A quarantined trial with its full record.
+    Fault(QuarantineRecord),
+}
+
+fn entry_from_line(line: &str) -> Option<(usize, Entry)> {
+    let trial = json_usize(line, "trial")?;
+    if let Some(encoded) = json_str(line, "ok") {
+        return Some((trial, Entry::Done(encoded)));
+    }
+    let (_, rest) = line.split_once("\"fault\":")?;
+    let record = QuarantineRecord::from_json_line(rest)?;
+    Some((trial, Entry::Fault(record)))
+}
+
+/// Incremental journal of finished sweep trials, for checkpoint/resume.
+///
+/// Create a fresh journal with [`CheckpointJournal::new`] (truncates any
+/// existing file when the sweep starts) or load a previous run's journal
+/// with [`CheckpointJournal::resume`]. Pass it to
+/// `SweepRunner::try_run_checkpointed_with_state`, which journals every
+/// newly finished trial and skips the preloaded ones.
+#[derive(Debug)]
+pub struct CheckpointJournal {
+    path: PathBuf,
+    resume: bool,
+    header: Option<Header>,
+    entries: Vec<(usize, Entry)>,
+    writer: Option<Mutex<BufWriter<File>>>,
+    io_error: Mutex<Option<String>>,
+}
+
+impl CheckpointJournal {
+    /// A fresh journal at `path`. The file is created (truncating any
+    /// previous contents) when the sweep starts.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            resume: false,
+            header: None,
+            entries: Vec::new(),
+            writer: None,
+            io_error: Mutex::new(None),
+        }
+    }
+
+    /// Loads the journal of an interrupted sweep from `path`.
+    ///
+    /// Unparsable lines (torn tails from a hard kill) are skipped — the
+    /// corresponding trials rerun. Fails if the file cannot be read or
+    /// does not start with a checkpoint header.
+    pub fn resume(path: impl Into<PathBuf>) -> Result<Self, SweepError> {
+        let path = path.into();
+        let err = |detail: String| SweepError::Checkpoint {
+            path: path.display().to_string(),
+            detail,
+        };
+        let file = File::open(&path).map_err(|e| err(format!("cannot open: {e}")))?;
+        let mut lines = BufReader::new(file).lines();
+        let first = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => return Err(err(format!("cannot read: {e}"))),
+            None => return Err(err("file is empty".into())),
+        };
+        let header = Header::from_line(&first)
+            .ok_or_else(|| err("missing or unreadable checkpoint header".into()))?;
+        let mut entries = Vec::new();
+        for line in lines {
+            let line = line.map_err(|e| err(format!("cannot read: {e}")))?;
+            if let Some(entry) = entry_from_line(&line) {
+                entries.push(entry);
+            }
+        }
+        Ok(Self {
+            path,
+            resume: true,
+            header: Some(header),
+            entries,
+            writer: None,
+            io_error: Mutex::new(None),
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of finished trials loaded from the journal on resume.
+    pub fn preloaded(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Validates the journal against the sweep's dimensions, converts
+    /// loaded entries into preloaded slots, and opens the file for
+    /// appending (creating it with a header when fresh).
+    pub(crate) fn prepare<T>(
+        &mut self,
+        grid_seed: u64,
+        points: usize,
+        replications: usize,
+        decode: &(impl Fn(&str) -> Option<T> + ?Sized),
+    ) -> Result<Vec<(usize, Slot<T>)>, SweepError> {
+        let header = Header {
+            grid_seed,
+            points,
+            replications,
+        };
+        let mut slots = Vec::with_capacity(self.entries.len());
+        if self.resume {
+            let stored = self.header.expect("resumed journal always has a header");
+            if stored != header {
+                return Err(SweepError::CheckpointMismatch {
+                    detail: format!(
+                        "checkpoint recorded grid_seed {:#x}, {} points × {} reps; \
+                         this sweep has grid_seed {:#x}, {} points × {} reps",
+                        stored.grid_seed,
+                        stored.points,
+                        stored.replications,
+                        header.grid_seed,
+                        header.points,
+                        header.replications
+                    ),
+                });
+            }
+            for (trial, entry) in self.entries.drain(..) {
+                let slot = match entry {
+                    Entry::Done(encoded) => {
+                        let value = decode(&encoded).ok_or_else(|| SweepError::Checkpoint {
+                            path: self.path.display().to_string(),
+                            detail: format!("trial {trial}: undecodable journaled result"),
+                        })?;
+                        Slot::Done(value)
+                    }
+                    Entry::Fault(record) => {
+                        let mut failure =
+                            TrialFailure::new(record.kind, record.detail).with_seed(record.seed);
+                        failure.config = record.config;
+                        Slot::Fault(failure)
+                    }
+                };
+                slots.push((trial, slot));
+            }
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| SweepError::Checkpoint {
+                    path: self.path.display().to_string(),
+                    detail: format!("cannot reopen for append: {e}"),
+                })?;
+            self.writer = Some(Mutex::new(BufWriter::new(file)));
+        } else {
+            let file = File::create(&self.path).map_err(|e| SweepError::Checkpoint {
+                path: self.path.display().to_string(),
+                detail: format!("cannot create: {e}"),
+            })?;
+            let mut writer = BufWriter::new(file);
+            writeln!(writer, "{}", header.to_line())
+                .and_then(|()| writer.flush())
+                .map_err(|e| SweepError::Checkpoint {
+                    path: self.path.display().to_string(),
+                    detail: format!("cannot write header: {e}"),
+                })?;
+            self.header = Some(header);
+            self.writer = Some(Mutex::new(writer));
+        }
+        Ok(slots)
+    }
+
+    /// Journals a successful trial. IO errors are latched (the sweep
+    /// keeps running) and surfaced by [`Self::take_error`] at the end.
+    pub(crate) fn append_ok(&self, trial: usize, encoded: &str) {
+        self.append_line(&format!(
+            "{{\"trial\":{trial},\"ok\":{}}}",
+            json_string(encoded)
+        ));
+    }
+
+    /// Journals a quarantined trial.
+    pub(crate) fn append_fault(&self, trial: usize, record: &QuarantineRecord) {
+        self.append_line(&format!(
+            "{{\"trial\":{trial},\"fault\":{}}}",
+            record.to_json_line()
+        ));
+    }
+
+    fn append_line(&self, line: &str) {
+        let Some(writer) = &self.writer else { return };
+        let mut w = writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let outcome = writeln!(w, "{line}").and_then(|()| w.flush());
+        if let Err(e) = outcome {
+            let mut latch = self
+                .io_error
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            latch.get_or_insert_with(|| e.to_string());
+        }
+    }
+
+    /// First journaling IO error hit during the sweep, if any.
+    pub(crate) fn take_error(&self) -> Option<SweepError> {
+        let mut latch = self
+            .io_error
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        latch.take().map(|detail| SweepError::Checkpoint {
+            path: self.path.display().to_string(),
+            detail: format!("write failed: {detail}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let h = Header {
+            grid_seed: 0xF17_A000,
+            points: 3,
+            replications: 5,
+        };
+        assert_eq!(Header::from_line(&h.to_line()), Some(h));
+        assert_eq!(Header::from_line("{\"trial\":1,\"ok\":\"x\"}"), None);
+    }
+
+    #[test]
+    fn entries_round_trip_and_torn_lines_are_skipped() {
+        let ok = "{\"trial\":4,\"ok\":\"dead beef\"}";
+        assert_eq!(
+            entry_from_line(ok),
+            Some((4, Entry::Done("dead beef".into())))
+        );
+        let record = QuarantineRecord {
+            trial_index: 9,
+            point: 1,
+            replicate: 4,
+            grid_seed: 3,
+            seed: 11,
+            kind: "solver-panic".into(),
+            detail: "boom".into(),
+            config: "--x 1".into(),
+        };
+        let fault = format!("{{\"trial\":9,\"fault\":{}}}", record.to_json_line());
+        assert_eq!(entry_from_line(&fault), Some((9, Entry::Fault(record))));
+        assert_eq!(entry_from_line("{\"trial\":9,\"ok\":\"tor"), None);
+        assert_eq!(entry_from_line(""), None);
+    }
+}

@@ -15,6 +15,15 @@
 //! * **Bounded in-flight memory** — at any instant each worker holds at
 //!   most one running trial; the only growing allocation is the result
 //!   vector the caller asked for.
+//! * **Fault isolation** — [`SweepRunner::run_quarantined`] contains
+//!   per-trial panics with `catch_unwind`, discards the poisoned worker
+//!   state, and records the failure as a replayable [`QuarantineRecord`]
+//!   instead of aborting the sweep; uncontained worker deaths surface as
+//!   [`SweepError::WorkerPanicked`] after every worker has been joined.
+//! * **Checkpoint/resume** — a [`CheckpointJournal`] logs each finished
+//!   trial as it completes, and a resumed sweep replays the journal and
+//!   executes only the remainder, bit-identically to an uninterrupted
+//!   run (seeds are derived, never sequential).
 //!
 //! The entry point is [`SweepRunner::run`], which takes the grid points,
 //! the replication count and a trial closure, and returns the per-point
@@ -41,7 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
+mod fault;
+
+pub use checkpoint::CheckpointJournal;
+pub use fault::{payload_text, QuarantineRecord, SweepError, TrialFailure, FATAL_PANIC_PREFIX};
+
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -146,10 +162,13 @@ pub struct SweepStats {
     pub points: usize,
     /// Replications requested per point.
     pub replications: usize,
-    /// Total trials executed (`points × replications`).
+    /// Total trials in the grid (`points × replications`).
     pub trials: usize,
     /// Trials whose closure returned `None` (e.g. no feasible seed).
     pub failures: usize,
+    /// Trials quarantined by the fault-isolation layer (panic contained,
+    /// structured trial error, …). Always `0` for non-quarantined runs.
+    pub quarantined: usize,
     /// Worker threads used.
     pub threads: usize,
     /// End-to-end wall-clock time of the sweep.
@@ -170,7 +189,11 @@ impl std::fmt::Display for SweepStats {
             self.wall.as_secs_f64(),
             self.threads,
             self.trials_per_sec,
-        )
+        )?;
+        if self.quarantined > 0 {
+            write!(f, " [{} quarantined]", self.quarantined)?;
+        }
+        Ok(())
     }
 }
 
@@ -185,7 +208,106 @@ pub struct SweepOutcome<T> {
     pub stats: SweepStats,
 }
 
+/// The result of a quarantined (fault-isolated) sweep.
+///
+/// Successful trials land in `per_point` exactly as in [`SweepOutcome`];
+/// failed trials are excluded from the aggregates and described by one
+/// [`QuarantineRecord`] each, sorted by trial index — so the quarantine
+/// list (and its `quarantine.jsonl` serialization) is byte-identical for
+/// any worker-thread count.
+#[derive(Debug, Clone)]
+pub struct QuarantinedOutcome<T> {
+    /// Successful replicate results per grid point, in replicate order.
+    pub per_point: Vec<Vec<T>>,
+    /// One record per quarantined trial, sorted by trial index.
+    pub quarantine: Vec<QuarantineRecord>,
+    /// Wall-clock/throughput statistics (`stats.quarantined` counts the
+    /// records in `quarantine`).
+    pub stats: SweepStats,
+    /// Trials accounted for — executed this run plus any preloaded from
+    /// a checkpoint. Less than `stats.trials` only when a trial budget
+    /// stopped the sweep early.
+    pub completed: usize,
+}
+
+impl<T> QuarantinedOutcome<T> {
+    /// Whether the sweep stopped before covering the whole grid (trial
+    /// budget exhausted). Partial outcomes carry valid but incomplete
+    /// aggregates; resume from the checkpoint to finish.
+    pub fn is_partial(&self) -> bool {
+        self.completed < self.stats.trials
+    }
+}
+
 type ProgressFn = dyn Fn(SweepProgress) + Send + Sync;
+
+/// How one trial ended inside the engine.
+pub(crate) enum Slot<T> {
+    /// The trial produced a result.
+    Done(T),
+    /// The trial declined (legacy `Option`-style failure, not quarantined).
+    Skip,
+    /// The trial failed and was quarantined.
+    Fault(TrialFailure),
+}
+
+/// Observer called once per newly finished trial, from worker threads
+/// (the checkpoint journal's append hook).
+type TrialSink<'a, T> = &'a (dyn Fn(usize, &Slot<T>) + Sync);
+
+/// What [`SweepRunner::engine`] returns: index-sorted trial slots plus
+/// the resolved worker count and the wall-clock time.
+type EngineOutput<T> = (Vec<(usize, Slot<T>)>, usize, Duration);
+
+/// Per-run knobs of the shared engine (see [`SweepRunner::engine`]).
+struct EngineConfig<'a, T> {
+    /// Contain per-trial panics (quarantine) instead of letting them
+    /// kill the worker.
+    contain_panics: bool,
+    /// Maximum number of trials to newly execute (`None` = all).
+    budget: Option<usize>,
+    /// Trials already finished by a previous run, skipped this run.
+    preloaded: Vec<(usize, Slot<T>)>,
+    /// Called once per newly finished trial, from worker threads.
+    sink: Option<TrialSink<'a, T>>,
+}
+
+impl<T> Default for EngineConfig<'_, T> {
+    fn default() -> Self {
+        Self {
+            contain_panics: false,
+            budget: None,
+            preloaded: Vec::new(),
+            sink: None,
+        }
+    }
+}
+
+/// Builds the [`QuarantineRecord`] for a failed trial, recomputing the
+/// grid coordinates and falling back to the trial's `seed(0)` when the
+/// failure did not name the exact failing attempt.
+fn record_from(
+    grid_seed: u64,
+    replications: usize,
+    trial_index: usize,
+    failure: TrialFailure,
+) -> QuarantineRecord {
+    let reps = replications.max(1);
+    let (point, replicate) = (trial_index / reps, trial_index % reps);
+    let seed = failure
+        .seed
+        .unwrap_or_else(|| TrialCtx::new(grid_seed, point, replicate, replications).seed(0));
+    QuarantineRecord {
+        trial_index,
+        point,
+        replicate,
+        grid_seed,
+        seed,
+        kind: failure.kind,
+        detail: failure.detail,
+        config: failure.config,
+    }
+}
 
 /// The parallel sweep engine. Construct, optionally bound the thread
 /// count or attach a progress observer, then [`run`](Self::run) a grid.
@@ -194,6 +316,7 @@ pub struct SweepRunner {
     threads: Option<NonZeroUsize>,
     progress: Option<Arc<ProgressFn>>,
     oracle_tol_bits: Option<u64>,
+    trial_budget: Option<NonZeroUsize>,
 }
 
 impl std::fmt::Debug for SweepRunner {
@@ -202,6 +325,7 @@ impl std::fmt::Debug for SweepRunner {
             .field("threads", &self.threads)
             .field("progress", &self.progress.is_some())
             .field("oracle_tolerance", &self.oracle_tolerance())
+            .field("trial_budget", &self.trial_budget)
             .finish()
     }
 }
@@ -259,6 +383,18 @@ impl SweepRunner {
         self.oracle_tol_bits.map(f64::from_bits)
     }
 
+    /// Caps the number of trials a quarantined or checkpointed sweep
+    /// newly executes (`0` = unlimited). Hitting the cap produces a
+    /// *partial* [`QuarantinedOutcome`] — the supported way to simulate
+    /// an interrupted sweep when exercising checkpoint/resume. Plain
+    /// [`run`](Self::run)/[`run_with_state`](Self::run_with_state)
+    /// ignore the budget.
+    #[must_use]
+    pub fn with_trial_budget(mut self, budget: usize) -> Self {
+        self.trial_budget = NonZeroUsize::new(budget);
+        self
+    }
+
     /// The worker count a grid of `total` trials would use.
     pub fn resolved_threads(&self, total: usize) -> usize {
         let hw = self
@@ -271,6 +407,205 @@ impl SweepRunner {
             })
             .unwrap_or(1);
         hw.min(total.max(1))
+    }
+
+    /// The [`TrialCtx`] of flat trial `flat`, carrying this runner's
+    /// oracle configuration.
+    fn ctx_for(&self, grid_seed: u64, replications: usize, flat: usize) -> TrialCtx {
+        let reps = replications.max(1);
+        let mut ctx = TrialCtx::new(grid_seed, flat / reps, flat % reps, replications);
+        if let Some(bits) = self.oracle_tol_bits {
+            ctx = ctx.with_oracle_tolerance(f64::from_bits(bits));
+        }
+        ctx
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stats(
+        &self,
+        points: usize,
+        replications: usize,
+        trials: usize,
+        failures: usize,
+        quarantined: usize,
+        threads: usize,
+        wall: Duration,
+    ) -> SweepStats {
+        let secs = wall.as_secs_f64();
+        SweepStats {
+            points,
+            replications,
+            trials,
+            failures,
+            quarantined,
+            threads,
+            wall,
+            trials_per_sec: if secs > 0.0 {
+                trials as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The shared engine behind every public run mode: fans the grid
+    /// across workers, optionally containing per-trial panics and
+    /// honoring a trial budget, and returns the index-sorted slots plus
+    /// `(threads, wall)`.
+    fn engine<P, T, S>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: &(impl Fn() -> S + Sync),
+        trial: &(impl Fn(&P, &TrialCtx, &mut S) -> Slot<T> + Sync),
+        cfg: EngineConfig<'_, T>,
+    ) -> Result<EngineOutput<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+    {
+        let total = points.len() * replications;
+        let threads = self.resolved_threads(total);
+        let started = Instant::now();
+
+        // Mark preloaded (checkpointed) trials done so workers skip them;
+        // first occurrence wins if a journal ever repeated an index.
+        let mut done = vec![false; total];
+        let mut preloaded = Vec::with_capacity(cfg.preloaded.len());
+        for (i, slot) in cfg.preloaded {
+            if i < total && !done[i] {
+                done[i] = true;
+                preloaded.push((i, slot));
+            }
+        }
+        let done = done;
+
+        let budget = AtomicUsize::new(cfg.budget.unwrap_or(usize::MAX));
+        let completed = AtomicUsize::new(0);
+        let observe = |completed: &AtomicUsize| {
+            if let Some(cb) = &self.progress {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                cb(SweepProgress {
+                    completed: done,
+                    total,
+                });
+            }
+        };
+
+        let next = |cursor: &AtomicUsize| -> Option<usize> {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return None;
+                }
+                if done[i] {
+                    continue;
+                }
+                let claimed = budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_ok();
+                if !claimed {
+                    return None;
+                }
+                return Some(i);
+            }
+        };
+
+        let run_one = |i: usize, state: &mut S| -> (usize, Slot<T>) {
+            let ctx = self.ctx_for(grid_seed, replications, i);
+            let slot = if cfg.contain_panics {
+                // AssertUnwindSafe: on a caught panic the worker state is
+                // discarded and rebuilt below, so no half-mutated state is
+                // ever observed after the unwind.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    trial(&points[ctx.point()], &ctx, state)
+                }));
+                match attempt {
+                    Ok(slot) => slot,
+                    Err(payload) => {
+                        let text = payload_text(payload.as_ref());
+                        if text.starts_with(FATAL_PANIC_PREFIX) {
+                            resume_unwind(payload);
+                        }
+                        *state = init();
+                        Slot::Fault(TrialFailure::panic(text).with_seed(ctx.seed(0)))
+                    }
+                }
+            } else {
+                trial(&points[ctx.point()], &ctx, state)
+            };
+            if let Some(sink) = cfg.sink {
+                sink(i, &slot);
+            }
+            observe(&completed);
+            (i, slot)
+        };
+
+        let mut flat: Vec<(usize, Slot<T>)> = if threads <= 1 || total <= 1 {
+            let cursor = AtomicUsize::new(0);
+            let serial = || {
+                let mut state = init();
+                let mut local = Vec::new();
+                while let Some(i) = next(&cursor) {
+                    local.push(run_one(i, &mut state));
+                }
+                local
+            };
+            if cfg.contain_panics {
+                // Mirror the parallel path: a fatal (prefix-escalated)
+                // panic becomes WorkerPanicked instead of unwinding
+                // through the caller.
+                match catch_unwind(AssertUnwindSafe(serial)) {
+                    Ok(local) => local,
+                    Err(payload) => {
+                        return Err(SweepError::WorkerPanicked {
+                            worker: 0,
+                            payload: payload_text(payload.as_ref()),
+                        })
+                    }
+                }
+            } else {
+                serial()
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut merged = Vec::with_capacity(total);
+            let mut first_panic: Option<(usize, String)> = None;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut state = init();
+                            let mut local = Vec::new();
+                            while let Some(i) = next(&cursor) {
+                                local.push(run_one(i, &mut state));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                // Join every worker before deciding the outcome: one dead
+                // worker must not abort the merge while the rest still run.
+                for (worker, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok(local) => merged.extend(local),
+                        Err(payload) => {
+                            let text = payload_text(payload.as_ref());
+                            first_panic.get_or_insert((worker, text));
+                        }
+                    }
+                }
+            });
+            if let Some((worker, payload)) = first_panic {
+                return Err(SweepError::WorkerPanicked { worker, payload });
+            }
+            merged
+        };
+
+        flat.extend(preloaded);
+        flat.sort_unstable_by_key(|&(i, _)| i);
+        Ok((flat, threads, started.elapsed()))
     }
 
     /// Evaluates `trial` over every `(point, replicate)` cell of the grid,
@@ -313,6 +648,14 @@ impl SweepRunner {
     /// functions of `(point, ctx)` — or the thread-count invariance
     /// guarantee breaks. A scratch arena satisfies this by construction:
     /// buffers are handed out empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after joining every worker) if a trial closure panics;
+    /// use [`try_run_with_state`](Self::try_run_with_state) to receive
+    /// [`SweepError::WorkerPanicked`] instead, or
+    /// [`run_quarantined_with_state`](Self::run_quarantined_with_state)
+    /// to contain the panic per trial.
     pub fn run_with_state<P, T, S, I, F>(
         &self,
         points: &[P],
@@ -327,92 +670,255 @@ impl SweepRunner {
         I: Fn() -> S + Sync,
         F: Fn(&P, &TrialCtx, &mut S) -> Option<T> + Sync,
     {
+        match self.try_run_with_state(points, replications, grid_seed, init, trial) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`run_with_state`](Self::run_with_state), but a panicking
+    /// trial surfaces as [`SweepError::WorkerPanicked`] — carrying the
+    /// worker index and the panic payload — after the remaining workers
+    /// have been drained, instead of aborting the merge.
+    ///
+    /// (With a single worker the panic unwinds directly to the caller,
+    /// exactly as a serial loop would.)
+    pub fn try_run_with_state<P, T, S, I, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: I,
+        trial: F,
+    ) -> Result<SweepOutcome<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&P, &TrialCtx, &mut S) -> Option<T> + Sync,
+    {
         let total = points.len() * replications;
-        let threads = self.resolved_threads(total);
-        let started = Instant::now();
+        let (flat, threads, wall) = self.engine(
+            points,
+            replications,
+            grid_seed,
+            &init,
+            &|p: &P, ctx: &TrialCtx, s: &mut S| match trial(p, ctx, s) {
+                Some(t) => Slot::Done(t),
+                None => Slot::Skip,
+            },
+            EngineConfig::default(),
+        )?;
 
-        let run_one = |flat: usize, state: &mut S| -> (usize, Option<T>) {
-            let (point, replicate) = (flat / replications.max(1), flat % replications.max(1));
-            let mut ctx = TrialCtx::new(grid_seed, point, replicate, replications);
-            if let Some(bits) = self.oracle_tol_bits {
-                ctx = ctx.with_oracle_tolerance(f64::from_bits(bits));
-            }
-            (flat, trial(&points[point], &ctx, state))
-        };
-
-        let completed = AtomicUsize::new(0);
-        let observe = |completed: &AtomicUsize| {
-            if let Some(cb) = &self.progress {
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                cb(SweepProgress {
-                    completed: done,
-                    total,
-                });
-            }
-        };
-
-        let mut flat: Vec<(usize, Option<T>)> = if threads <= 1 || total <= 1 {
-            let mut state = init();
-            (0..total)
-                .map(|i| {
-                    let r = run_one(i, &mut state);
-                    observe(&completed);
-                    r
-                })
-                .collect()
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let mut merged = Vec::with_capacity(total);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut state = init();
-                            let mut local = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= total {
-                                    break;
-                                }
-                                local.push(run_one(i, &mut state));
-                                observe(&completed);
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    merged.extend(handle.join().expect("sweep worker panicked"));
-                }
-            });
-            merged
-        };
-        flat.sort_unstable_by_key(|&(i, _)| i);
-
-        let failures = flat.iter().filter(|(_, r)| r.is_none()).count();
         let mut per_point: Vec<Vec<T>> = (0..points.len())
             .map(|_| Vec::with_capacity(replications))
             .collect();
-        for (i, result) in flat {
-            if let Some(r) = result {
-                per_point[i / replications.max(1)].push(r);
+        let mut failures = 0usize;
+        for (i, slot) in flat {
+            match slot {
+                Slot::Done(t) => per_point[i / replications.max(1)].push(t),
+                Slot::Skip | Slot::Fault(_) => failures += 1,
             }
         }
-
-        let wall = started.elapsed();
-        let secs = wall.as_secs_f64();
-        SweepOutcome {
+        Ok(SweepOutcome {
             per_point,
-            stats: SweepStats {
-                points: points.len(),
+            stats: self.stats(
+                points.len(),
                 replications,
-                trials: total,
+                total,
                 failures,
+                0,
                 threads,
                 wall,
-                trials_per_sec: if secs > 0.0 { total as f64 / secs } else { 0.0 },
-            },
+            ),
+        })
+    }
+
+    /// Fault-isolated sweep: a trial returns `Err(TrialFailure)` — or
+    /// panics — without taking the sweep down. See
+    /// [`run_quarantined_with_state`](Self::run_quarantined_with_state).
+    pub fn run_quarantined<P, T, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        trial: F,
+    ) -> Result<QuarantinedOutcome<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+        F: Fn(&P, &TrialCtx) -> Result<T, TrialFailure> + Sync,
+    {
+        self.run_quarantined_with_state(
+            points,
+            replications,
+            grid_seed,
+            || (),
+            |p, ctx, _: &mut ()| trial(p, ctx),
+        )
+    }
+
+    /// Fault-isolated sweep with per-worker state.
+    ///
+    /// Differences from [`run_with_state`](Self::run_with_state):
+    ///
+    /// * The trial returns `Result<T, TrialFailure>`; an `Err` is
+    ///   recorded as a [`QuarantineRecord`] instead of being dropped.
+    /// * A panicking trial is contained with `catch_unwind`: the worker
+    ///   state (possibly half-mutated by the unwind) is **discarded and
+    ///   rebuilt** via `init`, and the panic becomes a `solver-panic`
+    ///   quarantine record carrying the trial's `seed(0)`. Panics whose
+    ///   payload starts with [`FATAL_PANIC_PREFIX`] are re-raised and
+    ///   surface as [`SweepError::WorkerPanicked`].
+    /// * A trial budget ([`with_trial_budget`](Self::with_trial_budget))
+    ///   may stop the sweep early, yielding a partial outcome.
+    ///
+    /// The quarantine list is sorted by trial index and therefore
+    /// byte-identical for any worker-thread count.
+    pub fn run_quarantined_with_state<P, T, S, I, F>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: I,
+        trial: F,
+    ) -> Result<QuarantinedOutcome<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&P, &TrialCtx, &mut S) -> Result<T, TrialFailure> + Sync,
+    {
+        self.quarantined_run(
+            points,
+            replications,
+            grid_seed,
+            &init,
+            &trial,
+            Vec::new(),
+            None,
+        )
+    }
+
+    /// Fault-isolated sweep that journals every finished trial to
+    /// `journal` and preloads whatever the journal already holds.
+    ///
+    /// `encode`/`decode` translate a successful trial result to/from the
+    /// journal's line payload; to keep a resumed run bit-identical to an
+    /// uninterrupted one they must round-trip results **exactly** (for
+    /// floats: `f64::to_bits` hex, not decimal formatting).
+    ///
+    /// Pass a journal from [`CheckpointJournal::new`] to start fresh or
+    /// from [`CheckpointJournal::resume`] to continue an interrupted
+    /// sweep; a resumed journal whose grid seed or shape differs from
+    /// this sweep fails with [`SweepError::CheckpointMismatch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_run_checkpointed_with_state<P, T, S, I, F, E, D>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: I,
+        trial: F,
+        encode: E,
+        decode: D,
+        journal: &mut CheckpointJournal,
+    ) -> Result<QuarantinedOutcome<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&P, &TrialCtx, &mut S) -> Result<T, TrialFailure> + Sync,
+        E: Fn(&T) -> String + Sync,
+        D: Fn(&str) -> Option<T>,
+    {
+        let preloaded = journal.prepare(grid_seed, points.len(), replications, &decode)?;
+        let journal_ref: &CheckpointJournal = journal;
+        let sink = |i: usize, slot: &Slot<T>| match slot {
+            Slot::Done(t) => journal_ref.append_ok(i, &encode(t)),
+            Slot::Fault(f) => {
+                journal_ref.append_fault(i, &record_from(grid_seed, replications, i, f.clone()));
+            }
+            Slot::Skip => {}
+        };
+        let outcome = self.quarantined_run(
+            points,
+            replications,
+            grid_seed,
+            &init,
+            &trial,
+            preloaded,
+            Some(&sink),
+        )?;
+        if let Some(e) = journal_ref.take_error() {
+            return Err(e);
         }
+        Ok(outcome)
+    }
+
+    /// Shared implementation of the quarantined run modes.
+    #[allow(clippy::too_many_arguments)]
+    fn quarantined_run<P, T, S>(
+        &self,
+        points: &[P],
+        replications: usize,
+        grid_seed: u64,
+        init: &(impl Fn() -> S + Sync),
+        trial: &(impl Fn(&P, &TrialCtx, &mut S) -> Result<T, TrialFailure> + Sync),
+        preloaded: Vec<(usize, Slot<T>)>,
+        sink: Option<TrialSink<'_, T>>,
+    ) -> Result<QuarantinedOutcome<T>, SweepError>
+    where
+        P: Sync,
+        T: Send,
+    {
+        let total = points.len() * replications;
+        let cfg = EngineConfig {
+            contain_panics: true,
+            budget: self.trial_budget.map(NonZeroUsize::get),
+            preloaded,
+            sink,
+        };
+        let (flat, threads, wall) = self.engine(
+            points,
+            replications,
+            grid_seed,
+            init,
+            &|p: &P, ctx: &TrialCtx, s: &mut S| match trial(p, ctx, s) {
+                Ok(t) => Slot::Done(t),
+                Err(f) => Slot::Fault(f),
+            },
+            cfg,
+        )?;
+
+        let completed = flat.len();
+        let mut per_point: Vec<Vec<T>> = (0..points.len())
+            .map(|_| Vec::with_capacity(replications))
+            .collect();
+        let mut quarantine = Vec::new();
+        let mut failures = 0usize;
+        for (i, slot) in flat {
+            match slot {
+                Slot::Done(t) => per_point[i / replications.max(1)].push(t),
+                Slot::Skip => failures += 1,
+                Slot::Fault(f) => quarantine.push(record_from(grid_seed, replications, i, f)),
+            }
+        }
+        let stats = self.stats(
+            points.len(),
+            replications,
+            total,
+            failures,
+            quarantine.len(),
+            threads,
+            wall,
+        );
+        Ok(QuarantinedOutcome {
+            per_point,
+            quarantine,
+            stats,
+            completed,
+        })
     }
 }
 
@@ -575,5 +1081,289 @@ mod tests {
         let s = outcome.stats.to_string();
         assert!(s.contains("4 trials"));
         assert!(s.contains("trials/s"));
+        assert!(!s.contains("quarantined"));
+
+        let mut stats = outcome.stats;
+        stats.quarantined = 3;
+        assert!(stats.to_string().contains("[3 quarantined]"));
+    }
+
+    /// A trial that panics on every index ≡ 0 (mod 5), returns a
+    /// structured failure on every index ≡ 1 (mod 5), and succeeds
+    /// otherwise — selection is a pure function of the trial index so
+    /// every thread count injects the same set.
+    fn faulty_trial(point: &f64, ctx: &TrialCtx) -> Result<u64, TrialFailure> {
+        match ctx.trial_index() % 5 {
+            0 => panic!("injected fault: solver panic (trial {})", ctx.trial_index()),
+            1 => Err(TrialFailure::new("non-finite-energy", "injected NaN")
+                .with_seed(ctx.seed(3))
+                .with_config("--injected")),
+            _ => Ok(ctx.seed(0) ^ point.to_bits()),
+        }
+    }
+
+    #[test]
+    fn quarantine_contains_faults_and_stays_thread_invariant() {
+        let points: Vec<f64> = (1..=5).map(f64::from).collect();
+        let run = |threads: usize| {
+            SweepRunner::new()
+                .with_threads(threads)
+                .run_quarantined(&points, 4, 0xFA11, faulty_trial)
+                .expect("no fatal error")
+        };
+        let baseline = run(1);
+        assert_eq!(baseline.stats.trials, 20);
+        assert_eq!(baseline.stats.quarantined, 8); // 4 panics + 4 failures
+        assert!(!baseline.is_partial());
+        let kinds: Vec<&str> = baseline
+            .quarantine
+            .iter()
+            .map(|r| r.kind.as_str())
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "solver-panic").count(), 4);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "non-finite-energy").count(),
+            4
+        );
+        // Structured failures keep the attempt seed they reported; panics
+        // fall back to seed(0).
+        for record in &baseline.quarantine {
+            let ctx = TrialCtx::new(0xFA11, record.point, record.replicate, 4);
+            let expected = if record.kind == "solver-panic" {
+                ctx.seed(0)
+            } else {
+                ctx.seed(3)
+            };
+            assert_eq!(record.seed, expected);
+            assert!(record.detail.contains("injected"));
+        }
+        for threads in [4, 8] {
+            let parallel = run(threads);
+            assert_eq!(baseline.per_point, parallel.per_point, "{threads} threads");
+            assert_eq!(
+                baseline.quarantine, parallel.quarantine,
+                "{threads} threads"
+            );
+            let serialize = |o: &QuarantinedOutcome<u64>| {
+                o.quarantine
+                    .iter()
+                    .map(|r| r.to_json_line())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(serialize(&baseline), serialize(&parallel));
+        }
+    }
+
+    #[test]
+    fn poisoned_worker_state_is_discarded_and_rebuilt() {
+        // The trial marks the state dirty *before* panicking; if the
+        // engine reused the unwound state, later trials would see the
+        // mark and report "leaked".
+        let outcome = SweepRunner::new()
+            .with_threads(1)
+            .run_quarantined_with_state(
+                &[0u8; 3],
+                4,
+                7,
+                || false,
+                |_, ctx, dirty: &mut bool| {
+                    if *dirty {
+                        return Err(TrialFailure::new("leaked", "saw poisoned state"));
+                    }
+                    if ctx.trial_index() == 2 {
+                        *dirty = true;
+                        panic!("injected fault");
+                    }
+                    Ok(ctx.trial_index())
+                },
+            )
+            .expect("no fatal error");
+        assert_eq!(outcome.stats.quarantined, 1);
+        assert_eq!(outcome.quarantine[0].kind, "solver-panic");
+        assert!(outcome.quarantine.iter().all(|r| r.kind != "leaked"));
+    }
+
+    #[test]
+    fn fatal_panics_escalate_to_worker_panicked() {
+        for threads in [1, 2] {
+            let result = SweepRunner::new().with_threads(threads).run_quarantined(
+                &[0u8; 2],
+                3,
+                1,
+                |_, ctx| -> Result<(), TrialFailure> {
+                    if ctx.trial_index() == 4 {
+                        panic!("{FATAL_PANIC_PREFIX}sim-oracle failure: injected");
+                    }
+                    Ok(())
+                },
+            );
+            match result {
+                Err(SweepError::WorkerPanicked { payload, .. }) => {
+                    assert!(payload.contains("sim-oracle failure"), "{payload}");
+                }
+                other => panic!("expected WorkerPanicked at {threads} threads, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uncontained_worker_panic_is_drained_and_reported() {
+        let result = SweepRunner::new().with_threads(4).try_run_with_state(
+            &[0u8; 4],
+            4,
+            9,
+            || (),
+            |_, ctx, _: &mut ()| {
+                if ctx.trial_index() == 7 {
+                    panic!("boom at trial 7");
+                }
+                Some(ctx.trial_index())
+            },
+        );
+        match result {
+            Err(SweepError::WorkerPanicked { payload, .. }) => {
+                assert!(payload.contains("boom at trial 7"), "{payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+
+        // The panicking wrapper keeps the legacy "sweep worker … panicked"
+        // abort message.
+        let caught = std::panic::catch_unwind(|| {
+            SweepRunner::new()
+                .with_threads(4)
+                .run(&[0u8; 4], 4, 9, |_, ctx| {
+                    if ctx.trial_index() == 7 {
+                        panic!("boom at trial 7");
+                    }
+                    Some(ctx.trial_index())
+                })
+        })
+        .unwrap_err();
+        let text = payload_text(caught.as_ref());
+        assert!(text.contains("sweep worker"), "{text}");
+        assert!(text.contains("panicked"), "{text}");
+    }
+
+    fn checkpoint_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sdem_exec_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    fn encode_u64(v: &u64) -> String {
+        format!("{v:016x}")
+    }
+
+    fn decode_u64(s: &str) -> Option<u64> {
+        u64::from_str_radix(s, 16).ok()
+    }
+
+    #[test]
+    fn checkpointed_halt_then_resume_is_bit_identical() {
+        let points: Vec<f64> = (1..=4).map(f64::from).collect();
+        let path = checkpoint_path("resume");
+
+        // Uninterrupted reference run (no checkpoint involved).
+        let reference = SweepRunner::new()
+            .with_threads(2)
+            .run_quarantined(&points, 5, 0xC0DE, faulty_trial)
+            .expect("no fatal error");
+
+        // Interrupted run: the budget halts after 7 newly executed trials.
+        let mut journal = CheckpointJournal::new(&path);
+        let partial = SweepRunner::new()
+            .with_threads(2)
+            .with_trial_budget(7)
+            .try_run_checkpointed_with_state(
+                &points,
+                5,
+                0xC0DE,
+                || (),
+                |p, ctx, _: &mut ()| faulty_trial(p, ctx),
+                encode_u64,
+                decode_u64,
+                &mut journal,
+            )
+            .expect("no fatal error");
+        assert!(partial.is_partial());
+        assert_eq!(partial.completed, 7);
+
+        // Resume with a different thread count; the union must match the
+        // uninterrupted run exactly.
+        let mut journal = CheckpointJournal::resume(&path).expect("journal parses");
+        assert_eq!(journal.preloaded(), 7);
+        let resumed = SweepRunner::new()
+            .with_threads(3)
+            .try_run_checkpointed_with_state(
+                &points,
+                5,
+                0xC0DE,
+                || (),
+                |p, ctx, _: &mut ()| faulty_trial(p, ctx),
+                encode_u64,
+                decode_u64,
+                &mut journal,
+            )
+            .expect("no fatal error");
+        assert!(!resumed.is_partial());
+        assert_eq!(resumed.per_point, reference.per_point);
+        assert_eq!(resumed.quarantine, reference.quarantine);
+        assert_eq!(resumed.stats.quarantined, reference.stats.quarantined);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_grids() {
+        let path = checkpoint_path("mismatch");
+        let mut journal = CheckpointJournal::new(&path);
+        SweepRunner::new()
+            .with_threads(1)
+            .try_run_checkpointed_with_state(
+                &[1.0f64, 2.0],
+                2,
+                111,
+                || (),
+                |p, ctx, _: &mut ()| faulty_trial(p, ctx),
+                encode_u64,
+                decode_u64,
+                &mut journal,
+            )
+            .expect("no fatal error");
+
+        let mut journal = CheckpointJournal::resume(&path).expect("journal parses");
+        let err = SweepRunner::new()
+            .with_threads(1)
+            .try_run_checkpointed_with_state(
+                &[1.0f64, 2.0],
+                2,
+                222, // different grid seed
+                || (),
+                |p, ctx, _: &mut ()| faulty_trial(p, ctx),
+                encode_u64,
+                decode_u64,
+                &mut journal,
+            )
+            .expect_err("grid seed mismatch must be rejected");
+        assert!(
+            matches!(err, SweepError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+
+        // Missing file is a checkpoint error, not a panic.
+        let missing = CheckpointJournal::resume(checkpoint_path("missing"));
+        assert!(matches!(missing, Err(SweepError::Checkpoint { .. })));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trial_budget_zero_means_unlimited() {
+        let outcome = SweepRunner::new()
+            .with_trial_budget(0)
+            .run_quarantined(&[1.0f64], 4, 3, |_, ctx| Ok::<_, TrialFailure>(ctx.seed(0)))
+            .expect("no fatal error");
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.completed, 4);
     }
 }

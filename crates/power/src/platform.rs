@@ -2,7 +2,7 @@
 
 use sdem_types::{Cycles, Joules, Speed, Time};
 
-use crate::{CorePower, MemoryPower};
+use crate::{CorePower, MemoryPower, PlatformError};
 
 /// The hardware the SDEM schedulers target: one [`CorePower`] model shared
 /// by all (homogeneous) cores, and one [`MemoryPower`] model for the shared
@@ -64,6 +64,76 @@ impl Platform {
     pub fn with_memory(mut self, memory: MemoryPower) -> Self {
         self.memory = memory;
         self
+    }
+
+    /// Checks every model parameter the schedulers differentiate on —
+    /// `α`, `β`, `λ`, `ξ`, the speed range, `α_m`, `ξ_m`, and the access
+    /// energy — rejecting NaN/∞ and out-of-range values with a typed
+    /// [`PlatformError`].
+    ///
+    /// The component constructors assert most of these invariants, but
+    /// their comparisons silently pass NaN/∞ in a few spots (an infinite
+    /// `β`, or [`MemoryPower::with_alpha_m`] which validates nothing), so
+    /// anything built from untrusted input — CLI flags, sweep configs —
+    /// should be re-checked here before scheduling. One exception is
+    /// deliberate: an **infinite maximum speed** is allowed, because the
+    /// `CorePower::simple` test model uses it to mean "unbounded".
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        let core = &self.core;
+        let alpha = core.alpha().value();
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(PlatformError::NegativePower {
+                field: "alpha",
+                value: alpha,
+            });
+        }
+        if !core.beta().is_finite() || core.beta() <= 0.0 {
+            return Err(PlatformError::BetaNotPositive { beta: core.beta() });
+        }
+        if !core.lambda().is_finite() || core.lambda() <= 1.0 {
+            return Err(PlatformError::LambdaNotAboveOne {
+                lambda: core.lambda(),
+            });
+        }
+        let xi = core.break_even();
+        if !xi.value().is_finite() || xi.value() < 0.0 {
+            return Err(PlatformError::NegativeBreakEven {
+                field: "xi",
+                millis: xi.as_millis(),
+            });
+        }
+        let (min, max) = (core.min_speed(), core.max_speed());
+        let range_ok = min.value().is_finite()
+            && min.value() >= 0.0
+            && !max.value().is_nan()
+            && max.value() > min.value();
+        if !range_ok {
+            return Err(PlatformError::EmptySpeedRange {
+                min_mhz: min.as_mhz(),
+                max_mhz: max.as_mhz(),
+            });
+        }
+
+        let memory = &self.memory;
+        let alpha_m = memory.alpha_m().value();
+        if !alpha_m.is_finite() || alpha_m < 0.0 {
+            return Err(PlatformError::NegativePower {
+                field: "alpha_m",
+                value: alpha_m,
+            });
+        }
+        let xi_m = memory.break_even();
+        if !xi_m.value().is_finite() || xi_m.value() < 0.0 {
+            return Err(PlatformError::NegativeBreakEven {
+                field: "xi_m",
+                millis: xi_m.as_millis(),
+            });
+        }
+        let access = memory.access_energy_per_cycle();
+        if !access.is_finite() || access < 0.0 {
+            return Err(PlatformError::NegativeAccessEnergy { value: access });
+        }
+        Ok(())
     }
 
     /// The unclamped memory-associated critical speed of §5.2:
@@ -160,5 +230,50 @@ mod tests {
             .with_core(CorePower::simple(0.0, 1.0, 2.0));
         assert_eq!(p.memory().alpha_m(), Watts::new(8.0));
         assert!(p.core().is_alpha_zero());
+    }
+
+    #[test]
+    fn validate_accepts_sane_platforms_including_unbounded_speed() {
+        Platform::paper_defaults()
+            .validate()
+            .expect("paper defaults");
+        // The simple() test model has an infinite max speed — allowed.
+        Platform::new(
+            CorePower::simple(1.0, 1.0, 3.0),
+            MemoryPower::new(Watts::new(2.0)),
+        )
+        .validate()
+        .expect("unbounded test model");
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_parameters() {
+        use crate::PlatformError;
+
+        // with_alpha_m performs no checks of its own — validate() is the
+        // net that catches a smuggled ∞/NaN.
+        let p = Platform::paper_defaults()
+            .with_memory(MemoryPower::dram_50nm().with_alpha_m(Watts::new(f64::INFINITY)));
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::NegativePower {
+                field: "alpha_m",
+                ..
+            })
+        ));
+
+        let p = Platform::paper_defaults()
+            .with_memory(MemoryPower::dram_50nm().with_alpha_m(Watts::new(f64::NAN)));
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::NegativePower { .. })
+        ));
+
+        // An infinite β slips past CorePower::new's comparisons.
+        let p = Platform::paper_defaults().with_core(CorePower::simple(1.0, f64::INFINITY, 3.0));
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::BetaNotPositive { .. })
+        ));
     }
 }

@@ -386,3 +386,47 @@ fn sorted_by_deadline_is_sorted_and_stable_permutation() {
         assert_eq!(ids, (0..tasks.len()).collect::<Vec<_>>());
     }
 }
+
+#[test]
+fn task_sets_reject_any_non_finite_field_with_typed_errors() {
+    use sdem_types::TaskSetError;
+
+    let poisons = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+    for case in 0..CASES {
+        let mut rng = rng_for(15, case);
+        let n = rng.gen_range(1usize..12);
+        let mut tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                let r = rng.gen_range(0.0f64..50.0);
+                let win = rng.gen_range(0.1f64..20.0);
+                Task::new(
+                    i,
+                    Time::from_secs(r),
+                    Time::from_secs(r + win),
+                    Cycles::new(rng.gen_range(1.0f64..1e6)),
+                )
+            })
+            .collect();
+        // The clean set always validates…
+        TaskSet::new(tasks.clone()).expect("clean set");
+
+        // …then poison exactly one field of one task with NaN/±∞ and the
+        // constructor must reject it, naming the offending task.
+        let victim = rng.gen_range(0usize..n);
+        let poison = poisons[rng.gen_range(0usize..poisons.len())];
+        let field = rng.gen_range(0usize..3);
+        let t = &tasks[victim];
+        tasks[victim] = match field {
+            0 => Task::new(victim, Time::from_secs(poison), t.deadline(), t.work()),
+            1 => Task::new(victim, t.release(), Time::from_secs(poison), t.work()),
+            _ => Task::new(victim, t.release(), t.deadline(), Cycles::new(poison)),
+        };
+        match TaskSet::new(tasks) {
+            Err(TaskSetError::InvalidTask(id)) => assert_eq!(id, TaskId(victim)),
+            // A -∞ deadline (or +∞ release) can also trip the window check
+            // first; either typed rejection is acceptable.
+            Err(TaskSetError::EmptyWindow(id)) => assert_eq!(id, TaskId(victim)),
+            other => panic!("poisoned set accepted or misreported: {other:?}"),
+        }
+    }
+}
