@@ -155,4 +155,39 @@ fn main() {
         after.0,
         before.0
     );
+
+    // Every solver, meter and sweep path above is instrumented with
+    // sdem-obs, so all the numbers measured so far already pin the
+    // *disabled* path: one relaxed atomic load per site, no clock reads,
+    // no heap traffic. Make that explicit, then show the armed metrics
+    // registry adds zero allocations too — recording is atomics into
+    // static slots (only the opt-in trace sink allocates, and it stays
+    // off here).
+    assert!(
+        !sdem_obs::registry::enabled() && !sdem_obs::trace::enabled(),
+        "the baseline cases must run with observability disabled"
+    );
+    sdem_obs::registry::reset();
+    sdem_obs::registry::set_enabled(true);
+    // One warm-up pass registers the histogram label slots.
+    let _ = run_trial_with_oracle_in(&sporadic_set, &platform, paper::NUM_CORES, None, &mut ws);
+    let metered = count_per_iter(ITERS, || {
+        std::hint::black_box(
+            run_trial_with_oracle_in(&sporadic_set, &platform, paper::NUM_CORES, None, &mut ws)
+                .unwrap(),
+        );
+    });
+    sdem_obs::registry::set_enabled(false);
+    report("sweep_trial (warmed workspace, metrics armed)", metered);
+    // The baseline itself carries ~0.05 allocs/trial of amortized Vec
+    // growth, so allow half an allocation of noise — anything the
+    // registry allocated per record would overshoot this by orders of
+    // magnitude (a trial records 4+ histogram samples and 10 counters).
+    assert!(
+        metered.0 <= after.0 + 0.5,
+        "arming the metrics registry must not add heap traffic \
+         ({} vs {} allocs/trial)",
+        metered.0,
+        after.0
+    );
 }

@@ -15,10 +15,34 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(paper::TRIALS_PER_POINT);
+    let metrics_path = std::env::var("SDEM_METRICS").ok();
+    if metrics_path.is_some() {
+        sdem_obs::registry::reset();
+        sdem_obs::registry::set_enabled(true);
+    }
     println!("Fig. 7a — SDEM-ON improvement over MBKPS, α_m sweep (ξ_m = {} ms), {tasks} tasks, {trials} trials/point  (paper average: 9.74%)\n", paper::DEFAULT_XI_M_MS);
     let (cells, stats) = fig7a_with(tasks, trials, &runner_from_env());
     eprintln!("sweep: {stats}\n");
     print!("{}", format_fig7(&cells, "alpha_m[W]"));
+    if let Some(path) = metrics_path {
+        sdem_obs::registry::set_enabled(false);
+        let snapshot = sdem_obs::registry::snapshot();
+        std::fs::write(&path, snapshot.to_json()).expect("write metrics");
+        // Surface the per-trial latency percentiles on stderr so
+        // `update_bench.sh`-style harnesses can scrape them alongside
+        // the trials/s line above.
+        for (label, h) in &snapshot.histograms {
+            eprintln!(
+                "metrics: {label} p50<={} p90<={} p99<={} max={} ns (n={})",
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max(),
+                h.count()
+            );
+        }
+        eprintln!("metrics: wrote {path}");
+    }
 
     if let Ok(prefix) = std::env::var("SDEM_SVG") {
         use sdem_bench::plot::{line_chart, ChartOptions, Series};

@@ -237,9 +237,23 @@ pub fn run_trial_checked_in(
     oracle: OracleCheck,
     ws: &mut Workspace,
 ) -> Result<TrialResult, TrialError> {
-    let sdem_schedule = schedule_online_in(tasks, platform, ws)?;
-    let mbkp_schedule = mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
-        .map_err(|e| TrialError::Baseline(e.to_string()))?;
+    // Per-scheme solve latency + trace spans for the sweep's two actual
+    // solver invocations (one relaxed load each when observability is
+    // off; `Scheme::solve_into` covers the CLI's generic path the same
+    // way).
+    let clock = sdem_obs::registry::maybe_start();
+    let sdem_schedule = {
+        let _span = sdem_obs::trace::span("solve/sdem-on");
+        schedule_online_in(tasks, platform, ws)?
+    };
+    sdem_obs::registry::record_elapsed("solve/sdem-on", clock);
+    let clock = sdem_obs::registry::maybe_start();
+    let mbkp_schedule = {
+        let _span = sdem_obs::trace::span("solve/mbkp");
+        mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
+            .map_err(|e| TrialError::Baseline(e.to_string()))?
+    };
+    sdem_obs::registry::record_elapsed("solve/mbkp", clock);
 
     let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
     let never = SimOptions {
@@ -251,10 +265,14 @@ pub fn run_trial_checked_in(
         ..profit
     };
 
+    let clock = sdem_obs::registry::maybe_start();
+    let _span = sdem_obs::trace::span("simulate/trial-meters");
     let sdem_on = simulate_with_options_in(&sdem_schedule, tasks, platform, profit, ws)?;
     let mbkp_report = simulate_with_options_in(&mbkp_schedule, tasks, platform, never, ws)?;
     let mbkps_report = simulate_with_options_in(&mbkp_schedule, tasks, platform, profit, ws)?;
     let mbkps_always = simulate_with_options_in(&mbkp_schedule, tasks, platform, always, ws)?;
+    sdem_obs::registry::record_elapsed("simulate/trial-meters", clock);
+    drop(_span);
 
     if let Some(tol) = oracle.tolerance() {
         // Analytic accounting vs the interval meter, through the canonical
@@ -478,7 +496,10 @@ pub fn run_trial_quarantined_in(
                 }
                 return Ok(result);
             }
-            Ok(Err(e)) if e.is_resamplable() => continue,
+            Ok(Err(e)) if e.is_resamplable() => {
+                sdem_obs::registry::incr(sdem_obs::Counter::TrialsResampled);
+                continue;
+            }
             Ok(Err(e)) => return Err(quarantine(&e, seed)),
         }
     }
@@ -601,6 +622,9 @@ pub fn run_trial_resampling_in(
         let tasks = make_tasks(seed);
         let result = run_trial_with_oracle_in(&tasks, platform, cores, oracle_tol, ws).ok();
         ws.recycle_tasks(tasks.into_tasks());
+        if result.is_none() {
+            sdem_obs::registry::incr(sdem_obs::Counter::TrialsResampled);
+        }
         result
     })
 }

@@ -84,6 +84,7 @@ pub fn fig6_with(
             )
         },
     );
+    publish_energy_gauges(&outcome.per_point);
     let rows = paper::U_POINTS
         .iter()
         .zip(&outcome.per_point)
@@ -107,6 +108,62 @@ fn expect_feasible(results: &[TrialResult]) -> &[TrialResult] {
         "too many infeasible seeds for this configuration"
     );
     results
+}
+
+/// Publishes exact sweep-wide energy totals to the `sdem-obs` gauge
+/// registry (no-op when observability is off).
+///
+/// The sums are computed here, *after* the engine's deterministic merge,
+/// by folding the per-trial reports in sorted trial order — the same
+/// order an untraced sweep aggregates in — so each gauge matches the
+/// untraced aggregate bit for bit at any thread count. (The meter's own
+/// counters accumulate integer nanojoules concurrently instead, which
+/// is order-independent but rounded.)
+pub fn publish_energy_gauges(per_point: &[Vec<TrialResult>]) {
+    use sdem_obs::registry::{enabled, set_gauge};
+    if !enabled() {
+        return;
+    }
+    let mut totals = [(0.0f64, 0.0f64); 4]; // (core, memory) per scheme
+    for results in per_point {
+        for r in results {
+            for (acc, report) in
+                totals
+                    .iter_mut()
+                    .zip([&r.sdem_on, &r.mbkp, &r.mbkps, &r.mbkps_always])
+            {
+                acc.0 += report.core_total().value();
+                acc.1 += report.memory_total().value();
+            }
+        }
+    }
+    let labels: [(&str, &str, &str); 4] = [
+        (
+            "energy/sdem_on_core_j",
+            "energy/sdem_on_memory_j",
+            "energy/sdem_on_total_j",
+        ),
+        (
+            "energy/mbkp_core_j",
+            "energy/mbkp_memory_j",
+            "energy/mbkp_total_j",
+        ),
+        (
+            "energy/mbkps_core_j",
+            "energy/mbkps_memory_j",
+            "energy/mbkps_total_j",
+        ),
+        (
+            "energy/mbkps_always_core_j",
+            "energy/mbkps_always_memory_j",
+            "energy/mbkps_always_total_j",
+        ),
+    ];
+    for ((core, memory), (core_label, memory_label, total_label)) in totals.iter().zip(labels) {
+        set_gauge(core_label, *core);
+        set_gauge(memory_label, *memory);
+        set_gauge(total_label, core + memory);
+    }
 }
 
 /// One cell of the Fig. 7 sweeps.
@@ -203,6 +260,7 @@ fn sweep(
             )
         },
     );
+    publish_energy_gauges(&outcome.per_point);
     let cells = grid
         .iter()
         .zip(&outcome.per_point)
@@ -337,6 +395,7 @@ pub fn fig6_robust(
             )
         },
     )?;
+    publish_energy_gauges(&outcome.per_point);
     let rows = (!outcome.is_partial()).then(|| {
         paper::U_POINTS
             .iter()
@@ -468,6 +527,7 @@ fn robust_fig7(
             )
         },
     )?;
+    publish_energy_gauges(&outcome.per_point);
     let cells = (!outcome.is_partial()).then(|| {
         grid.iter()
             .zip(&outcome.per_point)

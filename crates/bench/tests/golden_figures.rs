@@ -1,0 +1,68 @@
+//! Byte-exact regression net for the committed `results/` artifacts.
+//!
+//! Each test regenerates a figure's CSV with the exact configuration its
+//! binary uses by default (`fig6`: 30 instances/stream; `fig7a`/`fig7b`:
+//! 60 tasks; all at `paper::TRIALS_PER_POINT` trials) and compares it
+//! against the checked-in golden with `assert_eq!` on the raw bytes — not
+//! a tolerance. The sweep engine's per-trial seeding makes the outputs
+//! bit-identical across thread counts and build profiles, so any byte of
+//! drift here is a semantic change to a generator, solver, baseline or
+//! meter, and must be reconciled with `results/README.md` and
+//! `EXPERIMENTS.md` before the golden is re-recorded.
+
+use sdem_bench::figures::{self, fig6_with, fig7a_with, fig7b_with};
+use sdem_exec::SweepRunner;
+use sdem_workload::paper;
+
+/// Committed goldens, bundled at compile time so the test is hermetic.
+const GOLDEN_FIG6: &str = include_str!("../../../results/fig6.csv");
+const GOLDEN_FIG7A: &str = include_str!("../../../results/fig7a.csv");
+const GOLDEN_FIG7B: &str = include_str!("../../../results/fig7b.csv");
+
+fn assert_bytes_equal(regenerated: &str, golden: &str, figure: &str) {
+    if regenerated == golden {
+        return;
+    }
+    // Locate the first diverging line so the failure is actionable
+    // without dumping two whole files.
+    for (i, (new, old)) in regenerated.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            new,
+            old,
+            "{figure}: first divergence at line {} (regenerate with the \
+             command in results/README.md if the change is intentional)",
+            i + 1
+        );
+    }
+    panic!(
+        "{figure}: line counts differ ({} regenerated vs {} golden)",
+        regenerated.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn fig6_csv_matches_committed_golden_byte_for_byte() {
+    let (rows, _) = fig6_with(30, paper::TRIALS_PER_POINT, &SweepRunner::new());
+    assert_bytes_equal(&figures::fig6_to_csv(&rows), GOLDEN_FIG6, "fig6.csv");
+}
+
+#[test]
+fn fig7a_csv_matches_committed_golden_byte_for_byte() {
+    let (cells, _) = fig7a_with(60, paper::TRIALS_PER_POINT, &SweepRunner::new());
+    assert_bytes_equal(
+        &figures::fig7_to_csv(&cells, "alpha_m_w"),
+        GOLDEN_FIG7A,
+        "fig7a.csv",
+    );
+}
+
+#[test]
+fn fig7b_csv_matches_committed_golden_byte_for_byte() {
+    let (cells, _) = fig7b_with(60, paper::TRIALS_PER_POINT, &SweepRunner::new());
+    assert_bytes_equal(
+        &figures::fig7_to_csv(&cells, "xi_m_ms"),
+        GOLDEN_FIG7B,
+        "fig7b.csv",
+    );
+}

@@ -11,7 +11,14 @@ pub struct Args {
 }
 
 /// Option keys that are boolean switches (no value follows).
-const SWITCHES: &[&str] = &["gantt", "quiet", "oracle", "oracle-keep-going", "fallback"];
+const SWITCHES: &[&str] = &[
+    "gantt",
+    "quiet",
+    "oracle",
+    "oracle-keep-going",
+    "fallback",
+    "check",
+];
 
 impl Args {
     /// Parses `argv` (after the subcommand).

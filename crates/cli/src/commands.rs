@@ -36,10 +36,13 @@ USAGE:
                     power-over-time CSV (time_s,cores_w,memory_w,total_w)
   sdem-cli sweep    [--figure fig6|fig7a|fig7b] [--trials N] [--tasks N]
                     [--instances N] [--threads N] [--csv FILE]
+                    [--metrics FILE] [--trace FILE]
                     [--oracle] [--oracle-tol REL] [--oracle-keep-going]
                     [--quarantine FILE] [--inject panics=N,nans=N]
                     [--checkpoint FILE | --resume FILE] [--halt-after N]
                     parallel figure sweep; prints trials/sec statistics
+  sdem-cli stats    --input FILE [--check]
+                    summarize a --metrics JSON or --trace JSONL file
   sdem-cli repro    --seed S [--kind synthetic|dspstone|fig6] [--tasks N]
                     [--x-ms X] [--u U] [--instances N] [--cores N]
                     [--alpha-m W] [--xi-m MS] [--oracle] [--oracle-tol REL]
@@ -71,6 +74,15 @@ an uninterrupted run. --halt-after N stops after N trials (for testing
 resume). --inject panics=N,nans=N fabricates deterministic faults for
 smoke tests. Replay a record:
   sdem-cli repro --seed 0x1f2e3d4c... --kind synthetic --tasks 40
+
+Observability: sweep --metrics FILE exports the run's counters, energy
+gauges and log2-bucket latency histograms as JSON; --trace FILE exports
+a JSONL span/instant trace with monotonic timestamps. Both are off by
+default, cost nothing when off, and never touch stdout — the sweep table
+stays byte-identical with or without them, at any --threads value.
+Inspect either file with `sdem-cli stats --input FILE`; --check
+additionally validates the file's internal consistency (version, bucket
+sums, percentile monotonicity, gauge bit patterns).
 
 schedule --fallback routes through the degraded-mode chain: when the
 chosen scheme rejects the instance, the always-feasible race-to-idle
@@ -111,6 +123,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "compare" => compare(&args),
         "trace" => trace(&args),
         "sweep" => sweep(&args),
+        "stats" => stats(&args),
         "experiment" => experiment(&args),
         "repro" => repro(&args),
         "help" | "--help" | "-h" => {
@@ -384,7 +397,42 @@ fn fig6_table(rows: &[figures::Fig6Row]) -> String {
         .collect()
 }
 
+/// Entry point for `sweep`: arms the metrics registry and/or trace sink
+/// when `--metrics`/`--trace` are given, runs the sweep, then exports the
+/// files. All observability output goes to side files and stderr — the
+/// sweep's stdout is byte-identical with or without these flags.
 fn sweep(args: &Args) -> Result<(), String> {
+    let metrics = args.get("metrics").map(str::to_string);
+    let trace_out = args.get("trace").map(str::to_string);
+    if metrics.is_some() {
+        // Fresh registry so the export reflects only this run, even when
+        // several sweeps share one process (e.g. the test harness).
+        sdem_obs::registry::reset();
+        sdem_obs::registry::set_enabled(true);
+    }
+    if trace_out.is_some() {
+        sdem_obs::trace::set_enabled(true);
+    }
+    let outcome = sweep_dispatch(args);
+    // Quiesce before exporting so the snapshot/drain see a stable world,
+    // and so a failed sweep never leaves global instrumentation armed.
+    sdem_obs::registry::set_enabled(false);
+    sdem_obs::trace::set_enabled(false);
+    outcome?;
+    if let Some(path) = metrics {
+        let json = sdem_obs::registry::snapshot().to_json();
+        fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("metrics: wrote {path}");
+    }
+    if let Some(path) = trace_out {
+        let jsonl = sdem_obs::trace::drain_jsonl();
+        fs::write(&path, jsonl).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("trace: wrote {path}");
+    }
+    Ok(())
+}
+
+fn sweep_dispatch(args: &Args) -> Result<(), String> {
     let robust = args.get("quarantine").is_some()
         || args.get("inject").is_some()
         || args.get("checkpoint").is_some()
@@ -542,6 +590,84 @@ fn sweep_robust(args: &Args) -> Result<(), String> {
              <config flags from its record>`",
             quarantine.len()
         );
+    }
+    Ok(())
+}
+
+/// Summarizes an observability file written by `sweep --metrics` (JSON)
+/// or `sweep --trace` (JSONL), auto-detected from the first line. Both
+/// formats are validated while being read, so a corrupt file always
+/// errors; `--check` additionally prints the validation verdict (for
+/// CI assertions).
+fn stats(args: &Args) -> Result<(), String> {
+    use sdem_obs::json::{self, Value};
+
+    let path = args
+        .get("input")
+        .ok_or_else(|| "`--input FILE` is required".to_string())?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let first = text.lines().next().unwrap_or("");
+
+    if first.contains("\"sdem_trace\"") {
+        let verdict =
+            json::validate_trace(&text).map_err(|e| format!("invalid trace `{path}`: {e}"))?;
+        println!(
+            "trace: {} event(s), {} span(s)",
+            verdict.events, verdict.spans
+        );
+        // Per-name tallies with total span time, sorted by name.
+        let mut by_name: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for line in text.lines().skip(1).filter(|l| !l.is_empty()) {
+            let event = json::parse(line).map_err(|e| e.to_string())?;
+            let name = event.get("name").and_then(Value::as_str).unwrap_or("?");
+            let dur = event.get("dur_ns").and_then(Value::as_u64).unwrap_or(0);
+            let entry = by_name.entry(name.to_string()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += dur;
+        }
+        for (name, (count, dur_ns)) in &by_name {
+            println!("  {name}: {count} event(s), {dur_ns} ns total");
+        }
+        if args.has_flag("check") {
+            println!("check: OK");
+        }
+        return Ok(());
+    }
+
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON `{path}`: {e}"))?;
+    let verdict =
+        json::validate_metrics(&doc).map_err(|e| format!("invalid metrics `{path}`: {e}"))?;
+    println!(
+        "metrics: {} counter(s), {} gauge(s), {} histogram(s)",
+        verdict.counters, verdict.gauges, verdict.histograms
+    );
+    let section = |key: &str| doc.get(key).and_then(Value::as_obj).unwrap_or(&[]);
+    for (name, value) in section("counters") {
+        if let Some(n) = value.as_u64() {
+            if n != 0 {
+                println!("  counter {name} = {n}");
+            }
+        }
+    }
+    for (label, g) in section("gauges") {
+        if let Some(v) = g.get("value").and_then(Value::as_f64) {
+            println!("  gauge {label} = {v:e}");
+        }
+    }
+    for (label, h) in section("histograms") {
+        let field = |key: &str| h.get(key).and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "  histogram {label}: count={} p50<={} p90<={} p99<={} max={}",
+            field("count"),
+            field("p50"),
+            field("p90"),
+            field("p99"),
+            field("max"),
+        );
+    }
+    if args.has_flag("check") {
+        println!("check: OK");
     }
     Ok(())
 }
@@ -969,6 +1095,63 @@ mod tests {
         assert!(run(&sv(&["repro"])).is_err());
         assert!(run(&sv(&["sweep", "--inject", "gremlins=1"])).is_err());
         fs::remove_file(&q).ok();
+    }
+
+    #[test]
+    fn sweep_metrics_trace_and_stats_round_trip() {
+        let dir = std::env::temp_dir().join("sdem-cli-obs");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.jsonl");
+        let mp = metrics.to_str().unwrap().to_string();
+        let tp = trace.to_str().unwrap().to_string();
+        run(&sv(&[
+            "sweep",
+            "--figure",
+            "fig7a",
+            "--trials",
+            "1",
+            "--tasks",
+            "8",
+            "--threads",
+            "2",
+            "--metrics",
+            &mp,
+            "--trace",
+            &tp,
+        ]))
+        .unwrap();
+
+        // Both files validate and summarize (other tests in this binary
+        // may sweep concurrently while the registry is armed, so only
+        // structural facts are asserted — exact counts live in the
+        // single-process obs_identity suite).
+        run(&sv(&["stats", "--input", &mp, "--check"])).unwrap();
+        run(&sv(&["stats", "--input", &tp, "--check"])).unwrap();
+        let text = fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("\"sdem_metrics\": 1"));
+        assert!(text.contains("trials_run"));
+        assert!(text.contains("energy/sdem_on_total_j"));
+        assert!(fs::read_to_string(&trace)
+            .unwrap()
+            .starts_with("{\"sdem_trace\":1"));
+
+        // A corrupt file must fail validation, and stats needs --input.
+        let torn = dir.join("torn.json");
+        fs::write(&torn, &text[..text.len() / 2]).unwrap();
+        assert!(run(&sv(&[
+            "stats",
+            "--input",
+            torn.to_str().unwrap(),
+            "--check"
+        ]))
+        .is_err());
+        assert!(run(&sv(&["stats"])).is_err());
+        assert!(run(&sv(&["stats", "--input", "/nonexistent/x.json"])).is_err());
+
+        for f in [&metrics, &trace, &torn] {
+            fs::remove_file(f).ok();
+        }
     }
 
     #[test]

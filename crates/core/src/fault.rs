@@ -265,10 +265,18 @@ pub fn solve_or_fallback_with(
             }
         }
         Ok(Err(e)) => primary_err = Some(e),
-        Err(_) => *ws = Workspace::new(),
+        Err(_) => {
+            sdem_obs::registry::incr(sdem_obs::Counter::SolverPanicsCaught);
+            *ws = Workspace::new();
+        }
     }
+    sdem_obs::registry::incr(sdem_obs::Counter::FallbackAttempts);
+    sdem_obs::trace::instant("fault/fallback");
     match schedule_race_to_idle_in(tasks, platform, ws) {
-        Ok(solution) => Ok(solution.with_degraded(true)),
+        Ok(solution) => {
+            sdem_obs::registry::incr(sdem_obs::Counter::DegradedSolutions);
+            Ok(solution.with_degraded(true))
+        }
         Err(fallback_err) => Err(primary_err.unwrap_or(fallback_err)),
     }
 }

@@ -171,10 +171,13 @@ impl Solution {
         platform: &Platform,
         options: OracleOptions,
     ) -> Result<Joules, OracleError> {
+        sdem_obs::registry::incr(sdem_obs::Counter::OracleChecks);
+        let _span = sdem_obs::trace::span("oracle/verify");
         let report = simulate_with_options(self.schedule(), tasks, platform, options.sim)?;
         let metered = report.total();
         let relative = relative_divergence(self.predicted_energy(), metered);
         if relative > options.rel_tol {
+            sdem_obs::registry::incr(sdem_obs::Counter::OracleFailures);
             return Err(OracleError::Mismatch {
                 predicted: self.predicted_energy(),
                 metered,

@@ -290,6 +290,25 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Observability label for a resolved scheme's solve site
+    /// (`"solve/<scheme-name>"`), usable with `sdem-obs`'s
+    /// `&'static str`-labeled histogram and span registries.
+    pub fn solve_label(self) -> &'static str {
+        match self {
+            Scheme::Auto => "solve/auto",
+            Scheme::CommonReleaseAlphaZero => "solve/common-release-alpha-zero",
+            Scheme::CommonReleaseAlphaNonzero => "solve/common-release-alpha-nonzero",
+            Scheme::CommonReleaseOverhead => "solve/common-release-overhead",
+            Scheme::Agreeable => "solve/agreeable",
+            Scheme::AgreeableStrict => "solve/agreeable-strict",
+            Scheme::AgreeableOverhead => "solve/agreeable-overhead",
+            Scheme::Online => "solve/online",
+            Scheme::OnlineBounded(_) => "solve/online-bounded",
+            Scheme::BoundedLpt(_) => "solve/bounded-lpt",
+            Scheme::BoundedExact(_) => "solve/bounded-exact",
+        }
+    }
+
     /// Resolves [`Scheme::Auto`] against a concrete instance: common
     /// release → §7 when any break-even is positive, else the §4 scheme
     /// matching `α`; agreeable deadlines → the §5 DP (overhead-aware when
@@ -343,7 +362,13 @@ impl Scheduler for Scheme {
         platform: &Platform,
         ws: &mut Workspace,
     ) -> Result<Solution, SdemError> {
-        match self.resolve(tasks, platform) {
+        let resolved = self.resolve(tasks, platform);
+        // One relaxed load each when observability is off; the labeled
+        // histogram sample and span are recorded only when enabled.
+        let label = resolved.solve_label();
+        let clock = sdem_obs::registry::maybe_start();
+        let _span = sdem_obs::trace::span(label);
+        let result = match resolved {
             Scheme::Auto => unreachable!("resolve never returns Auto"),
             Scheme::CommonReleaseAlphaZero => {
                 CommonReleaseAlphaZero.solve_into(tasks, platform, ws)
@@ -359,7 +384,9 @@ impl Scheduler for Scheme {
             Scheme::OnlineBounded(n) => OnlineBounded(n).solve_into(tasks, platform, ws),
             Scheme::BoundedLpt(n) => BoundedLpt(n).solve_into(tasks, platform, ws),
             Scheme::BoundedExact(n) => BoundedExact(n).solve_into(tasks, platform, ws),
-        }
+        };
+        sdem_obs::registry::record_elapsed(label, clock);
+        result
     }
 }
 

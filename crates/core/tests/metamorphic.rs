@@ -1,0 +1,170 @@
+//! Metamorphic properties of the optimal solvers.
+//!
+//! Instead of pinning outputs, these tests pin *relations between runs*
+//! that the paper's analysis guarantees:
+//!
+//! 1. scaling every `w_i` and the common deadline by the same factor `k`
+//!    preserves the optimal speed assignment (speeds depend only on the
+//!    power model and the `W_i / D` ratios, both invariant under `k`);
+//! 2. the common-release solvers are symmetric in task order — permuting
+//!    the input leaves the reported energy bit-identical;
+//! 3. raising the memory's static power `α_m` can never *decrease* the
+//!    optimal energy (the memory draws `α_m` whenever awake, and awake
+//!    time is bounded below by the busy time).
+//!
+//! Each property is checked over hundreds of seeded synthetic task sets
+//! so a regression in any solver branch (α = 0, α ≠ 0, overheads) shows
+//! up as a named seed, reproducible verbatim.
+
+use sdem_core::{solve, Scheme};
+use sdem_power::{CorePower, MemoryPower, Platform};
+use sdem_prng::SplitMix64;
+use sdem_types::{Task, TaskSet, Time, Watts};
+use sdem_workload::synthetic::{self, SyntheticConfig};
+
+/// Seeded task sets per property (the suite's sampling budget).
+const SETS_PER_PROPERTY: u64 = 200;
+
+/// The paper's platform with an overridable memory static power.
+fn platform(alpha_m: f64) -> Platform {
+    Platform::new(
+        CorePower::cortex_a57(),
+        MemoryPower::new(Watts::new(alpha_m)).with_break_even(Time::from_millis(40.0)),
+    )
+}
+
+fn generate(seed: u64) -> TaskSet {
+    let config = SyntheticConfig::paper(8, Time::from_millis(300.0));
+    synthetic::common_release(&config, seed)
+}
+
+/// Rebuilds a task set with releases, deadlines and work scaled by `k`,
+/// keeping ids so placements stay comparable across the two solves.
+fn scaled(tasks: &TaskSet, k: f64) -> TaskSet {
+    TaskSet::new(
+        tasks
+            .tasks()
+            .iter()
+            .map(|t| {
+                Task::new(
+                    t.id().0,
+                    Time::from_secs(t.release().as_secs() * k),
+                    Time::from_secs(t.deadline().as_secs() * k),
+                    t.work() * k,
+                )
+            })
+            .collect(),
+    )
+    .expect("scaling a valid set by a positive factor keeps it valid")
+}
+
+/// The schedule's speed profile: per-placement segment speeds, in order.
+fn speed_profile(solution: &sdem_core::Solution) -> Vec<Vec<f64>> {
+    solution
+        .schedule()
+        .placements()
+        .iter()
+        .map(|p| p.segments().iter().map(|s| s.speed().as_hz()).collect())
+        .collect()
+}
+
+#[test]
+fn scaling_work_and_deadline_preserves_speeds() {
+    let platform = platform(4.0);
+    for seed in 0..SETS_PER_PROPERTY {
+        let base = generate(seed);
+        // Cycle through the factors so every scale sees many seeds and
+        // every seed still costs just two solves.
+        let k = [0.5, 2.0, 8.0][(seed % 3) as usize];
+        let shrunk = scaled(&base, k);
+        for scheme in [
+            Scheme::CommonReleaseAlphaZero,
+            Scheme::CommonReleaseAlphaNonzero,
+        ] {
+            let a = solve(&base, &platform, scheme)
+                .unwrap_or_else(|e| panic!("seed {seed}: base solve failed: {e}"));
+            let b = solve(&shrunk, &platform, scheme)
+                .unwrap_or_else(|e| panic!("seed {seed}: scaled solve failed: {e}"));
+            let (sa, sb) = (speed_profile(&a), speed_profile(&b));
+            assert_eq!(
+                sa.len(),
+                sb.len(),
+                "seed {seed}, k {k}, {scheme:?}: placement counts diverged"
+            );
+            for (pa, pb) in sa.iter().zip(&sb) {
+                assert_eq!(
+                    pa.len(),
+                    pb.len(),
+                    "seed {seed}, k {k}, {scheme:?}: segment counts diverged"
+                );
+                for (&va, &vb) in pa.iter().zip(pb) {
+                    assert!(
+                        (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                        "seed {seed}, k {k}, {scheme:?}: speed {va} Hz became {vb} Hz"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn permuting_common_release_tasks_keeps_energy_bit_identical() {
+    let platform = platform(4.0);
+    for seed in 0..SETS_PER_PROPERTY {
+        let base = generate(seed);
+        // Fisher–Yates with the trial seed, so failures name their shuffle.
+        let mut order: Vec<Task> = base.tasks().to_vec();
+        let mut rng = SplitMix64::new(seed ^ 0x5bd1_e995);
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_value() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let shuffled = TaskSet::new(order).expect("permutation keeps the set valid");
+        for scheme in [
+            Scheme::CommonReleaseAlphaZero,
+            Scheme::CommonReleaseAlphaNonzero,
+            Scheme::CommonReleaseOverhead,
+        ] {
+            let a = solve(&base, &platform, scheme)
+                .unwrap_or_else(|e| panic!("seed {seed}: base solve failed: {e}"));
+            let b = solve(&shuffled, &platform, scheme)
+                .unwrap_or_else(|e| panic!("seed {seed}: shuffled solve failed: {e}"));
+            assert_eq!(
+                a.predicted_energy().value().to_bits(),
+                b.predicted_energy().value().to_bits(),
+                "seed {seed}, {scheme:?}: {} J became {} J under permutation",
+                a.predicted_energy().value(),
+                b.predicted_energy().value()
+            );
+        }
+    }
+}
+
+#[test]
+fn raising_memory_power_never_decreases_energy() {
+    // Strictly increasing α_m ladder, spanning the paper's Fig. 7a range.
+    const ALPHAS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+    for seed in 0..SETS_PER_PROPERTY {
+        let tasks = generate(seed);
+        let mut previous: Option<f64> = None;
+        for alpha in ALPHAS {
+            let energy = solve(&tasks, &platform(alpha), Scheme::Auto)
+                .unwrap_or_else(|e| panic!("seed {seed}, α_m {alpha}: solve failed: {e}"))
+                .predicted_energy()
+                .value();
+            assert!(
+                energy.is_finite(),
+                "seed {seed}, α_m {alpha}: non-finite energy"
+            );
+            if let Some(lower) = previous {
+                assert!(
+                    energy >= lower,
+                    "seed {seed}: energy fell from {lower} J to {energy} J \
+                     when α_m rose to {alpha} W"
+                );
+            }
+            previous = Some(energy);
+        }
+    }
+}

@@ -68,6 +68,49 @@ use sdem_prng::SplitMix64;
 /// given explicitly.
 pub const DEFAULT_ORACLE_TOLERANCE: f64 = 1e-6;
 
+/// Per-worker observability accumulator: plain (non-atomic) latency
+/// histograms plus trial tallies, owned by exactly one worker while the
+/// sweep runs and merged into the global `sdem-obs` registry at join —
+/// in worker-index order, so the aggregate is deterministic for any
+/// thread count (histogram merges are integer adds, which commute).
+///
+/// Only populated when observability was enabled when the engine
+/// started; otherwise every field stays empty and [`WorkerObs::publish`]
+/// is a no-op.
+#[derive(Debug)]
+struct WorkerObs {
+    /// Wall latency of each trial closure invocation, nanoseconds.
+    trial_ns: sdem_obs::Histogram,
+    /// Wall latency of each sink call (checkpoint journaling /
+    /// quarantine recording overhead), nanoseconds.
+    sink_ns: sdem_obs::Histogram,
+    /// Trials this worker ran.
+    trials: u64,
+    /// Trials that ended in a fault slot.
+    faults: u64,
+}
+
+impl WorkerObs {
+    fn new() -> Self {
+        Self {
+            trial_ns: sdem_obs::Histogram::new(),
+            sink_ns: sdem_obs::Histogram::new(),
+            trials: 0,
+            faults: 0,
+        }
+    }
+
+    /// Merges this worker's histograms and tallies into the global
+    /// registry (no-op when they are empty or observability is off).
+    fn publish(self) {
+        use sdem_obs::registry::{self, Counter};
+        registry::merge_histogram("exec/trial_ns", &self.trial_ns);
+        registry::merge_histogram("exec/sink_ns", &self.sink_ns);
+        registry::add(Counter::TrialsRun, self.trials);
+        registry::add(Counter::TrialsFaulted, self.faults);
+    }
+}
+
 /// The identity of one trial inside a sweep, carrying its deterministic
 /// seed stream.
 ///
@@ -512,8 +555,14 @@ impl SweepRunner {
             }
         };
 
-        let run_one = |i: usize, state: &mut S| -> (usize, Slot<T>) {
+        // One flag read for the whole sweep: per-worker latency
+        // histograms are kept only when observability is on at start.
+        let obs_on = sdem_obs::registry::enabled();
+
+        let run_one = |i: usize, state: &mut S, obs: &mut WorkerObs| -> (usize, Slot<T>) {
             let ctx = self.ctx_for(grid_seed, replications, i);
+            let trial_clock = if obs_on { Some(Instant::now()) } else { None };
+            let _span = sdem_obs::trace::span("exec/trial");
             let slot = if cfg.contain_panics {
                 // AssertUnwindSafe: on a caught panic the worker state is
                 // discarded and rebuilt below, so no half-mutated state is
@@ -535,8 +584,22 @@ impl SweepRunner {
             } else {
                 trial(&points[ctx.point()], &ctx, state)
             };
+            if matches!(slot, Slot::Fault(_)) {
+                sdem_obs::trace::instant("exec/trial-fault");
+            }
+            if let Some(start) = trial_clock {
+                obs.trial_ns.record(start.elapsed().as_nanos() as u64);
+                obs.trials += 1;
+                if matches!(slot, Slot::Fault(_)) {
+                    obs.faults += 1;
+                }
+            }
             if let Some(sink) = cfg.sink {
+                let sink_clock = if obs_on { Some(Instant::now()) } else { None };
                 sink(i, &slot);
+                if let Some(start) = sink_clock {
+                    obs.sink_ns.record(start.elapsed().as_nanos() as u64);
+                }
             }
             observe(&completed);
             (i, slot)
@@ -547,17 +610,21 @@ impl SweepRunner {
             let serial = || {
                 let mut state = init();
                 let mut local = Vec::new();
+                let mut obs = WorkerObs::new();
                 while let Some(i) = next(&cursor) {
-                    local.push(run_one(i, &mut state));
+                    local.push(run_one(i, &mut state, &mut obs));
                 }
-                local
+                (local, obs)
             };
             if cfg.contain_panics {
                 // Mirror the parallel path: a fatal (prefix-escalated)
                 // panic becomes WorkerPanicked instead of unwinding
                 // through the caller.
                 match catch_unwind(AssertUnwindSafe(serial)) {
-                    Ok(local) => local,
+                    Ok((local, obs)) => {
+                        obs.publish();
+                        local
+                    }
                     Err(payload) => {
                         return Err(SweepError::WorkerPanicked {
                             worker: 0,
@@ -566,7 +633,9 @@ impl SweepRunner {
                     }
                 }
             } else {
-                serial()
+                let (local, obs) = serial();
+                obs.publish();
+                local
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -578,18 +647,25 @@ impl SweepRunner {
                         scope.spawn(|| {
                             let mut state = init();
                             let mut local = Vec::new();
+                            let mut obs = WorkerObs::new();
                             while let Some(i) = next(&cursor) {
-                                local.push(run_one(i, &mut state));
+                                local.push(run_one(i, &mut state, &mut obs));
                             }
-                            local
+                            (local, obs)
                         })
                     })
                     .collect();
                 // Join every worker before deciding the outcome: one dead
                 // worker must not abort the merge while the rest still run.
+                // Workers are joined (and their local observability
+                // histograms published) in worker-index order, so the
+                // metrics merge is as deterministic as the result merge.
                 for (worker, handle) in handles.into_iter().enumerate() {
                     match handle.join() {
-                        Ok(local) => merged.extend(local),
+                        Ok((local, obs)) => {
+                            obs.publish();
+                            merged.extend(local);
+                        }
                         Err(payload) => {
                             let text = payload_text(payload.as_ref());
                             first_panic.get_or_insert((worker, text));

@@ -1,0 +1,299 @@
+//! Fixed-bucket log2 histograms for latency distributions.
+//!
+//! Two flavours share one bucket layout:
+//!
+//! * [`Histogram`] — a plain value, owned by one worker thread. Recording
+//!   is a couple of integer ops; merging is bucket-wise addition. The
+//!   sweep engine keeps one per worker and merges them in worker-index
+//!   order at join, so the aggregate is deterministic at any thread count.
+//! * [`AtomicHistogram`] — the process-global flavour behind the
+//!   [`crate::registry`]; every operation is a relaxed atomic, so it is
+//!   lock-free and safe to hit from any thread.
+//!
+//! Bucket `b` covers values `v` with `bit_width(v) == b`, i.e. bucket 0
+//! holds only 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds
+//! 4–7, … up to bucket 64 for values ≥ 2^63. Percentile queries return
+//! the inclusive upper bound of the bucket containing the requested rank
+//! (exact count/sum/min/max are tracked separately).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of log2 buckets: one per possible `u64::BITS - leading_zeros`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: `bit_width(v)`, so 0 → 0, 1 → 1, 2..=3 → 2, …
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value a percentile query reports).
+#[inline]
+pub fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// A plain (single-owner) log2 histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket-wise addition of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts, indexed by [`bucket_of`].
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket holding the sample at quantile `q` in
+    /// `[0, 1]` (0 when the histogram is empty). `q = 0.5` is the median
+    /// bucket, `q = 1.0` the maximum bucket; the exact max is [`Self::max`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A lock-free log2 histogram: the process-global registry's flavour.
+///
+/// All operations use relaxed atomics — the counts are statistical, not
+/// synchronization points. [`AtomicHistogram::snapshot`] materialises a
+/// plain [`Histogram`] for export.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty histogram, usable in `static` position.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            counts: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed atomics throughout).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Adds every sample of a plain histogram (the per-worker merge).
+    pub fn merge_from(&self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (into, &from) in self.counts.iter().zip(other.counts.iter()) {
+            if from != 0 {
+                into.fetch_add(from, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Relaxed);
+        self.sum.fetch_add(other.sum, Relaxed);
+        self.min.fetch_min(other.min, Relaxed);
+        self.max.fetch_max(other.max, Relaxed);
+    }
+
+    /// Materialises the current contents as a plain [`Histogram`].
+    ///
+    /// The sample count is derived from the bucket values actually read,
+    /// not the stored total, so a snapshot racing an in-flight
+    /// [`record`](Self::record) still satisfies the exporter's invariant
+    /// that the buckets sum to the count (relaxed atomics give no
+    /// cross-field ordering). `min`/`max` are clamped consistent for the
+    /// same reason.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        let mut derived = 0u64;
+        for (into, from) in h.counts.iter_mut().zip(self.counts.iter()) {
+            *into = from.load(Relaxed);
+            derived += *into;
+        }
+        h.count = derived;
+        h.sum = self.sum.load(Relaxed);
+        h.min = self.min.load(Relaxed);
+        h.max = self.max.load(Relaxed);
+        if h.count > 0 && h.min > h.max {
+            h.min = h.max;
+        }
+        h
+    }
+
+    /// Zeroes every bucket and summary statistic.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let hi = bucket_upper(b);
+            assert_eq!(bucket_of(hi), b, "upper bound of bucket {b} maps back");
+        }
+    }
+
+    #[test]
+    fn record_merge_and_percentiles() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100u64 {
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.sum(), 5050);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        // The median sample (50) lives in bucket 6 (32..=63).
+        assert_eq!(a.percentile(0.5), 63);
+        // p100 is clamped to the exact max.
+        assert_eq!(a.percentile(1.0), 100);
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn atomic_matches_plain() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::new();
+        for v in [0u64, 1, 5, 17, 1000, 123_456_789] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.buckets(), plain.buckets());
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum(), plain.sum());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        atomic.reset();
+        assert!(atomic.snapshot().is_empty());
+    }
+}

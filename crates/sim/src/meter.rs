@@ -150,7 +150,33 @@ pub fn simulate_with_options_in(
 
     // Guard against numerically negative artifacts.
     debug_assert!(report.total() >= Joules::ZERO);
+    observe(&report);
     Ok(report)
+}
+
+/// Publishes a finished report to the `sdem-obs` registry: core-vs-memory
+/// energy split (integer nanojoules, so concurrent sweeps accumulate an
+/// order-independent total), sleep-episode tallies and memory
+/// awake/sleep time. One relaxed load when observability is off.
+fn observe(report: &EnergyReport) {
+    use sdem_obs::registry::{self, Counter};
+    if !registry::enabled() {
+        return;
+    }
+    registry::incr(Counter::MeterRuns);
+    registry::add_joules(Counter::CoreDynamicNj, report.core_dynamic.value());
+    registry::add_joules(Counter::CoreStaticNj, report.core_static.value());
+    registry::add_joules(Counter::CoreTransitionNj, report.core_transition.value());
+    registry::add_joules(Counter::MemoryStaticNj, report.memory_static.value());
+    registry::add_joules(Counter::MemoryDynamicNj, report.memory_dynamic.value());
+    registry::add_joules(
+        Counter::MemoryTransitionNj,
+        report.memory_transition.value(),
+    );
+    registry::add_seconds(Counter::MemoryAwakeNs, report.memory_awake_time.as_secs());
+    registry::add_seconds(Counter::MemorySleepNs, report.memory_sleep_time.as_secs());
+    registry::add(Counter::MemorySleeps, report.memory_sleeps as u64);
+    registry::add(Counter::CoreSleeps, report.core_sleeps as u64);
 }
 
 #[cfg(test)]
