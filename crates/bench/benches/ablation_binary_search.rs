@@ -4,9 +4,8 @@
 //! buys as `n` grows.
 
 use sdem_bench::microbench::bench;
-use sdem_core::common_release::{
-    schedule_alpha_zero, schedule_alpha_zero_binary_search, schedule_alpha_zero_scan,
-};
+use sdem_core::common_release::{schedule_alpha_zero_binary_search, schedule_alpha_zero_scan};
+use sdem_core::{solve, Scheme};
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_types::{Time, Watts};
 use sdem_workload::synthetic::{common_release, SyntheticConfig};
@@ -21,7 +20,7 @@ fn main() {
         let cfg = SyntheticConfig::paper(n, Time::from_millis(100.0));
         let tasks = common_release(&cfg, 5);
         bench(&format!("ablation_4_1_drivers/exhaustive/{n}"), || {
-            schedule_alpha_zero(&tasks, &platform).unwrap()
+            solve(&tasks, &platform, Scheme::CommonReleaseAlphaZero).unwrap()
         });
         bench(&format!("ablation_4_1_drivers/theorem2_scan/{n}"), || {
             schedule_alpha_zero_scan(&tasks, &platform).unwrap()

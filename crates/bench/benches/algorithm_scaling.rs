@@ -5,7 +5,7 @@
 
 use sdem_bench::microbench::bench;
 use sdem_core::discrete::{quantize_schedule, SpeedLevels};
-use sdem_core::{agreeable, bounded, common_release, online, overhead};
+use sdem_core::{agreeable, solve, Scheme};
 use sdem_power::Platform;
 use sdem_types::Time;
 use sdem_workload::synthetic::{self, SyntheticConfig};
@@ -18,13 +18,13 @@ fn bench_common_release(platform: &Platform) {
     for n in [8usize, 32, 128, 512] {
         let tasks = synthetic::common_release(&cfg(n), 11);
         bench(&format!("common_release/alpha_zero_4_1/{n}"), || {
-            common_release::schedule_alpha_zero(&tasks, platform).unwrap()
+            solve(&tasks, platform, Scheme::CommonReleaseAlphaZero).unwrap()
         });
         bench(&format!("common_release/alpha_nonzero_4_2/{n}"), || {
-            common_release::schedule_alpha_nonzero(&tasks, platform).unwrap()
+            solve(&tasks, platform, Scheme::CommonReleaseAlphaNonzero).unwrap()
         });
         bench(&format!("common_release/overhead_7/{n}"), || {
-            overhead::schedule_common_release(&tasks, platform).unwrap()
+            solve(&tasks, platform, Scheme::CommonReleaseOverhead).unwrap()
         });
     }
 }
@@ -47,7 +47,7 @@ fn bench_online(platform: &Platform) {
     for n in [16usize, 64, 256] {
         let tasks = synthetic::sporadic(&cfg(n), 31);
         bench(&format!("online_sdem_on/schedule_online/{n}"), || {
-            online::schedule_online(&tasks, platform).unwrap()
+            solve(&tasks, platform, Scheme::Online).unwrap()
         });
     }
 }
@@ -55,7 +55,9 @@ fn bench_online(platform: &Platform) {
 fn bench_extensions(platform: &Platform) {
     // Discrete quantization of an online schedule.
     let tasks = synthetic::sporadic(&cfg(64), 5);
-    let sched = online::schedule_online(&tasks, platform).unwrap();
+    let sched = solve(&tasks, platform, Scheme::Online)
+        .unwrap()
+        .into_schedule();
     let table = SpeedLevels::evenly_spaced(platform.core(), 16);
     bench("extensions/quantize_64_tasks_16_levels", || {
         quantize_schedule(&sched, &table).unwrap()
@@ -73,10 +75,10 @@ fn bench_extensions(platform: &Platform) {
     )
     .unwrap();
     bench("extensions/bounded_exact_n10_c3", || {
-        bounded::solve_exact(&common_deadline, platform, 3).unwrap()
+        solve(&common_deadline, platform, Scheme::BoundedExact(3)).unwrap()
     });
     bench("extensions/bounded_lpt_n10_c3", || {
-        bounded::solve_lpt(&common_deadline, platform, 3).unwrap()
+        solve(&common_deadline, platform, Scheme::BoundedLpt(3)).unwrap()
     });
 }
 

@@ -4,7 +4,7 @@
 
 use sdem_baselines::{avr, mbkp, oa, yds};
 use sdem_bench::microbench::bench;
-use sdem_core::online::{schedule_online, schedule_online_bounded};
+use sdem_core::{solve, Scheme};
 use sdem_power::Platform;
 use sdem_types::Time;
 use sdem_workload::paper;
@@ -15,11 +15,11 @@ fn bench_online_schedulers(platform: &Platform) {
         let cfg = SyntheticConfig::paper(n, Time::from_millis(300.0));
         let tasks = sporadic(&cfg, 3);
         let m = bench(&format!("online_throughput/sdem_on/{n}"), || {
-            schedule_online(&tasks, platform).unwrap()
+            solve(&tasks, platform, Scheme::Online).unwrap()
         });
         println!("    {:>14.0} tasks/s", m.per_sec() * n as f64);
         let m = bench(&format!("online_throughput/sdem_on_bounded_8/{n}"), || {
-            schedule_online_bounded(&tasks, platform, paper::NUM_CORES).unwrap()
+            solve(&tasks, platform, Scheme::OnlineBounded(paper::NUM_CORES)).unwrap()
         });
         println!("    {:>14.0} tasks/s", m.per_sec() * n as f64);
         let m = bench(&format!("online_throughput/mbkp_oa/{n}"), || {

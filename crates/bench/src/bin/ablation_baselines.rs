@@ -17,7 +17,7 @@ use sdem_baselines::mbkp::{self, Assignment};
 use sdem_bench::experiment::MAX_ATTEMPTS_PER_TRIAL;
 use sdem_bench::runner_from_env;
 use sdem_bench::stats::summarize;
-use sdem_core::online::schedule_online;
+use sdem_core::{solve, Scheme, Solution};
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_sim::{simulate_with_options, SimOptions, SleepPolicy};
 use sdem_types::{Time, Watts};
@@ -103,7 +103,9 @@ fn main() {
                 .total()
                 .value();
             let subject = if name.starts_with("SDEM-ON") {
-                let s = schedule_online(&tasks, platform).ok()?;
+                let s = solve(&tasks, platform, Scheme::Online)
+                    .map(Solution::into_schedule)
+                    .ok()?;
                 simulate_with_options(&s, &tasks, platform, profit)
                     .expect("valid schedule")
                     .total()

@@ -8,7 +8,7 @@
 
 use sdem_bench::runner_from_env;
 use sdem_bench::stats::{percentile, summarize};
-use sdem_core::{agreeable, online};
+use sdem_core::{solve, Scheme, Solution};
 use sdem_power::Platform;
 use sdem_sim::{simulate_with_options, SimOptions, SleepPolicy};
 use sdem_types::Time;
@@ -37,8 +37,10 @@ fn main() {
     let outcome = runner_from_env().run(&[()], seeds as usize, 0, |_, ctx| {
         let seed = ctx.replicate() as u64;
         let tasks = synthetic::agreeable(&cfg, seed);
-        let online_sched = online::schedule_online(&tasks, &platform).ok()?;
-        let offline = agreeable::schedule(&tasks, &platform).ok()?;
+        let online_sched = solve(&tasks, &platform, Scheme::Online)
+            .map(Solution::into_schedule)
+            .ok()?;
+        let offline = solve(&tasks, &platform, Scheme::Agreeable).ok()?;
         let e_on = simulate_with_options(&online_sched, &tasks, &platform, opts)
             .expect("online schedule validates")
             .total()

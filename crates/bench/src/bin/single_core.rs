@@ -17,7 +17,7 @@ use sdem_baselines::{css, yds};
 use sdem_bench::experiment::MAX_ATTEMPTS_PER_TRIAL;
 use sdem_bench::runner_from_env;
 use sdem_bench::stats::summarize;
-use sdem_core::online::schedule_online_bounded;
+use sdem_core::{solve, Scheme, Solution};
 use sdem_power::Platform;
 use sdem_sim::{simulate_with_options, SimOptions, SleepPolicy};
 use sdem_types::Time;
@@ -48,7 +48,7 @@ fn main() {
             let (Ok(y), Ok(c), Ok(s)) = (
                 yds::schedule_single_core(&tasks, &platform),
                 css::schedule_single_core_css(&tasks, &platform),
-                schedule_online_bounded(&tasks, &platform, 1),
+                solve(&tasks, &platform, Scheme::OnlineBounded(1)).map(Solution::into_schedule),
             ) else {
                 return None;
             };

@@ -8,19 +8,21 @@ use sdem_bench::experiment::{
     mean, run_trial_checked, run_trial_resampling, FaultInjection, OracleCheck,
 };
 use sdem_bench::figures::{self, RobustOptions};
-use sdem_core::{agreeable, common_release, online, overhead, solve, solve_or_fallback, Scheme};
+use sdem_core::solve;
 use sdem_exec::{CheckpointJournal, SweepRunner};
-use sdem_power::{CorePower, MemoryPower, Platform};
+use sdem_power::Platform;
+use sdem_serve::{api, ServiceConfig};
 use sdem_sim::{
     power_trace, render_gantt, schedule_stats, simulate_with_options, trace_to_csv, SimOptions,
     SleepPolicy,
 };
-use sdem_types::{Schedule, TaskSet, Time};
+use sdem_types::{ErrorKind, Schedule, TaskSet, Time, Workspace};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::synthetic::{self, SyntheticConfig};
 use sdem_workload::textfmt as io;
 
 use crate::args::Args;
+use crate::error::CliError;
 
 const HELP: &str = "\
 sdem-cli — SDEM energy-minimization toolkit
@@ -47,6 +49,9 @@ USAGE:
                     [--x-ms X] [--u U] [--instances N] [--cores N]
                     [--alpha-m W] [--xi-m MS] [--oracle] [--oracle-tol REL]
                     replay one quarantined trial from its exact seed
+  sdem-cli serve    [--workers N] [--queue N] [--cache N] [--metrics FILE]
+                    persistent scheduling daemon: JSONL requests on stdin,
+                    JSONL responses on stdout, drains cleanly at EOF
   sdem-cli experiment [--kind synthetic|dspstone] [--tasks N] [--x-ms X]
                     [--u U] [--instances N] [--cores N] [--trials N]
                     [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
@@ -88,6 +93,18 @@ schedule --fallback routes through the degraded-mode chain: when the
 chosen scheme rejects the instance, the always-feasible race-to-idle
 baseline (all tasks at s_max) is used instead and reported as degraded.
 
+serve answers solve requests as a persistent service: one JSON object per
+stdin line (`{\"v\":1,\"id\":7,\"scheme\":\"auto\",\"tasks\":[[id,release_ms,
+deadline_ms,work_cycles],...]}`), one response per stdout line, emitted in
+request order and byte-identical for any --workers count. A full --queue
+sheds with an `overloaded` error instead of blocking; a request whose
+`deadline_ms` elapses before a worker picks it up is answered
+`deadline-expired`. Repeated (and permuted) task sets hit a canonicalized
+solve cache of --cache entries. --metrics FILE exports the run's request
+counters and latency histograms at shutdown, same format as sweep's.
+Errors carry stable `kind` codes; the CLI maps the same codes onto its
+exit codes (usage 2, bad-request 3, scheme-error 4, ...).
+
 SCHEMES:
   auto                 route from the task-set shape (common release →
                        §4/§7, agreeable → §5 DP, general → SDEM-ON)
@@ -109,9 +126,9 @@ The platform is the paper's: 8 × Cortex-A57 + 50 nm DRAM; --alpha-m and
 ///
 /// # Errors
 ///
-/// Human-readable messages for unknown commands, bad options, unreadable
-/// files and scheduling failures.
-pub fn run(argv: &[String]) -> Result<(), String> {
+/// A typed [`CliError`] — the kind carries the taxonomy code that becomes
+/// the process exit status, the message stays human-readable.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
         println!("{HELP}");
         return Ok(());
@@ -126,35 +143,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "stats" => stats(&args),
         "experiment" => experiment(&args),
         "repro" => repro(&args),
+        "serve" => serve(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::new(
+            ErrorKind::Usage,
+            format!("unknown command `{other}`"),
+        )),
     }
 }
 
-fn platform_from(args: &Args) -> Result<Platform, String> {
-    let alpha_m = args.get_f64("alpha-m", 4.0)?;
-    let xi_m = args.get_f64("xi-m", 40.0)?;
-    if !(alpha_m.is_finite() && alpha_m >= 0.0) {
-        return Err(format!(
-            "option `--alpha-m` expects a finite non-negative power, got `{alpha_m}`"
-        ));
-    }
-    if !(xi_m.is_finite() && xi_m >= 0.0) {
-        return Err(format!(
-            "option `--xi-m` expects a finite non-negative time, got `{xi_m}`"
-        ));
-    }
-    let platform = Platform::new(
-        CorePower::cortex_a57(),
-        MemoryPower::new(sdem_types::Watts::new(alpha_m)).with_break_even(Time::from_millis(xi_m)),
-    );
-    // The constructors assert most invariants; validate() is the net for
-    // the few NaN/∞ combinations they let through.
-    platform.validate().map_err(|e| e.to_string())?;
-    Ok(platform)
+/// Builds the platform from `--alpha-m`/`--xi-m` through the serve API's
+/// boundary validator, so the CLI and the daemon accept exactly the same
+/// parameter space (finite, non-negative, validated platform).
+fn platform_from(args: &Args) -> Result<Platform, CliError> {
+    let alpha_m = args.get_f64("alpha-m", api::DEFAULT_ALPHA_M_W)?;
+    let xi_m = args.get_f64("xi-m", api::DEFAULT_XI_M_MS)?;
+    api::platform_for(alpha_m, xi_m).map_err(Into::into)
 }
 
 fn load_tasks(args: &Args) -> Result<TaskSet, String> {
@@ -165,7 +172,7 @@ fn load_tasks(args: &Args) -> Result<TaskSet, String> {
     io::from_text(&text)
 }
 
-fn generate(args: &Args) -> Result<(), String> {
+fn generate(args: &Args) -> Result<(), CliError> {
     let kind = args.get_or("kind", "synthetic");
     let seed = args.get_u64("seed", 1)?;
     let tasks = match kind {
@@ -193,7 +200,7 @@ fn generate(args: &Args) -> Result<(), String> {
             args.get_usize("instances", 20)?,
             seed,
         ),
-        other => return Err(format!("unknown workload kind `{other}`")),
+        other => return Err(format!("unknown workload kind `{other}`").into()),
     };
     let text = io::to_text(&tasks);
     match args.get("out") {
@@ -206,26 +213,22 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a schedule for any scheme name. SDEM schemes route through the
+/// serve API's name mapping and the `solve` entry point; the baseline
+/// policies keep their direct entry points (they are batch-only and never
+/// cross the wire protocol).
 fn build_schedule(
     scheme: &str,
     tasks: &TaskSet,
     platform: &Platform,
     cores: usize,
 ) -> Result<Schedule, String> {
-    let sol = |r: Result<sdem_core::Solution, sdem_core::SdemError>| {
-        r.map(sdem_core::Solution::into_schedule)
-            .map_err(|e| e.to_string())
-    };
+    if let Ok(s) = api::scheme_from_name(scheme, cores) {
+        return solve(tasks, platform, s)
+            .map(sdem_core::Solution::into_schedule)
+            .map_err(|e| e.to_string());
+    }
     match scheme {
-        "auto" => sol(solve(tasks, platform, Scheme::Auto)),
-        "sdem-on" => {
-            online::schedule_online_bounded(tasks, platform, cores).map_err(|e| e.to_string())
-        }
-        "cr-alpha-zero" => sol(common_release::schedule_alpha_zero(tasks, platform)),
-        "cr-alpha-nonzero" => sol(common_release::schedule_alpha_nonzero(tasks, platform)),
-        "cr-overhead" => sol(overhead::schedule_common_release(tasks, platform)),
-        "agreeable" => sol(agreeable::schedule(tasks, platform)),
-        "agreeable-strict" => sol(agreeable::schedule_strict(tasks, platform)),
         "mbkp" | "mbkps" => mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
             .map_err(|e| e.to_string()),
         "yds" => yds::schedule_single_core(tasks, platform).map_err(|e| e.to_string()),
@@ -233,25 +236,6 @@ fn build_schedule(
         "avr" => avr::schedule_single_core(tasks, platform).map_err(|e| e.to_string()),
         "css" => css::schedule_single_core_css(tasks, platform).map_err(|e| e.to_string()),
         other => Err(format!("unknown scheme `{other}`")),
-    }
-}
-
-/// Maps a scheme name onto the [`Scheme`] enum for the degraded-mode
-/// fallback chain. Only the SDEM schemes route through the `Scheduler`
-/// API; the single-core substrate baselines have no fallback.
-fn scheme_from_name(scheme: &str, cores: usize) -> Result<Scheme, String> {
-    match scheme {
-        "auto" => Ok(Scheme::Auto),
-        "sdem-on" => Ok(Scheme::OnlineBounded(cores)),
-        "cr-alpha-zero" => Ok(Scheme::CommonReleaseAlphaZero),
-        "cr-alpha-nonzero" => Ok(Scheme::CommonReleaseAlphaNonzero),
-        "cr-overhead" => Ok(Scheme::CommonReleaseOverhead),
-        "agreeable" => Ok(Scheme::Agreeable),
-        "agreeable-strict" => Ok(Scheme::AgreeableStrict),
-        other => Err(format!(
-            "--fallback supports the SDEM schemes only (auto, sdem-on, cr-*, \
-             agreeable*), not `{other}`"
-        )),
     }
 }
 
@@ -266,18 +250,41 @@ fn sim_options(scheme: &str) -> SimOptions {
     }
 }
 
-fn schedule(args: &Args) -> Result<(), String> {
+fn schedule(args: &Args) -> Result<(), CliError> {
     let tasks = load_tasks(args)?;
     let platform = platform_from(args)?;
     let scheme = args.get_or("scheme", "sdem-on");
     let cores = args.get_usize("cores", 8)?;
-    let (sched, degraded) = if args.has_flag("fallback") {
-        let solution = solve_or_fallback(&tasks, &platform, scheme_from_name(scheme, cores)?)
-            .map_err(|e| e.to_string())?;
-        let degraded = solution.is_degraded();
-        (solution.into_schedule(), degraded)
-    } else {
-        (build_schedule(scheme, &tasks, &platform, cores)?, false)
+    // SDEM schemes go through the same request/execute path the daemon
+    // uses (canonicalize → solve → summarize), so batch and serve answers
+    // come from one code path; the baselines stay batch-only.
+    let (sched, degraded) = match api::scheme_from_name(scheme, cores) {
+        Ok(s) => {
+            let req = api::SolveRequest {
+                id: 0,
+                scheme: s,
+                scheme_name: scheme.to_string(),
+                cores,
+                alpha_m_w: args.get_f64("alpha-m", api::DEFAULT_ALPHA_M_W)?,
+                xi_m_ms: args.get_f64("xi-m", api::DEFAULT_XI_M_MS)?,
+                deadline_ms: None,
+                fallback: args.has_flag("fallback"),
+                tasks: tasks.clone(),
+            };
+            let executed = api::execute_in(&req, &platform, &mut Workspace::new())?;
+            let degraded = executed.response.degraded;
+            (executed.solution.into_schedule(), degraded)
+        }
+        Err(_) if args.has_flag("fallback") => {
+            return Err(CliError::new(
+                ErrorKind::BadRequest,
+                format!(
+                    "--fallback supports the SDEM schemes only (auto, sdem-on, \
+                     cr-*, agreeable*), not `{scheme}`"
+                ),
+            ))
+        }
+        Err(_) => (build_schedule(scheme, &tasks, &platform, cores)?, false),
     };
     sched.validate(&tasks).map_err(|e| e.to_string())?;
     if degraded {
@@ -330,7 +337,7 @@ fn schedule(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn compare(args: &Args) -> Result<(), String> {
+fn compare(args: &Args) -> Result<(), CliError> {
     let tasks = load_tasks(args)?;
     let platform = platform_from(args)?;
     let cores = args.get_usize("cores", 8)?;
@@ -401,7 +408,7 @@ fn fig6_table(rows: &[figures::Fig6Row]) -> String {
 /// when `--metrics`/`--trace` are given, runs the sweep, then exports the
 /// files. All observability output goes to side files and stderr — the
 /// sweep's stdout is byte-identical with or without these flags.
-fn sweep(args: &Args) -> Result<(), String> {
+fn sweep(args: &Args) -> Result<(), CliError> {
     let metrics = args.get("metrics").map(str::to_string);
     let trace_out = args.get("trace").map(str::to_string);
     if metrics.is_some() {
@@ -432,7 +439,7 @@ fn sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn sweep_dispatch(args: &Args) -> Result<(), String> {
+fn sweep_dispatch(args: &Args) -> Result<(), CliError> {
     let robust = args.get("quarantine").is_some()
         || args.get("inject").is_some()
         || args.get("checkpoint").is_some()
@@ -469,7 +476,7 @@ fn sweep_dispatch(args: &Args) -> Result<(), String> {
                 stats,
             )
         }
-        other => return Err(format!("unknown figure `{other}`")),
+        other => return Err(format!("unknown figure `{other}`").into()),
     };
     print!("{table}");
     // Stats carry wall-clock throughput and the thread count; keep them off
@@ -486,7 +493,7 @@ fn sweep_dispatch(args: &Args) -> Result<(), String> {
 /// journals every finished trial for checkpoint/resume, and keeps stdout
 /// byte-identical for any thread count (including the quarantine file,
 /// which is sorted by trial index).
-fn sweep_robust(args: &Args) -> Result<(), String> {
+fn sweep_robust(args: &Args) -> Result<(), CliError> {
     let figure = args.get_or("figure", "fig7a");
     let trials = args.get_usize("trials", 5)?;
     let mut runner = runner_from(args)?;
@@ -558,7 +565,7 @@ fn sweep_robust(args: &Args) -> Result<(), String> {
             });
             (rendered, f.quarantine, f.stats, f.completed)
         }
-        other => return Err(format!("unknown figure `{other}`")),
+        other => return Err(format!("unknown figure `{other}`").into()),
     };
 
     match rendered {
@@ -599,7 +606,7 @@ fn sweep_robust(args: &Args) -> Result<(), String> {
 /// formats are validated while being read, so a corrupt file always
 /// errors; `--check` additionally prints the validation verdict (for
 /// CI assertions).
-fn stats(args: &Args) -> Result<(), String> {
+fn stats(args: &Args) -> Result<(), CliError> {
     use sdem_obs::json::{self, Value};
 
     let path = args
@@ -676,7 +683,7 @@ fn stats(args: &Args) -> Result<(), String> {
 /// no resampling, no injection — and reports either the per-scheme
 /// energies (the fault did not reproduce, e.g. it was injected) or the
 /// structured trial error as a failure.
-fn repro(args: &Args) -> Result<(), String> {
+fn repro(args: &Args) -> Result<(), CliError> {
     if args.get("seed").is_none() {
         return Err(
             "`--seed S` is required (quarantine records carry the exact trial seed as 0x…)".into(),
@@ -717,14 +724,15 @@ fn repro(args: &Args) -> Result<(), String> {
             args.get_usize("instances", 15)?,
             seed,
         ),
-        other => return Err(format!("unknown workload kind `{other}`")),
+        other => return Err(format!("unknown workload kind `{other}`").into()),
     };
     let oracle = if args.has_flag("oracle") || args.get("oracle-tol").is_some() {
         let tol = args.get_f64("oracle-tol", sdem_exec::DEFAULT_ORACLE_TOLERANCE)?;
         if !tol.is_finite() || tol < 0.0 {
             return Err(format!(
                 "option `--oracle-tol` expects a non-negative number, got `{tol}`"
-            ));
+            )
+            .into());
         }
         // Replay reports divergence as a structured error, never a panic.
         OracleCheck::Quarantine(tol)
@@ -748,11 +756,55 @@ fn repro(args: &Args) -> Result<(), String> {
             println!("  trial ok — the quarantined fault did not reproduce");
             Ok(())
         }
-        Err(e) => Err(format!("reproduced {}: {e}", e.kind())),
+        // The exit code carries the reproduced fault's taxonomy kind, so
+        // a quarantine triage script can branch without parsing stderr.
+        Err(e) => Err(CliError::new(
+            e.error_kind(),
+            format!("reproduced {}: {e}", e.kind()),
+        )),
     }
 }
 
-fn experiment(args: &Args) -> Result<(), String> {
+/// The persistent scheduling daemon: JSONL requests on stdin, JSONL
+/// responses on stdout (in request order), clean drain at EOF. With
+/// `--metrics FILE` the run's request counters, cache counters and
+/// latency histograms are exported at shutdown.
+fn serve(args: &Args) -> Result<(), CliError> {
+    let cfg = ServiceConfig {
+        workers: args.get_usize("workers", 4)?.max(1),
+        queue_depth: args.get_usize("queue", 1024)?.max(1),
+        cache_capacity: args.get_usize("cache", 4096)?,
+    };
+    let metrics = args.get("metrics").map(str::to_string);
+    if metrics.is_some() {
+        sdem_obs::registry::reset();
+        sdem_obs::registry::set_enabled(true);
+    }
+    let stdin = std::io::stdin();
+    let outcome = sdem_serve::run_session(cfg, stdin.lock(), Box::new(std::io::stdout()));
+    sdem_obs::registry::set_enabled(false);
+    let stats =
+        outcome.map_err(|e| CliError::new(ErrorKind::Io, format!("serve: stdin read: {e}")))?;
+    if let Some(path) = metrics {
+        let json = sdem_obs::registry::snapshot().to_json();
+        fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("metrics: wrote {path}");
+    }
+    eprintln!(
+        "serve: {} request(s) — {} admitted, {} shed, {} rejected; cache: {} hit(s), \
+         {} miss(es), {} eviction(s)",
+        stats.submitted,
+        stats.admitted,
+        stats.shed,
+        stats.rejected,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+    );
+    Ok(())
+}
+
+fn experiment(args: &Args) -> Result<(), CliError> {
     let kind = args.get_or("kind", "synthetic");
     let cores = args.get_usize("cores", 8)?;
     let trials = args.get_usize("trials", 10)?;
@@ -813,7 +865,7 @@ fn experiment(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn trace(args: &Args) -> Result<(), String> {
+fn trace(args: &Args) -> Result<(), CliError> {
     let tasks = load_tasks(args)?;
     let platform = platform_from(args)?;
     let scheme = args.get_or("scheme", "sdem-on");

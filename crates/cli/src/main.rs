@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod error;
 
 use std::process::ExitCode;
 
@@ -21,9 +22,13 @@ fn main() -> ExitCode {
     match commands::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // The bracketed code and the exit status both come from the
+            // shared ErrorKind taxonomy (same codes the serve protocol
+            // and quarantine records use), so scripts can branch on the
+            // failure class without parsing the message.
+            eprintln!("error[{}]: {}", e.kind.code(), e);
             eprintln!("run `sdem-cli help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(e.kind.exit_code())
         }
     }
 }

@@ -1,0 +1,140 @@
+//! Process-level tests of the `sdem-cli serve` daemon and the taxonomy
+//! exit codes: spawn the real binary, speak the JSONL protocol over its
+//! stdin/stdout, kill it (by closing stdin) and restart it.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_sdem-cli");
+
+fn run_daemon(args: &[&str], input: &str) -> (String, i32) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sdem-cli");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    // Dropping stdin closes the pipe: EOF is the shutdown signal.
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn batch() -> String {
+    let mut lines = Vec::new();
+    for id in 0..24_u64 {
+        let tasks = match id % 4 {
+            0 => "[[0,0,40,8e6],[1,0,70,1.2e7]]",
+            1 => "[[1,0,70,1.2e7],[0,0,40,8e6]]", // permutation of shape 0
+            2 => "[[0,0,50,4e6],[1,10,80,6e6],[2,10,90,2e6]]",
+            _ => "[[0,0,60,5e6]]",
+        };
+        lines.push(format!(
+            "{{\"v\":1,\"id\":{id},\"scheme\":\"auto\",\"tasks\":{tasks}}}"
+        ));
+    }
+    lines.push("this is not json".to_string());
+    lines.push("{\"v\":99,\"id\":24,\"tasks\":[[0,0,60,5e6]]}".to_string());
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn daemon_drains_at_eof_and_restarts_byte_identically() {
+    let input = batch();
+    let (first, code) = run_daemon(&["serve", "--workers", "2"], &input);
+    assert_eq!(code, 0, "clean drain must exit 0");
+    assert_eq!(
+        first.lines().count(),
+        26,
+        "every line answered exactly once:\n{first}"
+    );
+    assert!(first.contains("\"kind\":\"bad-request\""), "{first}");
+    assert!(first.contains("\"ok\":true"), "{first}");
+
+    // Kill-and-restart smoke: a fresh daemon (different worker count)
+    // answers the same batch with the same bytes.
+    let (second, code) = run_daemon(&["serve", "--workers", "5"], &input);
+    assert_eq!(code, 0);
+    assert_eq!(first, second, "responses must not depend on worker count");
+}
+
+#[test]
+fn serve_metrics_exports_request_counters() {
+    let dir = std::env::temp_dir().join("sdem-cli-serve-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve_metrics.json");
+    let mp = path.to_str().unwrap();
+    let (_, code) = run_daemon(&["serve", "--workers", "1", "--metrics", mp], &batch());
+    assert_eq!(code, 0);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"requests_admitted\": 24"), "{text}");
+    assert!(text.contains("\"requests_rejected\": 2"), "{text}");
+    assert!(text.contains("\"cache_hits\""), "{text}");
+    assert!(text.contains("serve/request_ns"), "{text}");
+
+    // The exported file passes the stats validator.
+    let status = Command::new(BIN)
+        .args(["stats", "--input", mp, "--check"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn exit_codes_follow_the_error_taxonomy() {
+    // Usage mistakes exit 2.
+    let status = Command::new(BIN)
+        .arg("frobnicate")
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(2));
+
+    // A scheme rejection exits with the scheme-error code (4).
+    let dir = std::env::temp_dir().join("sdem-cli-serve-exit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tasks = dir.join("staggered.txt");
+    let tp = tasks.to_str().unwrap();
+    let status = Command::new(BIN)
+        .args([
+            "generate",
+            "--kind",
+            "synthetic",
+            "--tasks",
+            "6",
+            "--seed",
+            "2",
+            "--out",
+            tp,
+        ])
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let status = Command::new(BIN)
+        .args([
+            "schedule",
+            "--input",
+            tp,
+            "--scheme",
+            "cr-alpha-nonzero",
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(4), "scheme-error must exit 4");
+    std::fs::remove_file(&tasks).ok();
+}

@@ -62,6 +62,10 @@ pub enum BlockSolverKind {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::Agreeable)` from the crate root, or `schedule_in` to reuse a `Workspace`"
+)]
 pub fn schedule(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
     schedule_with_solver(tasks, platform, BlockSolverKind::BestResponse)
 }
@@ -123,6 +127,10 @@ pub fn schedule_with_solver_in(
 /// # Errors
 ///
 /// Same as [`schedule`].
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::AgreeableStrict)` from the crate root, or `schedule_strict_in` to reuse a `Workspace`"
+)]
 pub fn schedule_strict(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
     schedule_strict_in(tasks, platform, &mut Workspace::new())
 }
@@ -286,6 +294,10 @@ fn schedule_impl(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate, SleepPolicy};

@@ -20,7 +20,7 @@
 //! # Examples
 //!
 //! ```
-//! use sdem_core::agreeable;
+//! use sdem_core::{solve, Scheme};
 //! use sdem_power::Platform;
 //! use sdem_types::{Task, TaskSet, Time, Cycles};
 //!
@@ -30,7 +30,7 @@
 //!     Task::new(0, Time::ZERO, Time::from_millis(40.0), Cycles::new(8.0e6)),
 //!     Task::new(1, Time::from_millis(60.0), Time::from_millis(120.0), Cycles::new(6.0e6)),
 //! ])?;
-//! let sol = agreeable::schedule_alpha_nonzero(&tasks, &platform)?;
+//! let sol = solve(&tasks, &platform, Scheme::Agreeable)?;
 //! sol.schedule().validate(&tasks)?;
 //! # Ok(())
 //! # }
@@ -41,6 +41,9 @@ pub mod block;
 mod dp;
 pub mod lemma3;
 
+// The deprecated convenience wrappers stay re-exported until removal so
+// downstream callers see the deprecation note instead of a hard break.
+#[allow(deprecated)]
 pub use dp::{
     schedule, schedule_in, schedule_strict, schedule_strict_in, schedule_with_solver,
     schedule_with_solver_in, BlockSolverKind,
@@ -61,8 +64,12 @@ use crate::{SdemError, Solution};
 ///
 /// [`SdemError::NotAgreeable`] for non-agreeable sets,
 /// [`SdemError::InfeasibleTask`] when a task exceeds `s_up`.
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::Agreeable)` from the crate root, or `schedule_in` to reuse a `Workspace`"
+)]
 pub fn schedule_alpha_zero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    schedule(tasks, platform)
+    schedule_in(tasks, platform, &mut Workspace::new())
 }
 
 /// §5.2: agreeable deadlines with core sleeping (`α ≠ 0`).
@@ -74,8 +81,12 @@ pub fn schedule_alpha_zero(tasks: &TaskSet, platform: &Platform) -> Result<Solut
 /// # Errors
 ///
 /// Same as [`schedule_alpha_zero`].
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::Agreeable)` from the crate root, or `schedule_in` to reuse a `Workspace`"
+)]
 pub fn schedule_alpha_nonzero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    schedule(tasks, platform)
+    schedule_in(tasks, platform, &mut Workspace::new())
 }
 
 /// Solves the whole task set as a **single block** (one memory busy

@@ -108,6 +108,10 @@ pub fn lower_bound(tasks: &TaskSet, platform: &Platform, cores: usize) -> Joules
 ///   coincide;
 /// * [`SdemError::InfeasibleTask`] when the LPT assignment cannot meet the
 ///   deadline even at `s_up` (the exact solver may still succeed).
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::BoundedLpt(cores))` from the crate root, or `solve_lpt_in` to reuse a `Workspace`"
+)]
 pub fn solve_lpt(
     tasks: &TaskSet,
     platform: &Platform,
@@ -248,6 +252,10 @@ pub fn solve_lpt_in(
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::BoundedExact(cores))` from the crate root, or `solve_exact_in` to reuse a `Workspace`"
+)]
 pub fn solve_exact(
     tasks: &TaskSet,
     platform: &Platform,
@@ -409,6 +417,10 @@ fn enumerate(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate, SleepPolicy};

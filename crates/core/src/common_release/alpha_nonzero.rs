@@ -176,6 +176,10 @@ impl NonzeroCases {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::CommonReleaseAlphaNonzero)` from the crate root, or `schedule_alpha_nonzero_in` to reuse a `Workspace`"
+)]
 pub fn schedule_alpha_nonzero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
     schedule_alpha_nonzero_in(tasks, platform, &mut Workspace::new())
 }
@@ -271,6 +275,10 @@ fn completion_order_fill(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate, SleepPolicy};

@@ -241,6 +241,10 @@ fn place_task(
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::CommonReleaseAlphaZero)` from the crate root, or `schedule_alpha_zero_in` to reuse a `Workspace`"
+)]
 pub fn schedule_alpha_zero(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
     schedule_alpha_zero_in(tasks, platform, &mut Workspace::new())
 }
@@ -406,6 +410,10 @@ pub fn schedule_alpha_zero_binary_search(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate, SleepPolicy};

@@ -173,6 +173,10 @@ pub fn schedule_heterogeneous(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::common_release::schedule_alpha_nonzero;
     use sdem_power::Platform;

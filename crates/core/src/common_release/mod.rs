@@ -26,7 +26,11 @@ mod heterogeneous;
 mod reference;
 
 pub(crate) use alpha_nonzero::completion_order_into;
+// The deprecated convenience wrappers stay re-exported until removal so
+// downstream callers see the deprecation note instead of a hard break.
+#[allow(deprecated)]
 pub use alpha_nonzero::{schedule_alpha_nonzero, schedule_alpha_nonzero_in};
+#[allow(deprecated)]
 pub use alpha_zero::{
     schedule_alpha_zero, schedule_alpha_zero_binary_search, schedule_alpha_zero_in,
     schedule_alpha_zero_scan,

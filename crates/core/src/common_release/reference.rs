@@ -132,6 +132,10 @@ pub fn reference_optimum(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::common_release::{schedule_alpha_nonzero, schedule_alpha_zero};
     use sdem_power::{CorePower, MemoryPower};

@@ -195,6 +195,10 @@ pub fn quantize_schedule_in(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{MemoryPower, Platform};
     use sdem_sim::{simulate, SleepPolicy};

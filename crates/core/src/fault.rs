@@ -83,19 +83,27 @@ pub enum TrialError {
 }
 
 impl TrialError {
-    /// Stable, machine-readable failure class (the `kind` field of a
-    /// quarantine record).
-    pub fn kind(&self) -> &'static str {
+    /// Classifies this error in the workspace-wide
+    /// [`ErrorKind`](sdem_types::ErrorKind) taxonomy shared by quarantine
+    /// records, the `sdem-serve` wire protocol and CLI exit codes.
+    pub const fn error_kind(&self) -> sdem_types::ErrorKind {
+        use sdem_types::ErrorKind;
         match self {
-            Self::Scheme(_) => "scheme-error",
-            Self::TaskSet(_) => "infeasible-input",
-            Self::Baseline(_) => "baseline-error",
-            Self::Simulation(_) => "simulation-error",
-            Self::NonFiniteEnergy { .. } => "non-finite-energy",
-            Self::OracleDivergence { .. } => "oracle-divergence",
-            Self::SolverPanic { .. } => "solver-panic",
-            Self::RetryBudgetExhausted { .. } => "retry-budget-exhausted",
+            Self::Scheme(_) => ErrorKind::SchemeError,
+            Self::TaskSet(_) => ErrorKind::InfeasibleInput,
+            Self::Baseline(_) => ErrorKind::BaselineError,
+            Self::Simulation(_) => ErrorKind::SimulationError,
+            Self::NonFiniteEnergy { .. } => ErrorKind::NonFiniteEnergy,
+            Self::OracleDivergence { .. } => ErrorKind::OracleDivergence,
+            Self::SolverPanic { .. } => ErrorKind::SolverPanic,
+            Self::RetryBudgetExhausted { .. } => ErrorKind::RetryBudgetExhausted,
         }
+    }
+
+    /// Stable, machine-readable failure class (the `kind` field of a
+    /// quarantine record): the string code of [`Self::error_kind`].
+    pub const fn kind(&self) -> &'static str {
+        self.error_kind().code()
     }
 
     /// Whether drawing a fresh seed may make the trial succeed. True for
@@ -336,6 +344,33 @@ mod tests {
             TrialError::RetryBudgetExhausted { attempts: 16 }.kind(),
             "retry-budget-exhausted"
         );
+    }
+
+    #[test]
+    fn kind_is_the_error_kind_code() {
+        use sdem_types::ErrorKind;
+        let cases = [
+            (TrialError::from(SdemError::NoCores), ErrorKind::SchemeError),
+            (
+                TrialError::from(TaskSetError::Empty),
+                ErrorKind::InfeasibleInput,
+            ),
+            (TrialError::Baseline("b".into()), ErrorKind::BaselineError),
+            (
+                TrialError::SolverPanic {
+                    payload: "boom".into(),
+                },
+                ErrorKind::SolverPanic,
+            ),
+            (
+                TrialError::RetryBudgetExhausted { attempts: 1 },
+                ErrorKind::RetryBudgetExhausted,
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.error_kind(), kind);
+            assert_eq!(err.kind(), kind.code());
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! # Examples
 //!
 //! ```
-//! use sdem_core::common_release;
+//! use sdem_core::{solve, Scheme};
 //! use sdem_power::Platform;
 //! use sdem_types::{Task, TaskSet, Time, Cycles};
 //!
@@ -38,7 +38,7 @@
 //!     Task::new(0, Time::ZERO, Time::from_millis(30.0), Cycles::new(6.0e6)),
 //!     Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
 //! ])?;
-//! let solution = common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+//! let solution = solve(&tasks, &platform, Scheme::CommonReleaseAlphaNonzero)?;
 //! assert!(solution.memory_sleep().value() >= 0.0);
 //! # Ok(())
 //! # }

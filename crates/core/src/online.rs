@@ -99,6 +99,10 @@ struct Live {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::Online)` from the crate root (then `Solution::into_schedule`), or `schedule_online_in` to reuse a `Workspace`"
+)]
 pub fn schedule_online(tasks: &TaskSet, platform: &Platform) -> Result<Schedule, SdemError> {
     schedule_online_with(tasks, platform, InnerSolver::Auto)
 }
@@ -167,6 +171,10 @@ pub fn schedule_online_with(
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::OnlineBounded(max_cores))` from the crate root (then `Solution::into_schedule`), or `schedule_online_bounded_in` to reuse a `Workspace`"
+)]
 pub fn schedule_online_bounded(
     tasks: &TaskSet,
     platform: &Platform,
@@ -387,6 +395,10 @@ fn replan(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate, SleepPolicy};

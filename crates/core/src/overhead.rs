@@ -186,6 +186,10 @@ impl OverheadCases {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::CommonReleaseOverhead)` from the crate root, or `schedule_common_release_in` to reuse a `Workspace`"
+)]
 pub fn schedule_common_release(
     tasks: &TaskSet,
     platform: &Platform,
@@ -316,8 +320,12 @@ pub fn schedule_common_release_in(
 /// # Errors
 ///
 /// Same as [`crate::agreeable::schedule`].
+#[deprecated(
+    since = "0.1.0",
+    note = "call `solve(tasks, platform, Scheme::AgreeableOverhead)` from the crate root, or `schedule_agreeable_in` to reuse a `Workspace`"
+)]
 pub fn schedule_agreeable(tasks: &TaskSet, platform: &Platform) -> Result<Solution, SdemError> {
-    crate::agreeable::schedule(tasks, platform)
+    crate::agreeable::schedule_in(tasks, platform, &mut Workspace::new())
 }
 
 /// In-place [`schedule_agreeable`].
@@ -335,6 +343,10 @@ pub fn schedule_agreeable_in(
 
 #[cfg(test)]
 mod tests {
+    // These tests keep exercising the deprecated convenience
+    // wrappers so the legacy entry points stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use sdem_power::{CorePower, MemoryPower};
     use sdem_sim::{simulate_with_options, SimOptions, SleepPolicy};

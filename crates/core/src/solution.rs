@@ -3,7 +3,7 @@
 use core::fmt;
 
 use sdem_power::Platform;
-use sdem_types::{Joules, Schedule, TaskId, Time, Workspace};
+use sdem_types::{ErrorKind, Joules, Schedule, TaskId, Time, Workspace};
 
 /// Result of an SDEM scheme: the explicit schedule plus the analytic
 /// quantities the optimality proofs reason about.
@@ -160,6 +160,22 @@ pub enum SdemError {
     UnsupportedModel(&'static str),
 }
 
+impl SdemError {
+    /// Classifies this error in the workspace-wide [`ErrorKind`] taxonomy
+    /// (the stable codes shared by the wire protocol, CLI exit codes and
+    /// quarantine JSONL).
+    pub const fn kind(&self) -> ErrorKind {
+        match self {
+            Self::InfeasibleTask(_) => ErrorKind::InfeasibleInput,
+            Self::NotCommonRelease
+            | Self::NotAgreeable
+            | Self::TooLarge { .. }
+            | Self::NoCores
+            | Self::UnsupportedModel(_) => ErrorKind::SchemeError,
+        }
+    }
+}
+
 impl fmt::Display for SdemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -216,6 +232,17 @@ mod tests {
         assert!(SdemError::UnsupportedModel("needs α = 0")
             .to_string()
             .contains("α = 0"));
+    }
+
+    #[test]
+    fn error_kinds_use_stable_taxonomy() {
+        assert_eq!(SdemError::NotAgreeable.kind(), ErrorKind::SchemeError);
+        assert_eq!(SdemError::NoCores.kind(), ErrorKind::SchemeError);
+        assert_eq!(
+            SdemError::InfeasibleTask(TaskId(0)).kind(),
+            ErrorKind::InfeasibleInput
+        );
+        assert_eq!(SdemError::NotAgreeable.kind().code(), "scheme-error");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! to `s_max`, zero break-even platforms, and a workspace reused (warm)
 //! across several differently-shaped solves.
 
+// This suite's whole point is comparing the deprecated allocating
+// wrappers against their replacements, so it keeps calling them.
+#![allow(deprecated)]
+
 use sdem_core::bounded::{solve_exact, solve_exact_in, solve_lpt, solve_lpt_in};
 use sdem_core::discrete::{quantize_schedule, quantize_schedule_in, SpeedLevels};
 use sdem_core::{solve, solve_in, Scheme, SdemError, Solution};

@@ -10,6 +10,8 @@
 
 use core::fmt;
 
+use sdem_types::ErrorKind;
+
 /// Panic-message prefix that escalates a contained panic into a fatal
 /// sweep abort.
 ///
@@ -65,9 +67,21 @@ impl TrialFailure {
         }
     }
 
+    /// A failure classified by the workspace-wide [`ErrorKind`] taxonomy
+    /// (`kind` is its stable string code).
+    pub fn of(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        Self::new(kind.code(), detail)
+    }
+
     /// A failure synthesized from a caught panic payload.
     pub fn panic(payload: impl Into<String>) -> Self {
-        Self::new("solver-panic", payload)
+        Self::of(ErrorKind::SolverPanic, payload)
+    }
+
+    /// Decodes `kind` back into the shared taxonomy; foreign or
+    /// free-form kinds fold to [`ErrorKind::Internal`].
+    pub fn error_kind(&self) -> ErrorKind {
+        ErrorKind::from_code(&self.kind).unwrap_or(ErrorKind::Internal)
     }
 
     /// Returns a copy naming the exact seed of the failing attempt.
@@ -131,6 +145,12 @@ impl QuarantineRecord {
         )
     }
 
+    /// Decodes the record's `kind` into the shared [`ErrorKind`]
+    /// taxonomy; unknown codes fold to [`ErrorKind::Internal`].
+    pub fn error_kind(&self) -> ErrorKind {
+        ErrorKind::from_code(&self.kind).unwrap_or(ErrorKind::Internal)
+    }
+
     /// Parses a record from a line produced by [`Self::to_json_line`].
     pub fn from_json_line(line: &str) -> Option<Self> {
         Some(Self {
@@ -182,6 +202,17 @@ pub enum SweepError {
         /// What differs between the checkpoint and the requested sweep.
         detail: String,
     },
+}
+
+impl SweepError {
+    /// Classifies this fatal error in the workspace-wide [`ErrorKind`]
+    /// taxonomy (shared with quarantine records and the wire protocol).
+    pub const fn kind(&self) -> ErrorKind {
+        match self {
+            Self::WorkerPanicked { .. } => ErrorKind::WorkerPanic,
+            Self::Checkpoint { .. } | Self::CheckpointMismatch { .. } => ErrorKind::CheckpointError,
+        }
+    }
 }
 
 impl fmt::Display for SweepError {
@@ -328,6 +359,41 @@ mod tests {
             payload: "boom".into(),
         };
         assert!(e.to_string().contains("sweep worker 3 panicked"));
+    }
+
+    #[test]
+    fn kinds_round_trip_through_the_shared_taxonomy() {
+        let f = TrialFailure::of(ErrorKind::OracleDivergence, "d");
+        assert_eq!(f.kind, "oracle-divergence");
+        assert_eq!(f.error_kind(), ErrorKind::OracleDivergence);
+        // Free-form kinds written by domain layers fold to Internal.
+        assert_eq!(
+            TrialFailure::new("ad-hoc", "d").error_kind(),
+            ErrorKind::Internal
+        );
+        let r = QuarantineRecord {
+            trial_index: 0,
+            point: 0,
+            replicate: 0,
+            grid_seed: 0,
+            seed: 0,
+            kind: "solver-panic".into(),
+            detail: String::new(),
+            config: String::new(),
+        };
+        assert_eq!(r.error_kind(), ErrorKind::SolverPanic);
+        assert_eq!(
+            SweepError::CheckpointMismatch { detail: "d".into() }.kind(),
+            ErrorKind::CheckpointError
+        );
+        assert_eq!(
+            SweepError::WorkerPanicked {
+                worker: 0,
+                payload: "p".into()
+            }
+            .kind(),
+            ErrorKind::WorkerPanic
+        );
     }
 
     #[test]

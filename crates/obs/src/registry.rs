@@ -68,6 +68,20 @@ pub enum Counter {
     MemoryAwakeNs,
     /// Total memory sleep time, nanoseconds.
     MemorySleepNs,
+    /// Service requests admitted into the queue (`sdem serve`).
+    RequestsAdmitted,
+    /// Service requests shed because the queue was full.
+    RequestsShed,
+    /// Service requests dropped because their deadline expired in queue.
+    RequestsExpired,
+    /// Service requests answered with a typed protocol error.
+    RequestsRejected,
+    /// Solve-cache hits (canonicalized task-set key found).
+    CacheHits,
+    /// Solve-cache misses (cold solve performed).
+    CacheMisses,
+    /// Solve-cache evictions (capacity reached, oldest entry dropped).
+    CacheEvictions,
 }
 
 /// Stable export names, indexed by `Counter as usize`.
@@ -91,6 +105,13 @@ const COUNTER_NAMES: &[&str] = &[
     "memory_transition_nj",
     "memory_awake_ns",
     "memory_sleep_ns",
+    "requests_admitted",
+    "requests_shed",
+    "requests_expired",
+    "requests_rejected",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
 ];
 
 impl Counter {
@@ -410,9 +431,10 @@ mod tests {
         // last variants; pin the mapping explicitly.
         assert_eq!(Counter::TrialsRun.name(), "trials_run");
         assert_eq!(Counter::MemorySleepNs.name(), "memory_sleep_ns");
+        assert_eq!(Counter::CacheEvictions.name(), "cache_evictions");
         assert_eq!(
             COUNTER_NAMES.len(),
-            Counter::MemorySleepNs as usize + 1,
+            Counter::CacheEvictions as usize + 1,
             "COUNTER_NAMES must have one entry per Counter variant"
         );
     }

@@ -1,0 +1,30 @@
+//! sdem-serve — the persistent SDEM scheduling service.
+//!
+//! This crate turns the one-shot solver pipeline into a long-lived
+//! daemon: a JSONL request/response protocol (the versioned [`api`]
+//! module), a bounded-admission worker pool with warm per-worker
+//! [`Workspace`](sdem_types::Workspace)s (the [`service`] module), and a
+//! canonicalized task-set solve cache ([`cache`]) that makes repeated —
+//! and permuted — workload shapes cost a hash lookup instead of a solve.
+//!
+//! The wire format is the crate's compatibility surface:
+//!
+//! * every message carries `"v": 1` ([`api::API_VERSION`]); unknown
+//!   versions are rejected with `bad-request`;
+//! * error responses carry a stable machine-readable `kind` drawn from
+//!   [`sdem_types::ErrorKind`] — the same taxonomy used for CLI exit
+//!   codes and quarantine journals;
+//! * success responses expose energy and sleep both as decimals and as
+//!   exact IEEE-754 bit patterns, so clients can assert bit-identity.
+//!
+//! Response bytes are a pure function of the request: cache hits replay
+//! the cold solve's bits and responses are emitted in submission order,
+//! so a session's output stream is byte-identical at any worker count.
+
+pub mod api;
+pub mod cache;
+pub mod service;
+
+pub use api::{ApiError, Executed, SolveRequest, SolveResponse, API_VERSION};
+pub use cache::{CacheParams, CachedSolve, SolveCache};
+pub use service::{run_session, Service, ServiceConfig, ServiceStats, REQUEST_HISTOGRAM};

@@ -1,0 +1,212 @@
+//! Wire-protocol integration suite: request/response round trips, the
+//! input-hardening property at the protocol boundary (the wire-layer
+//! extension of the task-set non-finite rejection property), and cache
+//! correctness — a hit must be bit-identical to a cold solve, for the
+//! original task order and any permutation.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use sdem_obs::json::{self, Value};
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+use sdem_serve::{run_session, ServiceConfig, SolveRequest};
+use sdem_types::ErrorKind;
+
+const CASES: u64 = 128;
+
+fn rng_for(property: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x5E8F_0000 + property * 1000 + case)
+}
+
+/// A `Write` sink that can be read back after the service finishes.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn session(cfg: ServiceConfig, input: &str) -> String {
+    let buf = SharedBuf::default();
+    run_session(
+        cfg,
+        std::io::Cursor::new(input.to_string()),
+        Box::new(buf.clone()),
+    )
+    .unwrap();
+    buf.contents()
+}
+
+fn energy_bits(line: &str) -> u64 {
+    let doc = json::parse(line).expect("response json");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "{line}");
+    let bits = doc.get("energy_bits").and_then(Value::as_str).unwrap();
+    u64::from_str_radix(bits.strip_prefix("0x").unwrap(), 16).unwrap()
+}
+
+/// Builds `n` clean random task rows as wire strings (so tests can
+/// permute them byte-exactly).
+fn clean_rows(rng: &mut ChaCha8Rng) -> Vec<String> {
+    let n = rng.gen_range(1usize..8);
+    (0..n)
+        .map(|i| {
+            let release = rng.gen_range(0.0f64..10.0);
+            let window = rng.gen_range(15.0f64..80.0);
+            let work = rng.gen_range(1.0e5f64..6.0e6);
+            format!("[{i},{release},{},{work}]", release + window)
+        })
+        .collect()
+}
+
+fn line_of(id: u64, rows: &[String]) -> String {
+    format!(
+        "{{\"v\":1,\"id\":{id},\"scheme\":\"auto\",\"tasks\":[{}]}}",
+        rows.join(",")
+    )
+}
+
+#[test]
+fn random_clean_requests_round_trip_through_the_encoder() {
+    // The wire carries milliseconds while Time stores seconds, so a
+    // re-encoded decimal may move by an ulp; discrete fields round-trip
+    // exactly, continuous ones to conversion accuracy.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(1e-300);
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let line = line_of(case, &clean_rows(&mut rng));
+        let req = SolveRequest::parse_line(&line).expect("clean request parses");
+        let again = SolveRequest::parse_line(&req.to_json_line()).unwrap();
+        assert_eq!(req.id, again.id);
+        assert_eq!(req.scheme_name, again.scheme_name);
+        assert_eq!(req.cores, again.cores);
+        assert_eq!(req.alpha_m_w.to_bits(), again.alpha_m_w.to_bits());
+        assert_eq!(req.xi_m_ms.to_bits(), again.xi_m_ms.to_bits());
+        assert_eq!(req.tasks.len(), again.tasks.len());
+        for (a, b) in req.tasks.iter().zip(again.tasks.iter()) {
+            assert_eq!(a.id(), b.id());
+            assert!(close(a.release().as_secs(), b.release().as_secs()));
+            assert!(close(a.deadline().as_secs(), b.deadline().as_secs()));
+            assert_eq!(a.work().value().to_bits(), b.work().value().to_bits());
+        }
+    }
+}
+
+/// The wire-layer extension of the task-set input-hardening property:
+/// poison one numeric field of a clean request with an overflowing JSON
+/// literal (`±1e999` parses to ±∞) and the protocol boundary must answer
+/// with a typed `bad-request` — nothing non-finite may reach a solver.
+#[test]
+fn poisoned_wire_numbers_are_rejected_with_typed_errors() {
+    let poisons = ["1e999", "-1e999", "1e99999"];
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let line = line_of(case, &clean_rows(&mut rng));
+        let poison = poisons[rng.gen_range(0usize..poisons.len())];
+
+        // Replace one numeric payload: either a task cell or an override
+        // appended to the object.
+        let poisoned = match rng.gen_range(0usize..5) {
+            0 => {
+                // Poison the first task's release (first cell after "[[i,").
+                let start = line.find("\"tasks\":[[").unwrap() + 10;
+                let cell = line[start..].find(',').unwrap() + start + 1;
+                let end = line[cell..].find(',').unwrap() + cell;
+                format!("{}{poison}{}", &line[..cell], &line[end..])
+            }
+            1 => {
+                // Poison the first task's work (last cell before "]").
+                let start = line.find("\"tasks\":[[").unwrap() + 10;
+                let end = line[start..].find(']').unwrap() + start;
+                let cell = line[..end].rfind(',').unwrap() + 1;
+                format!("{}{poison}{}", &line[..cell], &line[end..])
+            }
+            2 => line.replacen('{', &format!("{{\"deadline_ms\":{poison},"), 1),
+            3 => line.replacen('{', &format!("{{\"alpha_m_w\":{poison},"), 1),
+            _ => line.replacen('{', &format!("{{\"xi_m_ms\":{poison},"), 1),
+        };
+        let err =
+            SolveRequest::parse_line(&poisoned).expect_err("poisoned request must be rejected");
+        assert_eq!(err.kind, ErrorKind::BadRequest, "line: {poisoned}");
+    }
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_cold_solves_for_any_permutation() {
+    for case in 0..24 {
+        let mut rng = rng_for(3, case);
+        let rows = clean_rows(&mut rng);
+        let line = line_of(0, &rows);
+
+        // A byte-exact rotation of the same task rows, different id.
+        let rot = rng.gen_range(0usize..rows.len());
+        let rotated: Vec<String> = rows
+            .iter()
+            .cycle()
+            .skip(rot)
+            .take(rows.len())
+            .cloned()
+            .collect();
+        let permuted = line_of(1, &rotated);
+
+        let input = format!("{line}\n{permuted}\n");
+        // Warm service: request 1 hits the entry request 0 created.
+        let hot = session(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 64,
+                cache_capacity: 64,
+            },
+            &input,
+        );
+        // Cold service: caching disabled, both requests solved afresh.
+        let cold = session(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 64,
+                cache_capacity: 0,
+            },
+            &input,
+        );
+        assert_eq!(hot, cold, "cache must be invisible in response bytes");
+        let lines: Vec<&str> = hot.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            energy_bits(lines[0]),
+            energy_bits(lines[1]),
+            "permuted repeat must reproduce the exact solve bits"
+        );
+    }
+}
+
+#[test]
+fn deadline_expiry_sheds_with_a_typed_response() {
+    let input = "{\"id\":0,\"deadline_ms\":0,\"tasks\":[[0,0,40,8e6]]}\n\
+                 {\"id\":1,\"tasks\":[[0,0,40,8e6]]}\n";
+    let out = session(ServiceConfig::default(), input);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let first = json::parse(lines[0]).unwrap();
+    assert_eq!(first.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(
+        first
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("deadline-expired")
+    );
+    // The zero-deadline request never contaminates the cache: the later
+    // identical-shape request still gets a real solution.
+    assert!(lines[1].contains("\"ok\":true"), "{out}");
+}

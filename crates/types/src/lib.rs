@@ -41,6 +41,7 @@
 
 mod error;
 pub mod interval;
+mod kind;
 pub mod numeric;
 mod schedule;
 mod task;
@@ -49,6 +50,7 @@ mod workspace;
 
 pub use error::{ScheduleError, TaskSetError};
 pub use interval::{IntervalSet, Timeline};
+pub use kind::{ErrorKind, ERROR_KINDS};
 pub use schedule::{CoreId, Placement, Schedule, Segment};
 pub use task::{Task, TaskId, TaskSet};
 pub use units::{Cycles, Joules, Speed, Time, Watts};

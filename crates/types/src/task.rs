@@ -345,6 +345,79 @@ impl TaskSet {
         }
     }
 
+    /// `true` if the tasks are already in canonical order (see
+    /// [`Self::canonicalize`]).
+    pub fn is_canonical(&self) -> bool {
+        self.tasks
+            .windows(2)
+            .all(|p| canonical_cmp(&p[0], &p[1]).is_lt())
+    }
+
+    /// Returns a copy with the tasks in **canonical order**: sorted by
+    /// release, then deadline, then workload, then id. Ids are unique, so
+    /// this is a total order and the result is independent of the input
+    /// permutation.
+    ///
+    /// Several solvers (and the simulator's tie-breaking) are sensitive to
+    /// task *order*, not just task *content* — e.g. core assignment follows
+    /// enumeration order. Canonicalizing first makes the solve a pure
+    /// function of the task multiset, which is what the `sdem-serve` cache
+    /// keys on: permuted requests collapse onto one cache entry whose
+    /// memoized solution is bit-identical to a cold solve of either
+    /// permutation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdem_types::{Cycles, Task, TaskSet, Time};
+    ///
+    /// # fn main() -> Result<(), sdem_types::TaskSetError> {
+    /// let a = TaskSet::new(vec![
+    ///     Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(2.0e6)),
+    ///     Task::new(0, Time::ZERO, Time::from_millis(40.0), Cycles::new(1.0e6)),
+    /// ])?;
+    /// let b = TaskSet::new(a.tasks().iter().rev().copied().collect())?;
+    /// assert_eq!(a.canonicalize(), b.canonicalize());
+    /// assert_eq!(a.canonical_hash(), b.canonical_hash());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn canonicalize(&self) -> Self {
+        let mut tasks = self.tasks.clone();
+        tasks.sort_unstable_by(canonical_cmp);
+        Self { tasks }
+    }
+
+    /// A 64-bit hash of the task multiset, invariant under task order.
+    ///
+    /// The hash folds each task's `(release, deadline, work)` bit patterns
+    /// and id — in canonical order — through FNV-1a, so two sets hash
+    /// equally iff they contain the same tasks (up to the astronomically
+    /// unlikely FNV collision; cache users must still compare canonicalized
+    /// sets on hit). `-0.0` and `+0.0` hash differently by design: the
+    /// solvers see the bit patterns, so the cache must too.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut order: Vec<&Task> = self.tasks.iter().collect();
+        order.sort_unstable_by(|a, b| canonical_cmp(a, b));
+        // FNV-1a, 64-bit: dependency-free and stable across platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.tasks.len() as u64);
+        for t in order {
+            eat(t.id().0 as u64);
+            eat(t.release().as_secs().to_bits());
+            eat(t.deadline().as_secs().to_bits());
+            eat(t.work().value().to_bits());
+        }
+        h
+    }
+
     /// Largest filled speed over all tasks; any platform with
     /// `s_up ≥ max_filled_speed` admits a feasible schedule.
     pub fn max_filled_speed(&self) -> Speed {
@@ -354,6 +427,15 @@ impl TaskSet {
             .max_by(Speed::total_cmp)
             .expect("task set is non-empty")
     }
+}
+
+/// The canonical total order on tasks: release, deadline, work, id.
+fn canonical_cmp(a: &Task, b: &Task) -> core::cmp::Ordering {
+    a.release()
+        .total_cmp(&b.release())
+        .then(a.deadline().total_cmp(&b.deadline()))
+        .then(a.work().total_cmp(&b.work()))
+        .then(a.id().cmp(&b.id()))
 }
 
 impl<'a> IntoIterator for &'a TaskSet {
@@ -530,5 +612,52 @@ mod tests {
     fn scale_work_rejects_negative() {
         let set = TaskSet::new(vec![task(0, 0.0, 10.0, 1.0)]).unwrap();
         let _ = set.scale_work(-1.0);
+    }
+
+    #[test]
+    fn canonicalize_is_permutation_invariant() {
+        let tasks = vec![
+            task(2, 5.0, 60.0, 2.0e6),
+            task(0, 0.0, 40.0, 3.0e6),
+            task(1, 0.0, 40.0, 4.0e6),
+        ];
+        let forward = TaskSet::new(tasks.clone()).unwrap();
+        let reversed = TaskSet::new(tasks.into_iter().rev().collect()).unwrap();
+        assert_ne!(forward, reversed);
+        assert_eq!(forward.canonicalize(), reversed.canonicalize());
+        assert_eq!(forward.canonical_hash(), reversed.canonical_hash());
+        assert!(forward.canonicalize().is_canonical());
+        assert!(!reversed.is_canonical());
+    }
+
+    #[test]
+    fn canonical_order_breaks_ties_by_work_then_id() {
+        let set = TaskSet::new(vec![
+            task(3, 0.0, 10.0, 2.0),
+            task(1, 0.0, 10.0, 2.0),
+            task(2, 0.0, 10.0, 1.0),
+        ])
+        .unwrap();
+        let ids: Vec<usize> = set.canonicalize().iter().map(|t| t.id().0).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_content() {
+        let a = TaskSet::new(vec![task(0, 0.0, 10.0, 1.0)]).unwrap();
+        let b = TaskSet::new(vec![task(0, 0.0, 10.0, 2.0)]).unwrap();
+        let c = TaskSet::new(vec![task(1, 0.0, 10.0, 1.0)]).unwrap();
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+        // Stable across independently built equal sets.
+        let a2 = TaskSet::new(vec![task(0, 0.0, 10.0, 1.0)]).unwrap();
+        assert_eq!(a.canonical_hash(), a2.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_separates_zero_signs() {
+        let plus = TaskSet::new(vec![task(0, 0.0, 10.0, 0.0)]).unwrap();
+        let minus = TaskSet::new(vec![task(0, -0.0, 10.0, 0.0)]).unwrap();
+        assert_ne!(plus.canonical_hash(), minus.canonical_hash());
     }
 }

@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cores", "exact [J]", "LPT [J]", "lower bd [J]", "LPT gap"
     );
     for cores in 1..=4 {
-        let exact = bounded::solve_exact(&tasks, &platform, cores)?;
-        let lpt = bounded::solve_lpt(&tasks, &platform, cores)?;
+        let exact = solve(&tasks, &platform, Scheme::BoundedExact(cores))?;
+        let lpt = solve(&tasks, &platform, Scheme::BoundedLpt(cores))?;
         let lb = bounded::lower_bound(&tasks, &platform, cores);
         println!(
             "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>9.2}%",
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Show the exact solver's balanced loads on two cores.
-    let exact = bounded::solve_exact(&tasks, &platform, 2)?;
+    let exact = solve(&tasks, &platform, Scheme::BoundedExact(2))?;
     let mut loads = [0.0f64; 2];
     for p in exact.schedule().placements() {
         loads[p.core().0] += p.executed_work().value();

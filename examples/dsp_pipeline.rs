@@ -6,7 +6,6 @@
 //! Run with: `cargo run --example dsp_pipeline`
 
 use sdem::baselines::mbkp::{self, Assignment};
-use sdem::core::online::schedule_online;
 use sdem::prelude::*;
 use sdem::sim::{simulate_with_options, SimOptions};
 use sdem::workload::dspstone::{stream, Benchmark};
@@ -27,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // SDEM-ON: postpone + align, memory sleeps when profitable.
-    let sdem_schedule = schedule_online(&tasks, &platform)?;
+    let sdem_schedule = solve(&tasks, &platform, Scheme::Online)?.into_schedule();
     sdem_schedule.validate(&tasks)?;
     let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
     let sdem = simulate_with_options(&sdem_schedule, &tasks, &platform, profit)?;

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Task::new(1, Time::ZERO, Time::from_secs(6.0), Cycles::new(3.0)),
         Task::new(2, Time::ZERO, Time::from_secs(10.0), Cycles::new(1.0)),
     ])?;
-    let s41 = common_release::schedule_alpha_zero(&tasks, &alpha_zero)?;
+    let s41 = solve(&tasks, &alpha_zero, Scheme::CommonReleaseAlphaZero)?;
     println!(
         "§4.1  α=0 : Δ = {:.3} s, E = {:.4} J",
         s41.memory_sleep().as_secs(),
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- §4.2: common release, α ≠ 0 -----------------------------------
-    let s42 = common_release::schedule_alpha_nonzero(&tasks, &alpha_four)?;
+    let s42 = solve(&tasks, &alpha_four, Scheme::CommonReleaseAlphaNonzero)?;
     println!(
         "§4.2  α=4 : Δ = {:.3} s, E = {:.4} J (critical speed s_m = {:.3} Hz)",
         s42.memory_sleep().as_secs(),
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Cycles::new(2.5),
         ),
     ])?;
-    let s5 = agreeable::schedule_alpha_nonzero(&agree, &alpha_four)?;
+    let s5 = solve(&agree, &alpha_four, Scheme::Agreeable)?;
     println!(
         "§5    DP  : {} memory busy blocks, total sleep {:.3} s, E = {:.4} J",
         s5.schedule().memory_busy_intervals().len(),
@@ -88,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CorePower::simple(4.0, 1.0, 3.0).with_break_even(Time::from_secs(0.5)),
         MemoryPower::new(Watts::new(4.0)).with_break_even(Time::from_secs(1.0)),
     );
-    let s7 = overhead::schedule_common_release(&tasks, &with_overhead)?;
+    let s7 = solve(&tasks, &with_overhead, Scheme::CommonReleaseOverhead)?;
     println!(
         "§7    ξ≠0 : Δ = {:.3} s, E = {:.4} J (constrained critical speeds; Table 3 pricing)",
         s7.memory_sleep().as_secs(),
@@ -108,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Task::new(2, Time::ZERO, Time::from_secs(50.0), Cycles::new(1.0)),
         Task::new(3, Time::ZERO, Time::from_secs(50.0), Cycles::new(2.0)),
     ])?;
-    let s3 = bounded::solve_exact(&partition, &alpha_zero, 2)?;
+    let s3 = solve(&partition, &alpha_zero, Scheme::BoundedExact(2))?;
     let eq3 = bounded::partition_min_energy(&[4.0, 4.0], &alpha_zero);
     println!(
         "§3    C=2 : exact optimum E = {:.4} J; Eq. 3 at the balanced 4/4 split = {:.4} J",

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --example periodic_system`
 
 use sdem::core::discrete::{quantize_schedule, SpeedLevels};
-use sdem::core::online::schedule_online;
 use sdem::prelude::*;
 use sdem::sim::render_gantt;
 use sdem::workload::periodic::{total_utilization, unroll, PeriodicTask};
@@ -36,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("unrolled {} jobs over 400 ms", jobs.len());
 
     // SDEM-ON schedules the job stream online.
-    let continuous = schedule_online(&jobs, &platform)?;
+    let continuous = solve(&jobs, &platform, Scheme::Online)?.into_schedule();
     continuous.validate(&jobs)?;
     let e_cont = simulate(&continuous, &jobs, &platform, SleepPolicy::WhenProfitable)?;
     println!("\ncontinuous-DVS energy: {e_cont}");

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §4.2: optimal speeds + shared memory sleep window, cores sleep after
     // finishing.
-    let solution = sdem::core::common_release::schedule_alpha_nonzero(&tasks, &platform)?;
+    let solution = solve(&tasks, &platform, Scheme::CommonReleaseAlphaNonzero)?;
     println!(
         "\noptimal common idle (memory sleep) Δ = {:.2} ms",
         solution.memory_sleep().as_millis()

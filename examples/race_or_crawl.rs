@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --example race_or_crawl`
 
-use sdem::core::common_release;
 use sdem::power::{CorePower, MemoryPower};
 use sdem::prelude::*;
 
@@ -33,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for alpha_m in [0.0, 0.5, 2.0, 4.0, 12.0, 28.0, 60.0] {
         let platform = Platform::new(core, MemoryPower::new(Watts::new(alpha_m)));
-        let sol = common_release::schedule_alpha_nonzero(&task, &platform)?;
+        let sol = solve(&task, &platform, Scheme::CommonReleaseAlphaNonzero)?;
         let speed = sol.schedule().placements()[0].segments()[0].speed();
         let s1 = platform.memory_associated_critical_speed_unclamped();
         println!(

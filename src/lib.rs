@@ -20,6 +20,11 @@
 //!   and MBKP/MBKPS;
 //! * [`exec`] — the parallel sweep engine (deterministic per-trial
 //!   seeding, thread-count-invariant results);
+//! * [`obs`] — opt-in counters, histograms and scoped tracing with a
+//!   bit-transparent JSON export;
+//! * [`serve`] — the persistent scheduling service: the versioned JSONL
+//!   request/response API ([`serve::api`]), the canonicalized solve
+//!   cache, and the worker-pool session runner behind `sdem-cli serve`;
 //! * [`prng`] — the dependency-free seeded randomness behind workload
 //!   generation and sweep seeding.
 //!
@@ -54,19 +59,32 @@
 pub use sdem_baselines as baselines;
 pub use sdem_core as core;
 pub use sdem_exec as exec;
+pub use sdem_obs as obs;
 pub use sdem_power as power;
 pub use sdem_prng as prng;
+pub use sdem_serve as serve;
 pub use sdem_sim as sim;
 pub use sdem_types as types;
 pub use sdem_workload as workload;
 
 /// One-stop imports for examples and applications.
+///
+/// This is the stable surface of the workspace: the `Scheme`-dispatched
+/// solver entry points (`solve`/`solve_in` and their degradable
+/// `solve_or_fallback` twins), the arena-backed [`Workspace`](sdem_types::Workspace), the power
+/// and task vocabulary, and the serving API's wire types. The per-scheme
+/// free functions (`schedule_alpha_zero`, `schedule_online`, …) are
+/// deprecated aliases of these and will be removed in a future release.
 pub mod prelude {
-    pub use sdem_core::{solve, Scheduler, Scheme, SdemError, Solution};
+    pub use sdem_core::{
+        solve, solve_in, solve_or_fallback, solve_or_fallback_in, Scheduler, Scheme, SdemError,
+        Solution,
+    };
     pub use sdem_power::{CorePower, MemoryPower, Platform, PlatformBuilder, PlatformError};
+    pub use sdem_serve::{ApiError, SolveRequest, SolveResponse};
     pub use sdem_sim::{simulate, EnergyReport, SleepPolicy};
     pub use sdem_types::{
-        CoreId, Cycles, Joules, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time,
-        Watts,
+        CoreId, Cycles, ErrorKind, Joules, Placement, Schedule, Segment, Speed, Task, TaskId,
+        TaskSet, Time, Watts, Workspace,
     };
 }

@@ -4,7 +4,7 @@
 //! a proper error. Panics are the only forbidden outcome.
 
 use sdem::baselines::{avr, css, mbkp, oa, yds};
-use sdem::core::{agreeable, bounded, common_release, online, overhead};
+use sdem::core::agreeable;
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prelude::*;
 use sdem::sim::{simulate, SleepPolicy};
@@ -135,31 +135,31 @@ fn every_scheduler_survives_the_zoo() {
                 &label("cr_alpha_zero"),
                 &tasks,
                 &platform,
-                sol(common_release::schedule_alpha_zero(&tasks, &platform)),
+                sol(solve(&tasks, &platform, Scheme::CommonReleaseAlphaZero)),
             );
             check(
                 &label("cr_alpha_nonzero"),
                 &tasks,
                 &platform,
-                sol(common_release::schedule_alpha_nonzero(&tasks, &platform)),
+                sol(solve(&tasks, &platform, Scheme::CommonReleaseAlphaNonzero)),
             );
             check(
                 &label("cr_overhead"),
                 &tasks,
                 &platform,
-                sol(overhead::schedule_common_release(&tasks, &platform)),
+                sol(solve(&tasks, &platform, Scheme::CommonReleaseOverhead)),
             );
             check(
                 &label("agreeable"),
                 &tasks,
                 &platform,
-                sol(agreeable::schedule(&tasks, &platform)),
+                sol(solve(&tasks, &platform, Scheme::Agreeable)),
             );
             check(
                 &label("agreeable_strict"),
                 &tasks,
                 &platform,
-                sol(agreeable::schedule_strict(&tasks, &platform)),
+                sol(solve(&tasks, &platform, Scheme::AgreeableStrict)),
             );
             check(
                 &label("agreeable_iterative"),
@@ -175,14 +175,17 @@ fn every_scheduler_survives_the_zoo() {
                 &label("online"),
                 &tasks,
                 &platform,
-                online::schedule_online(&tasks, &platform).map_err(|e| e.to_string()),
+                solve(&tasks, &platform, Scheme::Online)
+                    .map(Solution::into_schedule)
+                    .map_err(|e| e.to_string()),
             );
             for cores in [1usize, 2] {
                 check(
                     &label(&format!("online_bounded_{cores}")),
                     &tasks,
                     &platform,
-                    online::schedule_online_bounded(&tasks, &platform, cores)
+                    solve(&tasks, &platform, Scheme::OnlineBounded(cores))
+                        .map(Solution::into_schedule)
                         .map_err(|e| e.to_string()),
                 );
                 check(
@@ -244,10 +247,10 @@ fn bounded_exact_and_lpt_survive_common_deadline_zoo() {
         )
         .unwrap();
         for cores in [1usize, 2, 3] {
-            if let Ok(sol) = bounded::solve_exact(&tasks, &platform, cores) {
+            if let Ok(sol) = solve(&tasks, &platform, Scheme::BoundedExact(cores)) {
                 sol.schedule().validate(&tasks).unwrap();
             }
-            if let Ok(sol) = bounded::solve_lpt(&tasks, &platform, cores) {
+            if let Ok(sol) = solve(&tasks, &platform, Scheme::BoundedLpt(cores)) {
                 sol.schedule().validate(&tasks).unwrap();
             }
         }

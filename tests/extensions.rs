@@ -4,7 +4,7 @@
 //! a fixed number of seeded cases (deterministic, offline).
 
 use sdem::core::discrete::{quantize_schedule, SpeedLevels};
-use sdem::core::{common_release, online, overhead};
+use sdem::core::{common_release, solve, Scheme, Solution};
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::sim::{power_trace, simulate_with_options, SimOptions, SleepPolicy};
@@ -69,7 +69,9 @@ fn quantized_online_schedules_stay_valid_and_cost_at_least_continuous() {
         let alpha_m = rng.gen_range(0.1f64..8.0);
         let n_levels = rng.gen_range(2usize..12);
         let p = platform(alpha, alpha_m);
-        let continuous = online::schedule_online(&tasks, &p).unwrap();
+        let continuous = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let table = SpeedLevels::evenly_spaced(p.core(), n_levels);
         let q = quantize_schedule(&continuous, &table).unwrap();
         q.validate(&tasks).unwrap();
@@ -99,8 +101,12 @@ fn heterogeneous_with_identical_cores_matches_homogeneous() {
         let memory = MemoryPower::new(Watts::new(alpha_m));
         let cores = vec![core; tasks.len()];
         let het = common_release::schedule_heterogeneous(&tasks, &cores, &memory).unwrap();
-        let hom =
-            common_release::schedule_alpha_nonzero(&tasks, &Platform::new(core, memory)).unwrap();
+        let hom = solve(
+            &tasks,
+            &Platform::new(core, memory),
+            Scheme::CommonReleaseAlphaNonzero,
+        )
+        .unwrap();
         let (a, b) = (
             het.predicted_energy().value(),
             hom.predicted_energy().value(),
@@ -124,8 +130,8 @@ fn overhead_scheme_dominates_naive_under_horizon_pricing() {
         );
         let opts = SimOptions::uniform(SleepPolicy::WhenProfitable)
             .with_horizon(Time::ZERO, tasks.latest_deadline());
-        let aware = overhead::schedule_common_release(&tasks, &p).unwrap();
-        let naive = common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
+        let aware = solve(&tasks, &p, Scheme::CommonReleaseOverhead).unwrap();
+        let naive = solve(&tasks, &p, Scheme::CommonReleaseAlphaNonzero).unwrap();
         let e_aware = simulate_with_options(aware.schedule(), &tasks, &p, opts)
             .unwrap()
             .total()
@@ -170,7 +176,9 @@ fn unrolled_periodic_systems_schedule_online() {
         if jobs.max_filled_speed() > p.core().max_speed() {
             continue;
         }
-        let sched = online::schedule_online(&jobs, &p).unwrap();
+        let sched = solve(&jobs, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         sched.validate(&jobs).unwrap();
         checked += 1;
     }
@@ -192,7 +200,9 @@ fn memory_access_energy_is_schedule_invariant() {
         let base = platform(1.0, 4.0);
         let p = base.with_memory(base.memory().with_access_energy(per_cycle));
         let opts = SimOptions::uniform(SleepPolicy::WhenProfitable);
-        let a = online::schedule_online(&tasks, &p).unwrap();
+        let a = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let ra = simulate_with_options(&a, &tasks, &p, opts).unwrap();
         // A second, different schedule of the same tasks: everything at its
         // filled speed on its own core.
@@ -230,7 +240,9 @@ fn power_trace_integral_matches_meter() {
         let alpha = rng.gen_range(0.0f64..4.0);
         let alpha_m = rng.gen_range(0.1f64..8.0);
         let p = platform(alpha, alpha_m);
-        let sched = online::schedule_online(&tasks, &p).unwrap();
+        let sched = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let opts = SimOptions::uniform(SleepPolicy::NeverSleep);
         let metered = simulate_with_options(&sched, &tasks, &p, opts)
             .unwrap()

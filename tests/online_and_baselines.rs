@@ -5,7 +5,7 @@
 //! offline).
 
 use sdem::baselines::{avr, css, mbkp, oa, yds};
-use sdem::core::{common_release, online};
+use sdem::core::{solve, Scheme, Solution};
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::sim::{simulate, SleepPolicy};
@@ -54,7 +54,9 @@ fn online_schedules_always_validate() {
         let alpha = rng.gen_range(0.0f64..5.0);
         let alpha_m = rng.gen_range(0.1f64..10.0);
         let p = platform(alpha, alpha_m);
-        let schedule = online::schedule_online(&tasks, &p).unwrap();
+        let schedule = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         schedule.validate(&tasks).unwrap();
     }
 }
@@ -81,15 +83,17 @@ fn online_equals_offline_for_common_release() {
         };
         let alpha_m = rng.gen_range(0.5f64..10.0);
         let p = platform(alpha, alpha_m);
-        let schedule = online::schedule_online(&tasks, &p).unwrap();
+        let schedule = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let online_e = simulate(&schedule, &tasks, &p, SleepPolicy::WhenProfitable)
             .unwrap()
             .total()
             .value();
         let offline = if alpha == 0.0 {
-            common_release::schedule_alpha_zero(&tasks, &p).unwrap()
+            solve(&tasks, &p, Scheme::CommonReleaseAlphaZero).unwrap()
         } else {
-            common_release::schedule_alpha_nonzero(&tasks, &p).unwrap()
+            solve(&tasks, &p, Scheme::CommonReleaseAlphaNonzero).unwrap()
         };
         let off_e = offline.predicted_energy().value();
         assert!(

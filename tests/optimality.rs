@@ -4,7 +4,7 @@
 //! partition enumeration. Each property runs over a fixed number of
 //! seeded cases (deterministic, offline — no external framework).
 
-use sdem::core::{agreeable, common_release};
+use sdem::core::{agreeable, common_release, solve, Scheme};
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::types::{Cycles, Task, TaskSet, Time, Watts};
@@ -70,7 +70,7 @@ fn alpha_zero_drivers_agree() {
         let tasks = common_release_tasks(&mut rng);
         let alpha_m = rng.gen_range(0.1f64..20.0);
         let p = platform(0.0, alpha_m);
-        let a = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let a = solve(&tasks, &p, Scheme::CommonReleaseAlphaZero).unwrap();
         let b = common_release::schedule_alpha_zero_scan(&tasks, &p).unwrap();
         let c = common_release::schedule_alpha_zero_binary_search(&tasks, &p).unwrap();
         let e = a.predicted_energy().value();
@@ -97,7 +97,7 @@ fn alpha_zero_beats_grid_oracle() {
         let tasks = common_release_tasks(&mut rng);
         let alpha_m = rng.gen_range(0.1f64..20.0);
         let p = platform(0.0, alpha_m);
-        let scheme = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let scheme = solve(&tasks, &p, Scheme::CommonReleaseAlphaZero).unwrap();
         let oracle = common_release::reference_optimum(&tasks, &p, 3000)
             .unwrap()
             .value();
@@ -121,7 +121,7 @@ fn alpha_nonzero_beats_grid_oracle() {
         let alpha = rng.gen_range(0.1f64..10.0);
         let alpha_m = rng.gen_range(0.0f64..20.0);
         let p = platform(alpha, alpha_m);
-        let scheme = common_release::schedule_alpha_nonzero(&tasks, &p).unwrap();
+        let scheme = solve(&tasks, &p, Scheme::CommonReleaseAlphaNonzero).unwrap();
         let oracle = common_release::reference_optimum(&tasks, &p, 3000)
             .unwrap()
             .value();
@@ -146,7 +146,7 @@ fn agreeable_dp_matches_bruteforce_partitions() {
         let alpha = rng.gen_range(0.0f64..6.0);
         let alpha_m = rng.gen_range(0.2f64..10.0);
         let p = platform(alpha, alpha_m);
-        let dp = agreeable::schedule(&tasks, &p).unwrap();
+        let dp = solve(&tasks, &p, Scheme::Agreeable).unwrap();
 
         // Brute force: every contiguous partition of the deadline order.
         let sorted = tasks.sorted_by_deadline();
@@ -221,9 +221,9 @@ fn strict_dp_is_disjoint_and_never_under_reports() {
         let alpha = rng.gen_range(0.0f64..6.0);
         let alpha_m = rng.gen_range(0.2f64..10.0);
         let p = platform(alpha, alpha_m);
-        let strict = agreeable::schedule_strict(&tasks, &p).unwrap();
+        let strict = solve(&tasks, &p, Scheme::AgreeableStrict).unwrap();
         strict.schedule().validate(&tasks).unwrap();
-        let plain = agreeable::schedule(&tasks, &p).unwrap();
+        let plain = solve(&tasks, &p, Scheme::Agreeable).unwrap();
         // Strict can only merge blocks ⇒ never cheaper than the plain DP's
         // optimistic value.
         assert!(
@@ -278,8 +278,8 @@ fn agreeable_dp_on_common_release_matches_section4() {
         let tasks = common_release_tasks(&mut rng);
         let alpha_m = rng.gen_range(0.5f64..10.0);
         let p = platform(0.0, alpha_m);
-        let dp = agreeable::schedule(&tasks, &p).unwrap();
-        let cr = common_release::schedule_alpha_zero(&tasks, &p).unwrap();
+        let dp = solve(&tasks, &p, Scheme::Agreeable).unwrap();
+        let cr = solve(&tasks, &p, Scheme::CommonReleaseAlphaZero).unwrap();
         let (a, b) = (dp.predicted_energy().value(), cr.predicted_energy().value());
         assert!(
             (a - b).abs() <= 1e-5 * b.max(1.0),

@@ -3,7 +3,7 @@
 //! paper's evaluation setup.
 
 use sdem::baselines::mbkp::{self, Assignment};
-use sdem::core::{agreeable, bounded, common_release, online, overhead};
+use sdem::core::bounded;
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prelude::*;
 use sdem::sim::{simulate_with_options, SimOptions};
@@ -16,7 +16,9 @@ fn dspstone_trial_matches_paper_ordering() {
     let benches = [Benchmark::fft_1024(), Benchmark::matrix_24()];
     for u in [2.0, 5.0, 9.0] {
         let tasks = stream(&benches, u, 15, 7);
-        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        let sdem_schedule = solve(&tasks, &platform, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         sdem_schedule.validate(&tasks).unwrap();
         let mbkp_schedule =
             mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
@@ -62,7 +64,9 @@ fn synthetic_sweep_point_is_stable() {
     let cfg = SyntheticConfig::paper(40, Time::from_millis(400.0));
     let tasks = synthetic::sporadic(&cfg, 12345);
     let run = || {
-        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        let sdem_schedule = solve(&tasks, &platform, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);
         simulate_with_options(&sdem_schedule, &tasks, &platform, profit)
             .unwrap()
@@ -90,11 +94,11 @@ fn offline_hierarchy_on_common_release_sets() {
     ])
     .unwrap();
 
-    let e_42 = common_release::schedule_alpha_nonzero(&tasks, &p)
+    let e_42 = solve(&tasks, &p, Scheme::CommonReleaseAlphaNonzero)
         .unwrap()
         .predicted_energy()
         .value();
-    let e_dp = agreeable::schedule(&tasks, &p)
+    let e_dp = solve(&tasks, &p, Scheme::Agreeable)
         .unwrap()
         .predicted_energy()
         .value();
@@ -103,13 +107,15 @@ fn offline_hierarchy_on_common_release_sets() {
         "§4.2 {e_42} vs DP {e_dp}"
     );
 
-    let e_7 = overhead::schedule_common_release(&tasks, &p)
+    let e_7 = solve(&tasks, &p, Scheme::CommonReleaseOverhead)
         .unwrap()
         .predicted_energy()
         .value();
     assert!((e_42 - e_7).abs() <= 1e-7 * e_42, "§4.2 {e_42} vs §7 {e_7}");
 
-    let online_sched = online::schedule_online(&tasks, &p).unwrap();
+    let online_sched = solve(&tasks, &p, Scheme::Online)
+        .map(Solution::into_schedule)
+        .unwrap();
     let e_online = sdem::sim::simulate(&online_sched, &tasks, &p, SleepPolicy::WhenProfitable)
         .unwrap()
         .total()
@@ -138,7 +144,7 @@ fn bounded_core_partition_structure() {
             .collect(),
     )
     .unwrap();
-    let sol = bounded::solve_exact(&tasks, &p, 2).unwrap();
+    let sol = solve(&tasks, &p, Scheme::BoundedExact(2)).unwrap();
     sol.schedule().validate(&tasks).unwrap();
     let balanced = bounded::partition_min_energy(&[8.0, 8.0], &p).value();
     assert!(
@@ -157,7 +163,9 @@ fn two_hundred_task_stream_schedules_quickly_and_validates() {
     let cfg = SyntheticConfig::paper(200, Time::from_millis(150.0));
     let tasks = synthetic::sporadic(&cfg, 424242);
     let started = std::time::Instant::now();
-    let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+    let sdem_schedule = solve(&tasks, &platform, Scheme::Online)
+        .map(Solution::into_schedule)
+        .unwrap();
     sdem_schedule.validate(&tasks).unwrap();
     let mbkp_schedule =
         mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
@@ -179,7 +187,9 @@ fn sdem_on_wins_more_at_lower_utilization() {
     let benches = [Benchmark::fft_1024(), Benchmark::matrix_24()];
     let saving = |u: f64| {
         let tasks = stream(&benches, u, 12, 3);
-        let sdem_schedule = online::schedule_online(&tasks, &platform).unwrap();
+        let sdem_schedule = solve(&tasks, &platform, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let mbkp_schedule =
             mbkp::schedule_online(&tasks, &platform, 8, Assignment::RoundRobin).unwrap();
         let profit = SimOptions::uniform(SleepPolicy::WhenProfitable);

@@ -3,6 +3,10 @@
 //! to 1e-9 J, and `Scheme::Auto` must pick the same scheme the shape
 //! analysis dictates.
 
+// This suite's whole point is comparing the deprecated allocating
+// wrappers against their replacements, so it keeps calling them.
+#![allow(deprecated)]
+
 use sdem::core::{agreeable, common_release, online, overhead, solve, Scheme};
 use sdem::power::{CorePower, MemoryPower, Platform, PlatformBuilder};
 use sdem::types::{Cycles, Task, TaskSet, Time, Watts};

@@ -4,7 +4,7 @@
 //! Each property runs over a fixed number of seeded cases (deterministic,
 //! offline).
 
-use sdem::core::{common_release, online, overhead};
+use sdem::core::{solve, Scheme, Solution};
 use sdem::power::{CorePower, MemoryPower, Platform};
 use sdem::prng::{ChaCha8Rng, Rng, SeedableRng};
 use sdem::sim::{simulate_event_driven, simulate_with_options, SimOptions, SleepPolicy};
@@ -71,7 +71,9 @@ fn meter_and_engine_agree_on_online_schedules() {
         let policy_idx = rng.gen_range(0usize..3);
         let use_horizon = case % 2 == 0;
         let p = platform(alpha, alpha_m, xi, xi_m);
-        let schedule = online::schedule_online(&tasks, &p).unwrap();
+        let schedule = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let policy = [
             SleepPolicy::NeverSleep,
             SleepPolicy::AlwaysSleep,
@@ -110,9 +112,9 @@ fn predicted_matches_metered_common_release() {
         let alpha_m = rng.gen_range(0.1f64..12.0);
         let p = platform(alpha, alpha_m, 0.0, 0.0);
         let sol = if alpha == 0.0 {
-            common_release::schedule_alpha_zero(&tasks, &p).unwrap()
+            solve(&tasks, &p, Scheme::CommonReleaseAlphaZero).unwrap()
         } else {
-            common_release::schedule_alpha_nonzero(&tasks, &p).unwrap()
+            solve(&tasks, &p, Scheme::CommonReleaseAlphaNonzero).unwrap()
         };
         let report = simulate_with_options(
             sol.schedule(),
@@ -140,7 +142,7 @@ fn predicted_matches_metered_overhead_scheme() {
         let xi = rng.gen_range(0.0f64..3.0);
         let xi_m = rng.gen_range(0.0f64..3.0);
         let p = platform(alpha, alpha_m, xi, xi_m);
-        let sol = overhead::schedule_common_release(&tasks, &p).unwrap();
+        let sol = solve(&tasks, &p, Scheme::CommonReleaseOverhead).unwrap();
         let opts = SimOptions::uniform(SleepPolicy::WhenProfitable)
             .with_horizon(Time::ZERO, tasks.latest_deadline());
         let report = simulate_with_options(sol.schedule(), &tasks, &p, opts).unwrap();
@@ -164,7 +166,9 @@ fn profitable_policy_is_never_beaten() {
         // WhenProfitable is the component-wise optimal gap decision, so it
         // can never lose to NeverSleep or AlwaysSleep on the same schedule.
         let p = platform(alpha, alpha_m, 0.0, xi_m);
-        let schedule = online::schedule_online(&tasks, &p).unwrap();
+        let schedule = solve(&tasks, &p, Scheme::Online)
+            .map(Solution::into_schedule)
+            .unwrap();
         let totals: Vec<f64> = [
             SleepPolicy::WhenProfitable,
             SleepPolicy::NeverSleep,
