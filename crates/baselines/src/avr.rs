@@ -8,31 +8,31 @@
 //! extension's bound).
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Schedule, TaskSet};
+use sdem_types::{CoreId, Schedule, TaskSet, Workspace};
 
 use crate::job::{Job, Run};
-use crate::yds::{assemble, clamp_to_min_speed, to_job};
+use crate::yds::{assemble_in, clamp_to_min_speed, to_job};
 use crate::BaselineError;
 
 /// Computes the AVR runs for one core's jobs.
 pub(crate) fn avr_runs(jobs: &[Job]) -> Vec<Run> {
-    let live: Vec<&Job> = jobs.iter().filter(|j| j.w > 0.0).collect();
+    let live: Vec<&Job> = jobs.iter().filter(|j| j.3 > 0.0).collect();
     if live.is_empty() {
         return Vec::new();
     }
-    let density = |j: &Job| j.w / (j.d - j.r);
-    let mut events: Vec<f64> = live.iter().flat_map(|j| [j.r, j.d]).collect();
+    let density = |j: &Job| j.3 / (j.2 - j.1);
+    let mut events: Vec<f64> = live.iter().flat_map(|j| [j.1, j.2]).collect();
     events.sort_by(f64::total_cmp);
     events.dedup();
 
-    let mut rem: Vec<f64> = live.iter().map(|j| j.w).collect();
+    let mut rem: Vec<f64> = live.iter().map(|j| j.3).collect();
     let mut out: Vec<Run> = Vec::new();
 
     for pair in events.windows(2) {
         let (t0, t1) = (pair[0], pair[1]);
         let speed: f64 = live
             .iter()
-            .filter(|j| j.r <= t0 + 1e-12 && j.d > t0 + 1e-12)
+            .filter(|j| j.1 <= t0 + 1e-12 && j.2 > t0 + 1e-12)
             .map(|j| density(j))
             .sum();
         if speed <= 0.0 {
@@ -44,14 +44,14 @@ pub(crate) fn avr_runs(jobs: &[Job]) -> Vec<Run> {
             let ready = live
                 .iter()
                 .enumerate()
-                .filter(|(k, j)| rem[*k] > 1e-12 * j.w.max(1.0) && j.r <= t + 1e-12)
-                .min_by(|(_, x), (_, y)| x.d.total_cmp(&y.d));
+                .filter(|(k, j)| rem[*k] > 1e-12 * j.3.max(1.0) && j.1 <= t + 1e-12)
+                .min_by(|(_, x), (_, y)| x.2.total_cmp(&y.2));
             let Some((k, job)) = ready else {
                 break; // queue empty: idle for the rest of the slice
             };
             let completion = t + rem[k] / speed;
             let until = completion.min(t1);
-            out.push((job.id, t, until, speed));
+            out.push((job.0, t, until, speed));
             rem[k] -= speed * (until - t);
             t = until;
         }
@@ -59,7 +59,7 @@ pub(crate) fn avr_runs(jobs: &[Job]) -> Vec<Run> {
     debug_assert!(
         rem.iter()
             .zip(&live)
-            .all(|(r, j)| *r <= 1e-6 * j.w.max(1.0)),
+            .all(|(r, j)| *r <= 1e-6 * j.3.max(1.0)),
         "AVR left work unfinished"
     );
     out
@@ -93,12 +93,13 @@ pub fn schedule_single_core(
     platform: &Platform,
 ) -> Result<Schedule, BaselineError> {
     let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
-    let runs = clamp_to_min_speed(avr_runs(&jobs), platform);
+    let mut runs = avr_runs(&jobs);
+    clamp_to_min_speed(&mut runs, platform);
     let s_up = platform.core().max_speed().as_hz();
     if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
         return Err(BaselineError::Infeasible(r.0));
     }
-    Ok(assemble(tasks, &runs, |_| CoreId(0)))
+    Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut Workspace::new()))
 }
 
 #[cfg(test)]

@@ -11,10 +11,10 @@
 //! the classic "procrastination" transformation.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Schedule, Speed, TaskSet};
+use sdem_types::{CoreId, Schedule, Speed, TaskSet, Workspace};
 
 use crate::job::Job;
-use crate::yds::{assemble, to_job, yds_runs};
+use crate::yds::{assemble_in, to_job, yds_runs_in};
 use crate::BaselineError;
 
 /// The speed floor CSS clamps to on the given platform:
@@ -58,25 +58,22 @@ pub fn schedule_single_core_css(
     tasks: &TaskSet,
     platform: &Platform,
 ) -> Result<Schedule, BaselineError> {
+    let mut ws = Workspace::new();
     let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
-    let runs = yds_runs(&jobs);
+    let mut runs = Vec::new();
+    yds_runs_in(&jobs, &mut ws, &mut runs);
     let s_up = platform.core().max_speed().as_hz();
     if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
         return Err(BaselineError::Infeasible(r.0));
     }
     // Reuse the dispatch clamp with the joint critical speed as the floor.
     let floor = css_floor(platform);
-    let clamped: Vec<_> = runs
-        .into_iter()
-        .map(|(id, a, b, s)| {
-            if s > 0.0 && s < floor.as_hz() {
-                (id, a, a + (b - a) * s / floor.as_hz(), floor.as_hz())
-            } else {
-                (id, a, b, s)
-            }
-        })
-        .collect();
-    Ok(assemble(tasks, &clamped, |_| CoreId(0)))
+    for r in runs.iter_mut() {
+        if r.3 > 0.0 && r.3 < floor.as_hz() {
+            *r = (r.0, r.1, r.1 + (r.2 - r.1) * r.3 / floor.as_hz(), floor.as_hz());
+        }
+    }
+    Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut ws))
 }
 
 #[cfg(test)]

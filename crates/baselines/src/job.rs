@@ -1,43 +1,52 @@
 //! Internal scalar job representation and EDF machinery shared by the
 //! single-core policies.
 
-use sdem_types::{Segment, Speed, TaskId, Time};
+use sdem_types::{Segment, Speed, TaskId, Time, Workspace};
 
-/// A job in plain seconds/cycles, as the single-core algorithms see it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct Job {
-    pub id: TaskId,
-    pub r: f64,
-    pub d: f64,
-    pub w: f64,
-}
+/// A job in plain seconds/cycles, as the single-core algorithms see it:
+/// `(id, release, deadline, work)`. This is the workspace's pooled
+/// task-row shape ([`sdem_types::TaskRow`]), so job lists, run lists and
+/// the SoA view all draw from the same `Workspace::take_rows` pool.
+pub(crate) type Job = sdem_types::TaskRow;
 
-/// One produced run: `(job, start, end, speed)`.
+/// One produced run: `(job, start, end, speed)` — same row shape as
+/// [`Job`], so run buffers share the row pool too.
 pub(crate) type Run = (TaskId, f64, f64, f64);
 
 /// Preemptive EDF of `jobs` at constant speed `speed`, over the available
-/// (sorted, disjoint) intervals. All job windows must lie within the span
-/// of `avail`, and total work must fit exactly or loosely
-/// (`Σ w ≤ speed · |avail|`). Returns the runs in chronological order.
-pub(crate) fn edf_at_speed(jobs: &[Job], avail: &[(f64, f64)], speed: f64) -> Vec<Run> {
-    let mut rem: Vec<f64> = jobs.iter().map(|j| j.w).collect();
-    let mut runs: Vec<Run> = Vec::new();
+/// (sorted, disjoint) intervals, **appending** the runs to `out` in
+/// chronological order (YDS calls this once per critical interval). All
+/// job windows must lie within the span of `avail`, and total work must
+/// fit exactly or loosely (`Σ w ≤ speed · |avail|`). Scratch comes from
+/// `ws`.
+pub(crate) fn edf_at_speed_in(
+    jobs: &[Job],
+    avail: &[(f64, f64)],
+    speed: f64,
+    ws: &mut Workspace,
+    out: &mut Vec<Run>,
+) {
     if speed <= 0.0 {
-        return runs;
+        return;
     }
-    // Release events, sorted.
-    let mut releases: Vec<f64> = jobs.iter().map(|j| j.r).collect();
-    releases.sort_by(f64::total_cmp);
+    let mut rem = ws.take_f64s();
+    rem.extend(jobs.iter().map(|j| j.3));
+    // Release events, sorted. The keys are the elements themselves, so the
+    // unstable sort is indistinguishable from a stable one here.
+    let mut releases = ws.take_f64s();
+    releases.extend(jobs.iter().map(|j| j.1));
+    releases.sort_unstable_by(f64::total_cmp);
 
     for &(a, b) in avail {
         let mut t = a;
         while t < b - 1e-15 * b.abs().max(1.0) {
-            // Ready job with the earliest deadline.
+            // Ready job with the earliest deadline (first minimum wins, so
+            // job order is part of the tie-breaking contract).
             let ready = jobs
                 .iter()
                 .enumerate()
-                .filter(|(k, j)| rem[*k] > 1e-12 * j.w.max(1.0) && j.r <= t + 1e-12)
-                .min_by(|(_, x), (_, y)| x.d.total_cmp(&y.d));
+                .filter(|(k, j)| rem[*k] > 1e-12 * j.3.max(1.0) && j.1 <= t + 1e-12)
+                .min_by(|(_, x), (_, y)| x.2.total_cmp(&y.2));
             match ready {
                 Some((k, job)) => {
                     // Run until completion, next release, or interval end.
@@ -49,7 +58,7 @@ pub(crate) fn edf_at_speed(jobs: &[Job], avail: &[(f64, f64)], speed: f64) -> Ve
                         .unwrap_or(f64::INFINITY);
                     let until = completion.min(next_release).min(b);
                     if until > t {
-                        runs.push((job.id, t, until, speed));
+                        out.push((job.0, t, until, speed));
                         rem[k] -= speed * (until - t);
                     }
                     t = until;
@@ -69,46 +78,51 @@ pub(crate) fn edf_at_speed(jobs: &[Job], avail: &[(f64, f64)], speed: f64) -> Ve
             }
         }
     }
-    runs
+    ws.recycle_f64s(releases);
+    ws.recycle_f64s(rem);
 }
 
-/// Groups chronological runs into per-task segment lists, merging adjacent
-/// same-speed runs of the same task.
-pub(crate) fn runs_to_segments(runs: &[Run]) -> Vec<(TaskId, Vec<Segment>)> {
-    let mut per_task: Vec<(TaskId, Vec<Segment>)> = Vec::new();
-    for &(id, a, b, s) in runs {
-        if b <= a {
-            continue;
-        }
-        let entry = match per_task.iter_mut().find(|(tid, _)| *tid == id) {
-            Some(e) => e,
-            None => {
-                per_task.push((id, Vec::new()));
-                per_task.last_mut().expect("just pushed")
-            }
-        };
-        let segs = &mut entry.1;
-        if let Some(last) = segs.last_mut() {
-            let contiguous = (last.end().as_secs() - a).abs() < 1e-12 * a.abs().max(1.0);
-            let same_speed = (last.speed().as_hz() - s).abs() <= 1e-9 * s.abs().max(1.0);
-            if contiguous && same_speed {
-                *last = Segment::new(last.start(), Time::from_secs(b), last.speed());
-                continue;
-            }
-        }
-        segs.push(Segment::new(
-            Time::from_secs(a),
-            Time::from_secs(b),
-            Speed::from_hz(s),
-        ));
+/// Appends run `[a, b] @ s` to a segment list, merging with the last
+/// segment when contiguous and same-speed — the one merge rule every
+/// schedule assembler in this crate shares. Degenerate runs are dropped.
+pub(crate) fn push_run_segment(segs: &mut Vec<Segment>, a: f64, b: f64, s: f64) {
+    if b <= a {
+        return;
     }
-    per_task
+    if let Some(last) = segs.last_mut() {
+        let contiguous = (last.end().as_secs() - a).abs() < 1e-12 * a.abs().max(1.0);
+        let same_speed = (last.speed().as_hz() - s).abs() <= 1e-9 * s.abs().max(1.0);
+        if contiguous && same_speed {
+            *last = Segment::new(last.start(), Time::from_secs(b), last.speed());
+            return;
+        }
+    }
+    segs.push(Segment::new(
+        Time::from_secs(a),
+        Time::from_secs(b),
+        Speed::from_hz(s),
+    ));
 }
 
-/// Subtracts `frozen` (sorted, disjoint) from `[a, b]`, returning the
-/// remaining available intervals.
-pub(crate) fn subtract(a: f64, b: f64, frozen: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    let mut out = Vec::new();
+/// Sorts runs by start time, reproducing a *stable* sort exactly: the
+/// argsort key is `(start, original index)`, so equal starts keep their
+/// input order without the stable sort's merge buffer. Scratch comes
+/// from `ws`.
+pub(crate) fn sort_runs_by_start(runs: &mut Vec<Run>, ws: &mut Workspace) {
+    let mut keyed = ws.take_keyed();
+    keyed.extend(runs.iter().enumerate().map(|(i, r)| (r.1, i)));
+    keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut scratch = ws.take_rows();
+    scratch.extend(keyed.iter().map(|&(_, i)| runs[i]));
+    core::mem::swap(runs, &mut scratch);
+    ws.recycle_rows(scratch);
+    ws.recycle_keyed(keyed);
+}
+
+/// Subtracts `frozen` (sorted, disjoint) from `[a, b]`, filling `out`
+/// (cleared first) with the remaining available intervals.
+pub(crate) fn subtract_into(a: f64, b: f64, frozen: &[(f64, f64)], out: &mut Vec<(f64, f64)>) {
+    out.clear();
     let mut cursor = a;
     for &(fa, fb) in frozen {
         if fb <= a || fa >= b {
@@ -125,21 +139,56 @@ pub(crate) fn subtract(a: f64, b: f64, frozen: &[(f64, f64)]) -> Vec<(f64, f64)>
     if cursor < b {
         out.push((cursor, b));
     }
-    out
 }
 
-/// Inserts `[a, b]` into a sorted disjoint interval list, merging overlaps.
-pub(crate) fn freeze(frozen: &mut Vec<(f64, f64)>, a: f64, b: f64) {
-    frozen.push((a, b));
-    frozen.sort_by(|x, y| x.0.total_cmp(&y.0));
-    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(frozen.len());
-    for &(x, y) in frozen.iter() {
-        match merged.last_mut() {
-            Some(last) if x <= last.1 => last.1 = last.1.max(y),
-            _ => merged.push((x, y)),
+/// Total length of `[a, b]` minus the frozen time inside it — the
+/// denominator of the YDS intensity. Accumulates each remaining
+/// interval's length in the same left-to-right order [`subtract_into`]
+/// would produce it, so the floating-point sum is bit-identical to
+/// materializing the intervals and summing them, without the buffer.
+pub(crate) fn subtract_len(a: f64, b: f64, frozen: &[(f64, f64)]) -> f64 {
+    // `-0.0` is `<f64 as Sum>::sum`'s starting accumulator; keeping it makes
+    // the no-available-time result (-0.0) bit-identical to the materialized
+    // sum, not just numerically equal.
+    let mut sum = -0.0f64;
+    let mut cursor = a;
+    for &(fa, fb) in frozen {
+        if fb <= a || fa >= b {
+            continue;
+        }
+        if fa > cursor {
+            sum += fa.min(b) - cursor;
+        }
+        cursor = cursor.max(fb);
+        if cursor >= b {
+            break;
         }
     }
-    *frozen = merged;
+    if cursor < b {
+        sum += b - cursor;
+    }
+    sum
+}
+
+/// Inserts `[a, b]` into a sorted disjoint interval list, merging
+/// overlaps in place (no scratch buffer: binary-search insert, then one
+/// write-pointer coalescing pass). Equal-start tie order differs from the
+/// historical push-and-stable-sort, but merging takes the max end either
+/// way, so the merged result is identical.
+pub(crate) fn freeze(frozen: &mut Vec<(f64, f64)>, a: f64, b: f64) {
+    let idx = frozen.partition_point(|p| p.0.total_cmp(&a).is_lt());
+    frozen.insert(idx, (a, b));
+    let mut write = 0;
+    for read in 0..frozen.len() {
+        let (x, y) = frozen[read];
+        if write > 0 && x <= frozen[write - 1].1 {
+            frozen[write - 1].1 = frozen[write - 1].1.max(y);
+        } else {
+            frozen[write] = (x, y);
+            write += 1;
+        }
+    }
+    frozen.truncate(write);
 }
 
 #[cfg(test)]
@@ -147,12 +196,36 @@ mod tests {
     use super::*;
 
     fn job(id: usize, r: f64, d: f64, w: f64) -> Job {
-        Job {
-            id: TaskId(id),
-            r,
-            d,
-            w,
+        (TaskId(id), r, d, w)
+    }
+
+    fn edf_at_speed(jobs: &[Job], avail: &[(f64, f64)], speed: f64) -> Vec<Run> {
+        let mut out = Vec::new();
+        edf_at_speed_in(jobs, avail, speed, &mut Workspace::new(), &mut out);
+        out
+    }
+
+    /// Test helper: groups chronological runs into per-task segment lists
+    /// using the shared merge rule.
+    fn runs_to_segments(runs: &[Run]) -> Vec<(TaskId, Vec<Segment>)> {
+        let mut per_task: Vec<(TaskId, Vec<Segment>)> = Vec::new();
+        for &(id, a, b, s) in runs {
+            let entry = match per_task.iter_mut().find(|(tid, _)| *tid == id) {
+                Some(e) => e,
+                None => {
+                    per_task.push((id, Vec::new()));
+                    per_task.last_mut().expect("just pushed")
+                }
+            };
+            push_run_segment(&mut entry.1, a, b, s);
         }
+        per_task
+    }
+
+    fn subtract(a: f64, b: f64, frozen: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        subtract_into(a, b, frozen, &mut out);
+        out
     }
 
     #[test]
@@ -197,6 +270,20 @@ mod tests {
     }
 
     #[test]
+    fn edf_appends_and_reuses_warm_workspace() {
+        let mut ws = Workspace::new();
+        let jobs = [job(0, 0.0, 10.0, 2.0)];
+        let mut out = vec![(TaskId(9), -1.0, -0.5, 1.0)];
+        edf_at_speed_in(&jobs, &[(0.0, 4.0)], 1.0, &mut ws, &mut out);
+        assert_eq!(out.len(), 2, "appends after existing runs");
+        assert_eq!(out[0].0, TaskId(9));
+        // Second call on the warm workspace gives the same runs.
+        let mut again = Vec::new();
+        edf_at_speed_in(&jobs, &[(0.0, 4.0)], 1.0, &mut ws, &mut again);
+        assert_eq!(&out[1..], &again[..]);
+    }
+
+    #[test]
     fn runs_merge_contiguous_same_speed() {
         let runs = vec![
             (TaskId(0), 0.0, 1.0, 2.0),
@@ -206,6 +293,21 @@ mod tests {
         let segs = runs_to_segments(&runs);
         assert_eq!(segs[0].1.len(), 2);
         assert!((segs[0].1[0].length().as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_runs_by_start_is_stable_on_ties() {
+        let mut ws = Workspace::new();
+        let mut runs = vec![
+            (TaskId(2), 5.0, 6.0, 1.0),
+            (TaskId(0), 1.0, 2.0, 1.0),
+            (TaskId(1), 1.0, 3.0, 2.0),
+            (TaskId(3), 0.0, 1.0, 1.0),
+        ];
+        sort_runs_by_start(&mut runs, &mut ws);
+        let ids: Vec<usize> = runs.iter().map(|r| r.0 .0).collect();
+        // Equal starts (tasks 0 and 1) keep their input order.
+        assert_eq!(ids, vec![3, 0, 1, 2]);
     }
 
     #[test]
@@ -220,5 +322,30 @@ mod tests {
         let avail = subtract(3.0, 7.0, &frozen);
         assert_eq!(avail, vec![(5.0, 6.0)]);
         assert!(subtract(2.5, 4.5, &frozen).is_empty());
+    }
+
+    #[test]
+    fn subtract_len_matches_materialized_sum() {
+        let mut frozen = Vec::new();
+        freeze(&mut frozen, 2.0, 4.0);
+        freeze(&mut frozen, 6.0, 8.0);
+        for &(a, b) in &[(0.0, 10.0), (3.0, 7.0), (2.5, 3.5), (9.0, 9.5)] {
+            let materialized: f64 = subtract(a, b, &frozen).iter().map(|&(x, y)| y - x).sum();
+            assert_eq!(subtract_len(a, b, &frozen).to_bits(), materialized.to_bits());
+        }
+    }
+
+    #[test]
+    fn freeze_touching_and_covering_inserts() {
+        let mut frozen = vec![(1.0, 2.0), (4.0, 5.0)];
+        // Touching on both sides collapses everything.
+        freeze(&mut frozen, 2.0, 4.0);
+        assert_eq!(frozen, vec![(1.0, 5.0)]);
+        // Covering insert swallows the rest.
+        freeze(&mut frozen, 0.0, 9.0);
+        assert_eq!(frozen, vec![(0.0, 9.0)]);
+        // Equal-start insert merges to the max end.
+        freeze(&mut frozen, 0.0, 12.0);
+        assert_eq!(frozen, vec![(0.0, 12.0)]);
     }
 }

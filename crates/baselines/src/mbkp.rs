@@ -9,11 +9,11 @@
 //! always-sleep memory policy (`SleepPolicy::AlwaysSleep` in `sdem-sim`).
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Schedule, TaskId, TaskSet};
+use sdem_types::{CoreId, Schedule, TaskId, TaskSet, Workspace};
 
 use crate::job::{Job, Run};
-use crate::oa::oa_runs;
-use crate::yds::{assemble, clamp_to_min_speed, to_job, yds_runs};
+use crate::oa::oa_runs_in;
+use crate::yds::{assemble_in, clamp_to_min_speed, to_job, yds_runs_in};
 use crate::BaselineError;
 
 /// How arriving tasks are distributed over the cores.
@@ -35,25 +35,48 @@ pub enum Assignment {
 /// Panics if `cores == 0` (public drivers guard this).
 pub fn assign(tasks: &TaskSet, cores: usize, policy: Assignment) -> Vec<(TaskId, CoreId)> {
     assert!(cores > 0, "cores must be positive");
-    let arrivals = tasks.sorted_by_release();
-    let mut loads = vec![0.0f64; cores];
-    arrivals
-        .iter()
-        .enumerate()
-        .map(|(k, t)| {
-            let core = match policy {
-                Assignment::RoundRobin => k % cores,
-                Assignment::LeastLoaded => loads
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(i, _)| i)
-                    .expect("cores > 0"),
-            };
-            loads[core] += t.work().value();
-            (t.id(), CoreId(core))
-        })
+    let mut ws = Workspace::new();
+    let mut ids = Vec::new();
+    let mut assigned = Vec::new();
+    assign_into(tasks, cores, policy, &mut ws, &mut ids, &mut assigned);
+    ids.into_iter()
+        .zip(assigned)
+        .map(|(id, core)| (TaskId(id), CoreId(core)))
         .collect()
+}
+
+/// Pooled assignment: fills the parallel `ids`/`assigned` vectors (task id,
+/// core index) in arrival order, drawing scratch from `ws`.
+fn assign_into(
+    tasks: &TaskSet,
+    cores: usize,
+    policy: Assignment,
+    ws: &mut Workspace,
+    ids: &mut Vec<usize>,
+    assigned: &mut Vec<usize>,
+) {
+    ids.clear();
+    assigned.clear();
+    let mut arrivals = ws.take_tasks();
+    tasks.sorted_by_release_into(&mut arrivals);
+    let mut loads = ws.take_f64s();
+    loads.resize(cores, 0.0);
+    for (k, t) in arrivals.iter().enumerate() {
+        let core = match policy {
+            Assignment::RoundRobin => k % cores,
+            Assignment::LeastLoaded => loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("cores > 0"),
+        };
+        loads[core] += t.work().value();
+        ids.push(t.id().0);
+        assigned.push(core);
+    }
+    ws.recycle_f64s(loads);
+    ws.recycle_tasks(arrivals);
 }
 
 /// Online MBKP: arrival-order assignment + per-core Optimal Available.
@@ -89,7 +112,21 @@ pub fn schedule_online(
     cores: usize,
     policy: Assignment,
 ) -> Result<Schedule, BaselineError> {
-    schedule_with(tasks, platform, cores, policy, oa_runs)
+    schedule_online_in(tasks, platform, cores, policy, &mut Workspace::new())
+}
+
+/// [`schedule_online`] drawing every scratch buffer — and the returned
+/// schedule's own placement/segment storage — from `ws`. Recycle the
+/// schedule with [`Workspace::recycle_schedule`] to keep the next trial
+/// allocation-free.
+pub fn schedule_online_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    policy: Assignment,
+    ws: &mut Workspace,
+) -> Result<Schedule, BaselineError> {
+    schedule_with_in(tasks, platform, cores, policy, ws, oa_runs_in)
 }
 
 /// Offline MBKP: arrival-order assignment + per-core YDS. A clairvoyant
@@ -104,46 +141,89 @@ pub fn schedule_offline(
     cores: usize,
     policy: Assignment,
 ) -> Result<Schedule, BaselineError> {
-    schedule_with(tasks, platform, cores, policy, yds_runs)
+    schedule_offline_in(tasks, platform, cores, policy, &mut Workspace::new())
 }
 
-fn schedule_with(
+/// [`schedule_offline`] drawing every scratch buffer from `ws`.
+pub fn schedule_offline_in(
     tasks: &TaskSet,
     platform: &Platform,
     cores: usize,
     policy: Assignment,
-    per_core: impl Fn(&[Job]) -> Vec<Run>,
+    ws: &mut Workspace,
+) -> Result<Schedule, BaselineError> {
+    schedule_with_in(tasks, platform, cores, policy, ws, yds_runs_in)
+}
+
+fn schedule_with_in(
+    tasks: &TaskSet,
+    platform: &Platform,
+    cores: usize,
+    policy: Assignment,
+    ws: &mut Workspace,
+    per_core: impl Fn(&[Job], &mut Workspace, &mut Vec<Run>),
 ) -> Result<Schedule, BaselineError> {
     if cores == 0 {
         return Err(BaselineError::NoCores);
     }
-    let assignment = assign(tasks, cores, policy);
-    let core_of = |id: TaskId| -> CoreId {
-        assignment
-            .iter()
-            .find(|(tid, _)| *tid == id)
-            .map(|&(_, c)| c)
-            .expect("every task is assigned")
-    };
+    let mut assigned_ids = ws.take_usizes();
+    let mut assigned_cores = ws.take_usizes();
+    assign_into(tasks, cores, policy, ws, &mut assigned_ids, &mut assigned_cores);
 
     let s_up = platform.core().max_speed().as_hz();
-    let mut all_runs: Vec<Run> = Vec::new();
-    for c in 0..cores {
-        let jobs: Vec<Job> = tasks
-            .iter()
-            .filter(|t| core_of(t.id()) == CoreId(c))
-            .map(to_job)
-            .collect();
-        if jobs.is_empty() {
-            continue;
+    let mut all_runs = ws.take_rows();
+    let mut jobs = ws.take_rows();
+    let mut runs = ws.take_rows();
+    let mut failed: Option<TaskId> = None;
+    {
+        let core_of = |id: TaskId| -> CoreId {
+            let k = assigned_ids
+                .iter()
+                .position(|&x| x == id.0)
+                .expect("every task is assigned");
+            CoreId(assigned_cores[k])
+        };
+        'cores: for c in 0..cores {
+            // Per-core job lists in *task-set construction order* — the
+            // order the per-core policies tie-break on.
+            jobs.clear();
+            jobs.extend(
+                tasks
+                    .iter()
+                    .filter(|t| core_of(t.id()) == CoreId(c))
+                    .map(to_job),
+            );
+            if jobs.is_empty() {
+                continue;
+            }
+            per_core(&jobs, ws, &mut runs);
+            clamp_to_min_speed(&mut runs, platform);
+            if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
+                failed = Some(r.0);
+                break 'cores;
+            }
+            all_runs.extend_from_slice(&runs);
         }
-        let runs = clamp_to_min_speed(per_core(&jobs), platform);
-        if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
-            return Err(BaselineError::Infeasible(r.0));
-        }
-        all_runs.extend(runs);
     }
-    Ok(assemble(tasks, &all_runs, core_of))
+    let result = match failed {
+        Some(id) => Err(BaselineError::Infeasible(id)),
+        None => {
+            let core_of = |id: TaskId| -> CoreId {
+                let k = assigned_ids
+                    .iter()
+                    .position(|&x| x == id.0)
+                    .expect("every task is assigned");
+                CoreId(assigned_cores[k])
+            };
+            Ok(assemble_in(tasks, &all_runs, core_of, ws))
+        }
+    };
+    ws.recycle_rows(runs);
+    ws.recycle_rows(jobs);
+    ws.recycle_rows(all_runs);
+    ws.recycle_usizes(assigned_cores);
+    ws.recycle_usizes(assigned_ids);
+    result
 }
 
 #[cfg(test)]

@@ -8,23 +8,32 @@
 //! OA instance per core).
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Schedule, TaskSet};
+use sdem_types::{CoreId, Schedule, TaskSet, Workspace};
 
-use crate::job::{Job, Run};
-use crate::yds::{assemble, clamp_to_min_speed, to_job, yds_runs};
+use crate::job::{sort_runs_by_start, Job, Run};
+use crate::yds::{assemble_in, clamp_to_min_speed, to_job, yds_runs_in};
 use crate::BaselineError;
 
-/// Computes the OA runs for one core's jobs, in absolute seconds.
-pub(crate) fn oa_runs(jobs: &[Job]) -> Vec<Run> {
-    let mut rem: Vec<f64> = jobs.iter().map(|j| j.w).collect();
-    let mut arrivals: Vec<f64> = jobs.iter().map(|j| j.r).collect();
-    arrivals.sort_by(f64::total_cmp);
+/// Computes the OA runs for one core's jobs, in absolute seconds, into
+/// `out` (cleared first). All scratch comes from `ws`.
+pub(crate) fn oa_runs_in(jobs: &[Job], ws: &mut Workspace, out: &mut Vec<Run>) {
+    out.clear();
+    let mut rem = ws.take_f64s();
+    rem.extend(jobs.iter().map(|j| j.3));
+    let mut arrivals = ws.take_f64s();
+    arrivals.extend(jobs.iter().map(|j| j.1));
+    // Plain f64 keys, so the unstable sort matches the stable one.
+    arrivals.sort_unstable_by(f64::total_cmp);
     arrivals.dedup();
 
-    let mut out: Vec<Run> = Vec::new();
-    let mut plan: Vec<Run> = Vec::new();
+    let mut plan = ws.take_rows();
+    let mut live = ws.take_rows();
 
-    let index_of = |id| jobs.iter().position(|j| j.id == id).expect("own job");
+    let index_of = |id| {
+        jobs.iter()
+            .position(|j: &Job| j.0 == id)
+            .expect("own job")
+    };
 
     for &t in &arrivals {
         // Consume the previous plan up to t.
@@ -37,23 +46,22 @@ pub(crate) fn oa_runs(jobs: &[Job]) -> Vec<Run> {
         }
         // Replan from t over the *arrived* remaining work only — OA must
         // not peek at future releases.
-        let live: Vec<Job> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(i, j)| j.r <= t + 1e-12 && rem[*i] > 1e-12 * j.w.max(1.0))
-            .map(|(i, j)| Job {
-                id: j.id,
-                r: t,
-                d: j.d,
-                w: rem[i],
-            })
-            .collect();
-        plan = yds_runs(&live);
+        live.clear();
+        live.extend(
+            jobs.iter()
+                .enumerate()
+                .filter(|(i, j)| j.1 <= t + 1e-12 && rem[*i] > 1e-12 * j.3.max(1.0))
+                .map(|(i, j)| (j.0, t, j.2, rem[i])),
+        );
+        yds_runs_in(&live, ws, &mut plan);
     }
     // Run the final plan to completion.
-    out.extend(plan);
-    out.sort_by(|x, y| x.1.total_cmp(&y.1));
-    out
+    out.extend_from_slice(&plan);
+    sort_runs_by_start(out, ws);
+    ws.recycle_rows(live);
+    ws.recycle_rows(plan);
+    ws.recycle_f64s(arrivals);
+    ws.recycle_f64s(rem);
 }
 
 /// OA schedule of the whole task set on a single core.
@@ -84,13 +92,16 @@ pub fn schedule_single_core_online(
     tasks: &TaskSet,
     platform: &Platform,
 ) -> Result<Schedule, BaselineError> {
+    let mut ws = Workspace::new();
     let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
-    let runs = clamp_to_min_speed(oa_runs(&jobs), platform);
+    let mut runs = Vec::new();
+    oa_runs_in(&jobs, &mut ws, &mut runs);
+    clamp_to_min_speed(&mut runs, platform);
     let s_up = platform.core().max_speed().as_hz();
     if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
         return Err(BaselineError::Infeasible(r.0));
     }
-    Ok(assemble(tasks, &runs, |_| CoreId(0)))
+    Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut ws))
 }
 
 #[cfg(test)]

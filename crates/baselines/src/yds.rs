@@ -12,37 +12,45 @@
 //! of `[a, b]` minus the already-frozen time inside it.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Placement, Schedule, Task, TaskId, TaskSet};
+use sdem_types::{CoreId, Placement, Schedule, Task, TaskId, TaskSet, Workspace};
 
-use crate::job::{edf_at_speed, freeze, runs_to_segments, subtract, Job, Run};
+use crate::job::{
+    edf_at_speed_in, freeze, push_run_segment, sort_runs_by_start, subtract_into, subtract_len,
+    Job, Run,
+};
 use crate::BaselineError;
 
 /// Computes the YDS runs for a set of jobs on one core, in absolute
-/// seconds. Zero-work jobs produce no runs.
-pub(crate) fn yds_runs(jobs: &[Job]) -> Vec<Run> {
-    let mut remaining: Vec<Job> = jobs.iter().copied().filter(|j| j.w > 0.0).collect();
-    let mut frozen: Vec<(f64, f64)> = Vec::new();
-    let mut all_runs: Vec<Run> = Vec::new();
+/// seconds, into `out` (cleared first). Zero-work jobs produce no runs.
+/// All scratch comes from `ws`, so a warm workspace makes this
+/// allocation-free.
+pub(crate) fn yds_runs_in(jobs: &[Job], ws: &mut Workspace, out: &mut Vec<Run>) {
+    out.clear();
+    let mut remaining = ws.take_rows();
+    remaining.extend(jobs.iter().copied().filter(|j| j.3 > 0.0));
+    let mut frozen = ws.take_pairs();
+    let mut in_set = ws.take_rows();
+    let mut avail = ws.take_pairs();
 
     while !remaining.is_empty() {
         // Candidate interval endpoints: releases × deadlines.
         let mut best: Option<(f64, f64, f64)> = None; // (a, b, intensity)
-        for &a in remaining.iter().map(|j| &j.r) {
-            for &b in remaining.iter().map(|j| &j.d) {
+        for &a in remaining.iter().map(|j| &j.1) {
+            for &b in remaining.iter().map(|j| &j.2) {
                 if b <= a {
                     continue;
                 }
                 let w_sum: f64 = remaining
                     .iter()
-                    .filter(|j| j.r >= a - 1e-12 && j.d <= b + 1e-12)
-                    .map(|j| j.w)
+                    .filter(|j| j.1 >= a - 1e-12 && j.2 <= b + 1e-12)
+                    .map(|j| j.3)
                     .sum();
                 if w_sum == 0.0 {
                     continue;
                 }
-                let avail: f64 = subtract(a, b, &frozen).iter().map(|&(x, y)| y - x).sum();
-                let g = if avail > 0.0 {
-                    w_sum / avail
+                let avail_len = subtract_len(a, b, &frozen);
+                let g = if avail_len > 0.0 {
+                    w_sum / avail_len
                 } else {
                     f64::INFINITY
                 };
@@ -54,16 +62,25 @@ pub(crate) fn yds_runs(jobs: &[Job]) -> Vec<Run> {
         let (a, b, g) = best.expect("remaining jobs define at least one interval");
         debug_assert!(g.is_finite(), "critical interval with no available time");
 
-        let (in_set, rest): (Vec<Job>, Vec<Job>) = remaining
-            .into_iter()
-            .partition(|j| j.r >= a - 1e-12 && j.d <= b + 1e-12);
-        let avail_intervals = subtract(a, b, &frozen);
-        all_runs.extend(edf_at_speed(&in_set, &avail_intervals, g));
+        // Split the critical jobs out, preserving order on both sides
+        // (an order-preserving partition, without the two fresh vectors).
+        in_set.clear();
+        in_set.extend(
+            remaining
+                .iter()
+                .copied()
+                .filter(|j| j.1 >= a - 1e-12 && j.2 <= b + 1e-12),
+        );
+        remaining.retain(|j| !(j.1 >= a - 1e-12 && j.2 <= b + 1e-12));
+        subtract_into(a, b, &frozen, &mut avail);
+        edf_at_speed_in(&in_set, &avail, g, ws, out);
         freeze(&mut frozen, a, b);
-        remaining = rest;
     }
-    all_runs.sort_by(|x, y| x.1.total_cmp(&y.1));
-    all_runs
+    sort_runs_by_start(out, ws);
+    ws.recycle_pairs(avail);
+    ws.recycle_rows(in_set);
+    ws.recycle_pairs(frozen);
+    ws.recycle_rows(remaining);
 }
 
 /// Optimal single-core DVS schedule for the whole task set (all tasks on
@@ -96,34 +113,33 @@ pub fn schedule_single_core(
     tasks: &TaskSet,
     platform: &Platform,
 ) -> Result<Schedule, BaselineError> {
+    let mut ws = Workspace::new();
     let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
-    let runs = clamp_to_min_speed(yds_runs(&jobs), platform);
+    let mut runs = Vec::new();
+    yds_runs_in(&jobs, &mut ws, &mut runs);
+    clamp_to_min_speed(&mut runs, platform);
     let s_up = platform.core().max_speed().as_hz();
     if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
         return Err(BaselineError::Infeasible(r.0));
     }
-    Ok(assemble(tasks, &runs, |_| CoreId(0)))
+    Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut ws))
 }
 
-/// Applies the platform's DVS floor at dispatch: a run whose speed policy
-/// asks for less than the minimum frequency executes at the minimum and
-/// finishes early (the remainder of the slot idles). Work is preserved;
-/// deadlines can only be met earlier. With `min_speed == 0` (the
-/// theoretical continuous-DVS model) this is the identity.
-pub(crate) fn clamp_to_min_speed(runs: Vec<Run>, platform: &Platform) -> Vec<Run> {
+/// Applies the platform's DVS floor at dispatch, in place: a run whose
+/// speed policy asks for less than the minimum frequency executes at the
+/// minimum and finishes early (the remainder of the slot idles). Work is
+/// preserved; deadlines can only be met earlier. With `min_speed == 0`
+/// (the theoretical continuous-DVS model) this is the identity.
+pub(crate) fn clamp_to_min_speed(runs: &mut [Run], platform: &Platform) {
     let s_min = platform.core().min_speed().as_hz();
     if s_min <= 0.0 {
-        return runs;
+        return;
     }
-    runs.into_iter()
-        .map(|(id, a, b, s)| {
-            if s > 0.0 && s < s_min {
-                (id, a, a + (b - a) * s / s_min, s_min)
-            } else {
-                (id, a, b, s)
-            }
-        })
-        .collect()
+    for r in runs.iter_mut() {
+        if r.3 > 0.0 && r.3 < s_min {
+            *r = (r.0, r.1, r.1 + (r.2 - r.1) * r.3 / s_min, s_min);
+        }
+    }
 }
 
 /// Peak YDS intensity of a task set: the speed of the densest critical
@@ -148,39 +164,44 @@ pub(crate) fn clamp_to_min_speed(runs: Vec<Run>, platform: &Platform) -> Vec<Run
 /// # }
 /// ```
 pub fn peak_intensity(tasks: &TaskSet) -> sdem_types::Speed {
+    let mut ws = Workspace::new();
     let jobs: Vec<Job> = tasks.iter().map(to_job).collect();
-    let peak = yds_runs(&jobs).iter().map(|r| r.3).fold(0.0f64, f64::max);
+    let mut runs = Vec::new();
+    yds_runs_in(&jobs, &mut ws, &mut runs);
+    let peak = runs.iter().map(|r| r.3).fold(0.0f64, f64::max);
     sdem_types::Speed::from_hz(peak)
 }
 
 pub(crate) fn to_job(t: &Task) -> Job {
-    Job {
-        id: t.id(),
-        r: t.release().as_secs(),
-        d: t.deadline().as_secs(),
-        w: t.work().value(),
-    }
+    (
+        t.id(),
+        t.release().as_secs(),
+        t.deadline().as_secs(),
+        t.work().value(),
+    )
 }
 
 /// Builds a schedule from runs, including empty placements for zero-work
-/// (or never-run) tasks.
-pub(crate) fn assemble(
+/// (or never-run) tasks. Placement and segment buffers come from `ws`;
+/// the per-task segment lists are assembled directly from each task's run
+/// subsequence (same chronological order and merge rule as the historical
+/// group-then-clone path, minus the grouping table).
+pub(crate) fn assemble_in(
     tasks: &TaskSet,
     runs: &[Run],
     core_of: impl Fn(TaskId) -> CoreId,
+    ws: &mut Workspace,
 ) -> Schedule {
-    let per_task = runs_to_segments(runs);
-    let placements = tasks
-        .iter()
-        .map(|t| {
-            let segs = per_task
-                .iter()
-                .find(|(id, _)| *id == t.id())
-                .map(|(_, s)| s.clone())
-                .unwrap_or_default();
-            Placement::new(t.id(), core_of(t.id()), segs)
-        })
-        .collect();
+    let mut placements = ws.take_placements();
+    for t in tasks.iter() {
+        let mut segs = ws.take_segments();
+        for &(id, a, b, s) in runs {
+            if id == t.id() {
+                push_run_segment(&mut segs, a, b, s);
+            }
+        }
+        placements.push(Placement::new(t.id(), core_of(t.id()), segs));
+    }
     Schedule::new(placements)
 }
 

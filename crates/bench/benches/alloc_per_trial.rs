@@ -148,12 +148,12 @@ fn main() {
         );
     });
     report("sweep_trial (warmed workspace)", after);
-    assert!(
-        after.0 < before.0,
-        "the warmed-workspace trial must allocate strictly less than the \
-         allocating one ({} vs {})",
-        after.0,
-        before.0
+    assert_eq!(
+        after.0, 0.0,
+        "the full sweep trial (SDEM-ON + MBKP + four meters + report) must \
+         be allocation-free on the warmed workspace path (got {} \
+         allocs/trial, {} B/trial)",
+        after.0, after.1
     );
 
     // Every solver, meter and sweep path above is instrumented with
@@ -179,10 +179,10 @@ fn main() {
     });
     sdem_obs::registry::set_enabled(false);
     report("sweep_trial (warmed workspace, metrics armed)", metered);
-    // The baseline itself carries ~0.05 allocs/trial of amortized Vec
-    // growth, so allow half an allocation of noise — anything the
-    // registry allocated per record would overshoot this by orders of
-    // magnitude (a trial records 4+ histogram samples and 10 counters).
+    // The warmed baseline is exactly zero, so allow only noise headroom —
+    // anything the registry allocated per record would overshoot this by
+    // orders of magnitude (a trial records 4+ histogram samples and 10
+    // counters).
     assert!(
         metered.0 <= after.0 + 0.5,
         "arming the metrics registry must not add heap traffic \

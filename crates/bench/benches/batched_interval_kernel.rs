@@ -1,0 +1,119 @@
+//! Per-call vs batched interval kernels over k sets.
+//!
+//! The meters fold union/gaps over one interval set per core; the batched
+//! kernels ([`IntervalSet::union_many_into`],
+//! [`IntervalSet::intersect_many_into`], [`IntervalSet::gaps_many_into`])
+//! do the same work in one pass over all k sets. This bench measures both
+//! shapes at k ∈ {4, 16, 64} sets (each holding a fixed number of
+//! intervals), with all scratch pre-allocated, so the delta is pure
+//! kernel cost — the shape the zero-alloc sweep path sees.
+
+use sdem_bench::microbench::{bench, black_box};
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+use sdem_types::{IntervalSet, Time};
+
+const INTERVALS_PER_SET: usize = 12;
+
+/// A sparse set: short spans scattered over a window that grows with the
+/// total interval count, so the k-way union stays fragmented (like
+/// per-core busy sets) instead of collapsing to one long interval.
+fn sparse_set(seed: u64, window: f64) -> IntervalSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    IntervalSet::from_spans(
+        (0..INTERVALS_PER_SET)
+            .map(|_| {
+                let start = rng.gen_range(0.0f64..window);
+                let len = rng.gen_range(0.1f64..2.0);
+                (Time::from_secs(start), Time::from_secs(start + len))
+            })
+            .collect(),
+    )
+}
+
+/// A high-coverage set: the window minus a few short gaps, so the k-way
+/// intersection stays non-trivial all the way down.
+fn dense_set(seed: u64, window: f64) -> IntervalSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut gaps: Vec<f64> = (0..INTERVALS_PER_SET)
+        .map(|_| rng.gen_range(1.0f64..window - 1.0))
+        .collect();
+    gaps.sort_by(f64::total_cmp);
+    let mut spans = Vec::new();
+    let mut cursor = 0.0;
+    for g in gaps {
+        if g > cursor {
+            spans.push((Time::from_secs(cursor), Time::from_secs(g)));
+        }
+        cursor = g + 0.05;
+    }
+    spans.push((Time::from_secs(cursor), Time::from_secs(window)));
+    IntervalSet::from_spans(spans)
+}
+
+fn main() {
+    let empty = IntervalSet::new();
+    for k in [4usize, 16, 64] {
+        let window = (k * INTERVALS_PER_SET) as f64 * 4.0;
+        let sets: Vec<IntervalSet> = (0..k)
+            .map(|i| sparse_set(0xC0DE + i as u64, window))
+            .collect();
+        let dense: Vec<IntervalSet> = (0..k)
+            .map(|i| dense_set(0xDE5E + i as u64, window))
+            .collect();
+        let horizon = Some((Time::from_secs(-1.0), Time::from_secs(window + 1.0)));
+
+        // union: fold of pairwise union_into over ping-pong scratch vs the
+        // one-pass concatenate-and-normalize kernel.
+        let mut ping = IntervalSet::new();
+        let mut pong = IntervalSet::new();
+        bench(&format!("batched_interval_kernel/union_fold/{k}"), || {
+            ping.clear();
+            let (mut cur, mut nxt) = (&mut ping, &mut pong);
+            for set in black_box(&sets) {
+                set.union_into(cur, nxt);
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            black_box(cur.len())
+        });
+        let mut out = IntervalSet::new();
+        bench(&format!("batched_interval_kernel/union_many/{k}"), || {
+            IntervalSet::union_many_into(black_box(&sets), &mut out);
+            black_box(out.len())
+        });
+
+        // intersect: pairwise fold vs the k-pointer sweep, on
+        // high-coverage sets so the running intersection never collapses.
+        bench(&format!("batched_interval_kernel/intersect_fold/{k}"), || {
+            dense[0].union_into(&empty, &mut ping);
+            let (mut cur, mut nxt) = (&mut ping, &mut pong);
+            for set in black_box(&dense[1..]) {
+                set.intersect_into(cur, nxt);
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            black_box(cur.len())
+        });
+        let mut cursors = Vec::new();
+        bench(&format!("batched_interval_kernel/intersect_many/{k}"), || {
+            IntervalSet::intersect_many_into(black_box(&dense), &mut cursors, &mut out);
+            black_box(out.len())
+        });
+
+        // gaps: one gaps_into call per set vs the flattened batch.
+        let mut gaps = IntervalSet::new();
+        bench(&format!("batched_interval_kernel/gaps_per_set/{k}"), || {
+            let mut total = 0usize;
+            for set in black_box(&sets) {
+                set.gaps_into(horizon, &mut gaps);
+                total += gaps.len();
+            }
+            black_box(total)
+        });
+        let mut flat = Vec::new();
+        let mut offsets = Vec::new();
+        bench(&format!("batched_interval_kernel/gaps_many/{k}"), || {
+            IntervalSet::gaps_many_into(black_box(&sets), horizon, &mut flat, &mut offsets);
+            black_box(flat.len())
+        });
+        println!();
+    }
+}

@@ -250,7 +250,7 @@ pub fn run_trial_checked_in(
     let clock = sdem_obs::registry::maybe_start();
     let mbkp_schedule = {
         let _span = sdem_obs::trace::span("solve/mbkp");
-        mbkp::schedule_online(tasks, platform, cores, Assignment::RoundRobin)
+        mbkp::schedule_online_in(tasks, platform, cores, Assignment::RoundRobin, ws)
             .map_err(|e| TrialError::Baseline(e.to_string()))?
     };
     sdem_obs::registry::record_elapsed("solve/mbkp", clock);
@@ -283,7 +283,7 @@ pub fn run_trial_checked_in(
             platform,
             OracleOptions::with_sim(profit).with_tolerance(tol),
         );
-        ws.recycle_schedule(analytic.into_schedule());
+        sdem_core::recycle_report(analytic, ws);
         if let Err(e) = verdict {
             let err = match e {
                 OracleError::Schedule(se) => TrialError::Simulation(se),
@@ -333,7 +333,13 @@ pub fn run_trial_checked_in(
         }
     }
 
-    let sdem_cores_used = sdem_schedule.cores_used();
+    let sdem_cores_used = {
+        let mut cores = ws.take_core_ids();
+        sdem_schedule.cores_into(&mut cores);
+        let n = cores.len();
+        ws.recycle_core_ids(cores);
+        n
+    };
     ws.recycle_schedule(sdem_schedule);
     ws.recycle_schedule(mbkp_schedule);
 

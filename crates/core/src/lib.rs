@@ -64,4 +64,4 @@ pub use fault::{
 };
 pub use oracle::{OracleError, OracleOptions, DEFAULT_ORACLE_TOLERANCE};
 pub use scheduler::{solve, solve_in, Scheduler, Scheme};
-pub use solution::{SdemError, Solution};
+pub use solution::{recycle_report, SdemError, Solution};

@@ -21,7 +21,8 @@
 
 use sdem_power::Platform;
 use sdem_types::{
-    CoreId, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time, Workspace,
+    CoreId, Placement, Schedule, Segment, Speed, Task, TaskId, TaskRow, TaskSet, TaskSoa, Time,
+    Workspace,
 };
 
 use crate::{common_release, overhead, SdemError};
@@ -58,16 +59,70 @@ impl InnerSolver {
     }
 }
 
-/// One unfinished task tracked by the scheduler.
-#[derive(Debug, Clone)]
-struct Live {
-    id: TaskId,
-    deadline: Time,
-    remaining: f64,
-    core: usize,
-    segments: Vec<Segment>,
-    /// The current plan: `(start, end, speed)`, absolute.
-    plan: Option<(f64, f64, f64)>,
+/// The unfinished tasks tracked by the scheduler, as parallel pooled
+/// columns over the task set's SoA view (one row per live task, removed
+/// in lockstep on completion):
+///
+/// * `idx[k]` — row in the [`TaskSoa`] (id, deadline, work lookups),
+/// * `placements[k]` — the accumulating result (task, core, segments),
+/// * `remaining[k]` — work left, in cycles,
+/// * `plans[k]` — the current plan `(id, start, end, speed)`; a NaN start
+///   marks "no plan" (the row form has no `Option`).
+struct LiveLists {
+    idx: Vec<usize>,
+    placements: Vec<Placement>,
+    remaining: Vec<f64>,
+    plans: Vec<TaskRow>,
+}
+
+impl LiveLists {
+    const NO_PLAN: f64 = f64::NAN;
+
+    fn take(ws: &mut Workspace) -> Self {
+        Self {
+            idx: ws.take_usizes(),
+            placements: ws.take_placements(),
+            remaining: ws.take_f64s(),
+            plans: ws.take_rows(),
+        }
+    }
+
+    fn recycle(mut self, ws: &mut Workspace) {
+        ws.recycle_rows(self.plans);
+        ws.recycle_f64s(self.remaining);
+        // Rows survive to here only on error paths; tear their segment
+        // buffers down into the pool rather than dropping them.
+        for placement in self.placements.drain(..) {
+            ws.recycle_segments(placement.into_segments());
+        }
+        ws.recycle_placements(self.placements);
+        ws.recycle_usizes(self.idx);
+    }
+
+    fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    fn push(&mut self, soa_index: usize, placement: Placement, remaining: f64) {
+        let id = placement.task();
+        self.idx.push(soa_index);
+        self.placements.push(placement);
+        self.remaining.push(remaining);
+        self.plans.push((id, Self::NO_PLAN, 0.0, 0.0));
+    }
+
+    /// Removes row `k` preserving order (completion order feeds the
+    /// finished-placement order, which downstream meters sum in).
+    fn remove(&mut self, k: usize) -> Placement {
+        self.idx.remove(k);
+        self.remaining.remove(k);
+        self.plans.remove(k);
+        self.placements.remove(k)
+    }
 }
 
 /// Runs SDEM-ON over a general task set, producing the explicit schedule.
@@ -208,36 +263,41 @@ fn schedule_online_impl(
     ws: &mut Workspace,
 ) -> Result<Schedule, SdemError> {
     let solver = solver.resolve(platform);
-    let mut arrivals = ws.take_tasks();
-    tasks.sorted_by_release_into(&mut arrivals);
+    // SoA hot view: the event loop only ever reads one column at a time
+    // (releases for the arrival scan, deadlines for admission order), and
+    // live/waiting become index vectors over it.
+    let mut soa = ws.take_soa();
+    tasks.fill_soa(&mut soa);
+    let mut order = ws.take_usizes();
+    soa.arrival_order_into(&mut order);
     let mut finished: Vec<Placement> = ws.take_placements();
     finished.reserve(tasks.len());
-    let mut live: Vec<Live> = Vec::new();
+    let mut live = LiveLists::take(ws);
     let mut cores_busy: Vec<bool> = ws.take_bools();
-    // Tasks that arrived but found no free core (bounded mode only).
-    let mut waiting: Vec<(sdem_types::Task, f64)> = Vec::new(); // (task, remaining)
+    // Tasks that arrived but found no free core (bounded mode only), as
+    // SoA row indices.
+    let mut waiting: Vec<usize> = ws.take_usizes();
 
     let mut i = 0;
-    let mut now = arrivals
-        .first()
-        .map(|t| t.release().as_secs())
-        .unwrap_or(0.0);
-    loop {
+    let mut now = order.first().map(|&j| soa.releases[j]).unwrap_or(0.0);
+    let result = 'run: loop {
         // Next event: the next arrival, or — while tasks wait for a core —
         // the earliest planned completion.
-        let next_arrival = arrivals.get(i).map(|t| t.release().as_secs());
+        let next_arrival = order.get(i).map(|&j| soa.releases[j]);
         let next_completion = if waiting.is_empty() {
             None
         } else {
-            live.iter()
-                .filter_map(|t| t.plan.map(|(_, end, _)| end))
+            live.plans
+                .iter()
+                .filter(|p| !p.1.is_nan())
+                .map(|p| p.2)
                 .min_by(f64::total_cmp)
         };
         now = match (next_arrival, next_completion) {
             (Some(a), Some(c)) => a.min(c),
             (Some(a), None) => a,
             (None, Some(c)) => c,
-            (None, None) => break,
+            (None, None) => break 'run Ok(()),
         }
         .max(now);
 
@@ -245,19 +305,39 @@ fn schedule_online_impl(
         advance(&mut live, &mut finished, &mut cores_busy, now);
 
         // Admit every task arriving exactly now.
-        while i < arrivals.len() && arrivals[i].release().as_secs() <= now + 1e-15 {
-            let t = arrivals[i];
+        while i < order.len() && soa.releases[order[i]] <= now + 1e-15 {
+            let j = order[i];
             i += 1;
-            if t.work().value() == 0.0 {
+            if !soa.flags[j] {
                 // Zero-work tasks never execute: no core contention.
-                finished.push(Placement::new(t.id(), CoreId(0), ws.take_segments()));
+                finished.push(Placement::new(
+                    TaskId(soa.ids[j]),
+                    CoreId(0),
+                    ws.take_segments(),
+                ));
                 continue;
             }
-            waiting.push((t, t.work().value()));
+            waiting.push(j);
         }
 
-        // Move waiting tasks onto free cores, earliest deadline first.
-        waiting.sort_by(|a, b| a.0.deadline().total_cmp(&b.0.deadline()));
+        // Order waiting tasks earliest deadline first. The keyed argsort
+        // (deadline, queue position) reproduces the stable sort without
+        // its merge-buffer allocation.
+        let mut keyed = ws.take_keyed();
+        keyed.extend(
+            waiting
+                .iter()
+                .enumerate()
+                .map(|(pos, &j)| (soa.deadlines[j], pos)),
+        );
+        keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut scratch = ws.take_usizes();
+        scratch.extend(keyed.iter().map(|&(_, pos)| waiting[pos]));
+        core::mem::swap(&mut waiting, &mut scratch);
+        ws.recycle_usizes(scratch);
+        ws.recycle_keyed(keyed);
+
+        // Move waiting tasks onto free cores.
         while !waiting.is_empty() {
             let pool_full = match max_cores {
                 Some(c) => cores_busy.iter().filter(|&&b| b).count() >= c,
@@ -266,32 +346,47 @@ fn schedule_online_impl(
             if pool_full {
                 break;
             }
-            let (t, remaining) = waiting.remove(0);
+            let j = waiting.remove(0);
+            let remaining = soa.works[j];
             // A queued task whose window closed is a hard failure.
-            if t.deadline().as_secs() <= now && remaining > 0.0 {
-                return Err(SdemError::InfeasibleTask(t.id()));
+            if soa.deadlines[j] <= now && remaining > 0.0 {
+                break 'run Err(SdemError::InfeasibleTask(TaskId(soa.ids[j])));
             }
             let core = alloc_core(&mut cores_busy);
-            live.push(Live {
-                id: t.id(),
-                deadline: t.deadline(),
+            live.push(
+                j,
+                Placement::new(TaskId(soa.ids[j]), CoreId(core), ws.take_segments()),
                 remaining,
-                core,
-                segments: ws.take_segments(),
-                plan: None,
-            });
+            );
         }
 
-        replan(&mut live, platform, solver, Time::from_secs(now), ws)?;
+        if let Err(e) = replan(&mut live, &soa, platform, solver, Time::from_secs(now), ws) {
+            break 'run Err(e);
+        }
+    };
+    if result.is_ok() {
+        // No more events: run every remaining plan to completion.
+        advance(&mut live, &mut finished, &mut cores_busy, f64::INFINITY);
+        debug_assert!(live.is_empty(), "all tasks must complete");
+        debug_assert!(waiting.is_empty(), "no task may be left waiting");
     }
-
-    // No more events: run every remaining plan to completion.
-    advance(&mut live, &mut finished, &mut cores_busy, f64::INFINITY);
-    debug_assert!(live.is_empty(), "all tasks must complete");
-    debug_assert!(waiting.is_empty(), "no task may be left waiting");
-    ws.recycle_tasks(arrivals);
+    ws.recycle_usizes(waiting);
     ws.recycle_bools(cores_busy);
-    Ok(Schedule::new(finished))
+    live.recycle(ws);
+    ws.recycle_usizes(order);
+    ws.recycle_soa(soa);
+    match result {
+        Ok(()) => Ok(Schedule::new(finished)),
+        Err(e) => {
+            // Error path: tear the partial schedule back down so even a
+            // quarantined trial leaves the workspace warm.
+            for placement in finished.drain(..) {
+                ws.recycle_segments(placement.into_segments());
+            }
+            ws.recycle_placements(finished);
+            Err(e)
+        }
+    }
 }
 
 /// Allocates the lowest-indexed free core.
@@ -307,28 +402,28 @@ fn alloc_core(cores: &mut Vec<bool>) -> usize {
 
 /// Executes current plans up to `until` (absolute seconds): extends
 /// segments, reduces remaining work, finalizes completed tasks.
-fn advance(live: &mut Vec<Live>, finished: &mut Vec<Placement>, cores: &mut [bool], until: f64) {
+fn advance(live: &mut LiveLists, finished: &mut Vec<Placement>, cores: &mut [bool], until: f64) {
     let mut k = 0;
     while k < live.len() {
-        let task = &mut live[k];
-        if let Some((start, end, speed)) = task.plan {
+        let (_, start, end, speed) = live.plans[k];
+        if !start.is_nan() {
             let run_end = end.min(until);
             if run_end > start {
-                task.segments.push(Segment::new(
+                live.placements[k].push_segment(Segment::new(
                     Time::from_secs(start),
                     Time::from_secs(run_end),
                     Speed::from_hz(speed),
                 ));
-                task.remaining -= speed * (run_end - start);
+                live.remaining[k] -= speed * (run_end - start);
             }
-            if end <= until || task.remaining <= 1e-6 * task.remaining.abs().max(1.0) {
+            if end <= until || live.remaining[k] <= 1e-6 * live.remaining[k].abs().max(1.0) {
                 // Completed: emit the placement and free the core.
                 let done = live.remove(k);
-                cores[done.core] = false;
-                finished.push(Placement::new(done.id, CoreId(done.core), done.segments));
+                cores[done.core().0] = false;
+                finished.push(done);
                 continue;
             }
-            task.plan = None;
+            live.plans[k].1 = LiveLists::NO_PLAN;
         }
         k += 1;
     }
@@ -336,7 +431,8 @@ fn advance(live: &mut Vec<Live>, finished: &mut Vec<Placement>, cores: &mut [boo
 
 /// Re-solves the common-release instance at `now` and installs fresh plans.
 fn replan(
-    live: &mut [Live],
+    live: &mut LiveLists,
+    soa: &TaskSoa,
     platform: &Platform,
     solver: InnerSolver,
     now: Time,
@@ -348,15 +444,15 @@ fn replan(
     // Fresh common-release instance from the remaining work; the task
     // vector is recycled after the solve.
     let mut roster = ws.take_tasks();
-    roster.extend(live.iter().map(|t| {
+    roster.extend(live.idx.iter().zip(live.remaining.iter()).map(|(&j, &rem)| {
         Task::new(
-            t.id.0,
+            soa.ids[j],
             now,
-            t.deadline,
-            sdem_types::Cycles::new(t.remaining.max(0.0)),
+            Time::from_secs(soa.deadlines[j]),
+            sdem_types::Cycles::new(rem.max(0.0)),
         )
     }));
-    let instance = TaskSet::new(roster).expect("live tasks have positive windows");
+    let instance = TaskSet::new_in(roster, ws).expect("live tasks have positive windows");
 
     let solution = match solver {
         InnerSolver::AlphaZero => common_release::schedule_alpha_zero_in(&instance, platform, ws)?,
@@ -370,21 +466,21 @@ fn replan(
     // Latest start per task; the block wakes at the earliest of them.
     let mut wake = f64::INFINITY;
     let mut exec: Vec<f64> = ws.take_f64s();
-    for t in live.iter() {
+    for (k, &j) in live.idx.iter().enumerate() {
         let p_j = solution
             .schedule()
-            .placement(t.id)
+            .placement(live.plans[k].0)
             .map(|p| p.busy_time().as_secs())
             .unwrap_or(0.0);
         exec.push(p_j);
         if p_j > 0.0 {
-            wake = wake.min(t.deadline.as_secs() - p_j);
+            wake = wake.min(soa.deadlines[j] - p_j);
         }
     }
     let wake = wake.max(now.as_secs());
-    for (t, &p_j) in live.iter_mut().zip(exec.iter()) {
+    for (k, &p_j) in exec.iter().enumerate() {
         if p_j > 0.0 {
-            t.plan = Some((wake, wake + p_j, t.remaining / p_j));
+            live.plans[k] = (live.plans[k].0, wake, wake + p_j, live.remaining[k] / p_j);
         }
     }
     ws.recycle_f64s(exec);

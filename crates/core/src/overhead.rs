@@ -77,6 +77,14 @@ struct OverheadCases {
     /// Suffix sums of `w^λ` and suffix maxima of `w`.
     s_wl: Vec<f64>,
     w_max: Vec<f64>,
+    /// `w_k^λ` per task — the power-law factor of the dynamic energy,
+    /// identical across every `(cut, Δ)` evaluation.
+    wl: Vec<f64>,
+    /// `c_k^{1−λ}` per task: the prefix tasks (k < cut) always run for
+    /// exactly `c_k`, so their factor never depends on `Δ`.
+    run_pow: Vec<f64>,
+    /// `best_gap_energy(|I| − c_k)` per task, for the same reason.
+    run_gap: Vec<f64>,
     alpha: f64,
     beta: f64,
     lambda: f64,
@@ -106,17 +114,28 @@ impl OverheadCases {
                 .mem_model
                 .best_gap_energy(Time::from_secs(self.interval - t_end))
                 .value();
+        // Every aligned task (k ≥ cut) runs for the same `t_end`, so its
+        // power-law factor and trailing-gap price are shared; the prefix
+        // tasks' factors are Δ-independent and precomputed at build time.
+        // Hoisting changes neither the inputs to `powf`/`best_gap_energy`
+        // nor the accumulation order, so the sum is bit-identical to the
+        // naive per-task recomputation.
+        let t_pow = t_end.powf(1.0 - self.lambda);
+        let t_gap = self
+            .core_model
+            .best_gap_energy(Time::from_secs(self.interval - t_end))
+            .value();
         for k in 0..self.n() {
-            let run = if k >= cut { t_end } else { self.c[k] };
-            let wk = self.w[k];
-            if wk > 0.0 {
-                total += self.beta * wk.powf(self.lambda) * run.powf(1.0 - self.lambda);
+            let aligned = k >= cut;
+            if self.w[k] > 0.0 {
+                let run_pow = if aligned { t_pow } else { self.run_pow[k] };
+                total += self.beta * self.wl[k] * run_pow;
             }
-            total += self.alpha * run
-                + self
-                    .core_model
-                    .best_gap_energy(Time::from_secs(self.interval - run))
-                    .value();
+            total += if aligned {
+                self.alpha * t_end + t_gap
+            } else {
+                self.alpha * self.c[k] + self.run_gap[k]
+            };
         }
         total
     }
@@ -235,6 +254,20 @@ pub fn schedule_common_release_in(
         s_wl[j] = s_wl[j + 1] + works[j].powf(lambda);
         w_max[j] = w_max[j + 1].max(works[j]);
     }
+    // Δ-independent per-task factors, computed once for the whole candidate
+    // enumeration (see `OverheadCases::energy`). Zero-work rows never read
+    // their `run_pow`/`run_gap` slots, so `0^{1−λ} = ∞` there is inert.
+    let mut wl = ws.take_f64s();
+    let mut run_pow = ws.take_f64s();
+    let mut run_gap = ws.take_f64s();
+    for j in 0..n {
+        wl.push(works[j].powf(lambda));
+        run_pow.push(sorted_c[j].powf(1.0 - lambda));
+        run_gap.push(
+            core.best_gap_energy(Time::from_secs(interval - sorted_c[j]))
+                .value(),
+        );
+    }
     let cases = OverheadCases {
         c_max: sorted_c.last().copied().unwrap_or(0.0),
         c: sorted_c,
@@ -242,6 +275,9 @@ pub fn schedule_common_release_in(
         interval,
         s_wl,
         w_max,
+        wl,
+        run_pow,
+        run_gap,
         alpha: core.alpha().value(),
         beta: core.beta(),
         lambda,
@@ -307,6 +343,9 @@ pub fn schedule_common_release_in(
     ws.recycle_f64s(cases.w);
     ws.recycle_f64s(cases.s_wl);
     ws.recycle_f64s(cases.w_max);
+    ws.recycle_f64s(cases.wl);
+    ws.recycle_f64s(cases.run_pow);
+    ws.recycle_f64s(cases.run_gap);
     ws.recycle_keyed(order);
     inst.recycle(ws);
     Ok(solution)

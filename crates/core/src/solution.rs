@@ -135,6 +135,15 @@ impl Solution {
     }
 }
 
+/// Tears a finished [`Solution`] down into `ws`, repooling its schedule's
+/// placement and segment buffers for the next trial. The counterpart of
+/// [`Solution::from_schedule_in`] in the sweep's zero-alloc loop: a worker
+/// that recycles every report it produces re-runs the full trial path on a
+/// warm [`Workspace`] without touching the heap.
+pub fn recycle_report(solution: Solution, ws: &mut Workspace) {
+    ws.recycle_schedule(solution.into_schedule());
+}
+
 /// Errors from the SDEM schemes.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]

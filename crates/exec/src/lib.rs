@@ -609,7 +609,10 @@ impl SweepRunner {
             let cursor = AtomicUsize::new(0);
             let serial = || {
                 let mut state = init();
-                let mut local = Vec::new();
+                // Sized for the whole sweep up front: result pushes never
+                // reallocate, so the only per-trial heap traffic is the
+                // trial's own (workspace-pooled) scratch.
+                let mut local = Vec::with_capacity(total);
                 let mut obs = WorkerObs::new();
                 while let Some(i) = next(&cursor) {
                     local.push(run_one(i, &mut state, &mut obs));
@@ -646,7 +649,10 @@ impl SweepRunner {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut state = init();
-                            let mut local = Vec::new();
+                            // The work-stealing cursor lets a fast worker
+                            // claim more than its even share; size for the
+                            // whole sweep so pushes never reallocate.
+                            let mut local = Vec::with_capacity(total);
                             let mut obs = WorkerObs::new();
                             while let Some(i) = next(&cursor) {
                                 local.push(run_one(i, &mut state, &mut obs));

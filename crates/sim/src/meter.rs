@@ -7,7 +7,7 @@
 //! quantities by time integration and the two are cross-checked in tests.
 
 use sdem_power::Platform;
-use sdem_types::{Joules, Schedule, ScheduleError, TaskSet, Time, Workspace};
+use sdem_types::{IntervalSet, Joules, Schedule, ScheduleError, TaskSet, Time, Workspace};
 
 use crate::{EnergyReport, SimOptions, SleepPolicy};
 
@@ -79,7 +79,7 @@ pub fn simulate_with_options_in(
     ws: &mut Workspace,
 ) -> Result<EnergyReport, ScheduleError> {
     if options.validate {
-        schedule.validate_with_limits(tasks, None, Some(platform.core().max_speed()))?;
+        schedule.validate_with_limits_in(tasks, None, Some(platform.core().max_speed()), ws)?;
     }
 
     let core_model = platform.core();
@@ -96,16 +96,26 @@ pub fn simulate_with_options_in(
         }
     }
 
-    // Per-core on-span accounting: static power while busy, gaps per policy.
+    // Per-core on-span accounting: static power while busy, gaps per
+    // policy. Each core's busy set is materialized once into a pooled
+    // list so the batched gap kernel and the memory busy-union below both
+    // read it without re-deriving intervals from the placements.
     let mut cores = ws.take_core_ids();
     schedule.cores_into(&mut cores);
-    let mut busy = ws.take_intervals();
-    let mut gaps = ws.take_intervals();
+    let mut per_core = ws.take_interval_list();
     for &core in cores.iter() {
+        let mut busy = ws.take_intervals();
         schedule.core_busy_intervals_into(core, &mut busy);
+        per_core.push(busy);
+    }
+    ws.recycle_core_ids(cores);
+
+    let mut flat = ws.take_spans();
+    let mut offsets = ws.take_usizes();
+    IntervalSet::gaps_many_into(&per_core, options.horizon, &mut flat, &mut offsets);
+    for (k, busy) in per_core.iter().enumerate() {
         report.core_static += core_model.alpha() * busy.total();
-        busy.gaps_into(options.horizon, &mut gaps);
-        for &(a, b) in gaps.iter() {
+        for &(a, b) in &flat[offsets[k]..offsets[k + 1]] {
             let gap = b - a;
             let (idle, trans, slept) = options.core_policy.price_gap(
                 gap,
@@ -120,10 +130,17 @@ pub fn simulate_with_options_in(
             }
         }
     }
-    ws.recycle_core_ids(cores);
+    ws.recycle_spans(flat);
+    ws.recycle_usizes(offsets);
 
-    // Memory on-span accounting.
-    schedule.memory_busy_intervals_into(&mut busy);
+    // Memory on-span accounting: the memory must be awake exactly when
+    // some core is busy, i.e. over the union of the per-core busy sets
+    // (bit-identical to re-collecting every segment; see
+    // [`IntervalSet::union_many_into`]).
+    let mut busy = ws.take_intervals();
+    let mut gaps = ws.take_intervals();
+    IntervalSet::union_many_into(&per_core, &mut busy);
+    ws.recycle_interval_list(per_core);
     let mem_busy_time: Time = busy.total();
     report.memory_static += memory.awake_energy(mem_busy_time);
     report.memory_awake_time += mem_busy_time;

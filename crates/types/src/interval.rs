@@ -92,6 +92,12 @@ impl IntervalSet {
         self.intervals.clear();
     }
 
+    /// Capacity of the underlying buffer (pool diagnostics).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.intervals.capacity()
+    }
+
     /// Rebuilds `out` from arbitrary raw spans without allocating (beyond
     /// growing `out`'s buffer): `out` is cleared, filled from `iter`, then
     /// sorted and coalesced exactly like [`Self::from_spans`].
@@ -273,6 +279,106 @@ impl IntervalSet {
             }
         }
         out.debug_check_sorted();
+    }
+
+    /// Batched union: clears `out` and fills it with the union of every
+    /// set in `sets`, in one coalescing pass.
+    ///
+    /// Folding [`Self::union_into`] over n sets re-merges the running
+    /// result n − 1 times; this entry point concatenates all spans once
+    /// and normalizes once. Coalescing does no arithmetic (endpoints are
+    /// copied bits, merges take a max under the total order), and the
+    /// canonical sorted-disjoint representation of a point set is unique,
+    /// so the result is bit-identical to the pairwise fold.
+    pub fn union_many_into(sets: &[Self], out: &mut Self) {
+        out.intervals.clear();
+        out.intervals
+            .reserve(sets.iter().map(|s| s.intervals.len()).sum());
+        for set in sets {
+            out.intervals.extend_from_slice(&set.intervals);
+        }
+        Self::normalize(&mut out.intervals);
+    }
+
+    /// Batched intersection: clears `out` and fills it with the time
+    /// covered by *every* set in `sets`, in one k-pointer sweep.
+    ///
+    /// `cursors` is caller-provided scratch (one index per set — take it
+    /// from a [`crate::Workspace`] to keep the call allocation-free).
+    /// An empty `sets` slice yields the empty set. Like the batched
+    /// union, the sweep does no arithmetic, so the result is
+    /// bit-identical to folding [`Self::intersect_into`].
+    pub fn intersect_many_into(sets: &[Self], cursors: &mut Vec<usize>, out: &mut Self) {
+        out.intervals.clear();
+        if sets.is_empty() {
+            return;
+        }
+        cursors.clear();
+        cursors.resize(sets.len(), 0);
+        'sweep: loop {
+            // The candidate piece is bounded by the latest current start
+            // and the earliest current end across all k fronts.
+            let mut lo = Time::from_secs(f64::NEG_INFINITY);
+            let mut hi = Time::from_secs(f64::INFINITY);
+            let mut min_end_at = 0;
+            for (k, set) in sets.iter().enumerate() {
+                let Some(&(a, b)) = set.intervals.get(cursors[k]) else {
+                    break 'sweep;
+                };
+                lo = lo.max(a);
+                if b < hi {
+                    hi = b;
+                    min_end_at = k;
+                }
+            }
+            if hi > lo {
+                out.intervals.push((lo, hi));
+            }
+            // Only the set whose interval ends first can contribute more
+            // overlap later; advance its cursor.
+            cursors[min_end_at] += 1;
+        }
+        out.debug_check_sorted();
+    }
+
+    /// Batched [`Self::gaps_into`]: computes every set's priced idle gaps
+    /// in one pass, appending them to `flat` with `offsets` recording the
+    /// per-set ranges (`offsets[i]..offsets[i + 1]` are set i's gaps).
+    ///
+    /// Both buffers are cleared first; `offsets` comes back with
+    /// `sets.len() + 1` entries. Each per-set gap list is bit-identical
+    /// to what [`Self::gaps_into`] would produce for that set under the
+    /// same `horizon`.
+    pub fn gaps_many_into(
+        sets: &[Self],
+        horizon: Option<(Time, Time)>,
+        flat: &mut Vec<(Time, Time)>,
+        offsets: &mut Vec<usize>,
+    ) {
+        flat.clear();
+        offsets.clear();
+        offsets.push(0);
+        for set in sets {
+            if let (Some(&first), Some(&last)) = (set.intervals.first(), set.intervals.last()) {
+                if let Some((t0, _)) = horizon {
+                    if first.0 - t0 > Time::ZERO {
+                        flat.push((t0, first.0));
+                    }
+                }
+                flat.extend(
+                    set.intervals
+                        .windows(2)
+                        .map(|w| (w[0].1, w[1].0))
+                        .filter(|&(a, b)| b - a > Time::ZERO),
+                );
+                if let Some((_, t1)) = horizon {
+                    if t1 - last.1 > Time::ZERO {
+                        flat.push((last.1, t1));
+                    }
+                }
+            }
+            offsets.push(flat.len());
+        }
     }
 
     /// Debug-build check that the invariants (sorted, disjoint,
@@ -527,6 +633,63 @@ mod tests {
         // clear keeps nothing behind.
         out.clear();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batched_kernels_match_pairwise_folds() {
+        let sets = [
+            set(&[(0.0, 2.0), (5.0, 6.0), (8.0, 9.0)]),
+            set(&[(1.0, 3.0), (6.0, 8.5)]),
+            set(&[(0.5, 9.5)]),
+            set(&[(2.5, 4.0), (7.0, 11.0)]),
+        ];
+        for n in 0..=sets.len() {
+            let subset = &sets[..n];
+            // union_many vs pairwise fold.
+            let mut batched = IntervalSet::new();
+            IntervalSet::union_many_into(subset, &mut batched);
+            let folded = subset
+                .iter()
+                .fold(IntervalSet::new(), |acc, s| acc.union(s));
+            assert_eq!(batched, folded, "union over {n} sets");
+            // intersect_many vs pairwise fold (fold of zero sets is empty
+            // by the batched convention; seed the fold with the first set).
+            let mut cursors = Vec::new();
+            IntervalSet::intersect_many_into(subset, &mut cursors, &mut batched);
+            match subset {
+                [] => assert!(batched.is_empty()),
+                [first, rest @ ..] => {
+                    let folded = rest.iter().fold(first.clone(), |acc, s| acc.intersect(s));
+                    assert_eq!(batched, folded, "intersect over {n} sets");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_many_matches_per_set_gaps() {
+        let sets = [
+            set(&[(2.0, 3.0), (5.0, 7.0)]),
+            IntervalSet::new(),
+            set(&[(0.0, 10.0)]),
+            set(&[(1.0, 2.0), (2.5, 4.0), (9.0, 9.5)]),
+        ];
+        for horizon in [None, Some((s(0.0), s(10.0)))] {
+            let mut flat = vec![(s(-1.0), s(-1.0))];
+            let mut offsets = vec![7usize];
+            IntervalSet::gaps_many_into(&sets, horizon, &mut flat, &mut offsets);
+            assert_eq!(offsets.len(), sets.len() + 1);
+            assert_eq!(offsets[0], 0);
+            assert_eq!(*offsets.last().unwrap(), flat.len());
+            for (i, set) in sets.iter().enumerate() {
+                let expect = set.gaps(horizon);
+                assert_eq!(
+                    &flat[offsets[i]..offsets[i + 1]],
+                    expect.as_slice(),
+                    "set {i}, horizon {horizon:?}"
+                );
+            }
+        }
     }
 
     #[test]

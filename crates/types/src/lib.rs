@@ -44,6 +44,7 @@ pub mod interval;
 mod kind;
 pub mod numeric;
 mod schedule;
+pub mod soa;
 mod task;
 mod units;
 mod workspace;
@@ -52,6 +53,7 @@ pub use error::{ScheduleError, TaskSetError};
 pub use interval::{IntervalSet, Timeline};
 pub use kind::{ErrorKind, ERROR_KINDS};
 pub use schedule::{CoreId, Placement, Schedule, Segment};
+pub use soa::{TaskRow, TaskSoa};
 pub use task::{Task, TaskId, TaskSet};
 pub use units::{Cycles, Joules, Speed, Time, Watts};
 pub use workspace::Workspace;

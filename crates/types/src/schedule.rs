@@ -8,7 +8,7 @@
 
 use core::fmt;
 
-use crate::{Cycles, IntervalSet, ScheduleError, Speed, Task, TaskId, TaskSet, Time};
+use crate::{Cycles, IntervalSet, ScheduleError, Speed, Task, TaskId, TaskSet, Time, Workspace};
 
 /// Relative tolerance used when checking workload completion and window
 /// containment. Schedules are built from floating-point optimizations, so
@@ -150,6 +150,15 @@ impl Placement {
     /// Total time the task occupies its core.
     pub fn busy_time(&self) -> Time {
         self.segments.iter().map(Segment::length).sum()
+    }
+
+    /// Appends a segment; the caller maintains the time-ordering
+    /// invariant. This is how the online scheduler and the pooled
+    /// baseline assemblers grow a placement in place instead of building
+    /// a separate segment list and cloning it in.
+    #[inline]
+    pub fn push_segment(&mut self, segment: Segment) {
+        self.segments.push(segment);
     }
 
     /// Consumes the placement, returning its segment buffer (so a
@@ -325,26 +334,81 @@ impl Schedule {
         min_speed: Option<Speed>,
         max_speed: Option<Speed>,
     ) -> Result<(), ScheduleError> {
-        // Every placement refers to a known task, exactly once.
-        let mut seen: Vec<TaskId> = Vec::with_capacity(self.placements.len());
-        for p in &self.placements {
-            if tasks.get(p.task()).is_none() || seen.contains(&p.task()) {
-                return Err(ScheduleError::UnknownTask(p.task()));
+        self.validate_with_limits_in(tasks, min_speed, max_speed, &mut Workspace::new())
+    }
+
+    /// Pooled [`Self::validate_with_limits`]: identical checks in the
+    /// identical order (so the *first* error reported is the same), with
+    /// the bookkeeping — the seen-task list and the per-core exclusivity
+    /// sort — running on workspace scratch. The simulator validates every
+    /// metered schedule, which puts this on the sweep hot path.
+    pub fn validate_with_limits_in(
+        &self,
+        tasks: &TaskSet,
+        min_speed: Option<Speed>,
+        max_speed: Option<Speed>,
+        ws: &mut Workspace,
+    ) -> Result<(), ScheduleError> {
+        // Every placement refers to a known task, exactly once. Existence
+        // of a violation is decided with two pooled sorts (O(n log n));
+        // the historical quadratic scan runs only when one exists, so the
+        // *first* error reported stays identical while valid schedules —
+        // the meter hot path — never pay the quadratic walk.
+        let mut sorted_pids = ws.take_usizes();
+        sorted_pids.extend(self.placements.iter().map(|p| p.task().0));
+        sorted_pids.sort_unstable();
+        let duplicate = sorted_pids.windows(2).any(|w| w[0] == w[1]);
+
+        // Argsort of the task slice by id: the membership index for the
+        // unknown check here and the per-placement lookups below (TaskSet
+        // construction guarantees the ids are unique).
+        let mut task_order = ws.take_usizes();
+        task_order.extend(0..tasks.len());
+        task_order.sort_unstable_by_key(|&i| tasks.tasks()[i].id().0);
+        let find = |id: usize| -> Option<&Task> {
+            task_order
+                .binary_search_by_key(&id, |&i| tasks.tasks()[i].id().0)
+                .ok()
+                .map(|pos| &tasks.tasks()[task_order[pos]])
+        };
+        let unknown = sorted_pids.iter().any(|&id| find(id).is_none());
+        // Without duplicates or unknowns the placement ids are a subset of
+        // the task ids, so full coverage is exactly a count match.
+        let missing = !duplicate && !unknown && sorted_pids.len() != tasks.len();
+
+        let mut result = Ok(());
+        if duplicate || unknown || missing {
+            let mut seen = ws.take_usizes();
+            for p in &self.placements {
+                if tasks.get(p.task()).is_none() || seen.contains(&p.task().0) {
+                    result = Err(ScheduleError::UnknownTask(p.task()));
+                    break;
+                }
+                seen.push(p.task().0);
             }
-            seen.push(p.task());
+            if result.is_ok() {
+                for t in tasks.iter() {
+                    if !seen.contains(&t.id().0) {
+                        result = Err(ScheduleError::MissingTask(t.id()));
+                        break;
+                    }
+                }
+            }
+            ws.recycle_usizes(seen);
         }
-        for t in tasks.iter() {
-            if !seen.contains(&t.id()) {
-                return Err(ScheduleError::MissingTask(t.id()));
-            }
+        ws.recycle_usizes(sorted_pids);
+        if let Err(e) = result {
+            ws.recycle_usizes(task_order);
+            return Err(e);
         }
 
         for p in &self.placements {
-            let task = tasks.get(p.task()).expect("checked above");
+            let task = find(p.task().0).expect("checked above");
             self.validate_placement(p, task, min_speed, max_speed)?;
         }
+        ws.recycle_usizes(task_order);
 
-        self.validate_core_exclusivity()
+        self.validate_core_exclusivity_in(ws)
     }
 
     fn validate_placement(
@@ -391,29 +455,53 @@ impl Schedule {
         Ok(())
     }
 
-    fn validate_core_exclusivity(&self) -> Result<(), ScheduleError> {
-        // Gather (core, start, end, task) and sort; adjacent overlap check.
-        let mut spans: Vec<(CoreId, Time, Time, TaskId)> = self
-            .placements
-            .iter()
-            .flat_map(|p| {
-                p.segments()
-                    .iter()
-                    .map(move |s| (p.core(), s.start(), s.end(), p.task()))
-            })
-            .collect();
-        spans.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-        for w in spans.windows(2) {
-            let (c0, _, e0, t0) = w[0];
-            let (c1, s1, _, t1) = w[1];
-            if c0 == c1 && t0 != t1 {
-                let tol = Time::from_secs(e0.as_secs().abs().max(1e-9) * REL_TOL);
-                if s1 < e0 - tol {
-                    return Err(ScheduleError::CoreConflict(c0, t0, t1));
+    /// Per-core mutual exclusion on pooled scratch.
+    ///
+    /// The historical check gathered every `(core, start, end, task)` span
+    /// and ran one global *stable* sort by `(core, start)`. Processing
+    /// cores in ascending order and, within each core, argsorting by
+    /// `(start, collection index)` visits the same adjacent pairs in the
+    /// same order — the index tiebreak reproduces the stable tie order —
+    /// so the first conflict reported is identical, without the stable
+    /// sort's merge buffer.
+    fn validate_core_exclusivity_in(&self, ws: &mut Workspace) -> Result<(), ScheduleError> {
+        let mut cores = ws.take_core_ids();
+        let mut spans = ws.take_spans();
+        let mut owners = ws.take_usizes();
+        let mut keyed = ws.take_keyed();
+        self.cores_into(&mut cores);
+        let mut result = Ok(());
+        'cores: for &core in cores.iter() {
+            spans.clear();
+            owners.clear();
+            keyed.clear();
+            for p in self.placements.iter().filter(|p| p.core() == core) {
+                for s in p.segments() {
+                    keyed.push((s.start().as_secs(), spans.len()));
+                    spans.push((s.start(), s.end()));
+                    owners.push(p.task().0);
+                }
+            }
+            keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for w in keyed.windows(2) {
+                let (j0, j1) = (w[0].1, w[1].1);
+                let (t0, t1) = (owners[j0], owners[j1]);
+                if t0 != t1 {
+                    let e0 = spans[j0].1;
+                    let s1 = spans[j1].0;
+                    let tol = Time::from_secs(e0.as_secs().abs().max(1e-9) * REL_TOL);
+                    if s1 < e0 - tol {
+                        result = Err(ScheduleError::CoreConflict(core, TaskId(t0), TaskId(t1)));
+                        break 'cores;
+                    }
                 }
             }
         }
-        Ok(())
+        ws.recycle_keyed(keyed);
+        ws.recycle_usizes(owners);
+        ws.recycle_spans(spans);
+        ws.recycle_core_ids(cores);
+        result
     }
 }
 
@@ -814,5 +902,43 @@ mod tests {
     #[test]
     fn core_id_display() {
         assert_eq!(CoreId(3).to_string(), "core3");
+    }
+
+    #[test]
+    fn validate_in_matches_allocating_validate_on_warm_workspace() {
+        let tasks = simple_tasks();
+        let ok = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(0), ms(20.0), ms(50.0), mhz(100.0)),
+        ]);
+        let conflict = Schedule::new(vec![
+            Placement::single(TaskId(0), CoreId(0), ms(0.0), ms(20.0), mhz(100.0)),
+            Placement::single(TaskId(1), CoreId(0), ms(10.0), ms(40.0), mhz(100.0)),
+        ]);
+        let missing = Schedule::new(vec![Placement::single(
+            TaskId(0),
+            CoreId(0),
+            ms(0.0),
+            ms(20.0),
+            mhz(100.0),
+        )]);
+        let mut ws = Workspace::new();
+        // Reuse one workspace across all cases: results must match the
+        // allocating path, including which error is reported first.
+        for sched in [&ok, &conflict, &missing, &ok] {
+            assert_eq!(
+                sched.validate_with_limits_in(&tasks, None, Some(mhz(1900.0)), &mut ws),
+                sched.validate_with_limits(&tasks, None, Some(mhz(1900.0)))
+            );
+        }
+    }
+
+    #[test]
+    fn push_segment_extends_in_place() {
+        let mut p = Placement::new(TaskId(0), CoreId(1), Vec::new());
+        p.push_segment(Segment::new(ms(0.0), ms(5.0), mhz(10.0)));
+        p.push_segment(Segment::new(ms(5.0), ms(9.0), mhz(20.0)));
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.end(), Some(ms(9.0)));
     }
 }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{Cycles, Speed, TaskSetError, Time};
+use crate::{Cycles, Speed, TaskSetError, TaskSoa, Time, Workspace};
 
 /// Identifier of a task within a [`TaskSet`].
 ///
@@ -177,6 +177,32 @@ impl TaskSet {
             }
         }
         Ok(Self { tasks })
+    }
+
+    /// Pooled [`Self::new`]: identical validation (same checks, same error
+    /// values) with the duplicate-id scan running on workspace scratch, so
+    /// a warm caller builds sets allocation-free. The online replanner
+    /// constructs a roster set per scheduling event — this is its hot
+    /// constructor.
+    pub fn new_in(tasks: Vec<Task>, ws: &mut Workspace) -> Result<Self, TaskSetError> {
+        if tasks.is_empty() {
+            return Err(TaskSetError::Empty);
+        }
+        for t in &tasks {
+            t.validate()?;
+        }
+        let mut ids = ws.take_usizes();
+        ids.extend(tasks.iter().map(|t| t.id().0));
+        ids.sort_unstable();
+        let dup = ids
+            .windows(2)
+            .find(|pair| pair[0] == pair[1])
+            .map(|pair| TaskId(pair[0]));
+        ws.recycle_usizes(ids);
+        match dup {
+            Some(id) => Err(TaskSetError::DuplicateId(id)),
+            None => Ok(Self { tasks }),
+        }
     }
 
     /// Number of tasks.
@@ -398,24 +424,39 @@ impl TaskSet {
     /// sets on hit). `-0.0` and `+0.0` hash differently by design: the
     /// solvers see the bit patterns, so the cache must too.
     pub fn canonical_hash(&self) -> u64 {
-        let mut order: Vec<&Task> = self.tasks.iter().collect();
-        order.sort_unstable_by(|a, b| canonical_cmp(a, b));
-        // FNV-1a, 64-bit: dependency-free and stable across platforms.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(self.tasks.len() as u64);
-        for t in order {
-            eat(t.id().0 as u64);
-            eat(t.release().as_secs().to_bits());
-            eat(t.deadline().as_secs().to_bits());
-            eat(t.work().value().to_bits());
-        }
+        self.canonical_hash_in(&mut Workspace::new())
+    }
+
+    /// Pooled [`Self::canonical_hash`]: materializes the SoA view and the
+    /// canonical argsort on workspace scratch, then folds the columns
+    /// through FNV-1a in the same field-bit order as always (length, then
+    /// per task id, release bits, deadline bits, work bits), so a warm
+    /// serve worker hashes every request allocation-free. The value is
+    /// pinned against the historical per-[`Task`] implementation by a
+    /// dedicated test in `sdem-serve`.
+    pub fn canonical_hash_in(&self, ws: &mut Workspace) -> u64 {
+        let mut soa = ws.take_soa();
+        let mut order = ws.take_usizes();
+        self.fill_soa(&mut soa);
+        soa.canonical_order_into(&mut order);
+        let h = soa.hash_in_order(&order);
+        ws.recycle_usizes(order);
+        ws.recycle_soa(soa);
         h
+    }
+
+    /// Materializes the structure-of-arrays hot view of this set into
+    /// `soa` (cleared first), in construction order. See
+    /// [`TaskSoa`] for the column conventions.
+    pub fn fill_soa(&self, soa: &mut TaskSoa) {
+        soa.clear();
+        for t in &self.tasks {
+            soa.ids.push(t.id().0);
+            soa.releases.push(t.release().as_secs());
+            soa.deadlines.push(t.deadline().as_secs());
+            soa.works.push(t.work().value());
+            soa.flags.push(t.work().value() != 0.0);
+        }
     }
 
     /// Largest filled speed over all tasks; any platform with
@@ -652,6 +693,38 @@ mod tests {
         // Stable across independently built equal sets.
         let a2 = TaskSet::new(vec![task(0, 0.0, 10.0, 1.0)]).unwrap();
         assert_eq!(a.canonical_hash(), a2.canonical_hash());
+    }
+
+    #[test]
+    fn new_in_matches_new_on_every_error_path() {
+        let mut ws = Workspace::new();
+        let cases: Vec<Vec<Task>> = vec![
+            vec![],
+            vec![task(1, 0.0, 10.0, 1.0), task(1, 0.0, 20.0, 1.0)],
+            vec![task(0, 10.0, 10.0, 1.0)],
+            vec![task(0, 0.0, 10.0, -1.0)],
+            vec![task(0, 0.0, 10.0, 1.0), task(1, 0.0, 20.0, 2.0)],
+        ];
+        for tasks in cases {
+            assert_eq!(
+                TaskSet::new_in(tasks.clone(), &mut ws),
+                TaskSet::new(tasks)
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_hash_in_matches_allocating_hash() {
+        let set = TaskSet::new(vec![
+            task(2, 5.0, 60.0, 2.0e6),
+            task(0, 0.0, 40.0, 3.0e6),
+            task(1, 0.0, 40.0, 4.0e6),
+        ])
+        .unwrap();
+        let mut ws = Workspace::new();
+        assert_eq!(set.canonical_hash_in(&mut ws), set.canonical_hash());
+        // Warm reuse gives the same value.
+        assert_eq!(set.canonical_hash_in(&mut ws), set.canonical_hash());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! * A `Workspace` is deliberately `!Sync`-by-use: each worker thread owns
 //!   its own instance; nothing is shared.
 
-use crate::{CoreId, IntervalSet, Placement, Schedule, Segment, Task, Time};
+use crate::{CoreId, IntervalSet, Placement, Schedule, Segment, Task, TaskRow, TaskSoa, Time};
 
 /// Pools of per-trial scratch buffers (see module docs for the contract).
 ///
@@ -51,6 +51,10 @@ pub struct Workspace {
     placements: Vec<Vec<Placement>>,
     core_ids: Vec<Vec<CoreId>>,
     spans: Vec<Vec<(Time, Time)>>,
+    rows: Vec<Vec<TaskRow>>,
+    pairs: Vec<Vec<(f64, f64)>>,
+    soas: Vec<TaskSoa>,
+    interval_lists: Vec<Vec<IntervalSet>>,
 }
 
 macro_rules! pool {
@@ -127,6 +131,45 @@ impl Workspace {
         Vec<(Time, Time)>,
         "raw span scratch"
     );
+    pool!(
+        take_rows,
+        recycle_rows,
+        rows,
+        Vec<TaskRow>,
+        "`(id, f64, f64, f64)` task-row scratch"
+    );
+    pool!(
+        take_pairs,
+        recycle_pairs,
+        pairs,
+        Vec<(f64, f64)>,
+        "`(f64, f64)` span scratch"
+    );
+    pool!(
+        take_soa,
+        recycle_soa,
+        soas,
+        TaskSoa,
+        "structure-of-arrays task view"
+    );
+
+    /// Takes an empty list-of-interval-sets buffer from the pool.
+    ///
+    /// The outer `Vec` comes back empty; populate it by pushing sets taken
+    /// with [`take_intervals`](Self::take_intervals) (one per core, say).
+    pub fn take_interval_list(&mut self) -> Vec<IntervalSet> {
+        self.interval_lists.pop().unwrap_or_default()
+    }
+
+    /// Returns a list of interval sets to the pools. The inner sets are
+    /// drained into the interval-set pool (a plain `clear` would drop their
+    /// allocations) before the emptied outer `Vec` is repooled.
+    pub fn recycle_interval_list(&mut self, mut list: Vec<IntervalSet>) {
+        for set in list.drain(..) {
+            self.recycle_intervals(set);
+        }
+        self.interval_lists.push(list);
+    }
 
     /// Tears a finished [`Schedule`] back down into the pools: every
     /// placement's segment buffer and the placement buffer itself are
@@ -170,6 +213,21 @@ mod tests {
         ws.recycle_schedule(sched);
         assert!(ws.take_segments().capacity() >= 1);
         assert!(ws.take_placements().capacity() >= 1);
+    }
+
+    #[test]
+    fn interval_list_recycle_drains_inner_sets_into_interval_pool() {
+        let mut ws = Workspace::new();
+        let mut list = ws.take_interval_list();
+        let mut set = ws.take_intervals();
+        IntervalSet::collect_into([(Time::ZERO, Time::from_secs(1.0))], &mut set);
+        let inner_cap = set.capacity();
+        list.push(set);
+        ws.recycle_interval_list(list);
+        // The inner set's allocation survives in the interval pool...
+        assert!(ws.take_intervals().capacity() >= inner_cap);
+        // ...and the outer list comes back empty with its capacity.
+        assert!(ws.take_interval_list().is_empty());
     }
 
     #[test]

@@ -430,3 +430,72 @@ fn task_sets_reject_any_non_finite_field_with_typed_errors() {
         }
     }
 }
+
+/// One random task set with ties, signed zeros and zero-work tasks —
+/// hostile input for the SoA columns and their argsorts.
+fn soa_case(rng: &mut ChaCha8Rng) -> TaskSet {
+    let n = rng.gen_range(1usize..25);
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let release = match rng.gen_range(0usize..4) {
+                0 => 0.0,
+                1 => -0.0,
+                // Coarse grid so distinct tasks often tie on release.
+                _ => rng.gen_range(0.0f64..4.0).floor(),
+            };
+            let deadline = release.abs() + rng.gen_range(0.5f64..8.0).floor() + 0.5;
+            let work = if rng.gen_bool(0.2) {
+                0.0
+            } else {
+                rng.gen_range(1.0f64..1e6)
+            };
+            Task::new(
+                i,
+                Time::from_secs(release),
+                Time::from_secs(deadline),
+                Cycles::new(work),
+            )
+        })
+        .collect();
+    TaskSet::new(tasks).expect("valid set")
+}
+
+#[test]
+fn soa_round_trips_and_orders_match_aos_over_200_seeds() {
+    use sdem_types::Workspace;
+    let mut ws = Workspace::new();
+    for case in 0..200 {
+        let mut rng = rng_for(16, case);
+        let set = soa_case(&mut rng);
+        let mut soa = ws.take_soa();
+        set.fill_soa(&mut soa);
+
+        // AoS ↔ SoA round trip is bit-exact per task (signed zeros too).
+        assert_eq!(soa.len(), set.len());
+        for (i, t) in set.iter().enumerate() {
+            let back = soa.task(i);
+            assert_eq!(&back, t);
+            assert_eq!(
+                back.release().as_secs().to_bits(),
+                t.release().as_secs().to_bits()
+            );
+        }
+
+        // The argsorted views reproduce the AoS sorts exactly, ties and all.
+        let mut order = ws.take_usizes();
+        soa.arrival_order_into(&mut order);
+        let arrivals: Vec<Task> = order.iter().map(|&i| soa.task(i)).collect();
+        assert_eq!(arrivals, set.sorted_by_release());
+
+        // Slice hash == historical per-Task hash (also pinned verbatim in
+        // sdem-serve's canonical_hash_pin suite; here we pin the pooled
+        // path against the allocating one on a warm workspace).
+        soa.canonical_order_into(&mut order);
+        assert_eq!(soa.hash_in_order(&order), set.canonical_hash());
+        assert_eq!(set.canonical_hash_in(&mut ws), set.canonical_hash());
+
+        assert_eq!(soa.is_common_release(), set.is_common_release());
+        ws.recycle_usizes(order);
+        ws.recycle_soa(soa);
+    }
+}
