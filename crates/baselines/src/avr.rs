@@ -99,7 +99,12 @@ pub fn schedule_single_core(
     if let Some(r) = runs.iter().find(|r| r.3 > s_up * (1.0 + 1e-9)) {
         return Err(BaselineError::Infeasible(r.0));
     }
-    Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut Workspace::new()))
+    Ok(assemble_in(
+        tasks,
+        &runs,
+        |_| CoreId(0),
+        &mut Workspace::new(),
+    ))
 }
 
 #[cfg(test)]

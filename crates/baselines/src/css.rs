@@ -70,7 +70,12 @@ pub fn schedule_single_core_css(
     let floor = css_floor(platform);
     for r in runs.iter_mut() {
         if r.3 > 0.0 && r.3 < floor.as_hz() {
-            *r = (r.0, r.1, r.1 + (r.2 - r.1) * r.3 / floor.as_hz(), floor.as_hz());
+            *r = (
+                r.0,
+                r.1,
+                r.1 + (r.2 - r.1) * r.3 / floor.as_hz(),
+                floor.as_hz(),
+            );
         }
     }
     Ok(assemble_in(tasks, &runs, |_| CoreId(0), &mut ws))

@@ -331,7 +331,10 @@ mod tests {
         freeze(&mut frozen, 6.0, 8.0);
         for &(a, b) in &[(0.0, 10.0), (3.0, 7.0), (2.5, 3.5), (9.0, 9.5)] {
             let materialized: f64 = subtract(a, b, &frozen).iter().map(|&(x, y)| y - x).sum();
-            assert_eq!(subtract_len(a, b, &frozen).to_bits(), materialized.to_bits());
+            assert_eq!(
+                subtract_len(a, b, &frozen).to_bits(),
+                materialized.to_bits()
+            );
         }
     }
 

@@ -168,7 +168,14 @@ fn schedule_with_in(
     }
     let mut assigned_ids = ws.take_usizes();
     let mut assigned_cores = ws.take_usizes();
-    assign_into(tasks, cores, policy, ws, &mut assigned_ids, &mut assigned_cores);
+    assign_into(
+        tasks,
+        cores,
+        policy,
+        ws,
+        &mut assigned_ids,
+        &mut assigned_cores,
+    );
 
     let s_up = platform.core().max_speed().as_hz();
     let mut all_runs = ws.take_rows();

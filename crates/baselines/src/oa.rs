@@ -29,11 +29,7 @@ pub(crate) fn oa_runs_in(jobs: &[Job], ws: &mut Workspace, out: &mut Vec<Run>) {
     let mut plan = ws.take_rows();
     let mut live = ws.take_rows();
 
-    let index_of = |id| {
-        jobs.iter()
-            .position(|j: &Job| j.0 == id)
-            .expect("own job")
-    };
+    let index_of = |id| jobs.iter().position(|j: &Job| j.0 == id).expect("own job");
 
     for &t in &arrivals {
         // Consume the previous plan up to t.

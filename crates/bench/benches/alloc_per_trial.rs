@@ -130,6 +130,49 @@ fn main() {
         println!();
     }
 
+    // The bounded tiers, one size class per tier: BoundedAuto routes the
+    // small set to the enumerator, the middle one to the branch-and-bound
+    // and the large one to LPT + refine. Each must be allocation-free on
+    // the warmed workspace path, searches included.
+    for (tier, n) in [("exact", 12usize), ("bnb", 18), ("refined", 200)] {
+        let deadline = Time::from_millis(400.0);
+        let bounded_set = TaskSet::new(
+            (0..n)
+                .map(|i| {
+                    sdem_types::Task::new(
+                        i,
+                        Time::ZERO,
+                        deadline,
+                        sdem_types::Cycles::new(1.0e6 + (i % 7) as f64 * 1.0e6),
+                    )
+                })
+                .collect(),
+        )
+        .expect("non-empty set");
+        let scheme = Scheme::BoundedAuto(4);
+        let mut ws = Workspace::new();
+        for _ in 0..8 {
+            let warm = solve_in(&bounded_set, &platform, scheme, &mut ws).unwrap();
+            ws.recycle_schedule(warm.into_schedule());
+        }
+        let after = count_per_iter(ITERS, || {
+            let s = solve_in(&bounded_set, &platform, scheme, &mut ws).unwrap();
+            std::hint::black_box(&s);
+            ws.recycle_schedule(s.into_schedule());
+        });
+        report(
+            &format!("solve_in/BoundedAuto->{tier} n={n} (warmed workspace)"),
+            after,
+        );
+        assert_eq!(
+            after.0, 0.0,
+            "bounded tier {tier} (n = {n}) must be allocation-free on the \
+             warmed workspace path (got {} allocs/trial)",
+            after.0
+        );
+    }
+    println!();
+
     let before = count_per_iter(ITERS, || {
         std::hint::black_box(
             run_trial_with_oracle(&sporadic_set, &platform, paper::NUM_CORES, None).unwrap(),

@@ -83,20 +83,26 @@ fn main() {
 
         // intersect: pairwise fold vs the k-pointer sweep, on
         // high-coverage sets so the running intersection never collapses.
-        bench(&format!("batched_interval_kernel/intersect_fold/{k}"), || {
-            dense[0].union_into(&empty, &mut ping);
-            let (mut cur, mut nxt) = (&mut ping, &mut pong);
-            for set in black_box(&dense[1..]) {
-                set.intersect_into(cur, nxt);
-                std::mem::swap(&mut cur, &mut nxt);
-            }
-            black_box(cur.len())
-        });
+        bench(
+            &format!("batched_interval_kernel/intersect_fold/{k}"),
+            || {
+                dense[0].union_into(&empty, &mut ping);
+                let (mut cur, mut nxt) = (&mut ping, &mut pong);
+                for set in black_box(&dense[1..]) {
+                    set.intersect_into(cur, nxt);
+                    std::mem::swap(&mut cur, &mut nxt);
+                }
+                black_box(cur.len())
+            },
+        );
         let mut cursors = Vec::new();
-        bench(&format!("batched_interval_kernel/intersect_many/{k}"), || {
-            IntervalSet::intersect_many_into(black_box(&dense), &mut cursors, &mut out);
-            black_box(out.len())
-        });
+        bench(
+            &format!("batched_interval_kernel/intersect_many/{k}"),
+            || {
+                IntervalSet::intersect_many_into(black_box(&dense), &mut cursors, &mut out);
+                black_box(out.len())
+            },
+        );
 
         // gaps: one gaps_into call per set vs the flattened batch.
         let mut gaps = IntervalSet::new();

@@ -1,0 +1,222 @@
+//! The bounded-core tier bench: solution quality and throughput of the
+//! exact, branch-and-bound and LPT + refine tiers.
+//!
+//! Two regimes:
+//!
+//! * **small n** (exact range): every tier runs on the same seeded
+//!   Theorem-1 instances; gaps are measured against the exact optimum.
+//!   The B&B gap must be exactly zero (it is bit-identical to the
+//!   enumerator there — also asserted in `crates/core/tests`).
+//! * **large n** (n = 2000, 16 cores): the heuristic tier's regime; gaps
+//!   are measured against the convexity lower bound, which brackets the
+//!   unknowable optimum from below, and throughput is reported in
+//!   instances per second.
+//!
+//! With `SDEM_BENCH_OUT=FILE` the measurements are also written as a
+//! BENCH_bounded.json-style report; without it the bench only prints
+//! (CI runs it in that smoke mode).
+
+use sdem_bench::microbench::bench;
+use sdem_core::bounded::{
+    lower_bound, solve_bnb_in, solve_exact_in, solve_lpt_in, solve_refined_in,
+};
+use sdem_core::Solution;
+use sdem_power::{CorePower, MemoryPower, Platform};
+use sdem_prng::{Rng, SeedableRng, SplitMix64};
+use sdem_types::{Cycles, Task, TaskSet, Time, Watts, Workspace};
+
+const SMALL_N: usize = 10;
+const SMALL_SETS: usize = 40;
+const LARGE_N: usize = 2000;
+const LARGE_SETS: usize = 8;
+const CORES_SMALL: usize = 4;
+const CORES_LARGE: usize = 16;
+
+fn platform() -> Platform {
+    Platform::new(
+        CorePower::simple(0.0, 1.0, 3.0),
+        MemoryPower::new(Watts::new(4.0)),
+    )
+}
+
+/// A seeded Theorem-1 instance: one shared window, varied works.
+fn instance(n: usize, rng: &mut SplitMix64) -> TaskSet {
+    let deadline = Time::from_secs(1.0e3);
+    TaskSet::new(
+        (0..n)
+            .map(|i| {
+                Task::new(
+                    i,
+                    Time::ZERO,
+                    deadline,
+                    Cycles::new(rng.gen_range(1.0..8.0)),
+                )
+            })
+            .collect(),
+    )
+    .expect("valid seeded instance")
+}
+
+fn energy(sol: &Solution) -> f64 {
+    sol.predicted_energy().value()
+}
+
+struct TierRow {
+    tier: &'static str,
+    n: usize,
+    cores: usize,
+    sets: usize,
+    inst_per_sec: f64,
+    mean_gap_vs_exact: Option<f64>,
+    mean_gap_vs_lower_bound: f64,
+}
+
+fn small_n_rows(p: &Platform, ws: &mut Workspace) -> Vec<TierRow> {
+    let mut rng = SplitMix64::seed_from_u64(0x5DE1);
+    let sets: Vec<TaskSet> = (0..SMALL_SETS)
+        .map(|_| instance(SMALL_N, &mut rng))
+        .collect();
+
+    type Tier =
+        fn(&TaskSet, &Platform, usize, &mut Workspace) -> Result<Solution, sdem_core::SdemError>;
+    let tiers: [(&'static str, Tier); 4] = [
+        ("exact", solve_exact_in as Tier),
+        ("bnb", solve_bnb_in as Tier),
+        ("lpt", solve_lpt_in as Tier),
+        ("refined", solve_refined_in as Tier),
+    ];
+    let exact: Vec<f64> = sets
+        .iter()
+        .map(|t| energy(&solve_exact_in(t, p, CORES_SMALL, ws).expect("feasible")))
+        .collect();
+
+    tiers
+        .iter()
+        .map(|&(tier, solve)| {
+            let mut gap_exact = 0.0f64;
+            let mut gap_lb = 0.0f64;
+            for (t, &e_opt) in sets.iter().zip(&exact) {
+                let e = energy(&solve(t, p, CORES_SMALL, ws).expect("feasible"));
+                let lb = lower_bound(t, p, CORES_SMALL).value();
+                gap_exact += e / e_opt - 1.0;
+                gap_lb += e / lb - 1.0;
+            }
+            let mut cursor = 0usize;
+            let m = bench(&format!("bounded_tiers/{tier}/n{SMALL_N}"), || {
+                let t = &sets[cursor % sets.len()];
+                cursor += 1;
+                solve(t, p, CORES_SMALL, ws).expect("feasible")
+            });
+            TierRow {
+                tier,
+                n: SMALL_N,
+                cores: CORES_SMALL,
+                sets: sets.len(),
+                inst_per_sec: m.per_sec(),
+                mean_gap_vs_exact: Some(gap_exact / sets.len() as f64),
+                mean_gap_vs_lower_bound: gap_lb / sets.len() as f64,
+            }
+        })
+        .collect()
+}
+
+fn large_n_rows(p: &Platform, ws: &mut Workspace) -> Vec<TierRow> {
+    let mut rng = SplitMix64::seed_from_u64(0x1A26E);
+    let sets: Vec<TaskSet> = (0..LARGE_SETS)
+        .map(|_| instance(LARGE_N, &mut rng))
+        .collect();
+
+    type Tier =
+        fn(&TaskSet, &Platform, usize, &mut Workspace) -> Result<Solution, sdem_core::SdemError>;
+    let tiers: [(&'static str, Tier); 2] = [
+        ("lpt", solve_lpt_in as Tier),
+        ("refined", solve_refined_in as Tier),
+    ];
+    tiers
+        .iter()
+        .map(|&(tier, solve)| {
+            let mut gap_lb = 0.0f64;
+            for t in sets.iter() {
+                let e = energy(&solve(t, p, CORES_LARGE, ws).expect("feasible"));
+                let lb = lower_bound(t, p, CORES_LARGE).value();
+                gap_lb += e / lb - 1.0;
+            }
+            let mut cursor = 0usize;
+            let m = bench(&format!("bounded_tiers/{tier}/n{LARGE_N}"), || {
+                let t = &sets[cursor % sets.len()];
+                cursor += 1;
+                solve(t, p, CORES_LARGE, ws).expect("feasible")
+            });
+            TierRow {
+                tier,
+                n: LARGE_N,
+                cores: CORES_LARGE,
+                sets: sets.len(),
+                inst_per_sec: m.per_sec(),
+                mean_gap_vs_exact: None,
+                mean_gap_vs_lower_bound: gap_lb / sets.len() as f64,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let p = platform();
+    let mut ws = Workspace::new();
+    let mut rows = small_n_rows(&p, &mut ws);
+    rows.extend(large_n_rows(&p, &mut ws));
+
+    for r in &rows {
+        let vs_exact = r
+            .mean_gap_vs_exact
+            .map_or(String::from("      n/a"), |g| format!("{:9.6}", g));
+        println!(
+            "    {:7} n={:<5} cores={:<3} gap-vs-exact {vs_exact}  gap-vs-lb {:9.6}  {:>10.0} inst/s",
+            r.tier, r.n, r.cores, r.mean_gap_vs_lower_bound, r.inst_per_sec
+        );
+    }
+
+    // The B&B tier claims bit-identity with the enumerator; its measured
+    // gap must be exactly zero, not merely small.
+    let bnb = rows.iter().find(|r| r.tier == "bnb").expect("bnb row");
+    assert_eq!(
+        bnb.mean_gap_vs_exact,
+        Some(0.0),
+        "B&B diverged from the exact tier"
+    );
+
+    let Ok(out) = std::env::var("SDEM_BENCH_OUT") else {
+        return;
+    };
+    let date = std::env::var("SDEM_BENCH_DATE").unwrap_or_else(|_| "unknown".to_string());
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!(
+        "  \"benchmark\": \"bounded-core tier solvers ({SMALL_SETS} seeded sets at n={SMALL_N}/{CORES_SMALL} cores, {LARGE_SETS} at n={LARGE_N}/{CORES_LARGE} cores)\",\n"
+    ));
+    body.push_str("  \"command\": \"SDEM_BENCH_OUT=BENCH_bounded.json cargo bench -p sdem-bench --bench bounded_tiers\",\n");
+    body.push_str(&format!("  \"date\": \"{date}\",\n"));
+    body.push_str("  \"host\": {\n");
+    body.push_str("    \"os\": \"Linux 6.18.5\",\n");
+    body.push_str(&format!(
+        "    \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    body.push_str("    \"note\": \"gaps are mean relative energy excesses over the seeded instance pool: vs the exact optimum where the enumerator can run (n <= EXACT_LIMIT), and vs the convexity lower bound (Eq. 3 at perfectly balanced loads, generally unattainable) everywhere. The bnb gap vs exact is asserted to be exactly 0.0 — that tier is bit-identical to the enumerator on its shared range. Throughput is full solves per second including schedule assembly, one warmed Workspace.\"\n");
+    body.push_str("  },\n");
+    body.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let vs_exact = r
+            .mean_gap_vs_exact
+            .map_or(String::from("null"), |g| format!("{g:.9}"));
+        body.push_str(&format!(
+            "    {{ \"tier\": \"{}\", \"n\": {}, \"cores\": {}, \"task_sets\": {}, \"inst_per_sec\": {:.1}, \"mean_gap_vs_exact\": {vs_exact}, \"mean_gap_vs_lower_bound\": {:.9} }}{sep}\n",
+            r.tier, r.n, r.cores, r.sets, r.inst_per_sec, r.mean_gap_vs_lower_bound
+        ));
+    }
+    body.push_str("  ]\n");
+    body.push_str("}\n");
+    std::fs::write(&out, body).expect("write BENCH_bounded report");
+    eprintln!("bounded_tiers: wrote {out}");
+}

@@ -114,6 +114,12 @@ SCHEMES:
   cr-overhead          paper §7 (transition overheads)
   agreeable            paper §5 DP (agreeable deadlines)
   agreeable-strict     §5 DP with overlap-free block repair
+  bounded-auto         paper §3 bounded cores, strongest tier the size
+                       admits (exact → branch-and-bound → LPT + refine)
+  bounded-exact        paper §3 exact partition enumeration (small n)
+  bounded-bnb          paper §3 branch-and-bound (exact, larger n)
+  bounded-refined      paper §3 LPT + local-search refinement (any n)
+  bounded-lpt          paper §3 plain LPT heuristic
   mbkp | mbkps         baseline: round-robin + per-core Optimal Available
   yds | oa | avr | css single-core substrate policies (css = YDS clamped
                        to the joint critical speed; system-wide baseline)
@@ -347,7 +353,7 @@ fn compare(args: &Args) -> Result<(), CliError> {
         "scheme", "total [J]", "memory [J]", "cores [J]", "sleeps"
     );
     let mut reference: Option<f64> = None;
-    for scheme in ["mbkp", "mbkps", "sdem-on"] {
+    for scheme in ["mbkp", "mbkps", "sdem-on", "bounded-auto"] {
         match build_schedule(scheme, &tasks, &platform, cores) {
             Ok(sched) => {
                 let report = simulate_with_options(&sched, &tasks, &platform, sim_options(scheme))

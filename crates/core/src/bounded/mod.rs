@@ -1,27 +1,57 @@
-//! Bounded-core SDEM (paper §3, Theorem 1).
+//! Bounded-core SDEM (paper §3, Theorem 1) — the tiered partition solver.
 //!
 //! With fewer cores than tasks, SDEM is NP-hard even for tasks sharing one
 //! release time and one deadline, `α = 0` and `ξ_m = 0`: the reduction from
 //! PARTITION shows the optimum is reached exactly at a workload-balanced
-//! assignment. This module provides the machinery around that result:
+//! assignment. This module provides the machinery around that result as
+//! three solver tiers over one shared [`sdem_types::Partition`] state:
 //!
-//! * [`partition_energy`] — for a fixed core assignment, the optimal shared
-//!   busy-interval length (paper Eq. 2, clamped by the deadline and `s_up`)
-//!   and the resulting energy;
-//! * [`partition_min_energy`] — the closed-form unclamped optimum energy
-//!   (paper Eq. 3, generalized to any core count);
-//! * [`solve_exact`] — exact optimum by canonical enumeration of all
-//!   assignments (restricted-growth strings), feasible for small `n` only —
-//!   exactly what NP-hardness predicts.
+//! * closed forms — [`partition_energy`] (paper Eq. 2: the optimal shared
+//!   busy-interval for a fixed assignment, clamped by the deadline and
+//!   `s_up`), [`partition_min_energy`] (paper Eq. 3: the unclamped
+//!   optimum) and the convexity [`lower_bound`];
+//! * **exact** ([`solve_exact_in`], `n ≤` [`EXACT_LIMIT`]) — canonical
+//!   enumeration of all assignments (restricted-growth strings), the
+//!   reference the other tiers are measured against;
+//! * **branch-and-bound** ([`solve_bnb_in`], `n ≤` [`BNB_LIMIT`]) —
+//!   best-first depth-first search seeded with the LPT incumbent and
+//!   pruned by a water-filling relaxation of Eq. 3; bit-identical to the
+//!   enumerator on every instance both accept, raising the practical
+//!   exact ceiling;
+//! * **LPT + refine** ([`solve_lpt_in`], [`solve_refined_in`], any `n`) —
+//!   the polynomial heuristic tier: Longest-Processing-Time-first
+//!   assignment, optionally polished by deterministic move/swap local
+//!   search on the Σ W_c^λ objective.
+//!
+//! [`Scheme::BoundedAuto`](crate::Scheme::BoundedAuto) routes an instance
+//! to the strongest tier its size admits: exact → B&B → LPT + refine.
 
 use sdem_power::Platform;
-use sdem_types::{CoreId, Joules, Placement, Schedule, Segment, TaskSet, Time, Workspace};
+use sdem_types::{
+    CoreId, Joules, Placement, Schedule, Segment, Speed, Task, TaskId, TaskSet, Time, Workspace,
+};
 
 use crate::{SdemError, Solution};
+
+mod bnb;
+mod exact;
+mod lpt;
+mod refine;
+
+pub use bnb::solve_bnb_in;
+pub use exact::solve_exact_in;
+pub use lpt::solve_lpt_in;
+pub use refine::solve_refined_in;
 
 /// Largest task count [`solve_exact`] accepts (the enumeration is
 /// exponential; this caps it at a few million assignments).
 pub const EXACT_LIMIT: usize = 14;
+
+/// Largest task count [`solve_bnb_in`] accepts. Past [`EXACT_LIMIT`] the
+/// search is additionally bounded by a deterministic node budget, so the
+/// extended range stays interactive (the incumbent — LPT, improved by
+/// every completed subtree — is returned if the budget trips).
+pub const BNB_LIMIT: usize = 24;
 
 /// For a fixed partition of the total work into per-core loads `W_c`,
 /// returns `(busy_interval, energy)` minimizing (paper Eq. 2)
@@ -120,100 +150,6 @@ pub fn solve_lpt(
     solve_lpt_in(tasks, platform, cores, &mut Workspace::new())
 }
 
-/// In-place [`solve_lpt`]: assignment scratch and the returned schedule's
-/// arenas are drawn from `ws`, so a warmed workspace makes the solve
-/// allocation-free. Recycle the solution's schedule back into `ws` when
-/// done with it.
-///
-/// # Errors
-///
-/// Same as [`solve_lpt`].
-pub fn solve_lpt_in(
-    tasks: &TaskSet,
-    platform: &Platform,
-    cores: usize,
-    ws: &mut Workspace,
-) -> Result<Solution, SdemError> {
-    if cores == 0 {
-        return Err(SdemError::NoCores);
-    }
-    let list = tasks.tasks();
-    let r0 = list[0].release();
-    let d0 = list[0].deadline();
-    if !list.iter().all(|t| t.release() == r0 && t.deadline() == d0) {
-        return Err(SdemError::NotCommonRelease);
-    }
-    let deadline = d0 - r0;
-
-    // LPT assignment. The index tiebreak makes the comparator a total
-    // order, so the unstable sort reproduces the stable sort exactly.
-    let mut order = ws.take_usizes();
-    order.extend(0..list.len());
-    order.sort_unstable_by(|&a, &b| {
-        list[b]
-            .work()
-            .value()
-            .total_cmp(&list[a].work().value())
-            .then(a.cmp(&b))
-    });
-    let mut loads = ws.take_f64s();
-    loads.resize(cores, 0.0);
-    let mut assignment = ws.take_usizes();
-    assignment.resize(list.len(), 0);
-    for &k in &order {
-        let c = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("cores > 0");
-        assignment[k] = c;
-        loads[c] += list[k].work().value();
-    }
-
-    let feasible = partition_energy(&loads, platform, deadline);
-    let Some((interval, energy)) = feasible else {
-        ws.recycle_usizes(order);
-        ws.recycle_usizes(assignment);
-        ws.recycle_f64s(loads);
-        let heaviest = list
-            .iter()
-            .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
-            .expect("non-empty");
-        return Err(SdemError::InfeasibleTask(heaviest.id()));
-    };
-
-    // Same schedule assembly as the exact solver.
-    let mut cursor = ws.take_f64s();
-    cursor.resize(cores, 0.0);
-    let mut placements = ws.take_placements();
-    for (k, t) in list.iter().enumerate() {
-        let c = assignment[k];
-        let mut segments = ws.take_segments();
-        if t.work().value() > 0.0 {
-            let speed = loads[c] / interval.as_secs();
-            let len = t.work().value() / speed;
-            let start = r0 + Time::from_secs(cursor[c]);
-            cursor[c] += len;
-            segments.push(Segment::new(
-                start,
-                start + Time::from_secs(len),
-                sdem_types::Speed::from_hz(speed),
-            ));
-        }
-        placements.push(Placement::new(t.id(), CoreId(c), segments));
-    }
-    ws.recycle_usizes(order);
-    ws.recycle_usizes(assignment);
-    ws.recycle_f64s(loads);
-    ws.recycle_f64s(cursor);
-    Ok(Solution::new(
-        Schedule::new(placements),
-        energy,
-        deadline - interval,
-    ))
-}
-
 /// Exact bounded-core optimum by enumerating all canonical assignments of
 /// `n` tasks to at most `cores` cores. Tasks must share one release time
 /// and one deadline (the Theorem 1 model); core static power is taken as
@@ -264,155 +200,75 @@ pub fn solve_exact(
     solve_exact_in(tasks, platform, cores, &mut Workspace::new())
 }
 
-/// In-place [`solve_exact`]: enumeration scratch (the assignment vector,
-/// the per-leaf load accumulator, the incumbent best assignment) and the
-/// returned schedule's arenas come from `ws`.
-///
-/// # Errors
-///
-/// Same as [`solve_exact`].
-pub fn solve_exact_in(
-    tasks: &TaskSet,
-    platform: &Platform,
-    cores: usize,
-    ws: &mut Workspace,
-) -> Result<Solution, SdemError> {
-    if cores == 0 {
-        return Err(SdemError::NoCores);
-    }
-    let n = tasks.len();
-    if n > EXACT_LIMIT {
-        return Err(SdemError::TooLarge {
-            tasks: n,
-            limit: EXACT_LIMIT,
-        });
-    }
+/// Validates the Theorem 1 instance shape — every task shares one release
+/// and one deadline — and returns `(release, deadline − release)`.
+fn common_window(tasks: &TaskSet) -> Result<(Time, Time), SdemError> {
     let list = tasks.tasks();
     let r0 = list[0].release();
     let d0 = list[0].deadline();
-    let same = list.iter().all(|t| t.release() == r0 && t.deadline() == d0);
-    if !same {
+    if !list.iter().all(|t| t.release() == r0 && t.deadline() == d0) {
         return Err(SdemError::NotCommonRelease);
     }
-    let deadline = d0 - r0;
-    let mut works = ws.take_f64s();
-    works.extend(list.iter().map(|t| t.work().value()));
+    Ok((r0, d0 - r0))
+}
 
-    // Canonical enumeration: task 0 on core 0; task k may use cores
-    // 0..=min(max_used+1, cores−1).
-    let mut assign = ws.take_usizes();
-    assign.resize(n, 0);
-    let mut best_assign = ws.take_usizes();
-    let mut leaf_loads = ws.take_f64s();
-    let mut best: Option<(Time, f64)> = None;
-    enumerate(
-        &works,
-        platform,
-        deadline,
-        cores,
-        1,
-        0,
-        &mut assign,
-        &mut leaf_loads,
-        &mut best_assign,
-        &mut best,
-    );
-    ws.recycle_f64s(leaf_loads);
-    ws.recycle_usizes(assign);
-    let Some((interval, energy)) = best else {
-        ws.recycle_f64s(works);
-        ws.recycle_usizes(best_assign);
-        // No feasible assignment: the heaviest single task cannot fit.
-        let heaviest = list
-            .iter()
-            .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
-            .expect("non-empty");
-        return Err(SdemError::InfeasibleTask(heaviest.id()));
-    };
-    let assignment = best_assign;
+/// The heaviest task's id — the witness every tier reports when no
+/// feasible assignment exists. `max_by` keeps the *last* maximal element,
+/// pinning the historical choice of witness among duplicate works.
+fn heaviest_task(list: &[Task]) -> TaskId {
+    list.iter()
+        .max_by(|a, b| a.work().value().total_cmp(&b.work().value()))
+        .expect("non-empty")
+        .id()
+}
 
-    // Build the schedule: each core runs its tasks back-to-back over
-    // [r0, r0 + |I_b|] at the shared speed W_c / |I_b|.
+/// The LPT total order over task indices: decreasing work, increasing
+/// index. The index tiebreak makes the comparator total, so the unstable
+/// sort is a deterministic function of the works (equal to a stable sort
+/// by work alone). The LPT greedy, the B&B branching order and the refine
+/// tier's per-core member lists all use this one order.
+fn lpt_order_into(works: &[f64], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..works.len());
+    out.sort_unstable_by(|&a, &b| works[b].total_cmp(&works[a]).then(a.cmp(&b)));
+}
+
+/// Assembles the §3 schedule for a fixed assignment: each core runs its
+/// tasks back-to-back over `[r0, r0 + interval]` at the shared speed
+/// `loads[c] / interval`. `loads` must cover every core index appearing
+/// in `assignment`; the caller chooses the accumulation (LPT keeps its
+/// historical insertion-order sums, exact/B&B/refine pass canonical
+/// index-order sums).
+fn assemble_schedule(
+    list: &[Task],
+    assignment: &[usize],
+    loads: &[f64],
+    interval: Time,
+    r0: Time,
+    ws: &mut Workspace,
+) -> Schedule {
+    let mut cursor = ws.take_f64s();
+    cursor.resize(loads.len(), 0.0);
     let mut placements = ws.take_placements();
-    let mut core_loads = ws.take_f64s();
-    core_loads.resize(cores, 0.0);
-    for (k, &c) in assignment.iter().enumerate() {
-        core_loads[c] += works[k];
-    }
-    let mut core_cursor = ws.take_f64s();
-    core_cursor.resize(cores, 0.0);
-    for (k, &c) in assignment.iter().enumerate() {
-        let t = &list[k];
+    for (k, t) in list.iter().enumerate() {
+        let c = assignment[k];
         let mut segments = ws.take_segments();
-        if works[k] > 0.0 {
-            let speed = core_loads[c] / interval.as_secs();
-            let len = works[k] / speed;
-            let start = r0 + Time::from_secs(core_cursor[c]);
-            core_cursor[c] += len;
+        let w = t.work().value();
+        if w > 0.0 {
+            let speed = loads[c] / interval.as_secs();
+            let len = w / speed;
+            let start = r0 + Time::from_secs(cursor[c]);
+            cursor[c] += len;
             segments.push(Segment::new(
                 start,
                 start + Time::from_secs(len),
-                sdem_types::Speed::from_hz(speed),
+                Speed::from_hz(speed),
             ));
         }
         placements.push(Placement::new(t.id(), CoreId(c), segments));
     }
-    ws.recycle_f64s(works);
-    ws.recycle_f64s(core_loads);
-    ws.recycle_f64s(core_cursor);
-    ws.recycle_usizes(assignment);
-    Ok(Solution::new(
-        Schedule::new(placements),
-        Joules::new(energy),
-        deadline - interval,
-    ))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn enumerate(
-    works: &[f64],
-    platform: &Platform,
-    deadline: Time,
-    cores: usize,
-    k: usize,
-    max_used: usize,
-    assign: &mut Vec<usize>,
-    leaf_loads: &mut Vec<f64>,
-    best_assign: &mut Vec<usize>,
-    best: &mut Option<(Time, f64)>,
-) {
-    if k == works.len() {
-        leaf_loads.clear();
-        leaf_loads.resize(max_used + 1, 0.0);
-        for (i, &c) in assign.iter().enumerate() {
-            leaf_loads[c] += works[i];
-        }
-        if let Some((t, e)) = partition_energy(leaf_loads, platform, deadline) {
-            if best.as_ref().is_none_or(|b| e.value() < b.1) {
-                best_assign.clear();
-                best_assign.extend_from_slice(assign);
-                *best = Some((t, e.value()));
-            }
-        }
-        return;
-    }
-    let limit = (max_used + 1).min(cores - 1);
-    for c in 0..=limit {
-        assign[k] = c;
-        enumerate(
-            works,
-            platform,
-            deadline,
-            cores,
-            k + 1,
-            max_used.max(c),
-            assign,
-            leaf_loads,
-            best_assign,
-            best,
-        );
-    }
-    assign[k] = 0;
+    ws.recycle_f64s(cursor);
+    Schedule::new(placements)
 }
 
 #[cfg(test)]
@@ -572,6 +428,130 @@ mod tests {
     }
 
     #[test]
+    fn bnb_guards() {
+        let p = platform(1.0);
+        let mut ws = Workspace::new();
+        let tasks = tset(&[1.0; 25], 10.0);
+        assert!(matches!(
+            solve_bnb_in(&tasks, &p, 2, &mut ws),
+            Err(SdemError::TooLarge { tasks: 25, .. })
+        ));
+        let tasks = tset(&[1.0], 10.0);
+        assert_eq!(
+            solve_bnb_in(&tasks, &p, 0, &mut ws),
+            Err(SdemError::NoCores)
+        );
+        let mixed = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(5.0), Cycles::new(1.0)),
+            Task::new(1, sec(0.0), sec(6.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        assert_eq!(
+            solve_bnb_in(&mixed, &p, 2, &mut ws),
+            Err(SdemError::NotCommonRelease)
+        );
+    }
+
+    #[test]
+    fn refine_guards() {
+        let p = platform(1.0);
+        let mut ws = Workspace::new();
+        let tasks = tset(&[1.0], 10.0);
+        assert_eq!(
+            solve_refined_in(&tasks, &p, 0, &mut ws),
+            Err(SdemError::NoCores)
+        );
+        let mixed = TaskSet::new(vec![
+            Task::new(0, sec(0.0), sec(5.0), Cycles::new(1.0)),
+            Task::new(1, sec(0.0), sec(6.0), Cycles::new(1.0)),
+        ])
+        .unwrap();
+        assert_eq!(
+            solve_refined_in(&mixed, &p, 2, &mut ws),
+            Err(SdemError::NotCommonRelease)
+        );
+    }
+
+    #[test]
+    fn bnb_matches_exact_bitwise_on_shared_range() {
+        let p = platform(4.0);
+        let mut ws = Workspace::new();
+        for works in [
+            vec![3.0, 2.0, 1.0, 2.0],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![7.0, 1.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0],
+        ] {
+            let tasks = tset(&works, 500.0);
+            for cores in [1usize, 2, 3] {
+                let a = solve_exact_in(&tasks, &p, cores, &mut ws).unwrap();
+                let b = solve_bnb_in(&tasks, &p, cores, &mut ws).unwrap();
+                assert_eq!(
+                    a.predicted_energy().value().to_bits(),
+                    b.predicted_energy().value().to_bits(),
+                    "energy bits diverge on {works:?} cores {cores}"
+                );
+                assert_eq!(
+                    a.schedule(),
+                    b.schedule(),
+                    "schedules diverge on {works:?} cores {cores}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_extends_past_the_exact_ceiling() {
+        // 18 tasks: TooLarge for the enumerator, in range for the B&B.
+        let p = platform(4.0);
+        let mut ws = Workspace::new();
+        let works: Vec<f64> = (0..18).map(|i| 1.0 + (i % 5) as f64).collect();
+        let tasks = tset(&works, 500.0);
+        assert!(matches!(
+            solve_exact_in(&tasks, &p, 3, &mut ws),
+            Err(SdemError::TooLarge { .. })
+        ));
+        let sol = solve_bnb_in(&tasks, &p, 3, &mut ws).unwrap();
+        sol.schedule().validate(&tasks).unwrap();
+        let lb = lower_bound(&tasks, &p, 3);
+        let lpt = solve_lpt_in(&tasks, &p, 3, &mut ws).unwrap();
+        assert!(sol.predicted_energy().value() >= lb.value() * (1.0 - 1e-9));
+        assert!(
+            sol.predicted_energy().value() <= lpt.predicted_energy().value() * (1.0 + 1e-12),
+            "B&B worse than its own LPT incumbent"
+        );
+    }
+
+    #[test]
+    fn refine_never_worse_than_lpt() {
+        let p = platform(3.0);
+        let mut ws = Workspace::new();
+        // An adversarial LPT instance: works {3, 3, 2, 2, 2} on 2 cores.
+        // LPT stacks 7/5; swapping a 3 against a 2 reaches the optimal
+        // 6/6 balance, so refine must strictly improve here.
+        let tasks = tset(&[3.0, 3.0, 2.0, 2.0, 2.0], 500.0);
+        let lpt = solve_lpt_in(&tasks, &p, 2, &mut ws).unwrap();
+        let refined = solve_refined_in(&tasks, &p, 2, &mut ws).unwrap();
+        refined.schedule().validate(&tasks).unwrap();
+        assert!(
+            refined.predicted_energy().value() < lpt.predicted_energy().value(),
+            "refine failed to improve LPT: {} vs {}",
+            refined.predicted_energy(),
+            lpt.predicted_energy()
+        );
+        // The swap neighborhood finds the perfect 6/6 balance.
+        let exact = solve_exact_in(&tasks, &p, 2, &mut ws).unwrap();
+        assert!(
+            (refined.predicted_energy().value() - exact.predicted_energy().value()).abs()
+                < 1e-9 * exact.predicted_energy().value(),
+            "refined {} vs exact {}",
+            refined.predicted_energy(),
+            exact.predicted_energy()
+        );
+    }
+
+    #[test]
     fn lpt_brackets_between_exact_and_lower_bound() {
         let p = platform(3.0);
         for works in [
@@ -636,6 +616,20 @@ mod tests {
         let tasks = tset(&[1.0, 1.0, 1.0], 1.0);
         assert!(matches!(
             solve_exact(&tasks, &p, 2),
+            Err(SdemError::InfeasibleTask(_))
+        ));
+        // Every tier agrees the instance is hopeless.
+        let mut ws = Workspace::new();
+        assert!(matches!(
+            solve_bnb_in(&tasks, &p, 2, &mut ws),
+            Err(SdemError::InfeasibleTask(_))
+        ));
+        assert!(matches!(
+            solve_refined_in(&tasks, &p, 2, &mut ws),
+            Err(SdemError::InfeasibleTask(_))
+        ));
+        assert!(matches!(
+            solve_lpt_in(&tasks, &p, 2, &mut ws),
             Err(SdemError::InfeasibleTask(_))
         ));
     }

@@ -11,7 +11,7 @@
 //! | §5.2 (Alg. 1, Thm 4) | agreeable deadlines, `α ≠ 0` | [`agreeable::schedule_alpha_nonzero`] |
 //! | §6 | general tasks, online | [`online::schedule_online`] (+ [`online::schedule_online_bounded`] for fixed core counts) |
 //! | §7 (Thm 5, Table 3) | transition overheads | [`overhead`] |
-//! | §3 (Thm 1) | bounded cores (NP-hard) | [`bounded`] (exact, LPT, lower bound) |
+//! | §3 (Thm 1) | bounded cores (NP-hard) | [`bounded`] (exact, branch-and-bound, LPT + refine, lower bound; size-routed via [`Scheme::BoundedAuto`]) |
 //! | §4 closing remark | heterogeneous cores | [`common_release::schedule_heterogeneous`] |
 //! | §3 (Ishihara–Yasuura citation) | discrete speed levels | [`discrete`] |
 //! | §5.1.1 closed forms | Lemma-3 bisection block solver | [`agreeable::solve_single_block_lemma3`] |

@@ -444,14 +444,19 @@ fn replan(
     // Fresh common-release instance from the remaining work; the task
     // vector is recycled after the solve.
     let mut roster = ws.take_tasks();
-    roster.extend(live.idx.iter().zip(live.remaining.iter()).map(|(&j, &rem)| {
-        Task::new(
-            soa.ids[j],
-            now,
-            Time::from_secs(soa.deadlines[j]),
-            sdem_types::Cycles::new(rem.max(0.0)),
-        )
-    }));
+    roster.extend(
+        live.idx
+            .iter()
+            .zip(live.remaining.iter())
+            .map(|(&j, &rem)| {
+                Task::new(
+                    soa.ids[j],
+                    now,
+                    Time::from_secs(soa.deadlines[j]),
+                    sdem_types::Cycles::new(rem.max(0.0)),
+                )
+            }),
+    );
     let instance = TaskSet::new_in(roster, ws).expect("live tasks have positive windows");
 
     let solution = match solver {

@@ -117,6 +117,16 @@ pub struct BoundedLpt(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundedExact(pub usize);
 
+/// §3 bounded-core branch-and-bound — exact results (bit-identical to
+/// [`BoundedExact`] on instances both accept) up to
+/// [`bounded::BNB_LIMIT`] tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedBnb(pub usize);
+
+/// §3 bounded-core LPT + local-search refinement (any instance size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedRefined(pub usize);
+
 impl Scheduler for CommonReleaseAlphaZero {
     fn name(&self) -> &'static str {
         "common-release-alpha-zero"
@@ -259,6 +269,34 @@ impl Scheduler for BoundedExact {
     }
 }
 
+impl Scheduler for BoundedBnb {
+    fn name(&self) -> &'static str {
+        "bounded-bnb"
+    }
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        bounded::solve_bnb_in(tasks, platform, self.0, ws)
+    }
+}
+
+impl Scheduler for BoundedRefined {
+    fn name(&self) -> &'static str {
+        "bounded-refined"
+    }
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        bounded::solve_refined_in(tasks, platform, self.0, ws)
+    }
+}
+
 /// Scheme selector for [`solve`]: every [`Scheduler`] implementation as a
 /// value, plus [`Scheme::Auto`] routing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -287,6 +325,15 @@ pub enum Scheme {
     BoundedLpt(usize),
     /// [`BoundedExact`] with the given core count.
     BoundedExact(usize),
+    /// [`BoundedBnb`] with the given core count.
+    BoundedBnb(usize),
+    /// [`BoundedRefined`] with the given core count.
+    BoundedRefined(usize),
+    /// Size-routed bounded-core tiering with the given core count:
+    /// [`Scheme::resolve`] picks the strongest tier the instance size
+    /// admits — exact (`n ≤` [`bounded::EXACT_LIMIT`]), branch-and-bound
+    /// (`n ≤` [`bounded::BNB_LIMIT`]), else LPT + refine.
+    BoundedAuto(usize),
 }
 
 impl Scheme {
@@ -306,6 +353,9 @@ impl Scheme {
             Scheme::OnlineBounded(_) => "solve/online-bounded",
             Scheme::BoundedLpt(_) => "solve/bounded-lpt",
             Scheme::BoundedExact(_) => "solve/bounded-exact",
+            Scheme::BoundedBnb(_) => "solve/bounded-bnb",
+            Scheme::BoundedRefined(_) => "solve/bounded-refined",
+            Scheme::BoundedAuto(_) => "solve/bounded-auto",
         }
     }
 
@@ -314,6 +364,17 @@ impl Scheme {
     /// matching `α`; agreeable deadlines → the §5 DP (overhead-aware when
     /// break-evens are positive); anything else → SDEM-ON.
     pub fn resolve(self, tasks: &TaskSet, platform: &Platform) -> Scheme {
+        if let Scheme::BoundedAuto(cores) = self {
+            // Strongest tier the size admits: exact → B&B → LPT + refine.
+            let n = tasks.len();
+            return if n <= bounded::EXACT_LIMIT {
+                Scheme::BoundedExact(cores)
+            } else if n <= bounded::BNB_LIMIT {
+                Scheme::BoundedBnb(cores)
+            } else {
+                Scheme::BoundedRefined(cores)
+            };
+        }
         if self != Scheme::Auto {
             return self;
         }
@@ -353,6 +414,9 @@ impl Scheduler for Scheme {
             Scheme::OnlineBounded(_) => OnlineBounded(0).name(),
             Scheme::BoundedLpt(_) => BoundedLpt(0).name(),
             Scheme::BoundedExact(_) => BoundedExact(0).name(),
+            Scheme::BoundedBnb(_) => BoundedBnb(0).name(),
+            Scheme::BoundedRefined(_) => BoundedRefined(0).name(),
+            Scheme::BoundedAuto(_) => "bounded-auto",
         }
     }
 
@@ -370,6 +434,7 @@ impl Scheduler for Scheme {
         let _span = sdem_obs::trace::span(label);
         let result = match resolved {
             Scheme::Auto => unreachable!("resolve never returns Auto"),
+            Scheme::BoundedAuto(_) => unreachable!("resolve never returns BoundedAuto"),
             Scheme::CommonReleaseAlphaZero => {
                 CommonReleaseAlphaZero.solve_into(tasks, platform, ws)
             }
@@ -384,6 +449,8 @@ impl Scheduler for Scheme {
             Scheme::OnlineBounded(n) => OnlineBounded(n).solve_into(tasks, platform, ws),
             Scheme::BoundedLpt(n) => BoundedLpt(n).solve_into(tasks, platform, ws),
             Scheme::BoundedExact(n) => BoundedExact(n).solve_into(tasks, platform, ws),
+            Scheme::BoundedBnb(n) => BoundedBnb(n).solve_into(tasks, platform, ws),
+            Scheme::BoundedRefined(n) => BoundedRefined(n).solve_into(tasks, platform, ws),
         };
         sdem_obs::registry::record_elapsed(label, clock);
         result
@@ -490,6 +557,68 @@ mod tests {
             assert!(!s.name().is_empty());
             let sol = s.solve(&tasks, &platform).unwrap();
             assert!(sol.predicted_energy().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_auto_routes_by_size() {
+        let platform = Platform::paper_defaults();
+        let sized = |n: usize| {
+            TaskSet::new(
+                (0..n)
+                    .map(|i| Task::new(i, Time::ZERO, Time::from_millis(80.0), Cycles::new(1.0e6)))
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let small = sized(bounded::EXACT_LIMIT);
+        let medium = sized(bounded::EXACT_LIMIT + 1);
+        let large = sized(bounded::BNB_LIMIT + 1);
+        assert_eq!(
+            Scheme::BoundedAuto(4).resolve(&small, &platform),
+            Scheme::BoundedExact(4)
+        );
+        assert_eq!(
+            Scheme::BoundedAuto(4).resolve(&medium, &platform),
+            Scheme::BoundedBnb(4)
+        );
+        assert_eq!(
+            Scheme::BoundedAuto(4).resolve(&large, &platform),
+            Scheme::BoundedRefined(4)
+        );
+        // The routed solve agrees with calling the tier directly.
+        for tasks in [small, medium, large] {
+            let auto = solve(&tasks, &platform, Scheme::BoundedAuto(4)).unwrap();
+            let direct = solve(
+                &tasks,
+                &platform,
+                Scheme::BoundedAuto(4).resolve(&tasks, &platform),
+            )
+            .unwrap();
+            assert_eq!(
+                auto.predicted_energy().value().to_bits(),
+                direct.predicted_energy().value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_tier_schedulers_are_object_safe() {
+        let platform = Platform::paper_defaults();
+        let tasks = TaskSet::new(vec![
+            Task::new(0, Time::ZERO, Time::from_millis(80.0), Cycles::new(6.0e6)),
+            Task::new(1, Time::ZERO, Time::from_millis(80.0), Cycles::new(9.0e6)),
+        ])
+        .unwrap();
+        let zoo: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(BoundedBnb(2)),
+            Box::new(BoundedRefined(2)),
+            Box::new(Scheme::BoundedAuto(2)),
+        ];
+        for s in &zoo {
+            assert!(!s.name().is_empty());
+            let sol = s.solve(&tasks, &platform).unwrap();
+            sol.schedule().validate(&tasks).unwrap();
         }
     }
 

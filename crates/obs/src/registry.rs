@@ -82,6 +82,14 @@ pub enum Counter {
     CacheMisses,
     /// Solve-cache evictions (capacity reached, oldest entry dropped).
     CacheEvictions,
+    /// Bounded-core branch-and-bound search nodes expanded.
+    BoundedNodesExpanded,
+    /// Bounded-core branch-and-bound subtrees pruned (bound or
+    /// feasibility cut before expansion).
+    BoundedPruned,
+    /// Bounded-core refine-tier local-search steps applied (moves and
+    /// swaps that strictly improved the load balance).
+    BoundedRefineImprovements,
 }
 
 /// Stable export names, indexed by `Counter as usize`.
@@ -112,6 +120,9 @@ const COUNTER_NAMES: &[&str] = &[
     "cache_hits",
     "cache_misses",
     "cache_evictions",
+    "bounded/nodes_expanded",
+    "bounded/pruned",
+    "bounded/refine_improvements",
 ];
 
 impl Counter {
@@ -433,8 +444,12 @@ mod tests {
         assert_eq!(Counter::MemorySleepNs.name(), "memory_sleep_ns");
         assert_eq!(Counter::CacheEvictions.name(), "cache_evictions");
         assert_eq!(
+            Counter::BoundedRefineImprovements.name(),
+            "bounded/refine_improvements"
+        );
+        assert_eq!(
             COUNTER_NAMES.len(),
-            Counter::CacheEvictions as usize + 1,
+            Counter::BoundedRefineImprovements as usize + 1,
             "COUNTER_NAMES must have one entry per Counter variant"
         );
     }

@@ -139,9 +139,16 @@ pub fn scheme_from_name(name: &str, cores: usize) -> Result<Scheme, ApiError> {
         "cr-overhead" => Ok(Scheme::CommonReleaseOverhead),
         "agreeable" => Ok(Scheme::Agreeable),
         "agreeable-strict" => Ok(Scheme::AgreeableStrict),
+        "bounded-auto" => Ok(Scheme::BoundedAuto(cores)),
+        "bounded-exact" => Ok(Scheme::BoundedExact(cores)),
+        "bounded-bnb" => Ok(Scheme::BoundedBnb(cores)),
+        "bounded-refined" => Ok(Scheme::BoundedRefined(cores)),
+        "bounded-lpt" => Ok(Scheme::BoundedLpt(cores)),
         other => Err(ApiError::bad_request(format!(
             "unknown scheme `{other}` (expected auto, sdem-on, cr-alpha-zero, \
-             cr-alpha-nonzero, cr-overhead, agreeable or agreeable-strict)"
+             cr-alpha-nonzero, cr-overhead, agreeable, agreeable-strict, \
+             bounded-auto, bounded-exact, bounded-bnb, bounded-refined or \
+             bounded-lpt)"
         ))),
     }
 }
@@ -494,6 +501,43 @@ mod tests {
         assert_eq!(req.xi_m_ms, DEFAULT_XI_M_MS);
         assert_eq!(req.deadline_ms, None);
         assert!(!req.fallback);
+    }
+
+    #[test]
+    fn bounded_scheme_names_route_with_the_core_budget() {
+        assert_eq!(
+            scheme_from_name("bounded-auto", 4).unwrap(),
+            Scheme::BoundedAuto(4)
+        );
+        assert_eq!(
+            scheme_from_name("bounded-exact", 2).unwrap(),
+            Scheme::BoundedExact(2)
+        );
+        assert_eq!(
+            scheme_from_name("bounded-bnb", 3).unwrap(),
+            Scheme::BoundedBnb(3)
+        );
+        assert_eq!(
+            scheme_from_name("bounded-refined", 8).unwrap(),
+            Scheme::BoundedRefined(8)
+        );
+        assert_eq!(
+            scheme_from_name("bounded-lpt", 8).unwrap(),
+            Scheme::BoundedLpt(8)
+        );
+        // End to end: a bounded-auto request solves and reports the tier
+        // the router actually picked (two tasks → the exact tier).
+        let req = SolveRequest::parse_line(
+            "{\"v\":1,\"id\":11,\"scheme\":\"bounded-auto\",\"cores\":2,\
+             \"tasks\":[[0,0.0,80.0,8e6],[1,0.0,80.0,1.2e7]]}",
+        )
+        .unwrap();
+        assert_eq!(req.scheme, Scheme::BoundedAuto(2));
+        let platform = req.platform().unwrap();
+        let executed = execute(&req, &platform).unwrap();
+        assert_eq!(executed.response.scheme, "bounded-auto");
+        assert_eq!(executed.response.resolved, "solve/bounded-exact");
+        assert!(executed.response.energy_j > 0.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ struct Opts {
     queue: usize,
     cache: usize,
     seed: u64,
+    bounded: f64,
     out: String,
     emit: Option<String>,
     date: String,
@@ -48,6 +49,7 @@ impl Default for Opts {
             queue: 65_536,
             cache: 4_096,
             seed: 42,
+            bounded: 0.0,
             out: "BENCH_serve.json".to_string(),
             emit: None,
             date: "unknown".to_string(),
@@ -67,6 +69,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--queue" => opts.queue = num(&value("--queue")?)? as usize,
             "--cache" => opts.cache = num(&value("--cache")?)? as usize,
             "--seed" => opts.seed = num(&value("--seed")?)?,
+            "--bounded" => opts.bounded = frac(&value("--bounded")?)?,
             "--out" => opts.out = value("--out")?,
             "--emit" => opts.emit = Some(value("--emit")?),
             "--date" => opts.date = value("--date")?,
@@ -88,6 +91,17 @@ fn parse_opts() -> Result<Opts, String> {
 fn num(s: &str) -> Result<u64, String> {
     s.parse::<u64>()
         .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn frac(s: &str) -> Result<f64, String> {
+    let v = s
+        .parse::<f64>()
+        .map_err(|e| format!("bad fraction {s:?}: {e}"))?;
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("fraction {s:?} must be within 0..=1"))
+    }
 }
 
 /// One generated task as wire fields.
@@ -125,10 +139,28 @@ fn make_shapes(opts: &Opts, rng: &mut SplitMix64) -> Vec<Vec<WireTask>> {
         .collect()
 }
 
+/// Generates `shapes` distinct Theorem-1 shapes for the bounded tiers:
+/// one shared release and one shared deadline per shape, varied works.
+fn make_bounded_shapes(opts: &Opts, rng: &mut SplitMix64) -> Vec<Vec<WireTask>> {
+    (0..opts.shapes)
+        .map(|_| {
+            let deadline_ms = rng.gen_range(40.0..120.0);
+            (0..opts.tasks)
+                .map(|id| WireTask {
+                    id,
+                    release_ms: 0.0,
+                    deadline_ms,
+                    work_cycles: rng.gen_range(1.0e6..8.0e6),
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Renders one request line: a seeded shape pick plus a rotation of its
 /// task order, so permuted repeats hit the canonicalized cache.
-fn request_line(id: u64, shape: &[WireTask], rotate: usize) -> String {
-    let mut line = format!("{{\"v\":1,\"id\":{id},\"scheme\":\"auto\",\"tasks\":[");
+fn request_line(id: u64, scheme: &str, shape: &[WireTask], rotate: usize) -> String {
+    let mut line = format!("{{\"v\":1,\"id\":{id},\"scheme\":\"{scheme}\",\"tasks\":[");
     for i in 0..shape.len() {
         let t = &shape[(i + rotate) % shape.len()];
         if i > 0 {
@@ -231,11 +263,18 @@ fn main() {
 
     let mut rng = SplitMix64::seed_from_u64(opts.seed);
     let shapes = make_shapes(&opts, &mut rng);
+    let bounded_shapes = make_bounded_shapes(&opts, &mut rng);
     let lines: Vec<String> = (0..opts.requests)
         .map(|id| {
-            let shape = &shapes[(rng.next_u64() % opts.shapes as u64) as usize];
+            let pick = (rng.next_u64() % opts.shapes as u64) as usize;
             let rotate = (rng.next_u64() % opts.tasks as u64) as usize;
-            request_line(id, shape, rotate)
+            // A seeded slice of the stream routes through the bounded
+            // tiers (Theorem-1 shapes, size-routed by bounded-auto).
+            if opts.bounded > 0.0 && rng.gen_bool(opts.bounded) {
+                request_line(id, "bounded-auto", &bounded_shapes[pick], rotate)
+            } else {
+                request_line(id, "auto", &shapes[pick], rotate)
+            }
         })
         .collect();
 
@@ -264,11 +303,14 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"benchmark\": \"sdem-serve loadgen ({} requests, {} shapes x {} tasks, seeded shape-repetition mix)\",\n",
-        opts.requests, opts.shapes, opts.tasks
+        "  \"benchmark\": \"sdem-serve loadgen ({} requests, {} shapes x {} tasks, seeded shape-repetition mix, {:.0}% bounded-auto)\",\n",
+        opts.requests,
+        opts.shapes,
+        opts.tasks,
+        opts.bounded * 100.0
     ));
     out.push_str(&format!(
-        "  \"command\": \"cargo run -p sdem-serve --release --bin loadgen -- --requests {} --shapes {} --tasks {} --workers {} --seed {}\",\n",
+        "  \"command\": \"cargo run -p sdem-serve --release --bin loadgen -- --requests {} --shapes {} --tasks {} --workers {} --seed {} --bounded {}\",\n",
         opts.requests,
         opts.shapes,
         opts.tasks,
@@ -277,7 +319,8 @@ fn main() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(","),
-        opts.seed
+        opts.seed,
+        opts.bounded
     ));
     out.push_str(&format!("  \"date\": \"{}\",\n", opts.date));
     out.push_str("  \"host\": {\n");

@@ -43,6 +43,7 @@ mod error;
 pub mod interval;
 mod kind;
 pub mod numeric;
+pub mod partition;
 mod schedule;
 pub mod soa;
 mod task;
@@ -52,6 +53,7 @@ mod workspace;
 pub use error::{ScheduleError, TaskSetError};
 pub use interval::{IntervalSet, Timeline};
 pub use kind::{ErrorKind, ERROR_KINDS};
+pub use partition::Partition;
 pub use schedule::{CoreId, Placement, Schedule, Segment};
 pub use soa::{TaskRow, TaskSoa};
 pub use task::{Task, TaskId, TaskSet};

@@ -1,0 +1,242 @@
+//! Task→core partition state for the bounded-core solvers.
+//!
+//! The §3 bounded-core problem assigns every task to one of `C` cores and
+//! then sizes a shared busy interval; all three solver tiers (exact
+//! enumeration, branch-and-bound, LPT + local search) explore the same
+//! state: *which core each task sits on* plus *each core's accumulated
+//! load*. [`Partition`] is that state as two parallel columns over the
+//! [`TaskSoa`](crate::TaskSoa) view — `assignment[i]` is the core of task
+//! `i` (by SoA row index), `loads[c]` the summed work on core `c` — so the
+//! tiers share one representation and one [`Workspace`](crate::Workspace)
+//! pool ([`take_partition`](crate::Workspace::take_partition) /
+//! [`recycle_partition`](crate::Workspace::recycle_partition)) keeps every
+//! tier allocation-free once warm.
+//!
+//! Loads maintained incrementally through [`Partition::move_task`] /
+//! [`Partition::swap_tasks`] drift from the index-order sum by float
+//! rounding; call [`Partition::rebuild_loads`] before any energy
+//! evaluation that must be bit-reproducible (the solver tiers' final
+//! evaluations all do).
+
+/// A task→core assignment with per-core load columns (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use sdem_types::{Partition, Workspace};
+///
+/// let works = [3.0, 2.0, 1.0, 2.0];
+/// let mut ws = Workspace::new();
+/// let mut p = ws.take_partition();
+/// p.reset(works.len(), 2);
+/// // The PARTITION split {3, 1} vs {2, 2}:
+/// p.assign(0, 0, works[0]);
+/// p.assign(1, 1, works[1]);
+/// p.assign(2, 0, works[2]);
+/// p.assign(3, 1, works[3]);
+/// assert_eq!(p.loads(), [4.0, 4.0]);
+/// assert_eq!(p.assignment(), [0, 1, 0, 1]);
+/// ws.recycle_partition(p);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Partition {
+    /// `assignment[i]` = core index of task `i` (SoA row order).
+    assignment: Vec<usize>,
+    /// `loads[c]` = total work currently assigned to core `c`.
+    loads: Vec<f64>,
+}
+
+impl Partition {
+    /// Empties both columns, keeping their capacity (the
+    /// [`Workspace`](crate::Workspace) pool contract).
+    pub fn clear(&mut self) {
+        self.assignment.clear();
+        self.loads.clear();
+    }
+
+    /// Re-shapes the partition for `tasks` tasks on `cores` cores: every
+    /// task lands on core 0 with all loads zero. Capacity is reused.
+    pub fn reset(&mut self, tasks: usize, cores: usize) {
+        self.assignment.clear();
+        self.assignment.resize(tasks, 0);
+        self.loads.clear();
+        self.loads.resize(cores, 0.0);
+    }
+
+    /// Number of tasks covered by the assignment column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// `true` when no tasks are assigned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of cores (length of the load column).
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The task→core column.
+    #[inline]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The per-core load column.
+    #[inline]
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Core of task `i`.
+    #[inline]
+    pub fn core_of(&self, task: usize) -> usize {
+        self.assignment[task]
+    }
+
+    /// Places task `task` (with workload `work`) on `core`, adding the
+    /// work to that core's load. The task must not already carry load on
+    /// another core — use [`Partition::move_task`] for re-assignment.
+    #[inline]
+    pub fn assign(&mut self, task: usize, core: usize, work: f64) {
+        self.assignment[task] = core;
+        self.loads[core] += work;
+    }
+
+    /// Moves task `task` (workload `work`) from its current core to `to`,
+    /// updating both loads incrementally.
+    #[inline]
+    pub fn move_task(&mut self, task: usize, to: usize, work: f64) {
+        let from = self.assignment[task];
+        self.loads[from] -= work;
+        self.loads[to] += work;
+        self.assignment[task] = to;
+    }
+
+    /// Swaps the cores of tasks `a` (workload `wa`) and `b` (workload
+    /// `wb`), updating both loads incrementally.
+    #[inline]
+    pub fn swap_tasks(&mut self, a: usize, b: usize, wa: f64, wb: f64) {
+        let (ca, cb) = (self.assignment[a], self.assignment[b]);
+        self.loads[ca] += wb - wa;
+        self.loads[cb] += wa - wb;
+        self.assignment[a] = cb;
+        self.assignment[b] = ca;
+    }
+
+    /// Recomputes every core load as the sum of its tasks' works in task
+    /// index order — the canonical accumulation the energy closed forms
+    /// are evaluated against. Incremental updates commute only up to
+    /// float rounding; this restores the bit-reproducible values.
+    pub fn rebuild_loads(&mut self, works: &[f64]) {
+        debug_assert_eq!(works.len(), self.assignment.len());
+        self.loads.fill(0.0);
+        for (i, &c) in self.assignment.iter().enumerate() {
+            self.loads[c] += works[i];
+        }
+    }
+
+    /// Index of the most-loaded core; ties resolve to the lowest index,
+    /// so the scan is deterministic.
+    pub fn heaviest_core(&self) -> usize {
+        let mut best = 0;
+        for (c, &w) in self.loads.iter().enumerate().skip(1) {
+            if w > self.loads[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Index of the least-loaded core; ties resolve to the lowest index.
+    pub fn lightest_core(&self) -> usize {
+        let mut best = 0;
+        for (c, &w) in self.loads.iter().enumerate().skip(1) {
+            if w < self.loads[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+
+    #[test]
+    fn reset_shapes_and_zeroes() {
+        let mut p = Partition::default();
+        p.reset(3, 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.cores(), 2);
+        assert_eq!(p.assignment(), [0, 0, 0]);
+        assert_eq!(p.loads(), [0.0, 0.0]);
+        p.reset(1, 4);
+        assert_eq!((p.len(), p.cores()), (1, 4));
+    }
+
+    #[test]
+    fn incremental_ops_track_loads() {
+        let works = [5.0, 3.0, 2.0];
+        let mut p = Partition::default();
+        p.reset(3, 2);
+        p.assign(0, 0, works[0]);
+        p.assign(1, 1, works[1]);
+        p.assign(2, 1, works[2]);
+        assert_eq!(p.loads(), [5.0, 5.0]);
+        p.move_task(2, 0, works[2]);
+        assert_eq!(p.loads(), [7.0, 3.0]);
+        assert_eq!(p.core_of(2), 0);
+        p.swap_tasks(0, 1, works[0], works[1]);
+        assert_eq!(p.assignment(), [1, 0, 0]);
+        assert_eq!(p.loads(), [5.0, 5.0]);
+    }
+
+    #[test]
+    fn rebuild_restores_index_order_sums() {
+        let works = [1.0e16, 1.0, -0.0, 3.0];
+        let mut p = Partition::default();
+        p.reset(4, 2);
+        for (i, &w) in works.iter().enumerate() {
+            p.assign(i, i % 2, w);
+        }
+        // Scramble the loads with drift-prone incremental traffic.
+        p.move_task(3, 0, works[3]);
+        p.move_task(3, 1, works[3]);
+        let drifted = p.loads().to_vec();
+        p.rebuild_loads(&works);
+        // Canonical: loads[0] = works[0] + works[2], loads[1] = works[1] + works[3].
+        assert_eq!(p.loads(), [1.0e16 + -0.0, 1.0 + 3.0]);
+        // (The drifted values may or may not differ; rebuild pins them.)
+        let _ = drifted;
+    }
+
+    #[test]
+    fn extreme_core_scans_break_ties_low() {
+        let mut p = Partition::default();
+        p.reset(2, 4);
+        p.loads = vec![2.0, 5.0, 5.0, 2.0];
+        assert_eq!(p.heaviest_core(), 1);
+        assert_eq!(p.lightest_core(), 0);
+    }
+
+    #[test]
+    fn pool_round_trip_keeps_capacity() {
+        let mut ws = Workspace::new();
+        let mut p = ws.take_partition();
+        p.reset(64, 8);
+        let cap = (p.assignment.capacity(), p.loads.capacity());
+        ws.recycle_partition(p);
+        let p = ws.take_partition();
+        assert!(p.is_empty());
+        assert!(p.assignment.capacity() >= cap.0);
+        assert!(p.loads.capacity() >= cap.1);
+    }
+}

@@ -706,10 +706,7 @@ mod tests {
             vec![task(0, 0.0, 10.0, 1.0), task(1, 0.0, 20.0, 2.0)],
         ];
         for tasks in cases {
-            assert_eq!(
-                TaskSet::new_in(tasks.clone(), &mut ws),
-                TaskSet::new(tasks)
-            );
+            assert_eq!(TaskSet::new_in(tasks.clone(), &mut ws), TaskSet::new(tasks));
         }
     }
 

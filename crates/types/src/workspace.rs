@@ -20,7 +20,9 @@
 //! * A `Workspace` is deliberately `!Sync`-by-use: each worker thread owns
 //!   its own instance; nothing is shared.
 
-use crate::{CoreId, IntervalSet, Placement, Schedule, Segment, Task, TaskRow, TaskSoa, Time};
+use crate::{
+    CoreId, IntervalSet, Partition, Placement, Schedule, Segment, Task, TaskRow, TaskSoa, Time,
+};
 
 /// Pools of per-trial scratch buffers (see module docs for the contract).
 ///
@@ -54,6 +56,7 @@ pub struct Workspace {
     rows: Vec<Vec<TaskRow>>,
     pairs: Vec<Vec<(f64, f64)>>,
     soas: Vec<TaskSoa>,
+    partitions: Vec<Partition>,
     interval_lists: Vec<Vec<IntervalSet>>,
 }
 
@@ -151,6 +154,13 @@ impl Workspace {
         soas,
         TaskSoa,
         "structure-of-arrays task view"
+    );
+    pool!(
+        take_partition,
+        recycle_partition,
+        partitions,
+        Partition,
+        "task→core partition"
     );
 
     /// Takes an empty list-of-interval-sets buffer from the pool.

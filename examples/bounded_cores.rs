@@ -1,8 +1,10 @@
 //! The bounded-core side of the paper (§3): with fewer cores than tasks
 //! SDEM is NP-hard via PARTITION, so practice needs heuristics. This
 //! example pits the exact exponential solver against the LPT heuristic and
-//! the convexity lower bound, and shows the balanced-partition structure
-//! Theorem 1's reduction is built on.
+//! the convexity lower bound, shows the balanced-partition structure
+//! Theorem 1's reduction is built on, and then walks the tiered solver:
+//! the branch-and-bound past the enumerator's ceiling, LPT + refine at
+//! large `n`, and `Scheme::BoundedAuto` routing by size.
 //!
 //! Run with: `cargo run --example bounded_cores`
 
@@ -60,6 +62,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Eq. 3 closed form at that split: {:.4} J",
         bounded::partition_min_energy(&loads, &platform).value()
+    );
+
+    // --- The tiered solver (the README worked example) ---------------
+    // 18 tasks, one shared 40 ms window, 4 cores: n = 18 > EXACT_LIMIT,
+    // so Auto routes to the branch-and-bound (still provably optimal).
+    let paper_platform = PlatformBuilder::new().build()?;
+    let many = TaskSet::new(
+        (0..18)
+            .map(|i| {
+                Task::new(
+                    i,
+                    Time::ZERO,
+                    Time::from_millis(40.0),
+                    Cycles::new(1.0e6 + (i % 7) as f64 * 1.0e6),
+                )
+            })
+            .collect(),
+    )?;
+    let auto = solve(&many, &paper_platform, Scheme::BoundedAuto(4))?;
+    let bnb = solve(&many, &paper_platform, Scheme::BoundedBnb(4))?;
+    let refined = solve(&many, &paper_platform, Scheme::BoundedRefined(4))?;
+    println!(
+        "\nn = 18 > EXACT_LIMIT = {}: Auto routes to the branch-and-bound",
+        bounded::EXACT_LIMIT
+    );
+    println!(
+        "  BoundedAuto(4):    {:.6} J  (== BoundedBnb: {})",
+        auto.predicted_energy().value(),
+        auto.predicted_energy().value().to_bits() == bnb.predicted_energy().value().to_bits(),
+    );
+    println!(
+        "  BoundedRefined(4): {:.6} J  (gap vs optimum {:+.3}%)",
+        refined.predicted_energy().value(),
+        (refined.predicted_energy().value() / bnb.predicted_energy().value() - 1.0) * 100.0,
     );
     Ok(())
 }
