@@ -11,7 +11,7 @@ use sdem_bench::figures::{self, RobustOptions};
 use sdem_core::solve;
 use sdem_exec::{CheckpointJournal, SweepRunner};
 use sdem_power::Platform;
-use sdem_serve::{api, ServiceConfig};
+use sdem_serve::{api, ChaosSpec, ReplayConfig, ServiceConfig, SupervisorConfig};
 use sdem_sim::{
     power_trace, render_gantt, schedule_stats, simulate_with_options, trace_to_csv, SimOptions,
     SleepPolicy,
@@ -20,6 +20,7 @@ use sdem_types::{ErrorKind, Schedule, TaskSet, Time, Workspace};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::synthetic::{self, SyntheticConfig};
 use sdem_workload::textfmt as io;
+use sdem_workload::trace::TraceSpec;
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -52,6 +53,12 @@ USAGE:
   sdem-cli serve    [--workers N] [--queue N] [--cache N] [--metrics FILE]
                     persistent scheduling daemon: JSONL requests on stdin,
                     JSONL responses on stdout, drains cleanly at EOF
+  sdem-cli replay   [--trace SPEC] --events N [--workers N] [--queue N]
+                    [--cache N] [--chaos SPEC] [--journal FILE | --resume FILE]
+                    [--halt-after N] [--max-restarts N] [--backoff-ms N]
+                    [--metrics FILE]
+                    stream a generated arrival trace through the daemon,
+                    crash-recoverable via the response journal
   sdem-cli experiment [--kind synthetic|dspstone] [--tasks N] [--x-ms X]
                     [--u U] [--instances N] [--cores N] [--trials N]
                     [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
@@ -105,6 +112,24 @@ counters and latency histograms at shutdown, same format as sweep's.
 Errors carry stable `kind` codes; the CLI maps the same codes onto its
 exit codes (usage 2, bad-request 3, scheme-error 4, ...).
 
+replay streams a seeded arrival trace (millions of events, generated —
+never materialized) through the same service. --trace takes a
+`seed=0x…,sets=N,tasks=N,poisson=P,shapes=N` spec: hyperperiod-expanded
+periodic request sets merged with an open-loop Poisson mix. Responses go
+to stdout, byte-identical for any --workers count. --journal FILE appends
+every response (write-ahead, flushed per line) so a killed replay
+restarted with --resume FILE skips completed seqs — counted as
+serve/recovered_seqs — and emits output byte-identical to an
+uninterrupted run. --chaos `seed=0x…,panics=N,poison=N,queue-full=N,
+latency=N` injects worker panics (contained by the supervisor:
+--max-restarts budget, exponential backoff from --backoff-ms, then
+fail-fast), poisoned request fields, forced degradations through the
+race-to-idle tier (`degraded: true` responses) and artificial latency;
+observed serve/{worker_restarts,degraded_responses} counters must match
+the injected plan exactly or the replay exits with an error. Example:
+  sdem-cli replay --trace seed=0x7ace,sets=4,tasks=6,poisson=0.25,shapes=32 \\
+    --events 1000000 --workers 4 --journal replay.journal
+
 SCHEMES:
   auto                 route from the task-set shape (common release →
                        §4/§7, agreeable → §5 DP, general → SDEM-ON)
@@ -150,6 +175,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "experiment" => experiment(&args),
         "repro" => repro(&args),
         "serve" => serve(&args),
+        "replay" => replay(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -780,6 +806,7 @@ fn serve(args: &Args) -> Result<(), CliError> {
         workers: args.get_usize("workers", 4)?.max(1),
         queue_depth: args.get_usize("queue", 1024)?.max(1),
         cache_capacity: args.get_usize("cache", 4096)?,
+        ..Default::default()
     };
     let metrics = args.get("metrics").map(str::to_string);
     if metrics.is_some() {
@@ -806,6 +833,94 @@ fn serve(args: &Args) -> Result<(), CliError> {
         stats.cache_hits,
         stats.cache_misses,
         stats.cache_evictions,
+    );
+    Ok(())
+}
+
+/// Online trace replay through the daemon: a seeded arrival stream is
+/// generated (never materialized), solved in order, and optionally
+/// journaled so a killed run restarted with `--resume` emits output
+/// byte-identical to an uninterrupted one. `--chaos` injects a seeded
+/// fault plan whose observed ledger must match exactly.
+fn replay(args: &Args) -> Result<(), CliError> {
+    let trace = match args.get("trace") {
+        Some(spec) => TraceSpec::parse(spec).map_err(|e| format!("replay: --trace: {e}"))?,
+        None => TraceSpec::default(),
+    };
+    if args.get("events").is_none() {
+        return Err(CliError::new(
+            ErrorKind::Usage,
+            "replay: --events N is required",
+        ));
+    }
+    let events = args.get_u64("events", 0)?;
+    let chaos = match args.get("chaos") {
+        Some(spec) => Some(ChaosSpec::parse(spec).map_err(|e| format!("replay: --chaos: {e}"))?),
+        None => None,
+    };
+    if args.get("journal").is_some() && args.get("resume").is_some() {
+        return Err(CliError::new(
+            ErrorKind::Usage,
+            "replay: --journal and --resume are mutually exclusive \
+             (--resume FILE already names the journal)",
+        ));
+    }
+    let (journal, resume) = match args.get("resume") {
+        Some(path) => (Some(std::path::PathBuf::from(path)), true),
+        None => (args.get("journal").map(std::path::PathBuf::from), false),
+    };
+    let halt_after = match args.get("halt-after") {
+        Some(_) => Some(args.get_u64("halt-after", 0)?),
+        None => None,
+    };
+    let backoff = args.get_u64("backoff-ms", 5)?;
+    let cfg = ReplayConfig {
+        service: ServiceConfig {
+            workers: args.get_usize("workers", 4)?.max(1),
+            queue_depth: args.get_usize("queue", 1024)?.max(1),
+            cache_capacity: args.get_usize("cache", 4096)?,
+            supervisor: SupervisorConfig {
+                max_restarts: args.get_u64("max-restarts", 8)? as u32,
+                backoff_base_ms: backoff,
+                backoff_cap_ms: backoff.saturating_mul(40).max(backoff),
+            },
+            ..Default::default()
+        },
+        trace,
+        events,
+        chaos,
+        journal,
+        resume,
+        halt_after,
+    };
+    let metrics = args.get("metrics").map(str::to_string);
+    if metrics.is_some() {
+        sdem_obs::registry::reset();
+        sdem_obs::registry::set_enabled(true);
+    }
+    let outcome = sdem_serve::replay(&cfg, Box::new(std::io::stdout()));
+    sdem_obs::registry::set_enabled(false);
+    let report = outcome.map_err(CliError::from)?;
+    if let Some(path) = metrics {
+        let json = sdem_obs::registry::snapshot().to_json();
+        fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("metrics: wrote {path}");
+    }
+    eprintln!(
+        "replay: {} event(s) — {} recovered, {} executed{}; {} worker restart(s), \
+         {} degraded, {} rejected{}",
+        report.events,
+        report.recovered,
+        report.executed,
+        if report.halted { " (halted)" } else { "" },
+        report.stats.worker_restarts,
+        report.stats.degraded,
+        report.stats.rejected,
+        if report.stats.failed {
+            "; FAILED FAST (restart budget exhausted)"
+        } else {
+            ""
+        },
     );
     Ok(())
 }

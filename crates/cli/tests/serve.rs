@@ -91,6 +91,113 @@ fn serve_metrics_exports_request_counters() {
     std::fs::remove_file(&path).ok();
 }
 
+fn run_replay(args: &[&str]) -> (String, i32) {
+    let out = Command::new(BIN)
+        .arg("replay")
+        .args(args)
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn sdem-cli replay");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn replay_resumes_from_its_journal_byte_identically() {
+    let dir = std::env::temp_dir().join("sdem-cli-replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("replay.journal");
+    let jp = journal.to_str().unwrap();
+    let trace = "seed=0x7e57,sets=2,tasks=3,poisson=0.3,shapes=8";
+
+    let (clean, code) = run_replay(&["--trace", trace, "--events", "16", "--workers", "1"]);
+    assert_eq!(code, 0);
+    assert_eq!(clean.lines().count(), 16, "every seq answered:\n{clean}");
+
+    // A journaled run "crashes" (halts) mid-stream…
+    std::fs::remove_file(&journal).ok();
+    let (partial, code) = run_replay(&[
+        "--trace",
+        trace,
+        "--events",
+        "16",
+        "--workers",
+        "2",
+        "--journal",
+        jp,
+        "--halt-after",
+        "6",
+    ]);
+    assert_eq!(code, 0);
+    assert!(clean.starts_with(&partial), "partial output is a prefix");
+
+    // …and a resumed run at yet another worker count replays the rest.
+    let (resumed, code) = run_replay(&[
+        "--trace",
+        trace,
+        "--events",
+        "16",
+        "--workers",
+        "4",
+        "--resume",
+        jp,
+    ]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        resumed, clean,
+        "resume must be byte-identical to a clean run"
+    );
+
+    // --journal and --resume together is a usage error (exit 2).
+    let (_, code) = run_replay(&[
+        "--trace",
+        trace,
+        "--events",
+        "16",
+        "--journal",
+        jp,
+        "--resume",
+        jp,
+    ]);
+    assert_eq!(code, 2);
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn replay_chaos_counters_export_and_validate() {
+    let dir = std::env::temp_dir().join("sdem-cli-replay-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay_metrics.json");
+    let mp = path.to_str().unwrap();
+    let (out, code) = run_replay(&[
+        "--events",
+        "24",
+        "--workers",
+        "2",
+        "--chaos",
+        "seed=0x0dd5,panics=2,poison=1,queue-full=1,latency=2",
+        "--metrics",
+        mp,
+    ]);
+    assert_eq!(code, 0, "daemon must survive injected panics");
+    assert_eq!(out.lines().count(), 24, "every seq answered once:\n{out}");
+    assert!(out.contains("\"kind\":\"worker-panic\""), "{out}");
+    assert!(out.contains("\"degraded\":true"), "{out}");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"serve/worker_restarts\": 2"), "{text}");
+    assert!(text.contains("\"serve/degraded_responses\": 1"), "{text}");
+    let status = Command::new(BIN)
+        .args(["stats", "--input", mp, "--check"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "exported metrics must pass stats --check");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn exit_codes_follow_the_error_taxonomy() {
     // Usage mistakes exit 2.

@@ -90,6 +90,15 @@ pub enum Counter {
     /// Bounded-core refine-tier local-search steps applied (moves and
     /// swaps that strictly improved the load balance).
     BoundedRefineImprovements,
+    /// Serve worker-level panics contained by the supervisor; each one
+    /// restarts the worker with a rebuilt workspace.
+    ServeWorkerRestarts,
+    /// Serve responses produced by the graceful-degradation tier
+    /// (race-to-idle baseline under overload or deadline pressure).
+    ServeDegradedResponses,
+    /// Journaled responses replayed verbatim by `replay --resume`
+    /// instead of being re-solved.
+    ServeRecoveredSeqs,
 }
 
 /// Stable export names, indexed by `Counter as usize`.
@@ -123,6 +132,9 @@ const COUNTER_NAMES: &[&str] = &[
     "bounded/nodes_expanded",
     "bounded/pruned",
     "bounded/refine_improvements",
+    "serve/worker_restarts",
+    "serve/degraded_responses",
+    "serve/recovered_seqs",
 ];
 
 impl Counter {
@@ -447,9 +459,15 @@ mod tests {
             Counter::BoundedRefineImprovements.name(),
             "bounded/refine_improvements"
         );
+        assert_eq!(Counter::ServeWorkerRestarts.name(), "serve/worker_restarts");
+        assert_eq!(
+            Counter::ServeDegradedResponses.name(),
+            "serve/degraded_responses"
+        );
+        assert_eq!(Counter::ServeRecoveredSeqs.name(), "serve/recovered_seqs");
         assert_eq!(
             COUNTER_NAMES.len(),
-            Counter::BoundedRefineImprovements as usize + 1,
+            Counter::ServeRecoveredSeqs as usize + 1,
             "COUNTER_NAMES must have one entry per Counter variant"
         );
     }

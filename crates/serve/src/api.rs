@@ -30,7 +30,10 @@
 
 use core::fmt;
 
-use sdem_core::{solve_in, solve_or_fallback_in, Scheme, SdemError, Solution, TrialError};
+use sdem_core::{
+    schedule_race_to_idle_in, solve_in, solve_or_fallback_in, Scheme, SdemError, Solution,
+    TrialError,
+};
 use sdem_obs::json::{self, Value};
 use sdem_power::{CorePower, MemoryPower, Platform};
 use sdem_types::{Cycles, ErrorKind, Task, TaskSet, Time, Watts, Workspace};
@@ -470,6 +473,38 @@ pub fn execute(req: &SolveRequest, platform: &Platform) -> Result<Executed, ApiE
     execute_in(req, platform, &mut Workspace::new())
 }
 
+/// Wire label of responses produced by the graceful-degradation tier.
+pub const DEGRADED_RESOLVED: &str = "degraded/race-to-idle";
+
+/// Executes a request through the degradation tier: the race-to-idle
+/// baseline — the fallback half of `solve_or_fallback` — invoked
+/// directly, skipping the requested scheme entirely.
+///
+/// The service routes here under sustained overload or per-request
+/// deadline pressure: race-to-idle is cheap and always feasible when any
+/// schedule is, so answering degraded beats shedding. The response
+/// carries `"degraded": true` and `"resolved": "degraded/race-to-idle"`
+/// so clients can tell a pressure-tier answer from a full solve.
+pub fn execute_degraded_in(
+    req: &SolveRequest,
+    platform: &Platform,
+    ws: &mut Workspace,
+) -> Result<Executed, ApiError> {
+    let tasks = req.tasks.canonicalize();
+    let solution = schedule_race_to_idle_in(&tasks, platform, ws)?.with_degraded(true);
+    let response = SolveResponse {
+        id: req.id,
+        scheme: req.scheme_name.clone(),
+        resolved: DEGRADED_RESOLVED,
+        tasks: tasks.len(),
+        cores_used: solution.schedule().cores_used(),
+        energy_j: solution.predicted_energy().value(),
+        memory_sleep_ms: solution.memory_sleep().as_millis(),
+        degraded: true,
+    };
+    Ok(Executed { solution, response })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,5 +685,29 @@ mod tests {
         fb.fallback = true;
         let executed = execute(&fb, &platform).unwrap();
         assert!(executed.response.degraded);
+    }
+
+    #[test]
+    fn degraded_tier_answers_with_the_explicit_flag() {
+        let req = SolveRequest::parse_line(&request_line()).unwrap();
+        let platform = req.platform().unwrap();
+        let mut ws = Workspace::new();
+        let degraded = execute_degraded_in(&req, &platform, &mut ws).unwrap();
+        assert!(degraded.response.degraded);
+        assert_eq!(degraded.response.resolved, DEGRADED_RESOLVED);
+        assert!(degraded.response.energy_j > 0.0);
+        // Pressure-tier output is deterministic: same request, same bytes.
+        let again = execute_degraded_in(&req, &platform, &mut Workspace::new()).unwrap();
+        assert_eq!(
+            degraded.response.to_json_line(),
+            again.response.to_json_line()
+        );
+        // The degraded answer solves the same instance the full path
+        // would — same task count, a real finite energy — it only skips
+        // the requested scheme.
+        let full = execute_in(&req, &platform, &mut ws).unwrap();
+        assert_eq!(degraded.response.tasks, full.response.tasks);
+        assert!(degraded.response.energy_j.is_finite());
+        assert!(!full.response.degraded);
     }
 }

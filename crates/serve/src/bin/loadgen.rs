@@ -215,6 +215,7 @@ fn run_once(opts: &Opts, workers: usize, lines: &[String]) -> RunResult {
             workers,
             queue_depth: opts.queue,
             cache_capacity: opts.cache,
+            ..Default::default()
         },
         Box::new(HashSink {
             hash: std::sync::Arc::clone(&digest),

@@ -1,0 +1,88 @@
+//! Injectable service time source.
+//!
+//! Deadline expiry (`deadline_ms` relative to admission) is the one place
+//! the service reads a clock. Production uses a monotonic process-epoch
+//! clock; tests inject a [`ManualClock`] and advance it explicitly, so
+//! deadline cases are deterministic instead of sleep-timed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Process start reference for the monotonic clock: every `now_ns()` is
+/// measured from the first call, so readings fit comfortably in a `u64`.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The time source a [`Service`](crate::Service) stamps admissions with
+/// and checks deadlines against.
+#[derive(Debug, Clone, Default)]
+pub enum ServiceClock {
+    /// Wall-free monotonic time (`Instant`-backed), the production source.
+    #[default]
+    Monotonic,
+    /// A test-controlled clock: the atomic holds "now" in nanoseconds and
+    /// only moves when the test advances it.
+    Manual(Arc<AtomicU64>),
+}
+
+impl ServiceClock {
+    /// Current reading in nanoseconds since an arbitrary fixed origin.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Self::Monotonic => process_epoch().elapsed().as_nanos() as u64,
+            Self::Manual(now) => now.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Handle that owns a [`ServiceClock::Manual`]'s time line.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The [`ServiceClock`] view to hand to a service config.
+    pub fn clock(&self) -> ServiceClock {
+        ServiceClock::Manual(Arc::clone(&self.now_ns))
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: f64) {
+        let delta = (ms * 1e6) as u64;
+        self.now_ns.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_nondecreasing() {
+        let clock = ServiceClock::Monotonic;
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let manual = ManualClock::new();
+        let clock = manual.clock();
+        assert_eq!(clock.now_ns(), 0);
+        assert_eq!(clock.now_ns(), 0);
+        manual.advance_ms(2.5);
+        assert_eq!(clock.now_ns(), 2_500_000);
+        manual.advance_ms(0.5);
+        assert_eq!(clock.now_ns(), 3_000_000);
+    }
+}

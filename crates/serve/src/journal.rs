@@ -1,0 +1,332 @@
+//! Durable write-ahead response journal for replay runs.
+//!
+//! The journal makes `sdem replay` crash-recoverable: every response line
+//! is appended (and flushed) *before* it is released to stdout, so after
+//! a hard kill the journal holds a prefix of the output — possibly with a
+//! torn final record. A restart with `--resume` loads the journal, skips
+//! every seq it already holds (emitting the stored bytes verbatim), and
+//! re-runs only the remainder. Because the stored lines are the exact
+//! bytes the emitter would have produced, the resumed run's output is
+//! byte-identical to an uninterrupted run at any worker count.
+//!
+//! File format (one JSON object per line, same torn-tail discipline as
+//! `sdem-exec`'s sweep checkpoint):
+//!
+//! ```text
+//! {"sdem_replay":1,"trace":"seed=0x7ace,…","chaos":"","events":N}
+//! {"seq":0,"line":"{\"v\":1,\"id\":0,…}"}
+//! {"seq":1,"line":"…"}
+//! ```
+//!
+//! The header pins the run's identity — canonical trace spec, canonical
+//! chaos spec and event count, all worker-count-independent — and resume
+//! refuses a journal whose header disagrees with the requested replay.
+//! Lines that fail to parse (a torn tail from `kill -9` mid-write) are
+//! skipped; the affected seq simply re-runs.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sdem_obs::json::{self, Value};
+use sdem_types::ErrorKind;
+
+use crate::api::ApiError;
+
+/// Magic first-line key identifying a replay journal file.
+const HEADER_KEY: &str = "sdem_replay";
+/// Journal format version this build reads and writes.
+const FORMAT_VERSION: u64 = 1;
+
+/// The run identity a journal is bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Canonical trace spec string ([`TraceSpec`](sdem_workload::trace::TraceSpec) `Display`).
+    pub trace: String,
+    /// Canonical chaos spec string; empty when the run is chaos-free.
+    pub chaos: String,
+    /// Number of arrival events the replay generates.
+    pub events: u64,
+}
+
+impl JournalHeader {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"{HEADER_KEY}\":{FORMAT_VERSION},\"trace\":{},\"chaos\":{},\"events\":{}}}",
+            json::quote(&self.trace),
+            json::quote(&self.chaos),
+            self.events
+        )
+    }
+
+    fn from_line(line: &str) -> Option<Self> {
+        let doc = json::parse(line).ok()?;
+        if doc.get(HEADER_KEY).and_then(Value::as_u64)? != FORMAT_VERSION {
+            return None;
+        }
+        Some(Self {
+            trace: doc.get("trace").and_then(Value::as_str)?.to_string(),
+            chaos: doc.get("chaos").and_then(Value::as_str)?.to_string(),
+            events: doc.get("events").and_then(Value::as_u64)?,
+        })
+    }
+}
+
+fn entry_from_line(line: &str) -> Option<(u64, String)> {
+    let doc = json::parse(line).ok()?;
+    let seq = doc.get("seq").and_then(Value::as_u64)?;
+    let stored = doc.get("line").and_then(Value::as_str)?.to_string();
+    Some((seq, stored))
+}
+
+/// Incremental write-ahead journal of emitted response lines.
+///
+/// Create a fresh journal with [`ReplayJournal::create`] or load an
+/// interrupted run's with [`ReplayJournal::resume`]; hand it to
+/// [`Service::start_with_journal`](crate::Service::start_with_journal) so
+/// every emitted line is journaled before it reaches the sink.
+#[derive(Debug)]
+pub struct ReplayJournal {
+    path: PathBuf,
+    header: JournalHeader,
+    entries: BTreeMap<u64, String>,
+    writer: Mutex<BufWriter<File>>,
+    io_error: Mutex<Option<String>>,
+}
+
+impl ReplayJournal {
+    /// Creates a fresh journal at `path` (truncating any previous file)
+    /// and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// `checkpoint-error` if the file cannot be created or the header
+    /// cannot be written.
+    pub fn create(path: impl Into<PathBuf>, header: JournalHeader) -> Result<Self, ApiError> {
+        let path = path.into();
+        let err = |detail: String| {
+            ApiError::new(
+                ErrorKind::CheckpointError,
+                format!("journal {}: {detail}", path.display()),
+            )
+        };
+        let file = File::create(&path).map_err(|e| err(format!("cannot create: {e}")))?;
+        let mut writer = BufWriter::new(file);
+        writeln!(writer, "{}", header.to_line())
+            .and_then(|()| writer.flush())
+            .map_err(|e| err(format!("cannot write header: {e}")))?;
+        Ok(Self {
+            path,
+            header,
+            entries: BTreeMap::new(),
+            writer: Mutex::new(writer),
+            io_error: Mutex::new(None),
+        })
+    }
+
+    /// Loads an interrupted run's journal and reopens it for appending.
+    ///
+    /// The stored header must equal `expected` — resuming under a
+    /// different trace, chaos plan or event count would stitch two
+    /// unrelated runs together. Unparsable entry lines (torn tail) are
+    /// skipped; their seqs re-run.
+    ///
+    /// # Errors
+    ///
+    /// `checkpoint-error` for unreadable files, missing headers and
+    /// header mismatches.
+    pub fn resume(path: impl Into<PathBuf>, expected: &JournalHeader) -> Result<Self, ApiError> {
+        let path = path.into();
+        let err = |detail: String| {
+            ApiError::new(
+                ErrorKind::CheckpointError,
+                format!("journal {}: {detail}", path.display()),
+            )
+        };
+        let file = File::open(&path).map_err(|e| err(format!("cannot open: {e}")))?;
+        let mut lines = BufReader::new(file).lines();
+        let first = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => return Err(err(format!("cannot read: {e}"))),
+            None => return Err(err("file is empty".into())),
+        };
+        let header = JournalHeader::from_line(&first)
+            .ok_or_else(|| err("missing or unreadable replay header".into()))?;
+        if header != *expected {
+            return Err(err(format!(
+                "journal recorded trace `{}`, chaos `{}`, {} events; this replay has trace \
+                 `{}`, chaos `{}`, {} events",
+                header.trace,
+                header.chaos,
+                header.events,
+                expected.trace,
+                expected.chaos,
+                expected.events
+            )));
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            let line = line.map_err(|e| err(format!("cannot read: {e}")))?;
+            if let Some((seq, stored)) = entry_from_line(&line) {
+                entries.insert(seq, stored);
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| err(format!("cannot reopen for append: {e}")))?;
+        Ok(Self {
+            path,
+            header,
+            entries,
+            writer: Mutex::new(BufWriter::new(file)),
+            io_error: Mutex::new(None),
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The run identity the journal is bound to.
+    pub fn header(&self) -> &JournalHeader {
+        &self.header
+    }
+
+    /// Number of completed seqs loaded on resume.
+    pub fn preloaded(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drains the loaded entries (seq → exact response line) so the
+    /// replay driver can emit them verbatim instead of re-solving.
+    pub fn take_entries(&mut self) -> BTreeMap<u64, String> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Journals one emitted line (flushed immediately — write-ahead with
+    /// respect to the response sink). IO errors are latched, not raised:
+    /// the service keeps answering and [`Self::take_error`] surfaces the
+    /// failure at the end of the run.
+    pub fn append(&self, seq: u64, line: &str) {
+        let record = format!("{{\"seq\":{seq},\"line\":{}}}", json::quote(line));
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let outcome = writeln!(w, "{record}").and_then(|()| w.flush());
+        if let Err(e) = outcome {
+            let mut latch = self
+                .io_error
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            latch.get_or_insert_with(|| e.to_string());
+        }
+    }
+
+    /// First journaling IO error hit during the run, if any.
+    pub fn take_error(&self) -> Option<ApiError> {
+        let mut latch = self
+            .io_error
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        latch.take().map(|detail| {
+            ApiError::new(
+                ErrorKind::CheckpointError,
+                format!("journal {}: write failed: {detail}", self.path.display()),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            trace: "seed=0x7ace,sets=4,tasks=6,poisson=0.25,shapes=32".into(),
+            chaos: String::new(),
+            events: 100,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sdem-journal-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        assert_eq!(JournalHeader::from_line(&h.to_line()), Some(h));
+        assert_eq!(JournalHeader::from_line("{\"seq\":0,\"line\":\"x\"}"), None);
+        assert_eq!(JournalHeader::from_line("{\"sdem_replay\":9}"), None);
+    }
+
+    #[test]
+    fn entries_round_trip_and_torn_lines_are_skipped() {
+        let line = "{\"v\":1,\"id\":0,\"ok\":true,\"energy_bits\":\"0x3ff0000000000000\"}";
+        let record = format!("{{\"seq\":7,\"line\":{}}}", json::quote(line));
+        assert_eq!(entry_from_line(&record), Some((7, line.to_string())));
+        // Torn prefixes of the record never parse.
+        for cut in 0..record.len() {
+            if let Some((seq, stored)) = entry_from_line(&record[..cut]) {
+                panic!("torn prefix {cut} parsed as ({seq}, {stored})");
+            }
+        }
+    }
+
+    #[test]
+    fn create_append_resume_round_trips_through_the_file() {
+        let path = temp_path("roundtrip");
+        let journal = ReplayJournal::create(&path, header()).unwrap();
+        journal.append(0, "{\"id\":0}");
+        journal.append(1, "{\"id\":1,\"text\":\"with \\\"quotes\\\"\"}");
+        assert!(journal.take_error().is_none());
+        drop(journal);
+
+        let mut resumed = ReplayJournal::resume(&path, &header()).unwrap();
+        assert_eq!(resumed.preloaded(), 2);
+        let entries = resumed.take_entries();
+        assert_eq!(entries.get(&0).map(String::as_str), Some("{\"id\":0}"));
+        assert_eq!(
+            entries.get(&1).map(String::as_str),
+            Some("{\"id\":1,\"text\":\"with \\\"quotes\\\"\"}")
+        );
+        // Appends after resume extend the same file.
+        resumed.append(2, "{\"id\":2}");
+        drop(resumed);
+        let mut again = ReplayJournal::resume(&path, &header()).unwrap();
+        assert_eq!(again.preloaded(), 3);
+        assert!(again.take_entries().contains_key(&2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_headers_and_garbage() {
+        let path = temp_path("mismatch");
+        drop(ReplayJournal::create(&path, header()).unwrap());
+        let mut other = header();
+        other.events = 999;
+        let err = ReplayJournal::resume(&path, &other).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::CheckpointError);
+
+        std::fs::write(&path, "not a journal\n").unwrap();
+        let err = ReplayJournal::resume(&path, &header()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::CheckpointError);
+
+        std::fs::write(&path, "").unwrap();
+        let err = ReplayJournal::resume(&path, &header()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::CheckpointError);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let err = ReplayJournal::resume(temp_path("never-created"), &header()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::CheckpointError);
+    }
+}

@@ -21,10 +21,31 @@
 //! the cold solve's bits and responses are emitted in submission order,
 //! so a session's output stream is byte-identical at any worker count.
 
+//!
+//! On top of the daemon sit the robustness layers: an injectable
+//! [`clock`] for deterministic deadline handling, a [`supervisor`] that
+//! restarts panicked workers with a budget and exponential backoff, a
+//! write-ahead response [`journal`] that makes replay runs
+//! crash-recoverable, a seeded [`chaos`] injection plan, and the
+//! [`replay`] driver that streams a generated arrival trace through the
+//! service with all of the above wired together.
+
 pub mod api;
 pub mod cache;
+pub mod chaos;
+pub mod clock;
+pub mod journal;
+pub mod replay;
 pub mod service;
+pub mod supervisor;
 
-pub use api::{ApiError, Executed, SolveRequest, SolveResponse, API_VERSION};
+pub use api::{ApiError, Executed, SolveRequest, SolveResponse, API_VERSION, DEGRADED_RESOLVED};
 pub use cache::{CacheParams, CachedSolve, SolveCache};
-pub use service::{run_session, Service, ServiceConfig, ServiceStats, REQUEST_HISTOGRAM};
+pub use chaos::{ChaosCounts, ChaosPlan, ChaosSpec};
+pub use clock::{ManualClock, ServiceClock};
+pub use journal::{JournalHeader, ReplayJournal};
+pub use replay::{replay, ReplayConfig, ReplayReport};
+pub use service::{
+    run_session, DegradeTiers, Service, ServiceConfig, ServiceStats, REQUEST_HISTOGRAM,
+};
+pub use supervisor::{Supervisor, SupervisorConfig, Verdict};

@@ -1,32 +1,52 @@
 //! The persistent scheduling service: worker pool, bounded admission
-//! queue, deadline shedding and in-order response emission.
+//! queue, deadline shedding, graceful degradation, worker supervision
+//! and in-order response emission.
 //!
 //! # Architecture
 //!
 //! ```text
 //! submit(line) ──parse──► bounded queue ──► N workers (warm Workspace each)
 //!      │ bad-request          │ full → shed        │ solve via SolveCache
-//!      ▼                      ▼                    ▼
-//!   error line           overloaded line      response line
-//!      └──────────────────────┴───────────────────┴──► in-order emitter
+//!      ▼                      ▼                    │ pressure → degrade tier
+//!   error line           overloaded line           ▼ panic → supervisor
+//!      └──────────────────────┴───────────────────response line
+//!                                                  │
+//!                               write-ahead journal (optional)
+//!                                                  │
+//!                                       in-order emitter ──► sink
 //! ```
 //!
 //! * **Admission** happens on the submitting thread: a line is parsed and
 //!   validated there, so malformed requests are answered immediately and
 //!   never occupy queue space. A full queue sheds with an explicit
-//!   `overloaded` response — the service never blocks the submitter.
+//!   `overloaded` response — [`Service::submit`] never blocks the
+//!   submitter. ([`Service::submit_blocking`] is the replay-side
+//!   alternative: it waits for queue room instead, because a replay must
+//!   never shed — shedding depends on timing and would break
+//!   byte-identity.)
 //! * **Workers** each own a warm [`Workspace`]; a request's schedule is
 //!   recycled back into the arena after its response is rendered, so the
-//!   steady-state solve path allocates nothing.
-//! * **Deadlines** are relative to admission: a worker that dequeues a
-//!   request whose `deadline_ms` has already elapsed answers
-//!   `deadline-expired` without solving.
+//!   steady-state solve path allocates nothing. A panic that escapes the
+//!   per-request solver guard is contained by the worker itself: the
+//!   in-flight request is answered `worker-panic`, the workspace is
+//!   rebuilt, and the shared [`Supervisor`] either grants a restart
+//!   (exponential backoff) or — budget exhausted — fails fast, draining
+//!   everything still queued with `shutdown` errors.
+//! * **Deadlines** are relative to admission and measured on the
+//!   injectable [`ServiceClock`], so tests can drive expiry with a
+//!   [`ManualClock`](crate::clock::ManualClock) instead of sleeping.
+//! * **Degradation**: under queue-occupancy or deadline pressure (or
+//!   when the chaos plan says so), a request is routed through the
+//!   race-to-idle tier ([`api::execute_degraded_in`]) instead of being
+//!   shed — an explicit `degraded` response beats no response.
 //! * **Ordering**: every admitted-or-answered line gets a sequence number
 //!   at submission; the emitter releases responses strictly in that
 //!   order. Response *bytes* are a pure function of the request (cache
 //!   hits reproduce the cold solve's bits, canonicalization makes
 //!   permutations converge), so the output stream is byte-identical for
-//!   any worker count.
+//!   any worker count. With a journal attached, each line is journaled —
+//!   and flushed — *before* it reaches the sink: after a hard kill the
+//!   journal holds a durable prefix of the output.
 //! * **Drain**: [`Service::finish`] stops admission, lets the workers
 //!   empty the queue, joins them and flushes — every admitted request is
 //!   answered exactly once before shutdown completes.
@@ -35,8 +55,9 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::Duration;
 
 use sdem_obs::json::{self, Value};
 use sdem_obs::Counter;
@@ -44,9 +65,40 @@ use sdem_types::{ErrorKind, Workspace};
 
 use crate::api::{self, ApiError, SolveRequest};
 use crate::cache::{CacheParams, CachedSolve, SolveCache};
+use crate::chaos::ChaosPlan;
+use crate::clock::ServiceClock;
+use crate::journal::ReplayJournal;
+use crate::supervisor::{Supervisor, SupervisorConfig, Verdict};
 
 /// Histogram label for end-to-end per-request service time.
 pub const REQUEST_HISTOGRAM: &str = "serve/request_ns";
+
+/// Milliseconds a chaos latency injection stalls a worker (timing-only:
+/// it must perturb interleavings without changing any output byte).
+const CHAOS_LATENCY_MS: u64 = 2;
+
+/// Graceful-degradation thresholds. When either trips, the request is
+/// answered by the race-to-idle tier with `"degraded": true` instead of
+/// being shed or solved in full.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeTiers {
+    /// Queue-occupancy fraction (of `queue_depth`) at dequeue time at or
+    /// above which the service is considered under sustained overload.
+    pub queue_fraction: f64,
+    /// Remaining-deadline slack, milliseconds: a request whose deadline
+    /// is closer than this when a worker picks it up is degraded rather
+    /// than risked against the full solver. Zero disables the trigger.
+    pub deadline_slack_ms: f64,
+}
+
+impl Default for DegradeTiers {
+    fn default() -> Self {
+        Self {
+            queue_fraction: 0.9,
+            deadline_slack_ms: 0.0,
+        }
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +109,20 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Solve-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Time source for admission stamps and deadline checks.
+    pub clock: ServiceClock,
+    /// Start with the workers gated: nothing is dequeued until
+    /// [`Service::release_workers`]. Lets deadline tests fill the queue,
+    /// advance a manual clock, and only then let workers observe expiry.
+    pub start_paused: bool,
+    /// Worker restart policy for panics that escape the solver guard.
+    pub supervisor: SupervisorConfig,
+    /// Graceful-degradation thresholds; `None` disables the tier (chaos
+    /// can still force individual requests through it).
+    pub degrade: Option<DegradeTiers>,
+    /// Chaos injections (worker panics, forced degradation, latency),
+    /// shared with the workers. `None` for production service.
+    pub chaos: Option<Arc<ChaosPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -65,13 +131,18 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_depth: 1024,
             cache_capacity: 4096,
+            clock: ServiceClock::default(),
+            start_paused: false,
+            supervisor: SupervisorConfig::default(),
+            degrade: None,
+            chaos: None,
         }
     }
 }
 
 /// Totals observed by one service lifetime (also available as `sdem-obs`
 /// counters when the registry is armed).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServiceStats {
     /// Lines submitted (excluding blank lines).
     pub submitted: u64,
@@ -87,22 +158,33 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Cache evictions.
     pub cache_evictions: u64,
+    /// Worker-level panics contained and restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Responses produced by the graceful-degradation tier.
+    pub degraded: u64,
+    /// Journaled responses replayed verbatim instead of re-solved.
+    pub recovered: u64,
+    /// Whether the supervisor escalated to fail-fast before the drain.
+    pub failed: bool,
 }
 
 struct Job {
     seq: u64,
     req: SolveRequest,
-    admitted: Instant,
+    admitted_ns: u64,
 }
 
 struct QueueState {
     queue: VecDeque<Job>,
     accepting: bool,
+    paused: bool,
+    failed: bool,
     next_seq: u64,
     admitted: u64,
     shed: u64,
     rejected: u64,
     submitted: u64,
+    recovered: u64,
 }
 
 struct Emitter {
@@ -115,8 +197,14 @@ struct Inner {
     cfg: ServiceConfig,
     state: Mutex<QueueState>,
     work_ready: Condvar,
+    space_ready: Condvar,
     emit: Mutex<Emitter>,
     cache: Mutex<SolveCache>,
+    supervisor: Mutex<Supervisor>,
+    degraded: AtomicU64,
+    /// Write-ahead journal plus the first seq that must be journaled
+    /// (recovered seqs below it are already on disk).
+    journal: Option<(Arc<ReplayJournal>, u64)>,
 }
 
 /// A running service instance. Submit request lines with
@@ -130,6 +218,27 @@ pub struct Service {
 impl Service {
     /// Starts the worker pool; responses are written to `out` as JSONL.
     pub fn start(cfg: ServiceConfig, out: Box<dyn Write + Send>) -> Self {
+        Self::start_inner(cfg, out, None)
+    }
+
+    /// Starts the worker pool with a write-ahead journal: every emitted
+    /// line with seq ≥ `journal_from` is appended (and flushed) to the
+    /// journal *before* it reaches `out`. Seqs below `journal_from` were
+    /// recovered from the journal on resume and are already durable.
+    pub fn start_with_journal(
+        cfg: ServiceConfig,
+        out: Box<dyn Write + Send>,
+        journal: Arc<ReplayJournal>,
+        journal_from: u64,
+    ) -> Self {
+        Self::start_inner(cfg, out, Some((journal, journal_from)))
+    }
+
+    fn start_inner(
+        cfg: ServiceConfig,
+        out: Box<dyn Write + Send>,
+        journal: Option<(Arc<ReplayJournal>, u64)>,
+    ) -> Self {
         let cfg = ServiceConfig {
             workers: cfg.workers.max(1),
             queue_depth: cfg.queue_depth.max(1),
@@ -137,22 +246,29 @@ impl Service {
         };
         let inner = Arc::new(Inner {
             cache: Mutex::new(SolveCache::new(cfg.cache_capacity)),
-            cfg,
+            supervisor: Mutex::new(Supervisor::new(cfg.supervisor)),
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 accepting: true,
+                paused: cfg.start_paused,
+                failed: false,
                 next_seq: 0,
                 admitted: 0,
                 shed: 0,
                 rejected: 0,
                 submitted: 0,
+                recovered: 0,
             }),
+            cfg,
             work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
             emit: Mutex::new(Emitter {
                 next: 0,
                 pending: BTreeMap::new(),
                 out,
             }),
+            degraded: AtomicU64::new(0),
+            journal,
         });
         let workers = (0..inner.cfg.workers)
             .map(|_| {
@@ -163,10 +279,31 @@ impl Service {
         Self { inner, workers }
     }
 
+    /// Opens the gate a `start_paused` service's workers wait behind.
+    /// No-op when the service was not started paused.
+    pub fn release_workers(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.paused = false;
+        self.inner.work_ready.notify_all();
+    }
+
     /// Submits one request line. Never blocks on the queue: a full queue
     /// answers `overloaded` immediately (explicit backpressure). Blank
     /// lines are ignored.
     pub fn submit(&self, line: &str) {
+        self.submit_with(line, false);
+    }
+
+    /// Submits one request line, *waiting* for queue room instead of
+    /// shedding. This is the replay driver's admission path: replay
+    /// output must be a pure function of the trace, and shedding depends
+    /// on timing. If the service has failed fast, the request is answered
+    /// with a `shutdown` error instead of blocking forever.
+    pub fn submit_blocking(&self, line: &str) {
+        self.submit_with(line, true);
+    }
+
+    fn submit_with(&self, line: &str, blocking: bool) {
         let line = line.trim();
         if line.is_empty() {
             return;
@@ -175,35 +312,53 @@ impl Service {
             Ok(req) => {
                 let (seq, verdict) = {
                     let mut state = self.inner.state.lock().unwrap();
+                    if blocking {
+                        while state.queue.len() >= self.inner.cfg.queue_depth
+                            && state.accepting
+                            && !state.failed
+                        {
+                            state = self.inner.space_ready.wait(state).unwrap();
+                        }
+                    }
                     state.submitted += 1;
                     let seq = state.next_seq;
                     state.next_seq += 1;
-                    if state.queue.len() >= self.inner.cfg.queue_depth {
+                    if state.failed {
+                        (seq, Some(Answer::Shutdown(req.id)))
+                    } else if state.queue.len() >= self.inner.cfg.queue_depth {
                         state.shed += 1;
-                        (seq, Some(req.id))
+                        (seq, Some(Answer::Overloaded(req.id)))
                     } else {
                         state.admitted += 1;
                         state.queue.push_back(Job {
                             seq,
                             req,
-                            admitted: Instant::now(),
+                            admitted_ns: self.inner.cfg.clock.now_ns(),
                         });
                         self.inner.work_ready.notify_one();
                         (seq, None)
                     }
                 };
-                if let Some(id) = verdict {
-                    sdem_obs::registry::incr(Counter::RequestsShed);
-                    let error = ApiError::new(
-                        ErrorKind::Overloaded,
-                        format!(
-                            "queue full ({} pending); retry later",
-                            self.inner.cfg.queue_depth
-                        ),
-                    );
-                    self.inner.emit(seq, api::error_line(Some(id), &error));
-                } else {
-                    sdem_obs::registry::incr(Counter::RequestsAdmitted);
+                match verdict {
+                    Some(Answer::Overloaded(id)) => {
+                        sdem_obs::registry::incr(Counter::RequestsShed);
+                        let error = ApiError::new(
+                            ErrorKind::Overloaded,
+                            format!(
+                                "queue full ({} pending); retry later",
+                                self.inner.cfg.queue_depth
+                            ),
+                        );
+                        self.inner.emit(seq, api::error_line(Some(id), &error));
+                    }
+                    Some(Answer::Shutdown(id)) => {
+                        let error = ApiError::new(
+                            ErrorKind::Shutdown,
+                            "service failed fast after exhausting its worker restart budget",
+                        );
+                        self.inner.emit(seq, api::error_line(Some(id), &error));
+                    }
+                    None => sdem_obs::registry::incr(Counter::RequestsAdmitted),
                 }
             }
             Err(error) => {
@@ -226,6 +381,23 @@ impl Service {
         }
     }
 
+    /// Emits a journal-recovered response verbatim: the line gets the
+    /// next sequence number and goes straight to the emitter, bypassing
+    /// parsing, the queue and the solvers. The replay driver calls this
+    /// for every seq the journal already holds, in seq order, before
+    /// submitting the remainder.
+    pub fn emit_recovered(&self, line: &str) {
+        let seq = {
+            let mut state = self.inner.state.lock().unwrap();
+            state.recovered += 1;
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            seq
+        };
+        sdem_obs::registry::incr(Counter::ServeRecoveredSeqs);
+        self.inner.emit(seq, line.to_string());
+    }
+
     /// Stops admission, drains every queued request, joins the workers
     /// and flushes the sink. Returns lifetime totals.
     pub fn finish(self) -> ServiceStats {
@@ -233,6 +405,7 @@ impl Service {
             let mut state = self.inner.state.lock().unwrap();
             state.accepting = false;
             self.inner.work_ready.notify_all();
+            self.inner.space_ready.notify_all();
         }
         for handle in self.workers {
             // A worker that somehow died already answered or will never
@@ -252,29 +425,46 @@ impl Service {
             cache_hits,
             cache_misses,
             cache_evictions,
+            worker_restarts: u64::from(self.inner.supervisor.lock().unwrap().restarts()),
+            degraded: self.inner.degraded.load(Ordering::Relaxed),
+            recovered: state.recovered,
+            failed: state.failed,
         }
     }
 }
 
+/// Immediate answers decided under the state lock in `submit_with`.
+enum Answer {
+    Overloaded(u64),
+    Shutdown(u64),
+}
+
 impl Inner {
     /// Hands `line` (without trailing newline) to the in-order emitter.
+    /// With a journal attached, each line is journaled — and flushed —
+    /// before it is written to the sink (write-ahead ordering).
     fn emit(&self, seq: u64, line: String) {
         let mut emit = self.emit.lock().unwrap();
         if seq != emit.next {
             emit.pending.insert(seq, line);
             return;
         }
-        let write = |out: &mut Box<dyn Write + Send>, line: &str| {
+        let write = |seq: u64, out: &mut Box<dyn Write + Send>, line: &str| {
+            if let Some((journal, from)) = &self.journal {
+                if seq >= *from {
+                    journal.append(seq, line);
+                }
+            }
             // A broken pipe here means the client is gone; responses are
             // still drained so shutdown stays clean.
             let _ = out.write_all(line.as_bytes());
             let _ = out.write_all(b"\n");
         };
         let Emitter { next, pending, out } = &mut *emit;
-        write(out, &line);
+        write(*next, out, &line);
         *next += 1;
         while let Some(line) = pending.remove(next) {
-            write(out, &line);
+            write(*next, out, &line);
             *next += 1;
         }
         let _ = out.flush();
@@ -284,28 +474,99 @@ impl Inner {
 fn worker_loop(inner: &Inner) {
     let mut ws = Workspace::new();
     loop {
-        let job = {
+        let (job, occupancy) = {
             let mut state = inner.state.lock().unwrap();
             loop {
-                if let Some(job) = state.queue.pop_front() {
-                    break job;
-                }
-                if !state.accepting {
+                if state.failed {
                     return;
+                }
+                if !state.paused {
+                    if let Some(job) = state.queue.pop_front() {
+                        let occupancy = state.queue.len() + 1;
+                        inner.space_ready.notify_one();
+                        break (job, occupancy);
+                    }
+                    if !state.accepting {
+                        return;
+                    }
                 }
                 state = inner.work_ready.wait(state).unwrap();
             }
         };
-        let line = answer(inner, &job, &mut ws);
-        inner.emit(job.seq, line);
+        let seq = job.seq;
+        let req_id = job.req.id;
+        // The outer guard catches worker-level panics: chaos injections
+        // and worker-loop bugs, i.e. anything that escapes `answer`'s
+        // per-request solver guard.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = &inner.cfg.chaos {
+                if chaos.panic_at(seq) {
+                    // Deterministic payload: the worker-panic error line
+                    // must be byte-identical across runs and worker counts.
+                    panic!("chaos: injected worker panic at seq {seq}");
+                }
+                if chaos.latency_at(seq) {
+                    std::thread::sleep(Duration::from_millis(CHAOS_LATENCY_MS));
+                }
+            }
+            answer(inner, &job, &mut ws, occupancy)
+        }));
+        match outcome {
+            Ok(line) => inner.emit(seq, line),
+            Err(payload) => {
+                // The workspace may be half-mutated mid-unwind; rebuild.
+                ws = Workspace::new();
+                sdem_obs::registry::incr(Counter::ServeWorkerRestarts);
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let error = ApiError::new(ErrorKind::WorkerPanic, detail);
+                inner.emit(seq, api::error_line(Some(req_id), &error));
+                let verdict = inner.supervisor.lock().unwrap().on_panic();
+                match verdict {
+                    Verdict::Restart { backoff_ms } => {
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
+                    }
+                    Verdict::FailFast => {
+                        fail_fast(inner);
+                        return;
+                    }
+                }
+            }
+        }
     }
 }
 
-/// Produces the response line for one admitted job.
-fn answer(inner: &Inner, job: &Job, ws: &mut Workspace) -> String {
+/// Escalation after the restart budget is spent: mark the service failed,
+/// answer everything still queued with `shutdown` errors, and wake every
+/// waiter so blocked submitters and gated workers observe the failure.
+fn fail_fast(inner: &Inner) {
+    let drained: Vec<(u64, u64)> = {
+        let mut state = inner.state.lock().unwrap();
+        state.failed = true;
+        let drained = state.queue.drain(..).map(|j| (j.seq, j.req.id)).collect();
+        inner.work_ready.notify_all();
+        inner.space_ready.notify_all();
+        drained
+    };
+    for (seq, id) in drained {
+        let error = ApiError::new(
+            ErrorKind::Shutdown,
+            "service failed fast after exhausting its worker restart budget",
+        );
+        inner.emit(seq, api::error_line(Some(id), &error));
+    }
+}
+
+/// Produces the response line for one admitted job. `occupancy` is the
+/// queue length (including this job) at dequeue time — the overload
+/// signal the degradation tier reads.
+fn answer(inner: &Inner, job: &Job, ws: &mut Workspace, occupancy: usize) -> String {
     let req = &job.req;
+    let waited_ms = (inner.cfg.clock.now_ns().saturating_sub(job.admitted_ns)) as f64 / 1e6;
     if let Some(deadline_ms) = req.deadline_ms {
-        let waited_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
         if waited_ms >= deadline_ms {
             sdem_obs::registry::incr(Counter::RequestsExpired);
             let error = ApiError::new(
@@ -316,7 +577,48 @@ fn answer(inner: &Inner, job: &Job, ws: &mut Workspace) -> String {
         }
     }
 
+    let mut degrade = inner
+        .cfg
+        .chaos
+        .as_ref()
+        .is_some_and(|chaos| chaos.queue_full_at(job.seq));
+    if let Some(tiers) = &inner.cfg.degrade {
+        if occupancy as f64 >= tiers.queue_fraction * inner.cfg.queue_depth as f64 {
+            degrade = true;
+        }
+        if tiers.deadline_slack_ms > 0.0 {
+            if let Some(deadline_ms) = req.deadline_ms {
+                if deadline_ms - waited_ms < tiers.deadline_slack_ms {
+                    degrade = true;
+                }
+            }
+        }
+    }
+
     let clock = sdem_obs::registry::maybe_start();
+    if degrade {
+        // The pressure tier: race-to-idle directly, skipping both the
+        // requested scheme and the cache (degraded bytes must never be
+        // served as, or refreshed from, full-solve cache entries).
+        sdem_obs::registry::incr(Counter::ServeDegradedResponses);
+        inner.degraded.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let platform = req.platform()?;
+            api::execute_degraded_in(req, &platform, ws)
+        }));
+        let line = match outcome {
+            Ok(Ok(executed)) => {
+                let response = executed.response;
+                ws.recycle_schedule(executed.solution.into_schedule());
+                response.to_json_line()
+            }
+            Ok(Err(error)) => api::error_line(Some(req.id), &error),
+            Err(payload) => panic_line(req.id, ws, payload),
+        };
+        sdem_obs::registry::record_elapsed(REQUEST_HISTOGRAM, clock);
+        return line;
+    }
+
     let canonical = req.tasks.canonicalize();
     let params = CacheParams {
         scheme: req.scheme_name.clone(),
@@ -352,21 +654,24 @@ fn answer(inner: &Inner, job: &Job, ws: &mut Workspace) -> String {
             response.to_json_line()
         }
         Ok(Err(error)) => api::error_line(Some(req.id), &error),
-        Err(payload) => {
-            // The workspace may be half-mutated mid-unwind; rebuild it.
-            *ws = Workspace::new();
-            sdem_obs::registry::incr(Counter::SolverPanicsCaught);
-            let detail = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            let error = ApiError::new(ErrorKind::SolverPanic, detail);
-            api::error_line(Some(req.id), &error)
-        }
+        Err(payload) => panic_line(req.id, ws, payload),
     };
     sdem_obs::registry::record_elapsed(REQUEST_HISTOGRAM, clock);
     line
+}
+
+/// Folds a contained solver panic into a `solver-panic` error line,
+/// rebuilding the possibly half-mutated workspace.
+fn panic_line(id: u64, ws: &mut Workspace, payload: Box<dyn std::any::Any + Send>) -> String {
+    *ws = Workspace::new();
+    sdem_obs::registry::incr(Counter::SolverPanicsCaught);
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    let error = ApiError::new(ErrorKind::SolverPanic, detail);
+    api::error_line(Some(id), &error)
 }
 
 /// Runs a whole JSONL session: submits every line of `input`, drains, and
@@ -435,6 +740,7 @@ mod tests {
         let stats = service.finish();
         assert_eq!(stats.submitted, 32);
         assert_eq!(stats.rejected, 4);
+        assert!(!stats.failed);
         let text = buf.contents();
         let ids: Vec<&str> = text
             .lines()
@@ -509,6 +815,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 1,
                 cache_capacity: 0,
+                ..Default::default()
             },
             Box::new(buf.clone()),
         );
@@ -522,6 +829,27 @@ mod tests {
         assert_eq!(text.lines().count(), 64, "every request answered once");
         let sheds = text.matches("\"kind\":\"overloaded\"").count() as u64;
         assert_eq!(sheds, stats.shed);
+    }
+
+    #[test]
+    fn blocking_submission_never_sheds() {
+        let buf = SharedBuf::default();
+        let service = Service::start(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                cache_capacity: 0,
+                ..Default::default()
+            },
+            Box::new(buf.clone()),
+        );
+        for id in 0..32 {
+            service.submit_blocking(&req(id, "[[0,0,40,8e6],[1,0,70,1.2e7]]"));
+        }
+        let stats = service.finish();
+        assert_eq!(stats.admitted, 32, "backpressure instead of shedding");
+        assert_eq!(stats.shed, 0);
+        assert_eq!(buf.contents().lines().count(), 32);
     }
 
     #[test]
@@ -579,5 +907,66 @@ mod tests {
         .unwrap();
         assert_eq!(stats.submitted, 3, "blank line ignored");
         assert_eq!(buf.contents().lines().count(), 3);
+    }
+
+    #[test]
+    fn recovered_lines_bypass_the_solvers_and_keep_seq_order() {
+        let buf = SharedBuf::default();
+        let service = Service::start(
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            Box::new(buf.clone()),
+        );
+        service.emit_recovered("{\"v\":1,\"id\":0,\"ok\":true,\"stored\":true}");
+        service.emit_recovered("{\"v\":1,\"id\":1,\"ok\":true,\"stored\":true}");
+        service.submit(&req(2, "[[0,0,40,8e6]]"));
+        let stats = service.finish();
+        assert_eq!(stats.recovered, 2);
+        assert_eq!(stats.admitted, 1);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"stored\":true"));
+        assert!(lines[1].contains("\"stored\":true"));
+        assert!(lines[2].contains("\"id\":2"));
+    }
+
+    #[test]
+    fn occupancy_pressure_routes_through_the_degraded_tier() {
+        // Paused workers + depth 4 + fraction 0.5: the queue fills before
+        // any dequeue, so at least the first dequeues see occupancy ≥ 2.
+        let buf = SharedBuf::default();
+        let service = Service::start(
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+                cache_capacity: 0,
+                start_paused: true,
+                degrade: Some(DegradeTiers {
+                    queue_fraction: 0.5,
+                    deadline_slack_ms: 0.0,
+                }),
+                ..Default::default()
+            },
+            Box::new(buf.clone()),
+        );
+        for id in 0..4 {
+            service.submit(&req(id, "[[0,0,40,8e6],[1,0,70,1.2e7]]"));
+        }
+        service.release_workers();
+        let stats = service.finish();
+        assert!(stats.degraded >= 1, "pressure must trigger the tier");
+        let text = buf.contents();
+        assert!(
+            text.contains("\"resolved\":\"degraded/race-to-idle\""),
+            "{text}"
+        );
+        assert!(text.contains("\"degraded\":true"), "{text}");
+        assert_eq!(
+            text.matches("\"degraded\":true").count() as u64,
+            stats.degraded
+        );
     }
 }

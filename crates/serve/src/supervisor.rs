@@ -1,0 +1,150 @@
+//! Worker supervision policy: restart budget and exponential backoff.
+//!
+//! A worker-level panic (one that escapes the per-request solver guard —
+//! in practice only the chaos layer or a bug in the worker loop itself)
+//! is contained by the worker thread: the in-flight request is answered
+//! with a `worker-panic` error, the workspace is rebuilt, and the
+//! [`Supervisor`] is consulted. It either grants a [`Verdict::Restart`]
+//! with an exponential-backoff pause, or — once the restart budget is
+//! exhausted — escalates to [`Verdict::FailFast`], after which the
+//! service stops solving and answers everything still queued with a
+//! `shutdown` error rather than hanging the submitter.
+
+use core::fmt;
+
+/// Restart policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker restarts granted before escalating to fail-fast.
+    pub max_restarts: u32,
+    /// First backoff pause, milliseconds; doubles per restart.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff pause, milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 8,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 200,
+        }
+    }
+}
+
+/// What a panicked worker should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Rebuild the workspace, pause for `backoff_ms`, keep serving.
+    Restart {
+        /// Pause before the worker resumes dequeuing, milliseconds.
+        backoff_ms: u64,
+    },
+    /// Budget exhausted: stop solving, drain the queue with errors.
+    FailFast,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Restart { backoff_ms } => write!(f, "restart after {backoff_ms} ms"),
+            Self::FailFast => write!(f, "fail-fast"),
+        }
+    }
+}
+
+/// Shared restart accounting for one service lifetime.
+///
+/// The budget is global across workers — a crash loop that hops between
+/// threads exhausts it just as fast as one stuck worker.
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    restarts: u32,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        Self { cfg, restarts: 0 }
+    }
+
+    /// Records one worker-level panic and rules on it.
+    pub fn on_panic(&mut self) -> Verdict {
+        self.restarts += 1;
+        if self.restarts > self.cfg.max_restarts {
+            return Verdict::FailFast;
+        }
+        // Exponential: base · 2^(n−1), capped. Saturating shift keeps
+        // pathological budgets (n ≥ 64) from overflowing.
+        let exp = self.restarts.saturating_sub(1).min(63);
+        let backoff_ms = self
+            .cfg
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cfg.backoff_cap_ms);
+        Verdict::Restart { backoff_ms }
+    }
+
+    /// Worker-level panics seen so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps_then_fails_fast() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            max_restarts: 6,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 50,
+        });
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(sup.on_panic());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Verdict::Restart { backoff_ms: 5 },
+                Verdict::Restart { backoff_ms: 10 },
+                Verdict::Restart { backoff_ms: 20 },
+                Verdict::Restart { backoff_ms: 40 },
+                Verdict::Restart { backoff_ms: 50 }, // capped
+                Verdict::Restart { backoff_ms: 50 },
+            ]
+        );
+        assert_eq!(sup.on_panic(), Verdict::FailFast);
+        assert_eq!(sup.on_panic(), Verdict::FailFast, "fail-fast is sticky");
+        assert_eq!(sup.restarts(), 8);
+    }
+
+    #[test]
+    fn zero_budget_fails_fast_immediately() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            max_restarts: 0,
+            ..SupervisorConfig::default()
+        });
+        assert_eq!(sup.on_panic(), Verdict::FailFast);
+    }
+
+    #[test]
+    fn huge_budgets_do_not_overflow_the_backoff() {
+        let mut sup = Supervisor::new(SupervisorConfig {
+            max_restarts: u32::MAX,
+            backoff_base_ms: u64::MAX / 2,
+            backoff_cap_ms: u64::MAX,
+        });
+        for _ in 0..70 {
+            match sup.on_panic() {
+                Verdict::Restart { backoff_ms } => assert!(backoff_ms > 0),
+                Verdict::FailFast => unreachable!("budget not exhausted"),
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex};
 
 use sdem_obs::json::{self, Value};
 use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
-use sdem_serve::{run_session, ServiceConfig, SolveRequest};
+use sdem_serve::{run_session, ManualClock, Service, ServiceConfig, SolveRequest};
 use sdem_types::ErrorKind;
 
 const CASES: u64 = 128;
@@ -167,6 +167,7 @@ fn cache_hits_are_bit_identical_to_cold_solves_for_any_permutation() {
                 workers: 1,
                 queue_depth: 64,
                 cache_capacity: 64,
+                ..Default::default()
             },
             &input,
         );
@@ -176,6 +177,7 @@ fn cache_hits_are_bit_identical_to_cold_solves_for_any_permutation() {
                 workers: 1,
                 queue_depth: 64,
                 cache_capacity: 0,
+                ..Default::default()
             },
             &input,
         );
@@ -190,13 +192,37 @@ fn cache_hits_are_bit_identical_to_cold_solves_for_any_permutation() {
     }
 }
 
+/// Deadline expiry driven entirely by the injectable clock: the workers
+/// start gated, the manual clock jumps past one request's deadline but
+/// not the other's, and only then are the workers released. No sleeps,
+/// no wall-clock race — the outcome is the same on any machine.
 #[test]
 fn deadline_expiry_sheds_with_a_typed_response() {
-    let input = "{\"id\":0,\"deadline_ms\":0,\"tasks\":[[0,0,40,8e6]]}\n\
-                 {\"id\":1,\"tasks\":[[0,0,40,8e6]]}\n";
-    let out = session(ServiceConfig::default(), input);
+    let manual = ManualClock::new();
+    let buf = SharedBuf::default();
+    let service = Service::start(
+        ServiceConfig {
+            workers: 2,
+            clock: manual.clock(),
+            start_paused: true,
+            ..Default::default()
+        },
+        Box::new(buf.clone()),
+    );
+    // Admitted at t = 0 with a 10 ms deadline…
+    service.submit("{\"id\":0,\"deadline_ms\":10,\"tasks\":[[0,0,40,8e6]]}");
+    // …a generous deadline, and no deadline at all.
+    service.submit("{\"id\":1,\"deadline_ms\":1e6,\"tasks\":[[0,0,40,8e6]]}");
+    service.submit("{\"id\":2,\"tasks\":[[0,0,40,8e6]]}");
+    // Time passes while everything is still queued.
+    manual.advance_ms(25.0);
+    service.release_workers();
+    let stats = service.finish();
+    assert_eq!(stats.admitted, 3);
+
+    let out = buf.contents();
     let lines: Vec<&str> = out.lines().collect();
-    assert_eq!(lines.len(), 2);
+    assert_eq!(lines.len(), 3);
     let first = json::parse(lines[0]).unwrap();
     assert_eq!(first.get("ok"), Some(&Value::Bool(false)));
     assert_eq!(
@@ -206,7 +232,8 @@ fn deadline_expiry_sheds_with_a_typed_response() {
             .and_then(Value::as_str),
         Some("deadline-expired")
     );
-    // The zero-deadline request never contaminates the cache: the later
-    // identical-shape request still gets a real solution.
+    // The expired request never contaminates the cache: the later
+    // identical-shape requests still get real solutions.
     assert!(lines[1].contains("\"ok\":true"), "{out}");
+    assert!(lines[2].contains("\"ok\":true"), "{out}");
 }

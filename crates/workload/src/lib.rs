@@ -24,3 +24,4 @@ pub mod paper;
 pub mod periodic;
 pub mod synthetic;
 pub mod textfmt;
+pub mod trace;

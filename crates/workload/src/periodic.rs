@@ -6,7 +6,9 @@
 //! explicitly: periodic task declarations, utilization accounting, and
 //! unrolling into the [`TaskSet`] job model every scheduler consumes.
 
-use sdem_types::{Cycles, Speed, Task, TaskSet, TaskSetError, Time};
+use core::fmt;
+
+use sdem_types::{Cycles, ErrorKind, Speed, Task, TaskSet, TaskSetError, Time};
 
 /// A periodic task: a job of `wcet` cycles is released every `period`
 /// starting at `offset`, each due `relative_deadline` after its release.
@@ -113,10 +115,64 @@ impl PeriodicTask {
     }
 }
 
+/// Why a hyperperiod could not be computed for a period set.
+///
+/// Hostile period sets — periods near `u64::MAX` resolution units, or
+/// mutually non-harmonic periods whose LCM explodes — are *data*, not
+/// programmer errors, so they surface as typed values carrying the
+/// workspace-wide [`ErrorKind`] taxonomy instead of panicking or folding
+/// into an anonymous `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HyperperiodError {
+    /// `tasks[index]`'s period is not within `1e-6` (relative) of an
+    /// integer multiple of the resolution.
+    NotAMultiple {
+        /// Index of the offending task in the input slice.
+        index: usize,
+    },
+    /// The least common multiple of the periods overflows the supported
+    /// range (`u64::MAX` resolution units), or the resulting time is not
+    /// representable as a finite `f64`.
+    Overflow,
+}
+
+impl HyperperiodError {
+    /// Classifies this error in the workspace-wide [`ErrorKind`]
+    /// taxonomy (both shapes are instance-shaped infeasibilities).
+    pub const fn error_kind(&self) -> ErrorKind {
+        ErrorKind::InfeasibleInput
+    }
+}
+
+impl fmt::Display for HyperperiodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAMultiple { index } => write!(
+                f,
+                "task {index}: period is not an integer multiple of the resolution"
+            ),
+            Self::Overflow => write!(
+                f,
+                "hyperperiod overflows the supported range (> u64::MAX resolution units)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HyperperiodError {}
+
 /// Hyperperiod of a task system whose periods are (close to) integer
 /// multiples of `resolution`: the least common multiple of the rounded
-/// periods. Returns `None` when some period is not within `1e-6`
-/// (relative) of a multiple of the resolution, or the LCM overflows.
+/// periods.
+///
+/// # Errors
+///
+/// [`HyperperiodError::NotAMultiple`] when some period is not within
+/// `1e-6` (relative) of a multiple of the resolution;
+/// [`HyperperiodError::Overflow`] when the LCM exceeds `u64::MAX`
+/// resolution units (hostile near-`u64::MAX` periods included — the
+/// computation is carried in `u128` and never panics or wraps).
 ///
 /// # Examples
 ///
@@ -131,23 +187,31 @@ impl PeriodicTask {
 /// let h = hyperperiod(&tasks, Time::from_millis(1.0)).unwrap();
 /// assert!((h.as_millis() - 120.0).abs() < 1e-9);
 /// ```
-pub fn hyperperiod(tasks: &[PeriodicTask], resolution: Time) -> Option<Time> {
+pub fn hyperperiod(tasks: &[PeriodicTask], resolution: Time) -> Result<Time, HyperperiodError> {
     assert!(resolution.value() > 0.0, "resolution must be positive");
     let mut lcm: u128 = 1;
-    for t in tasks {
+    for (index, t) in tasks.iter().enumerate() {
         let ratio = t.period.as_secs() / resolution.as_secs();
         let rounded = ratio.round();
         if rounded < 1.0 || (ratio - rounded).abs() > 1e-6 * ratio.max(1.0) {
-            return None;
+            return Err(HyperperiodError::NotAMultiple { index });
         }
+        // `rounded as u128` saturates for huge ratios; the explicit bound
+        // check below rejects anything past u64::MAX either way.
         let k = rounded as u128;
         let g = gcd(lcm, k);
-        lcm = lcm.checked_mul(k / g)?;
+        lcm = lcm.checked_mul(k / g).ok_or(HyperperiodError::Overflow)?;
         if lcm > u128::from(u64::MAX) {
-            return None;
+            return Err(HyperperiodError::Overflow);
         }
     }
-    Some(resolution * lcm as f64)
+    let h = resolution * lcm as f64;
+    // A representable LCM can still overflow f64 once scaled by a large
+    // resolution; a non-finite Time would poison every downstream use.
+    if !h.is_finite() {
+        return Err(HyperperiodError::Overflow);
+    }
+    Ok(h)
 }
 
 fn gcd(a: u128, b: u128) -> u128 {
@@ -284,8 +348,11 @@ mod tests {
         }
         let h = hyperperiod(&[t(20.0), t(50.0), t(8.0)], ms_(1.0)).unwrap();
         assert!((h.as_millis() - 200.0).abs() < 1e-9);
-        // Irrational-ish period w.r.t. the resolution is rejected.
-        assert!(hyperperiod(&[t(20.5001234)], ms_(1.0)).is_none());
+        // Irrational-ish period w.r.t. the resolution is a typed error.
+        assert_eq!(
+            hyperperiod(&[t(20.5001234)], ms_(1.0)),
+            Err(HyperperiodError::NotAMultiple { index: 0 })
+        );
         // One hyperperiod of jobs unrolls cleanly.
         let tasks = [
             PeriodicTask::implicit(0, ms_(20.0), Cycles::new(1.0)),
@@ -300,5 +367,59 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn rejects_zero_period() {
         let _ = PeriodicTask::implicit(0, Time::ZERO, Cycles::new(1.0));
+    }
+
+    /// Property: hostile near-`u64::MAX` period sets never panic or wrap
+    /// — every outcome is `Ok` with a finite hyperperiod that every
+    /// period divides, or a typed `Overflow`/`NotAMultiple` error.
+    #[test]
+    fn hostile_near_max_periods_error_instead_of_panicking() {
+        use sdem_prng::{ChaCha8Rng, Rng, SeedableRng};
+
+        // Deterministic overflow shapes first: a single period of
+        // ~2^64 resolution units rounds past u64::MAX; a coprime pair of
+        // ~2^40-unit periods has an LCM near 2^80 (fits u128, not u64).
+        let unit = |k: f64| PeriodicTask::implicit(0, ms(k), Cycles::new(1.0));
+        assert_eq!(
+            hyperperiod(&[unit(u64::MAX as f64)], ms(1.0)),
+            Err(HyperperiodError::Overflow)
+        );
+        let big = (1u64 << 40) as f64;
+        assert_eq!(
+            hyperperiod(&[unit(big), unit(big + 1.0)], ms(1.0)),
+            Err(HyperperiodError::Overflow)
+        );
+        // A huge-but-degenerate set (all periods equal) stays Ok.
+        let k = ((1u64 << 60) as f64 / 16.0).round() * 16.0; // exactly representable
+        assert!(hyperperiod(&[unit(k), unit(k)], ms(1.0)).is_ok());
+
+        // Randomized sweep over near-u64::MAX magnitudes.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4B1D_F00D);
+        for _ in 0..512 {
+            let n = rng.gen_range(1usize..=4);
+            let tasks: Vec<PeriodicTask> = (0..n)
+                .map(|id| {
+                    // 2^30..2^63 resolution units, exactly representable
+                    // in f64 so the multiple check cannot reject them.
+                    let exp = rng.gen_range(30u32..=63);
+                    let mantissa = rng.gen_range(1u64..=(1 << 20)) | 1;
+                    let units = (mantissa as f64) * (1u64 << (exp.saturating_sub(20))) as f64;
+                    PeriodicTask::implicit(id, ms(units), Cycles::new(1.0))
+                })
+                .collect();
+            match hyperperiod(&tasks, ms(1.0)) {
+                Ok(h) => {
+                    assert!(h.is_finite() && h.value() > 0.0);
+                    for t in &tasks {
+                        let ratio = h.as_secs() / t.period().as_secs();
+                        assert!(
+                            (ratio - ratio.round()).abs() <= 1e-6 * ratio,
+                            "every period must divide the hyperperiod"
+                        );
+                    }
+                }
+                Err(HyperperiodError::Overflow | HyperperiodError::NotAMultiple { .. }) => {}
+            }
+        }
     }
 }

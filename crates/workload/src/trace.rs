@@ -1,0 +1,481 @@
+//! Streaming arrival traces for online replay: hyperperiod-expanded
+//! periodic sets merged with an open-loop Poisson mix.
+//!
+//! The ROADMAP's online-traffic item wants *millions* of arrival events
+//! streamed through the solvers the way a real deployment would see
+//! them. This module provides that traffic source as a seeded iterator:
+//!
+//! * **Periodic streams** (Huang et al., leakage-aware reallocation for
+//!   periodic tasks): each of [`TraceSpec::sets`] seeded periodic task
+//!   systems is expanded over one hyperperiod via
+//!   [`periodic::hyperperiod`](crate::periodic::hyperperiod) +
+//!   [`periodic::unroll`](crate::periodic::unroll), and re-released every
+//!   hyperperiod — a replanning request whose job windows are *relative*
+//!   to the window start, so the exact same (canonicalizable) job set
+//!   recurs each hyperperiod.
+//! * **An open-loop Poisson stream** (Trehan et al., memory-intensive
+//!   parallel workloads): sporadic request shapes drawn from a finite
+//!   seeded pool, released with exponential inter-arrivals whose rate is
+//!   set so a [`TraceSpec::poisson`] fraction of all events is Poisson.
+//!
+//! The iterator holds only the shape pool and per-stream cursors —
+//! events are *generated*, never materialized, so a billion-event trace
+//! costs the same memory as a ten-event one. Event `seq` → content is a
+//! pure function of the spec, which is what lets a crash-recovery replay
+//! regenerate the exact stream and skip already-journaled sequences.
+
+use core::fmt;
+
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng, SplitMix64};
+use sdem_types::{Cycles, Time};
+
+use crate::periodic::{hyperperiod, unroll, PeriodicTask};
+
+/// Domain-separation tags for per-stream seed derivation.
+const TAG_PERIODIC: u64 = 0x7E81_0D1C;
+const TAG_SPORADIC: u64 = 0x5704_AD1C;
+const TAG_ROTATION: u64 = 0x4014_7E00;
+const TAG_POISSON: u64 = 0x4015_5011;
+
+/// Harmonic period menu bases (milliseconds); each set draws its periods
+/// as `base · 2^k`, so a set's hyperperiod stays ≤ `base · 8` ms.
+const PERIOD_BASES_MS: [f64; 3] = [10.0, 15.0, 25.0];
+const PERIOD_MULTIPLIERS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// Parameters of a streaming arrival trace. The canonical rendering
+/// ([`fmt::Display`]) is the identity a replay journal records, so two
+/// runs agree on the trace if and only if their spec strings match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Master seed; every stream derives its own decorrelated seed.
+    pub seed: u64,
+    /// Number of distinct periodic task systems (each one stream).
+    pub sets: usize,
+    /// Periodic tasks per system.
+    pub tasks: usize,
+    /// Fraction of all arrival events carried by the Poisson stream,
+    /// `0 ≤ poisson < 1` (0 disables the stream).
+    pub poisson: f64,
+    /// Size of the sporadic shape pool the Poisson stream draws from.
+    pub shapes: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0x7ACE,
+            sets: 4,
+            tasks: 6,
+            poisson: 0.25,
+            shapes: 32,
+        }
+    }
+}
+
+impl fmt::Display for TraceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={:#x},sets={},tasks={},poisson={},shapes={}",
+            self.seed, self.sets, self.tasks, self.poisson, self.shapes
+        )
+    }
+}
+
+impl TraceSpec {
+    /// Parses a `key=value` comma list (`seed=0x7,sets=4,tasks=6,
+    /// poisson=0.25,shapes=32`); omitted keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, unparsable values and out-of-range parameters are
+    /// reported as human-readable strings (the CLI maps them to usage
+    /// errors).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("trace spec: `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |k: &str, v: &str| format!("trace spec: `{k}` has unparsable value `{v}`");
+            match key {
+                "seed" => {
+                    out.seed = match value
+                        .strip_prefix("0x")
+                        .or_else(|| value.strip_prefix("0X"))
+                    {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => value.parse(),
+                    }
+                    .map_err(|_| bad(key, value))?;
+                }
+                "sets" => out.sets = value.parse().map_err(|_| bad(key, value))?,
+                "tasks" => out.tasks = value.parse().map_err(|_| bad(key, value))?,
+                "poisson" => out.poisson = value.parse().map_err(|_| bad(key, value))?,
+                "shapes" => out.shapes = value.parse().map_err(|_| bad(key, value))?,
+                other => return Err(format!("trace spec: unknown key `{other}`")),
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.sets == 0 {
+            return Err("trace spec: `sets` must be at least 1".into());
+        }
+        if self.tasks == 0 {
+            return Err("trace spec: `tasks` must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.poisson) {
+            return Err(format!(
+                "trace spec: `poisson` must be in [0, 1), got {}",
+                self.poisson
+            ));
+        }
+        if self.poisson > 0.0 && self.shapes == 0 {
+            return Err("trace spec: `poisson` > 0 needs `shapes` ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One job row of a request shape, in the wire's task-row units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRow {
+    /// Job id, unique within the shape.
+    pub id: usize,
+    /// Release relative to the request's window start, milliseconds.
+    pub release_ms: f64,
+    /// Absolute deadline relative to the window start, milliseconds.
+    pub deadline_ms: f64,
+    /// Execution demand, cycles.
+    pub work_cycles: f64,
+}
+
+/// One timestamped arrival: request `seq` arrives at `at_ms` carrying
+/// the job rows of `shape`, rotated by `rotation` (a byte-exact row
+/// rotation — the permutation the serve cache canonicalizes away).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalEvent {
+    /// Zero-based event sequence number (also the request id).
+    pub seq: u64,
+    /// Arrival timestamp, milliseconds since trace start.
+    pub at_ms: f64,
+    /// Index into [`ArrivalTrace::shape_rows`].
+    pub shape: usize,
+    /// Row rotation applied when the request is rendered.
+    pub rotation: usize,
+}
+
+struct PeriodicStream {
+    shape: usize,
+    hyperperiod_ms: f64,
+    /// Next window index to release (next arrival at `k · H`).
+    k: u64,
+    rotation: SplitMix64,
+}
+
+struct PoissonStream {
+    next_at_ms: f64,
+    /// Expected arrivals per millisecond.
+    rate_per_ms: f64,
+    rng: SplitMix64,
+}
+
+/// The streaming trace generator. An infinite, seeded iterator of
+/// [`ArrivalEvent`]s in nondecreasing timestamp order; take as many as
+/// the replay needs.
+pub struct ArrivalTrace {
+    shapes: Vec<Vec<JobRow>>,
+    periodic: Vec<PeriodicStream>,
+    poisson: Option<PoissonStream>,
+    seq: u64,
+}
+
+impl ArrivalTrace {
+    /// Builds the generator: materializes the (small) shape pool, leaves
+    /// everything else to be generated on demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation failures as strings. Periodic-shape
+    /// construction itself cannot fail: the harmonic period menu keeps
+    /// every hyperperiod within `base · 8` ms, far from
+    /// [`HyperperiodError::Overflow`](crate::periodic::HyperperiodError)
+    /// territory.
+    pub fn new(spec: &TraceSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let mut shapes = Vec::with_capacity(spec.sets + spec.shapes);
+        let mut periodic = Vec::with_capacity(spec.sets);
+
+        for set in 0..spec.sets {
+            let seed = SplitMix64::mix(&[spec.seed, TAG_PERIODIC, set as u64]);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let base = PERIOD_BASES_MS[rng.gen_range(0usize..PERIOD_BASES_MS.len())];
+            let tasks: Vec<PeriodicTask> = (0..spec.tasks)
+                .map(|id| {
+                    let mult = PERIOD_MULTIPLIERS[rng.gen_range(0usize..PERIOD_MULTIPLIERS.len())];
+                    let period_ms = base * mult;
+                    // Per-task utilization share at a 100 MHz reference:
+                    // work = u · period · 1e5 cycles/ms.
+                    let u = rng.gen_range(0.03f64..0.15);
+                    PeriodicTask::implicit(
+                        id,
+                        Time::from_millis(period_ms),
+                        Cycles::new(u * period_ms * 1.0e5),
+                    )
+                })
+                .collect();
+            let h = hyperperiod(&tasks, Time::from_millis(1.0))
+                .map_err(|e| format!("trace set {set}: {e}"))?;
+            let jobs = unroll(&tasks, h).map_err(|e| format!("trace set {set}: {e}"))?;
+            let rows: Vec<JobRow> = jobs
+                .iter()
+                .map(|t| JobRow {
+                    id: t.id().0,
+                    release_ms: t.release().as_millis(),
+                    deadline_ms: t.deadline().as_millis(),
+                    work_cycles: t.work().value(),
+                })
+                .collect();
+            periodic.push(PeriodicStream {
+                shape: shapes.len(),
+                hyperperiod_ms: h.as_millis(),
+                k: 0,
+                rotation: SplitMix64::new(SplitMix64::mix(&[spec.seed, TAG_ROTATION, set as u64])),
+            });
+            shapes.push(rows);
+        }
+
+        for shape in 0..spec.shapes {
+            let seed = SplitMix64::mix(&[spec.seed, TAG_SPORADIC, shape as u64]);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(1usize..=6);
+            let rows: Vec<JobRow> = (0..n)
+                .map(|id| {
+                    let release_ms = rng.gen_range(0.0f64..10.0);
+                    let window_ms = rng.gen_range(15.0f64..80.0);
+                    JobRow {
+                        id,
+                        release_ms,
+                        deadline_ms: release_ms + window_ms,
+                        work_cycles: rng.gen_range(1.0e5f64..6.0e6),
+                    }
+                })
+                .collect();
+            shapes.push(rows);
+        }
+
+        let poisson = (spec.poisson > 0.0).then(|| {
+            // Periodic streams fire at Σ 1/Hᵢ events per ms; pick λ so the
+            // Poisson stream carries a `poisson` fraction of all events.
+            let periodic_rate: f64 = periodic.iter().map(|s| 1.0 / s.hyperperiod_ms).sum();
+            PoissonStream {
+                next_at_ms: 0.0,
+                rate_per_ms: periodic_rate * spec.poisson / (1.0 - spec.poisson),
+                rng: SplitMix64::new(SplitMix64::mix(&[spec.seed, TAG_POISSON])),
+            }
+        });
+
+        Ok(Self {
+            shapes,
+            periodic,
+            poisson,
+            seq: 0,
+        })
+    }
+
+    /// Job rows of a shape, window-relative (shared by every event that
+    /// references the shape — the replay renders rotations on the fly).
+    pub fn shape_rows(&self, shape: usize) -> &[JobRow] {
+        &self.shapes[shape]
+    }
+
+    /// Number of shapes in the pool (periodic sets first, then the
+    /// sporadic pool).
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of periodic shapes (indices `0..periodic_shapes()` are
+    /// hyperperiod windows; the rest are sporadic).
+    pub fn periodic_shapes(&self) -> usize {
+        self.periodic.len()
+    }
+}
+
+impl Iterator for ArrivalTrace {
+    type Item = ArrivalEvent;
+
+    /// The earliest pending arrival across all streams; ties break
+    /// toward the lowest-indexed periodic stream, then Poisson, keeping
+    /// the merge order deterministic.
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        let mut best: Option<(f64, usize)> = None; // (at_ms, stream index; periodic first)
+        for (i, s) in self.periodic.iter().enumerate() {
+            let at = s.k as f64 * s.hyperperiod_ms;
+            if best.is_none_or(|(t, _)| at < t) {
+                best = Some((at, i));
+            }
+        }
+        let poisson_at = self.poisson.as_ref().map(|p| p.next_at_ms);
+        let use_poisson = match (best, poisson_at) {
+            (None, Some(_)) => true,
+            (Some((t, _)), Some(p)) => p < t,
+            _ => false,
+        };
+
+        let seq = self.seq;
+        self.seq += 1;
+        let event = if use_poisson {
+            let p = self.poisson.as_mut().expect("poisson stream exists");
+            let at_ms = p.next_at_ms;
+            let sporadic = self.shapes.len() - self.periodic.len();
+            let shape = self.periodic.len() + (p.rng.next_value() % sporadic as u64) as usize;
+            let rotation = (p.rng.next_value() % self.shapes[shape].len() as u64) as usize;
+            // Exponential inter-arrival via inversion; 1 − u ∈ (0, 1].
+            let u = (p.rng.next_value() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            p.next_at_ms = at_ms + (-(1.0 - u).ln()) / p.rate_per_ms;
+            ArrivalEvent {
+                seq,
+                at_ms,
+                shape,
+                rotation,
+            }
+        } else {
+            let (at_ms, i) = best.expect("at least one periodic stream");
+            let s = &mut self.periodic[i];
+            s.k += 1;
+            let shape = s.shape;
+            let rotation = (s.rotation.next_value() % self.shapes[shape].len() as u64) as usize;
+            ArrivalEvent {
+                seq,
+                at_ms,
+                shape,
+                rotation,
+            }
+        };
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_its_canonical_rendering() {
+        let spec = TraceSpec {
+            seed: 0x2A,
+            sets: 3,
+            tasks: 5,
+            poisson: 0.4,
+            shapes: 16,
+        };
+        let rendered = spec.to_string();
+        assert_eq!(TraceSpec::parse(&rendered).unwrap(), spec);
+        // Defaults apply for omitted keys; whitespace tolerated.
+        let partial = TraceSpec::parse("seed=7, sets=2").unwrap();
+        assert_eq!(partial.seed, 7);
+        assert_eq!(partial.sets, 2);
+        assert_eq!(partial.tasks, TraceSpec::default().tasks);
+    }
+
+    #[test]
+    fn spec_rejections_are_explicit() {
+        for bad in [
+            "seed",                 // not key=value
+            "seed=xyz",             // unparsable
+            "sets=0",               // empty
+            "tasks=0",              // empty
+            "poisson=1.0",          // out of range
+            "poisson=-0.1",         // out of range
+            "unknown=3",            // unknown key
+            "poisson=0.5,shapes=0", // poisson needs a pool
+        ] {
+            assert!(TraceSpec::parse(bad).is_err(), "spec `{bad}` must fail");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_timestamp_ordered() {
+        let spec = TraceSpec::default();
+        let a: Vec<ArrivalEvent> = ArrivalTrace::new(&spec).unwrap().take(5_000).collect();
+        let b: Vec<ArrivalEvent> = ArrivalTrace::new(&spec).unwrap().take(5_000).collect();
+        assert_eq!(a, b, "same spec ⇒ same stream");
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(w[0].at_ms <= w[1].at_ms, "event {i} out of order");
+        }
+        for (i, e) in a.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seqs are consecutive from 0");
+        }
+        // A different seed decorrelates the stream.
+        let other = ArrivalTrace::new(&TraceSpec {
+            seed: 0xBEEF,
+            ..spec
+        })
+        .unwrap()
+        .take(5_000)
+        .collect::<Vec<_>>();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn poisson_fraction_is_respected() {
+        let spec = TraceSpec {
+            poisson: 0.5,
+            ..TraceSpec::default()
+        };
+        let trace = ArrivalTrace::new(&spec).unwrap();
+        let periodic_shapes = trace.periodic_shapes();
+        let events: Vec<ArrivalEvent> = trace.take(20_000).collect();
+        let poisson = events.iter().filter(|e| e.shape >= periodic_shapes).count() as f64;
+        let fraction = poisson / events.len() as f64;
+        assert!(
+            (fraction - 0.5).abs() < 0.05,
+            "poisson fraction {fraction} far from 0.5"
+        );
+    }
+
+    #[test]
+    fn shapes_are_valid_request_material() {
+        let trace = ArrivalTrace::new(&TraceSpec::default()).unwrap();
+        assert!(trace.shape_count() > 0);
+        for shape in 0..trace.shape_count() {
+            let rows = trace.shape_rows(shape);
+            assert!(!rows.is_empty());
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(row.id, rows[i].id);
+                assert!(row.release_ms >= 0.0);
+                assert!(row.deadline_ms > row.release_ms, "window must be non-empty");
+                assert!(row.work_cycles.is_finite() && row.work_cycles > 0.0);
+            }
+            // Ids unique within the shape (the wire rejects duplicates).
+            let mut ids: Vec<usize> = rows.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), rows.len());
+        }
+    }
+
+    #[test]
+    fn zero_poisson_is_pure_periodic_and_millions_stream_flat() {
+        let spec = TraceSpec {
+            poisson: 0.0,
+            shapes: 0,
+            ..TraceSpec::default()
+        };
+        let trace = ArrivalTrace::new(&spec).unwrap();
+        let periodic_shapes = trace.periodic_shapes();
+        // Iterate a large count without materializing: constant memory,
+        // every event periodic.
+        let mut count = 0u64;
+        for e in trace.take(1_000_000) {
+            assert!(e.shape < periodic_shapes);
+            count += 1;
+        }
+        assert_eq!(count, 1_000_000);
+    }
+}
