@@ -173,6 +173,64 @@ fn main() {
     }
     println!();
 
+    // The federated DAG lean path: LPT packing, window chopping, one
+    // analytic solve per busy core and the merged repricing, all through
+    // the workspace pools. With one task per core the per-core solves
+    // route to the (asserted-zero above) common-release scheme, so this
+    // case pins the federated scaffolding itself at zero.
+    {
+        let deadline = Time::from_millis(400.0);
+        let federated_set = |n: usize| {
+            TaskSet::new(
+                (0..n)
+                    .map(|i| {
+                        sdem_types::Task::new(
+                            i,
+                            Time::ZERO,
+                            deadline,
+                            sdem_types::Cycles::new(2.0e6 + (i % 5) as f64 * 1.0e6),
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("non-empty set")
+        };
+        let measure = |set: &TaskSet, cores: usize| {
+            let scheme = Scheme::DagFederated(cores);
+            let mut ws = Workspace::new();
+            for _ in 0..8 {
+                let warm = solve_in(set, &platform, scheme, &mut ws).unwrap();
+                ws.recycle_schedule(warm.into_schedule());
+            }
+            count_per_iter(ITERS, || {
+                let s = solve_in(set, &platform, scheme, &mut ws).unwrap();
+                std::hint::black_box(&s);
+                ws.recycle_schedule(s.into_schedule());
+            })
+        };
+        let scaffold = measure(&federated_set(24), 24);
+        report(
+            "solve_in/DagFederated(24) n=24 (warmed workspace)",
+            scaffold,
+        );
+        assert_eq!(
+            scaffold.0, 0.0,
+            "the federated scaffolding (pack + chop + merge + reprice) must \
+             be allocation-free on the warmed workspace path (got {} \
+             allocs/trial)",
+            scaffold.0
+        );
+        // Multi-task cores chop sequential windows, which route the
+        // per-core solves to the agreeable DP — not yet pool-backed, so
+        // this row is informational (tracks the DP's heap traffic).
+        let chopped = measure(&federated_set(24), 4);
+        report(
+            "solve_in/DagFederated(4) n=24 (warmed, agreeable DP)",
+            chopped,
+        );
+    }
+    println!();
+
     let before = count_per_iter(ITERS, || {
         std::hint::black_box(
             run_trial_with_oracle(&sporadic_set, &platform, paper::NUM_CORES, None).unwrap(),

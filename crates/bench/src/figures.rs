@@ -3,12 +3,16 @@
 //! Per-trial deterministic seeding makes every sweep's output identical
 //! for any thread count.
 
+use sdem_core::dag::{recycle_dag_report, solve_dags_in};
+use sdem_core::{OracleOptions, SdemError};
 use sdem_exec::{
     CheckpointJournal, QuarantineRecord, QuarantinedOutcome, SweepError, SweepRunner, SweepStats,
     TrialCtx, TrialFailure,
 };
 use sdem_power::{MemoryPower, Platform};
+use sdem_prng::SplitMix64;
 use sdem_types::{Time, Watts, Workspace};
+use sdem_workload::dag::{suite as dag_suite, DagConfig};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::paper;
 use sdem_workload::synthetic::{sporadic, SyntheticConfig};
@@ -546,6 +550,157 @@ fn robust_fig7(
     })
 }
 
+/// Grid seed of the DAG federated energy-vs-cores sweep.
+pub const DAG_GRID_SEED: u64 = 0xDA6_0000;
+
+/// Configuration of the DAG federated energy-vs-cores sweep.
+#[derive(Debug, Clone)]
+pub struct DagSweepConfig {
+    /// Number of independently seeded DAG suites (rows per core count).
+    pub suites: usize,
+    /// DAGs per suite, sharing one frame window.
+    pub dags_per_suite: usize,
+    /// Nodes per DAG (forwarded to [`sdem_workload::dag::DagConfig::paper`]).
+    pub nodes: usize,
+    /// Frame window (common deadline and period) of every DAG.
+    pub frame: Time,
+    /// Core budgets to sweep, one column per entry.
+    pub cores: Vec<usize>,
+    /// Master seed; per-suite seeds are mixed from it with `SplitMix64`.
+    pub seed: u64,
+}
+
+impl DagSweepConfig {
+    /// The committed default: three suites of four nine-node DAGs in a
+    /// 120 ms frame, swept over 2–8 cores.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            suites: 3,
+            dags_per_suite: 4,
+            nodes: 9,
+            frame: Time::from_millis(120.0),
+            cores: vec![2, 3, 4, 6, 8],
+            seed: DAG_GRID_SEED,
+        }
+    }
+}
+
+/// One cell of the DAG sweep: one suite solved under one core budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagEnergyRow {
+    /// Suite index within the sweep.
+    pub suite: usize,
+    /// The suite's derived generator seed (replayable in isolation).
+    pub seed: u64,
+    /// Core budget handed to the federated allocator.
+    pub cores: usize,
+    /// Whether the allocator found a feasible allocation in this budget.
+    pub feasible: bool,
+    /// Aggregate metered energy of the merged schedule (0 if infeasible).
+    pub energy_j: f64,
+    /// Memory sleep achieved by the merged schedule, in milliseconds.
+    pub memory_sleep_ms: f64,
+    /// Dedicated clusters granted to heavy DAGs.
+    pub clusters: usize,
+    /// Cores carrying at least one segment.
+    pub cores_used: usize,
+}
+
+/// DAG sweep on a default runner; see [`dag_energy_with`].
+pub fn dag_energy(config: &DagSweepConfig) -> Vec<DagEnergyRow> {
+    dag_energy_with(config, &SweepRunner::new()).0
+}
+
+/// Solves every `(suite, core budget)` cell of the grid with
+/// [`sdem_core::dag::solve_dags_in`] and cross-checks each feasible
+/// solution against the sim-oracle meter (divergence panics — the sweep
+/// is a correctness gate, not a best-effort report). Infeasible budgets
+/// become `feasible = false` rows rather than failures, so the CSV shows
+/// where the federated bound stops fitting.
+///
+/// Every trial is a pure function of `(config, cell)`, so the rows are
+/// bit-identical for any thread count.
+pub fn dag_energy_with(
+    config: &DagSweepConfig,
+    runner: &SweepRunner,
+) -> (Vec<DagEnergyRow>, SweepStats) {
+    let platform = Platform::paper_defaults();
+    let points: Vec<(usize, usize)> = (0..config.suites)
+        .flat_map(|s| config.cores.iter().map(move |&c| (s, c)))
+        .collect();
+    let outcome = runner.run_with_state(
+        &points,
+        1,
+        config.seed,
+        Workspace::new,
+        |&(suite, cores), _ctx, ws| {
+            let seed = SplitMix64::mix(&[config.seed, suite as u64]);
+            let dag_config = DagConfig::paper(config.nodes, config.frame);
+            let dags = dag_suite(&dag_config, config.dags_per_suite, seed);
+            let row = match solve_dags_in(&dags, &platform, cores, ws) {
+                Ok(report) => {
+                    let metered = report
+                        .verify_against_meter(&platform, OracleOptions::default())
+                        .unwrap_or_else(|e| {
+                            panic!("suite {suite} at {cores} cores: oracle divergence: {e}")
+                        });
+                    let row = DagEnergyRow {
+                        suite,
+                        seed,
+                        cores,
+                        feasible: true,
+                        energy_j: metered.value(),
+                        memory_sleep_ms: report.solution.memory_sleep().as_millis(),
+                        clusters: report.clusters,
+                        cores_used: report.cores_used,
+                    };
+                    recycle_dag_report(report, ws);
+                    row
+                }
+                Err(SdemError::NoCores | SdemError::InfeasibleTask(_)) => DagEnergyRow {
+                    suite,
+                    seed,
+                    cores,
+                    feasible: false,
+                    energy_j: 0.0,
+                    memory_sleep_ms: 0.0,
+                    clusters: 0,
+                    cores_used: 0,
+                },
+                Err(e) => panic!("suite {suite} at {cores} cores: {e}"),
+            };
+            Some(row)
+        },
+    );
+    let rows = outcome
+        .per_point
+        .into_iter()
+        .map(|mut cell| cell.pop().expect("one replicate per cell"))
+        .collect();
+    (rows, outcome.stats)
+}
+
+/// Renders the DAG sweep as CSV (one row per `(suite, cores)` cell).
+pub fn dag_energy_to_csv(rows: &[DagEnergyRow]) -> String {
+    let mut out =
+        String::from("suite,seed,cores,feasible,energy_j,memory_sleep_ms,clusters,cores_used\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6},{},{}\n",
+            r.suite,
+            r.seed,
+            r.cores,
+            u8::from(r.feasible),
+            r.energy_j,
+            r.memory_sleep_ms,
+            r.clusters,
+            r.cores_used,
+        ));
+    }
+    out
+}
+
 /// Renders Fig. 6 rows as CSV.
 pub fn fig6_to_csv(rows: &[Fig6Row]) -> String {
     let mut out = String::from(
@@ -687,6 +842,35 @@ mod tests {
         for row in &rows[1..] {
             assert!(row.sdem_system_saving.is_finite());
         }
+    }
+
+    #[test]
+    fn dag_energy_rows_are_thread_invariant_and_oracle_clean() {
+        let mut config = DagSweepConfig::paper();
+        config.suites = 2;
+        config.cores = vec![1, 3, 6];
+        let run =
+            |threads: usize| dag_energy_with(&config, &SweepRunner::new().with_threads(threads)).0;
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), config.suites * config.cores.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.suite, b.suite);
+            assert_eq!(a.cores, b.cores);
+            assert_eq!(a.feasible, b.feasible);
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+            assert_eq!(a.memory_sleep_ms.to_bits(), b.memory_sleep_ms.to_bits());
+        }
+        // The suites fit comfortably at every budget here, and granting
+        // more cores can only relax the per-core windows.
+        for r in &serial {
+            assert!(r.feasible, "suite {} at {} cores", r.suite, r.cores);
+            assert!(r.energy_j > 0.0);
+            assert!(r.cores_used <= r.cores);
+        }
+        let csv = dag_energy_to_csv(&serial);
+        assert!(csv.starts_with("suite,seed,cores,feasible"));
+        assert_eq!(csv.lines().count(), serial.len() + 1);
     }
 
     #[test]

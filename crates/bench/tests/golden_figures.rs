@@ -10,7 +10,9 @@
 //! meter, and must be reconciled with `results/README.md` and
 //! `EXPERIMENTS.md` before the golden is re-recorded.
 
-use sdem_bench::figures::{self, fig6_with, fig7a_with, fig7b_with};
+use sdem_bench::figures::{
+    self, dag_energy_with, fig6_with, fig7a_with, fig7b_with, DagSweepConfig,
+};
 use sdem_exec::SweepRunner;
 use sdem_workload::paper;
 
@@ -18,6 +20,7 @@ use sdem_workload::paper;
 const GOLDEN_FIG6: &str = include_str!("../../../results/fig6.csv");
 const GOLDEN_FIG7A: &str = include_str!("../../../results/fig7a.csv");
 const GOLDEN_FIG7B: &str = include_str!("../../../results/fig7b.csv");
+const GOLDEN_DAG: &str = include_str!("../../../results/dag_energy_vs_cores.csv");
 
 fn assert_bytes_equal(regenerated: &str, golden: &str, figure: &str) {
     if regenerated == golden {
@@ -54,6 +57,16 @@ fn fig7a_csv_matches_committed_golden_byte_for_byte() {
         &figures::fig7_to_csv(&cells, "alpha_m_w"),
         GOLDEN_FIG7A,
         "fig7a.csv",
+    );
+}
+
+#[test]
+fn dag_energy_csv_matches_committed_golden_byte_for_byte() {
+    let (rows, _) = dag_energy_with(&DagSweepConfig::paper(), &SweepRunner::new());
+    assert_bytes_equal(
+        &figures::dag_energy_to_csv(&rows),
+        GOLDEN_DAG,
+        "dag_energy_vs_cores.csv",
     );
 }
 

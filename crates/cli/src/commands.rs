@@ -8,7 +8,8 @@ use sdem_bench::experiment::{
     mean, run_trial_checked, run_trial_resampling, FaultInjection, OracleCheck,
 };
 use sdem_bench::figures::{self, RobustOptions};
-use sdem_core::solve;
+use sdem_core::dag::DagAssignment;
+use sdem_core::{solve, OracleOptions};
 use sdem_exec::{CheckpointJournal, SweepRunner};
 use sdem_power::Platform;
 use sdem_serve::{api, ChaosSpec, ReplayConfig, ServiceConfig, SupervisorConfig};
@@ -17,6 +18,7 @@ use sdem_sim::{
     SleepPolicy,
 };
 use sdem_types::{ErrorKind, Schedule, TaskSet, Time, Workspace};
+use sdem_workload::dag::{self as dagmod, DagConfig};
 use sdem_workload::dspstone::{stream, Benchmark};
 use sdem_workload::synthetic::{self, SyntheticConfig};
 use sdem_workload::textfmt as io;
@@ -64,6 +66,17 @@ USAGE:
                     [--threads N] [--seed S] [--alpha-m W] [--xi-m MS]
                     [--oracle] [--oracle-tol REL]
                     one grid point, parallel replicates, summary savings
+  sdem-cli dag generate [--count N] [--nodes N] [--frame-ms MS] [--seed S]
+                    [--out FILE]
+                    seeded random DAG suite as YAML (stdout without --out)
+  sdem-cli dag solve --input FILE [--cores N] [--alpha-m W] [--xi-m MS]
+                    [--oracle] [--oracle-tol REL]
+                    federated allocation + per-core SDEM solve of a YAML
+                    DAG suite: cluster sizes, per-core energy, aggregate
+  sdem-cli dag sweep [--suites N] [--dags N] [--nodes N] [--threads N]
+                    [--csv FILE]
+                    energy vs core budget over seeded DAG suites, every
+                    cell oracle-verified; identical at any --threads
   sdem-cli help
 
 Sweeps and experiments fan trials across worker threads; results are
@@ -164,6 +177,11 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         println!("{HELP}");
         return Ok(());
     };
+    // `dag` takes a positional action (`generate|solve|sweep`) before its
+    // options, so it owns its own parse instead of the flat one below.
+    if command == "dag" {
+        return dag(&argv[1..]);
+    }
     let args = Args::parse(&argv[1..])?;
     match command.as_str() {
         "generate" => generate(&args),
@@ -403,6 +421,142 @@ fn compare(args: &Args) -> Result<(), CliError> {
             }
             Err(e) => println!("{scheme:16} infeasible: {e}"),
         }
+    }
+    Ok(())
+}
+
+fn dag(rest: &[String]) -> Result<(), CliError> {
+    let Some(action) = rest.first() else {
+        return Err(CliError::new(
+            ErrorKind::Usage,
+            "dag requires an action: `dag generate|solve|sweep [options]`",
+        ));
+    };
+    let args = Args::parse(&rest[1..])?;
+    match action.as_str() {
+        "generate" => dag_generate(&args),
+        "solve" => dag_solve(&args),
+        "sweep" => dag_sweep(&args),
+        other => Err(CliError::new(
+            ErrorKind::Usage,
+            format!("unknown dag action `{other}` (expected generate, solve or sweep)"),
+        )),
+    }
+}
+
+fn dag_generate(args: &Args) -> Result<(), CliError> {
+    let count = args.get_usize("count", 4)?;
+    let nodes = args.get_usize("nodes", 9)?;
+    let frame = Time::from_millis(args.get_f64("frame-ms", 120.0)?);
+    let seed = args.get_u64("seed", 1)?;
+    if count == 0 || nodes == 0 {
+        return Err(CliError::new(
+            ErrorKind::Usage,
+            "--count and --nodes must be positive",
+        ));
+    }
+    let dags = dagmod::suite(&DagConfig::paper(nodes, frame), count, seed);
+    let yaml = dagmod::dags_to_yaml(&dags);
+    if let Some(path) = args.get("out") {
+        fs::write(path, &yaml).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!(
+            "wrote {count} DAGs ({nodes} nodes each, {:.0} ms frame, seed {seed}) to {path}",
+            frame.as_millis()
+        );
+    } else {
+        print!("{yaml}");
+    }
+    Ok(())
+}
+
+fn dag_solve(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get("input")
+        .ok_or_else(|| "`--input FILE` is required".to_string())?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let dags =
+        dagmod::dags_from_yaml(&text).map_err(|e| CliError::new(e.error_kind(), e.to_string()))?;
+    let platform = platform_from(args)?;
+    let cores = args.get_usize("cores", 8)?;
+    let report = sdem_core::dag::solve_dags(&dags, &platform, cores)
+        .map_err(|e| CliError::new(e.kind(), format!("federated solve failed: {e}")))?;
+
+    for (dag, assignment) in dags.iter().zip(&report.assignments) {
+        match assignment {
+            DagAssignment::Dedicated { first_core, cores } => println!(
+                "dag {:24} heavy: dedicated cluster of {cores} core(s) starting at core {first_core}",
+                dag.name()
+            ),
+            DagAssignment::Shared { core } => {
+                println!("dag {:24} light: shared core {core}", dag.name());
+            }
+            _ => {}
+        }
+    }
+    println!();
+    println!(
+        "{:>5} {:>6} {:>12} {:>10}",
+        "core", "tasks", "energy_j", "sleep_ms"
+    );
+    for c in &report.per_core {
+        println!(
+            "{:>5} {:>6} {:>12.6} {:>10.3}",
+            c.core.0,
+            c.tasks,
+            c.energy.value(),
+            c.memory_sleep.as_millis()
+        );
+    }
+    println!();
+    println!(
+        "aggregate: {:.6} J, memory sleep {:.3} ms, {} of {cores} core(s) busy, {} dedicated cluster(s)",
+        report.solution.predicted_energy().value(),
+        report.solution.memory_sleep().as_millis(),
+        report.cores_used,
+        report.clusters
+    );
+    if args.has_flag("oracle") || args.get("oracle-tol").is_some() {
+        let tol = args.get_f64("oracle-tol", sdem_exec::DEFAULT_ORACLE_TOLERANCE)?;
+        let options = OracleOptions::default().with_tolerance(tol);
+        let metered = report
+            .verify_against_meter(&platform, options)
+            .map_err(|e| CliError::new(ErrorKind::OracleDivergence, e.to_string()))?;
+        println!(
+            "oracle: meter agrees at {:.6} J (rel tol {tol})",
+            metered.value()
+        );
+    }
+    Ok(())
+}
+
+fn dag_sweep(args: &Args) -> Result<(), CliError> {
+    let mut config = figures::DagSweepConfig::paper();
+    config.suites = args.get_usize("suites", config.suites)?;
+    config.dags_per_suite = args.get_usize("dags", config.dags_per_suite)?;
+    config.nodes = args.get_usize("nodes", config.nodes)?;
+    if config.suites == 0 || config.dags_per_suite == 0 || config.nodes == 0 {
+        return Err(CliError::new(
+            ErrorKind::Usage,
+            "--suites, --dags and --nodes must be positive",
+        ));
+    }
+    let runner = runner_from(args)?;
+    let (rows, stats) = figures::dag_energy_with(&config, &runner);
+    eprintln!("sweep: {stats}");
+    println!(
+        "{:>5} {:>5} {:>9} {:>12} {:>10} {:>8} {:>10}",
+        "suite", "cores", "feasible", "energy_j", "sleep_ms", "clusters", "cores_used"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>5} {:>9} {:>12.6} {:>10.3} {:>8} {:>10}",
+            r.suite, r.cores, r.feasible, r.energy_j, r.memory_sleep_ms, r.clusters, r.cores_used
+        );
+    }
+    if let Some(path) = args.get("csv") {
+        fs::write(path, figures::dag_energy_to_csv(&rows))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote CSV to {path}");
     }
     Ok(())
 }
@@ -1023,6 +1177,65 @@ mod tests {
         assert!(run(&sv(&["help"])).is_ok());
         assert!(run(&[]).is_ok());
         assert!(run(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn dag_generate_solve_sweep_round_trip() {
+        let dir = std::env::temp_dir().join("sdem-cli-dag-test");
+        fs::create_dir_all(&dir).unwrap();
+        let suite = dir.join("suite.yaml");
+        let suite_path = suite.to_str().unwrap().to_string();
+
+        run(&sv(&[
+            "dag",
+            "generate",
+            "--count",
+            "3",
+            "--nodes",
+            "7",
+            "--seed",
+            "11",
+            "--out",
+            &suite_path,
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "dag",
+            "solve",
+            "--input",
+            &suite_path,
+            "--cores",
+            "4",
+            "--oracle",
+        ]))
+        .unwrap();
+
+        // The sweep's CSV must be byte-identical across worker counts.
+        let csv_for = |threads: &str| {
+            let out = dir.join(format!("sweep-{threads}.csv"));
+            let out_path = out.to_str().unwrap().to_string();
+            run(&sv(&[
+                "dag",
+                "sweep",
+                "--suites",
+                "2",
+                "--threads",
+                threads,
+                "--csv",
+                &out_path,
+            ]))
+            .unwrap();
+            fs::read_to_string(out).unwrap()
+        };
+        let serial = csv_for("1");
+        assert_eq!(serial, csv_for("4"));
+        assert!(serial.starts_with("suite,seed,cores,feasible"));
+
+        // Usage errors carry the usage taxonomy code.
+        let missing = run(&sv(&["dag"])).unwrap_err();
+        assert_eq!(missing.kind, ErrorKind::Usage);
+        let unknown = run(&sv(&["dag", "frobnicate"])).unwrap_err();
+        assert_eq!(unknown.kind, ErrorKind::Usage);
     }
 
     #[test]

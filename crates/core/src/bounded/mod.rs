@@ -202,7 +202,7 @@ pub fn solve_exact(
 
 /// Validates the Theorem 1 instance shape — every task shares one release
 /// and one deadline — and returns `(release, deadline − release)`.
-fn common_window(tasks: &TaskSet) -> Result<(Time, Time), SdemError> {
+pub(crate) fn common_window(tasks: &TaskSet) -> Result<(Time, Time), SdemError> {
     let list = tasks.tasks();
     let r0 = list[0].release();
     let d0 = list[0].deadline();
@@ -227,7 +227,7 @@ fn heaviest_task(list: &[Task]) -> TaskId {
 /// sort is a deterministic function of the works (equal to a stable sort
 /// by work alone). The LPT greedy, the B&B branching order and the refine
 /// tier's per-core member lists all use this one order.
-fn lpt_order_into(works: &[f64], out: &mut Vec<usize>) {
+pub(crate) fn lpt_order_into(works: &[f64], out: &mut Vec<usize>) {
     out.clear();
     out.extend(0..works.len());
     out.sort_unstable_by(|&a, &b| works[b].total_cmp(&works[a]).then(a.cmp(&b)));

@@ -14,6 +14,7 @@
 //! | §3 (Thm 1) | bounded cores (NP-hard) | [`bounded`] (exact, branch-and-bound, LPT + refine, lower bound; size-routed via [`Scheme::BoundedAuto`]) |
 //! | §4 closing remark | heterogeneous cores | [`common_release::schedule_heterogeneous`] |
 //! | §3 (Ishihara–Yasuura citation) | discrete speed levels | [`discrete`] |
+//! | federated extension | precedence DAGs on bounded cores | [`dag`] ([`dag::solve_dags_in`], [`Scheme::DagFederated`]) |
 //! | §5.1.1 closed forms | Lemma-3 bisection block solver | [`agreeable::solve_single_block_lemma3`] |
 //! | DESIGN.md deviation 3 | overlap-free DP variant | [`agreeable::schedule_strict`] |
 //! | (all of the above) | unified entry point | [`Scheduler`] trait, [`Scheme`] enum, [`solve`] |
@@ -50,6 +51,7 @@
 pub mod agreeable;
 pub mod bounded;
 pub mod common_release;
+pub mod dag;
 pub mod discrete;
 mod fault;
 pub mod online;

@@ -127,6 +127,13 @@ pub struct BoundedBnb(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoundedRefined(pub usize);
 
+/// Federated decomposition onto the given core budget: tasks are packed
+/// LPT-style onto cores, chopped into sequential per-core windows, and
+/// each core's window sequence is energy-minimized by the routed paper
+/// solvers (see [`crate::dag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagFederated(pub usize);
+
 impl Scheduler for CommonReleaseAlphaZero {
     fn name(&self) -> &'static str {
         "common-release-alpha-zero"
@@ -297,6 +304,20 @@ impl Scheduler for BoundedRefined {
     }
 }
 
+impl Scheduler for DagFederated {
+    fn name(&self) -> &'static str {
+        "dag-federated"
+    }
+    fn solve_into(
+        &self,
+        tasks: &TaskSet,
+        platform: &Platform,
+        ws: &mut Workspace,
+    ) -> Result<Solution, SdemError> {
+        crate::dag::solve_federated_in(tasks, platform, self.0, ws)
+    }
+}
+
 /// Scheme selector for [`solve`]: every [`Scheduler`] implementation as a
 /// value, plus [`Scheme::Auto`] routing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -334,6 +355,8 @@ pub enum Scheme {
     /// admits — exact (`n ≤` [`bounded::EXACT_LIMIT`]), branch-and-bound
     /// (`n ≤` [`bounded::BNB_LIMIT`]), else LPT + refine.
     BoundedAuto(usize),
+    /// [`DagFederated`] with the given core budget.
+    DagFederated(usize),
 }
 
 impl Scheme {
@@ -356,6 +379,7 @@ impl Scheme {
             Scheme::BoundedBnb(_) => "solve/bounded-bnb",
             Scheme::BoundedRefined(_) => "solve/bounded-refined",
             Scheme::BoundedAuto(_) => "solve/bounded-auto",
+            Scheme::DagFederated(_) => "solve/dag-federated",
         }
     }
 
@@ -417,6 +441,7 @@ impl Scheduler for Scheme {
             Scheme::BoundedBnb(_) => BoundedBnb(0).name(),
             Scheme::BoundedRefined(_) => BoundedRefined(0).name(),
             Scheme::BoundedAuto(_) => "bounded-auto",
+            Scheme::DagFederated(_) => DagFederated(0).name(),
         }
     }
 
@@ -451,6 +476,7 @@ impl Scheduler for Scheme {
             Scheme::BoundedExact(n) => BoundedExact(n).solve_into(tasks, platform, ws),
             Scheme::BoundedBnb(n) => BoundedBnb(n).solve_into(tasks, platform, ws),
             Scheme::BoundedRefined(n) => BoundedRefined(n).solve_into(tasks, platform, ws),
+            Scheme::DagFederated(n) => DagFederated(n).solve_into(tasks, platform, ws),
         };
         sdem_obs::registry::record_elapsed(label, clock);
         result

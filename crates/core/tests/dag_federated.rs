@@ -1,0 +1,295 @@
+//! Differential and metamorphic properties of the federated DAG pipeline.
+//!
+//! Instead of pinning outputs, each family pins a *relation* the
+//! construction guarantees, over hundreds of seeded instances:
+//!
+//! 1. a single-node DAG degenerates to the paper's single-task solver —
+//!    same schedule, bit-identical repriced energy;
+//! 2. a chain DAG on one core is exactly the serialized-window task set
+//!    the chopper derives — the test rebuilds those windows from the
+//!    published chop arithmetic and demands bitwise agreement;
+//! 3. scaling every WCET and the window by the same factor `k` preserves
+//!    the optimal speed profile (speeds depend only on work/time ratios);
+//! 4. the per-core reports embedded in a [`DagReport`] are re-derivable
+//!    from the merged schedule, and the merged solution must survive the
+//!    sim-oracle meter — divergence is a hard failure, not a warning.
+
+use sdem_core::dag::{solve_dags, DagReport};
+use sdem_core::{solve, OracleOptions, Scheme, Solution};
+use sdem_power::Platform;
+use sdem_prng::SplitMix64;
+use sdem_types::{CoreId, Cycles, Placement, Schedule, Task, TaskSet, Time};
+use sdem_workload::dag::{self, Dag, DagConfig, DagNode};
+
+/// Seeded instances per property.
+const CASES_PER_PROPERTY: u64 = 100;
+
+fn platform() -> Platform {
+    Platform::paper_defaults()
+}
+
+/// Deterministic f64 in `[lo, hi)` from a seed stream.
+fn draw(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    let u = (rng.next_value() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    lo + u * (hi - lo)
+}
+
+/// Remaps every placement of `solution` onto `core`, reprices the result
+/// with the same interval pricing the DAG pipeline uses, and returns it.
+fn on_core(solution: Solution, core: usize, platform: &Platform) -> Solution {
+    let placements = solution
+        .into_schedule()
+        .into_placements()
+        .into_iter()
+        .map(|p| {
+            let task = p.task();
+            Placement::new(task, CoreId(core), p.into_segments())
+        })
+        .collect();
+    Solution::from_schedule(Schedule::new(placements), platform)
+}
+
+#[test]
+fn single_node_dag_degenerates_to_the_single_task_solver() {
+    let platform = platform();
+    for seed in 0..2 * CASES_PER_PROPERTY {
+        let mut rng = SplitMix64::new(SplitMix64::mix(&[0xD1FF, seed]));
+        let work = draw(&mut rng, 2.0e6, 5.0e7);
+        let deadline = Time::from_millis(draw(&mut rng, 50.0, 150.0));
+        let dag = Dag::new(
+            format!("single-{seed}"),
+            Time::ZERO,
+            deadline,
+            None,
+            vec![DagNode::new(0, Cycles::new(work))],
+            vec![],
+        )
+        .unwrap();
+        let report = solve_dags(std::slice::from_ref(&dag), &platform, 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: federated solve failed: {e}"));
+
+        let tasks =
+            TaskSet::new(vec![Task::new(0, Time::ZERO, deadline, Cycles::new(work))]).unwrap();
+        let auto = solve(&tasks, &platform, Scheme::Auto)
+            .unwrap_or_else(|e| panic!("seed {seed}: task solve failed: {e}"));
+        let expected = on_core(auto, 0, &platform);
+
+        assert_eq!(
+            report.solution.predicted_energy().value().to_bits(),
+            expected.predicted_energy().value().to_bits(),
+            "seed {seed}: single-node DAG energy diverged from the task solver"
+        );
+        assert_eq!(
+            report.solution.schedule(),
+            expected.schedule(),
+            "seed {seed}: schedules diverged"
+        );
+        assert_eq!(
+            report.clusters, 0,
+            "seed {seed}: a light DAG needs no cluster"
+        );
+        assert_eq!(report.cores_used, 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn chain_dag_on_one_core_is_the_serialized_window_set() {
+    let platform = platform();
+    for seed in 0..CASES_PER_PROPERTY {
+        let mut rng = SplitMix64::new(SplitMix64::mix(&[0xC4A1, seed]));
+        let n = 2 + (seed % 6) as usize;
+        let works: Vec<f64> = (0..n).map(|_| draw(&mut rng, 2.0e6, 5.0e6)).collect();
+        let deadline = Time::from_millis(120.0);
+        let dag = Dag::new(
+            format!("chain-{seed}"),
+            Time::ZERO,
+            deadline,
+            None,
+            works
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| DagNode::new(i, Cycles::new(w)))
+                .collect(),
+            (0..n - 1).map(|i| (i, i + 1)).collect(),
+        )
+        .unwrap();
+        let report = solve_dags(std::slice::from_ref(&dag), &platform, 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: federated solve failed: {e}"));
+
+        // Rebuild the serialized windows with the pipeline's published
+        // chop arithmetic: boundaries at `r0 + span·(cumᵢ/total)`, the
+        // last snapped to the deadline exactly.
+        let span = deadline - Time::ZERO;
+        let total: f64 = works.iter().sum();
+        let mut cum = 0.0;
+        let mut window_start = Time::ZERO;
+        let mut serialized = Vec::new();
+        for (i, &w) in works.iter().enumerate() {
+            cum += w;
+            let window_end = if cum >= total {
+                deadline
+            } else {
+                Time::ZERO + span * (cum / total)
+            };
+            serialized.push(Task::new(i, window_start, window_end, Cycles::new(w)));
+            window_start = window_end;
+        }
+        let serialized = TaskSet::new(serialized).unwrap();
+        let auto = solve(&serialized, &platform, Scheme::Auto)
+            .unwrap_or_else(|e| panic!("seed {seed}: serialized solve failed: {e}"));
+        let expected = on_core(auto, 0, &platform);
+
+        assert_eq!(
+            report.solution.predicted_energy().value().to_bits(),
+            expected.predicted_energy().value().to_bits(),
+            "seed {seed}: chain energy diverged from the serialized windows"
+        );
+        assert_eq!(
+            report.solution.schedule(),
+            expected.schedule(),
+            "seed {seed}: schedules diverged"
+        );
+    }
+}
+
+/// Rebuilds `dag` with works, offsets and the window scaled by `k`.
+fn scaled(dag: &Dag, k: f64) -> Dag {
+    Dag::new(
+        dag.name(),
+        Time::from_secs(dag.release().as_secs() * k),
+        Time::from_secs(dag.deadline().as_secs() * k),
+        dag.period().map(|p| Time::from_secs(p.as_secs() * k)),
+        (0..dag.node_count())
+            .map(|v| {
+                DagNode::with_offset(
+                    v,
+                    dag.work_of(v) * k,
+                    Time::from_secs(dag.offset_of(v).as_secs() * k),
+                )
+            })
+            .collect(),
+        dag.edges().to_vec(),
+    )
+    .expect("scaling a valid DAG by a positive factor keeps it valid")
+}
+
+/// Per-placement segment speeds, in schedule order.
+fn speed_profile(solution: &Solution) -> Vec<Vec<f64>> {
+    solution
+        .schedule()
+        .placements()
+        .iter()
+        .map(|p| p.segments().iter().map(|s| s.speed().as_hz()).collect())
+        .collect()
+}
+
+#[test]
+fn scaling_work_and_window_preserves_the_speed_profile() {
+    // Scale invariance holds for the pure-DVS objective: speeds depend
+    // only on work/time ratios. Transition break-evens are *absolute*
+    // thresholds (a 40 ms sleep does not scale with the instance), so the
+    // property is stated on a zero-overhead platform, where Auto routes
+    // to the §4/§5 schemes the paper proves it for.
+    let platform = Platform::new(
+        sdem_power::CorePower::cortex_a57().with_break_even(Time::ZERO),
+        sdem_power::MemoryPower::new(sdem_types::Watts::new(4.0)).with_break_even(Time::ZERO),
+    );
+    for seed in 0..CASES_PER_PROPERTY {
+        let config = DagConfig::paper(6 + (seed % 5) as usize, Time::from_millis(120.0));
+        let base = dag::random(&config, SplitMix64::mix(&[0x5CA1E, seed]));
+        let k = [0.5, 2.0, 8.0][(seed % 3) as usize];
+        let grown = scaled(&base, k);
+
+        let a = solve_dags(std::slice::from_ref(&base), &platform, 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: base solve failed: {e}"));
+        let b = solve_dags(std::slice::from_ref(&grown), &platform, 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: scaled solve failed: {e}"));
+        let (sa, sb) = (speed_profile(&a.solution), speed_profile(&b.solution));
+        assert_eq!(sa.len(), sb.len(), "seed {seed}: placement counts diverged");
+        for (pa, pb) in sa.iter().zip(&sb) {
+            assert_eq!(pa.len(), pb.len(), "seed {seed}: segment counts diverged");
+            for (&va, &vb) in pa.iter().zip(pb) {
+                assert!(
+                    (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                    "seed {seed}, k {k}: speed {va} Hz became {vb} Hz"
+                );
+            }
+        }
+        assert_eq!(
+            a.assignments, b.assignments,
+            "seed {seed}: allocation moved"
+        );
+    }
+}
+
+/// Reprices core `c`'s slice of the merged schedule independently.
+fn repriced_core(report: &DagReport, core: usize, platform: &Platform) -> Solution {
+    let placements: Vec<Placement> = report
+        .solution
+        .schedule()
+        .placements()
+        .iter()
+        .filter(|p| p.core() == CoreId(core))
+        .map(|p| Placement::new(p.task(), p.core(), p.segments().to_vec()))
+        .collect();
+    Solution::from_schedule(Schedule::new(placements), platform)
+}
+
+#[test]
+fn per_core_reports_rederive_from_the_merged_schedule_and_pass_the_oracle() {
+    let platform = platform();
+    for seed in 0..CASES_PER_PROPERTY {
+        let config = DagConfig::paper(9, Time::from_millis(120.0));
+        let dags = dag::suite(
+            &config,
+            2 + (seed % 3) as usize,
+            SplitMix64::mix(&[0x0AC1E, seed]),
+        );
+        let cores = 4 + (seed % 5) as usize;
+        let report = solve_dags(&dags, &platform, cores)
+            .unwrap_or_else(|e| panic!("seed {seed}: federated solve failed: {e}"));
+
+        // The merged schedule must survive the independent interval
+        // meter; divergence is a bug in the pipeline, not noise.
+        let metered = report
+            .verify_against_meter(&platform, OracleOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: oracle divergence: {e}"));
+        let predicted = report.solution.predicted_energy().value();
+        assert!(
+            (metered.value() - predicted).abs() <= 1e-6 * predicted.max(1.0),
+            "seed {seed}: meter {} J vs repriced {predicted} J",
+            metered.value()
+        );
+
+        // Each embedded per-core report is exactly the independent
+        // repricing of that core's slice of the merged schedule.
+        let mut per_core_sum = 0.0;
+        for c in &report.per_core {
+            let independent = repriced_core(&report, c.core.0, &platform);
+            assert_eq!(
+                c.energy.value().to_bits(),
+                independent.predicted_energy().value().to_bits(),
+                "seed {seed}: core {} energy is not re-derivable",
+                c.core.0
+            );
+            assert_eq!(
+                c.memory_sleep.value().to_bits(),
+                independent.memory_sleep().value().to_bits(),
+                "seed {seed}: core {} sleep is not re-derivable",
+                c.core.0
+            );
+            per_core_sum += c.energy.value();
+        }
+        // Per-core pricing bills the memory once per core, the aggregate
+        // bills the busy-union once — so the sum is an upper bound.
+        assert!(
+            report.solution.predicted_energy().value() <= per_core_sum + 1e-9,
+            "seed {seed}: aggregate exceeds the per-core sum"
+        );
+        assert_eq!(
+            report.per_core.len(),
+            report.cores_used,
+            "seed {seed}: one report per busy core"
+        );
+    }
+}

@@ -99,6 +99,11 @@ pub enum Counter {
     /// Journaled responses replayed verbatim by `replay --resume`
     /// instead of being re-solved.
     ServeRecoveredSeqs,
+    /// Dedicated core clusters allocated to heavy DAGs by the federated
+    /// pipeline.
+    DagClusters,
+    /// DAG instances the federated pipeline rejected as infeasible.
+    DagInfeasible,
 }
 
 /// Stable export names, indexed by `Counter as usize`.
@@ -135,6 +140,8 @@ const COUNTER_NAMES: &[&str] = &[
     "serve/worker_restarts",
     "serve/degraded_responses",
     "serve/recovered_seqs",
+    "dag/clusters",
+    "dag/infeasible",
 ];
 
 impl Counter {
@@ -465,9 +472,11 @@ mod tests {
             "serve/degraded_responses"
         );
         assert_eq!(Counter::ServeRecoveredSeqs.name(), "serve/recovered_seqs");
+        assert_eq!(Counter::DagClusters.name(), "dag/clusters");
+        assert_eq!(Counter::DagInfeasible.name(), "dag/infeasible");
         assert_eq!(
             COUNTER_NAMES.len(),
-            Counter::ServeRecoveredSeqs as usize + 1,
+            Counter::DagInfeasible as usize + 1,
             "COUNTER_NAMES must have one entry per Counter variant"
         );
     }

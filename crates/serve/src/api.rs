@@ -147,11 +147,12 @@ pub fn scheme_from_name(name: &str, cores: usize) -> Result<Scheme, ApiError> {
         "bounded-bnb" => Ok(Scheme::BoundedBnb(cores)),
         "bounded-refined" => Ok(Scheme::BoundedRefined(cores)),
         "bounded-lpt" => Ok(Scheme::BoundedLpt(cores)),
+        "dag-federated" => Ok(Scheme::DagFederated(cores)),
         other => Err(ApiError::bad_request(format!(
             "unknown scheme `{other}` (expected auto, sdem-on, cr-alpha-zero, \
              cr-alpha-nonzero, cr-overhead, agreeable, agreeable-strict, \
-             bounded-auto, bounded-exact, bounded-bnb, bounded-refined or \
-             bounded-lpt)"
+             bounded-auto, bounded-exact, bounded-bnb, bounded-refined, \
+             bounded-lpt or dag-federated)"
         ))),
     }
 }
@@ -572,6 +573,25 @@ mod tests {
         let executed = execute(&req, &platform).unwrap();
         assert_eq!(executed.response.scheme, "bounded-auto");
         assert_eq!(executed.response.resolved, "solve/bounded-exact");
+        assert!(executed.response.energy_j > 0.0);
+    }
+
+    #[test]
+    fn dag_federated_routes_with_the_core_budget() {
+        assert_eq!(
+            scheme_from_name("dag-federated", 3).unwrap(),
+            Scheme::DagFederated(3)
+        );
+        let req = SolveRequest::parse_line(
+            "{\"v\":1,\"id\":12,\"scheme\":\"dag-federated\",\"cores\":2,\
+             \"tasks\":[[0,0.0,80.0,8e6],[1,0.0,80.0,1.2e7]]}",
+        )
+        .unwrap();
+        assert_eq!(req.scheme, Scheme::DagFederated(2));
+        let platform = req.platform().unwrap();
+        let executed = execute(&req, &platform).unwrap();
+        assert_eq!(executed.response.scheme, "dag-federated");
+        assert_eq!(executed.response.resolved, "solve/dag-federated");
         assert!(executed.response.energy_j > 0.0);
     }
 

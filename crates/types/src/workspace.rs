@@ -21,7 +21,8 @@
 //!   its own instance; nothing is shared.
 
 use crate::{
-    CoreId, IntervalSet, Partition, Placement, Schedule, Segment, Task, TaskRow, TaskSoa, Time,
+    CoreId, Cycles, IntervalSet, Partition, Placement, Schedule, Segment, Task, TaskRow, TaskSoa,
+    Time,
 };
 
 /// Pools of per-trial scratch buffers (see module docs for the contract).
@@ -58,6 +59,8 @@ pub struct Workspace {
     soas: Vec<TaskSoa>,
     partitions: Vec<Partition>,
     interval_lists: Vec<Vec<IntervalSet>>,
+    cycles: Vec<Vec<Cycles>>,
+    task_lists: Vec<Vec<Vec<Task>>>,
 }
 
 macro_rules! pool {
@@ -162,6 +165,33 @@ impl Workspace {
         Partition,
         "task→core partition"
     );
+
+    pool!(
+        take_cycles,
+        recycle_cycles,
+        cycles,
+        Vec<Cycles>,
+        "cycle-count scratch (DAG layer/core loads)"
+    );
+
+    /// Takes an empty list-of-task-lists buffer from the pool (the DAG
+    /// pipeline's per-core window arenas).
+    ///
+    /// The outer `Vec` comes back empty; populate it by pushing arenas
+    /// taken with [`take_tasks`](Self::take_tasks) (one per core, say).
+    pub fn take_task_list(&mut self) -> Vec<Vec<Task>> {
+        self.task_lists.pop().unwrap_or_default()
+    }
+
+    /// Returns a list of task arenas to the pools. The inner arenas are
+    /// drained into the task pool (a plain `clear` would drop their
+    /// allocations) before the emptied outer `Vec` is repooled.
+    pub fn recycle_task_list(&mut self, mut list: Vec<Vec<Task>>) {
+        for arena in list.drain(..) {
+            self.recycle_tasks(arena);
+        }
+        self.task_lists.push(list);
+    }
 
     /// Takes an empty list-of-interval-sets buffer from the pool.
     ///

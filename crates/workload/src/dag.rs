@@ -1,0 +1,1153 @@
+//! Precedence-constrained DAG task sets for the federated pipeline.
+//!
+//! A [`Dag`] is one precedence-constrained application: nodes carry a WCET
+//! in cycles plus an optional release offset, directed edges are
+//! precedence constraints, and the whole DAG shares one `[release,
+//! deadline]` window (optionally a period for hyperperiod analysis). The
+//! model is deliberately small — exactly what the federated decomposition
+//! in `sdem_core::dag` consumes:
+//!
+//! * structural validation (duplicate/out-of-range nodes, dangling edges,
+//!   cycles) with typed [`DagError`]s folded into the workspace-wide
+//!   [`ErrorKind`] taxonomy;
+//! * precomputed longest-path *layers* (every edge crosses at least one
+//!   layer boundary, so any schedule that respects layer-ordered windows
+//!   respects every precedence edge);
+//! * bit-stable metrics — [`Dag::total_work`] and
+//!   [`Dag::critical_path_work`] are invariant under node relabeling at
+//!   the bit level, which the determinism suites pin;
+//! * a zero-dependency YAML-subset ingester ([`Dag::from_yaml`],
+//!   [`dags_from_yaml`]) whose [`fmt::Display`] output parses back
+//!   exactly;
+//! * a seeded layered random-DAG generator ([`random`], [`suite`]) on the
+//!   vendored ChaCha8/SplitMix64 PRNGs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdem_workload::dag::{Dag, DagNode};
+//! use sdem_types::{Cycles, Time};
+//!
+//! let dag = Dag::new(
+//!     "pipeline",
+//!     Time::ZERO,
+//!     Time::from_millis(100.0),
+//!     None,
+//!     vec![DagNode::new(0, Cycles::new(2.0e6)), DagNode::new(1, Cycles::new(3.0e6))],
+//!     vec![(0, 1)],
+//! )?;
+//! assert_eq!(dag.layer_count(), 2);
+//! assert!((dag.critical_path_work().value() - 5.0e6).abs() < 1.0);
+//! let text = dag.to_string();
+//! assert_eq!(Dag::from_yaml(&text)?, dag);
+//! # Ok::<(), sdem_workload::dag::DagError>(())
+//! ```
+
+use core::fmt;
+
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng, SplitMix64};
+use sdem_types::{Cycles, ErrorKind, Speed, Time};
+
+use crate::periodic::{hyperperiod, HyperperiodError, PeriodicTask};
+
+/// One DAG node: an id, a WCET in cycles, and a release offset relative
+/// to the DAG's release instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagNode {
+    /// Node id; the ids of a DAG must form a permutation of `0..n`.
+    pub id: usize,
+    /// Worst-case execution demand, cycles. Must be positive and finite.
+    pub work: Cycles,
+    /// Release offset relative to the DAG release (≥ 0, finite).
+    pub offset: Time,
+}
+
+impl DagNode {
+    /// A node with a zero release offset.
+    pub fn new(id: usize, work: Cycles) -> Self {
+        Self {
+            id,
+            work,
+            offset: Time::ZERO,
+        }
+    }
+
+    /// A node released `offset` after the DAG's release instant.
+    pub fn with_offset(id: usize, work: Cycles, offset: Time) -> Self {
+        Self { id, work, offset }
+    }
+}
+
+/// Why a DAG definition was rejected. All variants are *data* errors —
+/// they classify as [`ErrorKind::BadRequest`] in the workspace taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DagError {
+    /// The DAG has no nodes.
+    Empty,
+    /// Two nodes declare the same id.
+    DuplicateNode {
+        /// The repeated id.
+        id: usize,
+    },
+    /// A node id is outside `0..n` (ids must be a permutation of `0..n`).
+    NodeOutOfRange {
+        /// The offending id.
+        id: usize,
+        /// The node count `n`.
+        nodes: usize,
+    },
+    /// A node's work or offset is non-finite, non-positive work, or a
+    /// negative offset.
+    InvalidNode {
+        /// The offending node id.
+        id: usize,
+        /// What was wrong, human-readable.
+        reason: &'static str,
+    },
+    /// An edge endpoint names a node that does not exist.
+    DanglingEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+        /// The node count `n`.
+        nodes: usize,
+    },
+    /// The same directed edge is declared twice.
+    DuplicateEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// The edge relation has a directed cycle (self-loops included).
+    Cycle {
+        /// The smallest node id on some cycle.
+        node: usize,
+    },
+    /// `deadline ≤ release`, or a non-finite window or period.
+    InvalidWindow,
+    /// The YAML-subset text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was expected, human-readable.
+        message: String,
+    },
+}
+
+impl DagError {
+    /// Classifies this error in the workspace-wide [`ErrorKind`] taxonomy.
+    pub const fn error_kind(&self) -> ErrorKind {
+        ErrorKind::BadRequest
+    }
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "DAG has no nodes"),
+            Self::DuplicateNode { id } => write!(f, "node id {id} declared twice"),
+            Self::NodeOutOfRange { id, nodes } => write!(
+                f,
+                "node id {id} out of range (ids must be a permutation of 0..{nodes})"
+            ),
+            Self::InvalidNode { id, reason } => write!(f, "node {id}: {reason}"),
+            Self::DanglingEdge { from, to, nodes } => write!(
+                f,
+                "edge [{from}, {to}] dangles (only node ids 0..{nodes} exist)"
+            ),
+            Self::DuplicateEdge { from, to } => write!(f, "edge [{from}, {to}] declared twice"),
+            Self::Cycle { node } => write!(f, "precedence cycle through node {node}"),
+            Self::InvalidWindow => write!(
+                f,
+                "DAG window must satisfy release < deadline with finite times \
+                 and a positive finite period"
+            ),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated precedence DAG with precomputed layers and metrics.
+///
+/// Construction ([`Dag::new`]) checks every structural invariant, so any
+/// `Dag` value is safe to hand to the federated pipeline. Equality is
+/// structural (name, window, nodes, canonically sorted edges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dag {
+    name: String,
+    release: Time,
+    deadline: Time,
+    period: Option<Time>,
+    works: Vec<Cycles>,
+    offsets: Vec<Time>,
+    edges: Vec<(usize, usize)>,
+    layer_of: Vec<usize>,
+    layer_members: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+    total_work: Cycles,
+    critical_path: Cycles,
+}
+
+impl Dag {
+    /// Validates and builds a DAG.
+    ///
+    /// Node ids must form a permutation of `0..nodes.len()`; edges must
+    /// connect existing nodes, contain no duplicates and no directed
+    /// cycle; the window must satisfy `release < deadline` with finite
+    /// times. Edges are stored canonically sorted, so two declarations of
+    /// the same DAG compare equal regardless of edge order.
+    ///
+    /// # Errors
+    ///
+    /// A [`DagError`] naming the first violated invariant.
+    pub fn new(
+        name: impl Into<String>,
+        release: Time,
+        deadline: Time,
+        period: Option<Time>,
+        nodes: Vec<DagNode>,
+        mut edges: Vec<(usize, usize)>,
+    ) -> Result<Self, DagError> {
+        let n = nodes.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        if !(release.is_finite() && deadline.is_finite() && release < deadline) {
+            return Err(DagError::InvalidWindow);
+        }
+        if let Some(p) = period {
+            if !(p.is_finite() && p.value() > 0.0) {
+                return Err(DagError::InvalidWindow);
+            }
+        }
+        let mut works = vec![Cycles::ZERO; n];
+        let mut offsets = vec![Time::ZERO; n];
+        let mut seen = vec![false; n];
+        for node in &nodes {
+            if node.id >= n {
+                return Err(DagError::NodeOutOfRange {
+                    id: node.id,
+                    nodes: n,
+                });
+            }
+            if seen[node.id] {
+                return Err(DagError::DuplicateNode { id: node.id });
+            }
+            seen[node.id] = true;
+            if !(node.work.is_finite() && node.work.value() > 0.0) {
+                return Err(DagError::InvalidNode {
+                    id: node.id,
+                    reason: "work must be positive and finite",
+                });
+            }
+            if !(node.offset.is_finite() && node.offset.value() >= 0.0) {
+                return Err(DagError::InvalidNode {
+                    id: node.id,
+                    reason: "offset must be non-negative and finite",
+                });
+            }
+            works[node.id] = node.work;
+            offsets[node.id] = node.offset;
+        }
+
+        edges.sort_unstable();
+        for window in edges.windows(2) {
+            if window[0] == window[1] {
+                return Err(DagError::DuplicateEdge {
+                    from: window[0].0,
+                    to: window[0].1,
+                });
+            }
+        }
+        for &(from, to) in &edges {
+            if from >= n || to >= n {
+                return Err(DagError::DanglingEdge { from, to, nodes: n });
+            }
+            if from == to {
+                return Err(DagError::Cycle { node: from });
+            }
+        }
+
+        // Kahn's algorithm: topological processing computes the
+        // longest-path layer of every node and detects cycles (some node
+        // never reaches indegree zero).
+        let mut indegree = vec![0usize; n];
+        let mut successors = vec![Vec::new(); n];
+        for &(from, to) in &edges {
+            indegree[to] += 1;
+            successors[from].push(to);
+        }
+        let mut layer_of = vec![0usize; n];
+        // Longest work-weighted path ending at each node; the maximum over
+        // predecessors is order-independent, so the result is bit-stable
+        // under relabeling.
+        let mut longest = works.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &s in &successors[v] {
+                layer_of[s] = layer_of[s].max(layer_of[v] + 1);
+                longest[s] = longest[s].max(longest[v] + works[s]);
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if queue.len() < n {
+            let node = (0..n).find(|&v| indegree[v] > 0).unwrap_or(0);
+            return Err(DagError::Cycle { node });
+        }
+
+        let layer_count = layer_of.iter().copied().max().unwrap_or(0) + 1;
+        let mut layer_members = vec![Vec::new(); layer_count];
+        for v in 0..n {
+            layer_members[layer_of[v]].push(v);
+        }
+        // Canonical member order: work descending, id ascending. The id
+        // only breaks ties between equal-work (indistinguishable) nodes,
+        // so everything derived from this order is relabeling-invariant.
+        for members in &mut layer_members {
+            members
+                .sort_unstable_by(|&a, &b| works[b].total_cmp(&works[a]).then_with(|| a.cmp(&b)));
+        }
+        let topo: Vec<usize> = layer_members.iter().flatten().copied().collect();
+
+        // Canonical descending sum order makes the total bit-invariant
+        // under relabeling too.
+        let mut sorted = works.clone();
+        sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+        let total_work: Cycles = sorted.into_iter().sum();
+        let critical_path = longest.iter().fold(Cycles::ZERO, |acc, &c| acc.max(c));
+
+        Ok(Self {
+            name: name.into(),
+            release,
+            deadline,
+            period,
+            works,
+            offsets,
+            edges,
+            layer_of,
+            layer_members,
+            topo,
+            total_work,
+            critical_path,
+        })
+    }
+
+    /// The DAG's name (used in reports and YAML).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Release instant of the whole DAG.
+    pub fn release(&self) -> Time {
+        self.release
+    }
+
+    /// Absolute deadline of the whole DAG.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Optional period, for hyperperiod analysis.
+    pub fn period(&self) -> Option<Time> {
+        self.period
+    }
+
+    /// The scheduling window `deadline − release`.
+    pub fn span(&self) -> Time {
+        self.deadline - self.release
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.works.len()
+    }
+
+    /// WCET of node `id`, in cycles.
+    pub fn work_of(&self, id: usize) -> Cycles {
+        self.works[id]
+    }
+
+    /// Release offset of node `id`, relative to [`Dag::release`].
+    pub fn offset_of(&self, id: usize) -> Time {
+        self.offsets[id]
+    }
+
+    /// The canonically sorted precedence edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Longest-path layer of node `id` (sources are layer 0; every edge
+    /// crosses at least one layer boundary).
+    pub fn layer_of(&self, id: usize) -> usize {
+        self.layer_of[id]
+    }
+
+    /// Number of layers (the critical path's node count).
+    pub fn layer_count(&self) -> usize {
+        self.layer_members.len()
+    }
+
+    /// Nodes of one layer, in canonical (work desc, id asc) order.
+    pub fn layer_members(&self, layer: usize) -> &[usize] {
+        &self.layer_members[layer]
+    }
+
+    /// A topological order (layer-major, canonical within each layer).
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Total WCET `W`, summed in a canonical order so the result is
+    /// bit-identical under node relabeling.
+    pub fn total_work(&self) -> Cycles {
+        self.total_work
+    }
+
+    /// Work along the heaviest precedence chain `L` (the DAG's critical
+    /// path), bit-identical under node relabeling.
+    pub fn critical_path_work(&self) -> Cycles {
+        self.critical_path
+    }
+
+    /// Utilization at `speed`: total execution time over the window.
+    pub fn utilization(&self, speed: Speed) -> f64 {
+        (self.total_work / speed) / self.span()
+    }
+
+    /// Whether the DAG needs more than one core at `speed`
+    /// (federated density > 1).
+    pub fn is_heavy(&self, speed: Speed) -> bool {
+        self.utilization(speed) > 1.0
+    }
+
+    /// The classic federated lower bound on dedicated cores at `speed`:
+    /// `⌈(W − L) / (D − L)⌉` with `W`, `L` in time at `speed` and `D` the
+    /// window. `None` when even the critical path misses the deadline.
+    pub fn federated_cores(&self, speed: Speed) -> Option<usize> {
+        let w = self.total_work / speed;
+        let l = self.critical_path / speed;
+        let d = self.span();
+        if l > d {
+            return None;
+        }
+        if w <= d {
+            return Some(1);
+        }
+        if d <= l {
+            // w > d = l: parallelism cannot help a pure chain.
+            return None;
+        }
+        let m = ((w - l) / (d - l)).ceil();
+        Some((m as usize).max(1))
+    }
+
+    /// Assigns nodes to `cores` with layer-wise LPT (longest processing
+    /// time first, least-loaded core, lowest core index on ties).
+    ///
+    /// Outputs: `assignment[id] = core`, `layer_loads[layer] =` heaviest
+    /// core load of that layer; `core_loads` is scratch. All three are
+    /// cleared and refilled — with warm capacity the call allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn assign_layered_into(
+        &self,
+        cores: usize,
+        assignment: &mut Vec<usize>,
+        layer_loads: &mut Vec<Cycles>,
+        core_loads: &mut Vec<Cycles>,
+    ) {
+        assert!(cores > 0, "assign_layered_into requires at least one core");
+        assignment.clear();
+        assignment.resize(self.node_count(), 0);
+        layer_loads.clear();
+        for members in &self.layer_members {
+            core_loads.clear();
+            core_loads.resize(cores, Cycles::ZERO);
+            for &v in members {
+                let mut best = 0;
+                for c in 1..cores {
+                    if core_loads[c] < core_loads[best] {
+                        best = c;
+                    }
+                }
+                assignment[v] = best;
+                core_loads[best] += self.works[v];
+            }
+            let heaviest = core_loads.iter().fold(Cycles::ZERO, |acc, &c| acc.max(c));
+            layer_loads.push(heaviest);
+        }
+    }
+
+    /// Work-measured makespan of the layer-wise LPT list schedule on
+    /// `cores` cores: the sum of per-layer heaviest core loads. Satisfies
+    /// `critical_path_work ≤ makespan ≤ total_work` by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn list_makespan_work(&self, cores: usize) -> Cycles {
+        let mut assignment = Vec::new();
+        let mut layer_loads = Vec::new();
+        let mut core_loads = Vec::new();
+        self.assign_layered_into(cores, &mut assignment, &mut layer_loads, &mut core_loads);
+        layer_loads.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// YAML subset
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Dag {
+    /// Renders the canonical YAML-subset form; [`Dag::from_yaml`] parses
+    /// it back to an equal `Dag` exactly (times are printed in seconds
+    /// with Rust's shortest round-trip `f64` formatting).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "name: {}", self.name)?;
+        writeln!(f, "release_s: {}", self.release.as_secs())?;
+        writeln!(f, "deadline_s: {}", self.deadline.as_secs())?;
+        if let Some(p) = self.period {
+            writeln!(f, "period_s: {}", p.as_secs())?;
+        }
+        writeln!(f, "nodes:")?;
+        for id in 0..self.node_count() {
+            writeln!(f, "  - id: {id}")?;
+            writeln!(f, "    work: {}", self.works[id].value())?;
+            if self.offsets[id].value() != 0.0 {
+                writeln!(f, "    offset_s: {}", self.offsets[id].as_secs())?;
+            }
+        }
+        writeln!(f, "edges:")?;
+        for &(from, to) in &self.edges {
+            writeln!(f, "  - [{from}, {to}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parser state for the YAML subset: which block the cursor is in.
+enum Section {
+    Preamble,
+    Nodes,
+    Edges,
+}
+
+/// One partially parsed document.
+#[derive(Default)]
+struct DocBuilder {
+    name: Option<String>,
+    release: Option<f64>,
+    deadline: Option<f64>,
+    period: Option<f64>,
+    nodes: Vec<DagNode>,
+    edges: Vec<(usize, usize)>,
+    saw_content: bool,
+}
+
+impl DocBuilder {
+    fn finish(self, line: usize) -> Result<Dag, DagError> {
+        let parse = |message: &str| DagError::Parse {
+            line,
+            message: message.to_string(),
+        };
+        let name = self.name.ok_or_else(|| parse("missing `name:`"))?;
+        let release = self.release.ok_or_else(|| parse("missing `release_s:`"))?;
+        let deadline = self
+            .deadline
+            .ok_or_else(|| parse("missing `deadline_s:`"))?;
+        Dag::new(
+            name,
+            Time::from_secs(release),
+            Time::from_secs(deadline),
+            self.period.map(Time::from_secs),
+            self.nodes,
+            self.edges,
+        )
+    }
+}
+
+fn parse_f64(value: &str, line: usize, field: &str) -> Result<f64, DagError> {
+    value.trim().parse().map_err(|_| DagError::Parse {
+        line,
+        message: format!("`{field}` expects a number, got `{}`", value.trim()),
+    })
+}
+
+fn parse_usize(value: &str, line: usize, field: &str) -> Result<usize, DagError> {
+    value.trim().parse().map_err(|_| DagError::Parse {
+        line,
+        message: format!(
+            "`{field}` expects an unsigned integer, got `{}`",
+            value.trim()
+        ),
+    })
+}
+
+/// Parses every document (`---`-separated) of a YAML-subset stream.
+///
+/// # Errors
+///
+/// [`DagError::Parse`] with a 1-based line number for malformed text; any
+/// other [`DagError`] when a parsed document violates a DAG invariant.
+pub fn dags_from_yaml(text: &str) -> Result<Vec<Dag>, DagError> {
+    let mut dags = Vec::new();
+    let mut doc = DocBuilder::default();
+    let mut section = Section::Preamble;
+    let mut last_line = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "---" {
+            if doc.saw_content {
+                dags.push(std::mem::take(&mut doc).finish(line)?);
+                section = Section::Preamble;
+            }
+            continue;
+        }
+        last_line = line;
+        doc.saw_content = true;
+        match trimmed {
+            "nodes:" => {
+                section = Section::Nodes;
+                continue;
+            }
+            "edges:" => {
+                section = Section::Edges;
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            Section::Preamble => {
+                let Some((key, value)) = trimmed.split_once(':') else {
+                    return Err(DagError::Parse {
+                        line,
+                        message: format!("expected `key: value`, got `{trimmed}`"),
+                    });
+                };
+                match key.trim() {
+                    "name" => doc.name = Some(value.trim().to_string()),
+                    "release_s" => doc.release = Some(parse_f64(value, line, "release_s")?),
+                    "deadline_s" => doc.deadline = Some(parse_f64(value, line, "deadline_s")?),
+                    "period_s" => doc.period = Some(parse_f64(value, line, "period_s")?),
+                    other => {
+                        return Err(DagError::Parse {
+                            line,
+                            message: format!("unknown field `{other}`"),
+                        })
+                    }
+                }
+            }
+            Section::Nodes => {
+                if let Some(rest) = trimmed.strip_prefix("- ") {
+                    let Some(value) = rest.trim().strip_prefix("id:") else {
+                        return Err(DagError::Parse {
+                            line,
+                            message: format!("expected `- id: N`, got `{trimmed}`"),
+                        });
+                    };
+                    let id = parse_usize(value, line, "id")?;
+                    doc.nodes.push(DagNode::new(id, Cycles::ZERO));
+                } else {
+                    let Some((key, value)) = trimmed.split_once(':') else {
+                        return Err(DagError::Parse {
+                            line,
+                            message: format!("expected a node field, got `{trimmed}`"),
+                        });
+                    };
+                    let Some(node) = doc.nodes.last_mut() else {
+                        return Err(DagError::Parse {
+                            line,
+                            message: "node field before any `- id:` entry".to_string(),
+                        });
+                    };
+                    match key.trim() {
+                        "work" => node.work = Cycles::new(parse_f64(value, line, "work")?),
+                        "offset_s" => {
+                            node.offset = Time::from_secs(parse_f64(value, line, "offset_s")?);
+                        }
+                        other => {
+                            return Err(DagError::Parse {
+                                line,
+                                message: format!("unknown node field `{other}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            Section::Edges => {
+                let inner = trimmed
+                    .strip_prefix("- [")
+                    .and_then(|r| r.strip_suffix(']'))
+                    .ok_or_else(|| DagError::Parse {
+                        line,
+                        message: format!("expected `- [from, to]`, got `{trimmed}`"),
+                    })?;
+                let Some((from, to)) = inner.split_once(',') else {
+                    return Err(DagError::Parse {
+                        line,
+                        message: format!("expected `- [from, to]`, got `{trimmed}`"),
+                    });
+                };
+                doc.edges.push((
+                    parse_usize(from, line, "edge source")?,
+                    parse_usize(to, line, "edge target")?,
+                ));
+            }
+        }
+    }
+    if doc.saw_content {
+        dags.push(doc.finish(last_line.max(1))?);
+    }
+    if dags.is_empty() {
+        return Err(DagError::Parse {
+            line: 1,
+            message: "no DAG documents in input".to_string(),
+        });
+    }
+    Ok(dags)
+}
+
+impl Dag {
+    /// Parses a single-document YAML-subset definition.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DagError`]; [`DagError::Parse`] when the text contains zero
+    /// or more than one document.
+    pub fn from_yaml(text: &str) -> Result<Self, DagError> {
+        let mut dags = dags_from_yaml(text)?;
+        if dags.len() != 1 {
+            return Err(DagError::Parse {
+                line: 1,
+                message: format!("expected exactly one DAG document, got {}", dags.len()),
+            });
+        }
+        Ok(dags.remove(0))
+    }
+}
+
+/// Renders a suite of DAGs as a `---`-separated multi-document stream —
+/// the exact input shape [`dags_from_yaml`] reads.
+pub fn dags_to_yaml(dags: &[Dag]) -> String {
+    let mut out = String::new();
+    for (i, dag) in dags.iter().enumerate() {
+        if i > 0 {
+            out.push_str("---\n");
+        }
+        out.push_str(&dag.to_string());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generator
+// ---------------------------------------------------------------------------
+
+/// Configuration of the layered random-DAG generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagConfig {
+    /// Nodes per DAG (≥ 1).
+    pub nodes: usize,
+    /// Target layer count (clamped to `1..=nodes`). Every layer is
+    /// non-empty and every non-source node has a predecessor in the
+    /// previous layer, so the realized layering matches the target.
+    pub layers: usize,
+    /// Probability of each optional extra edge between adjacent layers.
+    pub edge_probability: f64,
+    /// Per-node WCET range in cycles, inclusive.
+    pub work_range: (Cycles, Cycles),
+    /// Release instant of each generated DAG.
+    pub release: Time,
+    /// Absolute deadline of each generated DAG.
+    pub deadline: Time,
+    /// Optional period carried by each generated DAG.
+    pub period: Option<Time>,
+}
+
+impl DagConfig {
+    /// The paper-flavoured defaults: §8.1.2 WCETs (`[2, 5]·10⁶` cycles),
+    /// about three nodes per layer, extra-edge probability 0.35, common
+    /// release at zero and the given frame deadline (also the period).
+    pub fn paper(nodes: usize, frame: Time) -> Self {
+        Self {
+            nodes,
+            layers: nodes.div_ceil(3),
+            edge_probability: 0.35,
+            work_range: (Cycles::new(2.0e6), Cycles::new(5.0e6)),
+            release: Time::ZERO,
+            deadline: frame,
+            period: Some(frame),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes > 0, "DagConfig requires at least one node");
+        assert!(
+            self.edge_probability.is_finite() && (0.0..=1.0).contains(&self.edge_probability),
+            "edge_probability must be in [0, 1]"
+        );
+        let (lo, hi) = self.work_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo.value() > 0.0 && lo <= hi,
+            "work_range must be a positive finite interval"
+        );
+        assert!(
+            self.release.is_finite() && self.deadline.is_finite() && self.release < self.deadline,
+            "DagConfig window must satisfy release < deadline"
+        );
+    }
+}
+
+/// Generates one random layered DAG. Deterministic in `(config, seed)`.
+///
+/// # Panics
+///
+/// Panics on an invalid [`DagConfig`] (programmer error, like the
+/// synthetic generators).
+pub fn random(config: &DagConfig, seed: u64) -> Dag {
+    config.validate();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = config.nodes;
+    let layers = config.layers.clamp(1, n);
+
+    // Layer assignment: the first `layers` nodes pin one node per layer
+    // (no empty layers), the rest draw uniformly.
+    let mut layer_of = vec![0usize; n];
+    for (v, layer) in layer_of.iter_mut().enumerate().take(layers) {
+        *layer = v;
+    }
+    for layer in layer_of.iter_mut().skip(layers) {
+        *layer = rng.gen_range(0..layers);
+    }
+    let mut members = vec![Vec::new(); layers];
+    for (v, &layer) in layer_of.iter().enumerate() {
+        members[layer].push(v);
+    }
+
+    let (lo, hi) = (config.work_range.0.value(), config.work_range.1.value());
+    let nodes: Vec<DagNode> = (0..n)
+        .map(|id| DagNode::new(id, Cycles::new(rng.gen_range(lo..=hi))))
+        .collect();
+
+    // Every non-source node gets one mandatory predecessor in the previous
+    // layer (so its realized longest-path layer equals its assigned one),
+    // then optional extra edges between adjacent layers.
+    let mut edges = Vec::new();
+    for layer in 1..layers {
+        for &v in &members[layer] {
+            let prev = &members[layer - 1];
+            let pick = prev[rng.gen_range(0..prev.len())];
+            edges.push((pick, v));
+        }
+    }
+    for layer in 1..layers {
+        for &u in &members[layer - 1] {
+            for &v in &members[layer] {
+                if edges.contains(&(u, v)) {
+                    continue;
+                }
+                if rng.gen_range(0.0..1.0) < config.edge_probability {
+                    edges.push((u, v));
+                }
+            }
+        }
+    }
+
+    Dag::new(
+        format!("dag-{seed:#x}"),
+        config.release,
+        config.deadline,
+        config.period,
+        nodes,
+        edges,
+    )
+    .expect("generator output is structurally valid by construction")
+}
+
+/// Generates a suite of `count` DAGs; per-DAG seeds are derived with
+/// SplitMix64, so suites with different master seeds are decorrelated.
+pub fn suite(config: &DagConfig, count: usize, seed: u64) -> Vec<Dag> {
+    let mut sm = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| random(config, sm.next_value()))
+        .collect()
+}
+
+/// Hyperperiod of a DAG suite: the LCM of the DAG periods (a DAG without
+/// a period contributes its window span), at the given resolution.
+///
+/// Reuses the periodic machinery — hostile period sets surface as the
+/// same typed [`HyperperiodError`]s the periodic helpers report.
+///
+/// # Errors
+///
+/// See [`hyperperiod`].
+pub fn suite_hyperperiod(dags: &[Dag], resolution: Time) -> Result<Time, HyperperiodError> {
+    let carriers: Vec<PeriodicTask> = dags
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            PeriodicTask::implicit(i, d.period().unwrap_or_else(|| d.span()), Cycles::new(1.0))
+        })
+        .collect();
+    hyperperiod(&carriers, resolution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Time {
+        Time::from_millis(v)
+    }
+
+    fn diamond() -> Dag {
+        Dag::new(
+            "diamond",
+            Time::ZERO,
+            ms(100.0),
+            None,
+            vec![
+                DagNode::new(0, Cycles::new(1.0e6)),
+                DagNode::new(1, Cycles::new(2.0e6)),
+                DagNode::new(2, Cycles::new(3.0e6)),
+                DagNode::new(3, Cycles::new(1.5e6)),
+            ],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_layers_and_metrics() {
+        let d = diamond();
+        assert_eq!(d.layer_count(), 3);
+        assert_eq!(d.layer_of(0), 0);
+        assert_eq!(d.layer_of(1), 1);
+        assert_eq!(d.layer_of(2), 1);
+        assert_eq!(d.layer_of(3), 2);
+        // Layer 1 canonical order: heavier node 2 first.
+        assert_eq!(d.layer_members(1), &[2, 1]);
+        assert!((d.total_work().value() - 7.5e6).abs() < 1.0);
+        // Critical path: 0 → 2 → 3.
+        assert!((d.critical_path_work().value() - 5.5e6).abs() < 1.0);
+        assert_eq!(d.topo_order().len(), 4);
+        // Makespan is sandwiched for every core count.
+        for cores in 1..=4 {
+            let mk = d.list_makespan_work(cores);
+            assert!(d.critical_path_work() <= mk && mk <= d.total_work());
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_typed() {
+        let node = |id| DagNode::new(id, Cycles::new(1.0e6));
+        let win = (Time::ZERO, ms(10.0));
+        assert_eq!(
+            Dag::new("e", win.0, win.1, None, vec![], vec![]),
+            Err(DagError::Empty)
+        );
+        assert_eq!(
+            Dag::new("d", win.0, win.1, None, vec![node(0), node(0)], vec![]),
+            Err(DagError::DuplicateNode { id: 0 })
+        );
+        assert_eq!(
+            Dag::new("r", win.0, win.1, None, vec![node(0), node(2)], vec![]),
+            Err(DagError::NodeOutOfRange { id: 2, nodes: 2 })
+        );
+        assert_eq!(
+            Dag::new("g", win.0, win.1, None, vec![node(0)], vec![(0, 1)]),
+            Err(DagError::DanglingEdge {
+                from: 0,
+                to: 1,
+                nodes: 1
+            })
+        );
+        assert_eq!(
+            Dag::new(
+                "c",
+                win.0,
+                win.1,
+                None,
+                vec![node(0), node(1)],
+                vec![(0, 1), (1, 0)]
+            ),
+            Err(DagError::Cycle { node: 0 })
+        );
+        assert_eq!(
+            Dag::new(
+                "dup",
+                win.0,
+                win.1,
+                None,
+                vec![node(0), node(1)],
+                vec![(0, 1), (0, 1)]
+            ),
+            Err(DagError::DuplicateEdge { from: 0, to: 1 })
+        );
+        assert_eq!(
+            Dag::new("w", ms(10.0), ms(10.0), None, vec![node(0)], vec![]),
+            Err(DagError::InvalidWindow)
+        );
+        assert_eq!(
+            Dag::new(
+                "z",
+                win.0,
+                win.1,
+                None,
+                vec![DagNode::new(0, Cycles::ZERO)],
+                vec![]
+            ),
+            Err(DagError::InvalidNode {
+                id: 0,
+                reason: "work must be positive and finite"
+            })
+        );
+        // Every error classifies as bad-request.
+        assert_eq!(DagError::Empty.error_kind(), ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn yaml_round_trips_and_rejects_garbage() {
+        let d = diamond();
+        let text = d.to_string();
+        assert_eq!(Dag::from_yaml(&text).unwrap(), d);
+
+        // Multi-document stream.
+        let suite = vec![d.clone(), diamond()];
+        let stream = dags_to_yaml(&suite);
+        assert_eq!(dags_from_yaml(&stream).unwrap(), suite);
+
+        // Comments and blank lines are tolerated.
+        let commented = format!("# a comment\n\n{text}");
+        assert_eq!(Dag::from_yaml(&commented).unwrap(), d);
+
+        for garbage in [
+            "",
+            "name only",
+            "name: x\nrelease_s: nope\ndeadline_s: 1\nnodes:\n  - id: 0\n    work: 1\nedges:\n",
+            "name: x\nrelease_s: 0\ndeadline_s: 1\nnodes:\n    work: 1\nedges:\n",
+            "name: x\nrelease_s: 0\ndeadline_s: 1\nnodes:\n  - id: 0\n    work: 1\nedges:\n  - 0 1\n",
+            "name: x\nrelease_s: 0\ndeadline_s: 1\nmystery: 3\n",
+            "name: x\ndeadline_s: 1\nnodes:\n  - id: 0\n    work: 1\nedges:\n",
+        ] {
+            assert!(dags_from_yaml(garbage).is_err(), "accepted: {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_layered() {
+        let cfg = DagConfig::paper(12, ms(100.0));
+        let a = random(&cfg, 7);
+        let b = random(&cfg, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, random(&cfg, 8));
+        assert_eq!(a.node_count(), 12);
+        assert_eq!(a.layer_count(), cfg.layers);
+        // Every non-source node has a predecessor edge (by construction).
+        for v in 0..a.node_count() {
+            if a.layer_of(v) > 0 {
+                assert!(a.edges().iter().any(|&(_, to)| to == v));
+            }
+        }
+        let s = suite(&cfg, 4, 99);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s, suite(&cfg, 4, 99));
+    }
+
+    #[test]
+    fn federated_bound_classifies() {
+        let d = diamond();
+        let fast = Speed::from_mhz(1000.0);
+        assert!(!d.is_heavy(fast));
+        assert_eq!(d.federated_cores(fast), Some(1));
+        // At a speed where even the critical path cannot finish: None.
+        let crawl = Speed::from_mhz(0.01);
+        assert_eq!(d.federated_cores(crawl), None);
+        // Heavy but parallelizable: W/s > D ≥ L/s.
+        let s = Speed::from_mhz(0.1); // W = 75 s, L = 55 s… too slow
+        assert_eq!(d.federated_cores(s), None);
+        let s = Speed::from_mhz(1.05); // W ≈ 7.14 s… window 0.1 s — no.
+        assert_eq!(d.federated_cores(s), None);
+        // Construct a genuinely heavy-but-feasible DAG: wide fan-out.
+        let wide = Dag::new(
+            "wide",
+            Time::ZERO,
+            ms(100.0),
+            None,
+            (0..8)
+                .map(|id| DagNode::new(id, Cycles::new(4.0e6)))
+                .collect(),
+            vec![],
+        )
+        .unwrap();
+        let s = Speed::from_mhz(100.0); // W = 320 ms, L = 40 ms, D = 100 ms
+        assert!(wide.is_heavy(s));
+        // ⌈(320 − 40) / (100 − 40)⌉ = ⌈4.67⌉ = 5.
+        assert_eq!(wide.federated_cores(s), Some(5));
+    }
+
+    #[test]
+    fn suite_hyperperiod_reuses_periodic_errors() {
+        let cfg = DagConfig::paper(4, ms(40.0));
+        let mut dags = suite(&cfg, 2, 3);
+        let h = suite_hyperperiod(&dags, ms(1.0)).unwrap();
+        assert!((h.as_millis() - 40.0).abs() < 1e-9);
+        // Mixed periods LCM.
+        let cfg2 = DagConfig {
+            period: Some(ms(60.0)),
+            deadline: ms(60.0),
+            ..cfg
+        };
+        dags.push(random(&cfg2, 4));
+        let h = suite_hyperperiod(&dags, ms(1.0)).unwrap();
+        assert!((h.as_millis() - 120.0).abs() < 1e-9);
+        // A period that is not a multiple of the resolution is the same
+        // typed error the periodic helpers report.
+        let cfg3 = DagConfig {
+            period: Some(ms(7.30001)),
+            deadline: ms(7.30001),
+            ..cfg
+        };
+        assert_eq!(
+            suite_hyperperiod(&[random(&cfg3, 1)], ms(1.0)),
+            Err(HyperperiodError::NotAMultiple { index: 0 })
+        );
+    }
+
+    #[test]
+    fn display_error_messages_name_the_problem() {
+        let e = DagError::Parse {
+            line: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: boom");
+        assert!(DagError::Cycle { node: 2 }.to_string().contains("node 2"));
+        assert!(DagError::DanglingEdge {
+            from: 1,
+            to: 9,
+            nodes: 3
+        }
+        .to_string()
+        .contains("[1, 9]"));
+    }
+}

@@ -11,6 +11,9 @@
 //!   16.5 MHz execution time, and period `|d − r| · U`;
 //! * [`periodic`] — classic periodic task declarations with utilization
 //!   accounting and unrolling into job sets;
+//! * [`dag`] — precedence-constrained DAG task sets for the federated
+//!   pipeline: validated models, a YAML-subset ingester, and a seeded
+//!   layered random-DAG generator;
 //! * structured generators for the theory sections: [`synthetic::common_release`]
 //!   (§4) and [`synthetic::agreeable`] (§5).
 //!
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dag;
 pub mod dspstone;
 pub mod paper;
 pub mod periodic;

@@ -41,6 +41,7 @@ impl PeriodicTask {
     /// # Panics
     ///
     /// Panics if `period` is not positive and finite, or `wcet` negative.
+    #[must_use]
     pub fn implicit(id: usize, period: Time, wcet: Cycles) -> Self {
         Self::new(id, period, wcet, Time::ZERO, period)
     }
@@ -51,6 +52,7 @@ impl PeriodicTask {
     ///
     /// Panics if `period` or `relative_deadline` is not positive and
     /// finite, `offset` is negative, or `wcet` is negative/non-finite.
+    #[must_use]
     pub fn new(
         id: usize,
         period: Time,

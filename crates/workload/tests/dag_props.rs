@@ -1,0 +1,213 @@
+//! Property suite for the DAG workload model.
+//!
+//! Four families, each over hundreds of seeded random DAGs, pin the
+//! invariants the federated pipeline builds on:
+//!
+//! 1. every generated DAG is acyclic, with a valid topological order and
+//!    strictly increasing layers along every edge;
+//! 2. node relabeling is a pure renaming — critical path, total WCET,
+//!    federated bound, layered allocation and list makespan are all
+//!    bit-identical under any permutation of node ids;
+//! 3. the work-measured list makespan is sandwiched between the critical
+//!    path and the total WCET for every core count;
+//! 4. the YAML subset round-trips exactly: parse(display(dag)) is the
+//!    same `Dag` and the same bytes.
+
+use sdem_prng::{ChaCha8Rng, Rng, SeedableRng, SplitMix64};
+use sdem_types::{Speed, Time};
+use sdem_workload::dag::{self, Dag, DagConfig, DagNode};
+
+/// Seeded DAGs per property (the suite's sampling budget).
+const DAGS_PER_PROPERTY: u64 = 200;
+
+/// A seed-varied generator config: node counts 3..=12, frame 120 ms.
+fn config_for(seed: u64) -> DagConfig {
+    DagConfig::paper(3 + (seed % 10) as usize, Time::from_millis(120.0))
+}
+
+fn generate(seed: u64) -> Dag {
+    dag::random(&config_for(seed), SplitMix64::mix(&[0xDA6_9001, seed]))
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Rebuilds `dag` with node `v` renamed to `perm[v]`.
+fn relabeled(dag: &Dag, perm: &[usize]) -> Dag {
+    let nodes = (0..dag.node_count())
+        .map(|v| DagNode::with_offset(perm[v], dag.work_of(v), dag.offset_of(v)))
+        .collect();
+    let edges = dag
+        .edges()
+        .iter()
+        .map(|&(a, b)| (perm[a], perm[b]))
+        .collect();
+    Dag::new(
+        dag.name(),
+        dag.release(),
+        dag.deadline(),
+        dag.period(),
+        nodes,
+        edges,
+    )
+    .expect("a permutation of a valid DAG is a valid DAG")
+}
+
+#[test]
+fn generated_dags_are_acyclic_with_consistent_layers() {
+    for seed in 0..DAGS_PER_PROPERTY {
+        let dag = generate(seed);
+        let n = dag.node_count();
+
+        // The topological order is a permutation of the nodes...
+        let topo = dag.topo_order();
+        assert_eq!(topo.len(), n, "seed {seed}");
+        let mut position = vec![usize::MAX; n];
+        for (i, &v) in topo.iter().enumerate() {
+            assert_eq!(position[v], usize::MAX, "seed {seed}: node {v} repeats");
+            position[v] = i;
+        }
+        // ...that respects every edge, and layers strictly increase along
+        // edges (the acyclicity witness the windowing relies on).
+        for &(a, b) in dag.edges() {
+            assert!(position[a] < position[b], "seed {seed}: edge ({a},{b})");
+            assert!(
+                dag.layer_of(a) < dag.layer_of(b),
+                "seed {seed}: edge ({a},{b}) layers {} -> {}",
+                dag.layer_of(a),
+                dag.layer_of(b)
+            );
+        }
+        // Layer membership partitions the node set consistently.
+        let mut seen = 0;
+        for layer in 0..dag.layer_count() {
+            for &v in dag.layer_members(layer) {
+                assert_eq!(dag.layer_of(v), layer, "seed {seed}");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n, "seed {seed}: layers must partition the nodes");
+        assert!(dag.critical_path_work() <= dag.total_work(), "seed {seed}");
+    }
+}
+
+#[test]
+fn relabeling_nodes_changes_nothing_but_the_names() {
+    let speeds = [Speed::from_mhz(1900.0), Speed::from_mhz(600.0)];
+    for seed in 0..DAGS_PER_PROPERTY {
+        let base = generate(seed);
+        let perm = permutation(base.node_count(), SplitMix64::mix(&[0x9E37, seed]));
+        let renamed = relabeled(&base, &perm);
+
+        assert_eq!(
+            base.total_work().value().to_bits(),
+            renamed.total_work().value().to_bits(),
+            "seed {seed}: total WCET must be bit-identical"
+        );
+        assert_eq!(
+            base.critical_path_work().value().to_bits(),
+            renamed.critical_path_work().value().to_bits(),
+            "seed {seed}: critical path must be bit-identical"
+        );
+        for speed in speeds {
+            assert_eq!(
+                base.federated_cores(speed),
+                renamed.federated_cores(speed),
+                "seed {seed}: federated bound"
+            );
+        }
+        for (v, &pv) in perm.iter().enumerate() {
+            assert_eq!(
+                base.layer_of(v),
+                renamed.layer_of(pv),
+                "seed {seed}: layer of node {v}"
+            );
+        }
+        // The layered LPT allocation commutes with the renaming, and the
+        // per-layer heaviest loads (hence the makespan) are bit-identical.
+        for cores in 1..=4 {
+            let mut a = (Vec::new(), Vec::new(), Vec::new());
+            let mut b = (Vec::new(), Vec::new(), Vec::new());
+            base.assign_layered_into(cores, &mut a.0, &mut a.1, &mut a.2);
+            renamed.assign_layered_into(cores, &mut b.0, &mut b.1, &mut b.2);
+            for (v, &pv) in perm.iter().enumerate() {
+                assert_eq!(
+                    a.0[v], b.0[pv],
+                    "seed {seed}: allocation of node {v} at {cores} cores"
+                );
+            }
+            assert_eq!(a.1.len(), b.1.len(), "seed {seed}");
+            for (la, lb) in a.1.iter().zip(&b.1) {
+                assert_eq!(
+                    la.value().to_bits(),
+                    lb.value().to_bits(),
+                    "seed {seed}: layer load at {cores} cores"
+                );
+            }
+            assert_eq!(
+                base.list_makespan_work(cores).value().to_bits(),
+                renamed.list_makespan_work(cores).value().to_bits(),
+                "seed {seed}: makespan at {cores} cores"
+            );
+        }
+    }
+}
+
+#[test]
+fn list_makespan_is_sandwiched_between_critical_path_and_total_work() {
+    for seed in 0..DAGS_PER_PROPERTY {
+        let dag = generate(seed);
+        let cp = dag.critical_path_work().value();
+        let total = dag.total_work().value();
+        let mut previous = f64::INFINITY;
+        for cores in 1..=4 {
+            let makespan = dag.list_makespan_work(cores).value();
+            // The bounds are exact in value; allow only summation-order
+            // rounding noise (the three quantities accumulate the same
+            // works in different orders).
+            let ulp_slack = 1e-9 * total;
+            assert!(
+                cp <= makespan + ulp_slack,
+                "seed {seed}: critical path {cp} > makespan {makespan} at {cores} cores"
+            );
+            assert!(
+                makespan <= total + ulp_slack,
+                "seed {seed}: makespan {makespan} > total {total} at {cores} cores"
+            );
+            // More cores can never lengthen the list schedule.
+            assert!(
+                makespan <= previous + ulp_slack,
+                "seed {seed}: makespan grew from {previous} to {makespan} at {cores} cores"
+            );
+            previous = makespan;
+        }
+    }
+}
+
+#[test]
+fn yaml_round_trip_is_exact() {
+    for seed in 0..DAGS_PER_PROPERTY {
+        let suite = dag::suite(
+            &config_for(seed),
+            1 + (seed % 3) as usize,
+            SplitMix64::mix(&[0x5EED, seed]),
+        );
+        let text = dag::dags_to_yaml(&suite);
+        let parsed = dag::dags_from_yaml(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical YAML must parse: {e}"));
+        assert_eq!(parsed, suite, "seed {seed}: parse(display) == identity");
+        assert_eq!(
+            dag::dags_to_yaml(&parsed),
+            text,
+            "seed {seed}: display must be a fixed point"
+        );
+    }
+}
